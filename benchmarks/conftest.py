@@ -1,0 +1,31 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark runs its figure harness exactly once (rounds=1 — these are
+simulation sweeps, not microbenchmarks), prints the same rows the paper's
+figure plots, and asserts the figure's qualitative shape checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import FigureResult, format_figure
+
+
+@pytest.fixture
+def run_figure(benchmark, capsys):
+    """Run a figure harness once under pytest-benchmark and report it."""
+
+    def _run(fn, *args, **kwargs) -> FigureResult:
+        result = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(format_figure(result))
+        assert result.all_checks_pass, (
+            f"{result.figure} shape checks failed: {result.failed_checks()}"
+        )
+        return result
+
+    return _run

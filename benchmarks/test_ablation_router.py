@@ -1,0 +1,68 @@
+"""Ablation: proportional routing (eq. 13) vs the centralized optimum.
+
+DESIGN.md §5: the paper chooses the proportional split because it is
+decentralized and provably SLA-feasible.  This ablation quantifies the
+mean-latency premium it pays over the latency-optimal transportation LP,
+on allocations produced by the actual MPC controller over the paper
+scenario.
+"""
+
+import numpy as np
+
+from repro.control.loop import run_closed_loop
+from repro.control.mpc import MPCConfig, MPCController
+from repro.experiments.common import FigureResult
+from repro.prediction.oracle import OraclePredictor
+from repro.routing.optimal import optimal_assignment
+from repro.routing.proportional import proportional_assignment
+from repro.simulation.scenario import build_paper_scenario
+
+
+def _ablation() -> FigureResult:
+    scenario = build_paper_scenario(num_periods=12, total_peak_rate=800.0, seed=5)
+    instance = scenario.instance
+    controller = MPCController(
+        instance,
+        OraclePredictor(scenario.demand),
+        OraclePredictor(scenario.prices),
+        MPCConfig(window=3),
+    )
+    result = run_closed_loop(controller, scenario.demand, scenario.prices)
+
+    coeff = instance.demand_coefficients
+    latency = scenario.latency.latency_ms
+    proportional_ms, optimal_ms = [], []
+    for k in range(result.trajectory.num_steps):
+        allocation = result.trajectory.states[k]
+        demand = scenario.demand[:, k + 1]
+        capacity = (allocation * coeff).sum(axis=0)
+        servable = np.minimum(demand, capacity)
+        sigma_prop = proportional_assignment(allocation, servable, coeff)
+        sigma_opt = optimal_assignment(allocation, servable, coeff, latency)
+        total = max(servable.sum(), 1e-9)
+        proportional_ms.append(float((latency * sigma_prop).sum()) / total)
+        optimal_ms.append(sigma_opt.total_weighted_latency / total)
+
+    proportional_ms = np.array(proportional_ms)
+    optimal_ms = np.array(optimal_ms)
+    premium = (proportional_ms - optimal_ms) / np.maximum(optimal_ms, 1e-9)
+    return FigureResult(
+        figure="ablation-router",
+        title="Proportional (eq. 13) vs optimal demand assignment: mean network latency",
+        x_label="period",
+        x=np.arange(1, proportional_ms.size + 1),
+        series={
+            "proportional_mean_ms": proportional_ms,
+            "optimal_mean_ms": optimal_ms,
+            "latency_premium": premium,
+        },
+        checks={
+            "optimal never worse": bool(np.all(optimal_ms <= proportional_ms + 1e-9)),
+            "proportional premium under 60%": bool(np.all(premium < 0.6)),
+        },
+        notes=f"mean premium {premium.mean() * 100:.1f}% network latency",
+    )
+
+
+def test_ablation_router(run_figure):
+    run_figure(_ablation)

@@ -1,0 +1,116 @@
+"""Sensitivity ablations: the two knobs the paper leaves untuned.
+
+* **Reconfiguration weight c** — the central trade-off parameter.  As c
+  grows, total server movement falls (stability, what the paper buys with
+  the quadratic penalty) while allocation cost rises (the fleet reacts
+  more slowly to price/demand shifts).
+* **Reservation ratio r** (Section IV-B) — as the cushion grows, SLA
+  shortfall under imperfect prediction falls monotonically while holding
+  cost rises linearly.  The sweep exposes the operating curve an SP would
+  actually pick a point on.
+"""
+
+import numpy as np
+
+from repro.control.loop import run_closed_loop
+from repro.control.mpc import MPCConfig, MPCController
+from repro.experiments.common import FigureResult, is_mostly_decreasing, is_mostly_increasing
+from repro.prediction.naive import SeasonalNaivePredictor
+from repro.prediction.oracle import OraclePredictor
+from repro.simulation.scenario import build_paper_scenario
+
+
+def _recon_weight_sweep() -> FigureResult:
+    weights = np.array([0.05, 0.2, 0.8, 3.0, 12.0])
+    movement, allocation_cost, total_cost = [], [], []
+    for weight in weights:
+        scenario = build_paper_scenario(
+            num_periods=24,
+            total_peak_rate=800.0,
+            reconfiguration_weight=float(weight),
+            seed=13,
+        )
+        controller = MPCController(
+            scenario.instance,
+            OraclePredictor(scenario.demand),
+            OraclePredictor(scenario.prices),
+            MPCConfig(window=4),
+        )
+        result = run_closed_loop(controller, scenario.demand, scenario.prices)
+        movement.append(result.trajectory.total_reconfiguration())
+        allocation_cost.append(result.costs.allocation_total)
+        total_cost.append(result.total_cost)
+
+    movement = np.array(movement)
+    allocation_cost = np.array(allocation_cost)
+    return FigureResult(
+        figure="ablation-recon-weight",
+        title="Sensitivity to the reconfiguration weight c",
+        x_label="recon_weight",
+        x=weights,
+        series={
+            "total_server_movement": movement,
+            "allocation_cost": allocation_cost,
+            "total_cost": np.array(total_cost),
+        },
+        checks={
+            "movement falls as c grows": is_mostly_decreasing(movement, tolerance=1e-9),
+            "allocation cost rises as c grows": is_mostly_increasing(
+                allocation_cost, tolerance=1e-6
+            ),
+        },
+        notes="oracle forecasts isolate the penalty's own effect",
+    )
+
+
+def _reservation_sweep() -> FigureResult:
+    ratios = np.array([1.0, 1.1, 1.25, 1.5, 2.0])
+    shortfall, holding = [], []
+    for ratio in ratios:
+        scenario = build_paper_scenario(
+            num_periods=24,
+            total_peak_rate=800.0,
+            reservation_ratio=float(ratio),
+            seed=14,
+        )
+        instance = scenario.instance
+        controller = MPCController(
+            instance,
+            SeasonalNaivePredictor(instance.num_locations, season_length=24),
+            SeasonalNaivePredictor(instance.num_datacenters, season_length=24),
+            MPCConfig(window=3, slack_penalty=100.0),
+        )
+        result = run_closed_loop(controller, scenario.demand, scenario.prices)
+        # Shortfall against the bare SLA requirement.
+        bare_coeff = instance.demand_coefficients * ratio
+        served = np.einsum("lv,tlv->tv", bare_coeff, result.trajectory.states)
+        realized = scenario.demand[:, 1:].T
+        shortfall.append(float(np.maximum(realized - served, 0.0).sum()))
+        holding.append(result.costs.allocation_total)
+
+    shortfall = np.array(shortfall)
+    holding = np.array(holding)
+    return FigureResult(
+        figure="ablation-reservation",
+        title="Sensitivity to the reservation ratio r (Section IV-B)",
+        x_label="reservation_ratio",
+        x=ratios,
+        series={"bare_sla_shortfall": shortfall, "allocation_cost": holding},
+        checks={
+            "shortfall falls with the cushion": is_mostly_decreasing(
+                shortfall, tolerance=1e-9
+            ),
+            "holding cost rises with the cushion": is_mostly_increasing(
+                holding, tolerance=1e-6
+            ),
+        },
+        notes="seasonal-naive forecasts; same demand realization at every r",
+    )
+
+
+def test_ablation_recon_weight(run_figure):
+    run_figure(_recon_weight_sweep)
+
+
+def test_ablation_reservation(run_figure):
+    run_figure(_reservation_sweep)

@@ -1,0 +1,13 @@
+"""Figure 10 bench: long horizons help under constant inputs.
+
+Paper shape: with constant demand and price ("easy to predict"), solution
+cost improves monotonically with the prediction-horizon length.
+"""
+
+from repro.experiments.fig10_horizon_cost_constant import run_fig10
+
+
+def test_fig10_horizon_cost_constant(run_figure):
+    result = run_figure(run_fig10)
+    costs = result.series["effective_cost"]
+    assert costs[-1] < costs[0]

@@ -1,0 +1,13 @@
+"""Figure 3 bench: regional electricity price traces over one day.
+
+Paper shape: four regional traces between ~$10 and ~$90/MWh; California
+most expensive on average with the CA-TX gap peaking in the late
+afternoon; the traces cross during the day.
+"""
+
+from repro.experiments.fig3_prices import run_fig3
+
+
+def test_fig3_prices(run_figure):
+    result = run_figure(run_fig3, num_hours=24, seed=0)
+    assert len(result.series) == 4

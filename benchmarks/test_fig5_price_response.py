@@ -1,0 +1,16 @@
+"""Figure 5 bench: price-driven migration under constant demand.
+
+Paper shape: "the electricity price is generally higher in Mountain View
+than in Houston; the difference reaches its maximum around 5pm.
+Consequently, our controller allocates less [servers] in the Mountain View
+data center in the afternoon."
+"""
+
+from repro.experiments.fig5_price_response import run_fig5
+
+
+def test_fig5_price_response(run_figure):
+    result = run_figure(run_fig5)
+    # All three DCs participate at some point of the day.
+    for key in ("mountain_view_ca", "houston_tx", "atlanta_ga"):
+        assert result.series[f"servers_{key}"].max() > 0

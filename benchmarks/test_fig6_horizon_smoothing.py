@@ -1,0 +1,13 @@
+"""Figure 6 bench: longer prediction horizons damp server-count swings.
+
+Paper shape: over K in {1, 10, 20, 30}, "the change in the number of
+servers tends to be less as K increases" — per-step change magnitude
+(RMS and peak) shrinks with the horizon, and total cost improves.
+"""
+
+from repro.experiments.fig6_horizon_smoothing import PAPER_HORIZONS, run_fig6
+
+
+def test_fig6_horizon_smoothing(run_figure):
+    result = run_figure(run_fig6, horizons=PAPER_HORIZONS)
+    assert result.x.tolist() == list(PAPER_HORIZONS)

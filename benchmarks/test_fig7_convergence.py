@@ -1,0 +1,18 @@
+"""Figure 7 bench: best-response convergence vs number of players.
+
+Paper shape: with the cheapest data center's capacity set to 100 / 200 /
+300 servers, "the number of iterations to obtain a stable outcome grows
+with number of players and the tightness of data center capacity
+constraints".
+
+This is the heaviest bench (hundreds of equilibrium computations); the
+player count is trimmed to 8 to keep it in tens of seconds while
+preserving both trends.
+"""
+
+from repro.experiments.fig7_convergence import PAPER_BOTTLENECKS, run_fig7
+
+
+def test_fig7_convergence(run_figure):
+    result = run_figure(run_fig7, max_players=8, bottlenecks=PAPER_BOTTLENECKS)
+    assert set(result.series) == {"capacity_100", "capacity_200", "capacity_300"}

@@ -1,0 +1,14 @@
+"""Figure 8 bench: longer horizons speed up equilibrium convergence.
+
+Paper shape: over horizons 1..10 with a fixed population and a tight
+bottleneck, the number of best-response iterations trends downward as the
+prediction horizon grows.
+"""
+
+from repro.experiments.fig8_horizon_convergence import run_fig8
+
+
+def test_fig8_horizon_convergence(run_figure):
+    result = run_figure(run_fig8)
+    iterations = result.series["iterations"]
+    assert iterations[-1] < iterations[0]

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Beyond M/M/1: general service times and per-pair SLA bounds.
+
+The paper claims its framework adapts to "other queueing models" and
+formulates the SLA bound per (data center, location) pair.  This example
+exercises both generalizations end to end:
+
+1. servers with *deterministic* (M/D/1) and *heavy-tailed* (lognormal,
+   SCV = 4) service times, priced identically — the burstier fleet needs
+   visibly more servers for the same SLA;
+2. a premium region with a 60 ms bound next to best-effort regions at
+   150 ms — the controller concentrates the premium region's servers at
+   its nearest site, where the tight budget is physically achievable.
+
+Run:  python examples/custom_queueing_sla.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MPCConfig, MPCController, run_closed_loop
+from repro.core.instance import DSPPInstance
+from repro.prediction.oracle import OraclePredictor
+from repro.queueing.mg1 import mg1_sla_coefficient_matrix
+from repro.queueing.sla import sla_coefficient_matrix
+
+LATENCY_S = np.array(
+    [
+        [0.010, 0.040, 0.060],   # west DC
+        [0.040, 0.010, 0.030],   # central DC
+        [0.060, 0.030, 0.010],   # east DC
+    ]
+)
+MU = 25.0
+K = 12
+
+
+def run_with_coefficients(a: np.ndarray) -> tuple[float, np.ndarray]:
+    instance = DSPPInstance(
+        datacenters=("west", "central", "east"),
+        locations=("v_west", "v_central", "v_east"),
+        sla_coefficients=a,
+        reconfiguration_weights=np.full(3, 0.05),
+        capacities=np.full(3, np.inf),
+        initial_state=np.zeros((3, 3)),
+    )
+    demand = np.full((3, K), 300.0)
+    prices = np.ones((3, K))
+    controller = MPCController(
+        instance,
+        OraclePredictor(demand),
+        OraclePredictor(prices),
+        MPCConfig(window=3),
+    )
+    result = run_closed_loop(controller, demand, prices)
+    return result.total_cost, result.trajectory.states[-1]
+
+
+def main() -> None:
+    print("== 1. service-time distribution (same mu, same SLA) ==")
+    rows = []
+    for name, scv in (("M/D/1 (deterministic)", 0.0),
+                      ("M/M/1 (paper)", 1.0),
+                      ("heavy-tailed (SCV=4)", 4.0)):
+        a = mg1_sla_coefficient_matrix(LATENCY_S, 0.150, MU, scv=scv)
+        cost, final = run_with_coefficients(a)
+        rows.append((name, final.sum(), cost))
+    print(f"{'service model':<24s} {'servers (final)':>15s} {'total cost':>11s}")
+    for name, servers, cost in rows:
+        print(f"{name:<24s} {servers:15.1f} {cost:11.1f}")
+    print("-> burstier service needs more headroom per request;"
+          " deterministic service halves the queueing budget.\n")
+
+    print("== 2. per-pair SLA bounds (premium west region) ==")
+    bounds = np.array([0.060, 0.150, 0.150])  # d_bar per *location*
+    a = sla_coefficient_matrix(LATENCY_S, bounds[None, :], MU)
+    print("which pairs can serve the premium region at all?")
+    for l, dc in enumerate(("west", "central", "east")):
+        feasible = np.isfinite(a[l, 0])
+        print(f"  {dc:8s} -> v_west: {'feasible' if feasible else 'SLA-infeasible'}")
+    cost, final = run_with_coefficients(a)
+    print("final allocation (rows = DCs, cols = regions):")
+    print(np.array2string(final, precision=1, suppress_small=True))
+    print("-> the 60 ms budget excludes the far data centers outright; the"
+          " premium region is pinned to its nearby site.")
+
+
+if __name__ == "__main__":
+    main()

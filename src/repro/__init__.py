@@ -1,0 +1,70 @@
+"""Reproduction of "Dynamic Service Placement in Geographically Distributed
+Clouds" (Zhang, Zhu, Zhani, Boutaba — IEEE ICDCS 2012).
+
+The package is organized bottom-up:
+
+* :mod:`repro.solvers` — convex-QP machinery (ADMM solver, KKT checks,
+  dual-decomposition coordinator).
+* :mod:`repro.queueing` — M/M/1 delay model and SLA linearization.
+* :mod:`repro.topology` — geographic topology substrate (synthetic tier-1
+  backbone, transit-stub augmentation, bipartite latency extraction).
+* :mod:`repro.pricing` — regional electricity-market price models.
+* :mod:`repro.workload` — non-homogeneous Poisson demand generation.
+* :mod:`repro.prediction` — demand/price predictors (AR, seasonal, oracle).
+* :mod:`repro.core` — the DSPP linear-quadratic formulation and exact solver.
+* :mod:`repro.control` — the MPC controller (Algorithm 1) and closed loop.
+* :mod:`repro.routing` — proportional request routing (eq. 13).
+* :mod:`repro.game` — multi-provider resource-competition game (Section VI).
+* :mod:`repro.packing` — FFD bin packing for the exact-capacity argument.
+* :mod:`repro.simulation` — discrete-time engine gluing everything together.
+* :mod:`repro.baselines` — static/reactive/greedy placement baselines.
+* :mod:`repro.experiments` — per-figure reproduction harnesses (Figs. 3–10).
+
+The most commonly used entry points are re-exported lazily at the top level,
+so ``from repro import solve_dspp, MPCController`` works without importing
+the whole package eagerly.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+__version__ = "1.0.0"
+
+# name -> (module, attribute) for lazy re-export.
+_EXPORTS = {
+    "DSPPInstance": ("repro.core.instance", "DSPPInstance"),
+    "DSPPSolution": ("repro.core.dspp", "DSPPSolution"),
+    "solve_dspp": ("repro.core.dspp", "solve_dspp"),
+    "MPCConfig": ("repro.control.mpc", "MPCConfig"),
+    "MPCController": ("repro.control.mpc", "MPCController"),
+    "ClosedLoopResult": ("repro.control.loop", "ClosedLoopResult"),
+    "run_closed_loop": ("repro.control.loop", "run_closed_loop"),
+    "ServiceProvider": ("repro.game.players", "ServiceProvider"),
+    "BestResponseConfig": ("repro.game.best_response", "BestResponseConfig"),
+    "BestResponseResult": ("repro.game.best_response", "BestResponseResult"),
+    "compute_equilibrium": ("repro.game.best_response", "compute_equilibrium"),
+    "Scenario": ("repro.simulation.scenario", "Scenario"),
+    "build_paper_scenario": ("repro.simulation.scenario", "build_paper_scenario"),
+    "save_scenario": ("repro.io", "save_scenario"),
+    "load_scenario": ("repro.io", "load_scenario"),
+    "generate_report": ("repro.report", "generate_report"),
+    "analyze_run": ("repro.analysis", "analyze_run"),
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,150 @@
+"""Post-run analysis of closed-loop results.
+
+Small pure functions turning a :class:`repro.control.loop.ClosedLoopResult`
+(or raw state arrays) into the operational numbers an operator would ask
+for: where the money went, how hard each site worked, and how much the
+fleet moved.  Everything here is read-only over the result objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def cost_by_datacenter(
+    states: np.ndarray,
+    controls: np.ndarray,
+    prices: np.ndarray,
+    reconfiguration_weights: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Split the objective by data center.
+
+    Args:
+        states: ``(T, L, V)`` allocations.
+        controls: ``(T, L, V)`` moves.
+        prices: ``(L, T)`` realized prices.
+        reconfiguration_weights: ``(L,)`` quadratic weights.
+
+    Returns:
+        ``{"allocation": (L,), "reconfiguration": (L,), "total": (L,)}``.
+    """
+    states = np.asarray(states, dtype=float)
+    controls = np.asarray(controls, dtype=float)
+    prices = np.asarray(prices, dtype=float)
+    weights = np.asarray(reconfiguration_weights, dtype=float)
+    if states.ndim != 3 or controls.shape != states.shape:
+        raise ValueError("states and controls must be matching (T, L, V) arrays")
+    T, L, _ = states.shape
+    if prices.shape != (L, T) or weights.shape != (L,):
+        raise ValueError("prices must be (L, T) and weights (L,)")
+    per_dc_servers = states.sum(axis=2)  # (T, L)
+    allocation = np.einsum("tl,lt->l", per_dc_servers, prices)
+    reconfiguration = weights * (controls**2).sum(axis=(0, 2))
+    return {
+        "allocation": allocation,
+        "reconfiguration": reconfiguration,
+        "total": allocation + reconfiguration,
+    }
+
+
+def utilization(
+    states: np.ndarray,
+    demand: np.ndarray,
+    demand_coefficients: np.ndarray,
+) -> np.ndarray:
+    """Fleet utilization per period: served-demand requirement / capacity.
+
+    Utilization 1.0 means the allocation is exactly the SLA minimum for
+    the realized demand; values above 1 mark under-provisioned periods,
+    values below 1 quantify the cushion actually held.
+
+    Args:
+        states: ``(T, L, V)`` allocations.
+        demand: realized demand for the same periods, shape ``(V, T)``.
+        demand_coefficients: ``1/a_lv`` matrix, shape ``(L, V)``.
+
+    Returns:
+        Array of shape ``(T,)``; ``inf`` where a period holds no servers
+        but has demand.
+    """
+    states = np.asarray(states, dtype=float)
+    demand = np.asarray(demand, dtype=float)
+    coeff = np.asarray(demand_coefficients, dtype=float)
+    T = states.shape[0]
+    if demand.shape[1] != T:
+        raise ValueError(f"demand must cover {T} periods, got {demand.shape[1]}")
+    capacity = np.einsum("lv,tlv->t", coeff, states)  # servable demand
+    total_demand = demand.sum(axis=0)
+    out = np.full(T, np.inf)
+    np.divide(total_demand, capacity, out=out, where=capacity > 0)
+    out[(capacity <= 0) & (total_demand <= 0)] = 0.0
+    return out
+
+
+def movement_by_datacenter(controls: np.ndarray) -> dict[str, np.ndarray]:
+    """Server movement per data center over a run.
+
+    Returns:
+        ``{"added": (L,), "removed": (L,), "net": (L,)}`` — total servers
+        started, stopped, and the net change.
+    """
+    controls = np.asarray(controls, dtype=float)
+    if controls.ndim != 3:
+        raise ValueError(f"controls must be (T, L, V), got {controls.shape}")
+    per_dc = controls.sum(axis=2)  # (T, L) net per period
+    added = np.where(per_dc > 0, per_dc, 0.0).sum(axis=0)
+    removed = -np.where(per_dc < 0, per_dc, 0.0).sum(axis=0)
+    return {"added": added, "removed": removed, "net": added - removed}
+
+
+@dataclass(frozen=True)
+class RunAnalysis:
+    """The analysis bundle :func:`analyze_run` produces.
+
+    Attributes:
+        cost_per_datacenter: total cost attributed to each site.
+        peak_utilization: worst period's utilization.
+        mean_utilization: average over the run.
+        servers_added: total scale-ups across all sites.
+        servers_removed: total scale-downs.
+        busiest_datacenter: index of the site with the highest total cost.
+    """
+
+    cost_per_datacenter: np.ndarray
+    peak_utilization: float
+    mean_utilization: float
+    servers_added: float
+    servers_removed: float
+    busiest_datacenter: int
+
+
+def analyze_run(result, instance) -> RunAnalysis:
+    """Full analysis of a :class:`~repro.control.loop.ClosedLoopResult`.
+
+    Args:
+        result: the closed-loop run.
+        instance: the :class:`~repro.core.instance.DSPPInstance` it ran on.
+    """
+    states = result.trajectory.states
+    controls = result.trajectory.controls
+    costs = cost_by_datacenter(
+        states,
+        controls,
+        result.realized_prices[:, 1:],
+        instance.reconfiguration_weights,
+    )
+    load = utilization(
+        states, result.realized_demand[:, 1:], instance.demand_coefficients
+    )
+    finite = load[np.isfinite(load)]
+    movement = movement_by_datacenter(controls)
+    return RunAnalysis(
+        cost_per_datacenter=costs["total"],
+        peak_utilization=float(finite.max()) if finite.size else float("nan"),
+        mean_utilization=float(finite.mean()) if finite.size else float("nan"),
+        servers_added=float(movement["added"].sum()),
+        servers_removed=float(movement["removed"].sum()),
+        busiest_datacenter=int(np.argmax(costs["total"])),
+    )

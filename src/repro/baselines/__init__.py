@@ -1,0 +1,34 @@
+"""Placement baselines the MPC controller is compared against.
+
+The paper's evaluation compares its controller mostly against itself across
+prediction horizons; a credible library also needs external reference
+points, so:
+
+* :mod:`repro.baselines.static_opt` — solve once for the peak (or mean)
+  demand and never reconfigure (the classical static placement of the
+  related work the paper critiques).
+* :mod:`repro.baselines.reactive` — myopic tracking: each period, jump to
+  the cheapest allocation for the *currently observed* demand, ignoring
+  both predictions and reconfiguration costs.
+* :mod:`repro.baselines.nearest` — latency-greedy: every location served
+  entirely by its nearest SLA-feasible data center.
+* :mod:`repro.baselines.cost_greedy` — price-greedy: every location served
+  by its cheapest currently-feasible data center (maximal migration).
+
+All baselines emit the same :class:`BaselineResult` and are scored by the
+same cost accounting as the controller.
+"""
+
+from repro.baselines.common import BaselineResult
+from repro.baselines.static_opt import run_static_optimal
+from repro.baselines.reactive import run_reactive
+from repro.baselines.nearest import run_nearest_datacenter
+from repro.baselines.cost_greedy import run_cost_greedy
+
+__all__ = [
+    "BaselineResult",
+    "run_static_optimal",
+    "run_reactive",
+    "run_nearest_datacenter",
+    "run_cost_greedy",
+]

@@ -1,0 +1,137 @@
+"""Shared result container and helpers for placement baselines.
+
+Baselines, like the closed loop, are scored on realized trajectories: the
+allocation chosen for period ``k+1`` is priced at ``p_{k+1}`` and checked
+against the realized demand ``D_{k+1}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.costs import CostBreakdown, total_cost
+from repro.core.instance import DSPPInstance
+from repro.core.state import Trajectory
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """A baseline's realized run.
+
+    Attributes:
+        name: baseline label.
+        trajectory: realized states/controls.
+        costs: realized cost audit.
+        unmet_demand: shape ``(T, V)`` — demand the allocation could not
+            serve under the SLA at each period.
+    """
+
+    name: str
+    trajectory: Trajectory
+    costs: CostBreakdown
+    unmet_demand: np.ndarray
+
+    @property
+    def total_cost(self) -> float:
+        return self.costs.total
+
+    @property
+    def total_unmet_demand(self) -> float:
+        return float(self.unmet_demand.sum())
+
+
+def score_states(
+    name: str,
+    instance: DSPPInstance,
+    states: np.ndarray,
+    demand: np.ndarray,
+    prices: np.ndarray,
+) -> BaselineResult:
+    """Audit a state sequence against realized demand and prices.
+
+    Args:
+        name: baseline label.
+        instance: problem data (initial state, SLA coefficients, weights).
+        states: chosen allocations ``x_1..x_T``, shape ``(T, L, V)``.
+        demand: realized demand for the scored periods, shape ``(V, T)``.
+        prices: realized prices for the scored periods, shape ``(L, T)``.
+
+    Returns:
+        The :class:`BaselineResult` with controls derived from the state
+        deltas (so reconfiguration is costed identically to the MPC runs).
+    """
+    states = np.asarray(states, dtype=float)
+    T = states.shape[0]
+    prev = np.concatenate([instance.initial_state[None], states[:-1]], axis=0)
+    controls = states - prev
+    trajectory = Trajectory(
+        initial_state=instance.initial_state.copy(), states=states, controls=controls
+    )
+    costs = total_cost(
+        states, controls, np.asarray(prices, dtype=float), instance.reconfiguration_weights
+    )
+    coeff = instance.demand_coefficients
+    served = np.einsum("lv,tlv->tv", coeff, states)
+    unmet = np.maximum(np.asarray(demand, dtype=float).T[:T] - served, 0.0)
+    return BaselineResult(
+        name=name, trajectory=trajectory, costs=costs, unmet_demand=unmet
+    )
+
+
+def greedy_assignment_states(
+    instance: DSPPInstance,
+    demand_vector: np.ndarray,
+    preference: np.ndarray,
+) -> np.ndarray:
+    """Allocate servers greedily by per-location data-center preference.
+
+    Each location's demand is sent to its most-preferred feasible data
+    center until that data center's capacity is exhausted, then spills to
+    the next choice.  Used by the nearest- and cheapest-DC baselines.
+
+    Args:
+        instance: problem data (SLA coefficients, capacities, server size).
+        demand_vector: demand per location, shape ``(V,)``.
+        preference: score per (L, V) pair — *lower is better*; ``inf``
+            marks an unusable pair.
+
+    Returns:
+        Allocation ``x``, shape ``(L, V)``.
+
+    Raises:
+        ValueError: if some location's demand cannot be placed within the
+            capacities of its feasible data centers.
+    """
+    L, V = instance.num_datacenters, instance.num_locations
+    a = instance.sla_coefficients
+    allocation = np.zeros((L, V))
+    remaining_capacity = instance.capacities.astype(float).copy()
+    size = instance.server_size
+
+    for v in range(V):
+        need = float(demand_vector[v])  # demand still to place
+        if need <= 0:
+            continue
+        order = np.argsort(preference[:, v], kind="stable")
+        for l in order:
+            if not np.isfinite(preference[l, v]) or not np.isfinite(a[l, v]):
+                continue
+            if need <= 0:
+                break
+            # Servers needed for the remaining demand at this DC.
+            servers_wanted = a[l, v] * need
+            servers_possible = remaining_capacity[l] / size
+            servers = min(servers_wanted, servers_possible)
+            if servers <= 0:
+                continue
+            allocation[l, v] += servers
+            remaining_capacity[l] -= servers * size
+            need -= servers / a[l, v]
+        if need > 1e-9:
+            raise ValueError(
+                f"greedy placement cannot serve location {v}: "
+                f"{need:.3f} demand left after exhausting feasible capacity"
+            )
+    return allocation

@@ -1,0 +1,53 @@
+"""Price-greedy baseline: chase the cheapest feasible data center.
+
+The opposite extreme to the nearest-DC heuristic: each period, every
+location's demand moves entirely to the currently cheapest data center
+that can meet its SLA (weighted by the servers needed there, ``a_lv p_l``,
+since a far DC needs more headroom per request).  Maximal migration —
+lowest holding cost, brutal reconfiguration churn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, greedy_assignment_states, score_states
+from repro.core.instance import DSPPInstance
+
+
+def run_cost_greedy(
+    instance: DSPPInstance,
+    demand: np.ndarray,
+    prices: np.ndarray,
+) -> BaselineResult:
+    """Run the cheapest-data-center baseline over realized traces.
+
+    Args:
+        instance: problem data.
+        demand: realized demand, shape ``(V, K)``.
+        prices: realized prices, shape ``(L, K)``; the period-``k``
+            observation drives the allocation serving period ``k+1``.
+
+    Returns:
+        The :class:`BaselineResult` over ``K-1`` scored periods.
+    """
+    demand = np.asarray(demand, dtype=float)
+    prices = np.asarray(prices, dtype=float)
+    L, V = instance.num_datacenters, instance.num_locations
+    T = demand.shape[1] - 1
+
+    a = instance.sla_coefficients
+    states = np.empty((T, L, V))
+    for k in range(T):
+        # Effective cost of serving one unit of v's demand at l right now:
+        # a_lv servers, each at price p_l.
+        preference = np.where(np.isfinite(a), a * prices[:, k][:, None], np.inf)
+        states[k] = greedy_assignment_states(instance, demand[:, k], preference)
+
+    return score_states(
+        name="cost-greedy",
+        instance=instance,
+        states=states,
+        demand=demand[:, 1:],
+        prices=prices[:, 1:],
+    )

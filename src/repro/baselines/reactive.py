@@ -1,0 +1,57 @@
+"""Reactive (myopic) baseline: track the last observation, ignore the future.
+
+At each period the allocation jumps straight to the cheapest single-period
+allocation for the demand *just observed*, at the prices just observed —
+no prediction, no smoothing, no reconfiguration awareness.  It pays heavy
+quadratic reconfiguration cost whenever demand or price moves, which is
+exactly the behaviour the paper's controller is designed to damp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, score_states
+from repro.core.instance import DSPPInstance
+from repro.core.static import solve_static_placement
+
+
+def run_reactive(
+    instance: DSPPInstance,
+    demand: np.ndarray,
+    prices: np.ndarray,
+) -> BaselineResult:
+    """Run the reactive baseline over realized traces.
+
+    Per period ``k`` the target allocation solves the single-period
+    placement LP for ``(D_k, p_k)`` — the pure static optimum for the
+    snapshot, with zero regard for reconfiguration — and the system jumps
+    there for period ``k+1``.  Realized reconfiguration is still *scored*
+    with the true quadratic weights by :func:`score_states`.
+
+    Args:
+        instance: problem data.
+        demand: realized demand, shape ``(V, K)``.
+        prices: realized prices, shape ``(L, K)``.
+
+    Returns:
+        The :class:`BaselineResult` over ``K-1`` scored periods.
+    """
+    demand = np.asarray(demand, dtype=float)
+    prices = np.asarray(prices, dtype=float)
+    V, K = demand.shape
+    L = instance.num_datacenters
+    T = K - 1
+
+    states = np.empty((T, L, V))
+    for k in range(T):
+        placement = solve_static_placement(instance, demand[:, k], prices[:, k])
+        states[k] = placement.allocation
+
+    return score_states(
+        name="reactive",
+        instance=instance,
+        states=states,
+        demand=demand[:, 1:],
+        prices=prices[:, 1:],
+    )

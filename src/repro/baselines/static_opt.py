@@ -1,0 +1,59 @@
+"""Static placement baseline: size once, never reconfigure.
+
+Solves a single-period DSPP for a reference demand (the per-location peak
+by default — the safe static choice) and holds that allocation for the
+whole run.  Zero reconfiguration cost after the initial ramp, but pays
+peak-sized holding cost at every period and cannot follow price shifts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import BaselineResult, score_states
+from repro.core.instance import DSPPInstance
+from repro.core.static import solve_static_placement
+
+
+def run_static_optimal(
+    instance: DSPPInstance,
+    demand: np.ndarray,
+    prices: np.ndarray,
+    sizing: str = "peak",
+) -> BaselineResult:
+    """Run the static-optimal baseline over realized traces.
+
+    Args:
+        instance: problem data.
+        demand: realized demand, shape ``(V, K)``; periods ``1..K-1`` are
+            scored (period 0 is the observation the sizing may use).
+        prices: realized prices, shape ``(L, K)``.
+        sizing: ``"peak"`` sizes for each location's max demand over the
+            run (no violations, conservative cost); ``"mean"`` sizes for
+            the average (cheaper, may violate at peaks).
+
+    Returns:
+        The :class:`BaselineResult` over ``K-1`` scored periods.
+    """
+    demand = np.asarray(demand, dtype=float)
+    prices = np.asarray(prices, dtype=float)
+    if sizing == "peak":
+        reference = demand.max(axis=1)
+    elif sizing == "mean":
+        reference = demand.mean(axis=1)
+    else:
+        raise ValueError(f"unknown sizing {sizing!r}")
+
+    # One placement LP at time-averaged prices gives the static allocation.
+    placement = solve_static_placement(instance, reference, prices.mean(axis=1))
+    static_allocation = placement.allocation
+
+    T = demand.shape[1] - 1
+    states = np.tile(static_allocation[None], (T, 1, 1))
+    return score_states(
+        name=f"static-{sizing}",
+        instance=instance,
+        states=states,
+        demand=demand[:, 1:],
+        prices=prices[:, 1:],
+    )

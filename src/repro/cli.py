@@ -1,0 +1,163 @@
+"""Command-line interface: regenerate any paper figure from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig3
+    python -m repro fig7 --max-players 6
+    python -m repro fig9 --seeds 2
+    python -m repro all
+
+Each figure command runs the corresponding harness from
+:mod:`repro.experiments`, prints the table the paper's figure plots, and
+exits nonzero if any qualitative shape check fails (so the CLI doubles as
+a reproduction smoke test in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments.common import FigureResult, format_figure
+from repro.experiments.fig3_prices import run_fig3
+from repro.experiments.fig4_demand_tracking import run_fig4
+from repro.experiments.fig5_price_response import run_fig5
+from repro.experiments.fig6_horizon_smoothing import run_fig6
+from repro.experiments.fig7_convergence import run_fig7
+from repro.experiments.fig8_horizon_convergence import run_fig8
+from repro.experiments.fig9_horizon_cost_volatile import run_fig9
+from repro.experiments.fig10_horizon_cost_constant import run_fig10
+
+_DESCRIPTIONS = {
+    "fig3": "electricity prices of the data-center regions over one day",
+    "fig4": "allocation tracks fluctuating demand (1 DC, 1 access network)",
+    "fig5": "price-driven migration under constant demand (3 DCs)",
+    "fig6": "longer prediction horizons damp server-count swings",
+    "fig7": "best-response iterations vs number of players",
+    "fig8": "best-response iterations vs prediction horizon",
+    "fig9": "cost vs horizon under volatile inputs (AR prediction)",
+    "fig10": "cost vs horizon under constant inputs",
+}
+
+
+def _run_fig3(args: argparse.Namespace) -> FigureResult:
+    return run_fig3(num_hours=args.hours, seed=args.seed)
+
+
+def _run_fig4(args: argparse.Namespace) -> FigureResult:
+    return run_fig4(num_hours=args.hours, seed=args.seed)
+
+
+def _run_fig5(args: argparse.Namespace) -> FigureResult:
+    return run_fig5(num_hours=args.hours, seed=args.seed)
+
+
+def _run_fig6(args: argparse.Namespace) -> FigureResult:
+    return run_fig6()
+
+
+def _run_fig7(args: argparse.Namespace) -> FigureResult:
+    return run_fig7(max_players=args.max_players, seed=args.seed)
+
+
+def _run_fig8(args: argparse.Namespace) -> FigureResult:
+    return run_fig8(num_players=args.players, seed=args.seed)
+
+
+def _run_fig9(args: argparse.Namespace) -> FigureResult:
+    return run_fig9(num_seeds=args.seeds, seed=args.seed)
+
+
+def _run_fig10(args: argparse.Namespace) -> FigureResult:
+    return run_fig10()
+
+
+_RUNNERS: dict[str, Callable[[argparse.Namespace], FigureResult]] = {
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the figures of 'Dynamic Service Placement in "
+        "Geographically Distributed Clouds' (ICDCS 2012).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available figures")
+    sub.add_parser("all", help="run every figure")
+    report_parser = sub.add_parser(
+        "report", help="run every figure and write a Markdown report"
+    )
+    report_parser.add_argument("--out", default="REPORT.md")
+    report_parser.add_argument(
+        "--full", action="store_true", help="full-size sweeps (slower)"
+    )
+    report_parser.add_argument("--seed", type=int, default=0)
+
+    for name, description in _DESCRIPTIONS.items():
+        figure_parser = sub.add_parser(name, help=description)
+        figure_parser.add_argument("--seed", type=int, default=0)
+        if name in ("fig3", "fig4", "fig5"):
+            figure_parser.add_argument("--hours", type=int, default=24)
+        if name == "fig7":
+            figure_parser.add_argument("--max-players", type=int, default=10)
+        if name == "fig8":
+            figure_parser.add_argument("--players", type=int, default=5)
+        if name == "fig9":
+            figure_parser.add_argument("--seeds", type=int, default=3)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name, description in _DESCRIPTIONS.items():
+            print(f"{name:6s} {description}")
+        return 0
+
+    if args.command == "report":
+        from repro.report import ReportOptions, write_report
+
+        passed = write_report(
+            args.out, ReportOptions(quick=not args.full, seed=args.seed)
+        )
+        print(f"report written to {args.out}")
+        return 0 if passed else 1
+
+    if args.command == "all":
+        names = list(_RUNNERS)
+        defaults = build_parser()
+        failed = []
+        for name in names:
+            print(f"== {name} " + "=" * 50)
+            sub_args = defaults.parse_args([name])
+            result = _RUNNERS[name](sub_args)
+            print(format_figure(result))
+            print()
+            if not result.all_checks_pass:
+                failed.append(name)
+        if failed:
+            print(f"FAILED shape checks: {failed}", file=sys.stderr)
+            return 1
+        return 0
+
+    result = _RUNNERS[args.command](args)
+    print(format_figure(result))
+    return 0 if result.all_checks_pass else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Receding-horizon bookkeeping helpers.
+
+Small pure functions shared by the MPC controller and the closed loop:
+clamping the prediction window to what remains of a finite run, and
+slicing forecast windows out of ground-truth matrices for oracle studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def effective_horizon(window: int, current_period: int, total_periods: int | None) -> int:
+    """The usable horizon at ``current_period``.
+
+    For an infinite run (``total_periods is None``) this is just ``window``;
+    for a finite run of ``total_periods`` future periods it is clamped to
+    the periods that remain.
+
+    Args:
+        window: configured prediction window ``W`` (>= 1).
+        current_period: zero-based index of the current control period.
+        total_periods: total number of controllable periods, or ``None``.
+
+    Returns:
+        The horizon to solve for (>= 1), or 0 when the run is over.
+
+    Raises:
+        ValueError: on a non-positive window or negative period.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if current_period < 0:
+        raise ValueError(f"current_period must be >= 0, got {current_period}")
+    if total_periods is None:
+        return window
+    remaining = total_periods - current_period
+    return max(0, min(window, remaining))
+
+
+def forecast_window(truth: np.ndarray, start: int, horizon: int) -> np.ndarray:
+    """Slice ``truth[:, start : start+horizon]``, extending the last column.
+
+    Ground-truth matrices end at period ``K``; near the end of a run a
+    window may extend past the data, in which case the final column is held
+    constant (the same convention as :class:`repro.prediction.oracle.OraclePredictor`).
+
+    Args:
+        truth: ``(S, K)`` ground-truth matrix.
+        start: first column of the window.
+        horizon: window length (>= 1).
+
+    Returns:
+        Array of shape ``(S, horizon)``.
+    """
+    truth = np.asarray(truth, dtype=float)
+    if truth.ndim != 2 or truth.shape[1] == 0:
+        raise ValueError(f"truth must be (S, K>=1), got {truth.shape}")
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    if start < 0:
+        raise ValueError(f"start must be >= 0, got {start}")
+    total = truth.shape[1]
+    columns = [truth[:, min(start + step, total - 1)] for step in range(horizon)]
+    return np.stack(columns, axis=1)

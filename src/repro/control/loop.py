@@ -1,0 +1,131 @@
+"""Closed-loop simulation: MPC controller vs. realized demand and prices.
+
+The controller sees only past observations (through its predictors); the
+loop then scores each applied move against the *realized* next-period
+demand and price — so prediction error shows up as either over-provisioning
+cost or SLA shortfall, exactly the trade-off Figures 9/10 explore.
+
+Period convention: at period ``k`` the controller observes ``(D_k, p_k)``,
+moves to ``x_{k+1}``, and that allocation serves the realized demand
+``D_{k+1}`` at realized prices ``p_{k+1}``.  A run over a ``(V, K)`` demand
+matrix therefore performs ``K - 1`` control steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.horizon import effective_horizon
+from repro.control.mpc import MPCController, MPCStep
+from repro.core.costs import CostBreakdown
+from repro.core.state import Trajectory
+
+
+@dataclass(frozen=True)
+class ClosedLoopResult:
+    """Everything a closed-loop run produced.
+
+    Attributes:
+        trajectory: realized states/controls over the run.
+        costs: realized cost audit (allocation at realized prices +
+            reconfiguration).
+        unmet_demand: shape ``(K-1, V)`` — positive where the realized
+            demand exceeded what the allocation could serve under the SLA
+            (prediction shortfall); zero when the SLA was met.
+        realized_demand: the ``(V, K)`` demand the run was scored against.
+        realized_prices: the ``(L, K)`` prices the run was scored against.
+        steps: per-period controller outputs (forecasts, plans).
+    """
+
+    trajectory: Trajectory
+    costs: CostBreakdown
+    unmet_demand: np.ndarray
+    realized_demand: np.ndarray
+    realized_prices: np.ndarray
+    steps: tuple[MPCStep, ...]
+
+    @property
+    def total_cost(self) -> float:
+        return self.costs.total
+
+    @property
+    def total_unmet_demand(self) -> float:
+        return float(self.unmet_demand.sum())
+
+    @property
+    def sla_violation_periods(self) -> int:
+        """Number of periods with any unmet demand."""
+        return int(np.any(self.unmet_demand > 1e-9, axis=1).sum())
+
+    def servers_per_datacenter(self) -> np.ndarray:
+        """Allocation per data center over time, shape ``(K-1, L)``."""
+        return self.trajectory.servers_per_datacenter()
+
+
+def run_closed_loop(
+    controller: MPCController,
+    demand: np.ndarray,
+    prices: np.ndarray,
+) -> ClosedLoopResult:
+    """Drive ``controller`` over realized ``demand``/``prices`` trajectories.
+
+    Args:
+        controller: a (fresh or reset) MPC controller.
+        demand: realized demand, shape ``(V, K)`` with ``K >= 2``.
+        prices: realized per-server prices, shape ``(L, K)``.
+
+    Returns:
+        The :class:`ClosedLoopResult`.
+
+    Raises:
+        ValueError: on shape mismatches or too-short runs.
+        DSPPInfeasibleError: if some period's forecast cannot be served.
+    """
+    demand = np.asarray(demand, dtype=float)
+    prices = np.asarray(prices, dtype=float)
+    instance = controller.instance
+    V, L = instance.num_locations, instance.num_datacenters
+    if demand.ndim != 2 or demand.shape[0] != V:
+        raise ValueError(f"demand must be ({V}, K), got {demand.shape}")
+    K = demand.shape[1]
+    if K < 2:
+        raise ValueError("need at least 2 periods (one observation, one step)")
+    if prices.shape != (L, K):
+        raise ValueError(f"prices must be ({L}, {K}), got {prices.shape}")
+
+    num_steps = K - 1
+    initial_state = controller.state
+    coeff = instance.demand_coefficients  # (L, V)
+
+    states = np.empty((num_steps, L, V))
+    controls = np.empty((num_steps, L, V))
+    unmet = np.zeros((num_steps, V))
+    steps: list[MPCStep] = []
+
+    for k in range(num_steps):
+        horizon = effective_horizon(controller.config.window, k, num_steps)
+        step = controller.step(demand[:, k], prices[:, k], horizon=horizon)
+        steps.append(step)
+        states[k] = step.new_state
+        controls[k] = step.applied_control
+        served_capacity = (coeff * step.new_state).sum(axis=0)  # (V,)
+        unmet[k] = np.maximum(demand[:, k + 1] - served_capacity, 0.0)
+
+    trajectory = Trajectory(
+        initial_state=initial_state, states=states, controls=controls
+    )
+    from repro.core.costs import total_cost
+
+    costs = total_cost(
+        states, controls, prices[:, 1:], instance.reconfiguration_weights
+    )
+    return ClosedLoopResult(
+        trajectory=trajectory,
+        costs=costs,
+        unmet_demand=unmet,
+        realized_demand=demand.copy(),
+        realized_prices=prices.copy(),
+        steps=tuple(steps),
+    )

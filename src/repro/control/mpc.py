@@ -1,0 +1,199 @@
+"""The MPC resource controller (Algorithm 1 of the paper).
+
+At the beginning of each control period ``k`` the controller:
+
+1. feeds the newly observed demand and price vectors to its predictors,
+2. forecasts both for the window ``[k+1, ..., k+W]``,
+3. solves the DSPP over that window starting from the current state, and
+4. applies only the first move ``u_{k|k}`` (eq. 2), discarding the rest.
+
+The controller is deliberately ignorant of ground truth: everything it
+knows arrives through :meth:`MPCController.step`'s observation arguments,
+which makes it directly reusable inside the multi-provider game (where the
+coordinator additionally swaps out the capacity vector between rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dspp import DSPPSolution, solve_dspp
+from repro.core.instance import DSPPInstance
+from repro.prediction.base import Predictor
+from repro.solvers.qp import QPSettings, QPSolution
+
+
+@dataclass
+class MPCConfig:
+    """Controller configuration.
+
+    Attributes:
+        window: prediction horizon ``W`` (>= 1).
+        qp_settings: solver settings forwarded to each DSPP solve.
+        warm_start: reuse each period's QP solution to seed the next solve
+            (valid because consecutive windows have identical shape).
+        slack_penalty: if set, each horizon solve uses the *elastic* DSPP
+            (demand shortfall allowed at this per-unit cost).  This keeps
+            the controller solvable when forecasts exceed what capacity or
+            ramping can serve, and lets it spread large ramps over several
+            periods — the behaviour behind the paper's horizon-length
+            studies (Figures 9 and 10).
+    """
+
+    window: int = 3
+    qp_settings: QPSettings | None = None
+    warm_start: bool = True
+    slack_penalty: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.slack_penalty is not None and self.slack_penalty <= 0:
+            raise ValueError(
+                f"slack_penalty must be positive, got {self.slack_penalty}"
+            )
+
+
+@dataclass(frozen=True)
+class MPCStep:
+    """Outcome of one control period.
+
+    Attributes:
+        period: zero-based control period index.
+        applied_control: ``u_{k|k}``, shape ``(L, V)``.
+        new_state: ``x_{k+1}``, shape ``(L, V)``.
+        predicted_demand: the demand forecast used, shape ``(V, W)``.
+        predicted_prices: the price forecast used, shape ``(L, W)``.
+        solution: the full horizon solution (plans beyond the first move
+            are informational only).
+    """
+
+    period: int
+    applied_control: np.ndarray
+    new_state: np.ndarray
+    predicted_demand: np.ndarray
+    predicted_prices: np.ndarray
+    solution: DSPPSolution
+
+
+class MPCController:
+    """Receding-horizon controller for one service provider.
+
+    Args:
+        instance: static problem data; its ``initial_state`` seeds the
+            controller state.
+        demand_predictor: forecaster over the ``V`` demand series.
+        price_predictor: forecaster over the ``L`` price series.
+        config: horizon and solver settings.
+
+    Raises:
+        ValueError: if predictor dimensions do not match the instance.
+    """
+
+    def __init__(
+        self,
+        instance: DSPPInstance,
+        demand_predictor: Predictor,
+        price_predictor: Predictor,
+        config: MPCConfig | None = None,
+    ) -> None:
+        if demand_predictor.num_series != instance.num_locations:
+            raise ValueError(
+                f"demand predictor covers {demand_predictor.num_series} series, "
+                f"instance has {instance.num_locations} locations"
+            )
+        if price_predictor.num_series != instance.num_datacenters:
+            raise ValueError(
+                f"price predictor covers {price_predictor.num_series} series, "
+                f"instance has {instance.num_datacenters} data centers"
+            )
+        self.instance = instance
+        self.demand_predictor = demand_predictor
+        self.price_predictor = price_predictor
+        self.config = config or MPCConfig()
+        self._state = instance.initial_state.copy()
+        self._period = 0
+        self._last_qp: QPSolution | None = None
+
+    @property
+    def state(self) -> np.ndarray:
+        """Current allocation ``x_k``, shape ``(L, V)`` (copy)."""
+        return self._state.copy()
+
+    @property
+    def period(self) -> int:
+        """Zero-based index of the next control period."""
+        return self._period
+
+    def set_capacities(self, capacities: np.ndarray) -> None:
+        """Replace the capacity vector (the game coordinator's quota)."""
+        self.instance = self.instance.with_capacities(np.asarray(capacities, dtype=float))
+
+    def reset(self, state: np.ndarray | None = None) -> None:
+        """Restart from ``state`` (default: the instance's initial state)."""
+        self._state = (
+            np.asarray(state, dtype=float).copy()
+            if state is not None
+            else self.instance.initial_state.copy()
+        )
+        self._period = 0
+        self._last_qp = None
+        self.demand_predictor.reset()
+        self.price_predictor.reset()
+
+    def step(
+        self,
+        observed_demand: np.ndarray,
+        observed_prices: np.ndarray,
+        horizon: int | None = None,
+    ) -> MPCStep:
+        """Run one iteration of Algorithm 1.
+
+        Args:
+            observed_demand: demand vector realized in the period just
+                beginning, length ``V`` (the monitoring module's report).
+            observed_prices: current per-server prices, length ``L``.
+            horizon: override of the window length for this step (used to
+                clamp near the end of a finite run).
+
+        Returns:
+            The :class:`MPCStep`; the controller's internal state advances
+            to ``x_{k+1}``.
+
+        Raises:
+            DSPPInfeasibleError: if the forecast demand cannot be served.
+        """
+        window = horizon if horizon is not None else self.config.window
+        if window < 1:
+            raise ValueError(f"horizon must be >= 1, got {window}")
+        self.demand_predictor.observe(observed_demand)
+        self.price_predictor.observe(observed_prices)
+        predicted_demand = self.demand_predictor.predict(window)
+        predicted_prices = self.price_predictor.predict(window)
+
+        instance_now = self.instance.with_initial_state(self._state)
+        warm = self._last_qp if self.config.warm_start else None
+        solution = solve_dspp(
+            instance_now,
+            predicted_demand,
+            predicted_prices,
+            settings=self.config.qp_settings,
+            warm_start=warm,
+            demand_slack_penalty=self.config.slack_penalty,
+        )
+        self._last_qp = solution.qp
+
+        control = solution.first_control
+        self._state = np.maximum(self._state + control, 0.0)
+        step = MPCStep(
+            period=self._period,
+            applied_control=control,
+            new_state=self._state.copy(),
+            predicted_demand=predicted_demand,
+            predicted_prices=predicted_prices,
+            solution=solution,
+        )
+        self._period += 1
+        return step

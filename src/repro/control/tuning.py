@@ -1,0 +1,106 @@
+"""MPC window selection by historical replay.
+
+The paper's closing observation: "the optimal prediction horizon length
+is highly dependent on the accuracy of the prediction model" — long
+windows help when forecasts are good (Figure 10) and hurt when they are
+not (Figure 9).  That makes the window a *tunable*, and the natural tuner
+is counterfactual replay: run short closed loops over recent history with
+each candidate window, score realized cost plus shortfall penalty, and
+pick the winner.
+
+:func:`select_window` is that tuner.  It needs a predictor *factory* (a
+fresh forecaster per trial — reusing one would leak state between
+candidates) and scores every candidate on the same data, so the choice is
+an honest like-for-like comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.control.loop import run_closed_loop
+from repro.control.mpc import MPCConfig, MPCController
+from repro.core.instance import DSPPInstance
+from repro.prediction.base import Predictor
+
+PredictorPairFactory = Callable[[], tuple[Predictor, Predictor]]
+
+
+@dataclass(frozen=True)
+class WindowSelection:
+    """Outcome of the window search.
+
+    Attributes:
+        best_window: the cost-minimizing candidate.
+        scores: effective cost (realized + shortfall penalty) per
+            candidate, in candidate order.
+        candidates: the windows tried.
+    """
+
+    best_window: int
+    scores: np.ndarray
+    candidates: tuple[int, ...]
+
+    def score_of(self, window: int) -> float:
+        """The replay score of one candidate."""
+        return float(self.scores[self.candidates.index(window)])
+
+
+def select_window(
+    instance: DSPPInstance,
+    history_demand: np.ndarray,
+    history_prices: np.ndarray,
+    predictor_factory: PredictorPairFactory,
+    candidates: tuple[int, ...] = (1, 2, 3, 4, 6, 8),
+    slack_penalty: float = 100.0,
+) -> WindowSelection:
+    """Pick the MPC window by replaying history with each candidate.
+
+    Args:
+        instance: the problem the controller will run on (its
+            ``initial_state`` seeds every trial identically).
+        history_demand: recent realized demand, shape ``(V, K)`` with
+            ``K >= 2``.
+        history_prices: matching realized prices, shape ``(L, K)``.
+        predictor_factory: builds a fresh ``(demand, price)`` predictor
+            pair per trial.
+        candidates: windows to try (all >= 1).
+        slack_penalty: elastic shortfall penalty used both inside the
+            controller and in the replay score, so cheap-but-lossy windows
+            cannot win by dropping demand.
+
+    Returns:
+        The :class:`WindowSelection` (ties break toward the *shorter*
+        window — cheaper to solve, less exposure to forecast error).
+
+    Raises:
+        ValueError: on an empty candidate list or bad candidate values.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate window")
+    if any(w < 1 for w in candidates):
+        raise ValueError("candidate windows must be >= 1")
+
+    scores = np.empty(len(candidates))
+    for index, window in enumerate(candidates):
+        demand_predictor, price_predictor = predictor_factory()
+        controller = MPCController(
+            instance,
+            demand_predictor,
+            price_predictor,
+            MPCConfig(window=window, slack_penalty=slack_penalty),
+        )
+        result = run_closed_loop(controller, history_demand, history_prices)
+        scores[index] = result.total_cost + slack_penalty * result.total_unmet_demand
+
+    # Prefer the shortest window within 0.5% of the minimum score.
+    threshold = scores.min() * 1.005 + 1e-12
+    eligible = [w for w, s in zip(candidates, scores) if s <= threshold]
+    return WindowSelection(
+        best_window=min(eligible),
+        scores=scores,
+        candidates=tuple(candidates),
+    )

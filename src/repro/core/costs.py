@@ -1,0 +1,91 @@
+"""The paper's cost functionals: ``H_k`` (eq. 3), ``G_k`` (eq. 4), ``J``.
+
+These are pure accounting functions — they evaluate costs of *given*
+trajectories, independently of how the trajectory was produced (exact
+solve, MPC closed loop, or a baseline), so every comparison in the
+experiments is scored by the same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def allocation_cost(states: np.ndarray, prices: np.ndarray) -> np.ndarray:
+    """Per-period resource cost ``H_k = sum_lv x_k^{lv} p_k^l`` (eq. 3).
+
+    Args:
+        states: ``(T, L, V)`` server allocations.
+        prices: ``(L, T)`` per-server prices.
+
+    Returns:
+        Array of shape ``(T,)``.
+    """
+    states = np.asarray(states, dtype=float)
+    prices = np.asarray(prices, dtype=float)
+    if states.ndim != 3:
+        raise ValueError(f"states must be (T, L, V), got {states.shape}")
+    T, L, _ = states.shape
+    if prices.shape != (L, T):
+        raise ValueError(f"prices must be ({L}, {T}), got {prices.shape}")
+    per_dc = states.sum(axis=2)  # (T, L)
+    return np.einsum("tl,lt->t", per_dc, prices)
+
+
+def reconfiguration_cost(controls: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Per-period reconfiguration cost ``G_k = sum_lv c^l (u_k^{lv})^2`` (eq. 4).
+
+    Args:
+        controls: ``(T, L, V)`` control moves.
+        weights: ``(L,)`` quadratic weights ``c^l``.
+
+    Returns:
+        Array of shape ``(T,)``.
+    """
+    controls = np.asarray(controls, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if controls.ndim != 3:
+        raise ValueError(f"controls must be (T, L, V), got {controls.shape}")
+    if weights.shape != (controls.shape[1],):
+        raise ValueError(
+            f"weights must be ({controls.shape[1]},), got {weights.shape}"
+        )
+    return np.einsum("l,tlv->t", weights, controls**2)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Cost audit of one trajectory.
+
+    Attributes:
+        allocation_per_period: ``H_k`` series, shape ``(T,)``.
+        reconfiguration_per_period: ``G_k`` series, shape ``(T,)``.
+    """
+
+    allocation_per_period: np.ndarray
+    reconfiguration_per_period: np.ndarray
+
+    @property
+    def allocation_total(self) -> float:
+        return float(self.allocation_per_period.sum())
+
+    @property
+    def reconfiguration_total(self) -> float:
+        return float(self.reconfiguration_per_period.sum())
+
+    @property
+    def total(self) -> float:
+        """The objective ``J`` (Section IV-D)."""
+        return self.allocation_total + self.reconfiguration_total
+
+
+def total_cost(
+    states: np.ndarray, controls: np.ndarray, prices: np.ndarray, weights: np.ndarray
+) -> CostBreakdown:
+    """Full cost audit ``J = sum_k (H_k + G_k)`` of one trajectory."""
+    return CostBreakdown(
+        allocation_per_period=allocation_cost(states, prices),
+        reconfiguration_per_period=reconfiguration_cost(controls, weights),
+    )

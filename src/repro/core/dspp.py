@@ -1,0 +1,141 @@
+"""Exact finite-horizon solution of the DSPP (Section IV-D).
+
+``solve_dspp`` assembles the stacked sparse QP and hands it to the ADMM
+solver; the result is unpacked into state/control trajectories, audited
+costs and the capacity duals that Algorithm 2's coordinator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.costs import CostBreakdown, total_cost
+from repro.core.instance import DSPPInstance
+from repro.core.matrices import build_stacked_qp
+from repro.core.state import Trajectory
+from repro.solvers.qp import QPSettings, QPSolution, QPStatus, solve_qp
+
+
+class DSPPInfeasibleError(RuntimeError):
+    """The instance admits no feasible allocation (demand exceeds what the
+    capacities can serve under the SLA, over the given horizon)."""
+
+
+@dataclass(frozen=True)
+class DSPPSolution:
+    """Solution of one finite-horizon DSPP solve.
+
+    Attributes:
+        trajectory: consistent states ``x_1..x_T`` and controls
+            ``u_0..u_{T-1}``.
+        costs: audited ``H``/``G`` breakdown over the horizon.
+        capacity_duals: shape ``(T, L)`` — the multipliers ``lambda^l`` of
+            the capacity constraints (what each provider reports to the
+            coordinator in Algorithm 2).
+        demand_slack: shape ``(T, V)`` — unmet demand in elastic mode (all
+            zeros for the standard hard-constrained problem).
+        slack_penalty: the per-unit penalty used (``None`` if inelastic).
+        qp: the raw QP solution (iterations, residuals).
+    """
+
+    trajectory: Trajectory
+    costs: CostBreakdown
+    capacity_duals: np.ndarray
+    demand_slack: np.ndarray
+    slack_penalty: float | None
+    qp: QPSolution
+
+    @property
+    def objective(self) -> float:
+        """The DSPP objective ``J`` over the horizon, including any
+        shortfall penalty paid in elastic mode."""
+        penalty = 0.0
+        if self.slack_penalty is not None:
+            penalty = self.slack_penalty * float(self.demand_slack.sum())
+        return self.costs.total + penalty
+
+    @property
+    def first_control(self) -> np.ndarray:
+        """``u_{k|k}`` — the only move MPC actually applies, shape ``(L, V)``."""
+        return self.trajectory.controls[0].copy()
+
+
+def solve_dspp(
+    instance: DSPPInstance,
+    demand: np.ndarray,
+    prices: np.ndarray,
+    settings: QPSettings | None = None,
+    warm_start: QPSolution | None = None,
+    demand_slack_penalty: float | None = None,
+) -> DSPPSolution:
+    """Solve the DSPP for ``T`` future periods.
+
+    Args:
+        instance: static problem data, including the current state ``x_0``.
+        demand: forecast demand for periods ``1..T``, shape ``(V, T)``.
+        prices: per-server prices for periods ``1..T``, shape ``(L, T)``.
+        settings: QP solver settings (defaults are tuned for DSPP scale).
+        warm_start: previous same-shaped QP solution (receding-horizon
+            solves are nearly identical period over period, so warm starts
+            cut iterations dramatically).
+        demand_slack_penalty: if given, solve the *elastic* variant where
+            demand shortfall is allowed at this linear per-unit penalty
+            (used by the best-response game dynamics; see
+            :mod:`repro.core.matrices`).
+
+    Returns:
+        The :class:`DSPPSolution`.
+
+    Raises:
+        DSPPInfeasibleError: if the QP is primal infeasible (demand cannot
+            be served within capacity under the SLA).
+        RuntimeError: if the solver fails to converge.
+    """
+    stacked = build_stacked_qp(
+        instance, demand, prices, demand_slack_penalty=demand_slack_penalty
+    )
+    qp_solution = solve_qp(
+        stacked.P,
+        stacked.q,
+        stacked.A,
+        stacked.l,
+        stacked.u,
+        settings=settings,
+        warm_start=warm_start,
+    )
+    if qp_solution.status is QPStatus.PRIMAL_INFEASIBLE:
+        raise DSPPInfeasibleError(
+            "DSPP infeasible: forecast demand exceeds SLA-feasible capacity"
+        )
+    if qp_solution.status is not QPStatus.OPTIMAL:
+        raise RuntimeError(
+            f"QP solver failed with status {qp_solution.status.value} after "
+            f"{qp_solution.iterations} iterations "
+            f"(primal residual {qp_solution.primal_residual:.2e}, "
+            f"dual residual {qp_solution.dual_residual:.2e})"
+        )
+
+    states, controls, slack = stacked.indexer.unstack(qp_solution.x)
+    # ADMM feasibility is approximate; tiny negative allocations are noise.
+    states = np.maximum(states, 0.0)
+    slack = np.maximum(slack, 0.0)
+    # Re-derive controls from the cleaned states so the trajectory is exactly
+    # consistent with the state equation.
+    prev = np.concatenate([instance.initial_state[None], states[:-1]], axis=0)
+    controls = states - prev
+
+    trajectory = Trajectory(
+        initial_state=instance.initial_state.copy(), states=states, controls=controls
+    )
+    costs = total_cost(states, controls, np.asarray(prices, dtype=float), instance.reconfiguration_weights)
+    duals = stacked.capacity_duals(qp_solution.y)
+    return DSPPSolution(
+        trajectory=trajectory,
+        costs=costs,
+        capacity_duals=duals,
+        demand_slack=slack,
+        slack_penalty=demand_slack_penalty,
+        qp=qp_solution,
+    )

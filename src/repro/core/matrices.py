@@ -1,0 +1,296 @@
+"""Vectorization of the DSPP into the stacked LQ form of Section IV-D.
+
+The finite-horizon DSPP over ``T`` future periods becomes one sparse QP in
+the stacked variable ``z = [x_1, ..., x_T, u_0, ..., u_{T-1}]`` where each
+``x_t`` and ``u_t`` is an ``(L*V,)`` block in pair-major order::
+
+    minimize    sum_t p_t' x_t + u_t' R u_t
+    subject to  x_t = x_{t-1} + u_{t-1}                (dynamics, eq. 2)
+                sum_l x_t[l,v] / a_lv >= D_t[v]        (demand, eq. 12)
+                s * sum_v x_t[l,v] <= C_l              (capacity, eq. 6/16)
+                x_t >= 0
+
+``x_0`` is the (known) current state, so only ``x_1..x_T`` are variables;
+the period-0 holding cost ``p_0' x_0`` is a constant and excluded from the
+QP (re-added by the cost accounting layer).
+
+When a ``demand_slack_penalty`` is given, the demand constraint becomes
+*elastic*: nonnegative slack variables ``w_t[v]`` are appended so that
+``sum_l x_t[l,v]/a_lv + w_t[v] >= D_t[v]`` with cost ``penalty * w``.  The
+multi-provider best-response dynamics need this — early coordination rounds
+can hand a provider a quota below its demand, and the elastic problem stays
+solvable while still reporting meaningful capacity duals for the
+coordinator to act on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.instance import DSPPInstance
+
+
+@dataclass(frozen=True)
+class PairIndexer:
+    """Flat indexing of (data center, location) pairs and time blocks.
+
+    Layout: pair ``(l, v)`` sits at flat index ``l * V + v``; time block
+    ``t`` of the ``x`` variables starts at ``t * L * V``; the ``u`` blocks
+    follow all ``x`` blocks.
+    """
+
+    num_datacenters: int
+    num_locations: int
+    num_steps: int
+
+    elastic: bool = False
+
+    @property
+    def pairs_per_step(self) -> int:
+        return self.num_datacenters * self.num_locations
+
+    @property
+    def num_variables(self) -> int:
+        base = 2 * self.num_steps * self.pairs_per_step
+        if self.elastic:
+            base += self.num_steps * self.num_locations
+        return base
+
+    def pair(self, datacenter: int, location: int) -> int:
+        return datacenter * self.num_locations + location
+
+    def x_index(self, step: int, datacenter: int, location: int) -> int:
+        """Flat index of ``x_{step+1}[l, v]`` (step 0 = first future state)."""
+        return step * self.pairs_per_step + self.pair(datacenter, location)
+
+    def u_index(self, step: int, datacenter: int, location: int) -> int:
+        """Flat index of ``u_step[l, v]``."""
+        offset = self.num_steps * self.pairs_per_step
+        return offset + step * self.pairs_per_step + self.pair(datacenter, location)
+
+    def slack_index(self, step: int, location: int) -> int:
+        """Flat index of the demand slack ``w_step[v]`` (elastic mode only)."""
+        if not self.elastic:
+            raise ValueError("this layout has no slack variables")
+        offset = 2 * self.num_steps * self.pairs_per_step
+        return offset + step * self.num_locations + location
+
+    def unstack(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Split a stacked solution into ``(x, u, w)`` arrays.
+
+        ``x`` and ``u`` have shape ``(T, L, V)``; ``w`` (the demand slack)
+        has shape ``(T, V)`` and is all zeros for inelastic layouts.
+        """
+        T = self.num_steps
+        L, V = self.num_datacenters, self.num_locations
+        half = T * L * V
+        x = z[:half].reshape(T, L, V).copy()
+        u = z[half : 2 * half].reshape(T, L, V).copy()
+        if self.elastic:
+            w = z[2 * half :].reshape(T, V).copy()
+        else:
+            w = np.zeros((T, V))
+        return x, u, w
+
+
+@dataclass(frozen=True)
+class StackedQP:
+    """The assembled sparse QP plus the metadata to interpret its solution.
+
+    Attributes:
+        P, q, A, l, u: the QP data (see :mod:`repro.solvers.qp`).
+        indexer: variable layout.
+        constant_cost: the ``p_0' x_0`` holding cost of the current period,
+            excluded from ``q`` but part of the reported objective.
+        demand_row_offset: first row of the demand constraints in ``A``.
+        capacity_row_offset: first row of the capacity constraints.
+        nonneg_row_offset: first row of the ``x >= 0`` constraints.
+    """
+
+    P: sp.csc_matrix
+    q: np.ndarray
+    A: sp.csc_matrix
+    l: np.ndarray
+    u: np.ndarray
+    indexer: PairIndexer
+    constant_cost: float
+    demand_row_offset: int
+    capacity_row_offset: int
+    nonneg_row_offset: int
+
+    def capacity_duals(self, y: np.ndarray) -> np.ndarray:
+        """Extract the capacity-constraint duals ``lambda_l`` per step.
+
+        Args:
+            y: the full dual vector of the QP solution.
+
+        Returns:
+            Array of shape ``(T, L)``; nonnegative (upper-bound multipliers).
+        """
+        T = self.indexer.num_steps
+        L = self.indexer.num_datacenters
+        rows = y[self.capacity_row_offset : self.capacity_row_offset + T * L]
+        return np.maximum(rows, 0.0).reshape(T, L)
+
+
+def build_stacked_qp(
+    instance: DSPPInstance,
+    demand: np.ndarray,
+    prices: np.ndarray,
+    demand_slack_penalty: float | None = None,
+) -> StackedQP:
+    """Assemble the sparse QP for ``T`` future periods.
+
+    Args:
+        instance: static problem data (including the current state ``x_0``).
+        demand: forecast demand ``D_t`` for ``t = 1..T``, shape ``(V, T)``.
+        prices: per-server prices ``p_t`` for ``t = 1..T``, shape ``(L, T)``.
+            (The price paid *during* period ``t`` for servers held then.)
+        demand_slack_penalty: if given (> 0), demand constraints become
+            elastic with this linear per-unit shortfall penalty.
+
+    Returns:
+        The :class:`StackedQP`.
+
+    Raises:
+        ValueError: on shape mismatches, negative demand/prices, or a
+            non-positive slack penalty.
+    """
+    demand = np.asarray(demand, dtype=float)
+    prices = np.asarray(prices, dtype=float)
+    L, V = instance.num_datacenters, instance.num_locations
+    if demand.ndim != 2 or demand.shape[0] != V:
+        raise ValueError(f"demand must be ({V}, T), got {demand.shape}")
+    T = demand.shape[1]
+    if T < 1:
+        raise ValueError("need at least one future period")
+    if prices.shape != (L, T):
+        raise ValueError(f"prices must be ({L}, {T}), got {prices.shape}")
+    if np.any(demand < 0):
+        raise ValueError("demand must be nonnegative")
+    if np.any(prices < 0):
+        raise ValueError("prices must be nonnegative")
+    if demand_slack_penalty is not None and demand_slack_penalty <= 0:
+        raise ValueError(
+            f"demand_slack_penalty must be positive, got {demand_slack_penalty}"
+        )
+    elastic = demand_slack_penalty is not None
+
+    indexer = PairIndexer(
+        num_datacenters=L, num_locations=V, num_steps=T, elastic=elastic
+    )
+    n_pairs = indexer.pairs_per_step
+    n_vars = indexer.num_variables
+    half = T * n_pairs
+    n_slack = T * V if elastic else 0
+
+    # Quadratic cost: u_t' R u_t with R = diag(c_l) per pair -> P_uu = 2R.
+    recon = np.repeat(instance.reconfiguration_weights, V)  # (L*V,) pair-major
+    p_diag = np.concatenate(
+        [np.zeros(half), np.tile(2.0 * recon, T), np.zeros(n_slack)]
+    )
+    P = sp.diags(p_diag, format="csc")
+
+    # Linear cost: p_t^l on every x_t[l, v]; the shortfall penalty on slack.
+    q = np.zeros(n_vars)
+    for t in range(T):
+        q[t * n_pairs : (t + 1) * n_pairs] = np.repeat(prices[:, t], V)
+    if elastic:
+        q[2 * half :] = demand_slack_penalty
+
+    x0_flat = instance.initial_state.reshape(-1)
+    coeff = instance.demand_coefficients  # (L, V), zeros for unusable pairs
+
+    rows: list[sp.spmatrix] = []
+    lowers: list[np.ndarray] = []
+    uppers: list[np.ndarray] = []
+
+    # Dynamics: x_t - x_{t-1} - u_{t-1} = 0  (x_0 constant moves to rhs).
+    eye = sp.identity(n_pairs, format="csc")
+    dyn_blocks = sp.lil_matrix((T * n_pairs, n_vars))
+    dyn_rhs = np.zeros(T * n_pairs)
+    for t in range(T):
+        r0 = t * n_pairs
+        dyn_blocks[r0 : r0 + n_pairs, t * n_pairs : (t + 1) * n_pairs] = eye
+        if t > 0:
+            dyn_blocks[r0 : r0 + n_pairs, (t - 1) * n_pairs : t * n_pairs] = -eye
+        else:
+            dyn_rhs[r0 : r0 + n_pairs] = x0_flat
+        dyn_blocks[r0 : r0 + n_pairs, half + t * n_pairs : half + (t + 1) * n_pairs] = -eye
+    rows.append(dyn_blocks.tocsc())
+    lowers.append(dyn_rhs)
+    uppers.append(dyn_rhs)
+    dynamics_rows = T * n_pairs
+
+    # Demand: sum_l coeff[l, v] * x_t[l, v] (+ w_t[v] if elastic) >= D_t[v].
+    demand_block = sp.lil_matrix((T * V, n_vars))
+    demand_lower = np.empty(T * V)
+    for t in range(T):
+        for v in range(V):
+            row = t * V + v
+            for l in range(L):
+                c = coeff[l, v]
+                if c > 0.0:
+                    demand_block[row, indexer.x_index(t, l, v)] = c
+            if elastic:
+                demand_block[row, indexer.slack_index(t, v)] = 1.0
+            demand_lower[row] = demand[v, t]
+    rows.append(demand_block.tocsc())
+    lowers.append(demand_lower)
+    uppers.append(np.full(T * V, np.inf))
+    demand_row_offset = dynamics_rows
+
+    # Capacity: s * sum_v x_t[l, v] <= C_l.
+    capacity_block = sp.lil_matrix((T * L, n_vars))
+    capacity_upper = np.empty(T * L)
+    for t in range(T):
+        for l in range(L):
+            row = t * L + l
+            start = indexer.x_index(t, l, 0)
+            capacity_block[row, start : start + V] = instance.server_size
+            capacity_upper[row] = instance.capacities[l]
+    rows.append(capacity_block.tocsc())
+    lowers.append(np.full(T * L, -np.inf))
+    uppers.append(capacity_upper)
+    capacity_row_offset = demand_row_offset + T * V
+
+    # Nonnegativity of x and of the slack (u is free).
+    nonneg_block = sp.hstack(
+        [
+            sp.identity(half, format="csc"),
+            sp.csc_matrix((half, half + n_slack)),
+        ],
+        format="csc",
+    )
+    rows.append(nonneg_block)
+    lowers.append(np.zeros(half))
+    uppers.append(np.full(half, np.inf))
+    nonneg_row_offset = capacity_row_offset + T * L
+    if elastic:
+        slack_block = sp.hstack(
+            [sp.csc_matrix((n_slack, 2 * half)), sp.identity(n_slack, format="csc")],
+            format="csc",
+        )
+        rows.append(slack_block)
+        lowers.append(np.zeros(n_slack))
+        uppers.append(np.full(n_slack, np.inf))
+
+    A = sp.vstack(rows, format="csc")
+    l_vec = np.concatenate(lowers)
+    u_vec = np.concatenate(uppers)
+
+    return StackedQP(
+        P=P,
+        q=q,
+        A=A,
+        l=l_vec,
+        u=u_vec,
+        indexer=indexer,
+        constant_cost=0.0,
+        demand_row_offset=demand_row_offset,
+        capacity_row_offset=capacity_row_offset,
+        nonneg_row_offset=nonneg_row_offset,
+    )

@@ -1,0 +1,80 @@
+"""State equation (eq. 2) and trajectory containers.
+
+``x_{k+1} = x_k + u_k`` per (data center, location) pair; a
+:class:`Trajectory` bundles the state and control sequences of one solved
+or simulated run and checks their mutual consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_CONSISTENCY_ATOL = 1e-6
+
+
+def roll_out_states(initial_state: np.ndarray, controls: np.ndarray) -> np.ndarray:
+    """Apply eq. 2 repeatedly: states after each control.
+
+    Args:
+        initial_state: ``x_0``, shape ``(L, V)``.
+        controls: ``u_0..u_{T-1}``, shape ``(T, L, V)``.
+
+    Returns:
+        States ``x_1..x_T``, shape ``(T, L, V)``.
+    """
+    initial_state = np.asarray(initial_state, dtype=float)
+    controls = np.asarray(controls, dtype=float)
+    if controls.ndim != 3 or controls.shape[1:] != initial_state.shape:
+        raise ValueError(
+            f"controls shape {controls.shape} incompatible with state "
+            f"{initial_state.shape}"
+        )
+    return initial_state[None, :, :] + np.cumsum(controls, axis=0)
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A consistent (state, control) trajectory.
+
+    Attributes:
+        initial_state: ``x_0``, shape ``(L, V)``.
+        states: ``x_1..x_T``, shape ``(T, L, V)``.
+        controls: ``u_0..u_{T-1}``, shape ``(T, L, V)``.
+    """
+
+    initial_state: np.ndarray
+    states: np.ndarray
+    controls: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.states.shape != self.controls.shape:
+            raise ValueError("states and controls must have the same shape")
+        if self.states.ndim != 3 or self.states.shape[1:] != self.initial_state.shape:
+            raise ValueError("trajectory blocks must be (T, L, V) matching x0")
+        expected = roll_out_states(self.initial_state, self.controls)
+        if not np.allclose(self.states, expected, atol=_CONSISTENCY_ATOL):
+            worst = float(np.max(np.abs(self.states - expected)))
+            raise ValueError(
+                f"states violate the state equation x_k+1 = x_k + u_k "
+                f"(worst deviation {worst:.2e})"
+            )
+
+    @property
+    def num_steps(self) -> int:
+        return self.states.shape[0]
+
+    def state_at(self, step: int) -> np.ndarray:
+        """``x_step`` with ``step=0`` meaning the initial state."""
+        if step == 0:
+            return self.initial_state.copy()
+        return self.states[step - 1].copy()
+
+    def servers_per_datacenter(self) -> np.ndarray:
+        """``x^l_k = sum_v x^{lv}_k`` (eq. 1) for each step, shape ``(T, L)``."""
+        return self.states.sum(axis=2)
+
+    def total_reconfiguration(self) -> float:
+        """Sum of |u| over the whole trajectory (the Fig. 6 smoothness metric)."""
+        return float(np.abs(self.controls).sum())

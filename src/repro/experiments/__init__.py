@@ -1,0 +1,23 @@
+"""Per-figure reproduction harnesses for the paper's evaluation (Section VII).
+
+Every module exposes a ``run_figN(...)`` function returning a
+:class:`repro.experiments.common.FigureResult` — the x-axis, the plotted
+series and the shape checks the paper's figure supports.  The benchmark
+suite calls these with fast defaults and prints the same rows the paper
+plots; EXPERIMENTS.md records paper-vs-measured for each.
+
+* :mod:`repro.experiments.fig3_prices` — electricity price traces.
+* :mod:`repro.experiments.fig4_demand_tracking` — allocation follows demand.
+* :mod:`repro.experiments.fig5_price_response` — migration under price shift.
+* :mod:`repro.experiments.fig6_horizon_smoothing` — horizon damps churn.
+* :mod:`repro.experiments.fig7_convergence` — game convergence vs players.
+* :mod:`repro.experiments.fig8_horizon_convergence` — horizon speeds it up.
+* :mod:`repro.experiments.fig9_horizon_cost_volatile` — long horizons hurt
+  under volatility.
+* :mod:`repro.experiments.fig10_horizon_cost_constant` — long horizons help
+  under constant inputs.
+"""
+
+from repro.experiments.common import FigureResult, format_figure
+
+__all__ = ["FigureResult", "format_figure"]

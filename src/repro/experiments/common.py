@@ -1,0 +1,103 @@
+"""Shared experiment scaffolding.
+
+A :class:`FigureResult` is the normalized output of every reproduction
+harness: one x-axis, any number of named y-series, plus free-form shape
+checks (``checks``) that encode the qualitative claim the paper's figure
+makes — e.g. "iterations grow with the number of players".  The benchmark
+suite asserts the checks and prints the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FigureResult:
+    """Normalized output of one figure-reproduction run.
+
+    Attributes:
+        figure: identifier, e.g. ``"fig7"``.
+        title: the paper's caption (abbreviated).
+        x_label: name of the x-axis.
+        x: x-axis values.
+        series: named y-series, each the same length as ``x``.
+        checks: named boolean shape checks (the qualitative claims).
+        notes: free-form commentary (parameters, caveats).
+    """
+
+    figure: str
+    title: str
+    x_label: str
+    x: np.ndarray
+    series: dict[str, np.ndarray]
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x)
+        for name, values in list(self.series.items()):
+            values = np.asarray(values)
+            if values.shape[0] != self.x.shape[0]:
+                raise ValueError(
+                    f"series {name!r} has {values.shape[0]} points but the "
+                    f"x-axis has {self.x.shape[0]}"
+                )
+            self.series[name] = values
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def failed_checks(self) -> list[str]:
+        return [name for name, ok in self.checks.items() if not ok]
+
+
+def format_figure(result: FigureResult, float_format: str = "{:.3f}") -> str:
+    """Render a :class:`FigureResult` as an aligned text table."""
+    headers = [result.x_label, *result.series]
+    columns = [result.x, *result.series.values()]
+
+    def _cell(value) -> str:
+        if isinstance(value, (float, np.floating)):
+            return float_format.format(float(value))
+        return str(value)
+
+    rows = [[_cell(col[i]) for col in columns] for i in range(len(result.x))]
+    widths = [
+        max(len(headers[j]), *(len(row[j]) for row in rows)) for j in range(len(headers))
+    ]
+    lines = [f"{result.figure}: {result.title}"]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    if result.checks:
+        lines.append("")
+        for name, ok in result.checks.items():
+            lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+    if result.notes:
+        lines.append(f"  note: {result.notes}")
+    return "\n".join(lines)
+
+
+def is_mostly_decreasing(values: np.ndarray, tolerance: float = 0.0) -> bool:
+    """True if the series trends downward (last < first and few upticks).
+
+    The shape checks tolerate simulation noise: the series must end below
+    where it started, and at least 60% of consecutive steps must not rise
+    by more than ``tolerance``.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size < 2:
+        return True
+    steps = np.diff(values)
+    non_rising = np.mean(steps <= tolerance)
+    return bool(values[-1] < values[0] and non_rising >= 0.6)
+
+
+def is_mostly_increasing(values: np.ndarray, tolerance: float = 0.0) -> bool:
+    """Mirror of :func:`is_mostly_decreasing`."""
+    return is_mostly_decreasing(-np.asarray(values, dtype=float), tolerance=tolerance)

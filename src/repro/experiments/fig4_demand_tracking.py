@@ -1,0 +1,116 @@
+"""Figure 4: impact of demand change on resource allocation.
+
+"The simplest case where there is a single data center responsible for
+requests from a single access network": diurnal Poisson demand over a day,
+and the controller "always tries to adjust the resource allocation
+dynamically to match the demand, while minimizing the change of number of
+servers at each time step".
+
+Shape checks: the allocation is strongly correlated with demand, covers
+it in (almost) every period, and moves *less* abruptly than a purely
+reactive tracker would (the smoothing that motivates the quadratic
+penalty).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control.loop import run_closed_loop
+from repro.control.mpc import MPCConfig, MPCController
+from repro.core.instance import DSPPInstance
+from repro.experiments.common import FigureResult
+from repro.prediction.naive import LastValuePredictor
+from repro.queueing.sla import sla_coefficient
+from repro.workload.diurnal import OnOffEnvelope
+from repro.workload.poisson import nhpp_counts
+
+
+def run_fig4(
+    num_hours: int = 24,
+    peak_rate: float = 600.0,
+    window: int = 4,
+    service_rate: float = 25.0,
+    max_latency_s: float = 0.150,
+    network_latency_s: float = 0.020,
+    reconfiguration_weight: float = 0.3,
+    price: float = 1.0,
+    seed: int = 0,
+) -> FigureResult:
+    """Run the single-DC / single-access-network tracking experiment.
+
+    Args:
+        num_hours: run length (paper: one day).
+        peak_rate: working-hours demand rate (requests/s).
+        window: MPC prediction window.
+        service_rate: per-server ``mu`` (requests/s).
+        max_latency_s: SLA bound in seconds.
+        network_latency_s: the single pair's network latency in seconds.
+        reconfiguration_weight: quadratic weight ``c``.
+        price: constant per-server price (so only demand moves).
+        seed: RNG seed for the Poisson noise.
+
+    Returns:
+        x = hour, series = realized demand rate and allocated servers
+        (MPC and reactive-tracker reference).
+    """
+    rng = np.random.default_rng(seed)
+    hours = np.arange(num_hours, dtype=float)
+    envelope = OnOffEnvelope(low=0.3, ramp_hours=2.0)
+    mean_rates = peak_rate * envelope.factor(hours, utc_offset_hours=0.0)
+    demand = (nhpp_counts(mean_rates, rng) / 1.0).astype(float)[None, :]  # (1, K)
+    prices = np.full((1, num_hours), float(price))
+
+    a = sla_coefficient(network_latency_s, max_latency_s, service_rate)
+    instance = DSPPInstance(
+        datacenters=("dc",),
+        locations=("v",),
+        sla_coefficients=np.array([[a]]),
+        reconfiguration_weights=np.array([float(reconfiguration_weight)]),
+        capacities=np.array([np.inf]),
+        initial_state=np.array([[demand[0, 0] * a]]),
+    )
+
+    # Persistence forecasting: the paper's framework "can work with any
+    # demand prediction technique"; on a hard on/off step an AR model
+    # extrapolates the jump and overshoots wildly, so the tracking study
+    # uses the robust last-value predictor (Figure 9 studies AR itself).
+    controller = MPCController(
+        instance,
+        LastValuePredictor(1),
+        LastValuePredictor(1),
+        MPCConfig(window=window),
+    )
+    result = run_closed_loop(controller, demand, prices)
+    servers = result.servers_per_datacenter()[:, 0]  # (K-1,)
+
+    # Reactive reference: exactly a * last observed demand each period.
+    reactive_servers = a * demand[0, :-1]
+
+    realized = demand[0, 1:]
+    correlation = float(np.corrcoef(servers, realized)[0, 1])
+    coverage = float(np.mean(servers * (1.0 / a) >= realized * (1.0 - 0.15)))
+    mpc_churn = float(np.abs(np.diff(servers)).sum())
+    reactive_churn = float(np.abs(np.diff(reactive_servers)).sum())
+
+    checks = {
+        "allocation tracks demand (corr > 0.75)": correlation > 0.75,
+        "allocation covers demand in >= 80% of periods": coverage >= 0.8,
+        "MPC churns less than reactive tracking": mpc_churn < reactive_churn,
+    }
+    return FigureResult(
+        figure="fig4",
+        title="Impact of demand change on resource allocation (1 DC, 1 access network)",
+        x_label="hour",
+        x=hours[1:],
+        series={
+            "demand_rate": realized,
+            "servers_mpc": servers,
+            "servers_reactive": reactive_servers,
+        },
+        checks=checks,
+        notes=(
+            f"corr={correlation:.3f}, coverage={coverage:.2f}, "
+            f"churn mpc={mpc_churn:.1f} vs reactive={reactive_churn:.1f}"
+        ),
+    )

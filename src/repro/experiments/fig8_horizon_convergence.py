@@ -1,0 +1,95 @@
+"""Figure 8: impact of prediction-horizon length on convergence speed.
+
+"Longer prediction horizon can improve convergence rate" — with a longer
+window each best-response sub-problem internalizes more of the future, so
+the coordinator's quota adjustments settle in fewer rounds.
+
+Reproduced by sweeping the game horizon with a fixed tight-bottleneck
+population; shape check: the iteration count trends downward with the
+horizon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import FigureResult, is_mostly_decreasing
+from repro.game.best_response import BestResponseConfig, compute_equilibrium
+from repro.game.players import random_providers
+
+
+def run_fig8(
+    horizons: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    num_players: int = 5,
+    num_datacenters: int = 3,
+    num_locations: int = 4,
+    bottleneck: float = 150.0,
+    open_capacity: float = 2000.0,
+    demand_scale: float = 250.0,
+    epsilon: float = 1e-4,
+    seed: int = 0,
+) -> FigureResult:
+    """Sweep the game/prediction horizon at fixed population size.
+
+    Each horizon re-generates the same providers (same seed) with a demand
+    trajectory of that length, so the only variable is how far ahead the
+    sub-problems look.
+
+    Returns:
+        x = horizon; series = iterations to converge and final total cost
+        normalized per period.
+    """
+    rng = np.random.default_rng(seed)
+    dc_labels = tuple(f"dc{i}" for i in range(num_datacenters))
+    loc_labels = tuple(f"v{i}" for i in range(num_locations))
+    latency = rng.uniform(10.0, 60.0, size=(num_datacenters, num_locations))
+    capacity = np.full(num_datacenters, open_capacity)
+    capacity[0] = bottleneck
+    config = BestResponseConfig(epsilon=epsilon)
+
+    iterations = []
+    cost_per_period = []
+    for horizon in horizons:
+        population = random_providers(
+            num_players,
+            dc_labels,
+            loc_labels,
+            latency,
+            horizon,
+            np.random.default_rng(seed + 1),
+            demand_scale=demand_scale,
+        )
+        cheap = []
+        for provider in population:
+            prices = provider.prices.copy()
+            prices[0] *= 0.25
+            cheap.append(
+                type(provider)(
+                    name=provider.name,
+                    instance=provider.instance,
+                    demand=provider.demand,
+                    prices=prices,
+                )
+            )
+        result = compute_equilibrium(cheap, capacity, config)
+        iterations.append(result.iterations)
+        cost_per_period.append(result.total_cost / horizon)
+
+    iterations = np.array(iterations)
+    checks = {
+        "iterations trend down with horizon": bool(
+            iterations[-3:].mean() <= iterations[:3].mean()
+        ),
+    }
+    return FigureResult(
+        figure="fig8",
+        title="Impact of prediction horizon length on the speed of convergence",
+        x_label="horizon",
+        x=np.array(horizons),
+        series={
+            "iterations": iterations,
+            "cost_per_period": np.array(cost_per_period),
+        },
+        checks=checks,
+        notes=f"N={num_players}, bottleneck={bottleneck}, epsilon={epsilon}",
+    )

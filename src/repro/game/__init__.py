@@ -1,0 +1,48 @@
+"""The multi-provider resource-competition game (Section VI).
+
+* :mod:`repro.game.players` — per-provider problem data (demand, server
+  size ``s^i``, reconfiguration weights ``R^i``).
+* :mod:`repro.game.best_response` — Algorithm 2: iterative best response
+  with dual-decomposition quota coordination.
+* :mod:`repro.game.swp` — the social welfare problem (SWP) solved exactly
+  as one joint QP.
+* :mod:`repro.game.equilibrium` — W-MPC Nash-equilibrium verification by
+  unilateral-deviation checks (Definition 2).
+* :mod:`repro.game.efficiency` — price of anarchy / price of stability
+  (Definition 3) and the Theorem 1 check (PoS = 1).
+* :mod:`repro.game.mpc_game` — the W-MPC game run in closed loop:
+  per-period quota renegotiation + simultaneous first moves.
+* :mod:`repro.game.anarchy` — multi-start exploration of the equilibrium
+  set, bracketing [PoS, PoA] empirically.
+"""
+
+from repro.game.players import ServiceProvider, random_providers
+from repro.game.best_response import (
+    BestResponseConfig,
+    BestResponseResult,
+    compute_equilibrium,
+)
+from repro.game.swp import SWPSolution, solve_swp
+from repro.game.equilibrium import DeviationReport, verify_equilibrium
+from repro.game.efficiency import efficiency_ratio, verify_theorem1
+from repro.game.mpc_game import MPCGameConfig, MPCGameResult, run_mpc_game
+from repro.game.anarchy import AnarchyReport, explore_equilibria
+
+__all__ = [
+    "ServiceProvider",
+    "random_providers",
+    "BestResponseConfig",
+    "BestResponseResult",
+    "compute_equilibrium",
+    "SWPSolution",
+    "solve_swp",
+    "DeviationReport",
+    "verify_equilibrium",
+    "efficiency_ratio",
+    "verify_theorem1",
+    "MPCGameConfig",
+    "MPCGameResult",
+    "run_mpc_game",
+    "AnarchyReport",
+    "explore_equilibria",
+]

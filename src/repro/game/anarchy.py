@@ -1,0 +1,148 @@
+"""Empirical price-of-anarchy exploration (Definition 3).
+
+Theorem 1 pins the price of *stability* at 1 — the best equilibrium is
+socially optimal, and Algorithm 2 from an equal split finds it.  The
+price of *anarchy* asks about the worst equilibrium: Nash equilibria of
+the resource game "may not be unique", and a coordinator started from a
+biased quota division can settle elsewhere.
+
+:func:`explore_equilibria` restarts Algorithm 2 from many random quota
+divisions, verifies each converged outcome against unilateral deviations,
+and reports the spread of efficiency ratios — an empirical bracket
+``[PoS_hat, PoA_hat]`` on the game's efficiency loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.game.best_response import BestResponseConfig, BestResponseResult, compute_equilibrium
+from repro.game.equilibrium import verify_equilibrium
+from repro.game.players import ServiceProvider
+from repro.game.swp import solve_swp
+
+
+@dataclass(frozen=True)
+class EquilibriumSample:
+    """One explored outcome.
+
+    Attributes:
+        result: the best-response run.
+        efficiency_ratio: total cost relative to the social optimum.
+        is_equilibrium: whether unilateral-deviation checks passed.
+        max_deviation_gain: largest relative gain any SP's deviation finds.
+    """
+
+    result: BestResponseResult
+    efficiency_ratio: float
+    is_equilibrium: bool
+    max_deviation_gain: float
+
+
+@dataclass(frozen=True)
+class AnarchyReport:
+    """Empirical efficiency bracket of the game.
+
+    Attributes:
+        samples: all explored outcomes (verified and not).
+        social_cost: the exact SWP optimum the ratios are relative to.
+        price_of_stability_estimate: best verified equilibrium's ratio.
+        price_of_anarchy_estimate: worst verified equilibrium's ratio.
+    """
+
+    samples: tuple[EquilibriumSample, ...]
+    social_cost: float
+    price_of_stability_estimate: float
+    price_of_anarchy_estimate: float
+
+    @property
+    def num_verified(self) -> int:
+        return sum(1 for s in self.samples if s.is_equilibrium)
+
+
+def _random_quotas(
+    capacity: np.ndarray, n_providers: int, rng: np.random.Generator, bias: float
+) -> np.ndarray:
+    """A random per-DC division of the capacity; smaller ``bias`` = more
+    lopsided (Dirichlet concentration)."""
+    quotas = np.empty((n_providers, capacity.size))
+    for dc in range(capacity.size):
+        shares = rng.dirichlet(np.full(n_providers, bias))
+        quotas[:, dc] = shares * capacity[dc]
+    return quotas
+
+
+def explore_equilibria(
+    providers: list[ServiceProvider],
+    capacity: np.ndarray,
+    num_starts: int = 8,
+    rng: np.random.Generator | None = None,
+    config: BestResponseConfig | None = None,
+    deviation_tolerance: float = 0.05,
+    bias: float = 0.3,
+) -> AnarchyReport:
+    """Bracket the game's efficiency loss by multi-start exploration.
+
+    Args:
+        providers: the game population.
+        capacity: physical per-DC capacity.
+        num_starts: random restarts beyond the canonical equal split.
+        rng: randomness source for the biased starts.
+        config: Algorithm 2 parameters (slack penalty shared with the SWP
+            reference so costs are comparable).
+        deviation_tolerance: relative-gain threshold below which an
+            outcome counts as a verified equilibrium.
+        bias: Dirichlet concentration of the random starts (< 1 is
+            lopsided).
+
+    Returns:
+        The :class:`AnarchyReport`.
+
+    Raises:
+        ValueError: if no explored outcome passes equilibrium verification
+            (the report would be meaningless).
+    """
+    rng = rng or np.random.default_rng(0)
+    cfg = config or BestResponseConfig()
+    capacity = np.asarray(capacity, dtype=float)
+    social = solve_swp(providers, capacity, slack_penalty=cfg.slack_penalty)
+
+    starts: list[np.ndarray | None] = [None]  # equal split first
+    for _ in range(num_starts):
+        starts.append(_random_quotas(capacity, len(providers), rng, bias))
+
+    samples: list[EquilibriumSample] = []
+    for initial in starts:
+        result = compute_equilibrium(
+            providers, capacity, cfg, initial_quotas=initial
+        )
+        report = verify_equilibrium(
+            providers,
+            result.solutions,
+            capacity,
+            slack_penalty=cfg.slack_penalty,
+            tolerance=deviation_tolerance,
+        )
+        samples.append(
+            EquilibriumSample(
+                result=result,
+                efficiency_ratio=result.total_cost / social.total_cost,
+                is_equilibrium=report.is_equilibrium,
+                max_deviation_gain=report.max_improvement,
+            )
+        )
+
+    verified = [s.efficiency_ratio for s in samples if s.is_equilibrium]
+    if not verified:
+        raise ValueError(
+            "no explored outcome passed equilibrium verification; "
+            "loosen deviation_tolerance or increase max_iterations"
+        )
+    return AnarchyReport(
+        samples=tuple(samples),
+        social_cost=social.total_cost,
+        price_of_stability_estimate=float(min(verified)),
+        price_of_anarchy_estimate=float(max(verified)),
+    )

@@ -1,0 +1,89 @@
+"""Efficiency metrics of the competition game (Definition 3, Theorem 1).
+
+* :func:`efficiency_ratio` — the ratio ``sum_i J_i(outcome) / J(SWP)``;
+  evaluated at the worst equilibrium it is the price of anarchy
+  ``rho_MPC``, at the best equilibrium the price of stability ``xi_MPC``.
+* :func:`verify_theorem1` — Theorem 1 states ``xi_MPC = 1`` when all SPs
+  share the prediction window: the equilibrium Algorithm 2 converges to
+  should cost (within tolerance) exactly the social optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.game.best_response import BestResponseConfig, BestResponseResult, compute_equilibrium
+from repro.game.players import ServiceProvider
+from repro.game.swp import SWPSolution, solve_swp
+
+
+def efficiency_ratio(equilibrium_total_cost: float, social_optimum_cost: float) -> float:
+    """``sum_i J_i(u*) / sum_i J_i(u_opt)`` — always >= 1 up to numerics.
+
+    Raises:
+        ValueError: on a non-positive social optimum (the ratio is then
+            meaningless).
+    """
+    if social_optimum_cost <= 0:
+        raise ValueError(
+            f"social optimum must be positive, got {social_optimum_cost}"
+        )
+    return equilibrium_total_cost / social_optimum_cost
+
+
+@dataclass(frozen=True)
+class Theorem1Report:
+    """Outcome of the Theorem 1 (PoS = 1) verification.
+
+    Attributes:
+        equilibrium: the Algorithm 2 result.
+        social: the exact SWP solution.
+        price_of_stability: the measured efficiency ratio of the computed
+            (best-response) equilibrium.
+        holds: whether the ratio is within ``1 + tolerance``.
+    """
+
+    equilibrium: BestResponseResult
+    social: SWPSolution
+    price_of_stability: float
+    holds: bool
+
+
+def verify_theorem1(
+    providers: list[ServiceProvider],
+    capacity: np.ndarray,
+    config: BestResponseConfig | None = None,
+    tolerance: float = 0.1,
+) -> Theorem1Report:
+    """Empirically check Theorem 1 on a game instance.
+
+    Runs Algorithm 2 and the exact SWP with a shared slack penalty, and
+    compares total costs.  The theorem promises the *existence* of a
+    socially-optimal NE; Algorithm 2 is designed to converge to it, so the
+    measured ratio should be ~1 (within the convergence tolerance epsilon
+    plus solver noise — ``tolerance`` bounds the sum).
+
+    Args:
+        providers: the game population.
+        capacity: physical per-DC capacity.
+        config: Algorithm 2 parameters (its slack penalty is reused for
+            the SWP so costs are comparable).
+        tolerance: acceptance threshold on ``PoS - 1``.
+
+    Returns:
+        A :class:`Theorem1Report`.
+    """
+    cfg = config or BestResponseConfig()
+    equilibrium = compute_equilibrium(providers, capacity, cfg)
+    social = solve_swp(
+        providers, np.asarray(capacity, dtype=float), slack_penalty=cfg.slack_penalty
+    )
+    ratio = efficiency_ratio(equilibrium.total_cost, social.total_cost)
+    return Theorem1Report(
+        equilibrium=equilibrium,
+        social=social,
+        price_of_stability=ratio,
+        holds=bool(ratio <= 1.0 + tolerance),
+    )

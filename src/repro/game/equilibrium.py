@@ -1,0 +1,119 @@
+"""Nash-equilibrium verification by unilateral deviation (Definition 2).
+
+An outcome is a W-MPC Nash equilibrium if no SP can lower its cost by
+changing *only its own* allocation, given the others' allocations.  With
+the capacity constraint being the only coupling, SP ``i``'s best deviation
+is its private DSPP solved against the *residual capacity*
+``C - sum_{j != i} s^j x^j`` — so the check is one extra solve per SP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dspp import DSPPSolution, solve_dspp
+from repro.game.players import ServiceProvider
+from repro.solvers.qp import QPSettings
+
+
+@dataclass(frozen=True)
+class DeviationReport:
+    """Result of the unilateral-deviation check.
+
+    Attributes:
+        provider_costs: cost of each SP at the candidate outcome.
+        deviation_costs: cost of each SP's best unilateral deviation.
+        improvements: relative improvement ``(J_i - J_i_dev) / max(J_i, 1)``
+            per SP (positive = a profitable deviation exists).
+        max_improvement: the largest relative improvement across SPs.
+        is_equilibrium: ``True`` if no SP improves by more than the
+            tolerance used in :func:`verify_equilibrium`.
+    """
+
+    provider_costs: np.ndarray
+    deviation_costs: np.ndarray
+    improvements: np.ndarray
+    max_improvement: float
+    is_equilibrium: bool
+
+
+def _residual_capacity(
+    providers: list[ServiceProvider],
+    solutions: list[DSPPSolution],
+    capacity: np.ndarray,
+    excluding: int,
+) -> np.ndarray:
+    """Capacity left for SP ``excluding`` by everyone else, per period.
+
+    Returns the elementwise minimum over periods (a deviating SP must fit
+    within the residual at *every* period; using the per-period minimum
+    keeps the deviation problem in the same static-capacity form).
+    """
+    T = providers[0].horizon
+    L = len(capacity)
+    used = np.zeros((T, L))
+    for index, (provider, solution) in enumerate(zip(providers, solutions)):
+        if index == excluding:
+            continue
+        per_dc = solution.trajectory.states.sum(axis=2)  # (T, L)
+        used += provider.instance.server_size * per_dc
+    residual = capacity[None, :] - used  # (T, L)
+    return np.maximum(residual.min(axis=0), 1e-9)
+
+
+def verify_equilibrium(
+    providers: list[ServiceProvider],
+    solutions: list[DSPPSolution],
+    capacity: np.ndarray,
+    slack_penalty: float = 1e3,
+    tolerance: float = 0.05,
+    settings: QPSettings | None = None,
+) -> DeviationReport:
+    """Check Definition 2 on a candidate outcome.
+
+    Args:
+        providers: the SPs.
+        solutions: their candidate strategies (e.g. the output of
+            Algorithm 2).
+        capacity: physical per-DC capacity.
+        slack_penalty: the elastic penalty used for deviations (must match
+            the penalty the candidate was computed with, or costs are not
+            comparable).
+        tolerance: relative improvement below which a deviation is
+            considered insignificant (the paper's epsilon = 0.05 plays the
+            same role for convergence).
+        settings: QP settings for the deviation solves.
+
+    Returns:
+        The :class:`DeviationReport`.
+    """
+    if len(providers) != len(solutions):
+        raise ValueError("providers and solutions must align")
+    capacity = np.asarray(capacity, dtype=float)
+
+    base_costs = np.array([s.objective for s in solutions])
+    deviation_costs = np.empty(len(providers))
+    for index, provider in enumerate(providers):
+        residual = _residual_capacity(providers, solutions, capacity, index)
+        instance = provider.instance.with_capacities(residual)
+        deviation = solve_dspp(
+            instance,
+            provider.demand,
+            provider.prices,
+            settings=settings,
+            demand_slack_penalty=slack_penalty,
+        )
+        deviation_costs[index] = deviation.objective
+
+    scale = np.maximum(np.abs(base_costs), 1.0)
+    improvements = (base_costs - deviation_costs) / scale
+    max_improvement = float(improvements.max())
+    return DeviationReport(
+        provider_costs=base_costs,
+        deviation_costs=deviation_costs,
+        improvements=improvements,
+        max_improvement=max_improvement,
+        is_equilibrium=max_improvement <= tolerance,
+    )

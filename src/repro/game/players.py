@@ -1,0 +1,160 @@
+"""Per-provider data for the resource-competition game.
+
+A :class:`ServiceProvider` bundles one SP's private problem: its DSPP
+instance (SLA coefficients from its own ``mu^i`` and ``d_bar^i``, its
+server size ``s^i`` and reconfiguration weights ``c^{il}``) plus its demand
+trajectory ``D^i``.  The paper's simulation "generates the input parameters
+(mu^i, D^i_k, s^i, c^{il}, d_bar^i) for each SP randomly" —
+:func:`random_providers` reproduces that generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import DSPPInstance
+from repro.queueing.sla import sla_coefficient_matrix
+
+
+@dataclass(frozen=True)
+class ServiceProvider:
+    """One competing service provider.
+
+    Attributes:
+        name: provider label.
+        instance: its private DSPP data (capacities here are *physical* —
+            the coordinator overrides them with quotas during the game).
+        demand: its demand trajectory, shape ``(V, T)`` for the game
+            horizon.
+        prices: the per-server prices it faces, shape ``(L, T)``.
+    """
+
+    name: str
+    instance: DSPPInstance
+    demand: np.ndarray
+    prices: np.ndarray
+
+    def __post_init__(self) -> None:
+        V = self.instance.num_locations
+        L = self.instance.num_datacenters
+        if self.demand.ndim != 2 or self.demand.shape[0] != V:
+            raise ValueError(f"{self.name}: demand must be ({V}, T)")
+        T = self.demand.shape[1]
+        if self.prices.shape != (L, T):
+            raise ValueError(f"{self.name}: prices must be ({L}, {T})")
+        if np.any(self.demand < 0) or np.any(self.prices < 0):
+            raise ValueError(f"{self.name}: demand and prices must be nonnegative")
+
+    @property
+    def horizon(self) -> int:
+        return self.demand.shape[1]
+
+    def servers_demanded(self) -> np.ndarray:
+        """Lower bound on the *capacity units* this SP needs per period.
+
+        For each period, the cheapest-feasible server mass is at least
+        ``s * D^v * min_l a_lv`` summed over locations — a useful scale for
+        sizing competition scenarios.
+
+        Returns:
+            Array of shape ``(T,)``.
+        """
+        finite_a = np.where(
+            np.isfinite(self.instance.sla_coefficients),
+            self.instance.sla_coefficients,
+            np.inf,
+        )
+        best_a = finite_a.min(axis=0)  # (V,)
+        return self.instance.server_size * (self.demand * best_a[:, None]).sum(axis=0)
+
+
+def random_providers(
+    num_providers: int,
+    datacenters: tuple[str, ...],
+    locations: tuple[str, ...],
+    latency_ms: np.ndarray,
+    horizon: int,
+    rng: np.random.Generator,
+    capacities: np.ndarray | None = None,
+    demand_scale: float = 50.0,
+) -> list[ServiceProvider]:
+    """Generate the paper's random game population.
+
+    Per provider ``i``, the generator draws (Section VII-B):
+
+    * service rate ``mu^i`` uniform in [8, 15] requests/s,
+    * SLA bound ``d_bar^i`` uniform in [120, 250] ms,
+    * server size ``s^i`` from the GoGrid-style ladder {1, 2, 4},
+    * reconfiguration weights ``c^{il}`` log-uniform in [0.5, 5],
+    * per-location demand: population-like random weights times a diurnal
+      ripple, scaled by ``demand_scale``,
+    * prices: uniform base per DC in [0.5, 2] with a ±30% daily ripple.
+
+    Args:
+        num_providers: ``N``.
+        datacenters: shared data-center labels.
+        locations: shared customer-location labels.
+        latency_ms: shared ``(L, V)`` network latency matrix.
+        horizon: game horizon ``T``.
+        rng: randomness source.
+        capacities: physical DC capacities (default: ``inf`` — the game
+            harness then applies the bottleneck under test).
+        demand_scale: mean aggregate request rate per provider.
+
+    Returns:
+        A list of :class:`ServiceProvider` with independent private data.
+    """
+    if num_providers < 1:
+        raise ValueError(f"need at least one provider, got {num_providers}")
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    L, V = len(datacenters), len(locations)
+    latency_ms = np.asarray(latency_ms, dtype=float)
+    if latency_ms.shape != (L, V):
+        raise ValueError(f"latency must be ({L}, {V}), got {latency_ms.shape}")
+    if capacities is None:
+        capacities = np.full(L, np.inf)
+
+    providers: list[ServiceProvider] = []
+    size_ladder = np.array([1.0, 2.0, 4.0])
+    for index in range(num_providers):
+        mu = rng.uniform(8.0, 15.0)
+        d_bar = rng.uniform(120.0, 250.0)
+        a = sla_coefficient_matrix(latency_ms, d_bar, mu)
+        if not np.isfinite(a).any(axis=0).all():
+            # Guarantee feasibility: loosen the bound until every location
+            # is reachable from at least one data center.
+            d_bar = float(latency_ms.min(axis=0).max()) + 2.0 / mu + 50.0
+            a = sla_coefficient_matrix(latency_ms, d_bar, mu)
+        server_size = float(rng.choice(size_ladder))
+        recon = np.exp(rng.uniform(np.log(0.5), np.log(5.0), size=L))
+
+        weights = rng.dirichlet(np.ones(V))
+        ripple = 1.0 + 0.3 * np.sin(
+            2.0 * np.pi * (np.arange(horizon) / max(horizon, 1) + rng.random())
+        )
+        demand = demand_scale * np.outer(weights, ripple)
+
+        base_price = rng.uniform(0.5, 2.0, size=L)
+        price_ripple = 1.0 + 0.3 * np.sin(
+            2.0 * np.pi * (np.arange(horizon) / max(horizon, 1) + rng.random(size=(L, 1)))
+        )
+        prices = base_price[:, None] * price_ripple
+
+        instance = DSPPInstance(
+            datacenters=datacenters,
+            locations=locations,
+            sla_coefficients=a,
+            reconfiguration_weights=recon,
+            capacities=np.asarray(capacities, dtype=float).copy(),
+            initial_state=np.zeros((L, V)),
+            server_size=server_size,
+        )
+        providers.append(
+            ServiceProvider(
+                name=f"sp{index}", instance=instance, demand=demand, prices=prices
+            )
+        )
+    return providers

@@ -1,0 +1,113 @@
+"""Scenario persistence.
+
+Scenarios bundle everything a run needs (instance, realized traces,
+latency structure); saving them lets experiments be re-scored later, or
+shipped alongside results for exact reproduction.  The format is a single
+``.npz`` (numpy archive) with a small JSON header for the labels and
+scalars — no pickling, so archives are portable and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.instance import DSPPInstance
+from repro.pricing.markets import VM_TYPES
+from repro.queueing.sla import SLAPolicy
+from repro.simulation.scenario import Scenario
+from repro.topology.bipartite import BipartiteLatency
+
+_FORMAT_VERSION = 1
+
+
+def save_scenario(path: str | Path, scenario: Scenario) -> None:
+    """Write a scenario to ``path`` (``.npz``).
+
+    The wholesale traces (plot-only data) are included when present.
+    """
+    instance = scenario.instance
+    header = {
+        "version": _FORMAT_VERSION,
+        "datacenters": list(instance.datacenters),
+        "locations": list(instance.locations),
+        "server_size": instance.server_size,
+        "sla": {
+            "max_latency": scenario.sla.max_latency,
+            "service_rate": scenario.sla.service_rate,
+            "percentile": scenario.sla.percentile,
+            "reservation_ratio": scenario.sla.reservation_ratio,
+        },
+        "vm_type": scenario.vm_type.name,
+        "wholesale_labels": list(scenario.wholesale_traces),
+    }
+    arrays = {
+        "header": np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        "sla_coefficients": instance.sla_coefficients,
+        "reconfiguration_weights": instance.reconfiguration_weights,
+        "capacities": instance.capacities,
+        "initial_state": instance.initial_state,
+        "demand": scenario.demand,
+        "prices": scenario.prices,
+        "latency_ms": scenario.latency.latency_ms,
+    }
+    for label, trace in scenario.wholesale_traces.items():
+        arrays[f"wholesale_{label}"] = trace.prices
+    np.savez_compressed(path, **arrays)
+
+
+def load_scenario(path: str | Path) -> Scenario:
+    """Load a scenario written by :func:`save_scenario`.
+
+    Raises:
+        ValueError: on a missing/garbled header or unknown format version.
+    """
+    with np.load(path) as archive:
+        try:
+            header = json.loads(bytes(archive["header"]).decode())
+        except (KeyError, json.JSONDecodeError) as exc:
+            raise ValueError(f"{path}: not a scenario archive") from exc
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported scenario format version {header.get('version')}"
+            )
+        datacenters = tuple(header["datacenters"])
+        locations = tuple(header["locations"])
+        instance = DSPPInstance(
+            datacenters=datacenters,
+            locations=locations,
+            sla_coefficients=archive["sla_coefficients"],
+            reconfiguration_weights=archive["reconfiguration_weights"],
+            capacities=archive["capacities"],
+            initial_state=archive["initial_state"],
+            server_size=float(header["server_size"]),
+        )
+        sla_header = header["sla"]
+        sla = SLAPolicy(
+            max_latency=float(sla_header["max_latency"]),
+            service_rate=float(sla_header["service_rate"]),
+            percentile=sla_header["percentile"],
+            reservation_ratio=float(sla_header["reservation_ratio"]),
+        )
+        latency = BipartiteLatency(
+            datacenters=datacenters,
+            locations=locations,
+            latency_ms=archive["latency_ms"],
+        )
+        from repro.pricing.electricity import PriceTrace
+
+        wholesale = {
+            label: PriceTrace(label=label, prices=archive[f"wholesale_{label}"])
+            for label in header["wholesale_labels"]
+        }
+        return Scenario(
+            instance=instance,
+            demand=archive["demand"],
+            prices=archive["prices"],
+            latency=latency,
+            sla=sla,
+            vm_type=VM_TYPES[header["vm_type"]],
+            wholesale_traces=wholesale,
+        )

@@ -1,0 +1,21 @@
+"""Bin-packing substrate backing the "exact capacity" assumption.
+
+Section VI assumes data-center capacity is *exact* — resources can be
+allocated to servers with no wastage.  The paper justifies this with the
+GoGrid observation: when VM sizes double from type to type (a *divisible*
+size ladder), First-Fit-Decreasing packs them into machines with zero
+waste.  This package implements FFD and the size ladder so the assumption
+is checkable rather than asserted.
+"""
+
+from repro.packing.ffd import BinPackingResult, first_fit_decreasing, is_divisible_ladder
+from repro.packing.vmsizes import GOGRID_LADDER, VMSize, doubling_ladder
+
+__all__ = [
+    "BinPackingResult",
+    "first_fit_decreasing",
+    "is_divisible_ladder",
+    "GOGRID_LADDER",
+    "VMSize",
+    "doubling_ladder",
+]

@@ -1,0 +1,126 @@
+"""First-Fit-Decreasing bin packing.
+
+Used to back Section VI's exact-capacity assumption: for *divisible* item
+sizes (every size divides every larger size — e.g. a doubling VM ladder)
+FFD is exactly optimal, and if the total item volume also divides evenly
+into bins, no capacity is wasted.  The property tests in the suite verify
+both claims; the general-case FFD (arbitrary sizes, where FFD is only an
+11/9-approximation) is the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+
+@dataclass(frozen=True)
+class BinPackingResult:
+    """Outcome of a packing run.
+
+    Attributes:
+        bins: list of bins, each a list of item sizes placed there.
+        bin_capacity: the capacity each bin had.
+        waste: total unused capacity across used bins.
+    """
+
+    bins: tuple[tuple[float, ...], ...]
+    bin_capacity: float
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.bins)
+
+    @property
+    def waste(self) -> float:
+        used = sum(sum(b) for b in self.bins)
+        return self.num_bins * self.bin_capacity - used
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if any bin overflows its capacity."""
+        for index, contents in enumerate(self.bins):
+            if sum(contents) > self.bin_capacity + 1e-9:
+                raise ValueError(f"bin {index} overflows: {sum(contents)}")
+
+
+def first_fit_decreasing(items: list[float], bin_capacity: float) -> BinPackingResult:
+    """Pack ``items`` into bins of ``bin_capacity`` by FFD.
+
+    Args:
+        items: positive item sizes, each <= ``bin_capacity``.
+        bin_capacity: capacity of every bin (> 0).
+
+    Returns:
+        A validated :class:`BinPackingResult`.
+
+    Raises:
+        ValueError: on non-positive sizes or an item exceeding the bin.
+    """
+    if bin_capacity <= 0:
+        raise ValueError(f"bin_capacity must be positive, got {bin_capacity}")
+    for item in items:
+        if item <= 0:
+            raise ValueError(f"item sizes must be positive, got {item}")
+        if item > bin_capacity + 1e-12:
+            raise ValueError(f"item {item} exceeds bin capacity {bin_capacity}")
+
+    bins: list[list[float]] = []
+    free: list[float] = []
+    for item in sorted(items, reverse=True):
+        placed = False
+        for index, space in enumerate(free):
+            if item <= space + 1e-12:
+                bins[index].append(item)
+                free[index] = space - item
+                placed = True
+                break
+        if not placed:
+            bins.append([item])
+            free.append(bin_capacity - item)
+    result = BinPackingResult(
+        bins=tuple(tuple(b) for b in bins), bin_capacity=bin_capacity
+    )
+    result.validate()
+    return result
+
+
+def is_divisible_ladder(sizes: list[float]) -> bool:
+    """True if every distinct size divides every larger distinct size.
+
+    This is the GoGrid condition under which FFD packs optimally and —
+    when the total volume is a multiple of the bin size — wastes nothing.
+    """
+    distinct = sorted(set(sizes))
+    if not distinct:
+        return True
+    if any(size <= 0 for size in distinct):
+        raise ValueError("sizes must be positive")
+    for smaller, larger in zip(distinct, distinct[1:]):
+        ratio = larger / smaller
+        if abs(ratio - round(ratio)) > 1e-9:
+            return False
+    return True
+
+
+def optimal_bin_count_divisible(items: list[float], bin_capacity: float) -> int:
+    """Exact optimum number of bins for a divisible ladder.
+
+    For divisible sizes FFD is optimal (de la Vega & Lueker's classical
+    analysis covers this regime), and the optimum equals ``ceil(total /
+    capacity)`` whenever the capacity is itself a multiple of the largest
+    item — the data-center case the paper appeals to.
+
+    Raises:
+        ValueError: if the sizes are not divisible or the capacity is not a
+            multiple of the largest size.
+    """
+    if not items:
+        return 0
+    if not is_divisible_ladder(items):
+        raise ValueError("sizes are not a divisible ladder")
+    largest = max(items)
+    ratio = bin_capacity / largest
+    if abs(ratio - round(ratio)) > 1e-9:
+        raise ValueError("bin capacity must be a multiple of the largest size")
+    return math.ceil(sum(items) / bin_capacity - 1e-12)

@@ -1,0 +1,54 @@
+"""VM size ladders.
+
+GoGrid offered 6 VM types where each type is exactly twice the previous in
+CPU, memory and disk (Section VI).  Such *doubling* ladders are divisible:
+every size divides every larger size, which is the precondition for FFD
+packing to be exactly optimal with zero waste.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VMSize:
+    """One VM type in a ladder.
+
+    Attributes:
+        name: type label.
+        units: resource footprint in units of the smallest type.
+    """
+
+    name: str
+    units: int
+
+    def __post_init__(self) -> None:
+        if self.units < 1:
+            raise ValueError(f"units must be >= 1, got {self.units}")
+
+
+def doubling_ladder(num_types: int, base_name: str = "t") -> tuple[VMSize, ...]:
+    """A ladder of ``num_types`` sizes, each double the previous (1,2,4,...).
+
+    Raises:
+        ValueError: if ``num_types < 1``.
+    """
+    if num_types < 1:
+        raise ValueError(f"num_types must be >= 1, got {num_types}")
+    return tuple(VMSize(f"{base_name}{i}", 2**i) for i in range(num_types))
+
+
+# GoGrid's 6 doubling VM types (0.5 GB .. 16 GB in the historical offering,
+# normalized so the smallest is 1 unit).
+GOGRID_LADDER: tuple[VMSize, ...] = tuple(
+    VMSize(name, units)
+    for name, units in (
+        ("x-small", 1),
+        ("small", 2),
+        ("medium", 4),
+        ("large", 8),
+        ("x-large", 16),
+        ("xx-large", 32),
+    )
+)

@@ -1,0 +1,38 @@
+"""Demand/price prediction substrate (the "analysis and prediction module"
+of the paper's Figure 2 architecture).
+
+The control framework "is generic and can work with any demand prediction
+techniques" — so predictors implement a small common protocol:
+
+* :mod:`repro.prediction.base` — the :class:`Predictor` protocol.
+* :mod:`repro.prediction.naive` — last-value and seasonal-naive predictors.
+* :mod:`repro.prediction.ar` — the autoregressive AR(p) model the paper's
+  experiments use (its failure under volatility drives Figure 9).
+* :mod:`repro.prediction.oracle` — perfect information, for upper bounds
+  and for the constant-trace study of Figure 10.
+* :mod:`repro.prediction.holt_winters` — additive Holt–Winters (online
+  triple exponential smoothing), the robust diurnal baseline.
+* :mod:`repro.prediction.ensemble` — mean and best-recent combiners.
+* :mod:`repro.prediction.evaluation` — walk-forward backtesting (RMSE/MAPE).
+"""
+
+from repro.prediction.base import Predictor
+from repro.prediction.naive import LastValuePredictor, SeasonalNaivePredictor
+from repro.prediction.ar import ARPredictor
+from repro.prediction.oracle import OraclePredictor
+from repro.prediction.holt_winters import HoltWintersPredictor
+from repro.prediction.ensemble import BestRecentEnsemble, MeanEnsemble
+from repro.prediction.evaluation import BacktestReport, backtest
+
+__all__ = [
+    "Predictor",
+    "LastValuePredictor",
+    "SeasonalNaivePredictor",
+    "ARPredictor",
+    "OraclePredictor",
+    "HoltWintersPredictor",
+    "MeanEnsemble",
+    "BestRecentEnsemble",
+    "BacktestReport",
+    "backtest",
+]

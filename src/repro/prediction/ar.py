@@ -1,0 +1,89 @@
+"""Autoregressive AR(p) predictor — the paper's prediction model [24].
+
+Each series is fit independently by ridge-regularized least squares on its
+own lagged values (with an intercept), and multi-step forecasts are
+produced by iterating the one-step model on its own outputs.  This is
+deliberately the *simple* AR scheme the paper uses, whose inaccuracy under
+volatile inputs is exactly what makes long horizons hurt in Figure 9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+
+
+class ARPredictor(Predictor):
+    """Per-series AR(p) with intercept, refit on every call.
+
+    Args:
+        num_series: number of series.
+        order: number of lags ``p`` (>= 1).
+        ridge: L2 regularization strength (>= 0); a small positive value
+            keeps the normal equations well posed on short histories.
+        clip_factor: forecasts are clipped to
+            ``[0, clip_factor * max(history)]`` per series.  Iterated AR
+            models on volatile inputs can extrapolate explosively
+            (estimated lag weights above 1 compound over the horizon); any
+            production forecaster bounds its output, and without the bound
+            a long-horizon MPC would be handed astronomically-scaled
+            programs.  Set ``None`` to disable.
+
+    Before ``order + 2`` observations exist the model falls back to
+    last-value persistence.
+    """
+
+    def __init__(
+        self,
+        num_series: int,
+        order: int = 3,
+        ridge: float = 1e-6,
+        clip_factor: float | None = 3.0,
+    ) -> None:
+        super().__init__(num_series)
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        if ridge < 0:
+            raise ValueError(f"ridge must be nonnegative, got {ridge}")
+        if clip_factor is not None and clip_factor <= 0:
+            raise ValueError(f"clip_factor must be positive, got {clip_factor}")
+        self.order = order
+        self.ridge = ridge
+        self.clip_factor = clip_factor
+
+    def _fit_series(self, series: np.ndarray) -> np.ndarray:
+        """Fit one series; returns ``[intercept, w_1..w_p]`` (w_1 = lag 1)."""
+        p = self.order
+        n = series.size
+        rows = n - p
+        design = np.empty((rows, p + 1))
+        design[:, 0] = 1.0
+        for lag in range(1, p + 1):
+            design[:, lag] = series[p - lag : n - lag]
+        target = series[p:]
+        gram = design.T @ design + self.ridge * np.eye(p + 1)
+        return np.linalg.solve(gram, design.T @ target)
+
+    def predict(self, horizon: int) -> np.ndarray:
+        self._require_history(horizon)
+        history = self.history
+        if history.shape[1] < self.order + 2:
+            return np.tile(history[:, -1:], (1, horizon))
+        forecast = np.empty((self.num_series, horizon))
+        for series_index in range(self.num_series):
+            series = history[series_index]
+            weights = self._fit_series(series)
+            ceiling = (
+                self.clip_factor * float(series.max())
+                if self.clip_factor is not None
+                else np.inf
+            )
+            # state[0] is lag 1, state[1] lag 2, ...
+            state = series[-self.order :][::-1].copy()
+            for step in range(horizon):
+                value = weights[0] + float(weights[1:] @ state)
+                value = min(max(value, 0.0), ceiling)
+                forecast[series_index, step] = value
+                state = np.concatenate(([value], state[:-1]))
+        return forecast

@@ -1,0 +1,89 @@
+"""The predictor protocol shared by all forecasting models.
+
+A predictor forecasts ``S`` nonnegative series jointly (demand per location,
+or price per data center).  The MPC loop feeds it one observation vector per
+control period via :meth:`Predictor.observe` and asks for a ``W``-step-ahead
+forecast via :meth:`Predictor.predict`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class Predictor(abc.ABC):
+    """Base class for multi-series one-shot forecasters.
+
+    Args:
+        num_series: number of series ``S`` forecast jointly.
+
+    Subclasses implement :meth:`predict`; history management is shared.
+    """
+
+    def __init__(self, num_series: int) -> None:
+        if num_series < 1:
+            raise ValueError(f"num_series must be >= 1, got {num_series}")
+        self.num_series = num_series
+        self._history: list[np.ndarray] = []
+
+    @property
+    def history(self) -> np.ndarray:
+        """Observed history as an ``(S, T)`` array (``T`` may be 0)."""
+        if not self._history:
+            return np.empty((self.num_series, 0))
+        return np.stack(self._history, axis=1)
+
+    @property
+    def num_observations(self) -> int:
+        return len(self._history)
+
+    def observe(self, values: np.ndarray) -> None:
+        """Append one observation vector (length ``S``, nonnegative).
+
+        Raises:
+            ValueError: on wrong length or negative values.
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size != self.num_series:
+            raise ValueError(
+                f"expected {self.num_series} values, got {values.size}"
+            )
+        if np.any(values < 0):
+            raise ValueError("observations must be nonnegative")
+        self._history.append(values.copy())
+
+    def observe_history(self, history: np.ndarray) -> None:
+        """Bulk-append an ``(S, T)`` history matrix column by column."""
+        history = np.asarray(history, dtype=float)
+        if history.ndim != 2 or history.shape[0] != self.num_series:
+            raise ValueError(
+                f"history must be ({self.num_series}, T), got {history.shape}"
+            )
+        for column in history.T:
+            self.observe(column)
+
+    def reset(self) -> None:
+        """Discard all observed history."""
+        self._history.clear()
+
+    @abc.abstractmethod
+    def predict(self, horizon: int) -> np.ndarray:
+        """Forecast the next ``horizon`` periods.
+
+        Args:
+            horizon: number of steps ahead (>= 1).
+
+        Returns:
+            Nonnegative array of shape ``(S, horizon)``.
+
+        Raises:
+            ValueError: if ``horizon < 1`` or there is no usable history.
+        """
+
+    def _require_history(self, horizon: int) -> None:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        if not self._history:
+            raise ValueError("cannot predict with no observed history")

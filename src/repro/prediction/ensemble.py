@@ -1,0 +1,117 @@
+"""Predictor ensembles.
+
+Averaging heterogeneous forecasters is the cheapest robustness upgrade a
+prediction module can get: a seasonal model that nails the diurnal shape
+plus a short-memory model that reacts to level shifts covers both failure
+modes.  Two combiners are provided:
+
+* :class:`MeanEnsemble` — fixed (optionally weighted) average.
+* :class:`BestRecentEnsemble` — picks, each period, the member with the
+  lowest exponentially-discounted one-step-ahead error so far (a simple
+  online model-selection rule).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+
+
+class MeanEnsemble(Predictor):
+    """Weighted average of member forecasts.
+
+    Args:
+        members: at least one predictor, all with the same ``num_series``.
+        weights: optional nonnegative weights (normalized internally);
+            default uniform.
+    """
+
+    def __init__(self, members: list[Predictor], weights: list[float] | None = None) -> None:
+        if not members:
+            raise ValueError("need at least one member")
+        sizes = {m.num_series for m in members}
+        if len(sizes) != 1:
+            raise ValueError(f"members disagree on num_series: {sorted(sizes)}")
+        super().__init__(members[0].num_series)
+        if weights is None:
+            weights = [1.0] * len(members)
+        weights_array = np.asarray(weights, dtype=float)
+        if weights_array.shape != (len(members),):
+            raise ValueError("need one weight per member")
+        if np.any(weights_array < 0) or weights_array.sum() <= 0:
+            raise ValueError("weights must be nonnegative with positive sum")
+        self.members = list(members)
+        self.weights = weights_array / weights_array.sum()
+
+    def observe(self, values: np.ndarray) -> None:
+        super().observe(values)
+        for member in self.members:
+            member.observe(values)
+
+    def reset(self) -> None:
+        super().reset()
+        for member in self.members:
+            member.reset()
+
+    def predict(self, horizon: int) -> np.ndarray:
+        self._require_history(horizon)
+        stacked = np.stack([m.predict(horizon) for m in self.members], axis=0)
+        return np.einsum("m,msh->sh", self.weights, stacked)
+
+
+class BestRecentEnsemble(Predictor):
+    """Online selection of the recently-best member.
+
+    Before each new observation is absorbed, every member's previous
+    one-step-ahead forecast is scored against it; scores are discounted
+    exponentially (``discount`` per period) and the member with the lowest
+    running score produces the next forecast.
+
+    Args:
+        members: candidate predictors (same ``num_series``).
+        discount: score decay factor in (0, 1]; lower forgets faster.
+    """
+
+    def __init__(self, members: list[Predictor], discount: float = 0.9) -> None:
+        if not members:
+            raise ValueError("need at least one member")
+        sizes = {m.num_series for m in members}
+        if len(sizes) != 1:
+            raise ValueError(f"members disagree on num_series: {sorted(sizes)}")
+        if not 0.0 < discount <= 1.0:
+            raise ValueError(f"discount must be in (0, 1], got {discount}")
+        super().__init__(members[0].num_series)
+        self.members = list(members)
+        self.discount = discount
+        self._scores = np.zeros(len(members))
+        self._pending: list[np.ndarray | None] = [None] * len(members)
+
+    def observe(self, values: np.ndarray) -> None:
+        values_array = np.asarray(values, dtype=float).ravel()
+        for index, forecast in enumerate(self._pending):
+            if forecast is not None:
+                error = float(np.mean((forecast - values_array) ** 2))
+                self._scores[index] = self.discount * self._scores[index] + error
+        super().observe(values_array)
+        for member in self.members:
+            member.observe(values_array)
+        # Stage each member's next one-step forecast for scoring.
+        for index, member in enumerate(self.members):
+            self._pending[index] = member.predict(1)[:, 0]
+
+    def reset(self) -> None:
+        super().reset()
+        for member in self.members:
+            member.reset()
+        self._scores = np.zeros(len(self.members))
+        self._pending = [None] * len(self.members)
+
+    @property
+    def best_member_index(self) -> int:
+        """Index of the member currently trusted for forecasts."""
+        return int(np.argmin(self._scores))
+
+    def predict(self, horizon: int) -> np.ndarray:
+        self._require_history(horizon)
+        return self.members[self.best_member_index].predict(horizon)

@@ -1,0 +1,111 @@
+"""Walk-forward backtesting of predictors.
+
+Feeds a predictor a trajectory one observation at a time, collecting
+``W``-step-ahead forecasts at every period and scoring them against the
+realized future.  Used to quantify the paper's claim that AR accuracy
+degrades with volatility (Section VII, Figures 9/10 discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+
+
+@dataclass(frozen=True)
+class BacktestReport:
+    """Scores of one predictor over one trajectory.
+
+    Attributes:
+        horizon: forecast horizon scored.
+        rmse_per_step: shape ``(horizon,)`` — RMSE of the ``h``-step-ahead
+            forecast, aggregated over all series and periods.
+        mape_per_step: same layout, mean absolute percentage error (targets
+            below ``epsilon`` are skipped to keep MAPE finite).
+        num_forecasts: how many forecast origins were scored.
+    """
+
+    horizon: int
+    rmse_per_step: np.ndarray
+    mape_per_step: np.ndarray
+    num_forecasts: int
+
+    @property
+    def overall_rmse(self) -> float:
+        return float(np.sqrt(np.mean(self.rmse_per_step**2)))
+
+    @property
+    def overall_mape(self) -> float:
+        return float(np.mean(self.mape_per_step))
+
+
+def backtest(
+    predictor: Predictor,
+    trajectory: np.ndarray,
+    horizon: int,
+    warmup: int = 4,
+    epsilon: float = 1e-9,
+) -> BacktestReport:
+    """Walk-forward evaluation of ``predictor`` on ``trajectory``.
+
+    Args:
+        predictor: a fresh predictor (it is reset first).
+        trajectory: true values, shape ``(S, K)``.
+        horizon: forecast horizon ``W`` to score.
+        warmup: observations fed before the first scored forecast.
+        epsilon: targets with absolute value below this are excluded from
+            MAPE.
+
+    Returns:
+        A :class:`BacktestReport`.
+
+    Raises:
+        ValueError: if the trajectory is too short to score even one
+            forecast.
+    """
+    trajectory = np.asarray(trajectory, dtype=float)
+    if trajectory.ndim != 2:
+        raise ValueError(f"trajectory must be (S, K), got shape {trajectory.shape}")
+    num_series, num_periods = trajectory.shape
+    if warmup < 1:
+        raise ValueError(f"warmup must be >= 1, got {warmup}")
+    if num_periods < warmup + horizon:
+        raise ValueError(
+            f"trajectory length {num_periods} too short for warmup {warmup} "
+            f"+ horizon {horizon}"
+        )
+
+    predictor.reset()
+    for period in range(warmup):
+        predictor.observe(trajectory[:, period])
+
+    squared_errors = np.zeros(horizon)
+    percentage_errors = np.zeros(horizon)
+    percentage_counts = np.zeros(horizon)
+    count = 0
+    for origin in range(warmup, num_periods - horizon + 1):
+        forecast = predictor.predict(horizon)
+        actual = trajectory[:, origin : origin + horizon]
+        error = forecast - actual
+        squared_errors += np.mean(error**2, axis=0)
+        valid = np.abs(actual) > epsilon
+        ratio = np.zeros_like(error)
+        np.divide(np.abs(error), np.abs(actual), out=ratio, where=valid)
+        percentage_errors += ratio.sum(axis=0)
+        percentage_counts += valid.sum(axis=0)
+        count += 1
+        predictor.observe(trajectory[:, origin])
+
+    rmse = np.sqrt(squared_errors / count)
+    mape = np.divide(
+        percentage_errors,
+        np.maximum(percentage_counts, 1.0),
+        out=np.zeros(horizon),
+        where=percentage_counts > 0,
+    )
+    return BacktestReport(
+        horizon=horizon, rmse_per_step=rmse, mape_per_step=mape, num_forecasts=count
+    )

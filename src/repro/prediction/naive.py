@@ -1,0 +1,69 @@
+"""Naive baselines: last-value persistence and seasonal-naive.
+
+The seasonal-naive model implements the paper's observation that "demand
+can be reasonably predicted using historical traces" when it shows daily
+fluctuation patterns: tomorrow at hour ``h`` looks like today (or the
+average of past days) at hour ``h``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+
+
+class LastValuePredictor(Predictor):
+    """Flat persistence: every future period equals the last observation."""
+
+    def predict(self, horizon: int) -> np.ndarray:
+        self._require_history(horizon)
+        last = self._history[-1]
+        return np.tile(last[:, None], (1, horizon))
+
+
+class SeasonalNaivePredictor(Predictor):
+    """Seasonal persistence with a configurable season length.
+
+    The forecast for period ``t`` is the average of the observations at the
+    same phase in the last ``memory_seasons`` complete seasons; before a
+    full season of history exists, it degrades gracefully to last-value
+    persistence.
+
+    Args:
+        num_series: number of series.
+        season_length: period of the seasonality (24 for hourly data with a
+            daily cycle).
+        memory_seasons: how many past seasons to average (>= 1).
+    """
+
+    def __init__(self, num_series: int, season_length: int = 24, memory_seasons: int = 3) -> None:
+        super().__init__(num_series)
+        if season_length < 1:
+            raise ValueError(f"season_length must be >= 1, got {season_length}")
+        if memory_seasons < 1:
+            raise ValueError(f"memory_seasons must be >= 1, got {memory_seasons}")
+        self.season_length = season_length
+        self.memory_seasons = memory_seasons
+
+    def predict(self, horizon: int) -> np.ndarray:
+        self._require_history(horizon)
+        history = self.history
+        num_observed = history.shape[1]
+        if num_observed < self.season_length:
+            return np.tile(history[:, -1:], (1, horizon))
+        forecast = np.empty((self.num_series, horizon))
+        for step in range(horizon):
+            # Phase of the future period within the season.
+            future_index = num_observed + step
+            samples = []
+            for season_back in range(1, self.memory_seasons + 1):
+                past_index = future_index - season_back * self.season_length
+                # Long horizons can point past the observed data; walk back
+                # whole seasons until the sample lands inside the history.
+                while past_index >= num_observed:
+                    past_index -= self.season_length
+                if past_index >= 0:
+                    samples.append(history[:, past_index])
+            forecast[:, step] = np.mean(samples, axis=0)
+        return np.maximum(forecast, 0.0)

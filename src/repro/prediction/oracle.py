@@ -1,0 +1,42 @@
+"""Perfect-information predictor.
+
+Holds the true future trajectory and returns exact forecasts; the number of
+:meth:`observe` calls received tells it *when* "now" is.  Used to upper-
+bound achievable MPC performance and to reproduce Figure 10 (constant
+demand/price, where prediction is trivially perfect).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.base import Predictor
+
+
+class OraclePredictor(Predictor):
+    """Predicts by reading the ground-truth future.
+
+    Args:
+        truth: the full ``(S, K)`` true trajectory.
+
+    The prediction for horizon ``W`` after ``t`` observations is columns
+    ``t .. t+W-1`` of ``truth``; beyond the end of the trajectory the last
+    column is held (constant continuation).
+    """
+
+    def __init__(self, truth: np.ndarray) -> None:
+        truth = np.asarray(truth, dtype=float)
+        if truth.ndim != 2 or truth.shape[1] < 1:
+            raise ValueError(f"truth must be (S, K) with K >= 1, got {truth.shape}")
+        if np.any(truth < 0):
+            raise ValueError("truth must be nonnegative")
+        super().__init__(truth.shape[0])
+        self._truth = truth.copy()
+
+    def predict(self, horizon: int) -> np.ndarray:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        start = self.num_observations
+        total = self._truth.shape[1]
+        columns = [self._truth[:, min(start + step, total - 1)] for step in range(horizon)]
+        return np.stack(columns, axis=1)

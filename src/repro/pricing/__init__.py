@@ -1,0 +1,53 @@
+"""Regional electricity-market pricing substrate.
+
+The paper sets the per-server price at each data center from the regional
+wholesale electricity price (Figure 3 shows the four regions' hourly
+prices).  Real RTO traces are not shipped here, so:
+
+* :mod:`repro.pricing.markets` — the RTO region registry, the paper's VM
+  power ratings (30/70/140 W) and $/MWh → $/server-hour conversion.
+* :mod:`repro.pricing.electricity` — a calibrated stochastic price model
+  (diurnal harmonics + AR(1) noise) reproducing the qualitative structure
+  Figures 3 and 5 rely on: California pricier than Texas on average, with
+  the maximum gap in the late afternoon.
+* :mod:`repro.pricing.traces` — CSV loading/resampling for users who have
+  real market traces.
+* :mod:`repro.pricing.spot` — EC2-style spot-market pricing (the dynamic
+  public-cloud pricing the paper points to), with calm/spike regimes.
+"""
+
+from repro.pricing.markets import (
+    Region,
+    REGIONS,
+    VMType,
+    VM_TYPES,
+    region_for_datacenter,
+    price_per_server_hour,
+)
+from repro.pricing.electricity import (
+    ElectricityPriceModel,
+    PriceTrace,
+    constant_price_trace,
+    generate_price_traces,
+)
+from repro.pricing.traces import load_price_csv, save_price_csv, resample_trace
+from repro.pricing.spot import SpotMarketParams, SpotPriceModel, spot_savings_fraction
+
+__all__ = [
+    "Region",
+    "REGIONS",
+    "VMType",
+    "VM_TYPES",
+    "region_for_datacenter",
+    "price_per_server_hour",
+    "ElectricityPriceModel",
+    "PriceTrace",
+    "constant_price_trace",
+    "generate_price_traces",
+    "load_price_csv",
+    "save_price_csv",
+    "resample_trace",
+    "SpotMarketParams",
+    "SpotPriceModel",
+    "spot_savings_fraction",
+]

@@ -1,0 +1,165 @@
+"""Stochastic regional electricity price model (Figure 3 substitute).
+
+Each region's hourly wholesale price is modelled as::
+
+    price(t) = mean + swing * h(local_hour(t)) + AR(1) noise,   floored at a
+    small positive minimum,
+
+where ``h`` is a smooth diurnal shape peaking at the region's
+``peak_hour_local`` (two harmonics: a broad daily sine plus a sharper
+afternoon bump).  The parameters in :data:`repro.pricing.markets.REGIONS`
+are calibrated so that the generated traces reproduce the structure the
+paper's experiments rely on: California (CAISO) is more expensive than
+Texas (ERCOT) on average, and the gap is widest in the late afternoon
+(~5 pm), which drives the server migration of Figure 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pricing.markets import Region
+
+_PRICE_FLOOR_MWH = 5.0
+
+
+@dataclass(frozen=True)
+class PriceTrace:
+    """A per-period price series for one site.
+
+    Attributes:
+        label: site/region label.
+        prices: array of shape ``(K,)`` — price per period (units are
+            whatever the producer chose: $/MWh for market traces,
+            $/server-hour after conversion).
+        period_hours: length of one period in hours.
+    """
+
+    label: str
+    prices: np.ndarray
+    period_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.prices.ndim != 1:
+            raise ValueError("prices must be one-dimensional")
+        if np.any(self.prices < 0):
+            raise ValueError("prices must be nonnegative")
+        if self.period_hours <= 0:
+            raise ValueError("period_hours must be positive")
+
+    @property
+    def num_periods(self) -> int:
+        return self.prices.size
+
+    def scaled(self, factor: float) -> "PriceTrace":
+        """A new trace with all prices multiplied by ``factor`` (>= 0)."""
+        if factor < 0:
+            raise ValueError(f"factor must be nonnegative, got {factor}")
+        return PriceTrace(self.label, self.prices * factor, self.period_hours)
+
+
+def _diurnal_shape(local_hour: np.ndarray, peak_hour: float) -> np.ndarray:
+    """Smooth daily shape in [-1, 1] peaking at ``peak_hour``.
+
+    A base sine aligned to the peak plus a sharper second harmonic that
+    narrows the afternoon bump, normalized to peak at 1.
+    """
+    phase = 2.0 * math.pi * (local_hour - peak_hour) / 24.0
+    base = np.cos(phase)
+    bump = 0.35 * np.cos(2.0 * phase)
+    shape = base + bump
+    return shape / (1.0 + 0.35)
+
+
+class ElectricityPriceModel:
+    """Generator of synthetic hourly wholesale prices for one region.
+
+    Args:
+        region: the market region (mean/peak/swing/volatility parameters).
+        ar_coefficient: AR(1) persistence of the noise component in [0, 1).
+
+    The model is deterministic given the RNG, and the noiseless component
+    is exposed via :meth:`expected_price` for tests and calibration.
+    """
+
+    def __init__(self, region: Region, ar_coefficient: float = 0.8) -> None:
+        if not 0.0 <= ar_coefficient < 1.0:
+            raise ValueError(f"ar_coefficient must be in [0, 1), got {ar_coefficient}")
+        self.region = region
+        self.ar_coefficient = ar_coefficient
+
+    def expected_price(self, utc_hours: np.ndarray) -> np.ndarray:
+        """Noise-free price at the given UTC hours ($/MWh)."""
+        utc_hours = np.asarray(utc_hours, dtype=float)
+        local_hour = (utc_hours + self.region.utc_offset_hours) % 24.0
+        shape = _diurnal_shape(local_hour, self.region.peak_hour_local)
+        return np.maximum(
+            self.region.mean_price_mwh + self.region.daily_swing_mwh * shape,
+            _PRICE_FLOOR_MWH,
+        )
+
+    def generate(
+        self,
+        num_hours: int,
+        rng: np.random.Generator,
+        start_utc_hour: float = 0.0,
+    ) -> PriceTrace:
+        """Sample an hourly price trace of length ``num_hours``.
+
+        Args:
+            num_hours: trace length (>= 1).
+            rng: randomness source (the AR(1) innovations).
+            start_utc_hour: UTC hour of the first sample.
+
+        Returns:
+            A :class:`PriceTrace` in $/MWh.
+        """
+        if num_hours < 1:
+            raise ValueError(f"num_hours must be >= 1, got {num_hours}")
+        hours = start_utc_hour + np.arange(num_hours, dtype=float)
+        expected = self.expected_price(hours)
+        innovation_scale = self.region.volatility_mwh * math.sqrt(
+            1.0 - self.ar_coefficient**2
+        )
+        noise = np.empty(num_hours)
+        state = rng.normal(scale=self.region.volatility_mwh)
+        for index in range(num_hours):
+            state = self.ar_coefficient * state + rng.normal(scale=innovation_scale)
+            noise[index] = state
+        prices = np.maximum(expected + noise, _PRICE_FLOOR_MWH)
+        return PriceTrace(label=self.region.code, prices=prices, period_hours=1.0)
+
+
+def generate_price_traces(
+    regions: list[Region],
+    num_hours: int,
+    rng: np.random.Generator,
+    ar_coefficient: float = 0.8,
+) -> dict[str, PriceTrace]:
+    """Generate one hourly trace per region, with independent noise.
+
+    Regions sharing a code share a trace (two California data centers see
+    the same CAISO market).
+
+    Returns:
+        Mapping ``region code -> PriceTrace``.
+    """
+    traces: dict[str, PriceTrace] = {}
+    for region in regions:
+        if region.code in traces:
+            continue
+        model = ElectricityPriceModel(region, ar_coefficient=ar_coefficient)
+        traces[region.code] = model.generate(num_hours, rng)
+    return traces
+
+
+def constant_price_trace(label: str, price: float, num_periods: int) -> PriceTrace:
+    """A flat trace — used by Figure 10's constant-price experiment."""
+    if price < 0:
+        raise ValueError(f"price must be nonnegative, got {price}")
+    if num_periods < 1:
+        raise ValueError(f"num_periods must be >= 1, got {num_periods}")
+    return PriceTrace(label=label, prices=np.full(num_periods, float(price)))

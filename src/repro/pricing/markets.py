@@ -1,0 +1,139 @@
+"""RTO region registry and server-power economics.
+
+In the US, each region's electricity grid is managed by an independent
+Regional Transmission Organization running a wholesale market, so prices in
+different regions fluctuate independently (Section I, Figure 1).  The paper
+prices a server at a data center by the electricity its VM type draws:
+small 30 W, medium 70 W, large 140 W; we convert $/MWh wholesale prices to
+$/server-hour accordingly (a PUE factor covers cooling/power overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Region:
+    """A wholesale electricity market region.
+
+    Attributes:
+        code: short RTO/ISO code, e.g. ``"CAISO"``.
+        name: human-readable name.
+        mean_price_mwh: long-run average wholesale price in $/MWh; the
+            calibration targets keep CAISO above ERCOT so Figure 5's
+            migration effect reproduces.
+        peak_hour_local: local hour of the daily price peak.
+        daily_swing_mwh: half peak-to-trough amplitude of the diurnal cycle.
+        volatility_mwh: standard deviation of the AR(1) noise component.
+        utc_offset_hours: standard-time UTC offset for phase alignment.
+    """
+
+    code: str
+    name: str
+    mean_price_mwh: float
+    peak_hour_local: float
+    daily_swing_mwh: float
+    volatility_mwh: float
+    utc_offset_hours: int
+
+    def __post_init__(self) -> None:
+        if self.mean_price_mwh <= 0:
+            raise ValueError(f"mean price must be positive, got {self.mean_price_mwh}")
+        if self.daily_swing_mwh < 0 or self.volatility_mwh < 0:
+            raise ValueError("swing and volatility must be nonnegative")
+
+
+# Calibrated from the qualitative structure of the paper's Figure 3: prices
+# between ~$10 and ~$90/MWh over the day, California most expensive on
+# average with a late-afternoon peak, Texas cheapest — but with the daily
+# swings large enough (and peak hours offset across time zones) that the
+# traces *cross* during the day, which is what makes price-chasing migration
+# (Figure 5) worthwhile at all.
+REGIONS: dict[str, Region] = {
+    "CAISO": Region("CAISO", "California ISO", 46.0, 17.0, 22.0, 6.0, -8),
+    "ERCOT": Region("ERCOT", "Electric Reliability Council of Texas", 40.0, 16.0, 14.0, 8.0, -6),
+    "SERC": Region("SERC", "SERC Reliability Corporation (Southeast)", 42.0, 15.0, 12.0, 5.0, -5),
+    "MISO": Region("MISO", "Midcontinent ISO", 38.0, 14.0, 13.0, 5.0, -6),
+    "PJM": Region("PJM", "PJM Interconnection", 45.0, 16.0, 16.0, 6.0, -5),
+}
+
+# Data-center city key -> market region code.
+_DATACENTER_REGION: dict[str, str] = {
+    "san_jose_ca": "CAISO",
+    "mountain_view_ca": "CAISO",
+    "dallas_tx": "ERCOT",
+    "houston_tx": "ERCOT",
+    "atlanta_ga": "SERC",
+    "chicago_il": "MISO",
+}
+
+
+def region_for_datacenter(city_key: str) -> Region:
+    """The market region a data-center city buys power from.
+
+    Raises:
+        KeyError: if the city is not in the registry.
+    """
+    try:
+        return REGIONS[_DATACENTER_REGION[city_key]]
+    except KeyError:
+        raise KeyError(f"no market region registered for data center {city_key!r}") from None
+
+
+@dataclass(frozen=True)
+class VMType:
+    """A virtual-machine size with its electrical draw.
+
+    Attributes:
+        name: size label.
+        power_watts: electrical power of one running VM (paper Section VII).
+        relative_size: resource footprint relative to the small type — the
+            ``s^i`` server-size parameter in the game model.
+    """
+
+    name: str
+    power_watts: float
+    relative_size: float
+
+    def __post_init__(self) -> None:
+        if self.power_watts <= 0 or self.relative_size <= 0:
+            raise ValueError("power and size must be positive")
+
+
+# The paper's three VM types: 30 W, 70 W, 140 W.
+VM_TYPES: dict[str, VMType] = {
+    "small": VMType("small", 30.0, 1.0),
+    "medium": VMType("medium", 70.0, 2.0),
+    "large": VMType("large", 140.0, 4.0),
+}
+
+
+def price_per_server_hour(
+    wholesale_mwh: float,
+    vm: VMType,
+    pue: float = 1.2,
+) -> float:
+    """Convert a wholesale price to the hourly cost of one running server.
+
+    ``$/MWh * (W / 1e6) * PUE`` gives $/hour; the PUE factor accounts for
+    the cooling/distribution overhead of the facility.
+
+    Args:
+        wholesale_mwh: wholesale electricity price in $/MWh (must be >= 0 —
+            negative wholesale prices occur in real markets but the DSPP
+            price vector is nonnegative by assumption, so callers clip).
+        vm: the VM type running.
+        pue: power usage effectiveness (>= 1).
+
+    Returns:
+        Price in dollars per server-hour.
+
+    Raises:
+        ValueError: on negative price or ``pue < 1``.
+    """
+    if wholesale_mwh < 0:
+        raise ValueError(f"wholesale price must be nonnegative, got {wholesale_mwh}")
+    if pue < 1.0:
+        raise ValueError(f"PUE must be >= 1, got {pue}")
+    return wholesale_mwh * (vm.power_watts / 1e6) * pue

@@ -1,0 +1,118 @@
+"""Spot-market server pricing (the Amazon EC2 spot model the paper cites).
+
+Section I: "The same benefit can be achieved in public clouds by
+introducing some degree of dynamic pricing, such as the one being used by
+Amazon EC2 [spot instances]."  Spot prices differ from wholesale
+electricity: they are *market-clearing* prices of the provider's idle
+capacity, with a floor at a fraction of the on-demand price, long calm
+stretches, and sudden demand-driven spikes.
+
+:class:`SpotPriceModel` reproduces those stylized facts with a two-state
+(calm/spike) regime-switching model around a mean-reverting baseline —
+enough structure to stress the controller the way real spot markets do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pricing.electricity import PriceTrace
+
+
+@dataclass(frozen=True)
+class SpotMarketParams:
+    """Parameters of one spot market.
+
+    Attributes:
+        on_demand_price: the fixed on-demand price the spot discounts from.
+        floor_fraction: long-run spot level as a fraction of on-demand.
+        reversion: mean-reversion speed of the calm regime in (0, 1].
+        calm_volatility: relative noise in the calm regime.
+        spike_probability: per-period chance of entering a spike.
+        spike_multiplier: mean spot-to-floor ratio during a spike (> 1;
+            real spot spikes routinely exceed the on-demand price).
+        spike_duration: mean spike length in periods.
+    """
+
+    on_demand_price: float = 1.0
+    floor_fraction: float = 0.3
+    reversion: float = 0.3
+    calm_volatility: float = 0.05
+    spike_probability: float = 0.03
+    spike_multiplier: float = 4.0
+    spike_duration: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.on_demand_price <= 0:
+            raise ValueError("on_demand_price must be positive")
+        if not 0.0 < self.floor_fraction < 1.0:
+            raise ValueError("floor_fraction must be in (0, 1)")
+        if not 0.0 < self.reversion <= 1.0:
+            raise ValueError("reversion must be in (0, 1]")
+        if self.calm_volatility < 0:
+            raise ValueError("calm_volatility must be nonnegative")
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise ValueError("spike_probability must be in [0, 1]")
+        if self.spike_multiplier <= 1.0:
+            raise ValueError("spike_multiplier must exceed 1")
+        if self.spike_duration <= 0:
+            raise ValueError("spike_duration must be positive")
+
+
+class SpotPriceModel:
+    """Regime-switching spot price generator.
+
+    Args:
+        params: market parameters.
+    """
+
+    def __init__(self, params: SpotMarketParams | None = None) -> None:
+        self.params = params or SpotMarketParams()
+
+    def generate(
+        self, num_periods: int, rng: np.random.Generator, label: str = "spot"
+    ) -> PriceTrace:
+        """Sample a spot price trace.
+
+        Returns:
+            A :class:`~repro.pricing.electricity.PriceTrace`; prices are
+            bounded below by the spot floor and are unbounded above (as in
+            the real market, where spikes exceed on-demand).
+        """
+        if num_periods < 1:
+            raise ValueError(f"num_periods must be >= 1, got {num_periods}")
+        p = self.params
+        floor = p.floor_fraction * p.on_demand_price
+        prices = np.empty(num_periods)
+        level = floor
+        spike_left = 0.0
+        for k in range(num_periods):
+            if spike_left > 0:
+                spike_left -= 1.0
+            elif rng.random() < p.spike_probability:
+                spike_left = max(1.0, rng.exponential(p.spike_duration))
+            if spike_left > 0:
+                target = floor * p.spike_multiplier * rng.uniform(0.7, 1.3)
+            else:
+                target = floor
+            level = level + p.reversion * (target - level)
+            noise = 1.0 + p.calm_volatility * rng.normal()
+            prices[k] = max(floor, level * noise)
+        return PriceTrace(label=label, prices=prices)
+
+    def expected_calm_price(self) -> float:
+        """The long-run price between spikes (the spot floor)."""
+        return self.params.floor_fraction * self.params.on_demand_price
+
+
+def spot_savings_fraction(trace: PriceTrace, on_demand_price: float) -> float:
+    """Average saving of running on spot vs on-demand, in [<= 1].
+
+    Negative when spikes make spot more expensive on average (a signal the
+    controller should hedge across markets).
+    """
+    if on_demand_price <= 0:
+        raise ValueError("on_demand_price must be positive")
+    return float(1.0 - trace.prices.mean() / on_demand_price)

@@ -1,0 +1,117 @@
+"""CSV persistence and resampling of price traces.
+
+Users with real RTO market data (e.g. CAISO OASIS or ERCOT archives) can
+load it here instead of using the synthetic model; the rest of the library
+only consumes :class:`~repro.pricing.electricity.PriceTrace` objects, so the
+two sources are interchangeable.
+
+CSV format: a header line ``hour,<label1>,<label2>,...`` followed by one
+row per period with the hour index and each site's price.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.pricing.electricity import PriceTrace
+
+
+def save_price_csv(path: str | Path, traces: dict[str, PriceTrace]) -> None:
+    """Write traces (all of equal length) to ``path``.
+
+    Raises:
+        ValueError: if traces have inconsistent lengths or the dict is empty.
+    """
+    if not traces:
+        raise ValueError("no traces to save")
+    lengths = {trace.num_periods for trace in traces.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"traces have inconsistent lengths: {sorted(lengths)}")
+    labels = list(traces)
+    num_periods = lengths.pop()
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["hour", *labels])
+        for period in range(num_periods):
+            writer.writerow(
+                [period, *(float(traces[label].prices[period]) for label in labels)]
+            )
+
+
+def load_price_csv(path: str | Path, period_hours: float = 1.0) -> dict[str, PriceTrace]:
+    """Load traces from a CSV written by :func:`save_price_csv` (or by hand).
+
+    Args:
+        path: CSV file with an ``hour`` column followed by one column per site.
+        period_hours: period length to stamp on the loaded traces.
+
+    Returns:
+        Mapping ``label -> PriceTrace``.
+
+    Raises:
+        ValueError: on an empty file, missing header or non-numeric cells.
+    """
+    path = Path(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty file") from None
+        if len(header) < 2 or header[0].strip().lower() != "hour":
+            raise ValueError(f"{path}: header must be 'hour,<label>,...'")
+        labels = [cell.strip() for cell in header[1:]]
+        columns: list[list[float]] = [[] for _ in labels]
+        for row_number, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) != len(header):
+                raise ValueError(f"{path}:{row_number}: expected {len(header)} cells")
+            for column, cell in zip(columns, row[1:]):
+                try:
+                    column.append(float(cell))
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{row_number}: bad price {cell!r}") from exc
+    if not columns[0]:
+        raise ValueError(f"{path}: no data rows")
+    return {
+        label: PriceTrace(label=label, prices=np.asarray(column), period_hours=period_hours)
+        for label, column in zip(labels, columns)
+    }
+
+
+def resample_trace(trace: PriceTrace, factor: int, how: str = "mean") -> PriceTrace:
+    """Downsample a trace by an integer factor (e.g. hourly -> 4-hourly).
+
+    Args:
+        trace: the input trace; its length must be divisible by ``factor``.
+        factor: number of input periods per output period (>= 1).
+        how: ``"mean"``, ``"max"`` or ``"first"`` aggregation.
+
+    Returns:
+        A new trace with ``period_hours`` scaled by ``factor``.
+
+    Raises:
+        ValueError: on a non-divisible length or unknown aggregation.
+    """
+    if factor < 1:
+        raise ValueError(f"factor must be >= 1, got {factor}")
+    if trace.num_periods % factor != 0:
+        raise ValueError(
+            f"trace length {trace.num_periods} not divisible by factor {factor}"
+        )
+    blocks = trace.prices.reshape(-1, factor)
+    if how == "mean":
+        prices = blocks.mean(axis=1)
+    elif how == "max":
+        prices = blocks.max(axis=1)
+    elif how == "first":
+        prices = blocks[:, 0].copy()
+    else:
+        raise ValueError(f"unknown aggregation {how!r}")
+    return PriceTrace(
+        label=trace.label, prices=prices, period_hours=trace.period_hours * factor
+    )

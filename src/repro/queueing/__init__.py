@@ -1,0 +1,45 @@
+"""Queueing-theoretic substrate: the M/M/1 delay model the paper uses to
+turn the SLA latency bound into the linear constraint ``x >= a * sigma``.
+
+* :mod:`repro.queueing.mm1` — M/M/1 response-time/stability primitives
+  (eq. 7 of the paper).
+* :mod:`repro.queueing.sla` — the SLA linearization ``a_lv`` coefficients
+  (eq. 9–11), including the φ-percentile extension and the reservation
+  ratio ``r`` the paper sketches in Section IV-B.
+* :mod:`repro.queueing.mg1` — the M/G/1 (Pollaczek–Khinchine) extension,
+  realizing the paper's "other queueing models" adaptability claim.
+"""
+
+from repro.queueing.mm1 import (
+    MM1Queue,
+    queueing_delay,
+    max_stable_arrival_rate,
+    required_servers,
+)
+from repro.queueing.mg1 import (
+    mg1_max_load,
+    mg1_sla_coefficient,
+    mg1_sla_coefficient_matrix,
+    mg1_sojourn_time,
+)
+from repro.queueing.sla import (
+    SLAPolicy,
+    sla_coefficient,
+    sla_coefficient_matrix,
+    percentile_scale,
+)
+
+__all__ = [
+    "MM1Queue",
+    "queueing_delay",
+    "max_stable_arrival_rate",
+    "required_servers",
+    "mg1_max_load",
+    "mg1_sla_coefficient",
+    "mg1_sla_coefficient_matrix",
+    "mg1_sojourn_time",
+    "SLAPolicy",
+    "sla_coefficient",
+    "sla_coefficient_matrix",
+    "percentile_scale",
+]

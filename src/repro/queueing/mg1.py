@@ -1,0 +1,150 @@
+"""M/G/1 queueing model — the paper's "other queueing models" claim.
+
+Section IV-B: "we believe it is straightforward to adapt our framework to
+other queueing models as well."  This module makes that concrete for
+M/G/1 — Poisson arrivals, *general* service-time distribution with mean
+``1/mu`` and squared coefficient of variation (SCV) ``c_s^2`` — via the
+Pollaczek–Khinchine formula::
+
+    E[T] = 1/mu + rho * (1 + c_s^2) / (2 * mu * (1 - rho)),   rho = lam/mu
+
+The SLA inversion is no longer a one-line reciprocal (the delay is not
+``1/(mu - lam)`` any more) but the delay remains increasing in the load,
+so the required per-server load — and hence the linear coefficient
+``a_lv`` — follows from solving a quadratic in ``rho``.  Everything
+downstream of the coefficient matrix (the whole DSPP/MPC/game stack)
+works unchanged, which is exactly the adaptability the paper asserts.
+
+``scv = 1`` recovers M/M/1 exactly; ``scv = 0`` is M/D/1 (deterministic
+service, half the queueing delay); heavy-tailed services have ``scv > 1``
+and need proportionally more headroom.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def mg1_sojourn_time(
+    arrival_rate: float, service_rate: float, scv: float
+) -> float:
+    """Mean time in system of an M/G/1 queue (Pollaczek–Khinchine).
+
+    Args:
+        arrival_rate: Poisson arrival rate ``lam`` >= 0.
+        service_rate: service rate ``mu`` > 0 (mean service time ``1/mu``).
+        scv: squared coefficient of variation of the service time (>= 0);
+            1 for exponential, 0 for deterministic.
+
+    Returns:
+        Mean sojourn time; ``inf`` when ``lam >= mu``.
+
+    Raises:
+        ValueError: on negative rates or SCV.
+    """
+    if service_rate <= 0:
+        raise ValueError(f"service_rate must be positive, got {service_rate}")
+    if arrival_rate < 0:
+        raise ValueError(f"arrival_rate must be nonnegative, got {arrival_rate}")
+    if scv < 0:
+        raise ValueError(f"scv must be nonnegative, got {scv}")
+    rho = arrival_rate / service_rate
+    if rho >= 1.0:
+        return math.inf
+    waiting = rho * (1.0 + scv) / (2.0 * service_rate * (1.0 - rho))
+    return 1.0 / service_rate + waiting
+
+
+def mg1_max_load(service_rate: float, scv: float, max_delay: float) -> float:
+    """Largest arrival rate whose M/G/1 sojourn time stays within ``max_delay``.
+
+    Solves ``E[T](rho) = d`` for ``rho``; with ``b = mu*d - 1`` (the delay
+    budget in service-time units) and ``g = (1 + scv)/2`` the condition is
+    ``rho * g / (1 - rho) <= b``, i.e. ``rho <= b / (b + g)``.
+
+    Args:
+        service_rate: ``mu`` > 0.
+        scv: service-time SCV >= 0.
+        max_delay: the delay bound ``d``; must exceed the bare service
+            time ``1/mu``.
+
+    Returns:
+        The maximum sustainable arrival rate per server (< ``mu``).
+
+    Raises:
+        ValueError: if the bound is unachievable (``d <= 1/mu``).
+    """
+    if service_rate <= 0 or max_delay <= 0:
+        raise ValueError("service_rate and max_delay must be positive")
+    if scv < 0:
+        raise ValueError(f"scv must be nonnegative, got {scv}")
+    budget = service_rate * max_delay - 1.0
+    if budget <= 0:
+        raise ValueError(
+            f"delay bound {max_delay} unachievable: bare service time is "
+            f"{1.0 / service_rate}"
+        )
+    gain = (1.0 + scv) / 2.0
+    if gain == 0.0:
+        return service_rate  # zero-variance instantaneous-queue limit
+    rho = budget / (budget + gain)
+    return rho * service_rate
+
+
+def mg1_sla_coefficient(
+    network_latency: float,
+    max_latency: float,
+    service_rate: float,
+    scv: float = 1.0,
+    reservation_ratio: float = 1.0,
+) -> float:
+    """The M/G/1 analogue of eq. 10: ``a_lv`` such that ``x >= a * sigma``.
+
+    Args:
+        network_latency: ``d_lv``.
+        max_latency: ``d_bar``.
+        service_rate: ``mu``.
+        scv: service-time SCV (1 recovers the paper's M/M/1 coefficient
+            exactly).
+        reservation_ratio: over-provisioning factor ``r >= 1``.
+
+    Returns:
+        The coefficient, or ``inf`` for pairs that cannot meet the SLA.
+    """
+    if network_latency < 0:
+        raise ValueError("network_latency must be nonnegative")
+    if reservation_ratio < 1.0:
+        raise ValueError(f"reservation_ratio must be >= 1, got {reservation_ratio}")
+    budget = max_latency - network_latency
+    if budget <= 0:
+        return math.inf
+    try:
+        max_load = mg1_max_load(service_rate, scv, budget)
+    except ValueError:
+        return math.inf
+    return reservation_ratio / max_load
+
+
+def mg1_sla_coefficient_matrix(
+    latency: np.ndarray,
+    max_latency: float,
+    service_rate: float,
+    scv: float = 1.0,
+    reservation_ratio: float = 1.0,
+) -> np.ndarray:
+    """Vectorized :func:`mg1_sla_coefficient` over an ``(L, V)`` matrix."""
+    latency = np.asarray(latency, dtype=float)
+    if np.any(latency < 0):
+        raise ValueError("network latencies must be nonnegative")
+    coefficients = np.full(latency.shape, np.inf)
+    for index, value in np.ndenumerate(latency):
+        coefficients[index] = mg1_sla_coefficient(
+            float(value),
+            max_latency,
+            service_rate,
+            scv=scv,
+            reservation_ratio=reservation_ratio,
+        )
+    return coefficients

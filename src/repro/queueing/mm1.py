@@ -1,0 +1,154 @@
+"""M/M/1 queueing primitives (eq. 7 of the paper).
+
+The paper models each server as an independent M/M/1 queue: demand
+``sigma`` routed from a location to a data center is split equally over the
+``x`` servers there, so each server sees Poisson arrivals at rate
+``lambda = sigma / x`` and the mean sojourn time is ``1 / (mu - lambda)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def queueing_delay(servers: float, arrival_rate: float, service_rate: float) -> float:
+    """Mean sojourn time ``q(x, sigma) = 1 / (mu - sigma/x)`` (eq. 7).
+
+    Args:
+        servers: number of servers ``x`` the demand is split over (> 0).
+        arrival_rate: aggregate arrival rate ``sigma`` >= 0.
+        service_rate: per-server service rate ``mu`` > 0.
+
+    Returns:
+        The mean delay in the same time unit as ``1/mu``; ``inf`` when the
+        per-server load reaches or exceeds ``mu`` (unstable queue).
+
+    Raises:
+        ValueError: if ``servers <= 0``, ``service_rate <= 0`` or
+            ``arrival_rate < 0``.
+    """
+    if servers <= 0:
+        raise ValueError(f"servers must be positive, got {servers}")
+    if service_rate <= 0:
+        raise ValueError(f"service_rate must be positive, got {service_rate}")
+    if arrival_rate < 0:
+        raise ValueError(f"arrival_rate must be nonnegative, got {arrival_rate}")
+    per_server = arrival_rate / servers
+    if per_server >= service_rate:
+        return math.inf
+    return 1.0 / (service_rate - per_server)
+
+
+def max_stable_arrival_rate(servers: float, service_rate: float) -> float:
+    """Largest aggregate arrival rate keeping every per-server queue stable."""
+    if servers <= 0 or service_rate <= 0:
+        raise ValueError("servers and service_rate must be positive")
+    return servers * service_rate
+
+
+def required_servers(arrival_rate: float, service_rate: float, max_delay: float) -> float:
+    """Minimum (fractional) server count so the M/M/1 delay is <= ``max_delay``.
+
+    Inverts eq. 7: ``1/(mu - sigma/x) <= d``  ⇔  ``x >= sigma / (mu - 1/d)``.
+
+    Args:
+        arrival_rate: aggregate demand ``sigma`` >= 0.
+        service_rate: per-server rate ``mu`` > 0.
+        max_delay: delay bound ``d`` > 0; must satisfy ``d > 1/mu`` (a single
+            empty server already takes ``1/mu`` on average).
+
+    Returns:
+        The fractional minimum server count (0 when demand is 0).
+
+    Raises:
+        ValueError: if the bound is not achievable (``max_delay <= 1/mu``) or
+            arguments are out of range.
+    """
+    if service_rate <= 0:
+        raise ValueError(f"service_rate must be positive, got {service_rate}")
+    if arrival_rate < 0:
+        raise ValueError(f"arrival_rate must be nonnegative, got {arrival_rate}")
+    if max_delay <= 0:
+        raise ValueError(f"max_delay must be positive, got {max_delay}")
+    slack = service_rate - 1.0 / max_delay
+    if slack <= 0:
+        raise ValueError(
+            f"delay bound {max_delay} unachievable: even an idle server has mean "
+            f"delay {1.0 / service_rate}"
+        )
+    return arrival_rate / slack
+
+
+@dataclass(frozen=True)
+class MM1Queue:
+    """An M/M/1 queue with arrival rate ``lam`` and service rate ``mu``.
+
+    Provides the standard closed-form performance measures used by the
+    tests to validate the SLA linearization, plus exact percentile formulas
+    that back the paper's φ-percentile remark (the sojourn time of an M/M/1
+    queue is exponential with rate ``mu - lam``).
+    """
+
+    lam: float
+    mu: float
+
+    def __post_init__(self) -> None:
+        if self.mu <= 0:
+            raise ValueError(f"service rate must be positive, got {self.mu}")
+        if self.lam < 0:
+            raise ValueError(f"arrival rate must be nonnegative, got {self.lam}")
+
+    @property
+    def utilization(self) -> float:
+        """Traffic intensity ``rho = lam / mu``."""
+        return self.lam / self.mu
+
+    @property
+    def is_stable(self) -> bool:
+        return self.lam < self.mu
+
+    @property
+    def mean_sojourn_time(self) -> float:
+        """Mean time in system ``1 / (mu - lam)`` (eq. 7)."""
+        if not self.is_stable:
+            return math.inf
+        return 1.0 / (self.mu - self.lam)
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number in system ``rho / (1 - rho)`` (Little's law check)."""
+        if not self.is_stable:
+            return math.inf
+        rho = self.utilization
+        return rho / (1.0 - rho)
+
+    def sojourn_time_percentile(self, phi: float) -> float:
+        """Exact φ-percentile of the sojourn time.
+
+        The sojourn time is Exp(mu - lam), so the φ-percentile is
+        ``ln(1/(1-phi)) / (mu - lam)`` — exactly ``ln(1/(1-phi))`` times the
+        mean, which is the multiplicative factor the paper applies to
+        ``q(x, sigma)`` for percentile SLAs.
+        """
+        if not 0.0 < phi < 1.0:
+            raise ValueError(f"phi must be in (0, 1), got {phi}")
+        if not self.is_stable:
+            return math.inf
+        return math.log(1.0 / (1.0 - phi)) / (self.mu - self.lam)
+
+    def sojourn_time_cdf(self, t: float) -> float:
+        """P[sojourn time <= t] = 1 - exp(-(mu - lam) t) for stable queues."""
+        if t < 0:
+            return 0.0
+        if not self.is_stable:
+            return 0.0
+        return 1.0 - math.exp(-(self.mu - self.lam) * t)
+
+    def sample_sojourn_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` i.i.d. sojourn times (for simulation-based validation)."""
+        if not self.is_stable:
+            raise ValueError("cannot sample sojourn times of an unstable queue")
+        return rng.exponential(scale=1.0 / (self.mu - self.lam), size=n)

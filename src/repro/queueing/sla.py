@@ -1,0 +1,176 @@
+"""SLA linearization: the ``a_lv`` coefficients of eq. 9–11.
+
+The SLA requires, for every routed pair ``(l, v)`` with positive demand::
+
+    d_lv + q(x, sigma) <= d_bar_lv                       (eq. 8)
+
+With the M/M/1 delay ``q = 1/(mu - sigma/x)`` this is equivalent to the
+linear constraint ``x >= a_lv * sigma`` where (eq. 10)::
+
+    a_lv = 1 / (mu - 1/(d_bar_lv - d_lv))   if d_bar_lv > d_lv (and positive)
+    a_lv = inf                              otherwise (pair unusable)
+
+Two extensions from Section IV-B are supported:
+
+* **φ-percentile SLAs**: multiply the queueing delay by ``ln(1/(1-phi))``
+  (exact for M/M/1, whose sojourn time is exponential), which tightens the
+  budget to ``(d_bar - d_lv) / ln(1/(1-phi))``.
+* **Reservation ratio** ``r >= 1``: over-provisioning cushion; scales the
+  coefficient to ``a_lv = r / (mu - 1/(d_bar - d_lv))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def percentile_scale(phi: float | None) -> float:
+    """The multiplicative delay factor ``ln(1/(1-phi))`` for percentile SLAs.
+
+    ``phi=None`` means a mean-delay SLA (factor 1).  Note φ = 1 - 1/e gives
+    factor exactly 1, so percentiles above ~63.2% are stricter than the mean.
+    """
+    if phi is None:
+        return 1.0
+    if not 0.0 < phi < 1.0:
+        raise ValueError(f"phi must be in (0, 1), got {phi}")
+    return math.log(1.0 / (1.0 - phi))
+
+
+@dataclass(frozen=True)
+class SLAPolicy:
+    """A service-level agreement on end-to-end latency.
+
+    Attributes:
+        max_latency: the bound ``d_bar`` on end-to-end (network + queueing)
+            latency, in the same units as the network latencies.
+        service_rate: per-server service rate ``mu`` (requests per time unit).
+        percentile: if set, the SLA bounds the φ-percentile of delay rather
+            than the mean (e.g. ``0.95``).
+        reservation_ratio: over-provisioning factor ``r >= 1``; the number of
+            servers is ``r`` times the bare SLA minimum (Section IV-B).
+    """
+
+    max_latency: float
+    service_rate: float
+    percentile: float | None = None
+    reservation_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_latency <= 0:
+            raise ValueError(f"max_latency must be positive, got {self.max_latency}")
+        if self.service_rate <= 0:
+            raise ValueError(f"service_rate must be positive, got {self.service_rate}")
+        if self.reservation_ratio < 1.0:
+            raise ValueError(
+                f"reservation_ratio must be >= 1, got {self.reservation_ratio}"
+            )
+        if self.percentile is not None and not 0.0 < self.percentile < 1.0:
+            raise ValueError(f"percentile must be in (0, 1), got {self.percentile}")
+
+    def coefficient(self, network_latency: float) -> float:
+        """The coefficient ``a_lv`` for a pair at ``network_latency`` away."""
+        return sla_coefficient(
+            network_latency,
+            self.max_latency,
+            self.service_rate,
+            percentile=self.percentile,
+            reservation_ratio=self.reservation_ratio,
+        )
+
+    def coefficient_matrix(self, latency: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`coefficient` over a latency matrix."""
+        return sla_coefficient_matrix(
+            latency,
+            self.max_latency,
+            self.service_rate,
+            percentile=self.percentile,
+            reservation_ratio=self.reservation_ratio,
+        )
+
+
+def sla_coefficient(
+    network_latency: float,
+    max_latency: float,
+    service_rate: float,
+    percentile: float | None = None,
+    reservation_ratio: float = 1.0,
+) -> float:
+    """Compute ``a_lv`` (eq. 10) for one (data center, location) pair.
+
+    Args:
+        network_latency: ``d_lv``, the network round-trip between the pair.
+        max_latency: ``d_bar_lv``, the SLA bound on total latency.
+        service_rate: ``mu``, per-server service rate.
+        percentile: optional φ for percentile SLAs.
+        reservation_ratio: over-provisioning factor ``r >= 1``.
+
+    Returns:
+        The coefficient such that ``x >= a_lv * sigma`` enforces the SLA;
+        ``inf`` when the pair cannot meet the SLA at any server count
+        (``d_bar <= d_lv`` or the queueing budget is below the bare service
+        time).
+
+    Raises:
+        ValueError: on non-positive rates/bounds or out-of-range percentile.
+    """
+    if network_latency < 0:
+        raise ValueError(f"network_latency must be nonnegative, got {network_latency}")
+    if max_latency <= 0 or service_rate <= 0:
+        raise ValueError("max_latency and service_rate must be positive")
+    if reservation_ratio < 1.0:
+        raise ValueError(f"reservation_ratio must be >= 1, got {reservation_ratio}")
+    budget = max_latency - network_latency
+    if budget <= 0:
+        return math.inf
+    budget /= percentile_scale(percentile)
+    slack = service_rate - 1.0 / budget
+    if slack <= 0:
+        return math.inf
+    return reservation_ratio / slack
+
+
+def sla_coefficient_matrix(
+    latency: np.ndarray,
+    max_latency: float | np.ndarray,
+    service_rate: float,
+    percentile: float | None = None,
+    reservation_ratio: float = 1.0,
+) -> np.ndarray:
+    """Vectorized eq. 10 over an ``(L, V)`` network-latency matrix.
+
+    Entries that cannot meet the SLA get ``inf`` — downstream, the DSPP
+    matrices simply exclude those pairs (a server there contributes nothing
+    toward the demand constraint of that location).
+
+    ``max_latency`` may be a scalar (one bound for every pair — the usual
+    single-SLA service) or an array broadcastable against ``latency``:
+    eq. 8 indexes the bound per pair (``d̄_lv``), which lets e.g. premium
+    regions carry tighter bounds than best-effort ones.
+
+    Returns:
+        An array of the same shape as ``latency`` with the ``a_lv`` values.
+    """
+    latency = np.asarray(latency, dtype=float)
+    if np.any(latency < 0):
+        raise ValueError("network latencies must be nonnegative")
+    max_latency = np.asarray(max_latency, dtype=float)
+    if np.any(max_latency <= 0) or service_rate <= 0:
+        raise ValueError("max_latency and service_rate must be positive")
+    if reservation_ratio < 1.0:
+        raise ValueError(f"reservation_ratio must be >= 1, got {reservation_ratio}")
+    budget = (max_latency - latency) / percentile_scale(percentile)
+    if budget.shape != latency.shape:
+        raise ValueError(
+            f"max_latency (shape {max_latency.shape}) does not broadcast "
+            f"against latency (shape {latency.shape})"
+        )
+    coefficients = np.full(latency.shape, np.inf)
+    usable = budget > 0
+    slack = np.where(usable, service_rate - np.divide(1.0, budget, where=usable, out=np.full(latency.shape, np.inf)), -1.0)
+    positive = usable & (slack > 0)
+    coefficients[positive] = reservation_ratio / slack[positive]
+    return coefficients

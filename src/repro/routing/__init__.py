@@ -1,0 +1,23 @@
+"""Request routing layer (the "request routers" of Figure 2).
+
+* :mod:`repro.routing.proportional` — the paper's proportional demand
+  assignment policy (eq. 13).
+* :mod:`repro.routing.router` — a stateful per-location request router
+  that applies the policy each period and verifies the SLA feasibility
+  condition (eq. 12) before splitting.
+* :mod:`repro.routing.optimal` — the centralized latency-optimal
+  assignment (a transportation LP), used to measure what the
+  decentralized proportional policy costs.
+"""
+
+from repro.routing.proportional import proportional_assignment
+from repro.routing.router import RequestRouter, RoutingDecision
+from repro.routing.optimal import OptimalAssignment, optimal_assignment
+
+__all__ = [
+    "proportional_assignment",
+    "RequestRouter",
+    "RoutingDecision",
+    "OptimalAssignment",
+    "optimal_assignment",
+]

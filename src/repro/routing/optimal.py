@@ -1,0 +1,103 @@
+"""Exact optimal demand assignment (the router ablation).
+
+The paper's request routers use the proportional policy (eq. 13) because
+it is decentralized and provably SLA-feasible.  The centralized optimum —
+minimize demand-weighted network latency subject to the same per-pair SLA
+capacities — is a transportation LP::
+
+    minimize    sum_lv d_lv sigma_lv
+    subject to  sum_l sigma_lv = D_v                 (route everything)
+                sigma_lv <= x_lv / a_lv              (per-pair SLA capacity)
+                sigma >= 0
+
+This module solves it (scipy HiGHS) so the ablation benchmark can measure
+how much latency the decentralized policy leaves on the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.optimize as sopt
+import scipy.sparse as sp
+
+
+class AssignmentInfeasibleError(RuntimeError):
+    """The allocation cannot carry the demand under the SLA (eq. 12 fails)."""
+
+
+@dataclass(frozen=True)
+class OptimalAssignment:
+    """Result of the exact assignment solve.
+
+    Attributes:
+        assignment: ``sigma``, shape ``(L, V)``.
+        total_weighted_latency: the LP objective
+            ``sum_lv d_lv * sigma_lv``.
+    """
+
+    assignment: np.ndarray
+    total_weighted_latency: float
+
+
+def optimal_assignment(
+    allocation: np.ndarray,
+    demand: np.ndarray,
+    demand_coefficients: np.ndarray,
+    latency: np.ndarray,
+) -> OptimalAssignment:
+    """Solve the latency-optimal transportation problem.
+
+    Args:
+        allocation: servers ``x``, shape ``(L, V)``.
+        demand: demand vector, shape ``(V,)``.
+        demand_coefficients: ``1/a_lv`` with unusable pairs zero.
+        latency: the ``d_lv`` matrix used as the routing objective.
+
+    Returns:
+        The :class:`OptimalAssignment`.
+
+    Raises:
+        AssignmentInfeasibleError: if eq. 12 fails for some location.
+        ValueError: on malformed inputs.
+    """
+    allocation = np.asarray(allocation, dtype=float)
+    demand = np.asarray(demand, dtype=float).ravel()
+    coeff = np.asarray(demand_coefficients, dtype=float)
+    latency = np.asarray(latency, dtype=float)
+    L, V = allocation.shape
+    if coeff.shape != (L, V) or latency.shape != (L, V):
+        raise ValueError("allocation, coefficients and latency shapes must match")
+    if demand.shape != (V,):
+        raise ValueError(f"demand must have length {V}")
+    if np.any(allocation < 0) or np.any(demand < 0):
+        raise ValueError("allocation and demand must be nonnegative")
+
+    capacity = allocation * coeff  # max demand each pair may carry
+    if np.any(capacity.sum(axis=0) + 1e-9 < demand):
+        raise AssignmentInfeasibleError(
+            "allocation violates eq. 12: some location cannot be served"
+        )
+
+    # Variables sigma_lv, pair-major.
+    cost = np.where(np.isfinite(latency), latency, 1e9).reshape(-1)
+    a_eq = sp.lil_matrix((V, L * V))
+    for v in range(V):
+        for l in range(L):
+            a_eq[v, l * V + v] = 1.0
+    bounds = [(0.0, float(capacity[l, v])) for l in range(L) for v in range(V)]
+    result = sopt.linprog(
+        cost,
+        A_eq=a_eq.tocsr(),
+        b_eq=demand,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 2:
+        raise AssignmentInfeasibleError("assignment LP infeasible")
+    if not result.success:
+        raise RuntimeError(f"assignment LP failed: {result.message}")
+    sigma = result.x.reshape(L, V)
+    objective = float(np.nansum(np.where(sigma > 0, latency * sigma, 0.0)))
+    return OptimalAssignment(assignment=sigma, total_weighted_latency=objective)

@@ -1,0 +1,67 @@
+"""The proportional demand-assignment policy (eq. 13).
+
+Given the allocation ``x`` and the SLA coefficients ``a``, each location's
+demand is split across data centers proportionally to the *service
+capacity* ``x^{lv} / a_lv``::
+
+    sigma^{lv} = D^v * (x^{lv} / a_lv) / sum_l (x^{lv} / a_lv)
+
+If the feasibility condition (eq. 12) ``sum_l x^{lv}/a_lv >= D^v`` holds,
+this split provably satisfies the SLA at every data center — the property
+the tests verify exhaustively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def proportional_assignment(
+    allocation: np.ndarray,
+    demand: np.ndarray,
+    demand_coefficients: np.ndarray,
+) -> np.ndarray:
+    """Split demand proportionally to service capacity (eq. 13).
+
+    Args:
+        allocation: current servers ``x^{lv}``, shape ``(L, V)``.
+        demand: demand vector ``D^v``, shape ``(V,)``.
+        demand_coefficients: ``1 / a_lv`` with unusable pairs zero, shape
+            ``(L, V)`` (see
+            :attr:`repro.core.instance.DSPPInstance.demand_coefficients`).
+
+    Returns:
+        The assignment ``sigma^{lv}``, shape ``(L, V)``; every column sums
+        to that location's demand.  Locations with zero demand get zeros.
+
+    Raises:
+        ValueError: on shape mismatch, negative inputs, or a location with
+            positive demand but zero total service capacity (nothing to
+            route to — the allocation cannot serve it at all).
+    """
+    allocation = np.asarray(allocation, dtype=float)
+    demand = np.asarray(demand, dtype=float).ravel()
+    coeff = np.asarray(demand_coefficients, dtype=float)
+    if allocation.shape != coeff.shape:
+        raise ValueError(
+            f"allocation {allocation.shape} and coefficients {coeff.shape} differ"
+        )
+    if demand.shape != (allocation.shape[1],):
+        raise ValueError(
+            f"demand must have length {allocation.shape[1]}, got {demand.shape}"
+        )
+    if np.any(allocation < 0) or np.any(demand < 0) or np.any(coeff < 0):
+        raise ValueError("allocation, demand and coefficients must be nonnegative")
+
+    capacity = allocation * coeff  # x^{lv} / a_lv, (L, V)
+    totals = capacity.sum(axis=0)  # (V,)
+    needs_routing = demand > 0
+    unroutable = needs_routing & (totals <= 0)
+    if np.any(unroutable):
+        bad = np.nonzero(unroutable)[0].tolist()
+        raise ValueError(
+            f"locations {bad} have positive demand but no service capacity"
+        )
+    weights = np.zeros_like(capacity)
+    np.divide(capacity, totals[None, :], out=weights, where=totals[None, :] > 0)
+    return weights * demand[None, :]

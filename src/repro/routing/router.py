@@ -1,0 +1,127 @@
+"""Stateful request router with SLA verification.
+
+The resource controller "informs the request routers about the number of
+servers allocated in each data center; the request routers must then find
+appropriate assignment of demand to the allocated servers" (Section III).
+:class:`RequestRouter` is that component: it holds the current allocation,
+splits each period's demand with the proportional policy, and audits the
+resulting per-pair latency against the SLA bound using the M/M/1 model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.queueing.mm1 import queueing_delay
+from repro.routing.proportional import proportional_assignment
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """The routing outcome of one period.
+
+    Attributes:
+        assignment: ``sigma^{lv}``, shape ``(L, V)``.
+        latency: realized mean end-to-end latency per routed pair, shape
+            ``(L, V)``; ``nan`` where nothing was routed.
+        sla_satisfied: boolean per pair — ``True`` where nothing was routed
+            or the realized latency is within the bound.
+        unserved: demand that could not be assigned under eq. 12 (only
+            nonzero when the allocation is infeasible for the demand).
+    """
+
+    assignment: np.ndarray
+    latency: np.ndarray
+    sla_satisfied: np.ndarray
+    unserved: np.ndarray
+
+    @property
+    def all_sla_satisfied(self) -> bool:
+        return bool(np.all(self.sla_satisfied))
+
+
+class RequestRouter:
+    """Per-provider demand router (one logical router per location, batched).
+
+    Args:
+        network_latency: ``d_lv`` matrix, shape ``(L, V)``.
+        demand_coefficients: ``1/a_lv`` matrix, shape ``(L, V)``.
+        service_rate: per-server service rate ``mu``.
+        max_latency: the SLA bound ``d_bar`` on mean end-to-end latency.
+
+    The router is tolerant of infeasible allocations (realized demand above
+    the planned capacity): it scales every location's assignment down to
+    the servable amount and reports the remainder as ``unserved``, so the
+    closed loop can keep running through prediction shortfalls.
+    """
+
+    def __init__(
+        self,
+        network_latency: np.ndarray,
+        demand_coefficients: np.ndarray,
+        service_rate: float,
+        max_latency: float,
+    ) -> None:
+        network_latency = np.asarray(network_latency, dtype=float)
+        demand_coefficients = np.asarray(demand_coefficients, dtype=float)
+        if network_latency.shape != demand_coefficients.shape:
+            raise ValueError("latency and coefficient matrices must share a shape")
+        if service_rate <= 0 or max_latency <= 0:
+            raise ValueError("service_rate and max_latency must be positive")
+        self.network_latency = network_latency
+        self.demand_coefficients = demand_coefficients
+        self.service_rate = service_rate
+        self.max_latency = max_latency
+        self._allocation = np.zeros_like(network_latency)
+
+    @property
+    def allocation(self) -> np.ndarray:
+        return self._allocation.copy()
+
+    def update_allocation(self, allocation: np.ndarray) -> None:
+        """Install the controller's new allocation ``x`` (shape ``(L, V)``)."""
+        allocation = np.asarray(allocation, dtype=float)
+        if allocation.shape != self.network_latency.shape:
+            raise ValueError(
+                f"allocation must be {self.network_latency.shape}, got {allocation.shape}"
+            )
+        if np.any(allocation < 0):
+            raise ValueError("allocation must be nonnegative")
+        self._allocation = allocation.copy()
+
+    def route(self, demand: np.ndarray) -> RoutingDecision:
+        """Split ``demand`` (length ``V``) over the current allocation.
+
+        Demand beyond the feasible total of a location (eq. 12 violated) is
+        clipped and reported in ``unserved`` rather than breaking the SLA
+        of the demand that *can* be served.
+        """
+        demand = np.asarray(demand, dtype=float).ravel()
+        capacity = (self._allocation * self.demand_coefficients).sum(axis=0)
+        servable = np.minimum(demand, capacity)
+        unserved = demand - servable
+        assignment = proportional_assignment(
+            self._allocation, servable, self.demand_coefficients
+        )
+
+        L, V = assignment.shape
+        latency = np.full((L, V), np.nan)
+        satisfied = np.ones((L, V), dtype=bool)
+        routed = assignment > 1e-12
+        for l in range(L):
+            for v in range(V):
+                if not routed[l, v]:
+                    continue
+                delay = queueing_delay(
+                    self._allocation[l, v], assignment[l, v], self.service_rate
+                )
+                latency[l, v] = self.network_latency[l, v] + delay
+                satisfied[l, v] = latency[l, v] <= self.max_latency + 1e-9
+        return RoutingDecision(
+            assignment=assignment,
+            latency=latency,
+            sla_satisfied=satisfied,
+            unserved=unserved,
+        )

@@ -1,0 +1,121 @@
+"""Metric collection and run summaries.
+
+One collector instance accompanies a simulation run; every period the
+engine feeds it the realized allocation, control, prices and routing
+outcome, and at the end :meth:`MetricsCollector.summary` produces the
+numbers the experiment harnesses print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregate statistics of one run.
+
+    Attributes:
+        total_allocation_cost: sum of ``H_k`` over the run.
+        total_reconfiguration_cost: sum of ``G_k``.
+        total_cost: the objective ``J``.
+        total_reconfiguration_magnitude: sum of ``|u|`` (the Fig. 6
+            smoothness measure — distinct from the quadratic *cost*).
+        total_unserved_demand: demand the routers had to drop.
+        sla_violation_periods: periods with any pair over its bound.
+        mean_latency_ms: demand-weighted mean end-to-end latency over all
+            routed traffic (``nan`` if nothing was routed).
+        periods: number of scored periods.
+    """
+
+    total_allocation_cost: float
+    total_reconfiguration_cost: float
+    total_cost: float
+    total_reconfiguration_magnitude: float
+    total_unserved_demand: float
+    sla_violation_periods: int
+    mean_latency_ms: float
+    periods: int
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-period measurements.
+
+    All ``record_*`` inputs are copied; the collector never aliases caller
+    arrays.
+    """
+
+    allocation_costs: list[float] = field(default_factory=list)
+    reconfiguration_costs: list[float] = field(default_factory=list)
+    reconfiguration_magnitudes: list[float] = field(default_factory=list)
+    unserved: list[float] = field(default_factory=list)
+    violation_flags: list[bool] = field(default_factory=list)
+    _latency_weighted_sum: float = 0.0
+    _latency_weight: float = 0.0
+
+    def record_period(
+        self,
+        allocation: np.ndarray,
+        control: np.ndarray,
+        prices: np.ndarray,
+        recon_weights: np.ndarray,
+        assignment: np.ndarray | None = None,
+        latency: np.ndarray | None = None,
+        unserved: float = 0.0,
+        sla_violated: bool = False,
+    ) -> None:
+        """Record one period.
+
+        Args:
+            allocation: ``x_{k+1}``, shape ``(L, V)``.
+            control: ``u_k``, shape ``(L, V)``.
+            prices: realized prices, shape ``(L,)``.
+            recon_weights: quadratic weights ``c^l``, shape ``(L,)``.
+            assignment: routed demand ``sigma``, shape ``(L, V)`` (optional).
+            latency: per-pair realized latency, shape ``(L, V)`` with
+                ``nan`` on unrouted pairs (optional).
+            unserved: dropped demand this period.
+            sla_violated: whether any routed pair exceeded its bound.
+        """
+        allocation = np.asarray(allocation, dtype=float)
+        control = np.asarray(control, dtype=float)
+        prices = np.asarray(prices, dtype=float)
+        recon_weights = np.asarray(recon_weights, dtype=float)
+        self.allocation_costs.append(float(allocation.sum(axis=1) @ prices))
+        self.reconfiguration_costs.append(
+            float(recon_weights @ (control**2).sum(axis=1))
+        )
+        self.reconfiguration_magnitudes.append(float(np.abs(control).sum()))
+        self.unserved.append(float(unserved))
+        self.violation_flags.append(bool(sla_violated))
+        if assignment is not None and latency is not None:
+            weights = np.asarray(assignment, dtype=float)
+            values = np.asarray(latency, dtype=float)
+            mask = np.isfinite(values) & (weights > 0)
+            self._latency_weighted_sum += float((weights[mask] * values[mask]).sum())
+            self._latency_weight += float(weights[mask].sum())
+
+    def summary(self) -> RunSummary:
+        """Aggregate everything recorded so far."""
+        mean_latency = (
+            self._latency_weighted_sum / self._latency_weight
+            if self._latency_weight > 0
+            else float("nan")
+        )
+        return RunSummary(
+            total_allocation_cost=float(np.sum(self.allocation_costs)),
+            total_reconfiguration_cost=float(np.sum(self.reconfiguration_costs)),
+            total_cost=float(
+                np.sum(self.allocation_costs) + np.sum(self.reconfiguration_costs)
+            ),
+            total_reconfiguration_magnitude=float(
+                np.sum(self.reconfiguration_magnitudes)
+            ),
+            total_unserved_demand=float(np.sum(self.unserved)),
+            sla_violation_periods=int(np.sum(self.violation_flags)),
+            mean_latency_ms=mean_latency,
+            periods=len(self.allocation_costs),
+        )

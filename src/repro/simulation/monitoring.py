@@ -1,0 +1,95 @@
+"""The monitoring module (component 2 of the Figure 2 architecture).
+
+"Responsible for collecting statistics, including the amount of requests
+received at the different request routers and the prices offered by each
+data center."  In simulation it is an append-only record of timestamped
+observations with simple query helpers; the prediction module reads its
+streams rather than touching ground truth directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One period's monitored data.
+
+    Attributes:
+        period: zero-based control period.
+        demand: observed per-location demand, shape ``(V,)``.
+        prices: observed per-DC prices, shape ``(L,)``.
+    """
+
+    period: int
+    demand: np.ndarray
+    prices: np.ndarray
+
+
+class MonitoringModule:
+    """Append-only observation store.
+
+    Args:
+        num_locations: dimension of the demand vector.
+        num_datacenters: dimension of the price vector.
+    """
+
+    def __init__(self, num_locations: int, num_datacenters: int) -> None:
+        if num_locations < 1 or num_datacenters < 1:
+            raise ValueError("dimensions must be positive")
+        self.num_locations = num_locations
+        self.num_datacenters = num_datacenters
+        self._records: list[Observation] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, demand: np.ndarray, prices: np.ndarray) -> Observation:
+        """Store one period's observation and return it.
+
+        Raises:
+            ValueError: on dimension mismatch or negative values.
+        """
+        demand = np.asarray(demand, dtype=float).ravel()
+        prices = np.asarray(prices, dtype=float).ravel()
+        if demand.size != self.num_locations:
+            raise ValueError(
+                f"expected {self.num_locations} demand values, got {demand.size}"
+            )
+        if prices.size != self.num_datacenters:
+            raise ValueError(
+                f"expected {self.num_datacenters} prices, got {prices.size}"
+            )
+        if np.any(demand < 0) or np.any(prices < 0):
+            raise ValueError("observations must be nonnegative")
+        observation = Observation(
+            period=len(self._records), demand=demand.copy(), prices=prices.copy()
+        )
+        self._records.append(observation)
+        return observation
+
+    @property
+    def latest(self) -> Observation:
+        """The most recent observation.
+
+        Raises:
+            LookupError: if nothing has been recorded yet.
+        """
+        if not self._records:
+            raise LookupError("no observations recorded")
+        return self._records[-1]
+
+    def demand_history(self) -> np.ndarray:
+        """All observed demand as a ``(V, T)`` matrix (T may be 0)."""
+        if not self._records:
+            return np.empty((self.num_locations, 0))
+        return np.stack([r.demand for r in self._records], axis=1)
+
+    def price_history(self) -> np.ndarray:
+        """All observed prices as an ``(L, T)`` matrix (T may be 0)."""
+        if not self._records:
+            return np.empty((self.num_datacenters, 0))
+        return np.stack([r.prices for r in self._records], axis=1)

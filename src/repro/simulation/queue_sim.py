@@ -1,0 +1,268 @@
+"""Event-driven queueing simulation (validation of the analytical layer).
+
+The DSPP's SLA constraint rests on the M/M/1 closed forms of eq. 7–11.
+This module provides a discrete-event simulator for the paper's service
+model — demand split equally over ``x`` parallel single-server FIFO
+queues with exponential service — so the analytical layer can be checked
+*in simulation* rather than trusted:
+
+* :func:`simulate_mm1` — one M/M/1 queue, exact event-driven dynamics.
+* :func:`simulate_split_servers` — the paper's per-data-center model:
+  ``sigma`` demand split uniformly at random over ``x`` servers.
+* :func:`validate_sla_empirically` — end-to-end check that an allocation
+  ``x = a_lv * sigma`` meets the latency bound empirically.
+
+The integration tests use these to confirm that analytical mean sojourn
+times, percentiles and the SLA inversion agree with simulated reality.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QueueSimResult:
+    """Measured statistics of one simulation run.
+
+    Attributes:
+        sojourn_times: per-request time in system (wait + service).
+        num_served: requests that completed within the horizon.
+        mean_sojourn: sample mean of the sojourn times.
+    """
+
+    sojourn_times: np.ndarray
+
+    @property
+    def num_served(self) -> int:
+        return int(self.sojourn_times.size)
+
+    @property
+    def mean_sojourn(self) -> float:
+        return float(self.sojourn_times.mean()) if self.sojourn_times.size else float("nan")
+
+    def percentile(self, phi: float) -> float:
+        """Empirical φ-percentile of the sojourn time."""
+        if not 0.0 < phi < 1.0:
+            raise ValueError(f"phi must be in (0, 1), got {phi}")
+        return float(np.quantile(self.sojourn_times, phi))
+
+
+def simulate_mm1(
+    arrival_rate: float,
+    service_rate: float,
+    horizon: float,
+    rng: np.random.Generator,
+    warmup_fraction: float = 0.1,
+) -> QueueSimResult:
+    """Simulate a single M/M/1 FIFO queue exactly.
+
+    A single-server FIFO queue with Poisson arrivals needs no event heap:
+    with ``W_k`` the workload seen by arrival ``k``, Lindley's recursion
+    ``W_{k+1} = max(0, W_k + S_k - A_k)`` gives exact waiting times.
+
+    Args:
+        arrival_rate: Poisson arrival rate ``lambda`` (must keep the queue
+            stable: ``lambda < mu``).
+        service_rate: exponential service rate ``mu``.
+        horizon: simulated time span.
+        rng: randomness source.
+        warmup_fraction: fraction of the horizon discarded as transient.
+
+    Returns:
+        The :class:`QueueSimResult` over post-warmup arrivals.
+
+    Raises:
+        ValueError: on an unstable or degenerate configuration.
+    """
+    if arrival_rate <= 0 or service_rate <= 0:
+        raise ValueError("rates must be positive")
+    if arrival_rate >= service_rate:
+        raise ValueError("unstable queue: arrival rate must be below service rate")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+
+    expected_arrivals = int(arrival_rate * horizon * 1.2) + 10
+    inter_arrivals = rng.exponential(1.0 / arrival_rate, size=expected_arrivals)
+    arrival_times = np.cumsum(inter_arrivals)
+    arrival_times = arrival_times[arrival_times < horizon]
+    services = rng.exponential(1.0 / service_rate, size=arrival_times.size)
+
+    waits = np.empty(arrival_times.size)
+    workload = 0.0
+    previous_arrival = 0.0
+    for index in range(arrival_times.size):
+        gap = arrival_times[index] - previous_arrival
+        workload = max(0.0, workload - gap)
+        waits[index] = workload
+        workload += services[index]
+        previous_arrival = arrival_times[index]
+
+    sojourns = waits + services
+    cutoff = warmup_fraction * horizon
+    keep = arrival_times >= cutoff
+    return QueueSimResult(sojourn_times=sojourns[keep])
+
+
+def simulate_mg1(
+    arrival_rate: float,
+    service_sampler,
+    horizon: float,
+    rng: np.random.Generator,
+    warmup_fraction: float = 0.1,
+) -> QueueSimResult:
+    """Simulate an M/G/1 FIFO queue with an arbitrary service sampler.
+
+    Validates the Pollaczek–Khinchine layer (:mod:`repro.queueing.mg1`):
+    Lindley's recursion is distribution-agnostic, so the only change from
+    :func:`simulate_mm1` is where service times come from.
+
+    Args:
+        arrival_rate: Poisson arrival rate.
+        service_sampler: callable ``(rng, size) -> np.ndarray`` of positive
+            service times; its mean must keep the queue stable.
+        horizon: simulated time span.
+        rng: randomness source.
+        warmup_fraction: fraction of the horizon discarded as transient.
+
+    Returns:
+        The :class:`QueueSimResult` over post-warmup arrivals.
+
+    Raises:
+        ValueError: on degenerate inputs or nonpositive sampled services.
+    """
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    expected_arrivals = int(arrival_rate * horizon * 1.2) + 10
+    inter_arrivals = rng.exponential(1.0 / arrival_rate, size=expected_arrivals)
+    arrival_times = np.cumsum(inter_arrivals)
+    arrival_times = arrival_times[arrival_times < horizon]
+    services = np.asarray(service_sampler(rng, arrival_times.size), dtype=float)
+    if services.shape != arrival_times.shape:
+        raise ValueError("service_sampler returned the wrong number of samples")
+    if np.any(services <= 0):
+        raise ValueError("service times must be positive")
+
+    waits = np.empty(arrival_times.size)
+    workload = 0.0
+    previous_arrival = 0.0
+    for index in range(arrival_times.size):
+        gap = arrival_times[index] - previous_arrival
+        workload = max(0.0, workload - gap)
+        waits[index] = workload
+        workload += services[index]
+        previous_arrival = arrival_times[index]
+
+    sojourns = waits + services
+    keep = arrival_times >= warmup_fraction * horizon
+    return QueueSimResult(sojourn_times=sojourns[keep])
+
+
+def simulate_split_servers(
+    total_arrival_rate: float,
+    num_servers: int,
+    service_rate: float,
+    horizon: float,
+    rng: np.random.Generator,
+) -> QueueSimResult:
+    """Simulate the paper's model: demand split over parallel M/M/1 queues.
+
+    Random (Bernoulli) splitting of a Poisson stream yields independent
+    Poisson streams, so each server is an independent M/M/1 at rate
+    ``total / num_servers`` — simulated exactly and pooled.
+
+    Raises:
+        ValueError: if any per-server queue would be unstable.
+    """
+    if num_servers < 1:
+        raise ValueError("need at least one server")
+    per_server = total_arrival_rate / num_servers
+    if per_server >= service_rate:
+        raise ValueError("unstable: per-server load exceeds the service rate")
+    samples = [
+        simulate_mm1(per_server, service_rate, horizon, rng).sojourn_times
+        for _ in range(num_servers)
+    ]
+    return QueueSimResult(sojourn_times=np.concatenate(samples))
+
+
+def validate_sla_empirically(
+    network_latency: float,
+    max_latency: float,
+    service_rate: float,
+    demand: float,
+    sla_coefficient: float,
+    rng: np.random.Generator,
+    horizon: float = 2000.0,
+    tolerance: float = 0.05,
+) -> tuple[bool, float]:
+    """Check the SLA inversion (eq. 9–11) against simulated queues.
+
+    Allocates ``ceil(a * demand)`` servers, simulates, and tests whether
+    the measured mean end-to-end latency stays within ``(1 + tolerance)``
+    of the bound.
+
+    Returns:
+        ``(holds, measured_latency)``.
+    """
+    servers = int(np.ceil(sla_coefficient * demand))
+    if servers < 1:
+        raise ValueError("allocation rounds to zero servers")
+    result = simulate_split_servers(demand, servers, service_rate, horizon, rng)
+    measured = network_latency + result.mean_sojourn
+    return measured <= max_latency * (1.0 + tolerance), measured
+
+
+def simulate_mmc(
+    arrival_rate: float,
+    num_servers: int,
+    service_rate: float,
+    horizon: float,
+    rng: np.random.Generator,
+    warmup_fraction: float = 0.1,
+) -> QueueSimResult:
+    """Simulate an M/M/c queue (shared queue, ``c`` servers) by events.
+
+    Not the paper's model (it splits demand instead of pooling), but the
+    natural comparison point: pooling strictly beats splitting on mean
+    delay, quantifying how conservative the paper's per-server M/M/1
+    assumption is.
+    """
+    if num_servers < 1:
+        raise ValueError("need at least one server")
+    if arrival_rate >= num_servers * service_rate:
+        raise ValueError("unstable M/M/c configuration")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+
+    free_at = [0.0] * num_servers  # earliest time each server is idle
+    heapq.heapify(free_at)
+    time = 0.0
+    sojourns: list[float] = []
+    arrival_times: list[float] = []
+    queue_backlog: list[float] = []  # arrival times waiting for a server
+
+    # Event-free formulation for FIFO M/M/c: the next arrival takes the
+    # earliest-free server once everyone before it has been assigned.
+    while True:
+        time += rng.exponential(1.0 / arrival_rate)
+        if time >= horizon:
+            break
+        service = rng.exponential(1.0 / service_rate)
+        earliest = heapq.heappop(free_at)
+        start = max(time, earliest)
+        finish = start + service
+        heapq.heappush(free_at, finish)
+        arrival_times.append(time)
+        sojourns.append(finish - time)
+        queue_backlog.append(start - time)
+
+    arrivals = np.asarray(arrival_times)
+    sojourn_array = np.asarray(sojourns)
+    keep = arrivals >= warmup_fraction * horizon
+    return QueueSimResult(sojourn_times=sojourn_array[keep])

@@ -1,0 +1,255 @@
+"""Scenario builders: topology + workload + pricing -> a runnable DSPP.
+
+:func:`build_paper_scenario` reproduces the evaluation setup of Section
+VII: the synthetic tier-1 backbone over 24 US cities, transit-stub
+augmentation with the paper's 20/5/2 ms latencies, data centers in San
+Jose, Houston, Atlanta and Chicago (2000 machines each), population-
+weighted diurnal Poisson demand, and per-region electricity-market prices
+converted to per-server-hour costs.
+
+:func:`build_small_scenario` is a laptop-scale variant (few sites, short
+horizon) used by unit tests and the quickstart example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instance import DSPPInstance
+from repro.pricing.electricity import ElectricityPriceModel, PriceTrace
+from repro.pricing.markets import VM_TYPES, VMType, price_per_server_hour, region_for_datacenter
+from repro.queueing.sla import SLAPolicy
+from repro.topology.bipartite import BipartiteLatency, extract_bipartite_latency
+from repro.topology.geo import ACCESS_CITIES, DATACENTER_SITES, City, find_city
+from repro.topology.rocketfuel import build_tier1_backbone
+from repro.topology.transit_stub import TransitStubConfig, build_transit_stub
+from repro.workload.demand import DemandMatrix, build_demand_matrix
+from repro.workload.diurnal import OnOffEnvelope
+from repro.workload.spikes import FlashCrowd
+
+# Default price scale: converts the (tiny) $/server-hour electricity cost
+# into the same order of magnitude as unit reconfiguration weights, keeping
+# the QP well-scaled.  It multiplies all prices equally, so it changes no
+# comparison — only conditioning.
+_DEFAULT_PRICE_SCALE = 1000.0
+
+# Paper: "The capacity of data centers are set to 2000 machines each."
+PAPER_DATACENTER_CAPACITY = 2000.0
+
+# The paper's four data-center cities (body text of Section VII).
+PAPER_DATACENTER_KEYS: tuple[str, ...] = (
+    "san_jose_ca",
+    "houston_tx",
+    "atlanta_ga",
+    "chicago_il",
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully-specified, runnable placement setting.
+
+    Attributes:
+        instance: the static DSPP data.
+        demand: realized demand matrix, shape ``(V, K)``.
+        prices: realized per-server prices, shape ``(L, K)``.
+        latency: the bipartite latency structure behind the instance.
+        sla: the SLA policy the coefficients were derived from.
+        vm_type: the VM size servers run as.
+        wholesale_traces: the raw $/MWh market traces per data center
+            (before conversion), for plotting Figure 3.
+    """
+
+    instance: DSPPInstance
+    demand: np.ndarray
+    prices: np.ndarray
+    latency: BipartiteLatency
+    sla: SLAPolicy
+    vm_type: VMType
+    wholesale_traces: dict[str, PriceTrace]
+
+    def __post_init__(self) -> None:
+        L = self.instance.num_datacenters
+        V = self.instance.num_locations
+        if self.demand.ndim != 2 or self.demand.shape[0] != V:
+            raise ValueError(f"demand must be ({V}, K), got {self.demand.shape}")
+        if self.prices.shape != (L, self.demand.shape[1]):
+            raise ValueError(
+                f"prices must be ({L}, {self.demand.shape[1]}), got {self.prices.shape}"
+            )
+
+    @property
+    def num_periods(self) -> int:
+        return self.demand.shape[1]
+
+
+def build_paper_scenario(
+    num_periods: int = 24,
+    total_peak_rate: float = 2000.0,
+    datacenter_keys: tuple[str, ...] = PAPER_DATACENTER_KEYS,
+    capacity_per_datacenter: float = PAPER_DATACENTER_CAPACITY,
+    vm_type: str = "medium",
+    service_rate: float = 25.0,
+    max_latency_s: float = 0.150,
+    reconfiguration_weight: float = 1.0,
+    reservation_ratio: float = 1.0,
+    seed: int = 0,
+    stochastic_demand: bool = True,
+    flash_crowds: list[FlashCrowd] | None = None,
+    price_scale: float = _DEFAULT_PRICE_SCALE,
+) -> Scenario:
+    """Build the Section VII evaluation scenario.
+
+    Time units: network latencies are produced in milliseconds by the
+    topology layer and converted to **seconds** here, so the service rate
+    (requests/second) and the SLA bound (seconds) are dimensionally
+    consistent — this is what makes the ``a_lv`` coefficients genuinely
+    distance-sensitive (a far data center needs more queueing headroom,
+    i.e. more servers per request).
+
+    Args:
+        num_periods: horizon in hours (the paper plots 24-hour days).
+        total_peak_rate: nationwide peak request rate (requests/s).
+        datacenter_keys: which data-center sites to use.
+        capacity_per_datacenter: machines per data center (paper: 2000).
+        vm_type: VM size (paper: small/medium/large = 30/70/140 W).
+        service_rate: per-server service rate ``mu`` (requests/s).
+        max_latency_s: SLA bound on mean end-to-end latency, in seconds.
+        reservation_ratio: over-provisioning cushion ``r >= 1`` (Section
+            IV-B): the controller holds ``r`` times the bare SLA minimum,
+            absorbing Poisson noise the predictor cannot see.
+        reconfiguration_weight: the quadratic weight ``c^l`` (same at every
+            data center by default).
+        seed: RNG seed driving prices, demand noise and the stub topology.
+        stochastic_demand: sample the non-homogeneous Poisson process
+            (paper's generator); ``False`` keeps deterministic mean rates.
+        flash_crowds: optional spike events.
+        price_scale: multiplier applied to the per-server-hour cost.
+
+    Returns:
+        The :class:`Scenario`.
+    """
+    if num_periods < 2:
+        raise ValueError("need at least 2 periods")
+    rng = np.random.default_rng(seed)
+
+    backbone = build_tier1_backbone()
+    topology = build_transit_stub(backbone, TransitStubConfig(), rng=rng)
+
+    # Data centers attach at the transit POP of their city (Mountain View,
+    # which has no POP of its own, attaches at San Jose).
+    datacenter_nodes: dict[str, str] = {}
+    for key in datacenter_keys:
+        node = key if key in topology.graph else "san_jose_ca"
+        datacenter_nodes[key] = node
+    # Access networks attach at the first stub gateway of their city's POP.
+    location_nodes = {
+        city.key: topology.stub_gateways[city.key][0] for city in ACCESS_CITIES
+    }
+
+    latency = extract_bipartite_latency(topology.graph, datacenter_nodes, location_nodes)
+
+    sla = SLAPolicy(
+        max_latency=max_latency_s,
+        service_rate=service_rate,
+        reservation_ratio=reservation_ratio,
+    )
+    coefficients = sla.coefficient_matrix(latency.latency_ms * 1e-3)
+
+    vm = VM_TYPES[vm_type]
+    prices = np.empty((len(datacenter_keys), num_periods))
+    wholesale: dict[str, PriceTrace] = {}
+    for row, key in enumerate(datacenter_keys):
+        region = region_for_datacenter(key)
+        model = ElectricityPriceModel(region)
+        trace = model.generate(num_periods, rng)
+        wholesale[key] = trace
+        prices[row] = [
+            price_per_server_hour(float(p), vm) * price_scale for p in trace.prices
+        ]
+
+    demand_matrix = build_demand_matrix(
+        total_peak_rate=total_peak_rate,
+        num_periods=num_periods,
+        envelope=OnOffEnvelope(),
+        flash_crowds=flash_crowds,
+        rng=rng if stochastic_demand else None,
+    )
+
+    L, V = len(datacenter_keys), len(ACCESS_CITIES)
+    instance = DSPPInstance(
+        datacenters=tuple(datacenter_keys),
+        locations=demand_matrix.locations,
+        sla_coefficients=coefficients,
+        reconfiguration_weights=np.full(L, float(reconfiguration_weight)),
+        capacities=np.full(L, float(capacity_per_datacenter)),
+        initial_state=np.zeros((L, V)),
+    )
+    return Scenario(
+        instance=instance,
+        demand=demand_matrix.rates,
+        prices=prices,
+        latency=latency,
+        sla=sla,
+        vm_type=vm,
+        wholesale_traces=wholesale,
+    )
+
+
+def build_small_scenario(
+    num_periods: int = 8,
+    num_datacenters: int = 2,
+    num_locations: int = 3,
+    seed: int = 0,
+) -> Scenario:
+    """A fast, small scenario for tests and the quickstart example.
+
+    Sites are synthetic (no topology construction); latencies are drawn
+    uniformly in [5, 60] ms, demand is a smooth diurnal ripple and prices
+    a mild random walk — everything feasible by construction.
+    """
+    if num_datacenters < 1 or num_locations < 1 or num_periods < 2:
+        raise ValueError("need >=1 DC, >=1 location, >=2 periods")
+    rng = np.random.default_rng(seed)
+    dc_labels = tuple(f"dc{i}" for i in range(num_datacenters))
+    loc_labels = tuple(f"v{i}" for i in range(num_locations))
+
+    latency_ms = rng.uniform(5.0, 60.0, size=(num_datacenters, num_locations))
+    from repro.topology.bipartite import BipartiteLatency
+
+    latency = BipartiteLatency(
+        datacenters=dc_labels, locations=loc_labels, latency_ms=latency_ms
+    )
+    sla = SLAPolicy(max_latency=0.150, service_rate=25.0)
+    coefficients = sla.coefficient_matrix(latency_ms * 1e-3)
+
+    hours = np.arange(num_periods, dtype=float)
+    base = rng.uniform(20.0, 60.0, size=num_locations)
+    ripple = 1.0 + 0.4 * np.sin(2.0 * np.pi * hours / 24.0)[None, :]
+    demand = base[:, None] * ripple
+
+    price_base = rng.uniform(0.8, 2.0, size=num_datacenters)
+    price_ripple = 1.0 + 0.25 * np.sin(
+        2.0 * np.pi * (hours / 24.0 + rng.random(size=(num_datacenters, 1)))
+    )
+    prices = price_base[:, None] * price_ripple
+
+    instance = DSPPInstance(
+        datacenters=dc_labels,
+        locations=loc_labels,
+        sla_coefficients=coefficients,
+        reconfiguration_weights=np.ones(num_datacenters),
+        capacities=np.full(num_datacenters, 500.0),
+        initial_state=np.zeros((num_datacenters, num_locations)),
+    )
+    return Scenario(
+        instance=instance,
+        demand=demand,
+        prices=prices,
+        latency=latency,
+        sla=sla,
+        vm_type=VM_TYPES["small"],
+        wholesale_traces={},
+    )

@@ -1,0 +1,33 @@
+"""Convex optimization machinery used throughout the reproduction.
+
+The DSPP of Section IV-D is a linear-quadratic program.  The paper solves it
+with "standard methods" [Boyd & Vandenberghe]; we provide those methods from
+scratch:
+
+* :mod:`repro.solvers.qp` — an operator-splitting (ADMM, OSQP-style) solver
+  for convex QPs of the form ``min 1/2 x'Px + q'x  s.t.  l <= Ax <= u``.
+* :mod:`repro.solvers.kkt` — KKT residual computation and an active-set
+  polish step that refines ADMM iterates to high accuracy.
+* :mod:`repro.solvers.projections` — the Euclidean projections ADMM relies on.
+* :mod:`repro.solvers.dual` — the dual-decomposition quota coordinator used
+  by Algorithm 2 (the best-response equilibrium computation).
+"""
+
+from repro.solvers.qp import QPProblem, QPSolution, QPStatus, solve_qp
+from repro.solvers.kkt import kkt_residuals, polish_solution
+from repro.solvers.projections import project_box, project_halfspace, project_nonnegative
+from repro.solvers.dual import QuotaCoordinator, QuotaUpdate
+
+__all__ = [
+    "QPProblem",
+    "QPSolution",
+    "QPStatus",
+    "solve_qp",
+    "kkt_residuals",
+    "polish_solution",
+    "project_box",
+    "project_halfspace",
+    "project_nonnegative",
+    "QuotaCoordinator",
+    "QuotaUpdate",
+]

@@ -1,0 +1,146 @@
+"""Dual-decomposition quota coordination (lines 7–8 of Algorithm 2).
+
+In the multi-provider game of Section VI, the cloud infrastructure provider
+coordinates capacity when aggregate demand exceeds a data center's supply.
+Each service provider (SP) solves its own DSPP against a private *quota*
+vector ``C_i`` and reports the optimal dual variable ``lambda_i`` of its
+capacity constraint at each data center.  The coordinator then performs a
+subgradient step in quota space and renormalizes so that per-DC quotas sum
+to the physical capacity::
+
+    C_bar_i = C_i + alpha * lambda_i          (ascent on reported duals)
+    C_i     = C_bar_i * C / sum_j C_bar_j     (elementwise renormalization)
+
+The renormalization is exactly line 8 of Algorithm 2; this module also
+offers a simplex-projection variant that behaves better when duals vanish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solvers.projections import project_simplex
+
+_MIN_SHARE = 1e-9
+
+
+@dataclass(frozen=True)
+class QuotaUpdate:
+    """Outcome of one coordination round.
+
+    Attributes:
+        quotas: array of shape ``(n_providers, n_datacenters)`` — the new
+            per-provider capacity quota for every data center.
+        max_change: infinity-norm change from the previous quotas, useful
+            as a secondary convergence signal.
+    """
+
+    quotas: np.ndarray
+    max_change: float
+
+
+class QuotaCoordinator:
+    """Iteratively re-divides data-center capacity among competing SPs.
+
+    Args:
+        capacity: physical capacity of each data center, shape ``(L,)``.
+        n_providers: number of competing service providers.
+        step_size: the ascent step ``alpha`` applied to reported duals.
+        mode: ``"normalize"`` reproduces the paper's multiplicative
+            renormalization; ``"simplex"`` projects the updated shares onto
+            the capacity simplex instead (numerically more forgiving when
+            all duals are zero).
+
+    Raises:
+        ValueError: if capacity is not positive or arguments are inconsistent.
+    """
+
+    def __init__(
+        self,
+        capacity: np.ndarray,
+        n_providers: int,
+        step_size: float = 1.0,
+        mode: str = "normalize",
+    ) -> None:
+        capacity = np.asarray(capacity, dtype=float)
+        if np.any(capacity <= 0):
+            raise ValueError("all data-center capacities must be positive")
+        if n_providers < 1:
+            raise ValueError(f"need at least one provider, got {n_providers}")
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        if mode not in ("normalize", "simplex"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.capacity = capacity
+        self.n_providers = n_providers
+        self.step_size = step_size
+        self.mode = mode
+        # Initial quotas: equal split of every data center (line 1 of
+        # Algorithm 2 leaves initialization open; equal split is the
+        # symmetric choice and is what the experiments use).
+        self._quotas = np.tile(capacity / n_providers, (n_providers, 1))
+
+    @property
+    def quotas(self) -> np.ndarray:
+        """Current quota matrix, shape ``(n_providers, L)`` (read-only view)."""
+        view = self._quotas.view()
+        view.setflags(write=False)
+        return view
+
+    def update(self, duals: np.ndarray) -> QuotaUpdate:
+        """Perform one coordination round.
+
+        Args:
+            duals: reported capacity-constraint duals ``lambda_i^l``, shape
+                ``(n_providers, L)``; must be nonnegative (a capacity
+                constraint is ``<=``, so its multiplier is signed >= 0 —
+                negative entries are clipped defensively).
+
+        Returns:
+            The :class:`QuotaUpdate` with the renormalized quotas.
+
+        Raises:
+            ValueError: if the dual matrix has the wrong shape.
+        """
+        duals = np.asarray(duals, dtype=float)
+        if duals.shape != self._quotas.shape:
+            raise ValueError(
+                f"duals must have shape {self._quotas.shape}, got {duals.shape}"
+            )
+        raised = self._quotas + self.step_size * np.maximum(duals, 0.0)
+        if self.mode == "normalize":
+            column_sums = raised.sum(axis=0)
+            safe_sums = np.maximum(column_sums, _MIN_SHARE)
+            new_quotas = raised * (self.capacity / safe_sums)
+        else:
+            new_quotas = np.empty_like(raised)
+            for dc in range(raised.shape[1]):
+                new_quotas[:, dc] = project_simplex(raised[:, dc], total=float(self.capacity[dc]))
+        change = float(np.max(np.abs(new_quotas - self._quotas)))
+        self._quotas = new_quotas
+        return QuotaUpdate(quotas=new_quotas.copy(), max_change=change)
+
+    def reset(self) -> None:
+        """Return to the symmetric equal-split initial quotas."""
+        self._quotas = np.tile(self.capacity / self.n_providers, (self.n_providers, 1))
+
+    def set_quotas(self, quotas: np.ndarray) -> None:
+        """Install explicit quotas (e.g. a biased start for equilibrium
+        exploration).
+
+        Raises:
+            ValueError: on wrong shape, negative entries, or per-DC sums
+                that do not match the physical capacity.
+        """
+        quotas = np.asarray(quotas, dtype=float)
+        if quotas.shape != self._quotas.shape:
+            raise ValueError(
+                f"quotas must have shape {self._quotas.shape}, got {quotas.shape}"
+            )
+        if np.any(quotas < 0):
+            raise ValueError("quotas must be nonnegative")
+        if not np.allclose(quotas.sum(axis=0), self.capacity, rtol=1e-6):
+            raise ValueError("per-DC quotas must sum to the physical capacity")
+        self._quotas = quotas.copy()

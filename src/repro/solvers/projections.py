@@ -1,0 +1,91 @@
+"""Euclidean projections used by the ADMM QP solver.
+
+These are the only nonlinear operations in the operator-splitting iteration,
+so they are kept tiny, allocation-light and fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def project_box(z: np.ndarray, lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
+    """Project ``z`` onto the box ``[lower, upper]`` componentwise.
+
+    Infinite bounds are supported (``-inf``/``+inf`` leave the side open).
+
+    Args:
+        z: point to project, shape ``(m,)``.
+        lower: elementwise lower bounds, shape ``(m,)``.
+        upper: elementwise upper bounds, shape ``(m,)``.
+
+    Returns:
+        The projected point (a new array; ``z`` is not modified).
+
+    Raises:
+        ValueError: if any ``lower[i] > upper[i]`` (empty box).
+    """
+    if np.any(lower > upper):
+        raise ValueError("empty box: some lower bound exceeds its upper bound")
+    return np.minimum(np.maximum(z, lower), upper)
+
+
+def project_nonnegative(z: np.ndarray) -> np.ndarray:
+    """Project ``z`` onto the nonnegative orthant."""
+    return np.maximum(z, 0.0)
+
+
+def project_halfspace(z: np.ndarray, a: np.ndarray, b: float) -> np.ndarray:
+    """Project ``z`` onto the halfspace ``{x : a'x <= b}``.
+
+    Args:
+        z: point to project.
+        a: normal vector of the halfspace (must be nonzero).
+        b: offset.
+
+    Returns:
+        The closest point of the halfspace to ``z``.
+
+    Raises:
+        ValueError: if ``a`` is the zero vector (the set is either everything
+            or empty, and the projection is not well defined as a halfspace).
+    """
+    norm_sq = float(np.dot(a, a))
+    if norm_sq == 0.0:
+        raise ValueError("halfspace normal must be nonzero")
+    violation = float(np.dot(a, z)) - b
+    if violation <= 0.0:
+        return np.array(z, dtype=float, copy=True)
+    return z - (violation / norm_sq) * a
+
+
+def project_simplex(z: np.ndarray, total: float = 1.0) -> np.ndarray:
+    """Project ``z`` onto the scaled simplex ``{x >= 0 : sum(x) = total}``.
+
+    Used by the quota coordinator to renormalize per-provider capacity shares
+    (line 8 of Algorithm 2 is a multiplicative normalization; the simplex
+    projection is offered as a numerically robust alternative).
+
+    Implements the O(m log m) sort-based algorithm of Held, Wolfe and
+    Crowder (1974).
+
+    Args:
+        z: point to project, shape ``(m,)``.
+        total: the simplex scale (must be positive).
+
+    Returns:
+        The projected point.
+
+    Raises:
+        ValueError: if ``total`` is not positive.
+    """
+    if total <= 0.0:
+        raise ValueError(f"simplex total must be positive, got {total}")
+    z = np.asarray(z, dtype=float)
+    sorted_desc = np.sort(z)[::-1]
+    cumulative = np.cumsum(sorted_desc) - total
+    indices = np.arange(1, z.size + 1)
+    feasible = sorted_desc - cumulative / indices > 0
+    rho = int(indices[feasible][-1])
+    theta = cumulative[rho - 1] / rho
+    return np.maximum(z - theta, 0.0)

@@ -1,0 +1,480 @@
+"""Operator-splitting convex QP solver (OSQP-style ADMM).
+
+Solves problems of the form::
+
+    minimize    1/2 x' P x + q' x
+    subject to  l <= A x <= u
+
+where ``P`` is symmetric positive semidefinite.  Equality constraints are
+expressed as rows with ``l == u``.  This is exactly the class the DSPP
+linear-quadratic program of Section IV-D belongs to, so this module is the
+single numerical engine behind :func:`repro.core.dspp.solve_dspp`, the MPC
+controller and the best-response game dynamics.
+
+The implementation follows Stellato et al., "OSQP: an operator splitting
+solver for quadratic programs" (2020): a quasi-definite KKT system is
+factorized once per value of the step-size vector ``rho`` and reused across
+iterations; ``rho`` adapts to balance primal and dual residuals; an optional
+active-set *polish* step refines the ADMM iterate to near machine precision.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.solvers.projections import project_box
+
+_EQUALITY_RHO_SCALE = 1e3
+_RHO_MIN = 1e-6
+_RHO_MAX = 1e6
+
+
+class QPStatus(enum.Enum):
+    """Termination status of :func:`solve_qp`."""
+
+    OPTIMAL = "optimal"
+    MAX_ITERATIONS = "max_iterations"
+    PRIMAL_INFEASIBLE = "primal_infeasible"
+    DUAL_INFEASIBLE = "dual_infeasible"
+
+
+@dataclass(frozen=True)
+class QPProblem:
+    """Immutable description of a box-constrained convex QP.
+
+    Attributes:
+        P: quadratic cost matrix, shape ``(n, n)``; only its symmetric part
+            is used, and it must be positive semidefinite.
+        q: linear cost vector, shape ``(n,)``.
+        A: constraint matrix, shape ``(m, n)``.
+        l: lower constraint bounds, shape ``(m,)`` (``-inf`` allowed).
+        u: upper constraint bounds, shape ``(m,)`` (``+inf`` allowed).
+    """
+
+    P: sp.csc_matrix
+    q: np.ndarray
+    A: sp.csc_matrix
+    l: np.ndarray
+    u: np.ndarray
+
+    @staticmethod
+    def build(P, q, A, l, u) -> "QPProblem":
+        """Validate and normalize raw inputs into a :class:`QPProblem`.
+
+        Accepts dense arrays or sparse matrices; symmetrizes ``P``.
+
+        Raises:
+            ValueError: on inconsistent shapes or ``l > u``.
+        """
+        P = sp.csc_matrix(P, dtype=float)
+        A = sp.csc_matrix(A, dtype=float)
+        q = np.asarray(q, dtype=float).ravel()
+        l = np.asarray(l, dtype=float).ravel()
+        u = np.asarray(u, dtype=float).ravel()
+        n = q.size
+        m = A.shape[0]
+        if P.shape != (n, n):
+            raise ValueError(f"P must be {n}x{n}, got {P.shape}")
+        if A.shape[1] != n:
+            raise ValueError(f"A must have {n} columns, got {A.shape[1]}")
+        if l.shape != (m,) or u.shape != (m,):
+            raise ValueError("l and u must match the row count of A")
+        if np.any(l > u):
+            raise ValueError("infeasible bounds: some l[i] > u[i]")
+        P = ((P + P.T) * 0.5).tocsc()
+        return QPProblem(P=P, q=q, A=A, l=l, u=u)
+
+    @property
+    def num_variables(self) -> int:
+        return self.q.size
+
+    @property
+    def num_constraints(self) -> int:
+        return self.A.shape[0]
+
+    def objective(self, x: np.ndarray) -> float:
+        """Evaluate ``1/2 x'Px + q'x`` at ``x``."""
+        return float(0.5 * x @ (self.P @ x) + self.q @ x)
+
+
+@dataclass
+class QPSolution:
+    """Result of :func:`solve_qp`.
+
+    Attributes:
+        x: primal solution, shape ``(n,)``.
+        y: dual solution for the coupled constraint ``l <= Ax <= u``,
+            shape ``(m,)``.  Sign convention: ``y[i] > 0`` when the upper
+            bound is active, ``y[i] < 0`` when the lower bound is active.
+        objective: primal objective value at ``x``.
+        status: termination status.
+        iterations: number of ADMM iterations performed.
+        primal_residual: final ``||Ax - z||_inf``.
+        dual_residual: final ``||Px + q + A'y||_inf``.
+        polished: whether the active-set polish succeeded.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    objective: float
+    status: QPStatus
+    iterations: int
+    primal_residual: float
+    dual_residual: float
+    polished: bool = False
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is QPStatus.OPTIMAL
+
+
+@dataclass
+class QPSettings:
+    """Tuning knobs for the ADMM iteration.
+
+    The defaults are good for the (well-scaled) DSPP instances produced by
+    :mod:`repro.core.matrices`; tests exercise much harsher random QPs.
+    """
+
+    max_iterations: int = 20000
+    eps_abs: float = 1e-6
+    eps_rel: float = 1e-6
+    rho: float = 0.1
+    sigma: float = 1e-6
+    alpha: float = 1.6
+    adaptive_rho_interval: int = 50
+    adaptive_rho_tolerance: float = 5.0
+    polish: bool = True
+    check_interval: int = 10
+    infeasibility_eps: float = 1e-9
+    scaling_iterations: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 2.0:
+            raise ValueError(f"relaxation alpha must be in (0, 2), got {self.alpha}")
+        if self.rho <= 0.0 or self.sigma <= 0.0:
+            raise ValueError("rho and sigma must be positive")
+
+
+@dataclass
+class _WorkState:
+    """Mutable iteration state; exposed only for warm-starting."""
+
+    x: np.ndarray
+    z: np.ndarray
+    y: np.ndarray
+    rho_vec: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class _Scaling:
+    """Ruiz-equilibration scaling of a QP.
+
+    The scaled problem is ``min 1/2 x~' (c D P D) x~ + (c D q)' x~`` subject
+    to ``E l <= (E A D) x~ <= E u``; a scaled iterate maps back as
+    ``x = D x~``, ``y = E y~ / c``, ``z = z~ / E`` (D, E diagonal).
+    """
+
+    d: np.ndarray
+    e: np.ndarray
+    cost: float
+
+    def unscale_x(self, x_scaled: np.ndarray) -> np.ndarray:
+        return self.d * x_scaled
+
+    def unscale_y(self, y_scaled: np.ndarray) -> np.ndarray:
+        return self.e * y_scaled / self.cost
+
+    def unscale_z(self, z_scaled: np.ndarray) -> np.ndarray:
+        return z_scaled / self.e
+
+    def scale_x(self, x: np.ndarray) -> np.ndarray:
+        return x / self.d
+
+    def scale_y(self, y: np.ndarray) -> np.ndarray:
+        return self.cost * y / self.e
+
+
+def _ruiz_equilibrate(problem: QPProblem, iterations: int) -> tuple[QPProblem, _Scaling]:
+    """Modified Ruiz equilibration (the OSQP preconditioner).
+
+    Iteratively scales variables and constraints toward unit infinity-norm
+    rows/columns of the KKT matrix, then normalizes the cost.  Returns the
+    scaled problem and the scaling needed to map solutions back.
+    """
+    n, m = problem.num_variables, problem.num_constraints
+    d = np.ones(n)
+    e = np.ones(m)
+    cost = 1.0
+    P = problem.P.copy()
+    q = problem.q.copy()
+    A = problem.A.copy()
+
+    for _ in range(iterations):
+        col_norm_p = np.abs(P).max(axis=0).toarray().ravel() if P.nnz else np.zeros(n)
+        col_norm_a = np.abs(A).max(axis=0).toarray().ravel() if A.nnz else np.zeros(n)
+        col_norm = np.maximum(col_norm_p, col_norm_a)
+        delta_d = 1.0 / np.sqrt(np.clip(col_norm, 1e-8, 1e8))
+        if m:
+            row_norm = np.abs(A).max(axis=1).toarray().ravel()
+            delta_e = 1.0 / np.sqrt(np.clip(row_norm, 1e-8, 1e8))
+        else:
+            delta_e = np.ones(0)
+
+        Dd = sp.diags(delta_d)
+        P = (Dd @ P @ Dd).tocsc()
+        q = delta_d * q
+        if m:
+            Ee = sp.diags(delta_e)
+            A = (Ee @ A @ Dd).tocsc()
+        d *= delta_d
+        e *= delta_e
+
+        # Cost normalization keeps the objective's scale near 1.
+        p_col_means = np.abs(P).max(axis=0).toarray().ravel()
+        gamma = 1.0 / max(float(p_col_means.mean()) if n else 1.0, _inf_norm(q), 1e-8)
+        gamma = min(max(gamma, 1e-8), 1e8)
+        P = (P * gamma).tocsc()
+        q = q * gamma
+        cost *= gamma
+
+    scaled = QPProblem(P=P, q=q, A=A, l=e * problem.l, u=e * problem.u)
+    return scaled, _Scaling(d=d, e=e, cost=cost)
+
+
+def _rho_vector(problem: QPProblem, rho: float) -> np.ndarray:
+    """Per-constraint step sizes: equality rows get a stiffer rho."""
+    rho_vec = np.full(problem.num_constraints, rho, dtype=float)
+    equality = problem.l == problem.u
+    rho_vec[equality] *= _EQUALITY_RHO_SCALE
+    return np.clip(rho_vec, _RHO_MIN, _RHO_MAX)
+
+
+def _factorize(problem: QPProblem, sigma: float, rho_vec: np.ndarray):
+    """Factorize the quasi-definite KKT matrix for the current rho vector."""
+    n = problem.num_variables
+    m = problem.num_constraints
+    upper_left = problem.P + sigma * sp.identity(n, format="csc")
+    if m == 0:
+        return spla.splu(upper_left.tocsc())
+    lower_right = sp.diags(-1.0 / rho_vec, format="csc")
+    kkt = sp.bmat([[upper_left, problem.A.T], [problem.A, lower_right]], format="csc")
+    return spla.splu(kkt)
+
+
+def _residuals(problem: QPProblem, x: np.ndarray, z: np.ndarray, y: np.ndarray):
+    """Return (r_prim, r_dual, prim_scale, dual_scale) for termination tests."""
+    ax = problem.A @ x
+    px = problem.P @ x
+    aty = problem.A.T @ y
+    r_prim = float(np.max(np.abs(ax - z))) if z.size else 0.0
+    r_dual = float(np.max(np.abs(px + problem.q + aty)))
+    prim_scale = max(_inf_norm(ax), _inf_norm(z), 1e-12)
+    dual_scale = max(_inf_norm(px), _inf_norm(problem.q), _inf_norm(aty), 1e-12)
+    return r_prim, r_dual, prim_scale, dual_scale
+
+
+def _inf_norm(v: np.ndarray) -> float:
+    return float(np.max(np.abs(v))) if v.size else 0.0
+
+
+def _check_primal_infeasible(problem: QPProblem, dy: np.ndarray, eps: float) -> bool:
+    """Certificate test: dy with A'dy ~ 0 and support-function value < 0."""
+    norm_dy = _inf_norm(dy)
+    if norm_dy <= eps:
+        return False
+    dy = dy / norm_dy
+    if _inf_norm(problem.A.T @ dy) > eps * 1e3:
+        return False
+    dy_pos = np.maximum(dy, 0.0)
+    dy_neg = np.minimum(dy, 0.0)
+    # A positive dy component against an open upper bound (or negative
+    # against an open lower bound) makes the support function +inf, which
+    # can never certify infeasibility.
+    if np.any((dy_pos > 0) & ~np.isfinite(problem.u)):
+        return False
+    if np.any((dy_neg < 0) & ~np.isfinite(problem.l)):
+        return False
+    u_finite = np.where(np.isfinite(problem.u), problem.u, 0.0)
+    l_finite = np.where(np.isfinite(problem.l), problem.l, 0.0)
+    support = float(np.sum(u_finite * dy_pos) + np.sum(l_finite * dy_neg))
+    return support < -eps * 1e3
+
+
+def _check_dual_infeasible(problem: QPProblem, dx: np.ndarray, eps: float) -> bool:
+    """Certificate test: descent ray dx with P dx ~ 0, q'dx < 0, A dx in recession cone."""
+    norm_dx = _inf_norm(dx)
+    if norm_dx <= eps:
+        return False
+    dx = dx / norm_dx
+    if _inf_norm(problem.P @ dx) > eps * 1e3:
+        return False
+    if float(problem.q @ dx) >= -eps * 1e3:
+        return False
+    adx = problem.A @ dx
+    upper_ok = np.all((adx <= eps * 1e3) | ~np.isfinite(problem.u))
+    lower_ok = np.all((adx >= -eps * 1e3) | ~np.isfinite(problem.l))
+    return bool(upper_ok and lower_ok)
+
+
+def solve_qp(
+    P,
+    q,
+    A,
+    l,
+    u,
+    settings: QPSettings | None = None,
+    warm_start: QPSolution | None = None,
+) -> QPSolution:
+    """Solve ``min 1/2 x'Px + q'x  s.t.  l <= Ax <= u``.
+
+    Args:
+        P: symmetric PSD cost matrix (dense or sparse), shape ``(n, n)``.
+        q: linear cost, shape ``(n,)``.
+        A: constraint matrix, shape ``(m, n)``.
+        l: lower bounds (``-inf`` allowed), shape ``(m,)``.
+        u: upper bounds (``+inf`` allowed), shape ``(m,)``.
+        settings: solver settings; defaults are sensible for DSPP instances.
+        warm_start: a previous solution of a *same-shaped* problem; its
+            primal/dual iterates seed the ADMM iteration (this is what makes
+            receding-horizon MPC cheap).
+
+    Returns:
+        A :class:`QPSolution`.  ``status`` distinguishes optimality from
+        iteration exhaustion and from primal/dual infeasibility certificates.
+
+    Raises:
+        ValueError: on malformed inputs (see :meth:`QPProblem.build`).
+    """
+    problem = QPProblem.build(P, q, A, l, u)
+    cfg = settings or QPSettings()
+    n, m = problem.num_variables, problem.num_constraints
+
+    # Ruiz equilibration: iterate on the scaled problem, terminate on the
+    # original one (so tolerances keep their user-facing meaning).
+    if cfg.scaling_iterations > 0:
+        work, scaling = _ruiz_equilibrate(problem, cfg.scaling_iterations)
+    else:
+        work, scaling = problem, _Scaling(d=np.ones(n), e=np.ones(m), cost=1.0)
+
+    x = np.zeros(n)
+    z = np.zeros(m)
+    y = np.zeros(m)
+    if warm_start is not None and warm_start.x.size == n and warm_start.y.size == m:
+        x = scaling.scale_x(np.asarray(warm_start.x, dtype=float))
+        y = scaling.scale_y(np.asarray(warm_start.y, dtype=float))
+        z = np.asarray(work.A @ x, dtype=float)
+
+    rho_vec = _rho_vector(work, cfg.rho)
+    lu = _factorize(work, cfg.sigma, rho_vec)
+
+    if m == 0:
+        x = scaling.unscale_x(lu.solve(-work.q))
+        return QPSolution(
+            x=x,
+            y=y,
+            objective=problem.objective(x),
+            status=QPStatus.OPTIMAL,
+            iterations=0,
+            primal_residual=0.0,
+            dual_residual=_inf_norm(problem.P @ x + problem.q),
+        )
+
+    rhs = np.empty(n + m)
+    status = QPStatus.MAX_ITERATIONS
+    r_prim = r_dual = np.inf
+    iteration = 0
+    for iteration in range(1, cfg.max_iterations + 1):
+        x_prev = x
+        y_prev = y
+        rhs[:n] = cfg.sigma * x - work.q
+        rhs[n:] = z - y / rho_vec
+        sol = lu.solve(rhs)
+        x_tilde = sol[:n]
+        nu = sol[n:]
+        z_tilde = z + (nu - y) / rho_vec
+        x = cfg.alpha * x_tilde + (1.0 - cfg.alpha) * x_prev
+        z_relaxed = cfg.alpha * z_tilde + (1.0 - cfg.alpha) * z
+        z_new = project_box(z_relaxed + y / rho_vec, work.l, work.u)
+        y = y + rho_vec * (z_relaxed - z_new)
+        z = z_new
+
+        if iteration % cfg.check_interval != 0:
+            continue
+
+        x_orig = scaling.unscale_x(x)
+        y_orig = scaling.unscale_y(y)
+        z_orig = scaling.unscale_z(z)
+        r_prim, r_dual, prim_scale, dual_scale = _residuals(
+            problem, x_orig, z_orig, y_orig
+        )
+        eps_prim = cfg.eps_abs + cfg.eps_rel * prim_scale
+        eps_dual = cfg.eps_abs + cfg.eps_rel * dual_scale
+        if r_prim <= eps_prim and r_dual <= eps_dual:
+            status = QPStatus.OPTIMAL
+            break
+
+        if _check_primal_infeasible(
+            problem, scaling.unscale_y(y - y_prev), cfg.infeasibility_eps
+        ):
+            status = QPStatus.PRIMAL_INFEASIBLE
+            break
+        if _check_dual_infeasible(
+            problem, scaling.unscale_x(x - x_prev), cfg.infeasibility_eps
+        ):
+            status = QPStatus.DUAL_INFEASIBLE
+            break
+
+        if cfg.adaptive_rho_interval and iteration % cfg.adaptive_rho_interval == 0:
+            # Balance the *scaled* residuals — they drive the iteration.
+            rs_prim, rs_dual, ps, ds = _residuals(work, x, z, y)
+            scaled_prim = rs_prim / max(ps, 1e-12)
+            scaled_dual = rs_dual / max(ds, 1e-12)
+            ratio = np.sqrt(scaled_prim / max(scaled_dual, 1e-12))
+            if ratio > cfg.adaptive_rho_tolerance or ratio < 1.0 / cfg.adaptive_rho_tolerance:
+                rho_vec = np.clip(rho_vec * ratio, _RHO_MIN, _RHO_MAX)
+                lu = _factorize(work, cfg.sigma, rho_vec)
+
+    x = scaling.unscale_x(x)
+    y = scaling.unscale_y(y)
+    z = scaling.unscale_z(z)
+
+    if status in (QPStatus.PRIMAL_INFEASIBLE, QPStatus.DUAL_INFEASIBLE):
+        return QPSolution(
+            x=x,
+            y=y,
+            objective=np.nan,
+            status=status,
+            iterations=iteration,
+            primal_residual=np.inf,
+            dual_residual=np.inf,
+        )
+
+    if status is QPStatus.MAX_ITERATIONS:
+        # A warm start from a *different* problem can trap the iteration
+        # (the adaptive step size tunes itself to the stale iterate and
+        # stalls).  A cold restart is cheap relative to a wasted budget,
+        # and in the receding-horizon loop it is the correct fallback.
+        if warm_start is not None:
+            return solve_qp(P, q, A, l, u, settings=settings, warm_start=None)
+        r_prim, r_dual, _, _ = _residuals(problem, x, z, y)
+
+    solution = QPSolution(
+        x=x,
+        y=y,
+        objective=problem.objective(x),
+        status=status,
+        iterations=iteration,
+        primal_residual=r_prim,
+        dual_residual=r_dual,
+    )
+    if cfg.polish and status is QPStatus.OPTIMAL:
+        from repro.solvers.kkt import polish_solution
+
+        solution = polish_solution(problem, solution)
+    return solution

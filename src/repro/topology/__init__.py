@@ -1,0 +1,45 @@
+"""Geographic topology substrate.
+
+The paper's evaluation uses a Rocketfuel tier-1 ISP map augmented with
+intermediary ISPs and access networks in the GT-ITM transit-stub style,
+with link latencies of 20 ms (intra-transit), 5 ms (stub-transit) and
+2 ms (intra-stub).  This package rebuilds that pipeline:
+
+* :mod:`repro.topology.geo` — US city database (24 access cities and the
+  paper's data-center sites), great-circle distances, fiber latency model.
+* :mod:`repro.topology.rocketfuel` — deterministic synthetic tier-1
+  backbone over real POP coordinates, plus a parser for Rocketfuel
+  ``weights``-format files when the real traces are available.
+* :mod:`repro.topology.transit_stub` — GT-ITM-style transit-stub
+  augmentation with the paper's latency constants.
+* :mod:`repro.topology.bipartite` — extraction of the bipartite graph
+  ``G = (L ∪ V, E)`` of Section IV: the data-center × access-network
+  latency matrix ``d_lv`` the DSPP consumes.
+"""
+
+from repro.topology.geo import (
+    City,
+    ACCESS_CITIES,
+    DATACENTER_SITES,
+    great_circle_km,
+    propagation_delay_ms,
+)
+from repro.topology.rocketfuel import BackboneTopology, build_tier1_backbone, parse_rocketfuel_weights
+from repro.topology.transit_stub import TransitStubConfig, TransitStubTopology, build_transit_stub
+from repro.topology.bipartite import BipartiteLatency, extract_bipartite_latency
+
+__all__ = [
+    "City",
+    "ACCESS_CITIES",
+    "DATACENTER_SITES",
+    "great_circle_km",
+    "propagation_delay_ms",
+    "BackboneTopology",
+    "build_tier1_backbone",
+    "parse_rocketfuel_weights",
+    "TransitStubConfig",
+    "TransitStubTopology",
+    "build_transit_stub",
+    "BipartiteLatency",
+    "extract_bipartite_latency",
+]

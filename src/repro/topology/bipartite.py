@@ -1,0 +1,107 @@
+"""Extraction of the bipartite graph ``G = (L ∪ V, E)`` of Section IV.
+
+The DSPP never sees the full topology — only the constant network latencies
+``d_lv`` between each data center ``l`` and each customer location ``v``.
+This module computes that matrix from a topology by multi-source shortest
+paths, and wraps it with the site metadata downstream layers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BipartiteLatency:
+    """The data-center × access-network latency matrix.
+
+    Attributes:
+        datacenters: ordered data-center labels (rows), length ``L``.
+        locations: ordered customer-location labels (columns), length ``V``.
+        latency_ms: array of shape ``(L, V)`` with one-way network latency
+            ``d_lv`` in milliseconds; ``inf`` marks unreachable pairs.
+    """
+
+    datacenters: tuple[str, ...]
+    locations: tuple[str, ...]
+    latency_ms: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = (len(self.datacenters), len(self.locations))
+        if self.latency_ms.shape != expected:
+            raise ValueError(
+                f"latency matrix shape {self.latency_ms.shape} does not match "
+                f"{len(self.datacenters)} datacenters x {len(self.locations)} locations"
+            )
+        if np.any(self.latency_ms < 0):
+            raise ValueError("latencies must be nonnegative")
+
+    @property
+    def num_datacenters(self) -> int:
+        return len(self.datacenters)
+
+    @property
+    def num_locations(self) -> int:
+        return len(self.locations)
+
+    def latency(self, datacenter: str, location: str) -> float:
+        """Latency of one pair, looked up by label."""
+        row = self.datacenters.index(datacenter)
+        col = self.locations.index(location)
+        return float(self.latency_ms[row, col])
+
+    def restrict(self, datacenters: list[str] | None = None, locations: list[str] | None = None) -> "BipartiteLatency":
+        """Sub-matrix for a subset of sites (order follows the arguments)."""
+        dc_labels = list(datacenters) if datacenters is not None else list(self.datacenters)
+        loc_labels = list(locations) if locations is not None else list(self.locations)
+        rows = [self.datacenters.index(d) for d in dc_labels]
+        cols = [self.locations.index(v) for v in loc_labels]
+        return BipartiteLatency(
+            datacenters=tuple(dc_labels),
+            locations=tuple(loc_labels),
+            latency_ms=self.latency_ms[np.ix_(rows, cols)].copy(),
+        )
+
+
+def extract_bipartite_latency(
+    graph: nx.Graph,
+    datacenter_nodes: dict[str, str],
+    location_nodes: dict[str, str],
+    weight: str = "latency_ms",
+) -> BipartiteLatency:
+    """Compute ``d_lv`` by shortest paths over ``graph``.
+
+    Args:
+        graph: any latency-weighted topology (e.g. a
+            :class:`~repro.topology.transit_stub.TransitStubTopology` graph).
+        datacenter_nodes: mapping ``datacenter label -> graph node`` where
+            the data center attaches.
+        location_nodes: mapping ``location label -> graph node`` where the
+            access network attaches.
+        weight: edge attribute holding the link latency.
+
+    Returns:
+        The :class:`BipartiteLatency`; a pair with no path gets ``inf``
+        (the SLA layer will then exclude it).
+
+    Raises:
+        KeyError: if a named attachment node is absent from the graph.
+    """
+    for label, node in {**datacenter_nodes, **location_nodes}.items():
+        if node not in graph:
+            raise KeyError(f"attachment node {node!r} (for {label!r}) not in graph")
+
+    dc_labels = tuple(datacenter_nodes)
+    loc_labels = tuple(location_nodes)
+    matrix = np.full((len(dc_labels), len(loc_labels)), np.inf)
+    for row, dc_label in enumerate(dc_labels):
+        source = datacenter_nodes[dc_label]
+        distances = nx.single_source_dijkstra_path_length(graph, source, weight=weight)
+        for col, loc_label in enumerate(loc_labels):
+            target = location_nodes[loc_label]
+            if target in distances:
+                matrix[row, col] = distances[target]
+    return BipartiteLatency(datacenters=dc_labels, locations=loc_labels, latency_ms=matrix)

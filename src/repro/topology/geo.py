@@ -1,0 +1,138 @@
+"""US city database and geographic latency primitives.
+
+The paper places 5 data centers "based on our knowledge about Google's data
+centers" (San Jose CA, Houston/Dallas TX, Atlanta GA, Chicago IL) and 24
+access networks "in major cities across the U.S.", with request volume
+weighted by city population.  This module provides those cities with real
+coordinates and 2010-census-era populations, plus the great-circle /
+fiber-propagation arithmetic that turns coordinates into link latencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+_EARTH_RADIUS_KM = 6371.0088
+# Light in fiber travels at roughly 2/3 c; round-trip per km is ~0.01 ms.
+# We model one-way latency, ~5 microseconds per km.
+_FIBER_MS_PER_KM = 0.005
+# Fixed per-path overhead (routers, transponders) in milliseconds.
+_PATH_OVERHEAD_MS = 0.5
+
+
+@dataclass(frozen=True)
+class City:
+    """A geographic site.
+
+    Attributes:
+        name: city name.
+        state: two-letter US state code.
+        latitude: degrees north.
+        longitude: degrees east (negative in the US).
+        population: metro population, used to weight request volume.
+        utc_offset_hours: standard-time offset from UTC, used to phase the
+            diurnal demand pattern per time zone.
+    """
+
+    name: str
+    state: str
+    latitude: float
+    longitude: float
+    population: int
+    utc_offset_hours: int
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``"new_york_ny"``."""
+        return f"{self.name.lower().replace(' ', '_')}_{self.state.lower()}"
+
+
+# The paper's data-center sites.  Figure 3's legend names San Jose, Dallas,
+# Atlanta, Chicago; the body text says San Jose, Houston, Atlanta, Chicago;
+# Figure 5 uses Mountain View, Houston, Atlanta.  We carry all named sites
+# so every figure's configuration can be reproduced verbatim.
+DATACENTER_SITES: tuple[City, ...] = (
+    City("San Jose", "CA", 37.3382, -121.8863, 1_030_000, -8),
+    City("Mountain View", "CA", 37.3861, -122.0839, 82_000, -8),
+    City("Dallas", "TX", 32.7767, -96.7970, 1_345_000, -6),
+    City("Houston", "TX", 29.7604, -95.3698, 2_304_000, -6),
+    City("Atlanta", "GA", 33.7490, -84.3880, 498_000, -5),
+    City("Chicago", "IL", 41.8781, -87.6298, 2_746_000, -6),
+)
+
+# 24 major US cities hosting the access networks that originate requests.
+ACCESS_CITIES: tuple[City, ...] = (
+    City("New York", "NY", 40.7128, -74.0060, 8_336_000, -5),
+    City("Los Angeles", "CA", 34.0522, -118.2437, 3_979_000, -8),
+    City("Chicago", "IL", 41.8781, -87.6298, 2_746_000, -6),
+    City("Houston", "TX", 29.7604, -95.3698, 2_304_000, -6),
+    City("Phoenix", "AZ", 33.4484, -112.0740, 1_608_000, -7),
+    City("Philadelphia", "PA", 39.9526, -75.1652, 1_584_000, -5),
+    City("San Antonio", "TX", 29.4241, -98.4936, 1_532_000, -6),
+    City("San Diego", "CA", 32.7157, -117.1611, 1_423_000, -8),
+    City("Dallas", "TX", 32.7767, -96.7970, 1_345_000, -6),
+    City("San Jose", "CA", 37.3382, -121.8863, 1_030_000, -8),
+    City("Austin", "TX", 30.2672, -97.7431, 978_000, -6),
+    City("Jacksonville", "FL", 30.3322, -81.6557, 911_000, -5),
+    City("Columbus", "OH", 39.9612, -82.9988, 898_000, -5),
+    City("Indianapolis", "IN", 39.7684, -86.1581, 876_000, -5),
+    City("San Francisco", "CA", 37.7749, -122.4194, 873_000, -8),
+    City("Seattle", "WA", 47.6062, -122.3321, 753_000, -8),
+    City("Denver", "CO", 39.7392, -104.9903, 727_000, -7),
+    City("Washington", "DC", 38.9072, -77.0369, 705_000, -5),
+    City("Boston", "MA", 42.3601, -71.0589, 692_000, -5),
+    City("Nashville", "TN", 36.1627, -86.7816, 670_000, -6),
+    City("Detroit", "MI", 42.3314, -83.0458, 670_000, -5),
+    City("Portland", "OR", 45.5051, -122.6750, 654_000, -8),
+    City("Memphis", "TN", 35.1495, -90.0490, 651_000, -6),
+    City("Atlanta", "GA", 33.7490, -84.3880, 498_000, -5),
+)
+
+
+def great_circle_km(a: City, b: City) -> float:
+    """Great-circle (haversine) distance between two cities in kilometers."""
+    lat1, lon1 = math.radians(a.latitude), math.radians(a.longitude)
+    lat2, lon2 = math.radians(b.latitude), math.radians(b.longitude)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * _EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def propagation_delay_ms(distance_km: float, stretch: float = 1.3) -> float:
+    """One-way fiber propagation delay in milliseconds.
+
+    Args:
+        distance_km: great-circle distance.
+        stretch: fiber-route stretch factor (fiber rarely follows the
+            geodesic; 1.3 is a standard planning value).
+
+    Returns:
+        Latency in ms, including a fixed per-path equipment overhead.
+
+    Raises:
+        ValueError: on negative distance or stretch < 1.
+    """
+    if distance_km < 0:
+        raise ValueError(f"distance must be nonnegative, got {distance_km}")
+    if stretch < 1.0:
+        raise ValueError(f"stretch must be >= 1, got {stretch}")
+    return distance_km * stretch * _FIBER_MS_PER_KM + _PATH_OVERHEAD_MS
+
+
+def find_city(key_or_name: str, cities: tuple[City, ...] | None = None) -> City:
+    """Look a city up by :attr:`City.key` or case-insensitive name.
+
+    Searches ``cities`` if given, otherwise data-center sites then access
+    cities.
+
+    Raises:
+        KeyError: if no city matches.
+    """
+    pool = cities if cities is not None else (*DATACENTER_SITES, *ACCESS_CITIES)
+    wanted = key_or_name.lower()
+    for city in pool:
+        if city.key == wanted or city.name.lower() == wanted:
+            return city
+    raise KeyError(f"unknown city {key_or_name!r}")

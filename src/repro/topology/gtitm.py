@@ -1,0 +1,170 @@
+"""Full GT-ITM transit-stub generation (multiple transit domains).
+
+:mod:`repro.topology.transit_stub` attaches stubs to a *given* backbone —
+the Rocketfuel-substitution pipeline the paper describes.  This module
+implements the classic GT-ITM transit-stub model itself, useful for
+sensitivity studies on synthetic topologies of arbitrary scale:
+
+* a top-level random graph of ``num_transit_domains`` domains,
+* each transit domain an internally connected random graph of
+  ``nodes_per_transit`` routers, with the paper's 20 ms intra-transit
+  latency,
+* inter-domain links between randomly chosen border routers (treated as
+  intra-transit latency — they are backbone hops too),
+* each transit router sponsoring ``stubs_per_transit_node`` stub domains
+  of ``nodes_per_stub`` routers (5 ms attachment, 2 ms internal).
+
+The output is the same :class:`~repro.topology.transit_stub.TransitStubTopology`
+type, so the bipartite extraction and scenario plumbing work unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.topology.transit_stub import (
+    INTRA_STUB_LATENCY_MS,
+    INTRA_TRANSIT_LATENCY_MS,
+    STUB_TRANSIT_LATENCY_MS,
+    TransitStubTopology,
+)
+
+
+@dataclass(frozen=True)
+class GTITMConfig:
+    """Parameters of the GT-ITM generator.
+
+    Attributes:
+        num_transit_domains: top-level domains (>= 1).
+        nodes_per_transit: routers per transit domain (>= 1).
+        transit_edge_probability: extra-edge probability inside a transit
+            domain (a spanning path guarantees connectivity first).
+        inter_domain_links: border links between each pair of adjacent
+            domains (>= 1).
+        stubs_per_transit_node: stub domains per transit router.
+        nodes_per_stub: routers per stub domain.
+        stub_edge_probability: extra-edge probability inside a stub.
+    """
+
+    num_transit_domains: int = 2
+    nodes_per_transit: int = 4
+    transit_edge_probability: float = 0.4
+    inter_domain_links: int = 1
+    stubs_per_transit_node: int = 2
+    nodes_per_stub: int = 3
+    stub_edge_probability: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.num_transit_domains < 1:
+            raise ValueError("need at least one transit domain")
+        if self.nodes_per_transit < 1 or self.nodes_per_stub < 1:
+            raise ValueError("domain sizes must be >= 1")
+        if self.inter_domain_links < 1:
+            raise ValueError("need at least one inter-domain link per pair")
+        if not 0.0 <= self.transit_edge_probability <= 1.0:
+            raise ValueError("transit_edge_probability must be in [0, 1]")
+        if not 0.0 <= self.stub_edge_probability <= 1.0:
+            raise ValueError("stub_edge_probability must be in [0, 1]")
+        if self.stubs_per_transit_node < 0:
+            raise ValueError("stubs_per_transit_node must be >= 0")
+
+
+def _random_connected_domain(
+    graph: nx.Graph,
+    members: list[str],
+    latency: float,
+    tier: str,
+    edge_probability: float,
+    rng: np.random.Generator,
+) -> None:
+    """Wire ``members`` into a connected random subgraph in place."""
+    for first, second in zip(members, members[1:]):
+        graph.add_edge(first, second, latency_ms=latency, tier=tier)
+    for i in range(len(members)):
+        for j in range(i + 2, len(members)):
+            if rng.random() < edge_probability:
+                graph.add_edge(members[i], members[j], latency_ms=latency, tier=tier)
+
+
+def build_gtitm(
+    config: GTITMConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> TransitStubTopology:
+    """Generate a multi-domain GT-ITM transit-stub topology.
+
+    Args:
+        config: generator parameters.
+        rng: randomness source; defaults to a fixed seed (deterministic
+            default topology, like the rest of the topology layer).
+
+    Returns:
+        A validated :class:`~repro.topology.transit_stub.TransitStubTopology`.
+    """
+    cfg = config or GTITMConfig()
+    rng = rng or np.random.default_rng(0)
+
+    graph = nx.Graph()
+    domains: list[list[str]] = []
+    for d in range(cfg.num_transit_domains):
+        members = [f"t{d}/r{i}" for i in range(cfg.nodes_per_transit)]
+        for member in members:
+            graph.add_node(member, role="transit", domain=f"t{d}")
+        _random_connected_domain(
+            graph,
+            members,
+            INTRA_TRANSIT_LATENCY_MS,
+            "intra_transit",
+            cfg.transit_edge_probability,
+            rng,
+        )
+        domains.append(members)
+
+    # Ring of domains (guaranteed connected), plus the configured number
+    # of border links per adjacent pair.
+    for d in range(len(domains)):
+        if len(domains) == 1:
+            break
+        neighbour = (d + 1) % len(domains)
+        if len(domains) == 2 and d == 1:
+            break  # avoid doubling the single pair
+        for _ in range(cfg.inter_domain_links):
+            a = domains[d][int(rng.integers(len(domains[d])))]
+            b = domains[neighbour][int(rng.integers(len(domains[neighbour])))]
+            graph.add_edge(
+                a, b, latency_ms=INTRA_TRANSIT_LATENCY_MS, tier="intra_transit"
+            )
+
+    transit_nodes = tuple(sorted(n for d in domains for n in d))
+    stub_gateways: dict[str, list[str]] = {node: [] for node in transit_nodes}
+    for transit in transit_nodes:
+        for s in range(cfg.stubs_per_transit_node):
+            prefix = f"{transit}/stub{s}"
+            members = [f"{prefix}/n{i}" for i in range(cfg.nodes_per_stub)]
+            for member in members:
+                graph.add_node(member, role="stub", domain=prefix)
+            _random_connected_domain(
+                graph,
+                members,
+                INTRA_STUB_LATENCY_MS,
+                "intra_stub",
+                cfg.stub_edge_probability,
+                rng,
+            )
+            graph.add_edge(
+                transit,
+                members[0],
+                latency_ms=STUB_TRANSIT_LATENCY_MS,
+                tier="stub_transit",
+            )
+            stub_gateways[transit].append(members[0])
+
+    topology = TransitStubTopology(
+        graph=graph,
+        transit_nodes=transit_nodes,
+        stub_gateways={k: tuple(v) for k, v in stub_gateways.items()},
+    )
+    topology.validate()
+    return topology

@@ -1,0 +1,189 @@
+"""Tier-1 backbone topologies: synthetic generation and Rocketfuel parsing.
+
+The paper bases its topology on Rocketfuel-measured tier-1 ISP maps with
+link latencies [33].  The actual Rocketfuel traces are not redistributable,
+so this module provides two equivalent sources:
+
+* :func:`build_tier1_backbone` — a deterministic synthetic tier-1 backbone:
+  POPs at real US-city coordinates, edges from a proximity rule (each POP
+  connects to its ``k`` nearest peers plus a coast-to-coast long-haul
+  skeleton), latencies from great-circle fiber propagation.  This matches
+  what the evaluation consumes — a realistic pairwise latency structure.
+* :func:`parse_rocketfuel_weights` — a parser for the Rocketfuel
+  ``weights``-format files (``<src> <dst> <weight>`` per line) for users
+  who have the real data.
+
+Both produce a :class:`BackboneTopology` wrapping a ``networkx.Graph`` whose
+edges carry a ``latency_ms`` attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import networkx as nx
+
+from repro.topology.geo import ACCESS_CITIES, City, great_circle_km, propagation_delay_ms
+
+
+@dataclass(frozen=True)
+class BackboneTopology:
+    """A tier-1 backbone: nodes are POPs, edges carry ``latency_ms``.
+
+    Attributes:
+        graph: the underlying ``networkx.Graph``.
+        pop_cities: mapping from node name to the :class:`City` it sits in
+            (empty for parsed Rocketfuel files, which have no coordinates).
+    """
+
+    graph: nx.Graph
+    pop_cities: dict[str, City]
+
+    @property
+    def num_pops(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        return self.graph.number_of_edges()
+
+    def latency(self, a: str, b: str) -> float:
+        """Shortest-path latency between two POPs in milliseconds."""
+        return float(nx.shortest_path_length(self.graph, a, b, weight="latency_ms"))
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        if self.graph.number_of_nodes() == 0:
+            raise ValueError("backbone has no POPs")
+        if not nx.is_connected(self.graph):
+            raise ValueError("backbone must be connected")
+        for a, b, data in self.graph.edges(data=True):
+            if data.get("latency_ms", -1.0) <= 0:
+                raise ValueError(f"link {a}--{b} lacks a positive latency_ms")
+
+
+# Long-haul skeleton pairs guaranteeing the synthetic backbone is connected
+# coast to coast even for small k (names must be ACCESS_CITIES keys).
+_LONG_HAUL_PAIRS: tuple[tuple[str, str], ...] = (
+    ("new_york_ny", "chicago_il"),
+    ("chicago_il", "denver_co"),
+    ("denver_co", "san_francisco_ca"),
+    ("los_angeles_ca", "dallas_tx"),
+    ("dallas_tx", "atlanta_ga"),
+    ("atlanta_ga", "washington_dc"),
+    ("seattle_wa", "chicago_il"),
+    ("houston_tx", "memphis_tn"),
+)
+
+
+def build_tier1_backbone(
+    cities: tuple[City, ...] = ACCESS_CITIES,
+    k_nearest: int = 3,
+    stretch: float = 1.3,
+) -> BackboneTopology:
+    """Build the deterministic synthetic tier-1 backbone.
+
+    Args:
+        cities: POP locations (defaults to the 24 access cities).
+        k_nearest: each POP links to this many geographically nearest POPs.
+        stretch: fiber-route stretch factor for latency computation.
+
+    Returns:
+        A validated, connected :class:`BackboneTopology`.
+
+    Raises:
+        ValueError: if fewer than 2 cities or ``k_nearest < 1``.
+    """
+    if len(cities) < 2:
+        raise ValueError("need at least two cities to build a backbone")
+    if k_nearest < 1:
+        raise ValueError(f"k_nearest must be >= 1, got {k_nearest}")
+
+    graph = nx.Graph()
+    city_by_key = {city.key: city for city in cities}
+    for city in cities:
+        graph.add_node(city.key)
+
+    def _link(a: City, b: City) -> None:
+        latency = propagation_delay_ms(great_circle_km(a, b), stretch=stretch)
+        graph.add_edge(a.key, b.key, latency_ms=latency, distance_km=great_circle_km(a, b))
+
+    for city in cities:
+        neighbours = sorted(
+            (other for other in cities if other.key != city.key),
+            key=lambda other: great_circle_km(city, other),
+        )
+        for other in neighbours[:k_nearest]:
+            _link(city, other)
+
+    for key_a, key_b in _LONG_HAUL_PAIRS:
+        if key_a in city_by_key and key_b in city_by_key:
+            _link(city_by_key[key_a], city_by_key[key_b])
+
+    # Proximity graphs over clustered cities can still split; stitch any
+    # remaining components through their closest cross-component pair.
+    while not nx.is_connected(graph):
+        components = [list(c) for c in nx.connected_components(graph)]
+        best = None
+        for node_a in components[0]:
+            for component in components[1:]:
+                for node_b in component:
+                    dist = great_circle_km(city_by_key[node_a], city_by_key[node_b])
+                    if best is None or dist < best[0]:
+                        best = (dist, node_a, node_b)
+        assert best is not None
+        _link(city_by_key[best[1]], city_by_key[best[2]])
+
+    topology = BackboneTopology(graph=graph, pop_cities=dict(city_by_key))
+    topology.validate()
+    return topology
+
+
+def parse_rocketfuel_weights(path: str | Path, weight_is_latency: bool = True) -> BackboneTopology:
+    """Parse a Rocketfuel ``weights``-format file into a backbone.
+
+    The format is one edge per line: ``<src> <dst> <weight>``, where nodes
+    are arbitrary strings (often ``city,abbrev``) and the weight is the
+    inferred link weight.  Rocketfuel's published weights approximate
+    latencies, so by default they are used as ``latency_ms`` directly.
+
+    Args:
+        path: file to parse.
+        weight_is_latency: if False, weights are kept as ``weight`` and
+            ``latency_ms`` is set to 1.0 per link (hop-count latencies).
+
+    Returns:
+        A :class:`BackboneTopology` (``pop_cities`` empty — the format has
+        no coordinates).
+
+    Raises:
+        ValueError: on malformed lines or an empty file.
+    """
+    graph = nx.Graph()
+    path = Path(path)
+    for line_number, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.rsplit(None, 1)
+        if len(parts) != 2:
+            raise ValueError(f"{path}:{line_number}: expected '<src> <dst> <weight>'")
+        endpoints, weight_text = parts
+        try:
+            weight = float(weight_text)
+        except ValueError as exc:
+            raise ValueError(f"{path}:{line_number}: bad weight {weight_text!r}") from exc
+        endpoint_parts = endpoints.rsplit(None, 1)
+        if len(endpoint_parts) != 2:
+            raise ValueError(f"{path}:{line_number}: expected two node names")
+        src, dst = endpoint_parts
+        if weight <= 0:
+            raise ValueError(f"{path}:{line_number}: weight must be positive")
+        latency = weight if weight_is_latency else 1.0
+        graph.add_edge(src, dst, latency_ms=latency, weight=weight)
+    if graph.number_of_nodes() == 0:
+        raise ValueError(f"{path}: no edges found")
+    topology = BackboneTopology(graph=graph, pop_cities={})
+    topology.validate()
+    return topology

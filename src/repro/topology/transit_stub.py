@@ -1,0 +1,181 @@
+"""GT-ITM-style transit-stub augmentation of a tier-1 backbone.
+
+The paper augments the Rocketfuel backbone "by introducing intermediary ISP
+and access networks, similar to the procedure for generating transit-stub
+networks in the GT-ITM network topology generator", with link latencies::
+
+    intra-transit  20 ms
+    stub-transit    5 ms
+    intra-stub      2 ms
+
+(the constants from Ratnasamy et al. [35]).  This module reproduces that
+construction: the given backbone becomes the transit domain; every transit
+node (POP) is given a configurable number of stub domains; each stub domain
+is a small connected random graph of access/router nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.topology.rocketfuel import BackboneTopology
+
+# Paper's link-latency constants (ms).
+INTRA_TRANSIT_LATENCY_MS = 20.0
+STUB_TRANSIT_LATENCY_MS = 5.0
+INTRA_STUB_LATENCY_MS = 2.0
+
+
+@dataclass(frozen=True)
+class TransitStubConfig:
+    """Parameters of the transit-stub augmentation.
+
+    Attributes:
+        stubs_per_transit: stub domains attached to each transit POP.
+        nodes_per_stub: nodes inside each stub domain.
+        stub_edge_probability: extra-edge probability inside a stub (on top
+            of a spanning path that guarantees connectivity).
+        intra_transit_latency_ms: latency of transit-transit links.
+        stub_transit_latency_ms: latency of stub-transit attachment links.
+        intra_stub_latency_ms: latency of links inside a stub domain.
+    """
+
+    stubs_per_transit: int = 1
+    nodes_per_stub: int = 3
+    stub_edge_probability: float = 0.3
+    intra_transit_latency_ms: float = INTRA_TRANSIT_LATENCY_MS
+    stub_transit_latency_ms: float = STUB_TRANSIT_LATENCY_MS
+    intra_stub_latency_ms: float = INTRA_STUB_LATENCY_MS
+
+    def __post_init__(self) -> None:
+        if self.stubs_per_transit < 0:
+            raise ValueError("stubs_per_transit must be >= 0")
+        if self.nodes_per_stub < 1:
+            raise ValueError("nodes_per_stub must be >= 1")
+        if not 0.0 <= self.stub_edge_probability <= 1.0:
+            raise ValueError("stub_edge_probability must be in [0, 1]")
+        for latency in (
+            self.intra_transit_latency_ms,
+            self.stub_transit_latency_ms,
+            self.intra_stub_latency_ms,
+        ):
+            if latency <= 0:
+                raise ValueError("all latencies must be positive")
+
+
+@dataclass(frozen=True)
+class TransitStubTopology:
+    """The augmented topology.
+
+    Attributes:
+        graph: full graph; every node has a ``role`` attribute of
+            ``"transit"`` or ``"stub"``, every edge a ``latency_ms`` and a
+            ``tier`` attribute (``intra_transit`` / ``stub_transit`` /
+            ``intra_stub``).
+        transit_nodes: names of the transit (backbone POP) nodes.
+        stub_gateways: mapping from each transit node to the entry nodes of
+            its attached stub domains.
+    """
+
+    graph: nx.Graph
+    transit_nodes: tuple[str, ...]
+    stub_gateways: dict[str, tuple[str, ...]]
+
+    def stub_nodes(self) -> list[str]:
+        """All stub-domain node names."""
+        return [n for n, data in self.graph.nodes(data=True) if data["role"] == "stub"]
+
+    def latency(self, a: str, b: str) -> float:
+        """Shortest-path latency in ms between any two nodes."""
+        return float(nx.shortest_path_length(self.graph, a, b, weight="latency_ms"))
+
+    def validate(self) -> None:
+        """Structural invariants; raises ``ValueError`` on violation."""
+        if not nx.is_connected(self.graph):
+            raise ValueError("transit-stub topology must be connected")
+        for _, data in self.graph.nodes(data=True):
+            if data.get("role") not in ("transit", "stub"):
+                raise ValueError("every node needs a role of transit or stub")
+        for a, b, data in self.graph.edges(data=True):
+            if data.get("latency_ms", 0.0) <= 0:
+                raise ValueError(f"edge {a}--{b} lacks positive latency")
+            if data.get("tier") not in ("intra_transit", "stub_transit", "intra_stub"):
+                raise ValueError(f"edge {a}--{b} lacks a tier label")
+
+
+def build_transit_stub(
+    backbone: BackboneTopology,
+    config: TransitStubConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> TransitStubTopology:
+    """Augment ``backbone`` into a transit-stub topology.
+
+    The backbone's own (distance-derived) link latencies are replaced by the
+    paper's uniform intra-transit constant so the construction matches the
+    evaluation section exactly; the original latencies remain available on
+    each edge as ``measured_latency_ms``.
+
+    Args:
+        backbone: the tier-1 transit domain.
+        config: augmentation parameters (paper defaults).
+        rng: randomness source for the intra-stub extra edges; defaults to a
+            fixed-seed generator so the default construction is
+            deterministic.
+
+    Returns:
+        A validated :class:`TransitStubTopology`.
+    """
+    cfg = config or TransitStubConfig()
+    rng = rng or np.random.default_rng(0)
+
+    graph = nx.Graph()
+    transit_nodes = tuple(sorted(backbone.graph.nodes))
+    for node in transit_nodes:
+        graph.add_node(node, role="transit")
+    for a, b, data in backbone.graph.edges(data=True):
+        graph.add_edge(
+            a,
+            b,
+            latency_ms=cfg.intra_transit_latency_ms,
+            measured_latency_ms=data.get("latency_ms"),
+            tier="intra_transit",
+        )
+
+    stub_gateways: dict[str, list[str]] = {node: [] for node in transit_nodes}
+    for transit in transit_nodes:
+        for stub_index in range(cfg.stubs_per_transit):
+            prefix = f"{transit}/stub{stub_index}"
+            members = [f"{prefix}/n{i}" for i in range(cfg.nodes_per_stub)]
+            for member in members:
+                graph.add_node(member, role="stub", domain=prefix)
+            # Spanning path keeps the stub connected.
+            for first, second in zip(members, members[1:]):
+                graph.add_edge(
+                    first, second, latency_ms=cfg.intra_stub_latency_ms, tier="intra_stub"
+                )
+            # Extra random edges give GT-ITM-like stub meshiness.
+            for i in range(len(members)):
+                for j in range(i + 2, len(members)):
+                    if rng.random() < cfg.stub_edge_probability:
+                        graph.add_edge(
+                            members[i],
+                            members[j],
+                            latency_ms=cfg.intra_stub_latency_ms,
+                            tier="intra_stub",
+                        )
+            gateway = members[0]
+            graph.add_edge(
+                transit, gateway, latency_ms=cfg.stub_transit_latency_ms, tier="stub_transit"
+            )
+            stub_gateways[transit].append(gateway)
+
+    topology = TransitStubTopology(
+        graph=graph,
+        transit_nodes=transit_nodes,
+        stub_gateways={k: tuple(v) for k, v in stub_gateways.items()},
+    )
+    topology.validate()
+    return topology

@@ -1,0 +1,45 @@
+"""Demand-generation substrate.
+
+The paper generates requests "from a non-homogeneous Poisson process that
+considers both the population of each [city] as well as the time of day",
+with an on-off diurnal pattern (high 8 am–5 pm local, low at night).
+
+* :mod:`repro.workload.cities` — population weights of the access cities.
+* :mod:`repro.workload.diurnal` — on/off diurnal envelopes with per-city
+  time-zone phase.
+* :mod:`repro.workload.poisson` — non-homogeneous Poisson sampling.
+* :mod:`repro.workload.spikes` — flash-crowd injection (the "unexpected
+  behaviour" the prediction module must survive).
+* :mod:`repro.workload.demand` — the ``(V, K)`` demand matrix builder the
+  DSPP consumes.
+* :mod:`repro.workload.characterization` — fit/regenerate diurnal demand
+  statistics (the Bodik-style characterization models the paper cites).
+"""
+
+from repro.workload.cities import population_weights
+from repro.workload.diurnal import DiurnalEnvelope, OnOffEnvelope, WeeklyEnvelope
+from repro.workload.poisson import nhpp_counts, nhpp_arrival_times
+from repro.workload.spikes import FlashCrowd, apply_flash_crowds
+from repro.workload.demand import DemandMatrix, build_demand_matrix, constant_demand
+from repro.workload.characterization import (
+    WorkloadProfile,
+    characterize,
+    seasonal_strength,
+)
+
+__all__ = [
+    "population_weights",
+    "DiurnalEnvelope",
+    "OnOffEnvelope",
+    "WeeklyEnvelope",
+    "nhpp_counts",
+    "nhpp_arrival_times",
+    "FlashCrowd",
+    "apply_flash_crowds",
+    "DemandMatrix",
+    "build_demand_matrix",
+    "constant_demand",
+    "WorkloadProfile",
+    "characterize",
+    "seasonal_strength",
+]

@@ -1,0 +1,163 @@
+"""Workload characterization: fit and regenerate demand statistics.
+
+The paper's prediction module cites workload-characterization models
+(Bodik et al. [25]) as an alternative to AR forecasting.  This module
+implements the core of that approach for diurnal cloud workloads:
+
+* :func:`characterize` — decompose an observed ``(V, K)`` demand matrix
+  into a per-location seasonal profile (mean rate per hour-of-day) plus a
+  multiplicative residual distribution.
+* :meth:`WorkloadProfile.generate` — synthesize new demand matched to the
+  fitted statistics (seasonal means, residual dispersion), for what-if
+  studies and for stress-testing controllers on *statistically faithful*
+  but unseen traces.
+* :func:`seasonal_strength` — the fraction of variance the seasonal
+  profile explains, a one-number predictability score (high = Figure 10
+  regime, low = Figure 9 regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_MIN_RATE = 1e-9
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Fitted statistics of a diurnal workload.
+
+    Attributes:
+        locations: location labels, length ``V``.
+        seasonal_means: per-location mean rate per season phase, shape
+            ``(V, season_length)``.
+        residual_cv: per-location coefficient of variation of the
+            multiplicative residual ``observed / seasonal_mean``.
+        season_length: phases per season (24 for hourly daily data).
+    """
+
+    locations: tuple[str, ...]
+    seasonal_means: np.ndarray
+    residual_cv: np.ndarray
+    season_length: int
+
+    def __post_init__(self) -> None:
+        V = len(self.locations)
+        if self.seasonal_means.shape != (V, self.season_length):
+            raise ValueError("seasonal_means shape mismatch")
+        if self.residual_cv.shape != (V,):
+            raise ValueError("residual_cv shape mismatch")
+        if np.any(self.seasonal_means < 0) or np.any(self.residual_cv < 0):
+            raise ValueError("profile statistics must be nonnegative")
+
+    def expected_rates(self, num_periods: int, start_phase: int = 0) -> np.ndarray:
+        """The noise-free seasonal rates for ``num_periods`` periods."""
+        if num_periods < 1:
+            raise ValueError("num_periods must be >= 1")
+        phases = (start_phase + np.arange(num_periods)) % self.season_length
+        return self.seasonal_means[:, phases]
+
+    def generate(
+        self,
+        num_periods: int,
+        rng: np.random.Generator,
+        start_phase: int = 0,
+    ) -> np.ndarray:
+        """Sample a synthetic demand matrix matched to the profile.
+
+        Residuals are lognormal with the fitted per-location CV (always
+        positive, right-skewed — the shape real demand residuals have).
+
+        Returns:
+            Array of shape ``(V, num_periods)``.
+        """
+        expected = self.expected_rates(num_periods, start_phase)
+        V = expected.shape[0]
+        samples = np.empty_like(expected)
+        for v in range(V):
+            cv = self.residual_cv[v]
+            if cv <= 0:
+                samples[v] = expected[v]
+                continue
+            sigma = np.sqrt(np.log1p(cv**2))
+            noise = rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma, size=num_periods)
+            samples[v] = expected[v] * noise
+        return samples
+
+
+def characterize(
+    demand: np.ndarray,
+    season_length: int = 24,
+    locations: tuple[str, ...] | None = None,
+) -> WorkloadProfile:
+    """Fit a :class:`WorkloadProfile` to an observed demand matrix.
+
+    Args:
+        demand: observed rates, shape ``(V, K)`` with ``K >= season_length``
+            (at least one full season).
+        season_length: the seasonality period.
+        locations: labels; defaults to ``("v0", ...)``.
+
+    Returns:
+        The fitted profile.
+
+    Raises:
+        ValueError: if less than one full season of data is supplied.
+    """
+    demand = np.asarray(demand, dtype=float)
+    if demand.ndim != 2:
+        raise ValueError(f"demand must be (V, K), got shape {demand.shape}")
+    V, K = demand.shape
+    if season_length < 1:
+        raise ValueError("season_length must be >= 1")
+    if K < season_length:
+        raise ValueError(
+            f"need at least one full season ({season_length}) of data, got {K}"
+        )
+    if np.any(demand < 0):
+        raise ValueError("demand must be nonnegative")
+    if locations is None:
+        locations = tuple(f"v{i}" for i in range(V))
+
+    means = np.empty((V, season_length))
+    for phase in range(season_length):
+        means[:, phase] = demand[:, phase::season_length].mean(axis=1)
+
+    phases = np.arange(K) % season_length
+    expected = means[:, phases]
+    ratio = demand / np.maximum(expected, _MIN_RATE)
+    # Only phases with meaningful expected rate inform the residual CV.
+    cv = np.empty(V)
+    for v in range(V):
+        valid = expected[v] > 10 * _MIN_RATE
+        cv[v] = float(ratio[v, valid].std()) if valid.any() else 0.0
+
+    return WorkloadProfile(
+        locations=tuple(locations),
+        seasonal_means=means,
+        residual_cv=cv,
+        season_length=season_length,
+    )
+
+
+def seasonal_strength(demand: np.ndarray, season_length: int = 24) -> float:
+    """Fraction of demand variance explained by the seasonal profile.
+
+    1.0 means perfectly periodic (the Figure 10 regime: predict the
+    profile and you are done); near 0 means the seasonal mean explains
+    nothing (the Figure 9 regime, where long horizons hurt).
+
+    Returns:
+        A value in ``[0, 1]`` (clipped).
+    """
+    demand = np.asarray(demand, dtype=float)
+    profile = characterize(demand, season_length=season_length)
+    K = demand.shape[1]
+    expected = profile.expected_rates(K)
+    total_variance = float(((demand - demand.mean(axis=1, keepdims=True)) ** 2).sum())
+    if total_variance <= 0:
+        return 1.0
+    residual_variance = float(((demand - expected) ** 2).sum())
+    return float(np.clip(1.0 - residual_variance / total_variance, 0.0, 1.0))

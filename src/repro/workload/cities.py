@@ -1,0 +1,31 @@
+"""Population weighting of access-network demand.
+
+Requests in the paper's evaluation are weighted by city population; this
+module turns the city database into normalized weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.geo import ACCESS_CITIES, City
+
+
+def population_weights(cities: tuple[City, ...] = ACCESS_CITIES) -> np.ndarray:
+    """Normalized population weights (sum to 1) in city order.
+
+    Raises:
+        ValueError: if the tuple is empty or total population is zero.
+    """
+    if not cities:
+        raise ValueError("need at least one city")
+    populations = np.array([city.population for city in cities], dtype=float)
+    total = populations.sum()
+    if total <= 0:
+        raise ValueError("total population must be positive")
+    return populations / total
+
+
+def utc_offsets(cities: tuple[City, ...] = ACCESS_CITIES) -> np.ndarray:
+    """UTC offsets (hours) in city order, for diurnal phase alignment."""
+    return np.array([city.utc_offset_hours for city in cities], dtype=float)

@@ -1,0 +1,157 @@
+"""The demand matrix ``D`` (shape ``(V, K)``) the DSPP consumes.
+
+Combines the population weights, per-city diurnal envelopes and NHPP
+sampling into the paper's request generator: city ``v``'s rate at period
+``k`` is ``total_rate * weight_v * envelope(local_hour_k)``, optionally
+perturbed by flash crowds, then realized by Poisson sampling (or kept as
+the deterministic mean rate for noise-free studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.topology.geo import ACCESS_CITIES, City
+from repro.workload.cities import population_weights
+from repro.workload.diurnal import DiurnalEnvelope, OnOffEnvelope
+from repro.workload.poisson import nhpp_counts
+from repro.workload.spikes import FlashCrowd, apply_flash_crowds
+
+
+@dataclass(frozen=True)
+class DemandMatrix:
+    """Per-location, per-period demand arrival rates.
+
+    Attributes:
+        locations: location labels (rows), length ``V``.
+        rates: array of shape ``(V, K)``; ``rates[v, k]`` is ``D_k^v``, the
+            average request arrival rate from location ``v`` at period ``k``.
+        period_hours: duration of one period in hours.
+    """
+
+    locations: tuple[str, ...]
+    rates: np.ndarray
+    period_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rates.ndim != 2:
+            raise ValueError(f"rates must be 2-D, got shape {self.rates.shape}")
+        if self.rates.shape[0] != len(self.locations):
+            raise ValueError(
+                f"{len(self.locations)} locations but rates has "
+                f"{self.rates.shape[0]} rows"
+            )
+        if np.any(self.rates < 0):
+            raise ValueError("demand rates must be nonnegative")
+        if self.period_hours <= 0:
+            raise ValueError("period_hours must be positive")
+
+    @property
+    def num_locations(self) -> int:
+        return self.rates.shape[0]
+
+    @property
+    def num_periods(self) -> int:
+        return self.rates.shape[1]
+
+    def at_period(self, k: int) -> np.ndarray:
+        """The demand vector ``D_k`` (length ``V``)."""
+        return self.rates[:, k].copy()
+
+    def total_per_period(self) -> np.ndarray:
+        """Aggregate demand per period (length ``K``)."""
+        return self.rates.sum(axis=0)
+
+    def window(self, start: int, length: int) -> "DemandMatrix":
+        """Sub-matrix of ``length`` periods starting at ``start``."""
+        if start < 0 or length < 1 or start + length > self.num_periods:
+            raise ValueError(
+                f"window [{start}, {start + length}) outside [0, {self.num_periods})"
+            )
+        return DemandMatrix(
+            locations=self.locations,
+            rates=self.rates[:, start : start + length].copy(),
+            period_hours=self.period_hours,
+        )
+
+
+def build_demand_matrix(
+    total_peak_rate: float,
+    num_periods: int,
+    cities: tuple[City, ...] = ACCESS_CITIES,
+    envelope: OnOffEnvelope | DiurnalEnvelope | None = None,
+    flash_crowds: list[FlashCrowd] | None = None,
+    rng: np.random.Generator | None = None,
+    period_hours: float = 1.0,
+    start_utc_hour: float = 0.0,
+) -> DemandMatrix:
+    """Build the paper's population-weighted diurnal demand matrix.
+
+    Args:
+        total_peak_rate: nationwide aggregate rate when every city is at its
+            envelope peak (requests per time unit).
+        num_periods: horizon length ``K``.
+        cities: demand-originating cities.
+        envelope: diurnal envelope (defaults to the paper's 8am–5pm on/off
+            pattern); applied in each city's local time.
+        flash_crowds: optional spike events.
+        rng: if given, rates are realized by Poisson sampling around the
+            mean (the paper's stochastic generator); if ``None``, the
+            deterministic mean rates are returned.
+        period_hours: period duration.
+        start_utc_hour: UTC hour of period 0.
+
+    Returns:
+        A :class:`DemandMatrix` with one row per city.
+
+    Raises:
+        ValueError: on non-positive peak rate or empty horizon.
+    """
+    if total_peak_rate <= 0:
+        raise ValueError(f"total_peak_rate must be positive, got {total_peak_rate}")
+    if num_periods < 1:
+        raise ValueError(f"num_periods must be >= 1, got {num_periods}")
+    envelope = envelope or OnOffEnvelope()
+    weights = population_weights(cities)
+    hours = start_utc_hour + np.arange(num_periods, dtype=float) * period_hours
+
+    rates = np.empty((len(cities), num_periods))
+    for row, (city, weight) in enumerate(zip(cities, weights)):
+        factor = envelope.factor(hours, utc_offset_hours=city.utc_offset_hours)
+        rates[row] = total_peak_rate * weight * factor
+
+    if flash_crowds:
+        rates = apply_flash_crowds(rates, flash_crowds)
+    if rng is not None:
+        # Realize the NHPP: observed per-period rate = sampled count / duration.
+        counts = nhpp_counts(rates, rng, period_duration=period_hours)
+        rates = counts / period_hours
+
+    return DemandMatrix(
+        locations=tuple(city.key for city in cities),
+        rates=rates,
+        period_hours=period_hours,
+    )
+
+
+def constant_demand(
+    rates_per_location: np.ndarray | list[float],
+    num_periods: int,
+    locations: tuple[str, ...] | None = None,
+    period_hours: float = 1.0,
+) -> DemandMatrix:
+    """A time-invariant demand matrix (Figures 5 and 10 use this).
+
+    Args:
+        rates_per_location: length-``V`` vector of constant rates.
+        num_periods: horizon length.
+        locations: labels; defaults to ``("v0", "v1", ...)``.
+        period_hours: period duration.
+    """
+    vector = np.asarray(rates_per_location, dtype=float).ravel()
+    if locations is None:
+        locations = tuple(f"v{i}" for i in range(vector.size))
+    rates = np.tile(vector[:, None], (1, num_periods))
+    return DemandMatrix(locations=tuple(locations), rates=rates, period_hours=period_hours)

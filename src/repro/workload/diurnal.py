@@ -1,0 +1,125 @@
+"""Diurnal demand envelopes.
+
+The paper: "requests from the same location follow an on-off stochastic
+process that has high arrival rate during working hours (8am-5pm) and low
+arrival rate at night".  Two envelopes are provided:
+
+* :class:`OnOffEnvelope` — the paper's literal two-level pattern with a
+  configurable smoothing ramp at the edges (an instantaneous step is both
+  unrealistic and needlessly hostile to AR prediction).
+* :class:`DiurnalEnvelope` — a smooth sinusoidal day shape, useful for the
+  horizon-sweep experiments where differentiable demand is convenient.
+
+Both are callables mapping *local* hour-of-day to a multiplicative factor
+in ``[low, high]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _as_local_hours(hours: np.ndarray, utc_offset_hours: float) -> np.ndarray:
+    return (np.asarray(hours, dtype=float) + utc_offset_hours) % 24.0
+
+
+@dataclass(frozen=True)
+class OnOffEnvelope:
+    """Two-level working-hours envelope with linear ramps.
+
+    Attributes:
+        on_start_hour: local hour work begins (paper: 8).
+        on_end_hour: local hour work ends (paper: 17).
+        high: multiplicative rate during working hours.
+        low: multiplicative rate at night (0 < low <= high).
+        ramp_hours: width of the linear transition at each edge.
+    """
+
+    on_start_hour: float = 8.0
+    on_end_hour: float = 17.0
+    high: float = 1.0
+    low: float = 0.25
+    ramp_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.on_start_hour < self.on_end_hour <= 24.0:
+            raise ValueError("need 0 <= on_start < on_end <= 24")
+        if not 0.0 < self.low <= self.high:
+            raise ValueError("need 0 < low <= high")
+        if self.ramp_hours < 0:
+            raise ValueError("ramp_hours must be nonnegative")
+
+    def factor(self, utc_hours: np.ndarray, utc_offset_hours: float = 0.0) -> np.ndarray:
+        """Envelope factor at the given UTC hours for a site at the offset."""
+        local = _as_local_hours(utc_hours, utc_offset_hours)
+        if self.ramp_hours == 0.0:
+            inside = (local >= self.on_start_hour) & (local < self.on_end_hour)
+            return np.where(inside, self.high, self.low)
+        half = self.ramp_hours / 2.0
+        rise = np.clip((local - (self.on_start_hour - half)) / self.ramp_hours, 0.0, 1.0)
+        fall = np.clip(((self.on_end_hour + half) - local) / self.ramp_hours, 0.0, 1.0)
+        level = np.minimum(rise, fall)
+        return self.low + (self.high - self.low) * level
+
+
+@dataclass(frozen=True)
+class WeeklyEnvelope:
+    """A daily envelope modulated by a weekday/weekend cycle.
+
+    Real service demand has a second seasonality the paper's one-day plots
+    do not exercise: weekends run lighter.  This wrapper scales any daily
+    envelope by ``weekend_factor`` on days 5 and 6 of each week (hour 0 is
+    the start of day 0, a weekday).
+
+    Attributes:
+        daily: the within-day envelope being modulated.
+        weekend_factor: multiplicative weekend level in (0, 1].
+    """
+
+    daily: "OnOffEnvelope | DiurnalEnvelope"
+    weekend_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.weekend_factor <= 1.0:
+            raise ValueError(
+                f"weekend_factor must be in (0, 1], got {self.weekend_factor}"
+            )
+
+    def factor(self, utc_hours: np.ndarray, utc_offset_hours: float = 0.0) -> np.ndarray:
+        """Envelope factor at the given UTC hours for a site at the offset."""
+        base = self.daily.factor(utc_hours, utc_offset_hours=utc_offset_hours)
+        local = np.asarray(utc_hours, dtype=float) + utc_offset_hours
+        day_of_week = np.floor(local / 24.0) % 7
+        weekend = (day_of_week == 5) | (day_of_week == 6)
+        return np.where(weekend, base * self.weekend_factor, base)
+
+
+@dataclass(frozen=True)
+class DiurnalEnvelope:
+    """Smooth sinusoidal day shape peaking at ``peak_hour`` local time.
+
+    Attributes:
+        peak_hour: local hour of maximum demand.
+        high: factor at the peak.
+        low: factor at the trough (0 < low <= high).
+    """
+
+    peak_hour: float = 14.0
+    high: float = 1.0
+    low: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.peak_hour < 24.0:
+            raise ValueError("peak_hour must be in [0, 24)")
+        if not 0.0 < self.low <= self.high:
+            raise ValueError("need 0 < low <= high")
+
+    def factor(self, utc_hours: np.ndarray, utc_offset_hours: float = 0.0) -> np.ndarray:
+        """Envelope factor at the given UTC hours for a site at the offset."""
+        local = _as_local_hours(utc_hours, utc_offset_hours)
+        phase = 2.0 * math.pi * (local - self.peak_hour) / 24.0
+        unit = 0.5 * (1.0 + np.cos(phase))  # 1 at peak, 0 at peak+12h
+        return self.low + (self.high - self.low) * unit

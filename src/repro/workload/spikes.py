@@ -1,0 +1,86 @@
+"""Flash-crowd injection.
+
+Section III notes that "demand and resource price can behave in an
+unexpected manner, e.g., flash-crowd effect or system failure" — the cases
+a prediction-driven controller must survive.  A :class:`FlashCrowd`
+multiplies a location's base rate by a spike that ramps up quickly and
+decays exponentially, the standard flash-crowd shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """One flash-crowd event at a single location.
+
+    Attributes:
+        location_index: column of the demand matrix the spike hits.
+        start_period: period the ramp begins.
+        peak_multiplier: rate multiplier at the spike's peak (> 1).
+        ramp_periods: periods from onset to peak (>= 1, linear ramp).
+        decay_periods: exponential-decay time constant after the peak.
+    """
+
+    location_index: int
+    start_period: int
+    peak_multiplier: float
+    ramp_periods: int = 1
+    decay_periods: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.location_index < 0 or self.start_period < 0:
+            raise ValueError("location_index and start_period must be >= 0")
+        if self.peak_multiplier <= 1.0:
+            raise ValueError(f"peak_multiplier must exceed 1, got {self.peak_multiplier}")
+        if self.ramp_periods < 1:
+            raise ValueError(f"ramp_periods must be >= 1, got {self.ramp_periods}")
+        if self.decay_periods <= 0:
+            raise ValueError(f"decay_periods must be positive, got {self.decay_periods}")
+
+    def multiplier(self, period: int) -> float:
+        """The rate multiplier this event applies at ``period`` (>= 1)."""
+        if period < self.start_period:
+            return 1.0
+        elapsed = period - self.start_period
+        peak_at = self.ramp_periods
+        extra = self.peak_multiplier - 1.0
+        if elapsed <= peak_at:
+            return 1.0 + extra * (elapsed / peak_at)
+        return 1.0 + extra * math.exp(-(elapsed - peak_at) / self.decay_periods)
+
+
+def apply_flash_crowds(rates: np.ndarray, events: list[FlashCrowd]) -> np.ndarray:
+    """Apply flash-crowd events to a ``(V, K)`` rate matrix.
+
+    Multipliers of events hitting the same location compound.
+
+    Args:
+        rates: base rate matrix, shape ``(V, K)``.
+        events: flash crowds to inject.
+
+    Returns:
+        A new matrix; the input is not modified.
+
+    Raises:
+        IndexError: if an event's location index is out of range.
+    """
+    rates = np.asarray(rates, dtype=float)
+    if rates.ndim != 2:
+        raise ValueError(f"rates must be 2-D (V, K), got shape {rates.shape}")
+    result = rates.copy()
+    num_locations, num_periods = rates.shape
+    for event in events:
+        if event.location_index >= num_locations:
+            raise IndexError(
+                f"flash crowd at location {event.location_index} but only "
+                f"{num_locations} locations"
+            )
+        multipliers = np.array([event.multiplier(k) for k in range(num_periods)])
+        result[event.location_index] *= multipliers
+    return result

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import DSPPInstance
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic randomness for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_instance() -> DSPPInstance:
+    """A 2-DC x 2-location instance, everything feasible and finite."""
+    return DSPPInstance(
+        datacenters=("dc0", "dc1"),
+        locations=("v0", "v1"),
+        sla_coefficients=np.array([[0.02, 0.05], [0.05, 0.02]]),
+        reconfiguration_weights=np.array([1.0, 1.0]),
+        capacities=np.array([100.0, 100.0]),
+        initial_state=np.zeros((2, 2)),
+    )
+
+
+@pytest.fixture
+def small_demand() -> np.ndarray:
+    """Demand matrix (V=2, T=5) matching ``small_instance``."""
+    return np.tile(np.array([[120.0], [150.0]]), (1, 5))
+
+
+@pytest.fixture
+def small_prices() -> np.ndarray:
+    """Price matrix (L=2, T=5) matching ``small_instance``."""
+    return np.tile(np.array([[1.0], [1.5]]), (1, 5))

@@ -1,0 +1,170 @@
+"""Tests for the post-run analysis module and the predicting game loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_run,
+    cost_by_datacenter,
+    movement_by_datacenter,
+    utilization,
+)
+from repro.control.loop import run_closed_loop
+from repro.control.mpc import MPCConfig, MPCController
+from repro.game.mpc_game import MPCGameConfig, run_mpc_game
+from repro.game.players import random_providers
+from repro.prediction.naive import LastValuePredictor
+from repro.prediction.oracle import OraclePredictor
+from repro.simulation.scenario import build_small_scenario
+
+
+class TestCostByDatacenter:
+    def test_matches_manual_sum(self):
+        states = np.array([[[1.0, 1.0], [2.0, 0.0]]])  # T=1, L=2, V=2
+        controls = np.array([[[1.0, 1.0], [2.0, 0.0]]])
+        prices = np.array([[3.0], [5.0]])
+        weights = np.array([1.0, 2.0])
+        costs = cost_by_datacenter(states, controls, prices, weights)
+        assert costs["allocation"] == pytest.approx([6.0, 10.0])
+        assert costs["reconfiguration"] == pytest.approx([2.0, 8.0])
+        assert costs["total"] == pytest.approx([8.0, 18.0])
+
+    def test_sums_to_objective(self):
+        scenario = build_small_scenario(num_periods=8, seed=5)
+        controller = MPCController(
+            scenario.instance,
+            OraclePredictor(scenario.demand),
+            OraclePredictor(scenario.prices),
+            MPCConfig(window=3),
+        )
+        result = run_closed_loop(controller, scenario.demand, scenario.prices)
+        costs = cost_by_datacenter(
+            result.trajectory.states,
+            result.trajectory.controls,
+            scenario.prices[:, 1:],
+            scenario.instance.reconfiguration_weights,
+        )
+        assert costs["total"].sum() == pytest.approx(result.total_cost, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cost_by_datacenter(
+                np.ones((1, 2, 2)), np.ones((2, 2, 2)), np.ones((2, 1)), np.ones(2)
+            )
+        with pytest.raises(ValueError):
+            cost_by_datacenter(
+                np.ones((1, 2, 2)), np.ones((1, 2, 2)), np.ones((3, 1)), np.ones(2)
+            )
+
+
+class TestUtilization:
+    def test_exact_sla_minimum_is_one(self):
+        coeff = np.array([[10.0]])  # 1/a
+        states = np.array([[[4.0]]])  # serves 40
+        demand = np.array([[40.0]])
+        assert utilization(states, demand, coeff) == pytest.approx([1.0])
+
+    def test_cushion_below_one(self):
+        coeff = np.array([[10.0]])
+        states = np.array([[[8.0]]])
+        demand = np.array([[40.0]])
+        assert utilization(states, demand, coeff) == pytest.approx([0.5])
+
+    def test_no_servers_with_demand_is_inf(self):
+        out = utilization(np.zeros((1, 1, 1)), np.array([[5.0]]), np.ones((1, 1)))
+        assert np.isinf(out[0])
+
+    def test_idle_empty_period_is_zero(self):
+        out = utilization(np.zeros((1, 1, 1)), np.zeros((1, 1)), np.ones((1, 1)))
+        assert out[0] == 0.0
+
+
+class TestMovement:
+    def test_add_remove_accounting(self):
+        controls = np.array(
+            [[[2.0], [0.0]], [[-1.0], [3.0]]]
+        )  # T=2, L=2, V=1
+        movement = movement_by_datacenter(controls)
+        assert movement["added"] == pytest.approx([2.0, 3.0])
+        assert movement["removed"] == pytest.approx([1.0, 0.0])
+        assert movement["net"] == pytest.approx([1.0, 3.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            movement_by_datacenter(np.ones((2, 2)))
+
+
+class TestAnalyzeRun:
+    def test_full_bundle(self):
+        scenario = build_small_scenario(num_periods=8, seed=6)
+        controller = MPCController(
+            scenario.instance,
+            OraclePredictor(scenario.demand),
+            OraclePredictor(scenario.prices),
+            MPCConfig(window=3),
+        )
+        result = run_closed_loop(controller, scenario.demand, scenario.prices)
+        analysis = analyze_run(result, scenario.instance)
+        assert analysis.cost_per_datacenter.sum() == pytest.approx(
+            result.total_cost, rel=1e-9
+        )
+        assert 0.0 < analysis.mean_utilization <= analysis.peak_utilization
+        # Oracle + exact SLA sizing: never under-provisioned.
+        assert analysis.peak_utilization <= 1.0 + 1e-6
+        assert analysis.servers_added > 0
+        assert 0 <= analysis.busiest_datacenter < scenario.instance.num_datacenters
+
+
+class TestPredictingGameLoop:
+    def test_predictor_factory_used(self):
+        rng = np.random.default_rng(3)
+        latency = rng.uniform(10.0, 60.0, size=(3, 4))
+        providers = random_providers(
+            2, ("d0", "d1", "d2"), ("v0", "v1", "v2", "v3"),
+            latency, 8, rng, demand_scale=50.0,
+        )
+        built = []
+
+        def factory(index, provider):
+            pair = (
+                LastValuePredictor(provider.instance.num_locations),
+                LastValuePredictor(provider.instance.num_datacenters),
+            )
+            built.append(index)
+            return pair
+
+        result = run_mpc_game(
+            providers,
+            np.full(3, 1e5),
+            MPCGameConfig(window=2, predictor_factory=factory),
+        )
+        assert built == [0, 1]
+        assert result.total_cost > 0
+
+    def test_prediction_error_costs_vs_oracle(self):
+        rng = np.random.default_rng(4)
+        latency = rng.uniform(10.0, 60.0, size=(3, 4))
+        providers = random_providers(
+            2, ("d0", "d1", "d2"), ("v0", "v1", "v2", "v3"),
+            latency, 10, np.random.default_rng(5), demand_scale=60.0,
+        )
+        capacity = np.full(3, 1e5)
+        oracle = run_mpc_game(providers, capacity, MPCGameConfig(window=3))
+
+        def factory(index, provider):
+            return (
+                LastValuePredictor(provider.instance.num_locations),
+                LastValuePredictor(provider.instance.num_datacenters),
+            )
+
+        predicted = run_mpc_game(
+            providers,
+            capacity,
+            MPCGameConfig(window=3, predictor_factory=factory),
+        )
+        penalty = 1e3
+        oracle_total = oracle.total_cost + penalty * oracle.total_shortfall
+        predicted_total = predicted.total_cost + penalty * predicted.total_shortfall
+        assert predicted_total >= oracle_total - 1e-6

@@ -1,0 +1,153 @@
+"""Tests for the placement baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import greedy_assignment_states, score_states
+from repro.baselines.cost_greedy import run_cost_greedy
+from repro.baselines.nearest import run_nearest_datacenter
+from repro.baselines.reactive import run_reactive
+from repro.baselines.static_opt import run_static_optimal
+from repro.control.loop import run_closed_loop
+from repro.control.mpc import MPCConfig, MPCController
+from repro.core.instance import DSPPInstance
+from repro.prediction.oracle import OraclePredictor
+from repro.simulation.scenario import build_small_scenario
+
+
+@pytest.fixture
+def scenario():
+    return build_small_scenario(num_periods=10, seed=7)
+
+
+class TestScoreStates:
+    def test_unmet_demand_detection(self):
+        instance = DSPPInstance(
+            datacenters=("dc",),
+            locations=("v",),
+            sla_coefficients=np.array([[0.1]]),
+            reconfiguration_weights=np.array([1.0]),
+            capacities=np.array([np.inf]),
+            initial_state=np.zeros((1, 1)),
+        )
+        states = np.full((2, 1, 1), 5.0)  # serves 50 req
+        demand = np.array([[40.0, 80.0]])
+        prices = np.ones((1, 2))
+        result = score_states("test", instance, states, demand, prices)
+        assert result.unmet_demand[0, 0] == pytest.approx(0.0)
+        assert result.unmet_demand[1, 0] == pytest.approx(30.0)
+
+
+class TestGreedyAssignment:
+    def test_prefers_lowest_score(self):
+        instance = DSPPInstance(
+            datacenters=("near", "far"),
+            locations=("v",),
+            sla_coefficients=np.array([[0.1], [0.2]]),
+            reconfiguration_weights=np.ones(2),
+            capacities=np.full(2, np.inf),
+            initial_state=np.zeros((2, 1)),
+        )
+        preference = np.array([[1.0], [2.0]])
+        allocation = greedy_assignment_states(instance, np.array([50.0]), preference)
+        assert allocation[0, 0] == pytest.approx(5.0)  # a * D
+        assert allocation[1, 0] == 0.0
+
+    def test_spills_on_capacity(self):
+        instance = DSPPInstance(
+            datacenters=("near", "far"),
+            locations=("v",),
+            sla_coefficients=np.array([[0.1], [0.2]]),
+            reconfiguration_weights=np.ones(2),
+            capacities=np.array([2.0, np.inf]),
+            initial_state=np.zeros((2, 1)),
+        )
+        preference = np.array([[1.0], [2.0]])
+        allocation = greedy_assignment_states(instance, np.array([50.0]), preference)
+        assert allocation[0, 0] == pytest.approx(2.0)
+        # 20 requests at near, remaining 30 need 0.2 * 30 = 6 at far.
+        assert allocation[1, 0] == pytest.approx(6.0)
+
+    def test_infeasible_raises(self):
+        instance = DSPPInstance(
+            datacenters=("only",),
+            locations=("v",),
+            sla_coefficients=np.array([[0.1]]),
+            reconfiguration_weights=np.ones(1),
+            capacities=np.array([1.0]),
+            initial_state=np.zeros((1, 1)),
+        )
+        with pytest.raises(ValueError, match="cannot serve"):
+            greedy_assignment_states(instance, np.array([500.0]), np.array([[1.0]]))
+
+
+class TestBaselineRuns:
+    def test_static_peak_never_violates(self, scenario):
+        result = run_static_optimal(scenario.instance, scenario.demand, scenario.prices)
+        assert result.total_unmet_demand == pytest.approx(0.0, abs=1e-5)
+        # After the initial ramp there is no reconfiguration at all.
+        assert np.abs(result.trajectory.controls[1:]).sum() == pytest.approx(0.0, abs=1e-6)
+
+    def test_static_mean_cheaper_but_riskier(self, scenario):
+        peak = run_static_optimal(scenario.instance, scenario.demand, scenario.prices, sizing="peak")
+        mean = run_static_optimal(scenario.instance, scenario.demand, scenario.prices, sizing="mean")
+        assert mean.costs.allocation_total <= peak.costs.allocation_total + 1e-6
+        assert mean.total_unmet_demand >= peak.total_unmet_demand
+
+    def test_static_rejects_unknown_sizing(self, scenario):
+        with pytest.raises(ValueError):
+            run_static_optimal(scenario.instance, scenario.demand, scenario.prices, sizing="p99")
+
+    def test_reactive_tracks_observations(self, scenario):
+        result = run_reactive(scenario.instance, scenario.demand, scenario.prices)
+        # Each state serves at least the previous period's demand.
+        coeff = scenario.instance.demand_coefficients
+        for t in range(result.trajectory.num_steps):
+            served = (coeff * result.trajectory.states[t]).sum(axis=0)
+            assert np.all(served >= scenario.demand[:, t] - 1e-4)
+
+    def test_nearest_uses_closest_feasible_site(self, scenario):
+        result = run_nearest_datacenter(
+            scenario.instance, scenario.demand, scenario.prices,
+            scenario.latency.latency_ms,
+        )
+        nearest = np.argmin(scenario.latency.latency_ms, axis=0)
+        state = result.trajectory.states[0]
+        for v, dc in enumerate(nearest):
+            assert state[dc, v] > 0
+
+    def test_cost_greedy_prefers_cheap_effective_price(self, scenario):
+        result = run_cost_greedy(scenario.instance, scenario.demand, scenario.prices)
+        a = scenario.instance.sla_coefficients
+        effective = a * scenario.prices[:, 0][:, None]
+        cheapest = np.argmin(effective, axis=0)
+        state = result.trajectory.states[0]
+        for v, dc in enumerate(cheapest):
+            assert state[dc, v] > 0
+
+    def test_mpc_beats_reactive_on_total_cost(self, scenario):
+        controller = MPCController(
+            scenario.instance,
+            OraclePredictor(scenario.demand),
+            OraclePredictor(scenario.prices),
+            MPCConfig(window=4),
+        )
+        mpc = run_closed_loop(controller, scenario.demand, scenario.prices)
+        reactive = run_reactive(scenario.instance, scenario.demand, scenario.prices)
+        assert mpc.total_cost < reactive.total_cost
+
+    def test_mpc_beats_nearest_on_total_cost(self, scenario):
+        controller = MPCController(
+            scenario.instance,
+            OraclePredictor(scenario.demand),
+            OraclePredictor(scenario.prices),
+            MPCConfig(window=4),
+        )
+        mpc = run_closed_loop(controller, scenario.demand, scenario.prices)
+        nearest = run_nearest_datacenter(
+            scenario.instance, scenario.demand, scenario.prices,
+            scenario.latency.latency_ms,
+        )
+        assert mpc.total_cost < nearest.total_cost

@@ -1,0 +1,104 @@
+"""Tests for the figure-reproduction CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_figure_flags(self):
+        args = build_parser().parse_args(["fig7", "--max-players", "4", "--seed", "2"])
+        assert args.max_players == 4
+        assert args.seed == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig11"])
+
+
+class TestMain:
+    def test_list_prints_every_figure(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"):
+            assert name in out
+
+    def test_fig3_runs_and_passes(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out
+        assert "[PASS]" in out
+        assert "[FAIL]" not in out
+
+    def test_fig4_respects_hours_flag(self, capsys):
+        assert main(["fig4", "--hours", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "servers_mpc" in out
+
+
+class TestReportCommand:
+    def test_parser_wiring(self):
+        args = build_parser().parse_args(["report", "--out", "X.md", "--full"])
+        assert args.command == "report"
+        assert args.out == "X.md"
+        assert args.full is True
+
+    def test_report_writes_file(self, tmp_path, monkeypatch):
+        # Patch the figure runners so the command is fast; the real runs
+        # are covered by the benchmark suite.
+        import numpy as np
+
+        import repro.report as report_module
+        from repro.experiments.common import FigureResult
+
+        def fake_runs(options):
+            return [
+                lambda: FigureResult(
+                    figure="figX",
+                    title="stub",
+                    x_label="k",
+                    x=np.array([1, 2]),
+                    series={"y": np.array([1.0, 2.0])},
+                    checks={"ok": True},
+                )
+            ]
+
+        monkeypatch.setattr(report_module, "_figure_runs", fake_runs)
+        out = tmp_path / "R.md"
+        assert main(["report", "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "figX" in text
+        assert "All shape checks passed" in text
+
+    def test_report_exit_code_on_failure(self, tmp_path, monkeypatch):
+        import numpy as np
+
+        import repro.report as report_module
+        from repro.experiments.common import FigureResult
+
+        def fake_runs(options):
+            return [
+                lambda: FigureResult(
+                    figure="figX",
+                    title="stub",
+                    x_label="k",
+                    x=np.array([1]),
+                    series={"y": np.array([1.0])},
+                    checks={"broken": False},
+                )
+            ]
+
+        monkeypatch.setattr(report_module, "_figure_runs", fake_runs)
+        out = tmp_path / "R.md"
+        assert main(["report", "--out", str(out)]) == 1
+        assert "FAILED" in out.read_text()

@@ -1,0 +1,99 @@
+"""Tests for the MPC window auto-tuner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.tuning import select_window
+from repro.core.instance import DSPPInstance
+from repro.experiments.fig9_horizon_cost_volatile import volatile_traces
+from repro.prediction.ar import ARPredictor
+from repro.prediction.naive import LastValuePredictor
+
+
+@pytest.fixture
+def instance():
+    return DSPPInstance(
+        datacenters=("dc",),
+        locations=("v",),
+        sla_coefficients=np.array([[0.1]]),
+        reconfiguration_weights=np.array([20.0]),
+        capacities=np.array([np.inf]),
+        initial_state=np.zeros((1, 1)),
+    )
+
+
+class TestSelectWindow:
+    def test_constant_inputs_prefer_long_windows(self, instance):
+        # The Figure 10 regime: ramp from zero under constant inputs —
+        # longer look-ahead plans the ramp better.
+        K = 16
+        demand = np.full((1, K), 150.0)
+        prices = np.ones((1, K))
+        selection = select_window(
+            instance,
+            demand,
+            prices,
+            lambda: (LastValuePredictor(1), LastValuePredictor(1)),
+            candidates=(1, 2, 4, 8),
+            slack_penalty=6.0,
+        )
+        assert selection.best_window >= 4
+        # Scores non-increasing in window here.
+        assert selection.score_of(8) <= selection.score_of(1)
+
+    def test_volatile_inputs_prefer_short_windows(self, instance):
+        # The Figure 9 regime: AR forecasts on volatile traces.
+        rng = np.random.default_rng(0)
+        demand, prices = volatile_traces(48, 1, 1, rng)
+        start = demand[0, 0] * 0.1
+        seeded = instance.with_initial_state(np.array([[start]]))
+        selection = select_window(
+            seeded,
+            demand,
+            prices,
+            lambda: (ARPredictor(1, order=2), ARPredictor(1, order=2)),
+            candidates=(1, 2, 4, 8),
+            slack_penalty=50.0,
+        )
+        assert selection.best_window <= 2
+
+    def test_tie_breaks_to_shorter_window(self, instance):
+        # With a warm start at the static optimum and constant inputs,
+        # every window scores identically -> the shortest must win.
+        warm = instance.with_initial_state(np.array([[15.0]]))
+        demand = np.full((1, 8), 150.0)
+        prices = np.ones((1, 8))
+        selection = select_window(
+            warm,
+            demand,
+            prices,
+            lambda: (LastValuePredictor(1), LastValuePredictor(1)),
+            candidates=(4, 1, 2),
+            slack_penalty=10.0,
+        )
+        assert selection.best_window == 1
+
+    def test_scores_align_with_candidates(self, instance):
+        demand = np.full((1, 6), 100.0)
+        prices = np.ones((1, 6))
+        selection = select_window(
+            instance,
+            demand,
+            prices,
+            lambda: (LastValuePredictor(1), LastValuePredictor(1)),
+            candidates=(2, 3),
+            slack_penalty=10.0,
+        )
+        assert selection.scores.shape == (2,)
+        assert selection.score_of(2) == selection.scores[0]
+
+    def test_validation(self, instance):
+        demand = np.full((1, 4), 10.0)
+        prices = np.ones((1, 4))
+        factory = lambda: (LastValuePredictor(1), LastValuePredictor(1))
+        with pytest.raises(ValueError, match="at least one"):
+            select_window(instance, demand, prices, factory, candidates=())
+        with pytest.raises(ValueError, match=">= 1"):
+            select_window(instance, demand, prices, factory, candidates=(0,))

@@ -1,0 +1,267 @@
+"""Tests for the extension modules: static LP, integer rounding, L1
+penalty, and the optimal-assignment router ablation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.absolute import L1DSPPInfeasibleError, solve_dspp_l1
+from repro.core.dspp import solve_dspp
+from repro.core.instance import DSPPInstance
+from repro.core.integer import (
+    IntegerRepairError,
+    round_repair,
+    round_up,
+    solve_dspp_integer,
+)
+from repro.core.static import (
+    StaticPlacementInfeasibleError,
+    solve_static_placement,
+)
+from repro.routing.optimal import (
+    AssignmentInfeasibleError,
+    optimal_assignment,
+)
+from repro.routing.proportional import proportional_assignment
+
+
+@pytest.fixture
+def asym_instance():
+    """Two DCs with asymmetric SLA coefficients and prices-agnostic data."""
+    return DSPPInstance(
+        datacenters=("near", "far"),
+        locations=("v0", "v1"),
+        sla_coefficients=np.array([[0.05, 0.08], [0.08, 0.05]]),
+        reconfiguration_weights=np.array([1.0, 1.0]),
+        capacities=np.array([50.0, 50.0]),
+        initial_state=np.zeros((2, 2)),
+    )
+
+
+class TestStaticPlacement:
+    def test_picks_cheapest_effective_site(self, asym_instance):
+        placement = solve_static_placement(
+            asym_instance, np.array([100.0, 100.0]), np.array([1.0, 1.0])
+        )
+        # Equal prices: the lower-a (closer) DC per location is cheaper.
+        assert placement.allocation[0, 0] > 0
+        assert placement.allocation[1, 1] > 0
+        assert placement.allocation[0, 1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_cost_matches_allocation(self, asym_instance):
+        prices = np.array([1.0, 3.0])
+        placement = solve_static_placement(
+            asym_instance, np.array([50.0, 80.0]), prices
+        )
+        manual = float(placement.allocation.sum(axis=1) @ prices)
+        assert placement.cost == pytest.approx(manual, rel=1e-9)
+
+    def test_matches_dspp_single_period_without_recon(self, asym_instance):
+        demand = np.array([120.0, 90.0])
+        prices = np.array([1.0, 1.4])
+        lp = solve_static_placement(asym_instance, demand, prices)
+        qp = solve_dspp(
+            asym_instance.with_initial_state(np.zeros((2, 2))),
+            demand[:, None],
+            prices[:, None],
+        )
+        # The QP pays quadratic reconfiguration from x0=0, but its holding
+        # cost at the optimum cannot beat the LP's.
+        assert qp.costs.allocation_total >= lp.cost - 1e-6
+
+    def test_infeasible(self, asym_instance):
+        with pytest.raises(StaticPlacementInfeasibleError):
+            solve_static_placement(
+                asym_instance, np.array([1e6, 1e6]), np.array([1.0, 1.0])
+            )
+
+    def test_validation(self, asym_instance):
+        with pytest.raises(ValueError):
+            solve_static_placement(asym_instance, np.ones(3), np.ones(2))
+        with pytest.raises(ValueError):
+            solve_static_placement(asym_instance, -np.ones(2), np.ones(2))
+
+
+class TestRoundUp:
+    def test_ceils(self):
+        states = np.array([[[1.2, 3.0], [0.0, 4.7]]])
+        assert round_up(states) == pytest.approx(np.array([[[2.0, 3.0], [0.0, 5.0]]]))
+
+    def test_integer_input_unchanged(self):
+        states = np.array([[[2.0, 5.0]]])
+        assert round_up(states) == pytest.approx(states)
+
+
+class TestRoundRepair:
+    def test_no_overflow_is_plain_ceil(self, asym_instance):
+        states = np.full((2, 2, 2), 3.3)
+        demand = np.full((2, 2), 10.0)
+        repaired = round_repair(asym_instance, states, demand)
+        assert repaired == pytest.approx(np.full((2, 2, 2), 4.0))
+
+    def test_repair_respects_capacity_and_demand(self):
+        instance = DSPPInstance(
+            datacenters=("dc",),
+            locations=("v0", "v1"),
+            sla_coefficients=np.array([[0.5, 0.5]]),
+            reconfiguration_weights=np.ones(1),
+            capacities=np.array([9.0]),
+            initial_state=np.zeros((1, 2)),
+        )
+        # Continuous solution 4.2 + 4.2 = 8.4 <= 9; ceil gives 10 > 9.
+        states = np.array([[[4.2, 4.2]]])
+        demand = np.array([[8.0], [8.0]])  # (V=2, T=1): each location needs 8*0.5=4 servers
+        repaired = round_repair(instance, states, demand)
+        assert repaired.sum() <= 9.0
+        served = (instance.demand_coefficients * repaired[0]).sum(axis=0)
+        assert np.all(served >= demand[:, 0] - 1e-9)
+
+    def test_unrepairable_raises(self):
+        instance = DSPPInstance(
+            datacenters=("dc",),
+            locations=("v",),
+            sla_coefficients=np.array([[1.0]]),
+            reconfiguration_weights=np.ones(1),
+            capacities=np.array([4.0]),
+            initial_state=np.zeros((1, 1)),
+        )
+        states = np.array([[[4.5]]])
+        demand = np.array([[4.5]])
+        with pytest.raises(IntegerRepairError):
+            round_repair(instance, states, demand)
+
+
+class TestIntegerSolve:
+    def test_integer_feasible_and_gap_small(self, asym_instance):
+        demand = np.tile(np.array([[150.0], [180.0]]), (1, 4))
+        prices = np.tile(np.array([[1.0], [1.3]]), (1, 4))
+        solution = solve_dspp_integer(asym_instance, demand, prices)
+        states = solution.trajectory.states
+        assert np.allclose(states, np.round(states))
+        coeff = asym_instance.demand_coefficients
+        served = np.einsum("lv,tlv->tv", coeff, states)
+        assert np.all(served >= demand.T - 1e-9)
+        assert solution.objective >= solution.continuous_objective - 1e-6
+        # Tens of servers per site: the gap should be small.
+        assert solution.integrality_gap < 0.25
+
+    def test_gap_shrinks_with_scale(self, asym_instance):
+        def gap(scale: float) -> float:
+            demand = np.tile(np.array([[15.0], [18.0]]), (1, 3)) * scale
+            prices = np.ones((2, 3))
+            return solve_dspp_integer(asym_instance, demand, prices).integrality_gap
+
+        assert gap(10.0) < gap(1.0)
+
+
+class TestL1Penalty:
+    def test_solves_and_meets_demand(self, asym_instance):
+        demand = np.tile(np.array([[100.0], [120.0]]), (1, 5))
+        prices = np.tile(np.array([[1.0], [1.5]]), (1, 5))
+        solution = solve_dspp_l1(asym_instance, demand, prices)
+        coeff = asym_instance.demand_coefficients
+        served = np.einsum("lv,tlv->tv", coeff, solution.trajectory.states)
+        assert np.all(served >= demand.T - 1e-6)
+        assert solution.objective == pytest.approx(
+            solution.allocation_cost + solution.reconfiguration_cost
+        )
+
+    def test_l1_ignores_small_price_wiggles(self):
+        # A price wiggle smaller than twice the move cost should cause no
+        # migration under L1 (dead-band), while the quadratic controller
+        # always migrates a little.
+        instance = DSPPInstance(
+            datacenters=("a", "b"),
+            locations=("v",),
+            sla_coefficients=np.array([[0.1], [0.1]]),
+            reconfiguration_weights=np.array([5.0, 5.0]),
+            capacities=np.full(2, np.inf),
+            initial_state=np.array([[10.0], [0.0]]),
+        )
+        demand = np.full((1, 4), 100.0)
+        prices = np.array(
+            [[1.00, 1.02, 1.00, 1.02], [1.01, 1.00, 1.01, 1.00]]
+        )
+        l1 = solve_dspp_l1(instance, demand, prices)
+        quad = solve_dspp(instance, demand, prices)
+        l1_moves = np.abs(l1.trajectory.controls).sum()
+        quad_moves = np.abs(quad.trajectory.controls).sum()
+        assert l1_moves == pytest.approx(0.0, abs=1e-6)
+        assert quad_moves > 1e-3
+
+    def test_infeasible(self, asym_instance):
+        with pytest.raises(L1DSPPInfeasibleError):
+            solve_dspp_l1(
+                asym_instance, np.full((2, 2), 1e6), np.ones((2, 2))
+            )
+
+    def test_validation(self, asym_instance):
+        with pytest.raises(ValueError):
+            solve_dspp_l1(asym_instance, np.ones((3, 2)), np.ones((2, 2)))
+
+
+class TestOptimalAssignment:
+    def test_routes_everything(self):
+        allocation = np.array([[5.0, 5.0], [5.0, 5.0]])
+        coeff = np.full((2, 2), 10.0)
+        latency = np.array([[1.0, 9.0], [9.0, 1.0]])
+        demand = np.array([40.0, 40.0])
+        result = optimal_assignment(allocation, demand, coeff, latency)
+        assert result.assignment.sum(axis=0) == pytest.approx(demand)
+        # All demand fits on the diagonal (cap 50 per pair).
+        assert result.assignment[0, 0] == pytest.approx(40.0)
+        assert result.assignment[1, 1] == pytest.approx(40.0)
+
+    def test_never_worse_than_proportional(self, rng):
+        for _ in range(10):
+            L, V = 3, 4
+            a = rng.uniform(0.05, 0.2, size=(L, V))
+            coeff = 1.0 / a
+            latency = rng.uniform(1.0, 50.0, size=(L, V))
+            demand = rng.uniform(5.0, 30.0, size=V)
+            allocation = a * demand[None, :] * rng.uniform(0.5, 1.0, size=(L, V))
+            # Ensure feasibility.
+            scale = (allocation * coeff).sum(axis=0) / demand
+            allocation /= np.minimum(scale, 1.0)[None, :] * 0.999
+            optimal = optimal_assignment(allocation, demand, coeff, latency)
+            proportional = proportional_assignment(allocation, demand, coeff)
+            prop_latency = float((latency * proportional).sum())
+            assert optimal.total_weighted_latency <= prop_latency + 1e-6
+
+    def test_respects_per_pair_capacity(self):
+        allocation = np.array([[1.0], [10.0]])
+        coeff = np.full((2, 1), 10.0)
+        latency = np.array([[1.0], [2.0]])
+        result = optimal_assignment(allocation, np.array([50.0]), coeff, latency)
+        assert result.assignment[0, 0] <= 10.0 + 1e-9
+
+    def test_infeasible(self):
+        with pytest.raises(AssignmentInfeasibleError):
+            optimal_assignment(
+                np.zeros((1, 1)), np.array([1.0]), np.ones((1, 1)), np.ones((1, 1))
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 5000), scale=st.floats(5.0, 50.0))
+def test_integer_rounding_always_demand_feasible(seed, scale):
+    """Property: round_repair output always serves the demand."""
+    rng = np.random.default_rng(seed)
+    L, V, T = 2, 3, 3
+    a = rng.uniform(0.05, 0.2, size=(L, V))
+    instance = DSPPInstance(
+        datacenters=("d0", "d1"),
+        locations=("v0", "v1", "v2"),
+        sla_coefficients=a,
+        reconfiguration_weights=np.ones(L),
+        capacities=np.full(L, np.inf),
+        initial_state=np.zeros((L, V)),
+    )
+    demand = rng.uniform(1.0, scale, size=(V, T))
+    prices = rng.uniform(0.5, 2.0, size=(L, T))
+    solution = solve_dspp_integer(instance, demand, prices)
+    coeff = instance.demand_coefficients
+    served = np.einsum("lv,tlv->tv", coeff, solution.trajectory.states)
+    assert np.all(served >= demand.T - 1e-9)

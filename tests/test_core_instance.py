@@ -1,0 +1,112 @@
+"""Tests for repro.core.instance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import DSPPInstance
+
+
+def _make(**overrides):
+    defaults = dict(
+        datacenters=("dc0", "dc1"),
+        locations=("v0", "v1", "v2"),
+        sla_coefficients=np.full((2, 3), 0.1),
+        reconfiguration_weights=np.ones(2),
+        capacities=np.full(2, 50.0),
+        initial_state=np.zeros((2, 3)),
+    )
+    defaults.update(overrides)
+    return DSPPInstance(**defaults)
+
+
+class TestValidation:
+    def test_valid_instance(self):
+        instance = _make()
+        assert instance.num_datacenters == 2
+        assert instance.num_locations == 3
+        assert instance.num_pairs == 6
+
+    def test_rejects_wrong_sla_shape(self):
+        with pytest.raises(ValueError, match="sla_coefficients"):
+            _make(sla_coefficients=np.full((3, 2), 0.1))
+
+    def test_rejects_nonpositive_sla(self):
+        bad = np.full((2, 3), 0.1)
+        bad[0, 0] = 0.0
+        with pytest.raises(ValueError, match="positive"):
+            _make(sla_coefficients=bad)
+
+    def test_rejects_negative_initial_state(self):
+        state = np.zeros((2, 3))
+        state[0, 0] = -1.0
+        with pytest.raises(ValueError, match="nonnegative"):
+            _make(initial_state=state)
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(ValueError):
+            _make(reconfiguration_weights=np.array([1.0, 0.0]))
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            _make(capacities=np.array([50.0, -1.0]))
+
+    def test_rejects_nonpositive_server_size(self):
+        with pytest.raises(ValueError):
+            _make(server_size=0.0)
+
+    def test_rejects_unreachable_location(self):
+        coefficients = np.full((2, 3), 0.1)
+        coefficients[:, 1] = np.inf
+        with pytest.raises(ValueError, match="unreachable"):
+            _make(sla_coefficients=coefficients)
+
+    def test_inf_allowed_if_each_location_served_somewhere(self):
+        coefficients = np.full((2, 3), 0.1)
+        coefficients[0, 1] = np.inf
+        instance = _make(sla_coefficients=coefficients)
+        assert np.isinf(instance.sla_coefficients[0, 1])
+
+    def test_rejects_all_inf(self):
+        with pytest.raises(ValueError):
+            _make(sla_coefficients=np.full((2, 3), np.inf))
+
+    def test_rejects_empty_sites(self):
+        with pytest.raises(ValueError):
+            _make(datacenters=())
+
+
+class TestDerived:
+    def test_demand_coefficients_inverse(self):
+        instance = _make()
+        assert instance.demand_coefficients == pytest.approx(np.full((2, 3), 10.0))
+
+    def test_demand_coefficients_zero_for_inf(self):
+        coefficients = np.full((2, 3), 0.1)
+        coefficients[1, 2] = np.inf
+        instance = _make(sla_coefficients=coefficients)
+        assert instance.demand_coefficients[1, 2] == 0.0
+
+    def test_with_initial_state_copies(self):
+        instance = _make()
+        state = np.ones((2, 3))
+        updated = instance.with_initial_state(state)
+        state[0, 0] = 99.0
+        assert updated.initial_state[0, 0] == 1.0
+        assert instance.initial_state[0, 0] == 0.0  # original untouched
+
+    def test_with_capacities(self):
+        instance = _make()
+        updated = instance.with_capacities(np.array([7.0, 9.0]))
+        assert updated.capacities == pytest.approx([7.0, 9.0])
+        assert instance.capacities == pytest.approx([50.0, 50.0])
+
+    def test_max_supportable_demand(self):
+        instance = _make()
+        # Each DC can host 50 servers; a=0.1 -> 500 req per DC per location.
+        assert instance.max_supportable_demand() == pytest.approx(np.full(3, 1000.0))
+
+    def test_max_supportable_demand_scales_with_server_size(self):
+        instance = _make(server_size=2.0)
+        assert instance.max_supportable_demand() == pytest.approx(np.full(3, 500.0))

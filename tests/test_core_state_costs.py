@@ -1,0 +1,132 @@
+"""Tests for repro.core.state and repro.core.costs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.costs import (
+    CostBreakdown,
+    allocation_cost,
+    reconfiguration_cost,
+    total_cost,
+)
+from repro.core.state import Trajectory, roll_out_states
+
+
+class TestRollOut:
+    def test_cumulative_sum(self):
+        x0 = np.zeros((1, 1))
+        controls = np.array([[[1.0]], [[2.0]], [[-0.5]]])
+        states = roll_out_states(x0, controls)
+        assert states[:, 0, 0] == pytest.approx([1.0, 3.0, 2.5])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            roll_out_states(np.zeros((2, 2)), np.zeros((3, 1, 2)))
+
+
+class TestTrajectory:
+    def test_consistent_trajectory_accepted(self):
+        x0 = np.ones((1, 2))
+        controls = np.full((3, 1, 2), 0.5)
+        states = roll_out_states(x0, controls)
+        trajectory = Trajectory(x0, states, controls)
+        assert trajectory.num_steps == 3
+
+    def test_inconsistent_rejected(self):
+        x0 = np.zeros((1, 1))
+        controls = np.ones((2, 1, 1))
+        states = np.ones((2, 1, 1))  # should be [1, 2]
+        with pytest.raises(ValueError, match="state equation"):
+            Trajectory(x0, states, controls)
+
+    def test_state_at(self):
+        x0 = np.zeros((1, 1))
+        controls = np.ones((2, 1, 1))
+        trajectory = Trajectory(x0, roll_out_states(x0, controls), controls)
+        assert trajectory.state_at(0) == pytest.approx(x0)
+        assert trajectory.state_at(2)[0, 0] == pytest.approx(2.0)
+
+    def test_servers_per_datacenter_eq1(self):
+        x0 = np.zeros((2, 3))
+        controls = np.ones((1, 2, 3))
+        trajectory = Trajectory(x0, roll_out_states(x0, controls), controls)
+        assert trajectory.servers_per_datacenter() == pytest.approx(
+            np.full((1, 2), 3.0)
+        )
+
+    def test_total_reconfiguration(self):
+        x0 = np.zeros((1, 1))
+        controls = np.array([[[2.0]], [[-1.0]]])
+        trajectory = Trajectory(x0, roll_out_states(x0, controls), controls)
+        assert trajectory.total_reconfiguration() == pytest.approx(3.0)
+
+
+class TestCosts:
+    def test_allocation_cost_eq3(self):
+        states = np.array([[[1.0, 2.0], [3.0, 4.0]]])  # T=1, L=2, V=2
+        prices = np.array([[2.0], [10.0]])  # p per DC
+        cost = allocation_cost(states, prices)
+        assert cost == pytest.approx([(1 + 2) * 2 + (3 + 4) * 10])
+
+    def test_reconfiguration_cost_eq4(self):
+        controls = np.array([[[1.0, -2.0], [0.5, 0.0]]])
+        weights = np.array([2.0, 4.0])
+        cost = reconfiguration_cost(controls, weights)
+        assert cost == pytest.approx([2 * (1 + 4) + 4 * 0.25])
+
+    def test_total_cost_breakdown(self):
+        states = np.ones((2, 1, 1))
+        controls = np.ones((2, 1, 1))
+        prices = np.full((1, 2), 3.0)
+        weights = np.array([2.0])
+        breakdown = total_cost(states, controls, prices, weights)
+        assert breakdown.allocation_total == pytest.approx(6.0)
+        assert breakdown.reconfiguration_total == pytest.approx(4.0)
+        assert breakdown.total == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allocation_cost(np.ones((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            allocation_cost(np.ones((2, 2, 2)), np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            reconfiguration_cost(np.ones((1, 2, 2)), np.ones(3))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    controls=hnp.arrays(
+        np.float64, (4, 2, 3), elements=st.floats(-5, 5, allow_nan=False)
+    ),
+)
+def test_trajectory_roundtrip_property(controls):
+    """roll_out_states output always forms a valid Trajectory, and the
+    per-DC aggregate matches eq. 1 summation."""
+    x0 = np.full((2, 3), 10.0)
+    states = roll_out_states(x0, controls)
+    trajectory = Trajectory(x0, states, controls)
+    assert trajectory.servers_per_datacenter() == pytest.approx(states.sum(axis=2))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    scale=st.floats(0.1, 10.0),
+    seed=st.integers(0, 500),
+)
+def test_cost_scaling_properties(scale, seed):
+    """H scales linearly in prices; G scales quadratically in controls."""
+    rng = np.random.default_rng(seed)
+    states = rng.uniform(0, 5, size=(3, 2, 2))
+    controls = rng.uniform(-2, 2, size=(3, 2, 2))
+    prices = rng.uniform(0.5, 2, size=(2, 3))
+    weights = rng.uniform(0.5, 2, size=2)
+    assert allocation_cost(states, prices * scale) == pytest.approx(
+        allocation_cost(states, prices) * scale
+    )
+    assert reconfiguration_cost(controls * scale, weights) == pytest.approx(
+        reconfiguration_cost(controls, weights) * scale**2
+    )

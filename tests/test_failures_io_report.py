@@ -1,0 +1,203 @@
+"""Tests for failure injection, scenario persistence, and the report
+generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.mpc import MPCConfig, MPCController
+from repro.core.instance import DSPPInstance
+from repro.io import load_scenario, save_scenario
+from repro.prediction.oracle import OraclePredictor
+from repro.report import ReportOptions, _markdown_table
+from repro.simulation.failures import (
+    OutageEvent,
+    capacity_schedule,
+    run_closed_loop_with_failures,
+)
+from repro.simulation.scenario import build_paper_scenario, build_small_scenario
+
+
+class TestOutageEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutageEvent(0, 0, duration=0)
+        with pytest.raises(ValueError):
+            OutageEvent(0, 0, 1, remaining_fraction=1.0)
+        with pytest.raises(ValueError):
+            OutageEvent(-1, 0, 1)
+
+    def test_activity_window(self):
+        event = OutageEvent(0, start_period=3, duration=2)
+        assert not event.is_active(2)
+        assert event.is_active(3)
+        assert event.is_active(4)
+        assert not event.is_active(5)
+
+
+class TestCapacitySchedule:
+    def test_applies_fraction(self):
+        schedule = capacity_schedule(
+            np.array([100.0, 50.0]),
+            5,
+            [OutageEvent(0, 1, 2, remaining_fraction=0.25)],
+        )
+        assert schedule[0] == pytest.approx([100.0, 50.0])
+        assert schedule[1] == pytest.approx([25.0, 50.0])
+        assert schedule[2] == pytest.approx([25.0, 50.0])
+        assert schedule[3] == pytest.approx([100.0, 50.0])
+
+    def test_overlapping_events_compound(self):
+        schedule = capacity_schedule(
+            np.array([100.0]),
+            3,
+            [
+                OutageEvent(0, 0, 3, remaining_fraction=0.5),
+                OutageEvent(0, 1, 1, remaining_fraction=0.5),
+            ],
+        )
+        assert schedule[1, 0] == pytest.approx(25.0)
+
+    def test_unknown_datacenter(self):
+        with pytest.raises(IndexError):
+            capacity_schedule(np.array([1.0]), 2, [OutageEvent(3, 0, 1)])
+
+
+class TestFailureLoop:
+    @pytest.fixture
+    def setup(self):
+        instance = DSPPInstance(
+            datacenters=("a", "b"),
+            locations=("v",),
+            sla_coefficients=np.array([[0.1], [0.1]]),
+            reconfiguration_weights=np.array([0.5, 0.5]),
+            capacities=np.array([30.0, 30.0]),
+            initial_state=np.zeros((2, 1)),
+        )
+        K = 10
+        demand = np.full((1, K), 150.0)
+        prices = np.vstack([np.ones(K), 1.5 * np.ones(K)])  # a cheaper
+        return instance, demand, prices
+
+    def _controller(self, instance, demand, prices):
+        return MPCController(
+            instance,
+            OraclePredictor(demand),
+            OraclePredictor(prices),
+            MPCConfig(window=3, slack_penalty=50.0),
+        )
+
+    def test_no_outage_matches_plain_loop_service(self, setup):
+        instance, demand, prices = setup
+        result = run_closed_loop_with_failures(
+            self._controller(instance, demand, prices), demand, prices, []
+        )
+        assert result.total_unmet_demand == pytest.approx(0.0, abs=1e-5)
+
+    def test_outage_moves_load_to_survivor(self, setup):
+        instance, demand, prices = setup
+        outage = OutageEvent(0, start_period=4, duration=3, remaining_fraction=0.0)
+        result = run_closed_loop_with_failures(
+            self._controller(instance, demand, prices), demand, prices, [outage]
+        )
+        servers = result.servers_per_datacenter()  # (K-1, L)
+        # During the outage (serving periods 4..6) DC a holds nothing and
+        # DC b carries the demand it can.
+        assert servers[3, 0] == pytest.approx(0.0, abs=1e-6)
+        assert servers[4, 0] == pytest.approx(0.0, abs=1e-6)
+        assert servers[3, 1] > 10.0
+        # After recovery, load starts migrating back to the cheap site
+        # (gradually — the quadratic penalty damps the return).
+        assert servers[-1, 0] > servers[5, 0]
+        assert servers[-1, 0] > servers[-2, 0] - 1e-9
+
+    def test_full_outage_of_both_sites_reports_unmet(self, setup):
+        instance, demand, prices = setup
+        outages = [
+            OutageEvent(0, 4, 2, remaining_fraction=0.0),
+            OutageEvent(1, 4, 2, remaining_fraction=0.0),
+        ]
+        result = run_closed_loop_with_failures(
+            self._controller(instance, demand, prices), demand, prices, outages
+        )
+        assert result.unmet_demand[3].sum() > 100.0
+
+    def test_partial_outage_degrades_gracefully(self, setup):
+        instance, demand, prices = setup
+        outage = OutageEvent(0, 4, 2, remaining_fraction=0.5)
+        result = run_closed_loop_with_failures(
+            self._controller(instance, demand, prices), demand, prices, [outage]
+        )
+        servers = result.servers_per_datacenter()
+        assert servers[3, 0] <= 15.0 + 1e-6  # half of 30
+
+
+class TestScenarioIO:
+    def test_round_trip_small(self, tmp_path):
+        scenario = build_small_scenario(num_periods=6, seed=3)
+        path = tmp_path / "scenario.npz"
+        save_scenario(path, scenario)
+        loaded = load_scenario(path)
+        assert loaded.instance.datacenters == scenario.instance.datacenters
+        assert loaded.instance.sla_coefficients == pytest.approx(
+            scenario.instance.sla_coefficients
+        )
+        assert loaded.demand == pytest.approx(scenario.demand)
+        assert loaded.prices == pytest.approx(scenario.prices)
+        assert loaded.sla.max_latency == scenario.sla.max_latency
+        assert loaded.vm_type.name == scenario.vm_type.name
+
+    def test_round_trip_paper_with_wholesale(self, tmp_path):
+        scenario = build_paper_scenario(num_periods=4, total_peak_rate=300.0)
+        path = tmp_path / "paper.npz"
+        save_scenario(path, scenario)
+        loaded = load_scenario(path)
+        assert set(loaded.wholesale_traces) == set(scenario.wholesale_traces)
+        for label in scenario.wholesale_traces:
+            assert loaded.wholesale_traces[label].prices == pytest.approx(
+                scenario.wholesale_traces[label].prices
+            )
+
+    def test_loaded_scenario_is_runnable(self, tmp_path):
+        from repro.control.loop import run_closed_loop
+
+        scenario = build_small_scenario(num_periods=6, seed=1)
+        path = tmp_path / "scenario.npz"
+        save_scenario(path, scenario)
+        loaded = load_scenario(path)
+        controller = MPCController(
+            loaded.instance,
+            OraclePredictor(loaded.demand),
+            OraclePredictor(loaded.prices),
+            MPCConfig(window=2),
+        )
+        result = run_closed_loop(controller, loaded.demand, loaded.prices)
+        assert result.total_cost > 0
+
+    def test_bad_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.ones(3))
+        with pytest.raises(ValueError, match="not a scenario"):
+            load_scenario(path)
+
+
+class TestReport:
+    def test_markdown_table_rendering(self):
+        from repro.experiments.common import FigureResult
+
+        result = FigureResult(
+            figure="figX",
+            title="demo",
+            x_label="k",
+            x=np.array([1, 2, 3]),
+            series={"y": np.array([1.5, 2.5, 3.5])},
+        )
+        table = _markdown_table(result, max_rows=2)
+        assert "| k | y |" in table
+        assert "1.500" in table
+        assert "more rows omitted" in table
+
+    def test_report_options_defaults(self):
+        options = ReportOptions()
+        assert options.quick is True

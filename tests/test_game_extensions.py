@@ -1,0 +1,203 @@
+"""Tests for the game extensions: the closed-loop W-MPC game and the
+price-of-anarchy exploration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.game.anarchy import explore_equilibria
+from repro.game.best_response import BestResponseConfig, compute_equilibrium
+from repro.game.mpc_game import MPCGameConfig, run_mpc_game
+from repro.game.players import random_providers
+from repro.game.swp import solve_swp
+from repro.solvers.dual import QuotaCoordinator
+
+
+def _population(n=3, horizon=8, seed=0, demand_scale=60.0):
+    rng = np.random.default_rng(seed)
+    latency = rng.uniform(10.0, 60.0, size=(3, 4))
+    return random_providers(
+        n,
+        ("dc0", "dc1", "dc2"),
+        ("v0", "v1", "v2", "v3"),
+        latency,
+        horizon,
+        rng,
+        demand_scale=demand_scale,
+    )
+
+
+class TestMPCGameConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MPCGameConfig(window=0)
+        with pytest.raises(ValueError):
+            MPCGameConfig(coordination_rounds=0)
+        with pytest.raises(ValueError):
+            MPCGameConfig(slack_penalty=0.0)
+
+
+class TestMPCGame:
+    def test_runs_and_respects_capacity(self):
+        providers = _population(3, demand_scale=80.0, seed=1)
+        capacity = np.array([60.0, 800.0, 800.0])
+        result = run_mpc_game(providers, capacity, MPCGameConfig(window=3))
+        assert result.capacity_violation <= 1e-6
+        assert result.total_cost > 0
+        assert len(result.periods) == providers[0].horizon - 1
+        assert result.provider_costs.shape == (3,)
+
+    def test_quotas_always_sum_to_capacity(self):
+        providers = _population(2, demand_scale=80.0, seed=2)
+        capacity = np.array([50.0, 500.0, 500.0])
+        result = run_mpc_game(providers, capacity, MPCGameConfig(window=2))
+        for record in result.periods:
+            assert record.quotas.sum(axis=0) == pytest.approx(capacity)
+
+    def test_loose_capacity_serves_everything(self):
+        providers = _population(2, demand_scale=40.0, seed=3)
+        result = run_mpc_game(
+            providers, np.full(3, 1e5), MPCGameConfig(window=3)
+        )
+        assert result.total_shortfall == pytest.approx(0.0, abs=1e-4)
+
+    def test_more_coordination_rounds_do_not_hurt(self):
+        providers = _population(3, demand_scale=90.0, seed=4)
+        capacity = np.array([50.0, 700.0, 700.0])
+        quick = run_mpc_game(
+            providers, capacity, MPCGameConfig(window=3, coordination_rounds=1)
+        )
+        careful = run_mpc_game(
+            providers, capacity, MPCGameConfig(window=3, coordination_rounds=6)
+        )
+        quick_total = quick.total_cost + 1e3 * quick.total_shortfall
+        careful_total = careful.total_cost + 1e3 * careful.total_shortfall
+        assert careful_total <= quick_total * 1.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_mpc_game([], np.ones(3))
+        short = _population(1, horizon=1)
+        with pytest.raises(ValueError, match="at least 2"):
+            run_mpc_game(short, np.ones(3))
+
+
+class TestSetQuotas:
+    def test_set_and_read_back(self):
+        coordinator = QuotaCoordinator(np.array([100.0]), 2)
+        coordinator.set_quotas(np.array([[70.0], [30.0]]))
+        assert coordinator.quotas == pytest.approx(np.array([[70.0], [30.0]]))
+
+    def test_rejects_bad_sum(self):
+        coordinator = QuotaCoordinator(np.array([100.0]), 2)
+        with pytest.raises(ValueError, match="sum"):
+            coordinator.set_quotas(np.array([[70.0], [40.0]]))
+
+    def test_rejects_negative(self):
+        coordinator = QuotaCoordinator(np.array([100.0]), 2)
+        with pytest.raises(ValueError, match="nonnegative"):
+            coordinator.set_quotas(np.array([[110.0], [-10.0]]))
+
+
+class TestBiasedStartEquilibrium:
+    def test_initial_quotas_honoured(self):
+        providers = _population(2, horizon=4, demand_scale=80.0, seed=5)
+        capacity = np.array([40.0, 400.0, 400.0])
+        biased = np.array(
+            [[36.0, 360.0, 360.0], [4.0, 40.0, 40.0]]
+        )
+        result = compute_equilibrium(
+            providers,
+            capacity,
+            BestResponseConfig(epsilon=1e-4, max_iterations=1),
+            initial_quotas=biased,
+        )
+        # One iteration from the biased start: quota row sums unchanged.
+        assert result.quotas.sum(axis=0) == pytest.approx(capacity)
+
+
+class TestAnarchyExploration:
+    def test_report_brackets_efficiency(self):
+        providers = _population(3, horizon=4, demand_scale=70.0, seed=6)
+        capacity = np.array([60.0, 600.0, 600.0])
+        report = explore_equilibria(
+            providers,
+            capacity,
+            num_starts=3,
+            rng=np.random.default_rng(1),
+            config=BestResponseConfig(epsilon=1e-4),
+        )
+        assert report.num_verified >= 1
+        assert report.price_of_stability_estimate <= report.price_of_anarchy_estimate
+        # Theorem 1: the best equilibrium found should be ~socially optimal.
+        assert report.price_of_stability_estimate == pytest.approx(1.0, abs=0.1)
+
+    def test_social_cost_matches_swp(self):
+        providers = _population(2, horizon=3, demand_scale=50.0, seed=7)
+        capacity = np.array([500.0, 500.0, 500.0])
+        config = BestResponseConfig(epsilon=1e-4)
+        report = explore_equilibria(
+            providers, capacity, num_starts=1, config=config,
+            rng=np.random.default_rng(2),
+        )
+        swp = solve_swp(providers, capacity, slack_penalty=config.slack_penalty)
+        assert report.social_cost == pytest.approx(swp.total_cost, rel=1e-6)
+
+
+class TestHeterogeneousWindows:
+    """Definition 2 allows per-SP windows; Theorem 1's optimality needs a
+    common one.  The loop supports both."""
+
+    def test_per_provider_windows_run(self):
+        providers = _population(3, demand_scale=70.0, seed=9)
+        capacity = np.array([60.0, 700.0, 700.0])
+        result = run_mpc_game(
+            providers, capacity, MPCGameConfig(window=(1, 3, 5))
+        )
+        assert result.capacity_violation <= 1e-6
+        assert result.total_cost > 0
+
+    def test_window_count_mismatch_rejected(self):
+        providers = _population(3, seed=9)
+        with pytest.raises(ValueError, match="windows configured"):
+            run_mpc_game(
+                providers, np.full(3, 1e4), MPCGameConfig(window=(1, 2))
+            )
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            MPCGameConfig(window=(1, 0, 2))
+
+    def test_myopic_member_pays_for_short_sightedness(self):
+        # Everyone at W=4 vs provider 0 dropped to W=1, on demand with a
+        # predictable ramp it must pre-provision for.
+        rng = np.random.default_rng(10)
+        latency = rng.uniform(10.0, 60.0, size=(3, 4))
+        providers = random_providers(
+            3, ("dc0", "dc1", "dc2"), ("v0", "v1", "v2", "v3"),
+            latency, 10, np.random.default_rng(11), demand_scale=60.0,
+        )
+        # Inject a strong ramp into provider 0's demand.
+        ramped = []
+        for index, p in enumerate(providers):
+            demand = p.demand.copy()
+            if index == 0:
+                demand *= np.linspace(0.4, 2.5, p.horizon)[None, :]
+            import dataclasses
+            inst = dataclasses.replace(
+                p.instance,
+                reconfiguration_weights=np.full(3, 20.0),
+            )
+            ramped.append(type(p)(p.name, inst, demand, p.prices))
+        capacity = np.full(3, 1e5)
+
+        uniform = run_mpc_game(
+            ramped, capacity, MPCGameConfig(window=4, slack_penalty=200.0)
+        )
+        myopic = run_mpc_game(
+            ramped, capacity, MPCGameConfig(window=(1, 4, 4), slack_penalty=200.0)
+        )
+        uniform_cost = uniform.provider_costs[0] + 200.0 * uniform.total_shortfall
+        myopic_cost = myopic.provider_costs[0] + 200.0 * myopic.total_shortfall
+        assert myopic_cost > uniform_cost

@@ -1,0 +1,146 @@
+"""Final coverage batch: parameter validation of the experiment harnesses,
+scenario edge cases, and cross-module invariants not pinned elsewhere."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dspp import solve_dspp
+from repro.experiments.fig3_prices import run_fig3
+from repro.experiments.fig5_price_response import FIG5_LATENCY_S
+from repro.pricing.electricity import constant_price_trace
+from repro.simulation.scenario import (
+    PAPER_DATACENTER_CAPACITY,
+    PAPER_DATACENTER_KEYS,
+    Scenario,
+    build_paper_scenario,
+    build_small_scenario,
+)
+from repro.workload.demand import constant_demand
+
+
+class TestScenarioValidation:
+    def test_scenario_shape_checks(self):
+        base = build_small_scenario(num_periods=4)
+        with pytest.raises(ValueError, match="demand"):
+            Scenario(
+                instance=base.instance,
+                demand=np.ones((99, 4)),
+                prices=base.prices,
+                latency=base.latency,
+                sla=base.sla,
+                vm_type=base.vm_type,
+                wholesale_traces={},
+            )
+        with pytest.raises(ValueError, match="prices"):
+            Scenario(
+                instance=base.instance,
+                demand=base.demand,
+                prices=np.ones((99, 4)),
+                latency=base.latency,
+                sla=base.sla,
+                vm_type=base.vm_type,
+                wholesale_traces={},
+            )
+
+    def test_paper_constants(self):
+        assert PAPER_DATACENTER_CAPACITY == 2000.0
+        assert PAPER_DATACENTER_KEYS == (
+            "san_jose_ca",
+            "houston_tx",
+            "atlanta_ga",
+            "chicago_il",
+        )
+
+    def test_paper_scenario_rejects_short_horizon(self):
+        with pytest.raises(ValueError):
+            build_paper_scenario(num_periods=1)
+
+    def test_custom_datacenter_subset(self):
+        scenario = build_paper_scenario(
+            num_periods=4,
+            total_peak_rate=300.0,
+            datacenter_keys=("houston_tx", "chicago_il"),
+        )
+        assert scenario.instance.num_datacenters == 2
+        assert scenario.prices.shape == (2, 4)
+
+    def test_mountain_view_attaches_at_san_jose(self):
+        scenario = build_paper_scenario(
+            num_periods=4,
+            total_peak_rate=300.0,
+            datacenter_keys=("mountain_view_ca",),
+        )
+        # MV has no POP of its own; it must still reach every city.
+        assert np.all(np.isfinite(scenario.latency.latency_ms))
+
+    def test_price_scale_is_linear(self):
+        a = build_paper_scenario(num_periods=4, total_peak_rate=300.0, price_scale=1000.0)
+        b = build_paper_scenario(num_periods=4, total_peak_rate=300.0, price_scale=2000.0)
+        assert b.prices == pytest.approx(2.0 * a.prices)
+
+
+class TestExperimentHarnessEdges:
+    def test_fig3_custom_length_and_sites(self):
+        result = run_fig3(num_hours=48, datacenters=("san_jose_ca", "dallas_tx"))
+        assert result.x.shape == (48,)
+        assert set(result.series) == {"san_jose_ca", "dallas_tx"}
+
+    def test_fig5_latency_matrix_is_symmetric_roles(self):
+        # Each region's nearest DC is its own (diagonal smallest per column).
+        assert np.all(np.argmin(FIG5_LATENCY_S, axis=0) == np.arange(3))
+
+
+class TestCrossModuleInvariants:
+    def test_dspp_cost_monotone_in_prices(self, small_instance):
+        demand = constant_demand([100.0, 120.0], 4).rates
+        cheap = solve_dspp(small_instance, demand, np.full((2, 4), 1.0))
+        dear = solve_dspp(small_instance, demand, np.full((2, 4), 2.0))
+        assert dear.objective > cheap.objective
+
+    def test_dspp_cost_monotone_in_demand(self, small_instance):
+        prices = np.ones((2, 4))
+        low = solve_dspp(small_instance, constant_demand([50.0, 60.0], 4).rates, prices)
+        high = solve_dspp(small_instance, constant_demand([100.0, 120.0], 4).rates, prices)
+        assert high.objective > low.objective
+
+    def test_constant_price_trace_roundtrip_with_scenario_types(self):
+        trace = constant_price_trace("flat", 2.0, 6)
+        assert trace.scaled(3.0).prices == pytest.approx(np.full(6, 6.0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2000),
+    scale=st.floats(0.5, 3.0),
+)
+def test_dspp_objective_scales_with_prices(seed, scale):
+    """Pure price scaling multiplies the optimal holding cost but leaves
+    the optimal *allocation* unchanged when reconfiguration weights scale
+    along (positive homogeneity of the LQ program)."""
+    import dataclasses
+
+    from repro.core.instance import DSPPInstance
+
+    rng = np.random.default_rng(seed)
+    instance = DSPPInstance(
+        datacenters=("a", "b"),
+        locations=("v0", "v1"),
+        sla_coefficients=rng.uniform(0.05, 0.2, size=(2, 2)),
+        reconfiguration_weights=rng.uniform(0.5, 2.0, size=2),
+        capacities=np.full(2, np.inf),
+        initial_state=np.zeros((2, 2)),
+    )
+    demand = rng.uniform(20.0, 80.0, size=(2, 3))
+    prices = rng.uniform(0.5, 2.0, size=(2, 3))
+    base = solve_dspp(instance, demand, prices)
+    scaled_instance = dataclasses.replace(
+        instance, reconfiguration_weights=instance.reconfiguration_weights * scale
+    )
+    scaled = solve_dspp(scaled_instance, demand, prices * scale)
+    assert scaled.objective == pytest.approx(base.objective * scale, rel=1e-4)
+    assert scaled.trajectory.states == pytest.approx(
+        base.trajectory.states, abs=1e-3
+    )

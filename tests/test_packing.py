@@ -1,0 +1,121 @@
+"""Tests for the bin-packing substrate (FFD + VM size ladders)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.packing.ffd import (
+    first_fit_decreasing,
+    is_divisible_ladder,
+    optimal_bin_count_divisible,
+)
+from repro.packing.vmsizes import GOGRID_LADDER, VMSize, doubling_ladder
+
+
+class TestVMSizes:
+    def test_gogrid_has_six_doubling_types(self):
+        assert len(GOGRID_LADDER) == 6
+        units = [vm.units for vm in GOGRID_LADDER]
+        for small, large in zip(units, units[1:]):
+            assert large == 2 * small
+
+    def test_doubling_ladder(self):
+        ladder = doubling_ladder(4)
+        assert [vm.units for vm in ladder] == [1, 2, 4, 8]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            doubling_ladder(0)
+        with pytest.raises(ValueError):
+            VMSize("x", 0)
+
+
+class TestFFD:
+    def test_simple_pack(self):
+        result = first_fit_decreasing([3.0, 3.0, 2.0, 2.0], 5.0)
+        assert result.num_bins == 2
+        assert result.waste == pytest.approx(0.0)
+
+    def test_waste_accounting(self):
+        result = first_fit_decreasing([4.0], 5.0)
+        assert result.waste == pytest.approx(1.0)
+
+    def test_empty(self):
+        result = first_fit_decreasing([], 10.0)
+        assert result.num_bins == 0
+        assert result.waste == 0.0
+
+    def test_item_too_big(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            first_fit_decreasing([11.0], 10.0)
+
+    def test_nonpositive_item(self):
+        with pytest.raises(ValueError):
+            first_fit_decreasing([0.0], 10.0)
+
+    def test_known_adversarial_case_within_ffd_bound(self):
+        # Classic example where FFD is suboptimal for arbitrary sizes.
+        items = [0.45, 0.45, 0.35, 0.35, 0.2, 0.2]  # OPT = 2 bins
+        result = first_fit_decreasing(items, 1.0)
+        assert result.num_bins <= math.ceil(11 / 9 * 2) + 1
+
+    def test_validate_catches_overflow(self):
+        from repro.packing.ffd import BinPackingResult
+
+        bad = BinPackingResult(bins=((6.0, 6.0),), bin_capacity=10.0)
+        with pytest.raises(ValueError, match="overflows"):
+            bad.validate()
+
+
+class TestDivisibleLadder:
+    def test_doubling_is_divisible(self):
+        assert is_divisible_ladder([1.0, 2.0, 4.0, 8.0])
+
+    def test_non_divisible(self):
+        assert not is_divisible_ladder([2.0, 3.0])
+
+    def test_empty_and_single(self):
+        assert is_divisible_ladder([])
+        assert is_divisible_ladder([5.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            is_divisible_ladder([0.0, 1.0])
+
+    def test_optimal_count_for_divisible(self):
+        items = [1.0] * 3 + [2.0] * 2 + [4.0]
+        assert optimal_bin_count_divisible(items, 8.0) == math.ceil(11 / 8)
+
+    def test_optimal_count_validation(self):
+        with pytest.raises(ValueError, match="divisible"):
+            optimal_bin_count_divisible([2.0, 3.0], 6.0)
+        with pytest.raises(ValueError, match="multiple"):
+            optimal_bin_count_divisible([2.0, 4.0], 6.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    counts=st.lists(st.integers(0, 10), min_size=4, max_size=4),
+    capacity_exp=st.integers(2, 5),
+)
+def test_ffd_is_optimal_on_doubling_ladders(counts, capacity_exp):
+    """Section VI's claim: with GoGrid-style doubling VM sizes and machine
+    capacity a power of two, FFD packs into the theoretical minimum number
+    of machines (no capacity lost to fragmentation)."""
+    sizes = [1.0, 2.0, 4.0, 8.0]
+    capacity = float(2**capacity_exp)
+    items = []
+    for size, count in zip(sizes, counts):
+        if size <= capacity:
+            items.extend([size] * count)
+    if not items:
+        return
+    result = first_fit_decreasing(items, capacity)
+    optimum = optimal_bin_count_divisible(items, capacity)
+    assert result.num_bins == optimum
+    # All bins but possibly the last are completely full.
+    fills = sorted((sum(b) for b in result.bins), reverse=True)
+    assert all(f == capacity for f in fills[:-1])

@@ -1,0 +1,213 @@
+"""Tests for the prediction package."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.prediction.ar import ARPredictor
+from repro.prediction.base import Predictor
+from repro.prediction.evaluation import backtest
+from repro.prediction.naive import LastValuePredictor, SeasonalNaivePredictor
+from repro.prediction.oracle import OraclePredictor
+
+
+class TestBaseProtocol:
+    def test_observe_validates_length(self):
+        predictor = LastValuePredictor(2)
+        with pytest.raises(ValueError, match="expected 2"):
+            predictor.observe(np.array([1.0]))
+
+    def test_observe_rejects_negative(self):
+        predictor = LastValuePredictor(1)
+        with pytest.raises(ValueError, match="nonnegative"):
+            predictor.observe(np.array([-1.0]))
+
+    def test_history_accumulates(self):
+        predictor = LastValuePredictor(2)
+        predictor.observe([1.0, 2.0])
+        predictor.observe([3.0, 4.0])
+        assert predictor.history == pytest.approx(np.array([[1.0, 3.0], [2.0, 4.0]]))
+
+    def test_observe_history_bulk(self):
+        predictor = LastValuePredictor(2)
+        predictor.observe_history(np.arange(6, dtype=float).reshape(2, 3))
+        assert predictor.num_observations == 3
+
+    def test_reset_clears(self):
+        predictor = LastValuePredictor(1)
+        predictor.observe([1.0])
+        predictor.reset()
+        assert predictor.num_observations == 0
+        with pytest.raises(ValueError, match="no observed history"):
+            predictor.predict(1)
+
+    def test_invalid_num_series(self):
+        with pytest.raises(ValueError):
+            LastValuePredictor(0)
+
+
+class TestLastValue:
+    def test_flat_forecast(self):
+        predictor = LastValuePredictor(2)
+        predictor.observe([1.0, 5.0])
+        predictor.observe([2.0, 6.0])
+        forecast = predictor.predict(3)
+        assert forecast == pytest.approx(np.array([[2.0] * 3, [6.0] * 3]))
+
+    def test_invalid_horizon(self):
+        predictor = LastValuePredictor(1)
+        predictor.observe([1.0])
+        with pytest.raises(ValueError):
+            predictor.predict(0)
+
+
+class TestSeasonalNaive:
+    def test_degrades_to_last_value_without_a_season(self):
+        predictor = SeasonalNaivePredictor(1, season_length=24)
+        predictor.observe([5.0])
+        assert predictor.predict(2) == pytest.approx(np.array([[5.0, 5.0]]))
+
+    def test_repeats_last_season(self):
+        predictor = SeasonalNaivePredictor(1, season_length=4, memory_seasons=1)
+        season = [1.0, 2.0, 3.0, 4.0]
+        for value in season + season:
+            predictor.observe([value])
+        forecast = predictor.predict(4)
+        assert forecast[0] == pytest.approx(season)
+
+    def test_averages_memory_seasons(self):
+        predictor = SeasonalNaivePredictor(1, season_length=2, memory_seasons=2)
+        for value in [1.0, 10.0, 3.0, 20.0]:
+            predictor.observe([value])
+        forecast = predictor.predict(2)
+        assert forecast[0, 0] == pytest.approx(2.0)  # mean(1, 3)
+        assert forecast[0, 1] == pytest.approx(15.0)  # mean(10, 20)
+
+    def test_forecast_beyond_one_season(self):
+        predictor = SeasonalNaivePredictor(1, season_length=3, memory_seasons=1)
+        for value in [1.0, 2.0, 3.0]:
+            predictor.observe([value])
+        forecast = predictor.predict(6)
+        assert forecast[0] == pytest.approx([1.0, 2.0, 3.0, 1.0, 2.0, 3.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeasonalNaivePredictor(1, season_length=0)
+        with pytest.raises(ValueError):
+            SeasonalNaivePredictor(1, season_length=5, memory_seasons=0)
+
+
+class TestAR:
+    def test_recovers_ar1_process(self, rng):
+        # x_t = 0.7 x_{t-1} + 3 + noise; forecast should approach the
+        # stationary mean 10.
+        predictor = ARPredictor(1, order=1, clip_factor=None)
+        x = 10.0
+        for _ in range(400):
+            x = 0.7 * x + 3.0 + rng.normal(scale=0.05)
+            predictor.observe([max(x, 0.0)])
+        forecast = predictor.predict(50)
+        assert forecast[0, -1] == pytest.approx(10.0, rel=0.05)
+
+    def test_fits_deterministic_linear_trend(self):
+        # x_t = t is an exact AR(2) process: x_t = 2x_{t-1} - x_{t-2}.
+        predictor = ARPredictor(1, order=2, ridge=1e-10, clip_factor=None)
+        for t in range(1, 30):
+            predictor.observe([float(t)])
+        forecast = predictor.predict(3)
+        assert forecast[0] == pytest.approx([30.0, 31.0, 32.0], rel=1e-3)
+
+    def test_falls_back_to_persistence_on_short_history(self):
+        predictor = ARPredictor(1, order=5)
+        predictor.observe([7.0])
+        assert predictor.predict(2) == pytest.approx(np.array([[7.0, 7.0]]))
+
+    def test_forecasts_are_nonnegative(self, rng):
+        predictor = ARPredictor(1, order=2)
+        # A crashing series would extrapolate negative without the floor.
+        for value in [100.0, 60.0, 30.0, 10.0, 1.0]:
+            predictor.observe([value])
+        forecast = predictor.predict(10)
+        assert np.all(forecast >= 0.0)
+
+    def test_clip_factor_bounds_explosion(self):
+        predictor = ARPredictor(1, order=2, clip_factor=2.0)
+        # Exponentially growing history makes unclipped AR explode.
+        for value in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]:
+            predictor.observe([value])
+        forecast = predictor.predict(20)
+        assert forecast.max() <= 2.0 * 32.0 + 1e-9
+
+    def test_multiseries_fit_independent(self, rng):
+        predictor = ARPredictor(2, order=1, clip_factor=None)
+        for _ in range(100):
+            predictor.observe([5.0 + rng.normal(scale=0.01), 50.0 + rng.normal(scale=0.01)])
+        forecast = predictor.predict(2)
+        assert forecast[0, 0] == pytest.approx(5.0, rel=0.05)
+        assert forecast[1, 0] == pytest.approx(50.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ARPredictor(1, order=0)
+        with pytest.raises(ValueError):
+            ARPredictor(1, ridge=-1.0)
+        with pytest.raises(ValueError):
+            ARPredictor(1, clip_factor=0.0)
+
+
+class TestOracle:
+    def test_exact_forecast(self):
+        truth = np.arange(10, dtype=float).reshape(1, 10)
+        predictor = OraclePredictor(truth)
+        predictor.observe(truth[:, 0])
+        predictor.observe(truth[:, 1])
+        forecast = predictor.predict(3)
+        assert forecast[0] == pytest.approx([2.0, 3.0, 4.0])
+
+    def test_holds_last_column_past_the_end(self):
+        truth = np.array([[1.0, 2.0]])
+        predictor = OraclePredictor(truth)
+        predictor.observe([1.0])
+        predictor.observe([2.0])
+        forecast = predictor.predict(3)
+        assert forecast[0] == pytest.approx([2.0, 2.0, 2.0])
+
+    def test_predict_without_observations_starts_at_zero(self):
+        truth = np.array([[5.0, 6.0]])
+        assert OraclePredictor(truth).predict(1)[0, 0] == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OraclePredictor(np.empty((1, 0)))
+        with pytest.raises(ValueError):
+            OraclePredictor(-np.ones((1, 3)))
+
+
+class TestBacktest:
+    def test_oracle_has_zero_error(self):
+        truth = np.abs(np.sin(np.arange(40, dtype=float)))[None, :] + 1.0
+        report = backtest(OraclePredictor(truth), truth, horizon=3)
+        assert report.overall_rmse == pytest.approx(0.0, abs=1e-12)
+
+    def test_error_grows_with_lead_time_for_persistence(self, rng):
+        # Random walk: h-step persistence error grows like sqrt(h).
+        steps = rng.normal(size=300)
+        trajectory = np.abs(np.cumsum(steps) + 50.0)[None, :]
+        report = backtest(LastValuePredictor(1), trajectory, horizon=5)
+        assert report.rmse_per_step[-1] > report.rmse_per_step[0]
+
+    def test_counts_forecast_origins(self):
+        truth = np.ones((1, 20))
+        report = backtest(LastValuePredictor(1), truth, horizon=2, warmup=4)
+        assert report.num_forecasts == 20 - 2 - 4 + 1
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="too short"):
+            backtest(LastValuePredictor(1), np.ones((1, 5)), horizon=4, warmup=4)
+
+    def test_mape_skips_zero_targets(self):
+        truth = np.zeros((1, 20))
+        truth[0, ::2] = 2.0
+        report = backtest(LastValuePredictor(1), truth, horizon=1)
+        assert np.isfinite(report.overall_mape)

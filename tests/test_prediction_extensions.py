@@ -1,0 +1,177 @@
+"""Tests for Holt-Winters, ensembles, and spot pricing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.prediction.ar import ARPredictor
+from repro.prediction.ensemble import BestRecentEnsemble, MeanEnsemble
+from repro.prediction.evaluation import backtest
+from repro.prediction.holt_winters import HoltWintersPredictor
+from repro.prediction.naive import LastValuePredictor, SeasonalNaivePredictor
+from repro.pricing.spot import SpotMarketParams, SpotPriceModel, spot_savings_fraction
+
+
+def _seasonal_series(num_days=8, noise=0.0, rng=None, trend=0.0):
+    hours = np.arange(24 * num_days, dtype=float)
+    base = 50.0 + 20.0 * np.sin(2 * np.pi * hours / 24.0) + trend * hours
+    if rng is not None and noise > 0:
+        base = np.maximum(base + rng.normal(scale=noise, size=base.size), 0.0)
+    return base[None, :]
+
+
+class TestHoltWinters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HoltWintersPredictor(1, season_length=0)
+        with pytest.raises(ValueError):
+            HoltWintersPredictor(1, alpha=1.0)
+        with pytest.raises(ValueError):
+            HoltWintersPredictor(1, beta=1.0)
+        with pytest.raises(ValueError):
+            HoltWintersPredictor(1, gamma=-0.1)
+
+    def test_persistence_before_first_season(self):
+        predictor = HoltWintersPredictor(1, season_length=24)
+        predictor.observe([42.0])
+        assert predictor.predict(3) == pytest.approx(np.full((1, 3), 42.0))
+
+    def test_learns_pure_seasonal_signal(self):
+        series = _seasonal_series(num_days=6)
+        predictor = HoltWintersPredictor(1, season_length=24)
+        predictor.observe_history(series[:, :-24])
+        forecast = predictor.predict(24)
+        assert forecast[0] == pytest.approx(series[0, -24:], rel=0.05)
+
+    def test_tracks_linear_trend(self):
+        series = _seasonal_series(num_days=6, trend=0.5)
+        predictor = HoltWintersPredictor(1, season_length=24, beta=0.2)
+        predictor.observe_history(series[:, :-12])
+        forecast = predictor.predict(12)
+        assert forecast[0] == pytest.approx(series[0, -12:], rel=0.1)
+
+    def test_beats_ar_on_onoff_pattern(self, rng):
+        # The motivation for having it: hard diurnal steps break AR.
+        from repro.workload.diurnal import OnOffEnvelope
+
+        hours = np.arange(24 * 8, dtype=float)
+        series = (200.0 * OnOffEnvelope().factor(hours))[None, :]
+        series = series + rng.normal(scale=3.0, size=series.shape)
+        series = np.maximum(series, 0.0)
+        hw = backtest(HoltWintersPredictor(1, season_length=24), series, horizon=3, warmup=48)
+        ar = backtest(ARPredictor(1, order=3), series, horizon=3, warmup=48)
+        assert hw.overall_rmse < ar.overall_rmse
+
+    def test_reset_clears_state(self):
+        predictor = HoltWintersPredictor(1, season_length=4)
+        predictor.observe_history(np.arange(8, dtype=float)[None, :])
+        predictor.reset()
+        predictor.observe([5.0])
+        assert predictor.predict(1)[0, 0] == pytest.approx(5.0)
+
+    def test_forecasts_nonnegative(self):
+        predictor = HoltWintersPredictor(1, season_length=4)
+        predictor.observe_history(
+            np.array([[10.0, 0.0, 10.0, 0.0, 8.0, 0.0, 8.0, 0.0, 1.0]])
+        )
+        assert np.all(predictor.predict(8) >= 0.0)
+
+
+class TestMeanEnsemble:
+    def test_average_of_members(self):
+        a = LastValuePredictor(1)
+        b = LastValuePredictor(1)
+        ensemble = MeanEnsemble([a, b])
+        ensemble.observe([10.0])
+        # Both members saw the same data -> same forecast -> mean equals it.
+        assert ensemble.predict(2) == pytest.approx(np.full((1, 2), 10.0))
+
+    def test_weighted(self):
+        class Constant(LastValuePredictor):
+            def __init__(self, value):
+                super().__init__(1)
+                self._value = value
+
+            def predict(self, horizon):
+                return np.full((1, horizon), self._value)
+
+        ensemble = MeanEnsemble([Constant(0.0), Constant(10.0)], weights=[3.0, 1.0])
+        ensemble.observe([1.0])
+        assert ensemble.predict(1)[0, 0] == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeanEnsemble([])
+        with pytest.raises(ValueError):
+            MeanEnsemble([LastValuePredictor(1), LastValuePredictor(2)])
+        with pytest.raises(ValueError):
+            MeanEnsemble([LastValuePredictor(1)], weights=[0.0])
+
+
+class TestBestRecentEnsemble:
+    def test_selects_the_accurate_member(self):
+        series = _seasonal_series(num_days=5)
+        good = SeasonalNaivePredictor(1, season_length=24)
+        bad = LastValuePredictor(1)
+        ensemble = BestRecentEnsemble([bad, good])
+        ensemble.observe_history(series[:, :96])
+        # On a strongly seasonal series the seasonal member must win.
+        assert ensemble.best_member_index == 1
+        forecast = ensemble.predict(24)
+        reference = good.predict(24)
+        assert forecast == pytest.approx(reference)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BestRecentEnsemble([LastValuePredictor(1)], discount=0.0)
+
+    def test_reset(self):
+        ensemble = BestRecentEnsemble([LastValuePredictor(1), LastValuePredictor(1)])
+        ensemble.observe([1.0])
+        ensemble.reset()
+        assert ensemble.num_observations == 0
+        assert ensemble.best_member_index == 0
+
+
+class TestSpotPricing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpotMarketParams(on_demand_price=0.0)
+        with pytest.raises(ValueError):
+            SpotMarketParams(floor_fraction=1.5)
+        with pytest.raises(ValueError):
+            SpotMarketParams(spike_multiplier=1.0)
+
+    def test_floor_respected(self, rng):
+        model = SpotPriceModel()
+        trace = model.generate(2000, rng)
+        assert trace.prices.min() >= model.expected_calm_price() - 1e-12
+
+    def test_calm_market_sits_at_floor(self, rng):
+        model = SpotPriceModel(SpotMarketParams(spike_probability=0.0))
+        trace = model.generate(500, rng)
+        assert trace.prices.mean() == pytest.approx(
+            model.expected_calm_price(), rel=0.05
+        )
+
+    def test_spikes_raise_the_mean(self, rng):
+        calm = SpotPriceModel(SpotMarketParams(spike_probability=0.0))
+        spiky = SpotPriceModel(SpotMarketParams(spike_probability=0.15))
+        calm_trace = calm.generate(3000, np.random.default_rng(1))
+        spiky_trace = spiky.generate(3000, np.random.default_rng(1))
+        assert spiky_trace.prices.mean() > calm_trace.prices.mean()
+
+    def test_savings_fraction(self, rng):
+        model = SpotPriceModel(SpotMarketParams(spike_probability=0.0))
+        trace = model.generate(1000, rng)
+        savings = spot_savings_fraction(trace, on_demand_price=1.0)
+        assert savings == pytest.approx(0.7, abs=0.05)
+        with pytest.raises(ValueError):
+            spot_savings_fraction(trace, 0.0)
+
+    def test_deterministic_given_rng(self):
+        model = SpotPriceModel()
+        a = model.generate(200, np.random.default_rng(9))
+        b = model.generate(200, np.random.default_rng(9))
+        assert a.prices == pytest.approx(b.prices)

@@ -1,0 +1,206 @@
+"""Tests for the pricing package (markets, electricity, traces)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pricing.electricity import (
+    ElectricityPriceModel,
+    PriceTrace,
+    constant_price_trace,
+    generate_price_traces,
+)
+from repro.pricing.markets import (
+    REGIONS,
+    VM_TYPES,
+    Region,
+    price_per_server_hour,
+    region_for_datacenter,
+)
+from repro.pricing.traces import load_price_csv, resample_trace, save_price_csv
+
+
+class TestRegions:
+    def test_paper_datacenters_mapped(self):
+        for key in ("san_jose_ca", "houston_tx", "dallas_tx", "atlanta_ga", "chicago_il"):
+            assert region_for_datacenter(key).code in REGIONS
+
+    def test_mountain_view_and_san_jose_share_market(self):
+        assert (
+            region_for_datacenter("mountain_view_ca").code
+            == region_for_datacenter("san_jose_ca").code
+        )
+
+    def test_unknown_city_raises(self):
+        with pytest.raises(KeyError):
+            region_for_datacenter("paris_fr")
+
+    def test_california_most_expensive_mean(self):
+        caiso = REGIONS["CAISO"].mean_price_mwh
+        assert all(r.mean_price_mwh <= caiso for r in REGIONS.values())
+
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            Region("X", "X", 0.0, 17.0, 1.0, 1.0, -8)
+        with pytest.raises(ValueError):
+            Region("X", "X", 10.0, 17.0, -1.0, 1.0, -8)
+
+
+class TestVMTypes:
+    def test_paper_power_ratings(self):
+        assert VM_TYPES["small"].power_watts == 30.0
+        assert VM_TYPES["medium"].power_watts == 70.0
+        assert VM_TYPES["large"].power_watts == 140.0
+
+    def test_price_conversion(self):
+        # 50 $/MWh * 140 W * PUE 1.2 = 50 * 140e-6 * 1.2 = 0.0084 $/h
+        price = price_per_server_hour(50.0, VM_TYPES["large"], pue=1.2)
+        assert price == pytest.approx(0.0084)
+
+    def test_conversion_validation(self):
+        with pytest.raises(ValueError):
+            price_per_server_hour(-1.0, VM_TYPES["small"])
+        with pytest.raises(ValueError):
+            price_per_server_hour(10.0, VM_TYPES["small"], pue=0.9)
+
+
+class TestPriceTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriceTrace("x", np.array([[1.0]]))
+        with pytest.raises(ValueError):
+            PriceTrace("x", np.array([-1.0]))
+        with pytest.raises(ValueError):
+            PriceTrace("x", np.array([1.0]), period_hours=0.0)
+
+    def test_scaled(self):
+        trace = PriceTrace("x", np.array([2.0, 4.0]))
+        assert trace.scaled(0.5).prices == pytest.approx([1.0, 2.0])
+        with pytest.raises(ValueError):
+            trace.scaled(-1.0)
+
+
+class TestElectricityModel:
+    def test_expected_price_peaks_at_local_peak_hour(self):
+        region = REGIONS["CAISO"]
+        model = ElectricityPriceModel(region)
+        hours = np.arange(0, 24, 0.25)
+        expected = model.expected_price(hours)
+        peak_utc = float(hours[int(np.argmax(expected))])
+        local = (peak_utc + region.utc_offset_hours) % 24
+        assert local == pytest.approx(region.peak_hour_local, abs=0.5)
+
+    def test_generation_respects_floor(self, rng):
+        model = ElectricityPriceModel(REGIONS["ERCOT"])
+        trace = model.generate(24 * 14, rng)
+        assert trace.prices.min() >= 5.0
+
+    def test_generation_deterministic_given_rng(self):
+        model = ElectricityPriceModel(REGIONS["MISO"])
+        a = model.generate(24, np.random.default_rng(5))
+        b = model.generate(24, np.random.default_rng(5))
+        assert a.prices == pytest.approx(b.prices)
+
+    def test_long_run_mean_near_region_mean(self, rng):
+        region = REGIONS["SERC"]
+        trace = ElectricityPriceModel(region).generate(24 * 60, rng)
+        assert trace.prices.mean() == pytest.approx(region.mean_price_mwh, rel=0.1)
+
+    def test_invalid_ar_coefficient(self):
+        with pytest.raises(ValueError):
+            ElectricityPriceModel(REGIONS["CAISO"], ar_coefficient=1.0)
+
+    def test_invalid_length(self, rng):
+        with pytest.raises(ValueError):
+            ElectricityPriceModel(REGIONS["CAISO"]).generate(0, rng)
+
+    def test_generate_traces_shares_by_region_code(self, rng):
+        traces = generate_price_traces(
+            [REGIONS["CAISO"], REGIONS["CAISO"], REGIONS["ERCOT"]], 24, rng
+        )
+        assert set(traces) == {"CAISO", "ERCOT"}
+
+
+class TestConstantTrace:
+    def test_values(self):
+        trace = constant_price_trace("flat", 3.0, 5)
+        assert trace.prices == pytest.approx(np.full(5, 3.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            constant_price_trace("flat", -1.0, 5)
+        with pytest.raises(ValueError):
+            constant_price_trace("flat", 1.0, 0)
+
+
+class TestCsvRoundTrip:
+    def test_save_and_load(self, tmp_path, rng):
+        traces = {
+            "a": PriceTrace("a", rng.uniform(10, 90, 24)),
+            "b": PriceTrace("b", rng.uniform(10, 90, 24)),
+        }
+        path = tmp_path / "prices.csv"
+        save_price_csv(path, traces)
+        loaded = load_price_csv(path)
+        assert set(loaded) == {"a", "b"}
+        assert loaded["a"].prices == pytest.approx(traces["a"].prices)
+
+    def test_save_rejects_mismatched_lengths(self, tmp_path):
+        traces = {
+            "a": PriceTrace("a", np.ones(3)),
+            "b": PriceTrace("b", np.ones(4)),
+        }
+        with pytest.raises(ValueError, match="inconsistent"):
+            save_price_csv(tmp_path / "x.csv", traces)
+
+    def test_save_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_price_csv(tmp_path / "x.csv", {})
+
+    def test_load_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,a\n0,1\n")
+        with pytest.raises(ValueError, match="header"):
+            load_price_csv(path)
+
+    def test_load_rejects_bad_cell(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("hour,a\n0,notaprice\n")
+        with pytest.raises(ValueError, match="bad price"):
+            load_price_csv(path)
+
+    def test_load_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_price_csv(path)
+
+    def test_load_rejects_no_rows(self, tmp_path):
+        path = tmp_path / "norows.csv"
+        path.write_text("hour,a\n")
+        with pytest.raises(ValueError, match="no data"):
+            load_price_csv(path)
+
+
+class TestResample:
+    def test_mean_downsampling(self):
+        trace = PriceTrace("x", np.array([1.0, 3.0, 5.0, 7.0]), period_hours=1.0)
+        out = resample_trace(trace, 2, how="mean")
+        assert out.prices == pytest.approx([2.0, 6.0])
+        assert out.period_hours == 2.0
+
+    def test_max_and_first(self):
+        trace = PriceTrace("x", np.array([1.0, 3.0, 5.0, 7.0]))
+        assert resample_trace(trace, 2, how="max").prices == pytest.approx([3.0, 7.0])
+        assert resample_trace(trace, 2, how="first").prices == pytest.approx([1.0, 5.0])
+
+    def test_rejects_nondivisible(self):
+        trace = PriceTrace("x", np.ones(5))
+        with pytest.raises(ValueError, match="divisible"):
+            resample_trace(trace, 2)
+
+    def test_rejects_unknown_aggregation(self):
+        trace = PriceTrace("x", np.ones(4))
+        with pytest.raises(ValueError, match="unknown"):
+            resample_trace(trace, 2, how="median")

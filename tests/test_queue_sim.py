@@ -1,0 +1,113 @@
+"""Tests for the event-driven queue simulator — and through it, empirical
+validation of the analytical M/M/1 layer the DSPP is built on."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.queueing.mm1 import MM1Queue
+from repro.queueing.sla import sla_coefficient
+from repro.simulation.queue_sim import (
+    simulate_mm1,
+    simulate_mmc,
+    simulate_split_servers,
+    validate_sla_empirically,
+)
+
+
+class TestSimulateMM1:
+    def test_mean_sojourn_matches_formula(self, rng):
+        lam, mu = 3.0, 5.0
+        result = simulate_mm1(lam, mu, horizon=20000.0, rng=rng)
+        expected = MM1Queue(lam, mu).mean_sojourn_time
+        assert result.mean_sojourn == pytest.approx(expected, rel=0.05)
+
+    def test_percentile_matches_exponential_theory(self, rng):
+        lam, mu = 2.0, 5.0
+        result = simulate_mm1(lam, mu, horizon=30000.0, rng=rng)
+        theory = MM1Queue(lam, mu).sojourn_time_percentile(0.95)
+        assert result.percentile(0.95) == pytest.approx(theory, rel=0.07)
+
+    def test_low_load_sojourn_is_service_time(self, rng):
+        result = simulate_mm1(0.01, 4.0, horizon=200000.0, rng=rng)
+        assert result.mean_sojourn == pytest.approx(0.25, rel=0.05)
+
+    def test_unstable_rejected(self, rng):
+        with pytest.raises(ValueError, match="unstable"):
+            simulate_mm1(5.0, 5.0, horizon=10.0, rng=rng)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            simulate_mm1(-1.0, 5.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            simulate_mm1(1.0, 5.0, 0.0, rng)
+
+    def test_percentile_validation(self, rng):
+        result = simulate_mm1(1.0, 5.0, 1000.0, rng)
+        with pytest.raises(ValueError):
+            result.percentile(1.0)
+
+
+class TestSplitServers:
+    def test_matches_per_server_mm1(self, rng):
+        # 4 servers sharing 12 req/s at mu=5: each is M/M/1 at rate 3.
+        result = simulate_split_servers(12.0, 4, 5.0, horizon=8000.0, rng=rng)
+        expected = MM1Queue(3.0, 5.0).mean_sojourn_time
+        assert result.mean_sojourn == pytest.approx(expected, rel=0.05)
+
+    def test_more_servers_less_delay(self, rng):
+        few = simulate_split_servers(12.0, 3, 5.0, horizon=5000.0, rng=rng)
+        many = simulate_split_servers(12.0, 8, 5.0, horizon=5000.0, rng=rng)
+        assert many.mean_sojourn < few.mean_sojourn
+
+    def test_unstable_rejected(self, rng):
+        with pytest.raises(ValueError, match="unstable"):
+            simulate_split_servers(20.0, 2, 5.0, 10.0, rng)
+
+
+class TestMMC:
+    def test_pooling_beats_splitting(self, rng):
+        # The paper's split model is conservative: a shared queue (M/M/c)
+        # over the same servers has strictly lower mean sojourn.
+        split = simulate_split_servers(12.0, 4, 5.0, horizon=8000.0, rng=rng)
+        pooled = simulate_mmc(12.0, 4, 5.0, horizon=8000.0, rng=rng)
+        assert pooled.mean_sojourn < split.mean_sojourn
+
+    def test_single_server_mmc_is_mm1(self, rng):
+        pooled = simulate_mmc(3.0, 1, 5.0, horizon=20000.0, rng=rng)
+        expected = MM1Queue(3.0, 5.0).mean_sojourn_time
+        assert pooled.mean_sojourn == pytest.approx(expected, rel=0.06)
+
+    def test_unstable_rejected(self, rng):
+        with pytest.raises(ValueError, match="unstable"):
+            simulate_mmc(30.0, 2, 5.0, 10.0, rng)
+
+
+class TestEmpiricalSLAValidation:
+    def test_eq10_allocation_meets_sla_in_simulation(self, rng):
+        # The central claim of Section IV-B, checked against simulated
+        # queues instead of algebra: x = a * sigma keeps mean end-to-end
+        # latency within the bound.
+        network, bound, mu = 0.02, 0.150, 25.0
+        a = sla_coefficient(network, bound, mu)
+        holds, measured = validate_sla_empirically(
+            network, bound, mu, demand=200.0, sla_coefficient=a, rng=rng
+        )
+        assert holds, f"measured {measured} > bound {bound}"
+        # Rounding x up to an integer gives slack, so the measured latency
+        # should be below (not at) the bound.
+        assert measured < bound
+
+    def test_underprovisioning_detected(self, rng):
+        network, bound, mu = 0.02, 0.150, 25.0
+        a = sla_coefficient(network, bound, mu)
+        # 80% of the required allocation: still stable (load < mu) but the
+        # queueing delay blows past the budget.
+        holds, measured = validate_sla_empirically(
+            network, bound, mu, demand=200.0, sla_coefficient=a * 0.8, rng=rng
+        )
+        assert not holds
+        assert measured > bound

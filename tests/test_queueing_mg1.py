@@ -1,0 +1,167 @@
+"""Tests for the M/G/1 extension (Pollaczek-Khinchine layer)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queueing.mg1 import (
+    mg1_max_load,
+    mg1_sla_coefficient,
+    mg1_sla_coefficient_matrix,
+    mg1_sojourn_time,
+)
+from repro.queueing.mm1 import queueing_delay
+from repro.queueing.sla import sla_coefficient
+from repro.simulation.queue_sim import simulate_mg1
+
+
+class TestSojournTime:
+    def test_scv_one_recovers_mm1(self):
+        # P-K with exponential service (scv=1) must equal 1/(mu - lam).
+        assert mg1_sojourn_time(3.0, 5.0, scv=1.0) == pytest.approx(
+            queueing_delay(1.0, 3.0, 5.0)
+        )
+
+    def test_deterministic_service_halves_waiting(self):
+        lam, mu = 3.0, 5.0
+        exponential = mg1_sojourn_time(lam, mu, scv=1.0)
+        deterministic = mg1_sojourn_time(lam, mu, scv=0.0)
+        wait_exp = exponential - 1.0 / mu
+        wait_det = deterministic - 1.0 / mu
+        assert wait_det == pytest.approx(wait_exp / 2.0)
+
+    def test_heavier_tails_wait_longer(self):
+        assert mg1_sojourn_time(3.0, 5.0, scv=4.0) > mg1_sojourn_time(3.0, 5.0, scv=1.0)
+
+    def test_unstable_is_inf(self):
+        assert mg1_sojourn_time(5.0, 5.0, scv=1.0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mg1_sojourn_time(1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            mg1_sojourn_time(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            mg1_sojourn_time(1.0, 2.0, -0.5)
+
+
+class TestMaxLoad:
+    def test_inverts_sojourn_time(self):
+        mu, scv, bound = 5.0, 2.0, 0.8
+        lam = mg1_max_load(mu, scv, bound)
+        assert mg1_sojourn_time(lam, mu, scv) == pytest.approx(bound)
+
+    def test_unachievable_bound(self):
+        with pytest.raises(ValueError, match="unachievable"):
+            mg1_max_load(5.0, 1.0, 0.2)  # 1/mu = 0.2
+
+    def test_lower_scv_sustains_more_load(self):
+        smooth = mg1_max_load(5.0, 0.0, 0.5)
+        bursty = mg1_max_load(5.0, 4.0, 0.5)
+        assert smooth > bursty
+
+
+class TestCoefficient:
+    def test_scv_one_matches_paper_coefficient(self):
+        ours = mg1_sla_coefficient(0.02, 0.15, 25.0, scv=1.0)
+        paper = sla_coefficient(0.02, 0.15, 25.0)
+        assert ours == pytest.approx(paper)
+
+    def test_unreachable_pair_inf(self):
+        assert mg1_sla_coefficient(0.2, 0.15, 25.0) == math.inf
+        assert mg1_sla_coefficient(0.148, 0.15, 25.0, scv=1.0) == math.inf
+
+    def test_reservation_scales(self):
+        base = mg1_sla_coefficient(0.02, 0.15, 25.0, scv=2.0)
+        padded = mg1_sla_coefficient(
+            0.02, 0.15, 25.0, scv=2.0, reservation_ratio=1.5
+        )
+        assert padded == pytest.approx(1.5 * base)
+
+    def test_matrix_matches_scalar(self):
+        latency = np.array([[0.01, 0.05], [0.08, 0.2]])
+        matrix = mg1_sla_coefficient_matrix(latency, 0.15, 25.0, scv=0.5)
+        for index, value in np.ndenumerate(latency):
+            assert matrix[index] == pytest.approx(
+                mg1_sla_coefficient(float(value), 0.15, 25.0, scv=0.5)
+            )
+
+    def test_matrix_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            mg1_sla_coefficient_matrix(np.array([[-0.1]]), 0.15, 25.0)
+
+    def test_plugs_into_dspp(self):
+        # The adaptability claim: an M/D/1 coefficient matrix drives the
+        # standard DSPP solve unchanged.
+        from repro.core.dspp import solve_dspp
+        from repro.core.instance import DSPPInstance
+
+        latency = np.array([[0.01, 0.04], [0.05, 0.01]])
+        a = mg1_sla_coefficient_matrix(latency, 0.15, 25.0, scv=0.0)
+        instance = DSPPInstance(
+            datacenters=("d0", "d1"),
+            locations=("v0", "v1"),
+            sla_coefficients=a,
+            reconfiguration_weights=np.ones(2),
+            capacities=np.full(2, np.inf),
+            initial_state=np.zeros((2, 2)),
+        )
+        demand = np.full((2, 3), 100.0)
+        prices = np.ones((2, 3))
+        solution = solve_dspp(instance, demand, prices)
+        served = np.einsum(
+            "lv,tlv->tv", instance.demand_coefficients, solution.trajectory.states
+        )
+        assert np.all(served >= demand.T - 1e-5)
+
+
+class TestAgainstSimulation:
+    def test_deterministic_service_pk_formula(self, rng):
+        lam, mu = 3.0, 5.0
+        result = simulate_mg1(
+            lam, lambda r, n: np.full(n, 1.0 / mu), horizon=20000.0, rng=rng
+        )
+        assert result.mean_sojourn == pytest.approx(
+            mg1_sojourn_time(lam, mu, scv=0.0), rel=0.05
+        )
+
+    def test_lognormal_service_pk_formula(self, rng):
+        lam, mu, scv = 2.0, 5.0, 2.0
+        sigma = math.sqrt(math.log1p(scv))
+        mean_log = math.log(1.0 / mu) - sigma**2 / 2.0
+
+        def sampler(r, n):
+            return r.lognormal(mean_log, sigma, size=n)
+
+        result = simulate_mg1(lam, sampler, horizon=60000.0, rng=rng)
+        assert result.mean_sojourn == pytest.approx(
+            mg1_sojourn_time(lam, mu, scv=scv), rel=0.08
+        )
+
+    def test_sampler_validation(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            simulate_mg1(1.0, lambda r, n: np.zeros(n), 100.0, rng)
+        with pytest.raises(ValueError, match="wrong number"):
+            simulate_mg1(1.0, lambda r, n: np.ones(max(0, n - 1)), 100.0, rng)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    mu=st.floats(1.0, 50.0),
+    scv=st.floats(0.0, 5.0),
+    budget_factor=st.floats(1.1, 20.0),
+    sigma=st.floats(0.1, 500.0),
+)
+def test_mg1_coefficient_guarantees_sla(mu, scv, budget_factor, sigma):
+    """Property: x = a * sigma keeps the P-K sojourn within the budget."""
+    budget = budget_factor / mu
+    a = mg1_sla_coefficient(0.0, budget, mu, scv=scv)
+    if math.isinf(a):
+        return
+    per_server_load = sigma / (a * sigma)
+    delay = mg1_sojourn_time(per_server_load, mu, scv)
+    assert delay <= budget * (1.0 + 1e-9)

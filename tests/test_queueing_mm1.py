@@ -1,0 +1,139 @@
+"""Tests for the M/M/1 model (repro.queueing.mm1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queueing.mm1 import (
+    MM1Queue,
+    max_stable_arrival_rate,
+    queueing_delay,
+    required_servers,
+)
+
+
+class TestQueueingDelay:
+    def test_empty_server_delay_is_service_time(self):
+        assert queueing_delay(1.0, 0.0, 4.0) == pytest.approx(0.25)
+
+    def test_matches_eq7(self):
+        # q = 1 / (mu - sigma/x)
+        assert queueing_delay(2.0, 6.0, 5.0) == pytest.approx(1.0 / (5.0 - 3.0))
+
+    def test_unstable_returns_inf(self):
+        assert queueing_delay(1.0, 5.0, 5.0) == math.inf
+        assert queueing_delay(1.0, 6.0, 5.0) == math.inf
+
+    def test_more_servers_less_delay(self):
+        d1 = queueing_delay(2.0, 8.0, 5.0)
+        d2 = queueing_delay(4.0, 8.0, 5.0)
+        assert d2 < d1
+
+    @pytest.mark.parametrize(
+        "servers,rate,mu", [(0.0, 1.0, 1.0), (1.0, -1.0, 1.0), (1.0, 1.0, 0.0)]
+    )
+    def test_invalid_arguments(self, servers, rate, mu):
+        with pytest.raises(ValueError):
+            queueing_delay(servers, rate, mu)
+
+
+class TestRequiredServers:
+    def test_inverts_delay_exactly(self):
+        x = required_servers(arrival_rate=30.0, service_rate=5.0, max_delay=0.5)
+        assert queueing_delay(x, 30.0, 5.0) == pytest.approx(0.5)
+
+    def test_zero_demand_zero_servers(self):
+        assert required_servers(0.0, 5.0, 1.0) == 0.0
+
+    def test_unachievable_bound_raises(self):
+        with pytest.raises(ValueError, match="unachievable"):
+            required_servers(1.0, 5.0, 0.2)  # 1/mu = 0.2 exactly
+
+    def test_scales_linearly_in_demand(self):
+        x1 = required_servers(10.0, 5.0, 1.0)
+        x2 = required_servers(20.0, 5.0, 1.0)
+        assert x2 == pytest.approx(2.0 * x1)
+
+
+class TestMaxStableArrivalRate:
+    def test_value(self):
+        assert max_stable_arrival_rate(3.0, 4.0) == pytest.approx(12.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            max_stable_arrival_rate(0.0, 4.0)
+
+
+class TestMM1Queue:
+    def test_stability_flag(self):
+        assert MM1Queue(lam=3.0, mu=4.0).is_stable
+        assert not MM1Queue(lam=4.0, mu=4.0).is_stable
+
+    def test_littles_law(self):
+        queue = MM1Queue(lam=3.0, mu=4.0)
+        assert queue.mean_queue_length == pytest.approx(
+            queue.lam * queue.mean_sojourn_time
+        )
+
+    def test_unstable_measures_are_inf(self):
+        queue = MM1Queue(lam=5.0, mu=4.0)
+        assert queue.mean_sojourn_time == math.inf
+        assert queue.mean_queue_length == math.inf
+        assert queue.sojourn_time_percentile(0.95) == math.inf
+
+    def test_percentile_formula(self):
+        queue = MM1Queue(lam=2.0, mu=4.0)
+        # Exp(2): 95th percentile = ln(20)/2.
+        assert queue.sojourn_time_percentile(0.95) == pytest.approx(
+            math.log(20.0) / 2.0
+        )
+
+    def test_percentile_bounds(self):
+        queue = MM1Queue(lam=1.0, mu=2.0)
+        with pytest.raises(ValueError):
+            queue.sojourn_time_percentile(1.0)
+        with pytest.raises(ValueError):
+            queue.sojourn_time_percentile(0.0)
+
+    def test_cdf_at_percentile(self):
+        queue = MM1Queue(lam=2.0, mu=4.0)
+        t95 = queue.sojourn_time_percentile(0.95)
+        assert queue.sojourn_time_cdf(t95) == pytest.approx(0.95)
+
+    def test_cdf_edges(self):
+        queue = MM1Queue(lam=2.0, mu=4.0)
+        assert queue.sojourn_time_cdf(-1.0) == 0.0
+        assert queue.sojourn_time_cdf(0.0) == pytest.approx(0.0)
+
+    def test_sampling_matches_mean(self, rng):
+        queue = MM1Queue(lam=3.0, mu=4.0)
+        samples = queue.sample_sojourn_times(200_000, rng)
+        assert samples.mean() == pytest.approx(queue.mean_sojourn_time, rel=0.02)
+
+    def test_sampling_unstable_raises(self, rng):
+        with pytest.raises(ValueError, match="unstable"):
+            MM1Queue(lam=5.0, mu=4.0).sample_sojourn_times(10, rng)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            MM1Queue(lam=-1.0, mu=1.0)
+        with pytest.raises(ValueError):
+            MM1Queue(lam=1.0, mu=0.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    mu=st.floats(0.5, 50.0),
+    utilization=st.floats(0.01, 0.95),
+    servers=st.floats(0.5, 100.0),
+)
+def test_required_servers_roundtrip(mu, utilization, servers):
+    """required_servers is the exact inverse of queueing_delay (eq. 7 vs 9)."""
+    sigma = utilization * mu * servers
+    delay = queueing_delay(servers, sigma, mu)
+    recovered = required_servers(sigma, mu, delay)
+    assert recovered == pytest.approx(servers, rel=1e-9)

@@ -1,0 +1,182 @@
+"""Tests for the SLA linearization (repro.queueing.sla)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queueing.mm1 import queueing_delay
+from repro.queueing.sla import (
+    SLAPolicy,
+    percentile_scale,
+    sla_coefficient,
+    sla_coefficient_matrix,
+)
+
+
+class TestPercentileScale:
+    def test_none_is_identity(self):
+        assert percentile_scale(None) == 1.0
+
+    def test_known_value(self):
+        assert percentile_scale(0.95) == pytest.approx(math.log(20.0))
+
+    def test_one_minus_inverse_e_is_unity(self):
+        assert percentile_scale(1.0 - 1.0 / math.e) == pytest.approx(1.0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile_scale(1.0)
+
+
+class TestSlaCoefficient:
+    def test_matches_eq10(self):
+        # a = 1 / (mu - 1/(dbar - d))
+        a = sla_coefficient(0.02, 0.15, 25.0)
+        assert a == pytest.approx(1.0 / (25.0 - 1.0 / 0.13))
+
+    def test_allocation_at_coefficient_meets_sla_exactly(self):
+        mu, dbar, d = 25.0, 0.15, 0.02
+        a = sla_coefficient(d, dbar, mu)
+        sigma = 100.0
+        delay = queueing_delay(a * sigma, sigma, mu)
+        assert d + delay == pytest.approx(dbar)
+
+    def test_unreachable_pair_is_inf(self):
+        assert sla_coefficient(0.2, 0.15, 25.0) == math.inf
+
+    def test_budget_below_service_time_is_inf(self):
+        # budget so tight a lone server can't make it: 1/budget > mu
+        assert sla_coefficient(0.10, 0.13, 25.0) == math.inf
+
+    def test_farther_needs_more_servers(self):
+        near = sla_coefficient(0.01, 0.15, 25.0)
+        far = sla_coefficient(0.08, 0.15, 25.0)
+        assert far > near
+
+    def test_percentile_tightens(self):
+        mean = sla_coefficient(0.02, 0.15, 25.0)
+        p95 = sla_coefficient(0.02, 0.15, 25.0, percentile=0.95)
+        assert p95 > mean
+
+    def test_reservation_ratio_scales(self):
+        base = sla_coefficient(0.02, 0.15, 25.0)
+        padded = sla_coefficient(0.02, 0.15, 25.0, reservation_ratio=1.5)
+        assert padded == pytest.approx(1.5 * base)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            sla_coefficient(-0.1, 0.15, 25.0)
+        with pytest.raises(ValueError):
+            sla_coefficient(0.1, 0.0, 25.0)
+        with pytest.raises(ValueError):
+            sla_coefficient(0.1, 0.15, 25.0, reservation_ratio=0.5)
+
+
+class TestSlaCoefficientMatrix:
+    def test_matches_scalar_entries(self):
+        latency = np.array([[0.01, 0.05], [0.08, 0.2]])
+        matrix = sla_coefficient_matrix(latency, 0.15, 25.0)
+        for (l, v), value in np.ndenumerate(latency):
+            assert matrix[l, v] == pytest.approx(
+                sla_coefficient(value, 0.15, 25.0)
+            )
+
+    def test_unreachable_entries_inf(self):
+        matrix = sla_coefficient_matrix(np.array([[0.2]]), 0.15, 25.0)
+        assert matrix[0, 0] == math.inf
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            sla_coefficient_matrix(np.array([[-1.0]]), 0.15, 25.0)
+
+    def test_percentile_and_reservation_consistent_with_scalar(self):
+        latency = np.array([[0.02, 0.04]])
+        matrix = sla_coefficient_matrix(
+            latency, 0.15, 25.0, percentile=0.9, reservation_ratio=1.2
+        )
+        for col, value in enumerate(latency[0]):
+            assert matrix[0, col] == pytest.approx(
+                sla_coefficient(value, 0.15, 25.0, percentile=0.9, reservation_ratio=1.2)
+            )
+
+
+class TestSLAPolicy:
+    def test_coefficient_delegates(self):
+        policy = SLAPolicy(max_latency=0.15, service_rate=25.0)
+        assert policy.coefficient(0.02) == pytest.approx(
+            sla_coefficient(0.02, 0.15, 25.0)
+        )
+
+    def test_matrix_delegates(self):
+        policy = SLAPolicy(max_latency=0.15, service_rate=25.0, percentile=0.95)
+        latency = np.array([[0.02], [0.05]])
+        assert policy.coefficient_matrix(latency) == pytest.approx(
+            sla_coefficient_matrix(latency, 0.15, 25.0, percentile=0.95)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLAPolicy(max_latency=0.0, service_rate=1.0)
+        with pytest.raises(ValueError):
+            SLAPolicy(max_latency=1.0, service_rate=1.0, reservation_ratio=0.9)
+        with pytest.raises(ValueError):
+            SLAPolicy(max_latency=1.0, service_rate=1.0, percentile=1.5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    mu=st.floats(1.0, 100.0),
+    dbar=st.floats(0.05, 2.0),
+    d_frac=st.floats(0.0, 0.95),
+    sigma=st.floats(0.1, 1000.0),
+)
+def test_coefficient_guarantees_sla(mu, dbar, d_frac, sigma):
+    """Allocating x = a * sigma always meets the latency bound (eq. 8<->11)."""
+    d = d_frac * dbar
+    a = sla_coefficient(d, dbar, mu)
+    if math.isinf(a):
+        return
+    delay = queueing_delay(a * sigma, sigma, mu)
+    assert d + delay <= dbar * (1 + 1e-9)
+
+
+class TestPerPairBounds:
+    """Eq. 8's bound is indexed per pair (d_bar_lv); the matrix builder
+    accepts arrays for it."""
+
+    def test_per_location_bounds(self):
+        latency = np.array([[0.01, 0.01], [0.05, 0.05]])
+        bounds = np.array([0.10, 0.30])  # premium vs best-effort region
+        matrix = sla_coefficient_matrix(latency, bounds, 25.0)
+        # The tight region needs more servers per request everywhere.
+        assert matrix[0, 0] > matrix[0, 1]
+        assert matrix[1, 0] > matrix[1, 1]
+
+    def test_full_matrix_bounds(self):
+        latency = np.full((2, 2), 0.02)
+        bounds = np.array([[0.1, 0.2], [0.3, 0.4]])
+        matrix = sla_coefficient_matrix(latency, bounds, 25.0)
+        for index, bound in np.ndenumerate(bounds):
+            assert matrix[index] == pytest.approx(
+                sla_coefficient(0.02, float(bound), 25.0)
+            )
+
+    def test_scalar_still_works(self):
+        latency = np.full((2, 3), 0.02)
+        scalar = sla_coefficient_matrix(latency, 0.15, 25.0)
+        array = sla_coefficient_matrix(latency, np.full((2, 3), 0.15), 25.0)
+        assert scalar == pytest.approx(array)
+
+    def test_nonpositive_bound_rejected(self):
+        with pytest.raises(ValueError):
+            sla_coefficient_matrix(np.full((1, 2), 0.02), np.array([0.1, 0.0]), 25.0)
+
+    def test_bad_broadcast_rejected(self):
+        with pytest.raises(ValueError, match="broadcast"):
+            sla_coefficient_matrix(
+                np.full((1, 2), 0.02), np.full((3, 1, 2), 0.15), 25.0
+            )

@@ -1,0 +1,124 @@
+"""Tests for the routing package (eq. 13 policy + router)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.queueing.sla import sla_coefficient_matrix
+from repro.routing.proportional import proportional_assignment
+from repro.routing.router import RequestRouter
+
+
+class TestProportionalAssignment:
+    def test_columns_sum_to_demand(self):
+        allocation = np.array([[2.0, 1.0], [4.0, 3.0]])
+        coeff = np.array([[10.0, 5.0], [10.0, 5.0]])
+        demand = np.array([30.0, 12.0])
+        sigma = proportional_assignment(allocation, demand, coeff)
+        assert sigma.sum(axis=0) == pytest.approx(demand)
+
+    def test_eq13_weights(self):
+        # sigma^{lv} = D_v * (x/a) / sum(x/a); with coeff = 1/a.
+        allocation = np.array([[1.0], [3.0]])
+        coeff = np.array([[2.0], [2.0]])
+        sigma = proportional_assignment(allocation, np.array([8.0]), coeff)
+        assert sigma[:, 0] == pytest.approx([2.0, 6.0])
+
+    def test_zero_demand_zero_assignment(self):
+        allocation = np.ones((2, 1))
+        coeff = np.ones((2, 1))
+        sigma = proportional_assignment(allocation, np.array([0.0]), coeff)
+        assert sigma == pytest.approx(np.zeros((2, 1)))
+
+    def test_unroutable_location_raises(self):
+        allocation = np.zeros((2, 1))
+        coeff = np.ones((2, 1))
+        with pytest.raises(ValueError, match="no service capacity"):
+            proportional_assignment(allocation, np.array([1.0]), coeff)
+
+    def test_unusable_pair_gets_nothing(self):
+        allocation = np.array([[5.0], [5.0]])
+        coeff = np.array([[0.0], [1.0]])  # pair (0, v) cannot meet the SLA
+        sigma = proportional_assignment(allocation, np.array([4.0]), coeff)
+        assert sigma[0, 0] == 0.0
+        assert sigma[1, 0] == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="differ"):
+            proportional_assignment(np.ones((2, 1)), np.ones(1), np.ones((1, 1)))
+        with pytest.raises(ValueError, match="length"):
+            proportional_assignment(np.ones((2, 2)), np.ones(1), np.ones((2, 2)))
+        with pytest.raises(ValueError, match="nonnegative"):
+            proportional_assignment(-np.ones((1, 1)), np.ones(1), np.ones((1, 1)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10_000), L=st.integers(1, 4), V=st.integers(1, 4))
+def test_feasible_split_always_meets_sla(seed, L, V):
+    """If eq. 12 holds, the eq. 13 split keeps every routed pair within its
+    per-server budget ``x >= a * sigma`` — the paper's feasibility claim."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0.05, 0.5, size=(L, V))
+    coeff = 1.0 / a
+    demand = rng.uniform(0.0, 50.0, size=V)
+    # Build an allocation satisfying eq. 12 with 10% headroom.
+    allocation = np.zeros((L, V))
+    for v in range(V):
+        allocation[:, v] = a[:, v] * demand[v] * 1.1 / L
+    sigma = proportional_assignment(allocation, demand, coeff)
+    assert sigma.sum(axis=0) == pytest.approx(demand, rel=1e-9, abs=1e-9)
+    routed = sigma > 1e-12
+    assert np.all(allocation[routed] >= (a * sigma)[routed] * (1 - 1e-9))
+
+
+class TestRequestRouter:
+    @pytest.fixture
+    def router(self):
+        latency = np.array([[0.01, 0.05], [0.05, 0.01]])
+        coeff = 1.0 / sla_coefficient_matrix(latency, 0.15, 25.0)
+        return RequestRouter(
+            network_latency=latency,
+            demand_coefficients=coeff,
+            service_rate=25.0,
+            max_latency=0.15,
+        )
+
+    def test_routes_within_sla_when_feasible(self, router):
+        coeff = router.demand_coefficients
+        demand = np.array([40.0, 60.0])
+        a = 1.0 / coeff
+        allocation = a * demand[None, :] * 0.6  # both DCs share, 20% headroom
+        router.update_allocation(allocation)
+        decision = router.route(demand)
+        assert decision.all_sla_satisfied
+        assert decision.unserved == pytest.approx(np.zeros(2), abs=1e-9)
+        assert decision.assignment.sum(axis=0) == pytest.approx(demand)
+
+    def test_overload_clipped_and_reported(self, router):
+        coeff = router.demand_coefficients
+        a = 1.0 / coeff
+        allocation = a * np.array([[10.0, 10.0], [10.0, 10.0]])
+        router.update_allocation(allocation)
+        decision = router.route(np.array([100.0, 100.0]))
+        assert decision.unserved.sum() > 0
+        # What was served still meets the SLA.
+        assert decision.all_sla_satisfied
+
+    def test_latency_nan_where_unrouted(self, router):
+        router.update_allocation(np.zeros((2, 2)))
+        decision = router.route(np.zeros(2))
+        assert np.all(np.isnan(decision.latency))
+
+    def test_update_allocation_validation(self, router):
+        with pytest.raises(ValueError):
+            router.update_allocation(np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            router.update_allocation(-np.ones((2, 2)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            RequestRouter(np.ones((2, 2)), np.ones((1, 2)), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            RequestRouter(np.ones((1, 1)), np.ones((1, 1)), 0.0, 1.0)

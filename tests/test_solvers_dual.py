@@ -1,0 +1,97 @@
+"""Tests for the quota coordinator (repro.solvers.dual)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solvers.dual import QuotaCoordinator
+
+
+class TestConstruction:
+    def test_initial_quotas_are_equal_split(self):
+        coordinator = QuotaCoordinator(np.array([90.0, 30.0]), n_providers=3)
+        assert coordinator.quotas == pytest.approx(
+            np.array([[30.0, 10.0]] * 3)
+        )
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="positive"):
+            QuotaCoordinator(np.array([0.0]), n_providers=1)
+
+    def test_rejects_zero_providers(self):
+        with pytest.raises(ValueError, match="provider"):
+            QuotaCoordinator(np.array([1.0]), n_providers=0)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            QuotaCoordinator(np.array([1.0]), 1, mode="other")
+
+    def test_quotas_view_is_readonly(self):
+        coordinator = QuotaCoordinator(np.array([10.0]), 2)
+        with pytest.raises(ValueError):
+            coordinator.quotas[0, 0] = 99.0
+
+
+class TestUpdate:
+    def test_zero_duals_keep_split(self):
+        coordinator = QuotaCoordinator(np.array([100.0]), 2)
+        update = coordinator.update(np.zeros((2, 1)))
+        assert update.quotas == pytest.approx(np.array([[50.0], [50.0]]))
+        assert update.max_change == pytest.approx(0.0)
+
+    def test_higher_dual_wins_capacity(self):
+        coordinator = QuotaCoordinator(np.array([100.0]), 2, step_size=10.0)
+        update = coordinator.update(np.array([[5.0], [1.0]]))
+        assert update.quotas[0, 0] > update.quotas[1, 0]
+        assert update.quotas[:, 0].sum() == pytest.approx(100.0)
+
+    def test_negative_duals_clipped(self):
+        coordinator = QuotaCoordinator(np.array([100.0]), 2)
+        update = coordinator.update(np.array([[-5.0], [0.0]]))
+        assert update.quotas[:, 0].sum() == pytest.approx(100.0)
+        # Clipped negative behaves like zero: equal split preserved.
+        assert update.quotas[0, 0] == pytest.approx(50.0)
+
+    def test_shape_mismatch_raises(self):
+        coordinator = QuotaCoordinator(np.array([100.0, 50.0]), 2)
+        with pytest.raises(ValueError, match="shape"):
+            coordinator.update(np.zeros((3, 2)))
+
+    def test_simplex_mode_also_preserves_capacity(self):
+        coordinator = QuotaCoordinator(
+            np.array([100.0, 40.0]), 3, step_size=5.0, mode="simplex"
+        )
+        update = coordinator.update(np.abs(np.random.default_rng(0).normal(size=(3, 2))))
+        assert update.quotas.sum(axis=0) == pytest.approx([100.0, 40.0])
+        assert np.all(update.quotas >= -1e-12)
+
+    def test_reset_restores_equal_split(self):
+        coordinator = QuotaCoordinator(np.array([100.0]), 2, step_size=10.0)
+        coordinator.update(np.array([[5.0], [0.0]]))
+        coordinator.reset()
+        assert coordinator.quotas == pytest.approx(np.array([[50.0], [50.0]]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_providers=st.integers(1, 6),
+    n_dcs=st.integers(1, 4),
+    step=st.floats(0.01, 20.0),
+    seed=st.integers(0, 10_000),
+    rounds=st.integers(1, 5),
+)
+def test_capacity_conservation_invariant(n_providers, n_dcs, step, seed, rounds):
+    """Per-DC quotas always sum to the physical capacity, in both modes."""
+    rng = np.random.default_rng(seed)
+    capacity = rng.uniform(10.0, 500.0, size=n_dcs)
+    for mode in ("normalize", "simplex"):
+        coordinator = QuotaCoordinator(
+            capacity, n_providers, step_size=step, mode=mode
+        )
+        for _ in range(rounds):
+            duals = rng.exponential(scale=3.0, size=(n_providers, n_dcs))
+            update = coordinator.update(duals)
+            assert update.quotas.sum(axis=0) == pytest.approx(capacity, rel=1e-9)
+            assert np.all(update.quotas >= -1e-9)

@@ -1,0 +1,129 @@
+"""Tests for repro.solvers.projections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.solvers.projections import (
+    project_box,
+    project_halfspace,
+    project_nonnegative,
+    project_simplex,
+)
+
+
+class TestProjectBox:
+    def test_inside_point_unchanged(self):
+        z = np.array([0.5, 0.5])
+        out = project_box(z, np.zeros(2), np.ones(2))
+        assert out == pytest.approx(z)
+
+    def test_clamps_both_sides(self):
+        out = project_box(np.array([-1.0, 2.0]), np.zeros(2), np.ones(2))
+        assert out == pytest.approx([0.0, 1.0])
+
+    def test_open_bounds(self):
+        out = project_box(
+            np.array([-5.0, 5.0]), np.array([-np.inf, 0.0]), np.array([0.0, np.inf])
+        )
+        assert out == pytest.approx([-5.0, 5.0])
+
+    def test_empty_box_raises(self):
+        with pytest.raises(ValueError, match="empty box"):
+            project_box(np.zeros(1), np.array([1.0]), np.array([0.0]))
+
+    def test_does_not_mutate_input(self):
+        z = np.array([5.0])
+        project_box(z, np.zeros(1), np.ones(1))
+        assert z[0] == 5.0
+
+
+class TestProjectNonnegative:
+    def test_zeroes_negatives_only(self):
+        out = project_nonnegative(np.array([-1.0, 0.0, 2.0]))
+        assert out == pytest.approx([0.0, 0.0, 2.0])
+
+
+class TestProjectHalfspace:
+    def test_interior_point_copied(self):
+        z = np.array([0.0, 0.0])
+        out = project_halfspace(z, np.array([1.0, 0.0]), 1.0)
+        assert out == pytest.approx(z)
+        assert out is not z
+
+    def test_exterior_point_lands_on_boundary(self):
+        out = project_halfspace(np.array([3.0, 0.0]), np.array([1.0, 0.0]), 1.0)
+        assert out == pytest.approx([1.0, 0.0])
+
+    def test_zero_normal_raises(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            project_halfspace(np.zeros(2), np.zeros(2), 1.0)
+
+    def test_projection_is_orthogonal(self):
+        a = np.array([1.0, 2.0])
+        z = np.array([5.0, 5.0])
+        out = project_halfspace(z, a, 1.0)
+        # Displacement must be parallel to the normal.
+        displacement = z - out
+        cross = displacement[0] * a[1] - displacement[1] * a[0]
+        assert cross == pytest.approx(0.0, abs=1e-12)
+
+
+class TestProjectSimplex:
+    def test_already_on_simplex(self):
+        z = np.array([0.2, 0.3, 0.5])
+        assert project_simplex(z) == pytest.approx(z)
+
+    def test_uniform_from_equal_input(self):
+        out = project_simplex(np.array([5.0, 5.0]), total=1.0)
+        assert out == pytest.approx([0.5, 0.5])
+
+    def test_negative_entries_zeroed(self):
+        out = project_simplex(np.array([2.0, -10.0]), total=1.0)
+        assert out == pytest.approx([1.0, 0.0])
+
+    def test_scaled_total(self):
+        out = project_simplex(np.array([1.0, 2.0, 3.0]), total=60.0)
+        assert out.sum() == pytest.approx(60.0)
+
+    def test_rejects_nonpositive_total(self):
+        with pytest.raises(ValueError, match="positive"):
+            project_simplex(np.ones(2), total=0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    z=hnp.arrays(
+        np.float64,
+        st.integers(1, 12),
+        elements=st.floats(-50, 50, allow_nan=False),
+    ),
+    total=st.floats(0.1, 100.0),
+)
+def test_simplex_projection_properties(z, total):
+    """Output is on the simplex and no closer point exists along z - out."""
+    out = project_simplex(z, total=total)
+    assert np.all(out >= -1e-12)
+    assert out.sum() == pytest.approx(total, rel=1e-9, abs=1e-9)
+    # Idempotence.
+    again = project_simplex(out, total=total)
+    assert again == pytest.approx(out, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    z=hnp.arrays(np.float64, 6, elements=st.floats(-10, 10, allow_nan=False)),
+    seed=st.integers(0, 1000),
+)
+def test_box_projection_is_nonexpansive(z, seed):
+    """||P(a) - P(b)|| <= ||a - b|| — the contraction ADMM relies on."""
+    rng = np.random.default_rng(seed)
+    lower = rng.uniform(-5, 0, 6)
+    upper = lower + rng.uniform(0.1, 5, 6)
+    other = rng.uniform(-10, 10, 6)
+    pa = project_box(z, lower, upper)
+    pb = project_box(other, lower, upper)
+    assert np.linalg.norm(pa - pb) <= np.linalg.norm(z - other) + 1e-9

@@ -1,0 +1,80 @@
+"""Tests for repro.topology.bipartite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology.bipartite import BipartiteLatency, extract_bipartite_latency
+
+
+@pytest.fixture
+def line_graph():
+    """a --1ms-- b --2ms-- c --4ms-- d"""
+    graph = nx.Graph()
+    graph.add_edge("a", "b", latency_ms=1.0)
+    graph.add_edge("b", "c", latency_ms=2.0)
+    graph.add_edge("c", "d", latency_ms=4.0)
+    return graph
+
+
+class TestExtract:
+    def test_shortest_paths(self, line_graph):
+        latency = extract_bipartite_latency(
+            line_graph, {"dc": "a"}, {"v0": "c", "v1": "d"}
+        )
+        assert latency.latency("dc", "v0") == pytest.approx(3.0)
+        assert latency.latency("dc", "v1") == pytest.approx(7.0)
+
+    def test_unreachable_pair_is_inf(self, line_graph):
+        line_graph.add_node("island")
+        latency = extract_bipartite_latency(
+            line_graph, {"dc": "a"}, {"v": "island"}
+        )
+        assert latency.latency("dc", "v") == np.inf
+
+    def test_colocated_zero_latency(self, line_graph):
+        latency = extract_bipartite_latency(line_graph, {"dc": "b"}, {"v": "b"})
+        assert latency.latency("dc", "v") == 0.0
+
+    def test_missing_node_raises(self, line_graph):
+        with pytest.raises(KeyError, match="nowhere"):
+            extract_bipartite_latency(line_graph, {"dc": "nowhere"}, {"v": "a"})
+
+    def test_ordering_follows_mappings(self, line_graph):
+        latency = extract_bipartite_latency(
+            line_graph, {"d1": "a", "d0": "b"}, {"x": "c", "w": "d"}
+        )
+        assert latency.datacenters == ("d1", "d0")
+        assert latency.locations == ("x", "w")
+
+
+class TestBipartiteLatency:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            BipartiteLatency(("a",), ("v",), np.zeros((2, 1)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            BipartiteLatency(("a",), ("v",), np.array([[-1.0]]))
+
+    def test_restrict_subsets_and_reorders(self):
+        latency = BipartiteLatency(
+            ("d0", "d1", "d2"),
+            ("v0", "v1"),
+            np.arange(6, dtype=float).reshape(3, 2),
+        )
+        sub = latency.restrict(datacenters=["d2", "d0"], locations=["v1"])
+        assert sub.datacenters == ("d2", "d0")
+        assert sub.latency_ms == pytest.approx(np.array([[5.0], [1.0]]))
+
+    def test_restrict_unknown_label_raises(self):
+        latency = BipartiteLatency(("d0",), ("v0",), np.zeros((1, 1)))
+        with pytest.raises(ValueError):
+            latency.restrict(datacenters=["missing"])
+
+    def test_counts(self):
+        latency = BipartiteLatency(("d0", "d1"), ("v0",), np.zeros((2, 1)))
+        assert latency.num_datacenters == 2
+        assert latency.num_locations == 1

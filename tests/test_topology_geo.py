@@ -1,0 +1,105 @@
+"""Tests for repro.topology.geo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.geo import (
+    ACCESS_CITIES,
+    DATACENTER_SITES,
+    City,
+    find_city,
+    great_circle_km,
+    propagation_delay_ms,
+)
+
+
+class TestCityData:
+    def test_paper_has_24_access_cities(self):
+        assert len(ACCESS_CITIES) == 24
+
+    def test_paper_datacenter_sites_present(self):
+        keys = {city.key for city in DATACENTER_SITES}
+        for expected in (
+            "san_jose_ca",
+            "mountain_view_ca",
+            "dallas_tx",
+            "houston_tx",
+            "atlanta_ga",
+            "chicago_il",
+        ):
+            assert expected in keys
+
+    def test_city_keys_unique(self):
+        keys = [city.key for city in ACCESS_CITIES]
+        assert len(keys) == len(set(keys))
+
+    def test_populations_positive(self):
+        assert all(city.population > 0 for city in ACCESS_CITIES)
+
+    def test_coordinates_in_continental_us(self):
+        for city in (*ACCESS_CITIES, *DATACENTER_SITES):
+            assert 24.0 < city.latitude < 50.0
+            assert -125.0 < city.longitude < -66.0
+
+    def test_utc_offsets_sane(self):
+        for city in ACCESS_CITIES:
+            assert -9 <= city.utc_offset_hours <= -4
+
+
+class TestGreatCircle:
+    def test_zero_distance_to_self(self):
+        city = ACCESS_CITIES[0]
+        assert great_circle_km(city, city) == pytest.approx(0.0, abs=1e-9)
+
+    def test_symmetry(self):
+        a, b = ACCESS_CITIES[0], ACCESS_CITIES[1]
+        assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+    def test_ny_to_la_about_3940km(self):
+        ny = find_city("new_york_ny")
+        la = find_city("los_angeles_ca")
+        assert great_circle_km(ny, la) == pytest.approx(3940.0, rel=0.03)
+
+    def test_triangle_inequality(self):
+        a = find_city("new_york_ny")
+        b = find_city("chicago_il", ACCESS_CITIES)
+        c = find_city("los_angeles_ca")
+        assert great_circle_km(a, c) <= great_circle_km(a, b) + great_circle_km(b, c) + 1e-9
+
+
+class TestPropagationDelay:
+    def test_monotone_in_distance(self):
+        assert propagation_delay_ms(100.0) < propagation_delay_ms(2000.0)
+
+    def test_coast_to_coast_realistic(self):
+        # ~4000 km: one-way fiber latency should land in the 20-40 ms range.
+        delay = propagation_delay_ms(4000.0)
+        assert 20.0 < delay < 40.0
+
+    def test_zero_distance_still_has_overhead(self):
+        assert propagation_delay_ms(0.0) > 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            propagation_delay_ms(-1.0)
+        with pytest.raises(ValueError):
+            propagation_delay_ms(10.0, stretch=0.5)
+
+
+class TestFindCity:
+    def test_by_key(self):
+        assert find_city("houston_tx").name == "Houston"
+
+    def test_by_name_case_insensitive(self):
+        assert find_city("HOUSTON").state == "TX"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            find_city("gotham_ny")
+
+    def test_restricted_pool(self):
+        pool = (City("Testville", "TS", 40.0, -100.0, 1, -6),)
+        assert find_city("testville_ts", pool).name == "Testville"
+        with pytest.raises(KeyError):
+            find_city("houston_tx", pool)

@@ -1,0 +1,88 @@
+"""Tests for the multi-domain GT-ITM generator."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology.bipartite import extract_bipartite_latency
+from repro.topology.gtitm import GTITMConfig, build_gtitm
+from repro.topology.transit_stub import (
+    INTRA_TRANSIT_LATENCY_MS,
+    STUB_TRANSIT_LATENCY_MS,
+)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_transit_domains": 0},
+            {"nodes_per_transit": 0},
+            {"inter_domain_links": 0},
+            {"transit_edge_probability": 1.5},
+            {"stubs_per_transit_node": -1},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            GTITMConfig(**kwargs)
+
+
+class TestBuild:
+    def test_default_connected_and_typed(self):
+        topology = build_gtitm()
+        topology.validate()
+        assert nx.is_connected(topology.graph)
+
+    def test_counts(self):
+        cfg = GTITMConfig(
+            num_transit_domains=3,
+            nodes_per_transit=4,
+            stubs_per_transit_node=2,
+            nodes_per_stub=3,
+        )
+        topology = build_gtitm(cfg)
+        assert len(topology.transit_nodes) == 12
+        assert len(topology.stub_nodes()) == 12 * 2 * 3
+
+    def test_single_domain(self):
+        cfg = GTITMConfig(num_transit_domains=1, nodes_per_transit=5)
+        topology = build_gtitm(cfg)
+        assert len(topology.transit_nodes) == 5
+        assert nx.is_connected(topology.graph)
+
+    def test_deterministic_by_default(self):
+        a = build_gtitm()
+        b = build_gtitm()
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+    def test_cross_domain_latency_grows_with_hops(self):
+        cfg = GTITMConfig(num_transit_domains=2, nodes_per_transit=3)
+        topology = build_gtitm(cfg, rng=np.random.default_rng(1))
+        # A stub under t0 to a stub under t1 must cross at least one
+        # inter-domain transit hop.
+        t0 = next(n for n in topology.transit_nodes if n.startswith("t0"))
+        t1 = next(n for n in topology.transit_nodes if n.startswith("t1"))
+        g0 = topology.stub_gateways[t0][0]
+        g1 = topology.stub_gateways[t1][0]
+        latency = topology.latency(g0, g1)
+        assert latency >= 2 * STUB_TRANSIT_LATENCY_MS + INTRA_TRANSIT_LATENCY_MS
+
+    def test_feeds_bipartite_extraction(self):
+        topology = build_gtitm(GTITMConfig(num_transit_domains=2))
+        transit = topology.transit_nodes
+        dc_nodes = {"dc0": transit[0], "dc1": transit[-1]}
+        loc_nodes = {
+            "v0": topology.stub_gateways[transit[0]][0],
+            "v1": topology.stub_gateways[transit[-1]][0],
+        }
+        latency = extract_bipartite_latency(topology.graph, dc_nodes, loc_nodes)
+        assert np.all(np.isfinite(latency.latency_ms))
+        # Each DC is closest to its own attached stub.
+        assert latency.latency("dc0", "v0") < latency.latency("dc0", "v1")
+
+    def test_zero_stubs(self):
+        topology = build_gtitm(GTITMConfig(stubs_per_transit_node=0))
+        assert topology.stub_nodes() == []

@@ -1,0 +1,111 @@
+"""Tests for repro.topology.rocketfuel."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.topology.geo import ACCESS_CITIES
+from repro.topology.rocketfuel import (
+    build_tier1_backbone,
+    parse_rocketfuel_weights,
+)
+
+
+class TestSyntheticBackbone:
+    def test_default_backbone_is_connected(self):
+        backbone = build_tier1_backbone()
+        assert nx.is_connected(backbone.graph)
+        assert backbone.num_pops == len(ACCESS_CITIES)
+
+    def test_deterministic(self):
+        a = build_tier1_backbone()
+        b = build_tier1_backbone()
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+    def test_all_edges_have_positive_latency(self):
+        backbone = build_tier1_backbone()
+        for _, _, data in backbone.graph.edges(data=True):
+            assert data["latency_ms"] > 0
+
+    def test_latency_reflects_distance(self):
+        backbone = build_tier1_backbone()
+        # Coast-to-coast must be slower than a regional hop.
+        coast = backbone.latency("new_york_ny", "san_francisco_ca")
+        regional = backbone.latency("san_jose_ca", "san_francisco_ca")
+        assert coast > regional
+
+    def test_shortest_path_latency_symmetric(self):
+        backbone = build_tier1_backbone()
+        assert backbone.latency("houston_tx", "boston_ma") == pytest.approx(
+            backbone.latency("boston_ma", "houston_tx")
+        )
+
+    def test_k_nearest_controls_density(self):
+        sparse = build_tier1_backbone(k_nearest=1)
+        dense = build_tier1_backbone(k_nearest=5)
+        assert dense.num_links > sparse.num_links
+
+    def test_small_city_set(self):
+        backbone = build_tier1_backbone(cities=ACCESS_CITIES[:3], k_nearest=1)
+        assert backbone.num_pops == 3
+        assert nx.is_connected(backbone.graph)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build_tier1_backbone(cities=ACCESS_CITIES[:1])
+        with pytest.raises(ValueError):
+            build_tier1_backbone(k_nearest=0)
+
+
+class TestRocketfuelParser:
+    def test_parse_valid_file(self, tmp_path):
+        path = tmp_path / "weights"
+        path.write_text("a b 10.5\nb c 2.0\n# comment\n\na c 30\n")
+        backbone = parse_rocketfuel_weights(path)
+        assert backbone.num_pops == 3
+        assert backbone.num_links == 3
+        assert backbone.latency("a", "c") == pytest.approx(12.5)  # via b
+
+    def test_parse_rocketfuel_style_names(self, tmp_path):
+        path = tmp_path / "weights"
+        path.write_text("NewYork,NY Chicago,IL 20.0\nChicago,IL Seattle,WA 1.0\n")
+        backbone = parse_rocketfuel_weights(path)
+        assert backbone.num_pops == 3
+        assert backbone.latency("NewYork,NY", "Seattle,WA") == pytest.approx(21.0)
+
+    def test_hop_count_mode(self, tmp_path):
+        path = tmp_path / "weights"
+        path.write_text("a b 55\nb c 77\n")
+        backbone = parse_rocketfuel_weights(path, weight_is_latency=False)
+        assert backbone.latency("a", "c") == pytest.approx(2.0)
+
+    def test_rejects_bad_weight(self, tmp_path):
+        path = tmp_path / "weights"
+        path.write_text("a b notanumber\n")
+        with pytest.raises(ValueError, match="bad weight"):
+            parse_rocketfuel_weights(path)
+
+    def test_rejects_nonpositive_weight(self, tmp_path):
+        path = tmp_path / "weights"
+        path.write_text("a b 0\n")
+        with pytest.raises(ValueError, match="positive"):
+            parse_rocketfuel_weights(path)
+
+    def test_rejects_short_line(self, tmp_path):
+        path = tmp_path / "weights"
+        path.write_text("justonetoken\n")
+        with pytest.raises(ValueError):
+            parse_rocketfuel_weights(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "weights"
+        path.write_text("# only comments\n")
+        with pytest.raises(ValueError, match="no edges"):
+            parse_rocketfuel_weights(path)
+
+    def test_disconnected_file_rejected_by_validate(self, tmp_path):
+        path = tmp_path / "weights"
+        path.write_text("a b 1\nc d 1\n")
+        with pytest.raises(ValueError, match="connected"):
+            parse_rocketfuel_weights(path)

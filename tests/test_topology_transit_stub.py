@@ -1,0 +1,112 @@
+"""Tests for repro.topology.transit_stub."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.geo import ACCESS_CITIES
+from repro.topology.rocketfuel import build_tier1_backbone
+from repro.topology.transit_stub import (
+    INTRA_STUB_LATENCY_MS,
+    INTRA_TRANSIT_LATENCY_MS,
+    STUB_TRANSIT_LATENCY_MS,
+    TransitStubConfig,
+    build_transit_stub,
+)
+
+
+@pytest.fixture(scope="module")
+def backbone():
+    return build_tier1_backbone(cities=ACCESS_CITIES[:6], k_nearest=2)
+
+
+class TestPaperConstants:
+    def test_latency_constants_match_paper(self):
+        assert INTRA_TRANSIT_LATENCY_MS == 20.0
+        assert STUB_TRANSIT_LATENCY_MS == 5.0
+        assert INTRA_STUB_LATENCY_MS == 2.0
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        TransitStubConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"stubs_per_transit": -1},
+            {"nodes_per_stub": 0},
+            {"stub_edge_probability": 1.5},
+            {"intra_stub_latency_ms": 0.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            TransitStubConfig(**kwargs)
+
+
+class TestConstruction:
+    def test_structure(self, backbone):
+        topology = build_transit_stub(backbone)
+        topology.validate()
+        assert set(topology.transit_nodes) == set(backbone.graph.nodes)
+        # 1 stub of 3 nodes per transit by default.
+        assert len(topology.stub_nodes()) == backbone.num_pops * 3
+
+    def test_transit_links_use_paper_latency(self, backbone):
+        topology = build_transit_stub(backbone)
+        for a, b, data in topology.graph.edges(data=True):
+            if data["tier"] == "intra_transit":
+                assert data["latency_ms"] == INTRA_TRANSIT_LATENCY_MS
+                assert data["measured_latency_ms"] is not None
+
+    def test_stub_gateway_attachment(self, backbone):
+        topology = build_transit_stub(backbone)
+        for transit, gateways in topology.stub_gateways.items():
+            for gateway in gateways:
+                assert topology.graph.has_edge(transit, gateway)
+                assert (
+                    topology.graph.edges[transit, gateway]["latency_ms"]
+                    == STUB_TRANSIT_LATENCY_MS
+                )
+
+    def test_multiple_stubs_per_transit(self, backbone):
+        config = TransitStubConfig(stubs_per_transit=3, nodes_per_stub=2)
+        topology = build_transit_stub(backbone, config)
+        assert len(topology.stub_nodes()) == backbone.num_pops * 6
+        for gateways in topology.stub_gateways.values():
+            assert len(gateways) == 3
+
+    def test_stub_to_stub_path_crosses_transit(self, backbone):
+        topology = build_transit_stub(backbone)
+        transit_a = topology.transit_nodes[0]
+        transit_b = topology.transit_nodes[1]
+        stub_a = topology.stub_gateways[transit_a][0]
+        stub_b = topology.stub_gateways[transit_b][0]
+        latency = topology.latency(stub_a, stub_b)
+        # At least two stub-transit attachments plus one transit hop.
+        assert latency >= 2 * STUB_TRANSIT_LATENCY_MS + INTRA_TRANSIT_LATENCY_MS
+
+    def test_deterministic_with_default_rng(self, backbone):
+        a = build_transit_stub(backbone)
+        b = build_transit_stub(backbone)
+        assert sorted(a.graph.edges) == sorted(b.graph.edges)
+
+    def test_zero_stubs(self, backbone):
+        config = TransitStubConfig(stubs_per_transit=0)
+        topology = build_transit_stub(backbone, config)
+        assert topology.stub_nodes() == []
+
+    def test_extra_stub_edges_respect_probability_bounds(self, backbone):
+        config = TransitStubConfig(
+            stubs_per_transit=1, nodes_per_stub=5, stub_edge_probability=1.0
+        )
+        topology = build_transit_stub(backbone, config, rng=np.random.default_rng(1))
+        # With p=1 every stub is a clique of 5: 10 intra-stub edges each.
+        intra = [
+            (a, b)
+            for a, b, d in topology.graph.edges(data=True)
+            if d["tier"] == "intra_stub"
+        ]
+        assert len(intra) == backbone.num_pops * 10

@@ -1,0 +1,296 @@
+"""Tests for the workload package (cities, diurnal, poisson, spikes, demand)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.geo import ACCESS_CITIES
+from repro.workload.cities import population_weights, utc_offsets
+from repro.workload.demand import DemandMatrix, build_demand_matrix, constant_demand
+from repro.workload.diurnal import DiurnalEnvelope, OnOffEnvelope
+from repro.workload.poisson import empirical_rates, nhpp_arrival_times, nhpp_counts
+from repro.workload.spikes import FlashCrowd, apply_flash_crowds
+
+
+class TestCities:
+    def test_weights_sum_to_one(self):
+        weights = population_weights()
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights > 0)
+
+    def test_new_york_heaviest(self):
+        weights = population_weights()
+        index = [c.key for c in ACCESS_CITIES].index("new_york_ny")
+        assert weights[index] == weights.max()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            population_weights(())
+
+    def test_utc_offsets_align(self):
+        offsets = utc_offsets()
+        assert offsets.shape == (len(ACCESS_CITIES),)
+
+
+class TestOnOffEnvelope:
+    def test_working_hours_high(self):
+        envelope = OnOffEnvelope(ramp_hours=0.0)
+        factors = envelope.factor(np.array([12.0]))
+        assert factors[0] == envelope.high
+
+    def test_night_low(self):
+        envelope = OnOffEnvelope(ramp_hours=0.0)
+        assert envelope.factor(np.array([3.0]))[0] == envelope.low
+
+    def test_timezone_shift(self):
+        envelope = OnOffEnvelope(ramp_hours=0.0)
+        # 20:00 UTC is 12:00 in UTC-8 — inside Pacific working hours.
+        assert envelope.factor(np.array([20.0]), utc_offset_hours=-8.0)[0] == envelope.high
+        assert envelope.factor(np.array([20.0]), utc_offset_hours=0.0)[0] == envelope.low
+
+    def test_ramp_is_monotone_through_the_edge(self):
+        envelope = OnOffEnvelope(ramp_hours=2.0)
+        hours = np.array([6.5, 7.5, 8.5])
+        factors = envelope.factor(hours)
+        assert factors[0] <= factors[1] <= factors[2]
+
+    def test_bounds_respected_everywhere(self):
+        envelope = OnOffEnvelope(ramp_hours=1.5)
+        factors = envelope.factor(np.linspace(0, 24, 200))
+        assert np.all(factors >= envelope.low - 1e-12)
+        assert np.all(factors <= envelope.high + 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnOffEnvelope(on_start_hour=10.0, on_end_hour=9.0)
+        with pytest.raises(ValueError):
+            OnOffEnvelope(low=0.0)
+        with pytest.raises(ValueError):
+            OnOffEnvelope(ramp_hours=-1.0)
+
+
+class TestDiurnalEnvelope:
+    def test_peak_at_peak_hour(self):
+        envelope = DiurnalEnvelope(peak_hour=14.0)
+        assert envelope.factor(np.array([14.0]))[0] == pytest.approx(envelope.high)
+
+    def test_trough_opposite_peak(self):
+        envelope = DiurnalEnvelope(peak_hour=14.0)
+        assert envelope.factor(np.array([2.0]))[0] == pytest.approx(envelope.low)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalEnvelope(peak_hour=24.0)
+        with pytest.raises(ValueError):
+            DiurnalEnvelope(low=2.0, high=1.0)
+
+
+class TestNhppCounts:
+    def test_mean_matches_rate(self, rng):
+        counts = nhpp_counts(np.full(20_000, 7.0), rng)
+        assert counts.mean() == pytest.approx(7.0, rel=0.05)
+
+    def test_zero_rate_zero_counts(self, rng):
+        assert np.all(nhpp_counts(np.zeros(100), rng) == 0)
+
+    def test_duration_scales_mean(self, rng):
+        counts = nhpp_counts(np.full(20_000, 3.0), rng, period_duration=2.0)
+        assert counts.mean() == pytest.approx(6.0, rel=0.05)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            nhpp_counts(np.array([-1.0]), rng)
+        with pytest.raises(ValueError):
+            nhpp_counts(np.array([1.0]), rng, period_duration=0.0)
+
+
+class TestNhppThinning:
+    def test_homogeneous_rate_recovered(self, rng):
+        times = nhpp_arrival_times(lambda t: 5.0, 5.0, 2000.0, rng)
+        assert times.size / 2000.0 == pytest.approx(5.0, rel=0.05)
+
+    def test_sorted_within_horizon(self, rng):
+        times = nhpp_arrival_times(lambda t: 2.0, 4.0, 100.0, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.max() < 100.0
+
+    def test_rate_above_bound_raises(self, rng):
+        with pytest.raises(ValueError, match="outside"):
+            nhpp_arrival_times(lambda t: 10.0, 5.0, 100.0, rng)
+
+    def test_agrees_with_count_sampler(self, rng):
+        # Piecewise rates: bin thinning output and compare distributions.
+        rate_fn = lambda t: 8.0 if t % 2 < 1 else 2.0
+        times = nhpp_arrival_times(rate_fn, 8.0, 4000.0, rng)
+        rates = empirical_rates(times, 4000, 1.0)
+        high = rates[::2].mean()
+        low = rates[1::2].mean()
+        assert high == pytest.approx(8.0, rel=0.08)
+        assert low == pytest.approx(2.0, rel=0.15)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            nhpp_arrival_times(lambda t: 1.0, 0.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            nhpp_arrival_times(lambda t: 1.0, 1.0, 0.0, rng)
+        with pytest.raises(ValueError):
+            empirical_rates(np.array([1.0]), 0)
+
+
+class TestFlashCrowd:
+    def test_multiplier_shape(self):
+        event = FlashCrowd(0, start_period=5, peak_multiplier=4.0, ramp_periods=2, decay_periods=2.0)
+        assert event.multiplier(4) == 1.0
+        assert event.multiplier(5) == 1.0  # onset
+        assert event.multiplier(7) == pytest.approx(4.0)  # peak
+        assert 1.0 < event.multiplier(10) < 4.0  # decaying
+
+    def test_apply_compounds(self):
+        rates = np.ones((2, 10))
+        events = [
+            FlashCrowd(0, 0, peak_multiplier=2.0, ramp_periods=1, decay_periods=100.0),
+            FlashCrowd(0, 0, peak_multiplier=3.0, ramp_periods=1, decay_periods=100.0),
+        ]
+        out = apply_flash_crowds(rates, events)
+        assert out[0, 1] == pytest.approx(6.0)
+        assert out[1] == pytest.approx(np.ones(10))  # other location untouched
+
+    def test_apply_does_not_mutate(self):
+        rates = np.ones((1, 5))
+        apply_flash_crowds(rates, [FlashCrowd(0, 0, peak_multiplier=2.0)])
+        assert rates == pytest.approx(np.ones((1, 5)))
+
+    def test_out_of_range_location(self):
+        with pytest.raises(IndexError):
+            apply_flash_crowds(np.ones((1, 5)), [FlashCrowd(3, 0, peak_multiplier=2.0)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowd(0, 0, peak_multiplier=1.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(-1, 0, peak_multiplier=2.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(0, 0, peak_multiplier=2.0, ramp_periods=0)
+
+
+class TestDemandMatrix:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DemandMatrix(("a",), np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            DemandMatrix(("a",), -np.ones((1, 3)))
+
+    def test_window(self):
+        matrix = DemandMatrix(("a",), np.arange(6, dtype=float).reshape(1, 6))
+        window = matrix.window(2, 3)
+        assert window.rates == pytest.approx(np.array([[2.0, 3.0, 4.0]]))
+        with pytest.raises(ValueError):
+            matrix.window(4, 5)
+
+    def test_accessors(self):
+        matrix = DemandMatrix(("a", "b"), np.ones((2, 4)))
+        assert matrix.at_period(0) == pytest.approx([1.0, 1.0])
+        assert matrix.total_per_period() == pytest.approx(np.full(4, 2.0))
+
+
+class TestBuildDemandMatrix:
+    def test_deterministic_mean_rates(self):
+        matrix = build_demand_matrix(1000.0, 24, rng=None)
+        assert matrix.num_locations == 24
+        assert matrix.num_periods == 24
+        # Peak aggregate should be below the nominal peak (time zones shift
+        # per-city peaks apart) but within a factor of ~2.
+        assert 300.0 < matrix.total_per_period().max() <= 1000.0
+
+    def test_population_ordering_preserved_at_fixed_local_time(self):
+        matrix = build_demand_matrix(1000.0, 24, rng=None)
+        ny = matrix.locations.index("new_york_ny")
+        memphis = matrix.locations.index("memphis_tn")
+        assert matrix.rates[ny].max() > matrix.rates[memphis].max()
+
+    def test_stochastic_reproducible(self):
+        a = build_demand_matrix(500.0, 12, rng=np.random.default_rng(3))
+        b = build_demand_matrix(500.0, 12, rng=np.random.default_rng(3))
+        assert a.rates == pytest.approx(b.rates)
+
+    def test_flash_crowd_applied(self):
+        spike = FlashCrowd(0, 2, peak_multiplier=10.0, ramp_periods=1, decay_periods=1.0)
+        base = build_demand_matrix(500.0, 8, rng=None)
+        spiked = build_demand_matrix(500.0, 8, flash_crowds=[spike], rng=None)
+        assert spiked.rates[0, 3] > base.rates[0, 3] * 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_demand_matrix(0.0, 24)
+        with pytest.raises(ValueError):
+            build_demand_matrix(10.0, 0)
+
+
+class TestConstantDemand:
+    def test_shape_and_values(self):
+        matrix = constant_demand([5.0, 7.0], 4)
+        assert matrix.rates.shape == (2, 4)
+        assert np.all(matrix.rates[1] == 7.0)
+        assert matrix.locations == ("v0", "v1")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    offset=st.integers(-9, 0),
+    hour=st.floats(0.0, 48.0),
+)
+def test_envelope_periodicity(offset, hour):
+    """Envelopes are 24h-periodic in local time."""
+    envelope = DiurnalEnvelope()
+    a = envelope.factor(np.array([hour]), utc_offset_hours=offset)
+    b = envelope.factor(np.array([hour + 24.0]), utc_offset_hours=offset)
+    assert a[0] == pytest.approx(b[0], abs=1e-9)
+
+
+class TestWeeklyEnvelope:
+    def test_weekdays_unmodified(self):
+        from repro.workload.diurnal import WeeklyEnvelope
+
+        weekly = WeeklyEnvelope(OnOffEnvelope(ramp_hours=0.0), weekend_factor=0.5)
+        hours = np.array([12.0])  # day 0 noon
+        base = OnOffEnvelope(ramp_hours=0.0).factor(hours)
+        assert weekly.factor(hours) == pytest.approx(base)
+
+    def test_weekend_scaled(self):
+        from repro.workload.diurnal import WeeklyEnvelope
+
+        weekly = WeeklyEnvelope(OnOffEnvelope(ramp_hours=0.0), weekend_factor=0.5)
+        saturday_noon = np.array([5 * 24.0 + 12.0])
+        base = OnOffEnvelope(ramp_hours=0.0).factor(saturday_noon)
+        assert weekly.factor(saturday_noon) == pytest.approx(base * 0.5)
+
+    def test_week_periodicity(self):
+        from repro.workload.diurnal import WeeklyEnvelope
+
+        weekly = WeeklyEnvelope(DiurnalEnvelope(), weekend_factor=0.7)
+        hours = np.linspace(0.0, 24.0 * 7, 50)
+        a = weekly.factor(hours)
+        b = weekly.factor(hours + 24.0 * 7)
+        assert a == pytest.approx(b)
+
+    def test_validation(self):
+        from repro.workload.diurnal import WeeklyEnvelope
+
+        with pytest.raises(ValueError):
+            WeeklyEnvelope(OnOffEnvelope(), weekend_factor=0.0)
+
+    def test_timezone_shifts_weekend_boundary(self):
+        from repro.workload.diurnal import WeeklyEnvelope
+
+        weekly = WeeklyEnvelope(OnOffEnvelope(ramp_hours=0.0), weekend_factor=0.5)
+        # UTC hour 5*24+2 is still Friday evening at UTC-8 (local day 4).
+        boundary = np.array([5 * 24.0 + 2.0])
+        west = weekly.factor(boundary, utc_offset_hours=-8.0)
+        utc = weekly.factor(boundary, utc_offset_hours=0.0)
+        # At UTC it is Saturday (scaled); on the west coast still Friday.
+        base_west = OnOffEnvelope(ramp_hours=0.0).factor(boundary, utc_offset_hours=-8.0)
+        assert west == pytest.approx(base_west)
+        base_utc = OnOffEnvelope(ramp_hours=0.0).factor(boundary)
+        assert utc == pytest.approx(base_utc * 0.5)

@@ -1,0 +1,113 @@
+"""Tests for the workload characterization module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.characterization import (
+    WorkloadProfile,
+    characterize,
+    seasonal_strength,
+)
+from repro.workload.demand import build_demand_matrix
+from repro.workload.diurnal import OnOffEnvelope
+
+
+def _diurnal_demand(num_days=4, noise_cv=0.1, seed=0):
+    """Two locations with known diurnal shape plus lognormal noise."""
+    rng = np.random.default_rng(seed)
+    hours = np.arange(24 * num_days)
+    base = np.vstack(
+        [
+            50.0 + 30.0 * np.sin(2 * np.pi * hours / 24.0),
+            20.0 + 10.0 * np.cos(2 * np.pi * hours / 24.0),
+        ]
+    )
+    sigma = np.sqrt(np.log1p(noise_cv**2))
+    noise = rng.lognormal(-0.5 * sigma**2, sigma, size=base.shape)
+    return base, base * noise
+
+
+class TestCharacterize:
+    def test_recovers_seasonal_means(self):
+        base, observed = _diurnal_demand(num_days=40)
+        profile = characterize(observed, season_length=24)
+        expected = profile.expected_rates(24)
+        assert expected == pytest.approx(base[:, :24], rel=0.1)
+
+    def test_recovers_residual_cv(self):
+        _, observed = _diurnal_demand(num_days=60, noise_cv=0.25)
+        profile = characterize(observed, season_length=24)
+        assert profile.residual_cv == pytest.approx([0.25, 0.25], rel=0.2)
+
+    def test_noise_free_has_zero_cv_and_exact_means(self):
+        base, _ = _diurnal_demand(num_days=3, noise_cv=0.0)
+        profile = characterize(base, season_length=24)
+        assert profile.residual_cv == pytest.approx([0.0, 0.0], abs=1e-9)
+        assert profile.expected_rates(24) == pytest.approx(base[:, :24])
+
+    def test_needs_a_full_season(self):
+        with pytest.raises(ValueError, match="full season"):
+            characterize(np.ones((1, 10)), season_length=24)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            characterize(-np.ones((1, 24)), season_length=24)
+        with pytest.raises(ValueError):
+            characterize(np.ones(24), season_length=24)
+
+
+class TestGenerate:
+    def test_generated_statistics_match_profile(self, rng):
+        base, observed = _diurnal_demand(num_days=30, noise_cv=0.2)
+        profile = characterize(observed, season_length=24)
+        synthetic = profile.generate(24 * 60, rng)
+        refit = characterize(synthetic, season_length=24)
+        assert refit.seasonal_means == pytest.approx(
+            profile.seasonal_means, rel=0.12
+        )
+        assert refit.residual_cv == pytest.approx(profile.residual_cv, rel=0.3)
+
+    def test_generation_is_nonnegative(self, rng):
+        _, observed = _diurnal_demand(num_days=5, noise_cv=0.5)
+        profile = characterize(observed, season_length=24)
+        synthetic = profile.generate(500, rng)
+        assert np.all(synthetic >= 0)
+
+    def test_phase_offset(self):
+        base, _ = _diurnal_demand(num_days=2, noise_cv=0.0)
+        profile = characterize(base, season_length=24)
+        shifted = profile.expected_rates(24, start_phase=6)
+        assert shifted[:, 0] == pytest.approx(profile.seasonal_means[:, 6])
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                locations=("a",),
+                seasonal_means=np.ones((2, 24)),
+                residual_cv=np.zeros(1),
+                season_length=24,
+            )
+
+
+class TestSeasonalStrength:
+    def test_pure_seasonal_is_one(self):
+        base, _ = _diurnal_demand(num_days=4, noise_cv=0.0)
+        assert seasonal_strength(base) == pytest.approx(1.0, abs=1e-9)
+
+    def test_noise_reduces_strength(self):
+        _, noisy = _diurnal_demand(num_days=20, noise_cv=0.6, seed=1)
+        _, clean = _diurnal_demand(num_days=20, noise_cv=0.05, seed=1)
+        assert seasonal_strength(noisy) < seasonal_strength(clean)
+
+    def test_white_noise_is_weak(self):
+        rng = np.random.default_rng(4)
+        noise = rng.uniform(10.0, 20.0, size=(2, 24 * 20))
+        assert seasonal_strength(noise) < 0.3
+
+    def test_paper_workload_is_strongly_seasonal(self):
+        matrix = build_demand_matrix(
+            800.0, 24 * 7, envelope=OnOffEnvelope(), rng=np.random.default_rng(0)
+        )
+        assert seasonal_strength(matrix.rates) > 0.7
