@@ -19,6 +19,9 @@ The package is organized bottom-up:
 * :mod:`repro.simulation` — discrete-time engine gluing everything together.
 * :mod:`repro.baselines` — static/reactive/greedy placement baselines.
 * :mod:`repro.experiments` — per-figure reproduction harnesses (Figs. 3–10).
+* :mod:`repro.contracts` — opt-in runtime shape/dtype contracts
+  (``REPRO_CONTRACTS=1``) backing the static guarantees of
+  :mod:`repro.devtools.lint` (`reprolint`, the repo-specific linter).
 
 The most commonly used entry points are re-exported lazily at the top level,
 so ``from repro import solve_dspp, MPCController`` works without importing
@@ -50,6 +53,8 @@ _EXPORTS = {
     "load_scenario": ("repro.io", "load_scenario"),
     "generate_report": ("repro.report", "generate_report"),
     "analyze_run": ("repro.analysis", "analyze_run"),
+    "check_shapes": ("repro.contracts", "check_shapes"),
+    "ShapeContractError": ("repro.contracts", "ShapeContractError"),
 }
 
 __all__ = ["__version__", *sorted(_EXPORTS)]

@@ -9,8 +9,21 @@ fleet moved.  Everything here is read-only over the result objects.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+__all__ = [
+    "cost_by_datacenter",
+    "utilization",
+    "movement_by_datacenter",
+    "RunAnalysis",
+    "analyze_run",
+]
+
+if TYPE_CHECKING:
+    from repro.control.loop import ClosedLoopResult
+    from repro.core.instance import DSPPInstance
 
 
 def cost_by_datacenter(
@@ -120,7 +133,7 @@ class RunAnalysis:
     busiest_datacenter: int
 
 
-def analyze_run(result, instance) -> RunAnalysis:
+def analyze_run(result: ClosedLoopResult, instance: DSPPInstance) -> RunAnalysis:
     """Full analysis of a :class:`~repro.control.loop.ClosedLoopResult`.
 
     Args:

@@ -15,6 +15,8 @@ from repro.core.costs import CostBreakdown, total_cost
 from repro.core.instance import DSPPInstance
 from repro.core.state import Trajectory
 
+__all__ = ["BaselineResult", "score_states", "greedy_assignment_states"]
+
 
 @dataclass(frozen=True)
 class BaselineResult:

@@ -14,6 +14,8 @@ import numpy as np
 from repro.baselines.common import BaselineResult, greedy_assignment_states, score_states
 from repro.core.instance import DSPPInstance
 
+__all__ = ["run_cost_greedy"]
+
 
 def run_cost_greedy(
     instance: DSPPInstance,

@@ -14,6 +14,8 @@ import numpy as np
 from repro.baselines.common import BaselineResult, greedy_assignment_states, score_states
 from repro.core.instance import DSPPInstance
 
+__all__ = ["run_nearest_datacenter"]
+
 
 def run_nearest_datacenter(
     instance: DSPPInstance,

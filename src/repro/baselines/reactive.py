@@ -15,6 +15,8 @@ from repro.baselines.common import BaselineResult, score_states
 from repro.core.instance import DSPPInstance
 from repro.core.static import solve_static_placement
 
+__all__ = ["run_reactive"]
+
 
 def run_reactive(
     instance: DSPPInstance,

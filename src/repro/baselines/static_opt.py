@@ -14,6 +14,8 @@ from repro.baselines.common import BaselineResult, score_states
 from repro.core.instance import DSPPInstance
 from repro.core.static import solve_static_placement
 
+__all__ = ["run_static_optimal"]
+
 
 def run_static_optimal(
     instance: DSPPInstance,

@@ -30,6 +30,8 @@ from repro.experiments.fig8_horizon_convergence import run_fig8
 from repro.experiments.fig9_horizon_cost_volatile import run_fig9
 from repro.experiments.fig10_horizon_cost_constant import run_fig10
 
+__all__ = ["build_parser", "main"]
+
 _DESCRIPTIONS = {
     "fig3": "electricity prices of the data-center regions over one day",
     "fig4": "allocation tracks fluctuating demand (1 DC, 1 access network)",

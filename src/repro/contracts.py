@@ -1,0 +1,240 @@
+"""Runtime shape/dtype contracts for array-valued boundaries.
+
+:func:`check_shapes` turns the shape conventions written in docstrings
+(``P: (n, n)``, ``demand: (V, T)``) into *checkable* contracts::
+
+    @check_shapes("P:(n,n)", "q:(n,)", "A:(m,n)", "l:(m,)", "u:(m,)")
+    def solve_qp(P, q, A, l, u, ...): ...
+
+Dimension tokens are either integer literals or symbols; every occurrence
+of a symbol within one call must resolve to the same size, so ``q`` being
+``(4,)`` while ``P`` is ``(5, 5)`` raises a :class:`ShapeContractError`
+naming the argument, the expected shape (with the symbol bindings that
+produced it) and the actual shape.  An optional trailing dtype kind
+(``"D:(V,T):float"``) additionally checks ``dtype.kind``.
+
+The whole layer is **opt-in**: unless the environment variable
+``REPRO_CONTRACTS`` is set to ``1`` when the decorated module is imported,
+:func:`check_shapes` returns the function unchanged — zero wrappers, zero
+per-call overhead.  CI runs the tier-1 suite with ``REPRO_CONTRACTS=1`` so
+the contracts are exercised on every push; production runs pay nothing.
+
+`reprolint` (:mod:`repro.devtools.lint`) is the static half of the same
+effort: RL-rules guarantee what can be checked without running the code,
+and these contracts guard what cannot.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import re
+from collections.abc import Callable
+from typing import Any, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "ShapeContractError",
+    "check_shapes",
+    "contracts_enabled",
+]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_SPEC_RE = re.compile(
+    r"^\s*(?P<name>\w+)\s*:\s*\((?P<dims>[^)]*)\)\s*(?::\s*(?P<kind>float|int|bool))?\s*$"
+)
+_RET_RE = re.compile(
+    r"^\s*\((?P<dims>[^)]*)\)\s*(?::\s*(?P<kind>float|int|bool))?\s*$"
+)
+_KIND_CODES = {"float": "f", "int": "iu", "bool": "b"}
+
+
+class ShapeContractError(ValueError):
+    """An argument or return value violated its declared shape contract.
+
+    Subclasses :class:`ValueError` so call sites that already guard
+    against malformed numerical inputs keep working when contracts are
+    enabled.
+    """
+
+
+def contracts_enabled() -> bool:
+    """Whether ``REPRO_CONTRACTS=1`` is set (checked at decoration time)."""
+    return os.environ.get("REPRO_CONTRACTS", "") == "1"
+
+
+def _parse_dims(raw: str, spec: str) -> tuple[int | str, ...]:
+    dims: list[int | str] = []
+    for token in (part.strip() for part in raw.split(",")):
+        if not token:
+            continue
+        if token.lstrip("-").isdigit():
+            dims.append(int(token))
+        elif token.isidentifier():
+            dims.append(token)
+        else:
+            raise ValueError(f"invalid dimension token {token!r} in spec {spec!r}")
+    return tuple(dims)
+
+
+def _parse_arg_spec(spec: str) -> tuple[str, tuple[int | str, ...], str | None]:
+    match = _SPEC_RE.match(spec)
+    if match is None:
+        raise ValueError(
+            f"invalid shape spec {spec!r}; expected 'name:(d1,d2,...)' with "
+            "optional ':float'/':int'/':bool' suffix"
+        )
+    return (
+        match.group("name"),
+        _parse_dims(match.group("dims"), spec),
+        match.group("kind"),
+    )
+
+
+def _parse_ret_spec(spec: str) -> tuple[tuple[int | str, ...], str | None]:
+    match = _RET_RE.match(spec)
+    if match is None:
+        raise ValueError(
+            f"invalid return spec {spec!r}; expected '(d1,d2,...)' with "
+            "optional ':float'/':int'/':bool' suffix"
+        )
+    return _parse_dims(match.group("dims"), spec), match.group("kind")
+
+
+def _actual_shape(value: Any) -> tuple[int, ...] | None:
+    shape = getattr(value, "shape", None)
+    if shape is not None:
+        return tuple(int(dim) for dim in shape)
+    try:
+        coerced = np.asarray(value)
+    except Exception:  # not array-like at all
+        return None
+    if coerced.dtype == object:  # asarray swallows arbitrary objects
+        return None
+    return coerced.shape
+
+
+def _expected_repr(dims: tuple[int | str, ...], bindings: dict[str, int]) -> str:
+    rendered = ", ".join(
+        f"{dim}={bindings[dim]}" if isinstance(dim, str) and dim in bindings else str(dim)
+        for dim in dims
+    )
+    if len(dims) == 1:
+        rendered += ","
+    return f"({rendered})"
+
+
+def _check_value(
+    func_name: str,
+    label: str,
+    value: Any,
+    dims: tuple[int | str, ...],
+    kind: str | None,
+    bindings: dict[str, int],
+    bound_by: dict[str, str],
+) -> None:
+    shape = _actual_shape(value)
+    if shape is None:
+        raise ShapeContractError(
+            f"{func_name}(): {label} is not array-like "
+            f"(got {type(value).__name__}) but declares shape "
+            f"{_expected_repr(dims, bindings)}"
+        )
+    if len(shape) != len(dims):
+        raise ShapeContractError(
+            f"{func_name}(): {label} expected {len(dims)}-d shape "
+            f"{_expected_repr(dims, bindings)}, got {len(shape)}-d shape {shape}"
+        )
+    for axis, (dim, size) in enumerate(zip(dims, shape)):
+        if isinstance(dim, int):
+            if size != dim:
+                raise ShapeContractError(
+                    f"{func_name}(): {label} axis {axis} expected {dim}, "
+                    f"got shape {shape}"
+                )
+        elif dim in bindings:
+            if size != bindings[dim]:
+                raise ShapeContractError(
+                    f"{func_name}(): {label} expected shape "
+                    f"{_expected_repr(dims, bindings)} with {dim}={bindings[dim]} "
+                    f"(bound by {bound_by[dim]}), got {shape}"
+                )
+        else:
+            bindings[dim] = size
+            bound_by[dim] = label
+    if kind is not None:
+        dtype = getattr(value, "dtype", None)
+        actual_kind = dtype.kind if dtype is not None else np.asarray(value).dtype.kind
+        if actual_kind not in _KIND_CODES[kind]:
+            raise ShapeContractError(
+                f"{func_name}(): {label} expected dtype kind {kind!r}, "
+                f"got dtype {dtype if dtype is not None else 'object'}"
+            )
+
+
+def check_shapes(*arg_specs: str, ret: str | None = None) -> Callable[[F], F]:
+    """Declare shape (and optional dtype-kind) contracts on a function.
+
+    Args:
+        arg_specs: one ``"name:(d1,d2,...)"`` string per checked argument;
+            dimensions are integer literals or symbols shared across the
+            whole call (including ``ret``).  A trailing ``:float``,
+            ``:int`` or ``:bool`` also checks the dtype kind.  Arguments
+            passed as ``None`` are skipped (optional-array convention).
+        ret: optional ``"(d1,d2,...)"`` contract for the return value.
+
+    Returns:
+        A decorator.  When ``REPRO_CONTRACTS`` is not ``1`` at decoration
+        time it returns the function *unchanged*; otherwise the wrapper
+        validates every call and raises :class:`ShapeContractError` with
+        the offending argument, the expected shape under the current
+        symbol bindings, and the actual shape.
+
+    Raises:
+        ValueError: immediately, if a spec string is malformed or names a
+            parameter the function does not have (contracts that cannot
+            fire are bugs, and are rejected even when disabled).
+    """
+    parsed = [_parse_arg_spec(spec) for spec in arg_specs]
+    parsed_ret = _parse_ret_spec(ret) if ret is not None else None
+
+    def decorate(func: F) -> F:
+        signature = inspect.signature(func)
+        for name, _, _ in parsed:
+            if name not in signature.parameters:
+                raise ValueError(
+                    f"check_shapes: {func.__qualname__} has no parameter {name!r}"
+                )
+        if not contracts_enabled():
+            return func
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            bound = signature.bind(*args, **kwargs)
+            bindings: dict[str, int] = {}
+            bound_by: dict[str, str] = {}
+            for name, dims, kind in parsed:
+                if name not in bound.arguments:
+                    continue
+                value = bound.arguments[name]
+                if value is None:
+                    continue
+                _check_value(
+                    func.__qualname__, f"argument '{name}'", value, dims, kind,
+                    bindings, bound_by,
+                )
+            result = func(*args, **kwargs)
+            if parsed_ret is not None and result is not None:
+                ret_dims, ret_kind = parsed_ret
+                _check_value(
+                    func.__qualname__, "return value", result, ret_dims, ret_kind,
+                    bindings, bound_by,
+                )
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+__all__ = ["effective_horizon", "forecast_window"]
+
 
 def effective_horizon(window: int, current_period: int, total_periods: int | None) -> int:
     """The usable horizon at ``current_period``.

@@ -23,6 +23,8 @@ import numpy as np
 from repro.control.mpc import MPCController, MPCStep
 from repro.core.integer import round_repair
 
+__all__ = ["IntegerMPCController"]
+
 
 class IntegerMPCController(MPCController):
     """Drop-in MPC controller whose applied states are integers.

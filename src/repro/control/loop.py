@@ -22,6 +22,8 @@ from repro.control.mpc import MPCController, MPCStep
 from repro.core.costs import CostBreakdown
 from repro.core.state import Trajectory
 
+__all__ = ["ClosedLoopResult", "run_closed_loop"]
+
 
 @dataclass(frozen=True)
 class ClosedLoopResult:

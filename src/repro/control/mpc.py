@@ -19,13 +19,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.contracts import check_shapes
 from repro.core.dspp import DSPPSolution, solve_dspp
 from repro.core.instance import DSPPInstance
 from repro.prediction.base import Predictor
 from repro.solvers.qp import QPSettings, QPSolution
 
+__all__ = ["MPCConfig", "MPCStep", "MPCController"]
 
-@dataclass
+
+@dataclass(frozen=True)
 class MPCConfig:
     """Controller configuration.
 
@@ -143,6 +146,7 @@ class MPCController:
         self.demand_predictor.reset()
         self.price_predictor.reset()
 
+    @check_shapes("observed_demand:(V,)", "observed_prices:(L,)")
     def step(
         self,
         observed_demand: np.ndarray,

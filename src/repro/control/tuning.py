@@ -26,6 +26,8 @@ from repro.control.mpc import MPCConfig, MPCController
 from repro.core.instance import DSPPInstance
 from repro.prediction.base import Predictor
 
+__all__ = ["PredictorPairFactory", "WindowSelection", "select_window"]
+
 PredictorPairFactory = Callable[[], tuple[Predictor, Predictor]]
 
 

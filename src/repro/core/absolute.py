@@ -28,6 +28,8 @@ import scipy.sparse as sp
 from repro.core.instance import DSPPInstance
 from repro.core.state import Trajectory
 
+__all__ = ["L1DSPPInfeasibleError", "L1DSPPSolution", "solve_dspp_l1"]
+
 
 class L1DSPPInfeasibleError(RuntimeError):
     """The L1-penalty DSPP admits no feasible allocation."""

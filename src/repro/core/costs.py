@@ -12,6 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = ["allocation_cost", "reconfiguration_cost", "CostBreakdown", "total_cost"]
+
 
 def allocation_cost(states: np.ndarray, prices: np.ndarray) -> np.ndarray:
     """Per-period resource cost ``H_k = sum_lv x_k^{lv} p_k^l`` (eq. 3).

@@ -11,11 +11,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.contracts import check_shapes
 from repro.core.costs import CostBreakdown, total_cost
 from repro.core.instance import DSPPInstance
 from repro.core.matrices import build_stacked_qp
 from repro.core.state import Trajectory
 from repro.solvers.qp import QPSettings, QPSolution, QPStatus, solve_qp
+
+__all__ = ["DSPPInfeasibleError", "DSPPSolution", "solve_dspp"]
 
 
 class DSPPInfeasibleError(RuntimeError):
@@ -62,6 +65,7 @@ class DSPPSolution:
         return self.trajectory.controls[0].copy()
 
 
+@check_shapes("demand:(V,T)", "prices:(L,T)")
 def solve_dspp(
     instance: DSPPInstance,
     demand: np.ndarray,

@@ -14,6 +14,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+__all__ = ["DSPPInstance"]
+
 
 @dataclass(frozen=True)
 class DSPPInstance:

@@ -32,6 +32,14 @@ from repro.core.instance import DSPPInstance
 from repro.core.state import Trajectory
 from repro.solvers.qp import QPSettings
 
+__all__ = [
+    "IntegerRepairError",
+    "round_up",
+    "round_repair",
+    "IntegerDSPPSolution",
+    "solve_dspp_integer",
+]
+
 _CEIL_EPS = 1e-9
 
 

@@ -30,7 +30,10 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.contracts import check_shapes
 from repro.core.instance import DSPPInstance
+
+__all__ = ["PairIndexer", "StackedQP", "build_stacked_qp"]
 
 
 @dataclass(frozen=True)
@@ -136,6 +139,7 @@ class StackedQP:
         return np.maximum(rows, 0.0).reshape(T, L)
 
 
+@check_shapes("demand:(V,T)", "prices:(L,T)")
 def build_stacked_qp(
     instance: DSPPInstance,
     demand: np.ndarray,

@@ -11,6 +11,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = ["roll_out_states", "Trajectory"]
+
 _CONSISTENCY_ATOL = 1e-6
 
 

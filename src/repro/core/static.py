@@ -23,6 +23,12 @@ import scipy.sparse as sp
 
 from repro.core.instance import DSPPInstance
 
+__all__ = [
+    "StaticPlacementInfeasibleError",
+    "StaticPlacement",
+    "solve_static_placement",
+]
+
 
 class StaticPlacementInfeasibleError(RuntimeError):
     """The demand snapshot cannot be served within the capacities."""

@@ -1,0 +1,36 @@
+"""Development tooling for the DSPP reproduction.
+
+This package hosts `reprolint` (:mod:`repro.devtools.lint`), the
+repo-specific static-analysis pass that machine-checks the invariants the
+numerical code relies on: injected randomness, complete annotations,
+no aliasing mutation in the solver layers, tolerance-based float
+comparisons, frozen problem-data containers and explicit public APIs.
+
+Run it as ``python -m repro.devtools.lint src``.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+__all__ = [
+    "Diagnostic",
+    "LintRule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+
+# Lazy re-export: importing the package must not pre-import `lint` into
+# sys.modules, or `python -m repro.devtools.lint` trips runpy's
+# found-in-sys.modules RuntimeWarning.
+def __getattr__(name: str) -> Any:
+    if name in __all__:
+        return getattr(importlib.import_module("repro.devtools.lint"), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

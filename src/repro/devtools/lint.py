@@ -1,0 +1,550 @@
+"""`reprolint` — repo-specific static analysis for the DSPP reproduction.
+
+The failure mode of ~11k LoC of numerical control/optimization code is
+never a crash: it is a silently wrong shape, a caller array mutated through
+an alias, or an unseeded RNG that makes a figure non-reproducible.  This
+module encodes the conventions that prevent those failures as machine-
+checked AST rules:
+
+======  ==============================================================
+Rule    Invariant
+======  ==============================================================
+RL001   No global ``np.random.*`` calls outside ``workload/`` fixtures;
+        randomness must flow through an injected, explicitly seeded
+        ``np.random.Generator`` (``np.random.default_rng(seed)``).
+RL002   Public functions must have complete parameter and return
+        annotations.
+RL003   No in-place mutation of ndarray parameters (``x[...] = ``,
+        ``x += ``) inside ``solvers/``, ``control/`` and ``game/``
+        unless the function name ends in ``_inplace``.
+RL004   No ``==`` / ``!=`` against float literals — use ``np.isclose``
+        or an explicit tolerance.
+RL005   Dataclasses holding solver/problem data (names ending in
+        ``Problem``, ``Instance``, ``Settings``, ``Config``, ``Params``
+        or ``Spec``) must be declared ``frozen=True``.
+RL006   Every module must declare ``__all__``.
+======  ==============================================================
+
+Any rule is suppressible on a single line with a trailing
+``# reprolint: disable=RL001`` (comma-separated lists and ``all`` are
+accepted), or for a whole file with ``# reprolint: disable-file=RL001``
+on its own line.
+
+Run as ``python -m repro.devtools.lint src`` — exit code 0 when clean,
+1 when diagnostics were emitted, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import enum
+import re
+import sys
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Diagnostic",
+    "LintRule",
+    "RULES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+
+class LintRule(enum.Enum):
+    """Identifiers of the reprolint rules."""
+
+    RL001 = "RL001"
+    RL002 = "RL002"
+    RL003 = "RL003"
+    RL004 = "RL004"
+    RL005 = "RL005"
+    RL006 = "RL006"
+
+
+RULES: dict[LintRule, str] = {
+    LintRule.RL001: "global np.random call; inject a seeded np.random.Generator",
+    LintRule.RL002: "public function with incomplete parameter/return annotations",
+    LintRule.RL003: "in-place mutation of an ndarray parameter outside *_inplace",
+    LintRule.RL004: "float literal ==/!= comparison; use np.isclose or a tolerance",
+    LintRule.RL005: "solver/problem dataclass must be frozen=True",
+    LintRule.RL006: "module does not declare __all__",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One reprolint finding.
+
+    Attributes:
+        path: file the finding is in (as given to the linter).
+        line: 1-based line number.
+        col: 0-based column offset.
+        rule: the violated :class:`LintRule`.
+        message: human-readable description, specific to the site.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: LintRule
+    message: str
+
+    def format(self) -> str:
+        """Render as the canonical ``path:line:col: RLxxx message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule.value} {self.message}"
+
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Za-z0-9,\s]+)")
+
+# RL001: attributes of np.random that are legitimate under dependency
+# injection — constructing an explicitly seeded generator or referring to
+# the Generator/SeedSequence/BitGenerator types in annotations.
+_RL001_ALLOWED_ATTRS = frozenset(
+    {"Generator", "default_rng", "SeedSequence", "BitGenerator", "PCG64"}
+)
+
+# RL003: packages in which ndarray parameters are contractually read-only.
+_RL003_PACKAGES = ("solvers", "control", "game")
+
+# RL003: rebinding a parameter name to one of these constructors severs the
+# alias to the caller's array, so later element assignment is private.
+_RL003_FRESHENING_CALLS = frozenset(
+    {
+        "copy",
+        "array",
+        "zeros",
+        "zeros_like",
+        "empty",
+        "empty_like",
+        "ones",
+        "ones_like",
+        "full",
+        "full_like",
+        "tile",
+        "repeat",
+        "concatenate",
+        "stack",
+        "astype",
+    }
+)
+
+# RL005: dataclass name suffixes that mark problem/solver data containers.
+_RL005_SUFFIXES = ("Problem", "Instance", "Settings", "Config", "Params", "Spec")
+
+
+def _parse_rule_names(raw: str) -> set[str]:
+    names = {part.strip().upper() for part in raw.split(",") if part.strip()}
+    if "ALL" in names:
+        return {rule.value for rule in LintRule}
+    return names
+
+
+def _collect_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Map line number -> suppressed rule names, plus file-wide suppressions."""
+    per_line: dict[int, set[str]] = {}
+    whole_file: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_FILE_RE.search(text)
+        if match:
+            whole_file |= _parse_rule_names(match.group(1))
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            per_line.setdefault(lineno, set()).update(_parse_rule_names(match.group(1)))
+    return per_line, whole_file
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything more dynamic."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_public_path(posix_path: str, part: str) -> bool:
+    return f"/{part}/" in posix_path or posix_path.startswith(f"{part}/")
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass AST visitor accumulating diagnostics for one module."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.posix = Path(path).as_posix()
+        self.diagnostics: list[Diagnostic] = []
+        self._class_stack: list[str] = []
+        self._function_depth = 0
+        self._in_workload = _is_public_path(self.posix, "workload")
+        self._rl003_active = any(
+            _is_public_path(self.posix, pkg) for pkg in _RL003_PACKAGES
+        )
+
+    def emit(self, node: ast.AST, rule: LintRule, message: str) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # -- RL001 ---------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._in_workload:
+            dotted = _dotted_name(node.func)
+            if dotted is not None:
+                parts = dotted.split(".")
+                if len(parts) >= 3 and parts[-3] in ("np", "numpy") and parts[-2] == "random":
+                    attr = parts[-1]
+                    if attr not in _RL001_ALLOWED_ATTRS:
+                        self.emit(
+                            node,
+                            LintRule.RL001,
+                            f"call to global np.random.{attr}(); "
+                            "inject an np.random.Generator instead",
+                        )
+                    elif attr == "default_rng" and not node.args and not node.keywords:
+                        self.emit(
+                            node,
+                            LintRule.RL001,
+                            "np.random.default_rng() without a seed is "
+                            "non-reproducible; pass an explicit seed",
+                        )
+        self.generic_visit(node)
+
+    # -- RL002 / RL003 -------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+
+    def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        is_nested = self._function_depth > 0
+        if not is_nested and self._is_public_function(node):
+            self._check_annotations(node)
+        if self._rl003_active and not node.name.endswith("_inplace"):
+            self._check_param_mutation(node)
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    def _is_public_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        if node.name.startswith("_"):
+            return False
+        return all(not name.startswith("_") for name in self._class_stack)
+
+    def _check_annotations(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        missing: list[str] = []
+        positional = args.posonlyargs + args.args
+        skip_first = bool(self._class_stack) and not any(
+            isinstance(dec, ast.Name) and dec.id == "staticmethod"
+            for dec in node.decorator_list
+        )
+        for index, arg in enumerate(positional):
+            if skip_first and index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in (args.vararg, args.kwarg):
+            if arg is not None and arg.annotation is None:
+                missing.append(f"*{arg.arg}")
+        if missing:
+            self.emit(
+                node,
+                LintRule.RL002,
+                f"public function '{node.name}' missing parameter annotations: "
+                + ", ".join(missing),
+            )
+        if node.returns is None:
+            self.emit(
+                node,
+                LintRule.RL002,
+                f"public function '{node.name}' missing a return annotation",
+            )
+
+    def _check_param_mutation(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        args = node.args
+        params = {
+            arg.arg
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+            if arg.arg not in ("self", "cls")
+        }
+        if not params:
+            return
+        # A plain rebinding to a fresh array (x = x.copy(), x = np.zeros(...))
+        # severs the alias to the caller's buffer from that line onward.
+        freshened: dict[str, int] = {}
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in params
+                    and isinstance(stmt.value, ast.Call)
+                ):
+                    func = stmt.value.func
+                    attr = (
+                        func.attr
+                        if isinstance(func, ast.Attribute)
+                        else func.id
+                        if isinstance(func, ast.Name)
+                        else None
+                    )
+                    if attr in _RL003_FRESHENING_CALLS:
+                        line = freshened.get(target.id, stmt.lineno)
+                        freshened[target.id] = min(line, stmt.lineno)
+
+        def aliased(name: str, lineno: int) -> bool:
+            return name in params and lineno <= freshened.get(name, lineno)
+
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    self._flag_subscript_store(target, aliased)
+            elif isinstance(stmt, ast.AugAssign):
+                target = stmt.target
+                if isinstance(target, ast.Name) and aliased(target.id, stmt.lineno):
+                    self.emit(
+                        stmt,
+                        LintRule.RL003,
+                        f"augmented assignment mutates parameter '{target.id}' "
+                        "in place; operate on a copy or rename to *_inplace",
+                    )
+                else:
+                    self._flag_subscript_store(target, aliased)
+
+    def _flag_subscript_store(
+        self, target: ast.expr, aliased: Callable[[str, int], bool]
+    ) -> None:
+        if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+            name = target.value.id
+            if aliased(name, target.lineno):
+                self.emit(
+                    target,
+                    LintRule.RL003,
+                    f"element assignment mutates parameter '{name}' in place; "
+                    "copy it first or rename the function to *_inplace",
+                )
+
+    # -- RL004 ---------------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if isinstance(side, ast.Constant) and isinstance(side.value, float):
+                    self.emit(
+                        node,
+                        LintRule.RL004,
+                        f"exact float comparison against {side.value!r}; "
+                        "use np.isclose or an explicit tolerance",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- RL005 ---------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        decorator = self._dataclass_decorator(node)
+        if (
+            decorator is not None
+            and not node.name.startswith("_")
+            and node.name.endswith(_RL005_SUFFIXES)
+            and not self._dataclass_is_frozen(decorator)
+        ):
+            self.emit(
+                node,
+                LintRule.RL005,
+                f"dataclass '{node.name}' holds problem/solver data and must "
+                "be declared @dataclass(frozen=True)",
+            )
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    @staticmethod
+    def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            dotted = _dotted_name(target)
+            if dotted in ("dataclass", "dataclasses.dataclass"):
+                return dec
+        return None
+
+    @staticmethod
+    def _dataclass_is_frozen(decorator: ast.expr) -> bool:
+        if not isinstance(decorator, ast.Call):
+            return False
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen":
+                value = keyword.value
+                return isinstance(value, ast.Constant) and value.value is True
+        return False
+
+    # -- RL006 ---------------------------------------------------------
+
+    def check_module(self, tree: ast.Module) -> None:
+        if Path(self.path).name == "__main__.py":
+            has_all = True
+        else:
+            has_all = any(
+                isinstance(stmt, (ast.Assign, ast.AnnAssign))
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in (
+                        stmt.targets
+                        if isinstance(stmt, ast.Assign)
+                        else [stmt.target]
+                    )
+                )
+                for stmt in tree.body
+            )
+        if not has_all:
+            self.emit(
+                tree,
+                LintRule.RL006,
+                "module does not declare __all__; list its public API explicitly",
+            )
+        self.visit(tree)
+
+
+def lint_source(
+    source: str, path: str = "<string>", select: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Lint Python source text and return surviving diagnostics.
+
+    Args:
+        source: the module's source code.
+        path: path used in diagnostics and package-scoped rules (RL001's
+            ``workload/`` exemption, RL003's package filter).
+        select: optional iterable of rule names (e.g. ``{"RL004"}``);
+            when given, only these rules are reported.
+
+    Returns:
+        Diagnostics sorted by (line, column, rule), with per-line and
+        per-file suppression comments already applied.
+
+    Raises:
+        SyntaxError: if ``source`` does not parse.
+    """
+    tree = ast.parse(source, filename=path)
+    checker = _Checker(path)
+    checker.check_module(tree)
+    per_line, whole_file = _collect_suppressions(source)
+    selected = {name.upper() for name in select} if select is not None else None
+    results = []
+    for diag in checker.diagnostics:
+        rule = diag.rule.value
+        if rule in whole_file:
+            continue
+        if rule in per_line.get(diag.line, ()):
+            continue
+        if selected is not None and rule not in selected:
+            continue
+        results.append(diag)
+    return sorted(results, key=lambda d: (d.line, d.col, d.rule.value))
+
+
+def lint_file(path: Path, select: Iterable[str] | None = None) -> list[Diagnostic]:
+    """Lint one file; see :func:`lint_source`."""
+    return lint_source(path.read_text(encoding="utf-8"), str(path), select=select)
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[Path], select: Iterable[str] | None = None
+) -> list[Diagnostic]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    diagnostics: list[Diagnostic] = []
+    for file_path in _iter_python_files(paths):
+        diagnostics.extend(lint_file(file_path, select=select))
+    return diagnostics
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Repo-specific static analysis for the DSPP reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule subset to report (e.g. RL001,RL004)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule, summary in RULES.items():
+            print(f"{rule.value}  {summary}")
+        return 0
+    if not options.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in options.paths]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    select = _parse_rule_names(options.select) if options.select else None
+    if select is not None:
+        unknown = select - {rule.value for rule in LintRule}
+        if unknown:
+            print(
+                f"error: unknown rule(s) in --select: {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        diagnostics = lint_paths(paths, select=select)
+    except SyntaxError as exc:
+        print(f"error: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}", file=sys.stderr)
+        return 2
+    for diag in diagnostics:
+        print(diag.format())
+    if diagnostics:
+        print(f"reprolint: {len(diagnostics)} diagnostic(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

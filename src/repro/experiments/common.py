@@ -13,6 +13,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+__all__ = [
+    "FigureResult",
+    "format_figure",
+    "is_mostly_decreasing",
+    "is_mostly_increasing",
+]
+
 
 @dataclass
 class FigureResult:

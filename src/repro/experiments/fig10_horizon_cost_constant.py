@@ -23,6 +23,8 @@ from repro.experiments.common import FigureResult, is_mostly_decreasing
 from repro.prediction.oracle import OraclePredictor
 from repro.queueing.sla import sla_coefficient
 
+__all__ = ["run_fig10"]
+
 
 def run_fig10(
     horizons: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 8, 10, 12),

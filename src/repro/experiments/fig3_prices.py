@@ -18,6 +18,8 @@ from repro.experiments.common import FigureResult
 from repro.pricing.electricity import ElectricityPriceModel
 from repro.pricing.markets import region_for_datacenter
 
+__all__ = ["FIG3_DATACENTERS", "run_fig3"]
+
 FIG3_DATACENTERS: tuple[str, ...] = (
     "san_jose_ca",
     "dallas_tx",

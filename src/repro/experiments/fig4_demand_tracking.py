@@ -25,6 +25,8 @@ from repro.queueing.sla import sla_coefficient
 from repro.workload.diurnal import OnOffEnvelope
 from repro.workload.poisson import nhpp_counts
 
+__all__ = ["run_fig4"]
+
 
 def run_fig4(
     num_hours: int = 24,

@@ -30,6 +30,8 @@ from repro.pricing.electricity import ElectricityPriceModel
 from repro.pricing.markets import region_for_datacenter
 from repro.queueing.sla import SLAPolicy
 
+__all__ = ["FIG5_DATACENTERS", "FIG5_LATENCY_S", "run_fig5"]
+
 FIG5_DATACENTERS: tuple[str, ...] = ("mountain_view_ca", "houston_tx", "atlanta_ga")
 
 # One-way network latency (seconds) between the three data centers (rows)

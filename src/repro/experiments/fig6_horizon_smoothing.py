@@ -23,6 +23,8 @@ from repro.prediction.oracle import OraclePredictor
 from repro.queueing.sla import sla_coefficient
 from repro.workload.diurnal import DiurnalEnvelope
 
+__all__ = ["PAPER_HORIZONS", "run_fig6"]
+
 PAPER_HORIZONS: tuple[int, ...] = (1, 10, 20, 30)
 
 

@@ -29,6 +29,8 @@ from repro.experiments.common import FigureResult
 from repro.game.best_response import BestResponseConfig, compute_equilibrium
 from repro.game.players import random_providers
 
+__all__ = ["PAPER_BOTTLENECKS", "run_fig7"]
+
 PAPER_BOTTLENECKS: tuple[float, ...] = (100.0, 200.0, 300.0)
 
 

@@ -17,6 +17,8 @@ from repro.experiments.common import FigureResult, is_mostly_decreasing
 from repro.game.best_response import BestResponseConfig, compute_equilibrium
 from repro.game.players import random_providers
 
+__all__ = ["run_fig8"]
+
 
 def run_fig8(
     horizons: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),

@@ -26,6 +26,8 @@ from repro.experiments.common import FigureResult
 from repro.prediction.ar import ARPredictor
 from repro.queueing.sla import sla_coefficient
 
+__all__ = ["volatile_traces", "run_fig9"]
+
 
 def volatile_traces(
     num_periods: int,

@@ -23,6 +23,8 @@ from repro.game.equilibrium import verify_equilibrium
 from repro.game.players import ServiceProvider
 from repro.game.swp import solve_swp
 
+__all__ = ["EquilibriumSample", "AnarchyReport", "explore_equilibria"]
+
 
 @dataclass(frozen=True)
 class EquilibriumSample:

@@ -28,8 +28,10 @@ from repro.game.players import ServiceProvider
 from repro.solvers.dual import QuotaCoordinator
 from repro.solvers.qp import QPSettings
 
+__all__ = ["BestResponseConfig", "BestResponseResult", "compute_equilibrium"]
 
-@dataclass
+
+@dataclass(frozen=True)
 class BestResponseConfig:
     """Algorithm 2 parameters.
 

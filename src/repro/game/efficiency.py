@@ -18,6 +18,8 @@ from repro.game.best_response import BestResponseConfig, BestResponseResult, com
 from repro.game.players import ServiceProvider
 from repro.game.swp import SWPSolution, solve_swp
 
+__all__ = ["efficiency_ratio", "Theorem1Report", "verify_theorem1"]
+
 
 def efficiency_ratio(equilibrium_total_cost: float, social_optimum_cost: float) -> float:
     """``sum_i J_i(u*) / sum_i J_i(u_opt)`` — always >= 1 up to numerics.

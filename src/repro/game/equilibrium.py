@@ -17,6 +17,8 @@ from repro.core.dspp import DSPPSolution, solve_dspp
 from repro.game.players import ServiceProvider
 from repro.solvers.qp import QPSettings
 
+__all__ = ["DeviationReport", "verify_equilibrium"]
+
 
 @dataclass(frozen=True)
 class DeviationReport:

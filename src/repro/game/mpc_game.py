@@ -27,11 +27,19 @@ from repro.prediction.base import Predictor
 from repro.solvers.dual import QuotaCoordinator
 from repro.solvers.qp import QPSettings
 
+__all__ = [
+    "PredictorFactory",
+    "MPCGameConfig",
+    "MPCGamePeriod",
+    "MPCGameResult",
+    "run_mpc_game",
+]
+
 # Factory building one (demand, price) predictor pair per provider index.
 PredictorFactory = Callable[[int, ServiceProvider], tuple[Predictor, Predictor]]
 
 
-@dataclass
+@dataclass(frozen=True)
 class MPCGameConfig:
     """Closed-loop game parameters.
 

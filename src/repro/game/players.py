@@ -17,6 +17,8 @@ import numpy as np
 from repro.core.instance import DSPPInstance
 from repro.queueing.sla import sla_coefficient_matrix
 
+__all__ = ["ServiceProvider", "random_providers"]
+
 
 @dataclass(frozen=True)
 class ServiceProvider:

@@ -23,6 +23,8 @@ from repro.core.costs import total_cost
 from repro.game.players import ServiceProvider
 from repro.solvers.qp import QPSettings, QPStatus, solve_qp
 
+__all__ = ["SWPSolution", "SWPInfeasibleError", "solve_swp"]
+
 
 @dataclass(frozen=True)
 class SWPSolution:

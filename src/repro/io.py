@@ -20,6 +20,8 @@ from repro.queueing.sla import SLAPolicy
 from repro.simulation.scenario import Scenario
 from repro.topology.bipartite import BipartiteLatency
 
+__all__ = ["save_scenario", "load_scenario"]
+
 _FORMAT_VERSION = 1
 
 

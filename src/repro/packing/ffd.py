@@ -14,6 +14,13 @@ from dataclasses import dataclass
 
 import math
 
+__all__ = [
+    "BinPackingResult",
+    "first_fit_decreasing",
+    "is_divisible_ladder",
+    "optimal_bin_count_divisible",
+]
+
 
 @dataclass(frozen=True)
 class BinPackingResult:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+__all__ = ["VMSize", "doubling_ladder", "GOGRID_LADDER"]
+
 
 @dataclass(frozen=True)
 class VMSize:

@@ -13,6 +13,8 @@ import numpy as np
 
 from repro.prediction.base import Predictor
 
+__all__ = ["ARPredictor"]
+
 
 class ARPredictor(Predictor):
     """Per-series AR(p) with intercept, refit on every call.

@@ -12,6 +12,8 @@ import abc
 
 import numpy as np
 
+__all__ = ["Predictor"]
+
 
 class Predictor(abc.ABC):
     """Base class for multi-series one-shot forecasters.

@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.prediction.base import Predictor
 
+__all__ = ["MeanEnsemble", "BestRecentEnsemble"]
+
 
 class MeanEnsemble(Predictor):
     """Weighted average of member forecasts.

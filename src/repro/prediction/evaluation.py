@@ -14,6 +14,8 @@ import numpy as np
 
 from repro.prediction.base import Predictor
 
+__all__ = ["BacktestReport", "backtest"]
+
 
 @dataclass(frozen=True)
 class BacktestReport:

@@ -14,6 +14,8 @@ import numpy as np
 
 from repro.prediction.base import Predictor
 
+__all__ = ["HoltWintersPredictor"]
+
 
 class HoltWintersPredictor(Predictor):
     """Additive Holt–Winters with online updates.

@@ -12,6 +12,8 @@ import numpy as np
 
 from repro.prediction.base import Predictor
 
+__all__ = ["LastValuePredictor", "SeasonalNaivePredictor"]
+
 
 class LastValuePredictor(Predictor):
     """Flat persistence: every future period equals the last observation."""

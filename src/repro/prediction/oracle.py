@@ -12,6 +12,8 @@ import numpy as np
 
 from repro.prediction.base import Predictor
 
+__all__ = ["OraclePredictor"]
+
 
 class OraclePredictor(Predictor):
     """Predicts by reading the ground-truth future.

@@ -23,6 +23,13 @@ import numpy as np
 
 from repro.pricing.markets import Region
 
+__all__ = [
+    "PriceTrace",
+    "ElectricityPriceModel",
+    "generate_price_traces",
+    "constant_price_trace",
+]
+
 _PRICE_FLOOR_MWH = 5.0
 
 

@@ -12,6 +12,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+__all__ = [
+    "Region",
+    "REGIONS",
+    "region_for_datacenter",
+    "VMType",
+    "VM_TYPES",
+    "price_per_server_hour",
+]
+
 
 @dataclass(frozen=True)
 class Region:

@@ -20,6 +20,8 @@ import numpy as np
 
 from repro.pricing.electricity import PriceTrace
 
+__all__ = ["SpotMarketParams", "SpotPriceModel", "spot_savings_fraction"]
+
 
 @dataclass(frozen=True)
 class SpotMarketParams:

@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.pricing.electricity import PriceTrace
 
+__all__ = ["save_price_csv", "load_price_csv", "resample_trace"]
+
 
 def save_price_csv(path: str | Path, traces: dict[str, PriceTrace]) -> None:
     """Write traces (all of equal length) to ``path``.

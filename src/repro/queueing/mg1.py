@@ -26,6 +26,13 @@ import math
 
 import numpy as np
 
+__all__ = [
+    "mg1_sojourn_time",
+    "mg1_max_load",
+    "mg1_sla_coefficient",
+    "mg1_sla_coefficient_matrix",
+]
+
 
 def mg1_sojourn_time(
     arrival_rate: float, service_rate: float, scv: float
@@ -87,7 +94,7 @@ def mg1_max_load(service_rate: float, scv: float, max_delay: float) -> float:
             f"{1.0 / service_rate}"
         )
     gain = (1.0 + scv) / 2.0
-    if gain == 0.0:
+    if gain == 0.0:  # exact-zero guard  # reprolint: disable=RL004
         return service_rate  # zero-variance instantaneous-queue limit
     rho = budget / (budget + gain)
     return rho * service_rate

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = ["queueing_delay", "max_stable_arrival_rate", "required_servers", "MM1Queue"]
+
 
 def queueing_delay(servers: float, arrival_rate: float, service_rate: float) -> float:
     """Mean sojourn time ``q(x, sigma) = 1 / (mu - sigma/x)`` (eq. 7).

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = ["percentile_scale", "SLAPolicy", "sla_coefficient", "sla_coefficient_matrix"]
+
 
 def percentile_scale(phi: float | None) -> float:
     """The multiplicative delay factor ``ln(1/(1-phi))`` for percentile SLAs.

@@ -25,6 +25,8 @@ from repro.experiments.fig8_horizon_convergence import run_fig8
 from repro.experiments.fig9_horizon_cost_volatile import run_fig9
 from repro.experiments.fig10_horizon_cost_constant import run_fig10
 
+__all__ = ["ReportOptions", "generate_report", "write_report"]
+
 
 @dataclass(frozen=True)
 class ReportOptions:

@@ -22,6 +22,10 @@ import numpy as np
 import scipy.optimize as sopt
 import scipy.sparse as sp
 
+from repro.contracts import check_shapes
+
+__all__ = ["AssignmentInfeasibleError", "OptimalAssignment", "optimal_assignment"]
+
 
 class AssignmentInfeasibleError(RuntimeError):
     """The allocation cannot carry the demand under the SLA (eq. 12 fails)."""
@@ -41,6 +45,9 @@ class OptimalAssignment:
     total_weighted_latency: float
 
 
+@check_shapes(
+    "allocation:(L,V)", "demand:(V,)", "demand_coefficients:(L,V)", "latency:(L,V)"
+)
 def optimal_assignment(
     allocation: np.ndarray,
     demand: np.ndarray,

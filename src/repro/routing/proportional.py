@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
+__all__ = ["proportional_assignment"]
+
 
 def proportional_assignment(
     allocation: np.ndarray,

@@ -17,6 +17,8 @@ import numpy as np
 from repro.queueing.mm1 import queueing_delay
 from repro.routing.proportional import proportional_assignment
 
+__all__ = ["RoutingDecision", "RequestRouter"]
+
 
 @dataclass(frozen=True)
 class RoutingDecision:

@@ -25,6 +25,8 @@ from repro.simulation.metrics import MetricsCollector, RunSummary
 from repro.simulation.monitoring import MonitoringModule
 from repro.simulation.scenario import Scenario
 
+__all__ = ["SimulationResult", "SimulationEngine"]
+
 
 @dataclass(frozen=True)
 class SimulationResult:

@@ -21,6 +21,8 @@ from repro.control.mpc import MPCController, MPCStep
 from repro.core.costs import total_cost
 from repro.core.state import Trajectory
 
+__all__ = ["OutageEvent", "capacity_schedule", "run_closed_loop_with_failures"]
+
 
 @dataclass(frozen=True)
 class OutageEvent:

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+__all__ = ["RunSummary", "MetricsCollector"]
+
 
 @dataclass(frozen=True)
 class RunSummary:

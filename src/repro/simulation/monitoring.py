@@ -13,6 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = ["Observation", "MonitoringModule"]
+
 
 @dataclass(frozen=True)
 class Observation:

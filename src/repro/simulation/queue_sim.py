@@ -19,9 +19,19 @@ times, percentiles and the SLA inversion agree with simulated reality.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
+
+__all__ = [
+    "QueueSimResult",
+    "simulate_mm1",
+    "simulate_mg1",
+    "simulate_split_servers",
+    "validate_sla_empirically",
+    "simulate_mmc",
+]
 
 
 @dataclass(frozen=True)
@@ -109,7 +119,7 @@ def simulate_mm1(
 
 def simulate_mg1(
     arrival_rate: float,
-    service_sampler,
+    service_sampler: Callable[[np.random.Generator, int], np.ndarray],
     horizon: float,
     rng: np.random.Generator,
     warmup_fraction: float = 0.1,

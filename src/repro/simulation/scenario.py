@@ -29,6 +29,14 @@ from repro.workload.demand import DemandMatrix, build_demand_matrix
 from repro.workload.diurnal import OnOffEnvelope
 from repro.workload.spikes import FlashCrowd
 
+__all__ = [
+    "PAPER_DATACENTER_CAPACITY",
+    "PAPER_DATACENTER_KEYS",
+    "Scenario",
+    "build_paper_scenario",
+    "build_small_scenario",
+]
+
 # Default price scale: converts the (tiny) $/server-hour electricity cost
 # into the same order of magnitude as unit reconfiguration weights, keeping
 # the QP well-scaled.  It multiplies all prices equally, so it changes no

@@ -21,7 +21,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.contracts import check_shapes
 from repro.solvers.projections import project_simplex
+
+__all__ = ["QuotaUpdate", "QuotaCoordinator"]
 
 _MIN_SHARE = 1e-9
 
@@ -89,6 +92,7 @@ class QuotaCoordinator:
         view.setflags(write=False)
         return view
 
+    @check_shapes("duals:(providers,datacenters)")
     def update(self, duals: np.ndarray) -> QuotaUpdate:
         """Perform one coordination round.
 

@@ -11,10 +11,18 @@ post-processing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
+
+from repro.contracts import check_shapes
+
+__all__ = ["KKTResiduals", "kkt_residuals", "polish_solution"]
+
+if TYPE_CHECKING:
+    from repro.solvers.qp import QPProblem, QPSolution
 
 _ACTIVE_TOL = 1e-7
 _POLISH_REGULARIZATION = 1e-9
@@ -39,7 +47,8 @@ class KKTResiduals:
         return max(self.primal, self.dual, self.complementarity)
 
 
-def kkt_residuals(problem, x: np.ndarray, y: np.ndarray) -> KKTResiduals:
+@check_shapes("x:(n,)", "y:(m,)")
+def kkt_residuals(problem: QPProblem, x: np.ndarray, y: np.ndarray) -> KKTResiduals:
     """Compute KKT residuals of ``(x, y)`` for a :class:`~repro.solvers.qp.QPProblem`.
 
     The sign convention matches :class:`repro.solvers.qp.QPSolution`:
@@ -59,7 +68,7 @@ def kkt_residuals(problem, x: np.ndarray, y: np.ndarray) -> KKTResiduals:
     return KKTResiduals(primal=primal, dual=dual, complementarity=comp)
 
 
-def polish_solution(problem, solution):
+def polish_solution(problem: QPProblem, solution: QPSolution) -> QPSolution:
     """Refine an ADMM solution with one exact active-set KKT solve.
 
     Args:

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import numpy as np
 
+__all__ = ["project_box", "project_nonnegative", "project_halfspace", "project_simplex"]
+
 
 def project_box(z: np.ndarray, lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
     """Project ``z`` onto the box ``[lower, upper]`` componentwise.
@@ -51,7 +53,7 @@ def project_halfspace(z: np.ndarray, a: np.ndarray, b: float) -> np.ndarray:
             or empty, and the projection is not well defined as a halfspace).
     """
     norm_sq = float(np.dot(a, a))
-    if norm_sq == 0.0:
+    if norm_sq == 0.0:  # exact-zero guard  # reprolint: disable=RL004
         raise ValueError("halfspace normal must be nonzero")
     violation = float(np.dot(a, z)) - b
     if violation <= 0.0:

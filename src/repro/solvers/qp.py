@@ -21,13 +21,29 @@ active-set *polish* step refines the ADMM iterate to near machine precision.
 from __future__ import annotations
 
 import enum
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.contracts import check_shapes
 from repro.solvers.projections import project_box
+
+__all__ = [
+    "MatrixLike",
+    "VectorLike",
+    "QPStatus",
+    "QPProblem",
+    "QPSolution",
+    "QPSettings",
+    "solve_qp",
+]
+
+# Inputs the solver normalizes itself: dense array-likes or scipy sparse.
+MatrixLike = sp.spmatrix | np.ndarray | Sequence[Sequence[float]]
+VectorLike = np.ndarray | Sequence[float]
 
 _EQUALITY_RHO_SCALE = 1e3
 _RHO_MIN = 1e-6
@@ -63,7 +79,13 @@ class QPProblem:
     u: np.ndarray
 
     @staticmethod
-    def build(P, q, A, l, u) -> "QPProblem":
+    def build(
+        P: MatrixLike,
+        q: VectorLike,
+        A: MatrixLike,
+        l: VectorLike,
+        u: VectorLike,
+    ) -> "QPProblem":
         """Validate and normalize raw inputs into a :class:`QPProblem`.
 
         Accepts dense arrays or sparse matrices; symmetrizes ``P``.
@@ -133,7 +155,7 @@ class QPSolution:
         return self.status is QPStatus.OPTIMAL
 
 
-@dataclass
+@dataclass(frozen=True)
 class QPSettings:
     """Tuning knobs for the ADMM iteration.
 
@@ -255,7 +277,9 @@ def _rho_vector(problem: QPProblem, rho: float) -> np.ndarray:
     return np.clip(rho_vec, _RHO_MIN, _RHO_MAX)
 
 
-def _factorize(problem: QPProblem, sigma: float, rho_vec: np.ndarray):
+def _factorize(
+    problem: QPProblem, sigma: float, rho_vec: np.ndarray
+) -> spla.SuperLU:
     """Factorize the quasi-definite KKT matrix for the current rho vector."""
     n = problem.num_variables
     m = problem.num_constraints
@@ -267,7 +291,9 @@ def _factorize(problem: QPProblem, sigma: float, rho_vec: np.ndarray):
     return spla.splu(kkt)
 
 
-def _residuals(problem: QPProblem, x: np.ndarray, z: np.ndarray, y: np.ndarray):
+def _residuals(
+    problem: QPProblem, x: np.ndarray, z: np.ndarray, y: np.ndarray
+) -> tuple[float, float, float, float]:
     """Return (r_prim, r_dual, prim_scale, dual_scale) for termination tests."""
     ax = problem.A @ x
     px = problem.P @ x
@@ -322,12 +348,13 @@ def _check_dual_infeasible(problem: QPProblem, dx: np.ndarray, eps: float) -> bo
     return bool(upper_ok and lower_ok)
 
 
+@check_shapes("P:(n,n)", "q:(n,)", "A:(m,n)", "l:(m,)", "u:(m,)")
 def solve_qp(
-    P,
-    q,
-    A,
-    l,
-    u,
+    P: MatrixLike,
+    q: VectorLike,
+    A: MatrixLike,
+    l: VectorLike,
+    u: VectorLike,
     settings: QPSettings | None = None,
     warm_start: QPSolution | None = None,
 ) -> QPSolution:

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
+__all__ = ["BipartiteLatency", "extract_bipartite_latency"]
+
 
 @dataclass(frozen=True)
 class BipartiteLatency:

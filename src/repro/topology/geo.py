@@ -13,6 +13,15 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+__all__ = [
+    "City",
+    "DATACENTER_SITES",
+    "ACCESS_CITIES",
+    "great_circle_km",
+    "propagation_delay_ms",
+    "find_city",
+]
+
 _EARTH_RADIUS_KM = 6371.0088
 # Light in fiber travels at roughly 2/3 c; round-trip per km is ~0.01 ms.
 # We model one-way latency, ~5 microseconds per km.

@@ -32,6 +32,8 @@ from repro.topology.transit_stub import (
     TransitStubTopology,
 )
 
+__all__ = ["GTITMConfig", "build_gtitm"]
+
 
 @dataclass(frozen=True)
 class GTITMConfig:

@@ -26,6 +26,8 @@ import networkx as nx
 
 from repro.topology.geo import ACCESS_CITIES, City, great_circle_km, propagation_delay_ms
 
+__all__ = ["BackboneTopology", "build_tier1_backbone", "parse_rocketfuel_weights"]
+
 
 @dataclass(frozen=True)
 class BackboneTopology:

@@ -23,6 +23,15 @@ import numpy as np
 
 from repro.topology.rocketfuel import BackboneTopology
 
+__all__ = [
+    "INTRA_TRANSIT_LATENCY_MS",
+    "STUB_TRANSIT_LATENCY_MS",
+    "INTRA_STUB_LATENCY_MS",
+    "TransitStubConfig",
+    "TransitStubTopology",
+    "build_transit_stub",
+]
+
 # Paper's link-latency constants (ms).
 INTRA_TRANSIT_LATENCY_MS = 20.0
 STUB_TRANSIT_LATENCY_MS = 5.0

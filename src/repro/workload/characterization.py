@@ -22,6 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = ["WorkloadProfile", "characterize", "seasonal_strength"]
+
 _MIN_RATE = 1e-9
 
 

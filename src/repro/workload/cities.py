@@ -10,6 +10,8 @@ import numpy as np
 
 from repro.topology.geo import ACCESS_CITIES, City
 
+__all__ = ["population_weights", "utc_offsets"]
+
 
 def population_weights(cities: tuple[City, ...] = ACCESS_CITIES) -> np.ndarray:
     """Normalized population weights (sum to 1) in city order.

@@ -19,6 +19,8 @@ from repro.workload.diurnal import DiurnalEnvelope, OnOffEnvelope
 from repro.workload.poisson import nhpp_counts
 from repro.workload.spikes import FlashCrowd, apply_flash_crowds
 
+__all__ = ["DemandMatrix", "build_demand_matrix", "constant_demand"]
+
 
 @dataclass(frozen=True)
 class DemandMatrix:

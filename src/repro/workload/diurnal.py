@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = ["OnOffEnvelope", "WeeklyEnvelope", "DiurnalEnvelope"]
+
 
 def _as_local_hours(hours: np.ndarray, utc_offset_hours: float) -> np.ndarray:
     return (np.asarray(hours, dtype=float) + utc_offset_hours) % 24.0
@@ -55,7 +57,7 @@ class OnOffEnvelope:
     def factor(self, utc_hours: np.ndarray, utc_offset_hours: float = 0.0) -> np.ndarray:
         """Envelope factor at the given UTC hours for a site at the offset."""
         local = _as_local_hours(utc_hours, utc_offset_hours)
-        if self.ramp_hours == 0.0:
+        if self.ramp_hours == 0.0:  # exact-zero: hard on/off edges  # reprolint: disable=RL004
             inside = (local >= self.on_start_hour) & (local < self.on_end_hour)
             return np.where(inside, self.high, self.low)
         half = self.ramp_hours / 2.0

@@ -16,6 +16,8 @@ from typing import Callable
 
 import numpy as np
 
+__all__ = ["nhpp_counts", "nhpp_arrival_times", "empirical_rates"]
+
 
 def nhpp_counts(
     rates: np.ndarray,

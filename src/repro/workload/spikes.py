@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = ["FlashCrowd", "apply_flash_crowds"]
+
 
 @dataclass(frozen=True)
 class FlashCrowd:

@@ -1,0 +1,196 @@
+"""Tests for the runtime shape-contract layer (:mod:`repro.contracts`).
+
+The decorator must be a literal no-op when ``REPRO_CONTRACTS`` is unset
+(same function object, so zero call overhead) and must raise readable
+:class:`ShapeContractError` diagnostics — naming the argument, the
+expected shape under the current symbol bindings, and the actual shape —
+when enabled.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.contracts import ShapeContractError, check_shapes, contracts_enabled
+
+
+@pytest.fixture
+def enabled(monkeypatch: pytest.MonkeyPatch) -> None:
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+
+
+@pytest.fixture
+def disabled(monkeypatch: pytest.MonkeyPatch) -> None:
+    monkeypatch.delenv("REPRO_CONTRACTS", raising=False)
+
+
+class TestDisabled:
+    def test_decorator_returns_function_unchanged(self, disabled: None) -> None:
+        def f(x: np.ndarray) -> np.ndarray:
+            return x
+
+        assert check_shapes("x:(n,)")(f) is f
+
+    def test_no_checking_happens(self, disabled: None) -> None:
+        @check_shapes("x:(3,)")
+        def f(x: np.ndarray) -> np.ndarray:
+            return x
+
+        f(np.zeros(7))  # wrong shape, but contracts are off
+
+    def test_malformed_specs_rejected_even_when_disabled(self, disabled: None) -> None:
+        with pytest.raises(ValueError, match="invalid shape spec"):
+            check_shapes("x:oops")
+
+        with pytest.raises(ValueError, match="no parameter 'y'"):
+
+            @check_shapes("y:(n,)")
+            def f(x: np.ndarray) -> np.ndarray:
+                return x
+
+    def test_enabled_flag_reflects_environment(self, disabled: None) -> None:
+        assert not contracts_enabled()
+        os.environ["REPRO_CONTRACTS"] = "1"
+        try:
+            assert contracts_enabled()
+        finally:
+            del os.environ["REPRO_CONTRACTS"]
+
+
+class TestEnabled:
+    def test_matching_shapes_pass_through(self, enabled: None) -> None:
+        @check_shapes("P:(n,n)", "q:(n,)", ret="(n,)")
+        def solve(P: np.ndarray, q: np.ndarray) -> np.ndarray:
+            return q
+
+        np.testing.assert_array_equal(solve(np.eye(4), np.ones(4)), np.ones(4))
+
+    def test_mismatch_names_argument_and_shapes(self, enabled: None) -> None:
+        @check_shapes("P:(n,n)", "q:(n,)")
+        def solve(P: np.ndarray, q: np.ndarray) -> np.ndarray:
+            return q
+
+        with pytest.raises(ShapeContractError) as excinfo:
+            solve(np.eye(4), np.ones(5))
+        message = str(excinfo.value)
+        assert "argument 'q'" in message
+        assert "n=4" in message  # bound by P
+        assert "(5,)" in message
+
+    def test_rank_mismatch(self, enabled: None) -> None:
+        @check_shapes("D:(V,T)")
+        def forecast(D: np.ndarray) -> np.ndarray:
+            return D
+
+        with pytest.raises(ShapeContractError, match="expected 2-d"):
+            forecast(np.zeros(3))
+
+    def test_integer_dimensions(self, enabled: None) -> None:
+        @check_shapes("x:(3,)")
+        def f(x: np.ndarray) -> np.ndarray:
+            return x
+
+        f(np.zeros(3))
+        with pytest.raises(ShapeContractError, match="axis 0 expected 3"):
+            f(np.zeros(4))
+
+    def test_return_value_checked_against_bindings(self, enabled: None) -> None:
+        @check_shapes("x:(n,)", ret="(n,)")
+        def bad(x: np.ndarray) -> np.ndarray:
+            return np.concatenate([x, x])
+
+        with pytest.raises(ShapeContractError, match="return value"):
+            bad(np.zeros(2))
+
+    def test_none_arguments_skipped(self, enabled: None) -> None:
+        @check_shapes("w:(n,)")
+        def f(x: int, w: np.ndarray | None = None) -> int:
+            return x
+
+        assert f(1) == 1
+        assert f(1, None) == 1
+
+    def test_dtype_kind_checked(self, enabled: None) -> None:
+        @check_shapes("x:(n,):float")
+        def f(x: np.ndarray) -> np.ndarray:
+            return x
+
+        f(np.zeros(2))
+        with pytest.raises(ShapeContractError, match="dtype kind 'float'"):
+            f(np.array([1, 2]))
+
+    def test_non_array_argument_rejected(self, enabled: None) -> None:
+        @check_shapes("x:(n,)")
+        def f(x: np.ndarray) -> np.ndarray:
+            return x
+
+        with pytest.raises(ShapeContractError, match="not array-like"):
+            f(object())
+
+    def test_sparse_matrices_supported(self, enabled: None) -> None:
+        sp = pytest.importorskip("scipy.sparse")
+
+        @check_shapes("P:(n,n)", "q:(n,)")
+        def f(P: object, q: np.ndarray) -> np.ndarray:
+            return q
+
+        f(sp.identity(3, format="csc"), np.zeros(3))
+        with pytest.raises(ShapeContractError):
+            f(sp.identity(3, format="csc"), np.zeros(2))
+
+    def test_error_is_a_value_error(self, enabled: None) -> None:
+        assert issubclass(ShapeContractError, ValueError)
+
+
+class TestLibraryBoundaries:
+    """The decorators applied in the library guard real entry points.
+
+    Decoration happens at import time, so these run the calls in a child
+    interpreter with ``REPRO_CONTRACTS=1``.
+    """
+
+    @staticmethod
+    def run_snippet(code: str) -> subprocess.CompletedProcess[str]:
+        env = dict(os.environ, REPRO_CONTRACTS="1")
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=False,
+        )
+
+    def test_solve_qp_contract_fires(self) -> None:
+        result = self.run_snippet(
+            "import numpy as np\n"
+            "from repro.solvers.qp import solve_qp\n"
+            "from repro.contracts import ShapeContractError\n"
+            "try:\n"
+            "    solve_qp(np.eye(3), np.ones(4), np.eye(3), np.zeros(3), np.ones(3))\n"
+            "except ShapeContractError as e:\n"
+            "    assert \"argument 'q'\" in str(e), str(e)\n"
+            "    assert '(4,)' in str(e), str(e)\n"
+            "    print('CONTRACT OK')\n"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "CONTRACT OK" in result.stdout
+
+    def test_solve_qp_still_solves_with_contracts_on(self) -> None:
+        result = self.run_snippet(
+            "import numpy as np\n"
+            "from repro.solvers.qp import solve_qp\n"
+            "sol = solve_qp(np.eye(2), np.array([-1.0, 0.0]), np.eye(2),\n"
+            "               np.zeros(2), np.ones(2))\n"
+            "assert sol.is_optimal\n"
+            "print('SOLVE OK')\n"
+        )
+        assert result.returncode == 0, result.stderr
+        assert "SOLVE OK" in result.stdout

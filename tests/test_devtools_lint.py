@@ -1,0 +1,382 @@
+"""Tests for reprolint (:mod:`repro.devtools.lint`).
+
+Every rule must (a) fire on a minimal bad snippet, (b) stay quiet on the
+corresponding good snippet, and (c) respect suppression comments.  Paths
+are faked so the package-scoped rules (RL001's ``workload/`` exemption,
+RL003's solver-layer filter) can be exercised without touching disk.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools.lint import Diagnostic, LintRule, lint_source, main
+
+
+def rules_of(source: str, path: str = "src/repro/core/mod.py") -> set[str]:
+    """Lint a dedented snippet and return the set of rule names found."""
+    return {d.rule.value for d in lint_source(textwrap.dedent(source), path)}
+
+
+class TestRL001Randomness:
+    def test_fires_on_legacy_global_call(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = []
+        def sample() -> float:
+            return np.random.uniform()
+        """
+        assert "RL001" in rules_of(src)
+
+    def test_fires_on_global_seed(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = []
+        def setup() -> None:
+            np.random.seed(0)
+        """
+        assert "RL001" in rules_of(src)
+
+    def test_fires_on_unseeded_default_rng(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = []
+        def make() -> np.random.Generator:
+            return np.random.default_rng()
+        """
+        assert "RL001" in rules_of(src)
+
+    def test_quiet_on_seeded_default_rng(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = []
+        def make(seed: int) -> np.random.Generator:
+            return np.random.default_rng(seed)
+        """
+        assert "RL001" not in rules_of(src)
+
+    def test_quiet_on_injected_generator(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = []
+        def sample(rng: np.random.Generator) -> float:
+            return float(rng.uniform())
+        """
+        assert "RL001" not in rules_of(src)
+
+    def test_workload_fixtures_are_exempt(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = []
+        def sample() -> float:
+            return np.random.uniform()
+        """
+        assert "RL001" not in rules_of(src, path="src/repro/workload/fixture.py")
+
+
+class TestRL002Annotations:
+    def test_fires_on_missing_parameter_annotation(self) -> None:
+        src = """
+        __all__ = []
+        def combine(a, b: int) -> int:
+            return b
+        """
+        diags = lint_source(textwrap.dedent(src), "src/repro/core/mod.py")
+        messages = [d.message for d in diags if d.rule is LintRule.RL002]
+        assert messages and "'combine'" in messages[0] and "a" in messages[0]
+
+    def test_fires_on_missing_return_annotation(self) -> None:
+        src = """
+        __all__ = []
+        def f(a: int):
+            return a
+        """
+        assert "RL002" in rules_of(src)
+
+    def test_quiet_on_fully_annotated(self) -> None:
+        src = """
+        __all__ = []
+        def f(a: int, *args: int, flag: bool = True, **kw: float) -> int:
+            return a
+        """
+        assert "RL002" not in rules_of(src)
+
+    def test_private_functions_exempt(self) -> None:
+        src = """
+        __all__ = []
+        def _helper(a):
+            return a
+        """
+        assert "RL002" not in rules_of(src)
+
+    def test_self_needs_no_annotation(self) -> None:
+        src = """
+        __all__ = []
+        class Thing:
+            def value(self) -> int:
+                return 1
+        """
+        assert "RL002" not in rules_of(src)
+
+    def test_nested_functions_exempt(self) -> None:
+        src = """
+        __all__ = []
+        def outer() -> int:
+            def inner(x):
+                return x
+            return inner(1)
+        """
+        assert "RL002" not in rules_of(src)
+
+
+class TestRL003ParameterMutation:
+    SOLVER = "src/repro/solvers/bad.py"
+
+    def test_fires_on_element_assignment(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = []
+        def clamp(x: np.ndarray) -> np.ndarray:
+            x[x < 0] = 0.0
+            return x
+        """
+        assert "RL003" in rules_of(src, path=self.SOLVER)
+
+    def test_fires_on_augmented_assignment(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = []
+        def shift(x: np.ndarray, delta: float) -> np.ndarray:
+            x += delta
+            return x
+        """
+        assert "RL003" in rules_of(src, path=self.SOLVER)
+
+    def test_inplace_suffix_is_exempt(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = []
+        def clamp_inplace(x: np.ndarray) -> None:
+            x[x < 0] = 0.0
+        """
+        assert "RL003" not in rules_of(src, path=self.SOLVER)
+
+    def test_quiet_after_defensive_copy(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = []
+        def clamp(x: np.ndarray) -> np.ndarray:
+            x = x.copy()
+            x[x < 0] = 0.0
+            return x
+        """
+        assert "RL003" not in rules_of(src, path=self.SOLVER)
+
+    def test_quiet_on_local_arrays(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = []
+        def build(n: int) -> np.ndarray:
+            out = np.zeros(n)
+            out[0] = 1.0
+            return out
+        """
+        assert "RL003" not in rules_of(src, path=self.SOLVER)
+
+    def test_rule_scoped_to_solver_layers(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = []
+        def clamp(x: np.ndarray) -> np.ndarray:
+            x[x < 0] = 0.0
+            return x
+        """
+        assert "RL003" not in rules_of(src, path="src/repro/workload/mod.py")
+
+
+class TestRL004FloatEquality:
+    def test_fires_on_float_literal_equality(self) -> None:
+        src = """
+        __all__ = []
+        def check(a: float) -> bool:
+            return a == 1.5
+        """
+        assert "RL004" in rules_of(src)
+
+    def test_fires_on_not_equal(self) -> None:
+        src = """
+        __all__ = []
+        def check(a: float) -> bool:
+            return a != 0.0
+        """
+        assert "RL004" in rules_of(src)
+
+    def test_quiet_on_integer_comparison(self) -> None:
+        src = """
+        __all__ = []
+        def check(a: int) -> bool:
+            return a == 1
+        """
+        assert "RL004" not in rules_of(src)
+
+    def test_quiet_on_ordering(self) -> None:
+        src = """
+        __all__ = []
+        def check(a: float) -> bool:
+            return a <= 1.5
+        """
+        assert "RL004" not in rules_of(src)
+
+
+class TestRL005FrozenDataclasses:
+    def test_fires_on_thawed_config(self) -> None:
+        src = """
+        from dataclasses import dataclass
+        __all__ = []
+        @dataclass
+        class SolverConfig:
+            tol: float = 1e-6
+        """
+        assert "RL005" in rules_of(src)
+
+    def test_fires_on_frozen_false(self) -> None:
+        src = """
+        from dataclasses import dataclass
+        __all__ = []
+        @dataclass(frozen=False)
+        class SolverSettings:
+            tol: float = 1e-6
+        """
+        assert "RL005" in rules_of(src)
+
+    def test_quiet_on_frozen(self) -> None:
+        src = """
+        from dataclasses import dataclass
+        __all__ = []
+        @dataclass(frozen=True)
+        class SolverConfig:
+            tol: float = 1e-6
+        """
+        assert "RL005" not in rules_of(src)
+
+    def test_quiet_on_non_data_holder_names(self) -> None:
+        src = """
+        from dataclasses import dataclass
+        __all__ = []
+        @dataclass
+        class RunningTally:
+            count: int = 0
+        """
+        assert "RL005" not in rules_of(src)
+
+
+class TestRL006DunderAll:
+    def test_fires_when_missing(self) -> None:
+        assert "RL006" in rules_of("x = 1\n")
+
+    def test_quiet_when_declared(self) -> None:
+        assert "RL006" not in rules_of('__all__ = ["x"]\nx = 1\n')
+
+    def test_annotated_declaration_counts(self) -> None:
+        assert "RL006" not in rules_of("__all__: list[str] = []\n")
+
+    def test_main_modules_exempt(self) -> None:
+        assert "RL006" not in rules_of("x = 1\n", path="src/repro/__main__.py")
+
+
+class TestSuppression:
+    def test_line_suppression(self) -> None:
+        src = """
+        __all__ = []
+        def check(a: float) -> bool:
+            return a == 1.5  # reprolint: disable=RL004
+        """
+        assert "RL004" not in rules_of(src)
+
+    def test_line_suppression_is_rule_specific(self) -> None:
+        src = """
+        __all__ = []
+        def check(a: float) -> bool:
+            return a == 1.5  # reprolint: disable=RL001
+        """
+        assert "RL004" in rules_of(src)
+
+    def test_comma_separated_list(self) -> None:
+        src = """
+        __all__ = []
+        def check(a, b: float) -> bool:  # reprolint: disable=RL002,RL004
+            return b == 1.5  # reprolint: disable=RL004
+        """
+        assert rules_of(src) == set()
+
+    def test_disable_all(self) -> None:
+        src = """
+        __all__ = []
+        def check(a: float) -> bool:
+            return a == 1.5  # reprolint: disable=all
+        """
+        assert "RL004" not in rules_of(src)
+
+    def test_file_level_suppression(self) -> None:
+        src = """
+        # reprolint: disable-file=RL006
+        x = 1
+        """
+        assert "RL006" not in rules_of(src)
+
+
+class TestRunner:
+    def test_diagnostic_format(self) -> None:
+        diag = Diagnostic(
+            path="src/x.py", line=3, col=4, rule=LintRule.RL004, message="bad"
+        )
+        assert diag.format() == "src/x.py:3:4: RL004 bad"
+
+    def test_select_filters_rules(self) -> None:
+        src = textwrap.dedent(
+            """
+            def check(a: float) -> bool:
+                return a == 1.5
+            """
+        )
+        only = lint_source(src, "src/repro/core/mod.py", select={"RL006"})
+        assert {d.rule for d in only} == {LintRule.RL006}
+
+    def test_cli_exit_codes(self, tmp_path, capsys) -> None:
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a):\n    return a == 1.5\n")
+        good = tmp_path / "good.py"
+        good.write_text('__all__: list[str] = []\n')
+
+        assert main([str(good)]) == 0
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RL002" in out and "RL004" in out and "RL006" in out
+        assert f"{bad}:" in out
+
+    def test_cli_usage_errors(self, tmp_path) -> None:
+        assert main([]) == 2
+        assert main([str(tmp_path / "missing.py")]) == 2
+
+    def test_cli_unknown_select_rule_is_usage_error(self, tmp_path) -> None:
+        # A typo'd --select must not silently disable the whole lint.
+        good = tmp_path / "good.py"
+        good.write_text('__all__: list[str] = []\n')
+        assert main(["--select", "RL999", str(good)]) == 2
+
+    def test_cli_syntax_error_is_usage_error(self, tmp_path) -> None:
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        assert main([str(broken)]) == 2
+
+    def test_cli_list_rules(self, capsys) -> None:
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in LintRule:
+            assert rule.value in out
+
+    def test_repository_is_clean(self) -> None:
+        """The repo's own source must lint clean — the CI gate."""
+        src = Path(__file__).resolve().parent.parent / "src"
+        assert main([str(src)]) == 0
