@@ -1,0 +1,239 @@
+"""Solver-path benchmark: persistent workspace vs cold solves.
+
+Times the MPC hot path three ways at small / paper / large scale:
+
+* **cold** — the seed behaviour: every receding-horizon step rebuilds the
+  stacked QP, re-equilibrates, re-factorizes the KKT system and solves
+  (warm-started from the previous solution vector, as ``MPCController``
+  always did);
+* **workspace** — the persistent :class:`repro.core.dspp.DSPPWorkspace`
+  path: one setup, then vector-only updates against the cached Ruiz
+  scaling + KKT factorization, ADMM seeded from the stored iterates;
+* **sweep** — the deterministic parallel sweep runner on a miniature fig9
+  configuration, serial vs two processes, with a bit-identity check.
+
+Writes ``BENCH_solver.json`` at the repo root (override with ``--out``).
+Both paths solve the identical problem sequence (the state advances along
+the cold trajectory), and the script records the worst per-step objective
+divergence so the speedup is only claimed for matching solutions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py          # full
+    PYTHONPATH=src python benchmarks/run_bench.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro.solvers.qp as _qp
+from repro.core.dspp import DSPPWorkspace, solve_dspp
+from repro.core.instance import DSPPInstance
+from repro.core.matrices import build_stacked_qp
+from repro.experiments.fig9_horizon_cost_volatile import run_fig9
+from repro.solvers.qp import QPProblem
+
+__all__ = ["main"]
+
+# (L, V, W): data centers, locations, MPC window.  "paper" matches the
+# source paper's evaluation scale.
+SCALES: dict[str, tuple[int, int, int]] = {
+    "small": (2, 6, 3),
+    "paper": (4, 24, 6),
+    "large": (6, 36, 8),
+}
+
+
+def _instance(L: int, V: int, seed: int) -> DSPPInstance:
+    rng = np.random.default_rng(seed)
+    return DSPPInstance(
+        datacenters=tuple(f"d{i}" for i in range(L)),
+        locations=tuple(f"v{i}" for i in range(V)),
+        sla_coefficients=rng.uniform(0.05, 0.2, size=(L, V)),
+        reconfiguration_weights=rng.uniform(0.5, 2.0, size=L),
+        capacities=np.full(L, 1e5),
+        initial_state=np.zeros((L, V)),
+    )
+
+
+def _observations(
+    L: int, V: int, num_steps: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Smoothly varying demand/price streams (MPC-realistic: consecutive
+    periods are similar, which is what iterate reuse exploits)."""
+    rng = np.random.default_rng(seed)
+    hours = np.arange(num_steps, dtype=float)
+    diurnal = 1.0 + 0.4 * np.sin(2.0 * np.pi * hours / 24.0)
+    demand = 30.0 * diurnal[None, :] * rng.uniform(0.8, 1.2, size=(V, 1))
+    demand = demand + rng.normal(scale=1.0, size=(V, num_steps))
+    demand = np.maximum(demand, 1.0)
+    prices = rng.uniform(0.5, 2.0, size=(L, 1)) * diurnal[None, :]
+    prices = np.maximum(prices + rng.normal(scale=0.05, size=(L, num_steps)), 0.05)
+    return demand, prices
+
+
+def bench_mpc(name: str, num_steps: int, seed: int = 0) -> dict[str, object]:
+    """Cold vs workspace re-solves over one receding-horizon sequence.
+
+    Both paths solve the *identical* problem at every step (the state is
+    advanced with the cold solution), so the per-step objectives are
+    directly comparable: two eps-optimal answers to the same QP.  Cold is
+    the seed MPC behaviour — rebuild + re-equilibrate + re-factorize each
+    period, warm-started from the previous solution vector.
+    """
+    L, V, W = SCALES[name]
+    instance = _instance(L, V, seed)
+    demand, prices = _observations(L, V, num_steps + W, seed + 1)
+    workspace = DSPPWorkspace()
+    state = instance.initial_state
+    cold_times: list[float] = []
+    warm_times: list[float] = []
+    objective_rel_diff: list[float] = []
+    prev_qp = None
+    for k in range(num_steps):
+        instance_now = instance.with_initial_state(state)
+        window_demand = demand[:, k : k + W]
+        window_prices = prices[:, k : k + W]
+        start = time.perf_counter()
+        cold = solve_dspp(
+            instance_now, window_demand, window_prices, warm_start=prev_qp
+        )
+        cold_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        warm = solve_dspp(
+            instance_now, window_demand, window_prices, workspace=workspace
+        )
+        warm_times.append(time.perf_counter() - start)
+        prev_qp = cold.qp
+        denom = max(abs(cold.objective), 1e-12)
+        objective_rel_diff.append(abs(warm.objective - cold.objective) / denom)
+        state = np.maximum(state + cold.first_control, 0.0)
+    # Step 0 pays setup on both paths; the re-solve comparison starts at 1.
+    cold_ms = 1e3 * float(np.mean(cold_times[1:]))
+    warm_ms = 1e3 * float(np.mean(warm_times[1:]))
+    worst_objective = float(np.max(objective_rel_diff))
+    return {
+        "L": L,
+        "V": V,
+        "window": W,
+        "num_steps": num_steps,
+        "cold_step_ms": round(cold_ms, 3),
+        "warm_step_ms": round(warm_ms, 3),
+        "speedup": round(cold_ms / warm_ms, 2),
+        "max_objective_rel_diff": worst_objective,
+        "solutions_match": bool(worst_objective <= 1e-5),
+    }
+
+
+def bench_ruiz(repeats: int, seed: int = 0) -> dict[str, object]:
+    """Time Ruiz equilibration at paper scale (the satellite optimisation
+    reuses post-scale column norms across iterations)."""
+    L, V, W = SCALES["paper"]
+    instance = _instance(L, V, seed)
+    rng = np.random.default_rng(seed + 1)
+    demand = rng.uniform(10.0, 60.0, size=(V, W))
+    prices = rng.uniform(0.5, 2.0, size=(L, W))
+    stacked = build_stacked_qp(instance, demand, prices)
+    problem = QPProblem.build(stacked.P, stacked.q, stacked.A, stacked.l, stacked.u)
+    iterations = 10
+    start = time.perf_counter()
+    for _ in range(repeats):
+        _qp._ruiz_equilibrate(problem, iterations)
+    elapsed = time.perf_counter() - start
+    return {
+        "n": problem.num_variables,
+        "m": problem.num_constraints,
+        "repeats": repeats,
+        "scaling_iterations": iterations,
+        "ms_per_equilibration": round(1e3 * elapsed / repeats, 3),
+    }
+
+
+def bench_sweep(quick: bool) -> dict[str, object]:
+    """Serial vs 2-process fig9 sweep; checks bit-identical output."""
+    kwargs = {
+        "horizons": (1, 2, 3) if quick else (1, 2, 3, 4),
+        "num_periods": 12 if quick else 24,
+        "num_seeds": 2,
+    }
+    start = time.perf_counter()
+    serial = run_fig9(jobs=1, **kwargs)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_fig9(jobs=2, **kwargs)
+    parallel_s = time.perf_counter() - start
+    identical = all(
+        np.array_equal(serial.series[key], parallel.series[key])
+        for key in serial.series
+    )
+    return {
+        "config": {k: list(v) if isinstance(v, tuple) else v for k, v in kwargs.items()},
+        "serial_s": round(serial_s, 2),
+        "parallel_s": round(parallel_s, 2),
+        "jobs": 2,
+        "bit_identical": bool(identical),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: fewer steps, small+paper only"
+    )
+    parser.add_argument("--out", default=None, help="output path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    out = (
+        Path(args.out)
+        if args.out is not None
+        else Path(__file__).resolve().parent.parent / "BENCH_solver.json"
+    )
+    num_steps = 8 if args.quick else 24
+    scales = ["small", "paper"] if args.quick else list(SCALES)
+
+    results: dict[str, object] = {
+        "benchmark": "persistent QP workspace vs cold MPC re-solves",
+        "quick": bool(args.quick),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scales": {},
+    }
+    for name in scales:
+        print(f"== mpc {name} ({num_steps} steps)")
+        entry = bench_mpc(name, num_steps)
+        results["scales"][name] = entry  # type: ignore[index]
+        print(
+            f"   cold {entry['cold_step_ms']} ms/step, "
+            f"warm {entry['warm_step_ms']} ms/step, "
+            f"speedup {entry['speedup']}x, match={entry['solutions_match']}"
+        )
+    print("== ruiz equilibration (paper scale)")
+    results["ruiz"] = bench_ruiz(repeats=3 if args.quick else 10)
+    print(f"   {results['ruiz']['ms_per_equilibration']} ms")  # type: ignore[index]
+    print("== parallel sweep (fig9 miniature)")
+    results["sweep"] = bench_sweep(args.quick)
+    print(
+        f"   serial {results['sweep']['serial_s']} s, "  # type: ignore[index]
+        f"2 procs {results['sweep']['parallel_s']} s, "  # type: ignore[index]
+        f"bit_identical={results['sweep']['bit_identical']}"  # type: ignore[index]
+    )
+
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    paper = results["scales"].get("paper")  # type: ignore[union-attr]
+    ok = bool(paper and paper["solutions_match"])
+    if paper:
+        print(f"paper-scale warm speedup: {paper['speedup']}x")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,7 +61,7 @@ def _run_fig6(args: argparse.Namespace) -> FigureResult:
 
 
 def _run_fig7(args: argparse.Namespace) -> FigureResult:
-    return run_fig7(max_players=args.max_players, seed=args.seed)
+    return run_fig7(max_players=args.max_players, seed=args.seed, jobs=args.jobs)
 
 
 def _run_fig8(args: argparse.Namespace) -> FigureResult:
@@ -69,7 +69,7 @@ def _run_fig8(args: argparse.Namespace) -> FigureResult:
 
 
 def _run_fig9(args: argparse.Namespace) -> FigureResult:
-    return run_fig9(num_seeds=args.seeds, seed=args.seed)
+    return run_fig9(num_seeds=args.seeds, seed=args.seed, jobs=args.jobs)
 
 
 def _run_fig10(args: argparse.Namespace) -> FigureResult:
@@ -106,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="full-size sweeps (slower)"
     )
     report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep figures (0 = one per CPU); "
+        "results are identical at any job count",
+    )
 
     for name, description in _DESCRIPTIONS.items():
         figure_parser = sub.add_parser(name, help=description)
@@ -118,6 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
             figure_parser.add_argument("--players", type=int, default=5)
         if name == "fig9":
             figure_parser.add_argument("--seeds", type=int, default=3)
+        if name in ("fig7", "fig9"):
+            figure_parser.add_argument(
+                "--jobs",
+                type=int,
+                default=None,
+                help="worker processes for the sweep (0 = one per CPU)",
+            )
     return parser
 
 
@@ -134,7 +148,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.report import ReportOptions, write_report
 
         passed = write_report(
-            args.out, ReportOptions(quick=not args.full, seed=args.seed)
+            args.out,
+            ReportOptions(quick=not args.full, seed=args.seed, jobs=args.jobs),
         )
         print(f"report written to {args.out}")
         return 0 if passed else 1

@@ -15,12 +15,12 @@ coordinator additionally swaps out the capacity vector between rounds).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.contracts import check_shapes
-from repro.core.dspp import DSPPSolution, solve_dspp
+from repro.core.dspp import DSPPSolution, DSPPWorkspace, solve_dspp
 from repro.core.instance import DSPPInstance
 from repro.prediction.base import Predictor
 from repro.solvers.qp import QPSettings, QPSolution
@@ -43,12 +43,20 @@ class MPCConfig:
             ramping can serve, and lets it spread large ramps over several
             periods — the behaviour behind the paper's horizon-length
             studies (Figures 9 and 10).
+        reuse_workspace: keep one :class:`~repro.core.dspp.DSPPWorkspace`
+            alive for the controller's lifetime, so consecutive periods
+            share the Ruiz scaling and the KKT factorization (a vector-only
+            ``update()`` instead of a full re-factorization).  Capacity
+            swaps via :meth:`MPCController.set_capacities` stay on the fast
+            path; only a genuine structure change (horizon override, SLA or
+            weight change) rebuilds.  See ``docs/PERFORMANCE.md``.
     """
 
     window: int = 3
     qp_settings: QPSettings | None = None
     warm_start: bool = True
     slack_penalty: float | None = None
+    reuse_workspace: bool = False
 
     def __post_init__(self) -> None:
         if self.window < 1:
@@ -119,6 +127,9 @@ class MPCController:
         self._state = instance.initial_state.copy()
         self._period = 0
         self._last_qp: QPSolution | None = None
+        # Created lazily on the first step so ``config`` may still be
+        # swapped (e.g. by the simulation engine) after construction.
+        self._workspace: DSPPWorkspace | None = None
 
     @property
     def state(self) -> np.ndarray:
@@ -143,6 +154,10 @@ class MPCController:
         )
         self._period = 0
         self._last_qp = None
+        if self._workspace is not None:
+            # The structure fingerprint would survive a reset unchanged, but
+            # the stored ADMM iterates belong to the abandoned run.
+            self._workspace.invalidate()
         self.demand_predictor.reset()
         self.price_predictor.reset()
 
@@ -178,7 +193,19 @@ class MPCController:
         predicted_prices = self.price_predictor.predict(window)
 
         instance_now = self.instance.with_initial_state(self._state)
-        warm = self._last_qp if self.config.warm_start else None
+        workspace: DSPPWorkspace | None = None
+        if self.config.reuse_workspace:
+            if self._workspace is None:
+                self._workspace = DSPPWorkspace()
+            workspace = self._workspace
+        # With a persistent workspace the previous solve's (scaled) iterates
+        # are already stored inside it, which warm-starts strictly better
+        # than re-seeding from the unscaled solution vector.
+        warm = (
+            self._last_qp
+            if self.config.warm_start and workspace is None
+            else None
+        )
         solution = solve_dspp(
             instance_now,
             predicted_demand,
@@ -186,6 +213,8 @@ class MPCController:
             settings=self.config.qp_settings,
             warm_start=warm,
             demand_slack_penalty=self.config.slack_penalty,
+            workspace=workspace,
+            reuse_iterates=self.config.warm_start,
         )
         self._last_qp = solution.qp
 

@@ -15,8 +15,16 @@
 """
 
 from repro.core.instance import DSPPInstance
-from repro.core.matrices import StackedQP, build_stacked_qp, PairIndexer
-from repro.core.dspp import DSPPSolution, solve_dspp
+from repro.core.matrices import (
+    PairIndexer,
+    StackedQP,
+    StackedQPStructure,
+    build_qp_structure,
+    build_qp_vectors,
+    build_stacked_qp,
+    structure_fingerprint,
+)
+from repro.core.dspp import DSPPSolution, DSPPWorkspace, solve_dspp
 from repro.core.static import StaticPlacement, solve_static_placement
 from repro.core.integer import IntegerDSPPSolution, solve_dspp_integer
 from repro.core.absolute import L1DSPPSolution, solve_dspp_l1
@@ -26,9 +34,14 @@ from repro.core.state import Trajectory, roll_out_states
 __all__ = [
     "DSPPInstance",
     "StackedQP",
+    "StackedQPStructure",
+    "build_qp_structure",
+    "build_qp_vectors",
     "build_stacked_qp",
+    "structure_fingerprint",
     "PairIndexer",
     "DSPPSolution",
+    "DSPPWorkspace",
     "solve_dspp",
     "StaticPlacement",
     "solve_static_placement",

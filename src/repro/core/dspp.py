@@ -14,16 +14,136 @@ import numpy as np
 from repro.contracts import check_shapes
 from repro.core.costs import CostBreakdown, total_cost
 from repro.core.instance import DSPPInstance
-from repro.core.matrices import build_stacked_qp
+from repro.core.matrices import (
+    StackedQP,
+    StackedQPStructure,
+    build_qp_structure,
+    build_qp_vectors,
+    build_stacked_qp,
+    structure_fingerprint,
+)
 from repro.core.state import Trajectory
 from repro.solvers.qp import QPSettings, QPSolution, QPStatus, solve_qp
+from repro.solvers.workspace import QPWorkspace
 
-__all__ = ["DSPPInfeasibleError", "DSPPSolution", "solve_dspp"]
+__all__ = ["DSPPInfeasibleError", "DSPPSolution", "DSPPWorkspace", "solve_dspp"]
 
 
 class DSPPInfeasibleError(RuntimeError):
     """The instance admits no feasible allocation (demand exceeds what the
     capacities can serve under the SLA, over the given horizon)."""
+
+
+class DSPPWorkspace:
+    """Persistent solver state reused across same-structure DSPP solves.
+
+    Consecutive receding-horizon (and best-response) solves share the
+    ``(P, A)`` sparsity structure — only forecasts, the initial state and
+    capacities change, and those live purely in the ``q``/``l``/``u``
+    vectors.  A :class:`DSPPWorkspace` caches the assembled
+    :class:`~repro.core.matrices.StackedQPStructure` and the underlying
+    :class:`~repro.solvers.workspace.QPWorkspace` (Ruiz scaling + KKT
+    factorization), so each subsequent solve is a vector-only ``update()``
+    plus a warm-started ADMM run.
+
+    Pass one to :func:`solve_dspp` via its ``workspace=`` argument.  The
+    workspace re-validates the structure fingerprint on every solve and
+    transparently rebuilds itself when the structure genuinely changed
+    (different horizon, SLA matrix, reconfiguration weights, server size or
+    elastic mode) — capacity swaps and state advances never trigger a
+    rebuild.
+
+    Attributes:
+        num_setups: structure (re)builds performed, each paying the full
+            equilibrate + factorize price.
+        num_updates: vector-only updates served from the cache.
+    """
+
+    def __init__(self) -> None:
+        self._qp = QPWorkspace()
+        self._structure: StackedQPStructure | None = None
+        self._settings: QPSettings | None = None
+
+    @property
+    def num_setups(self) -> int:
+        return self._qp.num_setups
+
+    @property
+    def num_updates(self) -> int:
+        return self._qp.num_updates
+
+    def invalidate(self) -> None:
+        """Drop all cached state (structure, factorization and iterates)."""
+        self._qp = QPWorkspace()
+        self._structure = None
+        self._settings = None
+
+    def solve(
+        self,
+        instance: DSPPInstance,
+        demand: np.ndarray,
+        prices: np.ndarray,
+        settings: QPSettings | None = None,
+        warm_start: QPSolution | None = None,
+        demand_slack_penalty: float | None = None,
+        reuse_iterates: bool = True,
+    ) -> tuple[StackedQP, QPSolution]:
+        """Assemble (incrementally) and solve one stacked DSPP QP.
+
+        Returns the assembled :class:`~repro.core.matrices.StackedQP` and
+        the raw QP solution; :func:`solve_dspp` handles the unpacking.
+        """
+        demand = np.asarray(demand, dtype=float)
+        if demand.ndim != 2 or demand.shape[0] != instance.num_locations:
+            raise ValueError(
+                f"demand must be ({instance.num_locations}, T), got {demand.shape}"
+            )
+        T = demand.shape[1]
+        elastic = demand_slack_penalty is not None
+        # The workspace hot path enables verified early polishing by
+        # default: ADMM may hand over to the exact active-set solve as soon
+        # as the polished result meets the *strict* tolerances, so accuracy
+        # is unchanged.  Caller-provided settings are honoured verbatim.
+        effective_settings = (
+            settings if settings is not None else QPSettings(early_polish=True)
+        )
+
+        fingerprint = structure_fingerprint(instance, T, elastic)
+        reusable = (
+            self._structure is not None
+            and self._structure.fingerprint == fingerprint
+            and self._settings == effective_settings
+        )
+        if not reusable:
+            self._structure = build_qp_structure(instance, T, elastic=elastic)
+            self._settings = effective_settings
+        structure = self._structure
+        assert structure is not None
+        q, l, u = build_qp_vectors(
+            structure, instance, demand, prices, demand_slack_penalty=demand_slack_penalty
+        )
+        if reusable:
+            self._qp.update(q=q, l=l, u=u)
+        else:
+            self._qp.setup(
+                structure.P, structure.A, q=q, l=l, u=u, settings=effective_settings
+            )
+        qp_solution = self._qp.solve(
+            warm_start=warm_start, reuse_iterates=reuse_iterates
+        )
+        stacked = StackedQP(
+            P=structure.P,
+            q=q,
+            A=structure.A,
+            l=l,
+            u=u,
+            indexer=structure.indexer,
+            constant_cost=0.0,
+            demand_row_offset=structure.demand_row_offset,
+            capacity_row_offset=structure.capacity_row_offset,
+            nonneg_row_offset=structure.nonneg_row_offset,
+        )
+        return stacked, qp_solution
 
 
 @dataclass(frozen=True)
@@ -73,6 +193,8 @@ def solve_dspp(
     settings: QPSettings | None = None,
     warm_start: QPSolution | None = None,
     demand_slack_penalty: float | None = None,
+    workspace: DSPPWorkspace | None = None,
+    reuse_iterates: bool = True,
 ) -> DSPPSolution:
     """Solve the DSPP for ``T`` future periods.
 
@@ -88,6 +210,13 @@ def solve_dspp(
             demand shortfall is allowed at this linear per-unit penalty
             (used by the best-response game dynamics; see
             :mod:`repro.core.matrices`).
+        workspace: a :class:`DSPPWorkspace` to reuse across solves; caches
+            the stacked structure, the Ruiz scaling and the KKT
+            factorization so repeat solves that differ only in forecasts,
+            state or capacities pay a vector-only update.
+        reuse_iterates: when solving through a workspace and no explicit
+            ``warm_start`` is given, seed ADMM from the previous solve's
+            iterates (ignored without a workspace).
 
     Returns:
         The :class:`DSPPSolution`.
@@ -97,18 +226,29 @@ def solve_dspp(
             be served within capacity under the SLA).
         RuntimeError: if the solver fails to converge.
     """
-    stacked = build_stacked_qp(
-        instance, demand, prices, demand_slack_penalty=demand_slack_penalty
-    )
-    qp_solution = solve_qp(
-        stacked.P,
-        stacked.q,
-        stacked.A,
-        stacked.l,
-        stacked.u,
-        settings=settings,
-        warm_start=warm_start,
-    )
+    if workspace is not None:
+        stacked, qp_solution = workspace.solve(
+            instance,
+            demand,
+            prices,
+            settings=settings,
+            warm_start=warm_start,
+            demand_slack_penalty=demand_slack_penalty,
+            reuse_iterates=reuse_iterates,
+        )
+    else:
+        stacked = build_stacked_qp(
+            instance, demand, prices, demand_slack_penalty=demand_slack_penalty
+        )
+        qp_solution = solve_qp(
+            stacked.P,
+            stacked.q,
+            stacked.A,
+            stacked.l,
+            stacked.u,
+            settings=settings,
+            warm_start=warm_start,
+        )
     if qp_solution.status is QPStatus.PRIMAL_INFEASIBLE:
         raise DSPPInfeasibleError(
             "DSPP infeasible: forecast demand exceeds SLA-feasible capacity"

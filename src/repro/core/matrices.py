@@ -33,7 +33,15 @@ import scipy.sparse as sp
 from repro.contracts import check_shapes
 from repro.core.instance import DSPPInstance
 
-__all__ = ["PairIndexer", "StackedQP", "build_stacked_qp"]
+__all__ = [
+    "PairIndexer",
+    "StackedQP",
+    "StackedQPStructure",
+    "build_qp_structure",
+    "build_qp_vectors",
+    "build_stacked_qp",
+    "structure_fingerprint",
+]
 
 
 @dataclass(frozen=True)
@@ -139,6 +147,259 @@ class StackedQP:
         return np.maximum(rows, 0.0).reshape(T, L)
 
 
+@dataclass(frozen=True)
+class StackedQPStructure:
+    """The data-independent half of the stacked QP.
+
+    ``P`` and ``A`` depend only on the instance *structure* — dimensions,
+    SLA coefficients, reconfiguration weights, server size and the horizon
+    length — never on the per-period data (demand/price forecasts, the
+    current state ``x_0`` or the capacity vector), all of which live in the
+    ``q``/``l``/``u`` vectors produced by :func:`build_qp_vectors`.  That
+    split is what lets a persistent solver workspace reuse its cached
+    equilibration and KKT factorization across receding-horizon solves.
+
+    Attributes:
+        P, A: the QP matrices (see :mod:`repro.solvers.qp`).
+        indexer: variable layout.
+        demand_row_offset: first row of the demand constraints in ``A``.
+        capacity_row_offset: first row of the capacity constraints.
+        nonneg_row_offset: first row of the ``x >= 0`` constraints.
+        fingerprint: hashable identity of everything baked into ``P``/``A``
+            (compare with :func:`structure_fingerprint` to decide whether a
+            cached structure is reusable).
+    """
+
+    P: sp.csc_matrix
+    A: sp.csc_matrix
+    indexer: PairIndexer
+    demand_row_offset: int
+    capacity_row_offset: int
+    nonneg_row_offset: int
+    fingerprint: tuple[object, ...]
+
+
+def structure_fingerprint(
+    instance: DSPPInstance, num_steps: int, elastic: bool
+) -> tuple[object, ...]:
+    """Hashable identity of the ``(P, A)`` structure a solve would build.
+
+    Two solves whose fingerprints match can share one
+    :class:`StackedQPStructure` (and therefore one cached factorization):
+    only ``q``/``l``/``u`` differ between them.  Capacities and the initial
+    state are deliberately *excluded* — they enter the bounds vectors only,
+    so quota swaps and receding-horizon state advances are vector-only
+    updates.
+    """
+    return (
+        instance.num_datacenters,
+        instance.num_locations,
+        int(num_steps),
+        bool(elastic),
+        float(instance.server_size),
+        instance.reconfiguration_weights.tobytes(),
+        instance.sla_coefficients.tobytes(),
+    )
+
+
+def build_qp_structure(
+    instance: DSPPInstance, num_steps: int, elastic: bool = False
+) -> StackedQPStructure:
+    """Assemble the sparse ``P`` and ``A`` for ``num_steps`` future periods.
+
+    Args:
+        instance: static problem data (state and capacities are unused).
+        num_steps: horizon length ``T`` (>= 1).
+        elastic: whether demand slack variables are appended.
+
+    Returns:
+        The :class:`StackedQPStructure`.
+
+    Raises:
+        ValueError: if ``num_steps < 1``.
+    """
+    L, V = instance.num_datacenters, instance.num_locations
+    T = int(num_steps)
+    if T < 1:
+        raise ValueError("need at least one future period")
+
+    indexer = PairIndexer(
+        num_datacenters=L, num_locations=V, num_steps=T, elastic=elastic
+    )
+    n_pairs = indexer.pairs_per_step
+    n_vars = indexer.num_variables
+    half = T * n_pairs
+    n_slack = T * V if elastic else 0
+
+    # Quadratic cost: u_t' R u_t with R = diag(c_l) per pair -> P_uu = 2R.
+    recon = np.repeat(instance.reconfiguration_weights, V)  # (L*V,) pair-major
+    p_diag = np.concatenate(
+        [np.zeros(half), np.tile(2.0 * recon, T), np.zeros(n_slack)]
+    )
+    P = sp.diags(p_diag, format="csc")
+
+    coeff = instance.demand_coefficients  # (L, V), zeros for unusable pairs
+
+    rows: list[sp.spmatrix] = []
+
+    # Dynamics: x_t - x_{t-1} - u_{t-1} = 0  (x_0 constant moves to rhs).
+    eye = sp.identity(n_pairs, format="csc")
+    dyn_blocks = sp.lil_matrix((T * n_pairs, n_vars))
+    for t in range(T):
+        r0 = t * n_pairs
+        dyn_blocks[r0 : r0 + n_pairs, t * n_pairs : (t + 1) * n_pairs] = eye
+        if t > 0:
+            dyn_blocks[r0 : r0 + n_pairs, (t - 1) * n_pairs : t * n_pairs] = -eye
+        dyn_blocks[r0 : r0 + n_pairs, half + t * n_pairs : half + (t + 1) * n_pairs] = -eye
+    rows.append(dyn_blocks.tocsc())
+    dynamics_rows = T * n_pairs
+
+    # Demand: sum_l coeff[l, v] * x_t[l, v] (+ w_t[v] if elastic) >= D_t[v].
+    demand_block = sp.lil_matrix((T * V, n_vars))
+    for t in range(T):
+        for v in range(V):
+            row = t * V + v
+            for l in range(L):
+                c = coeff[l, v]
+                if c > 0.0:
+                    demand_block[row, indexer.x_index(t, l, v)] = c
+            if elastic:
+                demand_block[row, indexer.slack_index(t, v)] = 1.0
+    rows.append(demand_block.tocsc())
+    demand_row_offset = dynamics_rows
+
+    # Capacity: s * sum_v x_t[l, v] <= C_l.
+    capacity_block = sp.lil_matrix((T * L, n_vars))
+    for t in range(T):
+        for l in range(L):
+            row = t * L + l
+            start = indexer.x_index(t, l, 0)
+            capacity_block[row, start : start + V] = instance.server_size
+    rows.append(capacity_block.tocsc())
+    capacity_row_offset = demand_row_offset + T * V
+
+    # Nonnegativity of x and of the slack (u is free).
+    nonneg_block = sp.hstack(
+        [
+            sp.identity(half, format="csc"),
+            sp.csc_matrix((half, half + n_slack)),
+        ],
+        format="csc",
+    )
+    rows.append(nonneg_block)
+    nonneg_row_offset = capacity_row_offset + T * L
+    if elastic:
+        slack_block = sp.hstack(
+            [sp.csc_matrix((n_slack, 2 * half)), sp.identity(n_slack, format="csc")],
+            format="csc",
+        )
+        rows.append(slack_block)
+
+    A = sp.vstack(rows, format="csc")
+
+    return StackedQPStructure(
+        P=P,
+        A=A,
+        indexer=indexer,
+        demand_row_offset=demand_row_offset,
+        capacity_row_offset=capacity_row_offset,
+        nonneg_row_offset=nonneg_row_offset,
+        fingerprint=structure_fingerprint(instance, T, elastic),
+    )
+
+
+@check_shapes("demand:(V,T)", "prices:(L,T)")
+def build_qp_vectors(
+    structure: StackedQPStructure,
+    instance: DSPPInstance,
+    demand: np.ndarray,
+    prices: np.ndarray,
+    demand_slack_penalty: float | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Assemble the per-step data vectors ``(q, l, u)`` for a structure.
+
+    This is the cheap ``O(n + m)`` half of the stacked QP: demand and price
+    forecasts, the current state ``x_0`` and the capacity vector enter only
+    here, so a persistent workspace can absorb them as a vector-only
+    ``update()``.
+
+    Args:
+        structure: the matching :class:`StackedQPStructure`.
+        instance: static problem data (supplies ``x_0`` and capacities).
+        demand: forecast demand ``D_t`` for ``t = 1..T``, shape ``(V, T)``.
+        prices: per-server prices ``p_t`` for ``t = 1..T``, shape ``(L, T)``.
+        demand_slack_penalty: the elastic shortfall penalty; must be given
+            iff the structure was built elastic.
+
+    Returns:
+        ``(q, l, u)`` ready for the solver.
+
+    Raises:
+        ValueError: on shape mismatches, negative demand/prices, or a slack
+            penalty inconsistent with the structure.
+    """
+    demand = np.asarray(demand, dtype=float)
+    prices = np.asarray(prices, dtype=float)
+    indexer = structure.indexer
+    L, V, T = indexer.num_datacenters, indexer.num_locations, indexer.num_steps
+    if demand.shape != (V, T):
+        raise ValueError(f"demand must be ({V}, {T}), got {demand.shape}")
+    if prices.shape != (L, T):
+        raise ValueError(f"prices must be ({L}, {T}), got {prices.shape}")
+    if np.any(demand < 0):
+        raise ValueError("demand must be nonnegative")
+    if np.any(prices < 0):
+        raise ValueError("prices must be nonnegative")
+    if demand_slack_penalty is not None and demand_slack_penalty <= 0:
+        raise ValueError(
+            f"demand_slack_penalty must be positive, got {demand_slack_penalty}"
+        )
+    if (demand_slack_penalty is not None) != indexer.elastic:
+        raise ValueError(
+            "demand_slack_penalty must be given exactly when the structure "
+            "was built elastic"
+        )
+
+    n_pairs = indexer.pairs_per_step
+    n_vars = indexer.num_variables
+    half = T * n_pairs
+    n_slack = T * V if indexer.elastic else 0
+
+    # Linear cost: p_t^l on every x_t[l, v]; the shortfall penalty on slack.
+    q = np.zeros(n_vars)
+    for t in range(T):
+        q[t * n_pairs : (t + 1) * n_pairs] = np.repeat(prices[:, t], V)
+    if indexer.elastic:
+        q[2 * half :] = demand_slack_penalty
+
+    # Dynamics rhs: x_0 enters the t = 0 block only.
+    dyn_rhs = np.zeros(T * n_pairs)
+    dyn_rhs[:n_pairs] = instance.initial_state.reshape(-1)
+
+    demand_lower = demand.T.reshape(-1)  # row t*V + v = demand[v, t]
+    capacity_upper = np.tile(instance.capacities, T)  # row t*L + l = C_l
+
+    l_vec = np.concatenate(
+        [
+            dyn_rhs,
+            demand_lower,
+            np.full(T * L, -np.inf),
+            np.zeros(half),
+            np.zeros(n_slack),
+        ]
+    )
+    u_vec = np.concatenate(
+        [
+            dyn_rhs,
+            np.full(T * V, np.inf),
+            capacity_upper,
+            np.full(half, np.inf),
+            np.full(n_slack, np.inf),
+        ]
+    )
+    return q, l_vec, u_vec
+
+
 @check_shapes("demand:(V,T)", "prices:(L,T)")
 def build_stacked_qp(
     instance: DSPPInstance,
@@ -147,6 +408,11 @@ def build_stacked_qp(
     demand_slack_penalty: float | None = None,
 ) -> StackedQP:
     """Assemble the sparse QP for ``T`` future periods.
+
+    Composes :func:`build_qp_structure` (the ``P``/``A`` patterns) with
+    :func:`build_qp_vectors` (the per-step data); callers that solve many
+    same-structure instances should use the two halves directly through a
+    :class:`repro.core.dspp.DSPPWorkspace` instead.
 
     Args:
         instance: static problem data (including the current state ``x_0``).
@@ -164,137 +430,24 @@ def build_stacked_qp(
             non-positive slack penalty.
     """
     demand = np.asarray(demand, dtype=float)
-    prices = np.asarray(prices, dtype=float)
     L, V = instance.num_datacenters, instance.num_locations
     if demand.ndim != 2 or demand.shape[0] != V:
         raise ValueError(f"demand must be ({V}, T), got {demand.shape}")
     T = demand.shape[1]
-    if T < 1:
-        raise ValueError("need at least one future period")
-    if prices.shape != (L, T):
-        raise ValueError(f"prices must be ({L}, {T}), got {prices.shape}")
-    if np.any(demand < 0):
-        raise ValueError("demand must be nonnegative")
-    if np.any(prices < 0):
-        raise ValueError("prices must be nonnegative")
-    if demand_slack_penalty is not None and demand_slack_penalty <= 0:
-        raise ValueError(
-            f"demand_slack_penalty must be positive, got {demand_slack_penalty}"
-        )
     elastic = demand_slack_penalty is not None
-
-    indexer = PairIndexer(
-        num_datacenters=L, num_locations=V, num_steps=T, elastic=elastic
+    structure = build_qp_structure(instance, T, elastic=elastic)
+    q, l_vec, u_vec = build_qp_vectors(
+        structure, instance, demand, prices, demand_slack_penalty=demand_slack_penalty
     )
-    n_pairs = indexer.pairs_per_step
-    n_vars = indexer.num_variables
-    half = T * n_pairs
-    n_slack = T * V if elastic else 0
-
-    # Quadratic cost: u_t' R u_t with R = diag(c_l) per pair -> P_uu = 2R.
-    recon = np.repeat(instance.reconfiguration_weights, V)  # (L*V,) pair-major
-    p_diag = np.concatenate(
-        [np.zeros(half), np.tile(2.0 * recon, T), np.zeros(n_slack)]
-    )
-    P = sp.diags(p_diag, format="csc")
-
-    # Linear cost: p_t^l on every x_t[l, v]; the shortfall penalty on slack.
-    q = np.zeros(n_vars)
-    for t in range(T):
-        q[t * n_pairs : (t + 1) * n_pairs] = np.repeat(prices[:, t], V)
-    if elastic:
-        q[2 * half :] = demand_slack_penalty
-
-    x0_flat = instance.initial_state.reshape(-1)
-    coeff = instance.demand_coefficients  # (L, V), zeros for unusable pairs
-
-    rows: list[sp.spmatrix] = []
-    lowers: list[np.ndarray] = []
-    uppers: list[np.ndarray] = []
-
-    # Dynamics: x_t - x_{t-1} - u_{t-1} = 0  (x_0 constant moves to rhs).
-    eye = sp.identity(n_pairs, format="csc")
-    dyn_blocks = sp.lil_matrix((T * n_pairs, n_vars))
-    dyn_rhs = np.zeros(T * n_pairs)
-    for t in range(T):
-        r0 = t * n_pairs
-        dyn_blocks[r0 : r0 + n_pairs, t * n_pairs : (t + 1) * n_pairs] = eye
-        if t > 0:
-            dyn_blocks[r0 : r0 + n_pairs, (t - 1) * n_pairs : t * n_pairs] = -eye
-        else:
-            dyn_rhs[r0 : r0 + n_pairs] = x0_flat
-        dyn_blocks[r0 : r0 + n_pairs, half + t * n_pairs : half + (t + 1) * n_pairs] = -eye
-    rows.append(dyn_blocks.tocsc())
-    lowers.append(dyn_rhs)
-    uppers.append(dyn_rhs)
-    dynamics_rows = T * n_pairs
-
-    # Demand: sum_l coeff[l, v] * x_t[l, v] (+ w_t[v] if elastic) >= D_t[v].
-    demand_block = sp.lil_matrix((T * V, n_vars))
-    demand_lower = np.empty(T * V)
-    for t in range(T):
-        for v in range(V):
-            row = t * V + v
-            for l in range(L):
-                c = coeff[l, v]
-                if c > 0.0:
-                    demand_block[row, indexer.x_index(t, l, v)] = c
-            if elastic:
-                demand_block[row, indexer.slack_index(t, v)] = 1.0
-            demand_lower[row] = demand[v, t]
-    rows.append(demand_block.tocsc())
-    lowers.append(demand_lower)
-    uppers.append(np.full(T * V, np.inf))
-    demand_row_offset = dynamics_rows
-
-    # Capacity: s * sum_v x_t[l, v] <= C_l.
-    capacity_block = sp.lil_matrix((T * L, n_vars))
-    capacity_upper = np.empty(T * L)
-    for t in range(T):
-        for l in range(L):
-            row = t * L + l
-            start = indexer.x_index(t, l, 0)
-            capacity_block[row, start : start + V] = instance.server_size
-            capacity_upper[row] = instance.capacities[l]
-    rows.append(capacity_block.tocsc())
-    lowers.append(np.full(T * L, -np.inf))
-    uppers.append(capacity_upper)
-    capacity_row_offset = demand_row_offset + T * V
-
-    # Nonnegativity of x and of the slack (u is free).
-    nonneg_block = sp.hstack(
-        [
-            sp.identity(half, format="csc"),
-            sp.csc_matrix((half, half + n_slack)),
-        ],
-        format="csc",
-    )
-    rows.append(nonneg_block)
-    lowers.append(np.zeros(half))
-    uppers.append(np.full(half, np.inf))
-    nonneg_row_offset = capacity_row_offset + T * L
-    if elastic:
-        slack_block = sp.hstack(
-            [sp.csc_matrix((n_slack, 2 * half)), sp.identity(n_slack, format="csc")],
-            format="csc",
-        )
-        rows.append(slack_block)
-        lowers.append(np.zeros(n_slack))
-        uppers.append(np.full(n_slack, np.inf))
-
-    A = sp.vstack(rows, format="csc")
-    l_vec = np.concatenate(lowers)
-    u_vec = np.concatenate(uppers)
-
     return StackedQP(
-        P=P,
+        P=structure.P,
         q=q,
-        A=A,
+        A=structure.A,
         l=l_vec,
         u=u_vec,
-        indexer=indexer,
+        indexer=structure.indexer,
         constant_cost=0.0,
-        demand_row_offset=demand_row_offset,
-        capacity_row_offset=capacity_row_offset,
-        nonneg_row_offset=nonneg_row_offset,
+        demand_row_offset=structure.demand_row_offset,
+        capacity_row_offset=structure.capacity_row_offset,
+        nonneg_row_offset=structure.nonneg_row_offset,
     )

@@ -16,8 +16,12 @@ plots; EXPERIMENTS.md records paper-vs-measured for each.
   under volatility.
 * :mod:`repro.experiments.fig10_horizon_cost_constant` — long horizons help
   under constant inputs.
+
+:mod:`repro.experiments.runner` provides the deterministic serial/parallel
+sweep executor the heavier harnesses (fig7, fig9) are built on.
 """
 
 from repro.experiments.common import FigureResult, format_figure
+from repro.experiments.runner import derive_seed, resolve_jobs, run_sweep
 
-__all__ = ["FigureResult", "format_figure"]
+__all__ = ["FigureResult", "format_figure", "derive_seed", "resolve_jobs", "run_sweep"]

@@ -23,15 +23,42 @@ paper's operating range sits before that regime and so does ours.)
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.experiments.common import FigureResult
+from repro.experiments.runner import run_sweep
 from repro.game.best_response import BestResponseConfig, compute_equilibrium
-from repro.game.players import random_providers
+from repro.game.players import ServiceProvider, random_providers
 
 __all__ = ["PAPER_BOTTLENECKS", "run_fig7"]
 
 PAPER_BOTTLENECKS: tuple[float, ...] = (100.0, 200.0, 300.0)
+
+
+@dataclass(frozen=True)
+class _Fig7TaskSpec:
+    """One (bottleneck, player-count) cell of the fig7 sweep.
+
+    Carries the (frozen, picklable) provider prefix and capacity vector so
+    the equilibrium computation is fully determined by the spec — Algorithm
+    2 itself consumes no randomness.
+    """
+
+    providers: tuple[ServiceProvider, ...]
+    capacity: tuple[float, ...]
+    epsilon: float
+
+
+def _run_fig7_task(spec: _Fig7TaskSpec) -> int:
+    """Run Algorithm 2 for one cell; returns the iteration count."""
+    result = compute_equilibrium(
+        list(spec.providers),
+        np.asarray(spec.capacity, dtype=float),
+        BestResponseConfig(epsilon=spec.epsilon, reuse_workspaces=True),
+    )
+    return result.iterations
 
 
 def run_fig7(
@@ -44,12 +71,18 @@ def run_fig7(
     open_capacity: float = 2000.0,
     epsilon: float = 1e-4,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> FigureResult:
     """Sweep the player count for each bottleneck capacity.
 
     The first data center is the cheap bottleneck: every provider's price
     there is scaled down so all of them want to pile in, and its capacity
     is the swept bottleneck while the others stay at ``open_capacity``.
+
+    Args:
+        jobs: worker processes for the (bottleneck, players) sweep
+            (``None``/1: serial, 0: one per CPU); results are identical
+            for every value — see :mod:`repro.experiments.runner`.
 
     Returns:
         x = number of players; one iteration-count series per bottleneck.
@@ -87,16 +120,25 @@ def run_fig7(
         )
 
     players_axis = np.arange(1, max_players + 1)
-    series: dict[str, np.ndarray] = {}
-    config_proto = BestResponseConfig(epsilon=epsilon)
+    specs = []
     for bottleneck in bottlenecks:
         capacity = np.full(num_datacenters, open_capacity)
         capacity[0] = bottleneck
-        iterations = []
         for n in players_axis:
-            result = compute_equilibrium(cheap_pool[:n], capacity, config_proto)
-            iterations.append(result.iterations)
-        series[f"capacity_{int(bottleneck)}"] = np.array(iterations)
+            specs.append(
+                _Fig7TaskSpec(
+                    providers=tuple(cheap_pool[: int(n)]),
+                    capacity=tuple(float(c) for c in capacity),
+                    epsilon=epsilon,
+                )
+            )
+    counts = run_sweep(_run_fig7_task, specs, jobs=jobs)
+
+    series: dict[str, np.ndarray] = {}
+    per_curve = len(players_axis)
+    for curve, bottleneck in enumerate(bottlenecks):
+        chunk = counts[curve * per_curve : (curve + 1) * per_curve]
+        series[f"capacity_{int(bottleneck)}"] = np.array(chunk)
 
     tight = series[f"capacity_{int(min(bottlenecks))}"]
     loose = series[f"capacity_{int(max(bottlenecks))}"]

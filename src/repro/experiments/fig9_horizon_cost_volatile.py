@@ -17,12 +17,15 @@ longest horizon is measurably worse than the best.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.control.loop import run_closed_loop
 from repro.control.mpc import MPCConfig, MPCController
 from repro.core.instance import DSPPInstance
 from repro.experiments.common import FigureResult
+from repro.experiments.runner import run_sweep
 from repro.prediction.ar import ARPredictor
 from repro.queueing.sla import sla_coefficient
 
@@ -71,6 +74,64 @@ def volatile_traces(
     )
 
 
+@dataclass(frozen=True)
+class _Fig9TaskSpec:
+    """One (trial, horizon) cell of the fig9 sweep — fully self-contained
+    so :func:`~repro.experiments.runner.run_sweep` can ship it to a worker
+    process."""
+
+    trial_seed: int
+    window: int
+    num_periods: int
+    num_datacenters: int
+    num_locations: int
+    service_rate: float
+    max_latency_ms: float
+    reconfiguration_weight: float
+    slack_penalty: float
+    ar_order: int
+
+
+def _run_fig9_task(spec: _Fig9TaskSpec) -> tuple[float, float, float]:
+    """Run one closed loop; returns (effective cost, holding, shortfall).
+
+    Traces are regenerated from ``trial_seed`` inside the task, so every
+    cell of a trial sees bit-identical demand/price paths regardless of
+    which process runs it.
+    """
+    rng = np.random.default_rng(spec.trial_seed)
+    demand, prices = volatile_traces(
+        spec.num_periods, spec.num_locations, spec.num_datacenters, rng
+    )
+    a = sla_coefficient(20.0, spec.max_latency_ms, spec.service_rate)
+    coefficients = np.full((spec.num_datacenters, spec.num_locations), a)
+    start = demand[:, 0] / spec.num_datacenters
+    initial = a * np.tile(start[None, :], (spec.num_datacenters, 1))
+    instance = DSPPInstance(
+        datacenters=tuple(f"dc{i}" for i in range(spec.num_datacenters)),
+        locations=tuple(f"v{i}" for i in range(spec.num_locations)),
+        sla_coefficients=coefficients,
+        reconfiguration_weights=np.full(
+            spec.num_datacenters, float(spec.reconfiguration_weight)
+        ),
+        capacities=np.full(spec.num_datacenters, np.inf),
+        initial_state=initial,
+    )
+    controller = MPCController(
+        instance,
+        ARPredictor(spec.num_locations, order=spec.ar_order),
+        ARPredictor(spec.num_datacenters, order=spec.ar_order),
+        MPCConfig(
+            window=spec.window,
+            slack_penalty=spec.slack_penalty,
+            reuse_workspace=True,
+        ),
+    )
+    result = run_closed_loop(controller, demand, prices)
+    cost = result.total_cost + spec.slack_penalty * result.total_unmet_demand
+    return cost, result.costs.total, result.total_unmet_demand
+
+
 def run_fig9(
     horizons: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 8, 10),
     num_periods: int = 48,
@@ -83,51 +144,49 @@ def run_fig9(
     ar_order: int = 2,
     num_seeds: int = 3,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> FigureResult:
     """Closed-loop horizon sweep under volatile inputs with AR prediction.
 
     Costs are averaged over ``num_seeds`` independent trace realizations
     to damp single-path noise (the paper notes it ran "many experiments").
 
+    Args:
+        jobs: worker processes for the (trial, horizon) sweep (``None``/1:
+            serial, 0: one per CPU).  Results are bitwise identical for
+            every value — see :mod:`repro.experiments.runner`.
+
     Returns:
         x = horizon; series = mean effective cost, its components.
     """
-    latency = np.full((num_datacenters, num_locations), 20.0)
-    a = sla_coefficient(20.0, max_latency_ms, service_rate)
-    coefficients = np.full((num_datacenters, num_locations), a)
+    specs = [
+        _Fig9TaskSpec(
+            trial_seed=seed + trial,
+            window=window,
+            num_periods=num_periods,
+            num_datacenters=num_datacenters,
+            num_locations=num_locations,
+            service_rate=service_rate,
+            max_latency_ms=max_latency_ms,
+            reconfiguration_weight=reconfiguration_weight,
+            slack_penalty=slack_penalty,
+            ar_order=ar_order,
+        )
+        for trial in range(num_seeds)
+        for window in horizons
+    ]
+    outcomes = run_sweep(_run_fig9_task, specs, jobs=jobs)
 
     effective = np.zeros(len(horizons))
     holding = np.zeros(len(horizons))
     shortfall = np.zeros(len(horizons))
-    for trial in range(num_seeds):
-        rng = np.random.default_rng(seed + trial)
-        demand, prices = volatile_traces(
-            num_periods, num_locations, num_datacenters, rng
-        )
-        start = demand[:, 0] / num_datacenters
-        initial = a * np.tile(start[None, :], (num_datacenters, 1))
-        for index, window in enumerate(horizons):
-            instance = DSPPInstance(
-                datacenters=tuple(f"dc{i}" for i in range(num_datacenters)),
-                locations=tuple(f"v{i}" for i in range(num_locations)),
-                sla_coefficients=coefficients,
-                reconfiguration_weights=np.full(
-                    num_datacenters, float(reconfiguration_weight)
-                ),
-                capacities=np.full(num_datacenters, np.inf),
-                initial_state=initial,
-            )
-            controller = MPCController(
-                instance,
-                ARPredictor(num_locations, order=ar_order),
-                ARPredictor(num_datacenters, order=ar_order),
-                MPCConfig(window=window, slack_penalty=slack_penalty),
-            )
-            result = run_closed_loop(controller, demand, prices)
-            cost = result.total_cost + slack_penalty * result.total_unmet_demand
-            effective[index] += cost / num_seeds
-            holding[index] += result.costs.total / num_seeds
-            shortfall[index] += result.total_unmet_demand / num_seeds
+    # Accumulate in spec order (trial-major), matching the historical
+    # serial double loop exactly — float sums are order-sensitive.
+    for position, (cost, hold, short) in enumerate(outcomes):
+        index = position % len(horizons)
+        effective[index] += cost / num_seeds
+        holding[index] += hold / num_seeds
+        shortfall[index] += short / num_seeds
 
     best_index = int(np.argmin(effective))
     checks = {

@@ -1,0 +1,91 @@
+"""Deterministic sweep runner: serial or process-parallel, same results.
+
+The figure harnesses are sweeps of independent closed-loop runs (fig9:
+trial x horizon; fig7: bottleneck x player count).  ``run_sweep`` maps a
+module-level worker over a list of frozen task specs either serially or on
+a :class:`~concurrent.futures.ProcessPoolExecutor`, with two guarantees:
+
+* **order**: results come back in spec order (``Executor.map`` preserves
+  input order), so callers can accumulate floating-point sums in exactly
+  the sequence the serial loop would have used;
+* **determinism**: every worker derives its randomness from its spec alone
+  (no shared generator), so the results are bitwise identical for any
+  ``jobs`` value — figures produced at ``--jobs 8`` match ``--jobs 1``.
+
+``derive_seed`` is the house recipe for giving each task an independent,
+collision-resistant stream when a harness needs per-task seeds that are
+*not* part of its published parameterization.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+import numpy as np
+
+__all__ = ["derive_seed", "resolve_jobs", "run_sweep"]
+
+SpecT = TypeVar("SpecT")
+ResultT = TypeVar("ResultT")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value to a concrete worker count.
+
+    Args:
+        jobs: ``None`` or ``1`` means serial; ``0`` means "one per CPU";
+            any other positive value is taken literally.
+
+    Returns:
+        The number of workers to use (>= 1).
+
+    Raises:
+        ValueError: if ``jobs`` is negative.
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Deterministic, collision-resistant per-task seed.
+
+    Spawns child ``index`` of ``SeedSequence(base_seed)`` — the numpy-
+    sanctioned way to give parallel tasks independent streams — and
+    condenses it to one integer suitable for ``default_rng``.
+    """
+    if index < 0:
+        raise ValueError(f"index must be >= 0, got {index}")
+    sequence = np.random.SeedSequence(entropy=base_seed, spawn_key=(index,))
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
+def run_sweep(
+    worker: Callable[[SpecT], ResultT],
+    specs: Iterable[SpecT],
+    jobs: int | None = None,
+) -> list[ResultT]:
+    """Map ``worker`` over ``specs``, serially or in a process pool.
+
+    Args:
+        worker: a picklable (module-level) function of one spec.  It must
+            be self-contained: all randomness derived from the spec, no
+            shared mutable state.
+        specs: task specifications, typically frozen dataclasses.
+        jobs: worker-count request, interpreted by :func:`resolve_jobs`.
+
+    Returns:
+        One result per spec, in spec order, independent of ``jobs``.
+    """
+    spec_list = list(specs)
+    num_jobs = min(resolve_jobs(jobs), len(spec_list))
+    if num_jobs <= 1:
+        return [worker(spec) for spec in spec_list]
+    with ProcessPoolExecutor(max_workers=num_jobs) as pool:
+        return list(pool.map(worker, spec_list))

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.dspp import DSPPSolution, solve_dspp
+from repro.core.dspp import DSPPSolution, DSPPWorkspace, solve_dspp
 from repro.game.players import ServiceProvider
 from repro.solvers.dual import QuotaCoordinator
 from repro.solvers.qp import QPSettings
@@ -43,6 +43,12 @@ class BestResponseConfig:
             elastic sub-problem; must dominate any plausible server price
             so shortfall is a last resort.
         qp_settings: solver settings for the sub-problems.
+        reuse_workspaces: keep one
+            :class:`~repro.core.dspp.DSPPWorkspace` per provider for the
+            whole coordination run.  Quota updates only move the capacity
+            bounds, so every round after the first is a vector-only
+            ``update()`` against the cached factorization.  See
+            ``docs/PERFORMANCE.md``.
     """
 
     epsilon: float = 0.05
@@ -50,6 +56,7 @@ class BestResponseConfig:
     max_iterations: int = 200
     slack_penalty: float = 1e3
     qp_settings: QPSettings | None = None
+    reuse_workspaces: bool = False
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -92,6 +99,7 @@ def _best_response_round(
     providers: list[ServiceProvider],
     quotas: np.ndarray,
     config: BestResponseConfig,
+    workspaces: list[DSPPWorkspace] | None = None,
 ) -> tuple[list[DSPPSolution], np.ndarray, np.ndarray]:
     """Solve every SP's sub-problem; return solutions, costs, duals."""
     solutions: list[DSPPSolution] = []
@@ -105,6 +113,7 @@ def _best_response_round(
             provider.prices,
             settings=config.qp_settings,
             demand_slack_penalty=config.slack_penalty,
+            workspace=workspaces[index] if workspaces is not None else None,
         )
         solutions.append(solution)
         costs[index] = solution.objective
@@ -157,6 +166,13 @@ def compute_equilibrium(
         coordinator.set_quotas(np.asarray(initial_quotas, dtype=float))
     quotas = coordinator.quotas.copy()
 
+    # One persistent workspace per SP: quota updates between rounds touch
+    # only the capacity bounds, so each provider's factorization survives
+    # the entire coordination run.
+    workspaces = (
+        [DSPPWorkspace() for _ in providers] if cfg.reuse_workspaces else None
+    )
+
     previous_total = np.inf
     cost_history: list[float] = []
     converged = False
@@ -164,7 +180,9 @@ def compute_equilibrium(
     costs = np.zeros(len(providers))
     iteration = 0
     for iteration in range(1, cfg.max_iterations + 1):
-        solutions, costs, duals = _best_response_round(providers, quotas, cfg)
+        solutions, costs, duals = _best_response_round(
+            providers, quotas, cfg, workspaces
+        )
         total = float(costs.sum())
         cost_history.append(total)
         if np.isfinite(previous_total) and abs(total - previous_total) <= cfg.epsilon * abs(

@@ -19,7 +19,16 @@ import scipy.sparse.linalg as spla
 
 from repro.contracts import check_shapes
 
-__all__ = ["KKTResiduals", "kkt_residuals", "polish_solution"]
+__all__ = [
+    "ActiveSetSystem",
+    "KKTResiduals",
+    "build_active_set_system",
+    "guess_active_set",
+    "kkt_residuals",
+    "polish_solution",
+    "solve_active_set_system",
+    "update_active_set",
+]
 
 if TYPE_CHECKING:
     from repro.solvers.qp import QPProblem, QPSolution
@@ -68,6 +77,151 @@ def kkt_residuals(problem: QPProblem, x: np.ndarray, y: np.ndarray) -> KKTResidu
     return KKTResiduals(primal=primal, dual=dual, complementarity=comp)
 
 
+@dataclass(frozen=True)
+class ActiveSetSystem:
+    """A factorized active-set KKT system, reusable across data changes.
+
+    The factorization depends only on the problem *structure* (``P``,
+    ``A``) and the active-set masks — not on ``q``/``l``/``u`` — so a
+    receding-horizon workspace can cache it and re-solve against fresh
+    vectors with two back-substitutions (see
+    :func:`solve_active_set_system`).
+
+    Attributes:
+        active_lower: boolean mask of rows active at their lower bound.
+        active_upper: boolean mask of rows active at their upper bound
+            (equality rows are folded in here).
+        lu: LU factorization of the regularized KKT matrix.
+        a_active: the active rows of ``A``; iterative refinement multiplies
+            by this (and ``P``) rather than materializing the unregularized
+            KKT matrix, whose assembly would cost more than the solve.
+    """
+
+    active_lower: np.ndarray
+    active_upper: np.ndarray
+    lu: spla.SuperLU
+    a_active: sp.csc_matrix
+
+
+def guess_active_set(
+    problem: QPProblem, x: np.ndarray, y: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Guess the optimal active set from a primal/dual pair.
+
+    A row counts as active when its multiplier presses on it or the
+    constraint holds with (near-)equality.  Equality rows are resolved to
+    the upper mask so each row carries a single multiplier.
+
+    Returns:
+        ``(active_lower, active_upper)`` boolean masks of shape ``(m,)``.
+    """
+    ax = problem.A @ x
+    active_lower = np.isfinite(problem.l) & (
+        (y < -_ACTIVE_TOL) | (ax <= problem.l + _ACTIVE_TOL)
+    )
+    active_upper = np.isfinite(problem.u) & (
+        (y > _ACTIVE_TOL) | (ax >= problem.u - _ACTIVE_TOL)
+    )
+    equality = problem.l == problem.u
+    active_upper = active_upper | equality
+    active_lower = active_lower & ~equality
+    return active_lower, active_upper
+
+
+def build_active_set_system(
+    problem: QPProblem, active_lower: np.ndarray, active_upper: np.ndarray
+) -> ActiveSetSystem | None:
+    """Assemble and factorize the regularized KKT system for an active set.
+
+    Returns:
+        The factorized :class:`ActiveSetSystem`, or ``None`` if the active
+        set is empty or the factorization fails.
+    """
+    active = active_lower | active_upper
+    if not np.any(active):
+        return None
+    a_active = problem.A[active]
+    n = problem.num_variables
+    k = a_active.shape[0]
+    reg = _POLISH_REGULARIZATION
+    kkt = sp.bmat(
+        [
+            [problem.P + reg * sp.identity(n, format="csc"), a_active.T],
+            [a_active, -reg * sp.identity(k, format="csc")],
+        ],
+        format="csc",
+    )
+    try:
+        lu = spla.splu(kkt)
+    except RuntimeError:
+        return None
+    return ActiveSetSystem(
+        active_lower=active_lower, active_upper=active_upper, lu=lu, a_active=a_active
+    )
+
+
+def solve_active_set_system(
+    problem: QPProblem, system: ActiveSetSystem
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve a cached active-set system against the problem's current data.
+
+    Only ``q``/``l``/``u`` enter the right-hand side, so the cached
+    factorization stays valid as long as ``P``/``A`` and the active set are
+    unchanged.  Includes one step of iterative refinement against the
+    unregularized system.
+
+    Returns:
+        ``(x, y)`` with ``y`` expanded to all ``m`` rows (zeros off the
+        active set).
+    """
+    active = system.active_lower | system.active_upper
+    bounds = np.where(
+        system.active_lower[active], problem.l[active], problem.u[active]
+    )
+    n = problem.num_variables
+    rhs = np.concatenate([-problem.q, bounds])
+    sol = system.lu.solve(rhs)
+    x_trial = sol[:n]
+    nu = sol[n:]
+    residual = np.concatenate(
+        [
+            rhs[:n] - (problem.P @ x_trial + system.a_active.T @ nu),
+            rhs[n:] - system.a_active @ x_trial,
+        ]
+    )
+    sol = sol + system.lu.solve(residual)
+    x = sol[:n]
+    y = np.zeros(problem.num_constraints)
+    y[active] = sol[n:]
+    return x, y
+
+
+def update_active_set(
+    problem: QPProblem, x: np.ndarray, y: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One primal-dual active-set update from a trial KKT point.
+
+    Given ``(x, y)`` solved with some working active set, propose the next
+    working set the way a primal-dual active-set method does: rows whose
+    constraint is *violated* join the set, and rows held at their bound by
+    a wrong-sign multiplier leave it.  The combined test
+    ``y_i + (a_i x - bound_i)`` reduces to exactly those two rules at a
+    trial point (held rows have ``a_i x = bound_i``; inactive rows have
+    ``y_i = 0``).  Equality rows are always active (upper, by the same
+    convention as :func:`guess_active_set`).
+
+    Returns:
+        ``(active_lower, active_upper)`` boolean masks of shape ``(m,)``.
+    """
+    ax = problem.A @ x
+    equality = problem.l == problem.u
+    active_upper = np.isfinite(problem.u) & (y + (ax - problem.u) > _ACTIVE_TOL)
+    active_lower = np.isfinite(problem.l) & (y + (ax - problem.l) < -_ACTIVE_TOL)
+    active_upper = active_upper | equality
+    active_lower = active_lower & ~active_upper
+    return active_lower, active_upper
+
+
 def polish_solution(problem: QPProblem, solution: QPSolution) -> QPSolution:
     """Refine an ADMM solution with one exact active-set KKT solve.
 
@@ -79,48 +233,11 @@ def polish_solution(problem: QPProblem, solution: QPSolution) -> QPSolution:
         A new solution (``polished=True``) if the refinement improved the
         worst KKT residual, otherwise the input solution unchanged.
     """
-    ax = problem.A @ solution.x
-    active_lower = np.isfinite(problem.l) & (
-        (solution.y < -_ACTIVE_TOL) | (ax <= problem.l + _ACTIVE_TOL)
-    )
-    active_upper = np.isfinite(problem.u) & (
-        (solution.y > _ACTIVE_TOL) | (ax >= problem.u - _ACTIVE_TOL)
-    )
-    # Equality rows are both; resolve to a single multiplier.
-    equality = problem.l == problem.u
-    active_upper = active_upper | equality
-    active_lower = active_lower & ~equality
-
-    active = active_lower | active_upper
-    if not np.any(active):
+    active_lower, active_upper = guess_active_set(problem, solution.x, solution.y)
+    system = build_active_set_system(problem, active_lower, active_upper)
+    if system is None:
         return solution
-
-    a_active = problem.A[active]
-    bounds = np.where(active_lower[active], problem.l[active], problem.u[active])
-    n = problem.num_variables
-    k = a_active.shape[0]
-    reg = _POLISH_REGULARIZATION
-    kkt = sp.bmat(
-        [
-            [problem.P + reg * sp.identity(n, format="csc"), a_active.T],
-            [a_active, -reg * sp.identity(k, format="csc")],
-        ],
-        format="csc",
-    )
-    rhs = np.concatenate([-problem.q, bounds])
-    try:
-        lu = spla.splu(kkt)
-    except RuntimeError:
-        return solution
-    sol = lu.solve(rhs)
-    # One step of iterative refinement against the unregularized system.
-    kkt_exact = sp.bmat([[problem.P, a_active.T], [a_active, None]], format="csc")
-    residual = rhs - kkt_exact @ sol
-    sol = sol + lu.solve(residual)
-
-    x_new = sol[:n]
-    y_new = np.zeros(problem.num_constraints)
-    y_new[active] = sol[n:]
+    x_new, y_new = solve_active_set_system(problem, system)
 
     old = kkt_residuals(problem, solution.x, solution.y)
     new = kkt_residuals(problem, x_new, y_new)

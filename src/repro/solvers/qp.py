@@ -22,14 +22,13 @@ from __future__ import annotations
 
 import enum
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.contracts import check_shapes
-from repro.solvers.projections import project_box
 
 __all__ = [
     "MatrixLike",
@@ -77,6 +76,11 @@ class QPProblem:
     A: sp.csc_matrix
     l: np.ndarray
     u: np.ndarray
+
+    @staticmethod
+    def build_matrix(M: MatrixLike) -> sp.csc_matrix:
+        """Normalize a dense/sparse matrix input to float CSC."""
+        return sp.csc_matrix(M, dtype=float)
 
     @staticmethod
     def build(
@@ -161,6 +165,16 @@ class QPSettings:
 
     The defaults are good for the (well-scaled) DSPP instances produced by
     :mod:`repro.core.matrices`; tests exercise much harsher random QPs.
+
+    ``early_polish`` trades ADMM tail iterations for KKT solves: once the
+    residuals reach ``early_polish_factor`` times the target tolerances,
+    the active-set polish is attempted and its result *verified* against
+    the strict ``eps_abs``/``eps_rel`` criteria on the original problem —
+    accepted only if it passes, otherwise the iteration continues
+    unchanged.  Accuracy is therefore never reduced; only the route to it
+    changes.  Off by default (the one-shot :func:`solve_qp` keeps its
+    historical iteration-for-iteration behaviour); the persistent
+    :class:`~repro.solvers.workspace.QPWorkspace` hot paths enable it.
     """
 
     max_iterations: int = 20000
@@ -175,22 +189,18 @@ class QPSettings:
     check_interval: int = 10
     infeasibility_eps: float = 1e-9
     scaling_iterations: int = 10
+    early_polish: bool = False
+    early_polish_factor: float = 1e4
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha < 2.0:
             raise ValueError(f"relaxation alpha must be in (0, 2), got {self.alpha}")
         if self.rho <= 0.0 or self.sigma <= 0.0:
             raise ValueError("rho and sigma must be positive")
-
-
-@dataclass
-class _WorkState:
-    """Mutable iteration state; exposed only for warm-starting."""
-
-    x: np.ndarray
-    z: np.ndarray
-    y: np.ndarray
-    rho_vec: np.ndarray = field(default=None)  # type: ignore[assignment]
+        if self.early_polish_factor <= 1.0:
+            raise ValueError(
+                f"early_polish_factor must be > 1, got {self.early_polish_factor}"
+            )
 
 
 @dataclass(frozen=True)
@@ -237,8 +247,17 @@ def _ruiz_equilibrate(problem: QPProblem, iterations: int) -> tuple[QPProblem, _
     q = problem.q.copy()
     A = problem.A.copy()
 
+    # The column norms of P are needed twice per iteration: pre-scale (for
+    # delta_d) and post-scale (for the cost normalization).  Because the
+    # cost normalization multiplies P by a *scalar*, the post-scale norms of
+    # one iteration — times gamma — ARE the next iteration's pre-scale
+    # norms, so each iteration computes them once and carries them over.
+    col_norm_p: np.ndarray | None = None
     for _ in range(iterations):
-        col_norm_p = np.abs(P).max(axis=0).toarray().ravel() if P.nnz else np.zeros(n)
+        if col_norm_p is None:
+            col_norm_p = (
+                np.abs(P).max(axis=0).toarray().ravel() if P.nnz else np.zeros(n)
+            )
         col_norm_a = np.abs(A).max(axis=0).toarray().ravel() if A.nnz else np.zeros(n)
         col_norm = np.maximum(col_norm_p, col_norm_a)
         delta_d = 1.0 / np.sqrt(np.clip(col_norm, 1e-8, 1e8))
@@ -258,15 +277,21 @@ def _ruiz_equilibrate(problem: QPProblem, iterations: int) -> tuple[QPProblem, _
         e *= delta_e
 
         # Cost normalization keeps the objective's scale near 1.
-        p_col_means = np.abs(P).max(axis=0).toarray().ravel()
-        gamma = 1.0 / max(float(p_col_means.mean()) if n else 1.0, _inf_norm(q), 1e-8)
+        p_col_norms = np.abs(P).max(axis=0).toarray().ravel() if P.nnz else np.zeros(n)
+        gamma = 1.0 / max(float(p_col_norms.mean()) if n else 1.0, _inf_norm(q), 1e-8)
         gamma = min(max(gamma, 1e-8), 1e8)
         P = (P * gamma).tocsc()
         q = q * gamma
         cost *= gamma
+        col_norm_p = p_col_norms * gamma
 
     scaled = QPProblem(P=P, q=q, A=A, l=e * problem.l, u=e * problem.u)
     return scaled, _Scaling(d=d, e=e, cost=cost)
+
+
+def _identity_scaling(n: int, m: int) -> _Scaling:
+    """The no-op scaling used when equilibration is disabled."""
+    return _Scaling(d=np.ones(n), e=np.ones(m), cost=1.0)
 
 
 def _rho_vector(problem: QPProblem, rho: float) -> np.ndarray:
@@ -374,134 +399,15 @@ def solve_qp(
     Returns:
         A :class:`QPSolution`.  ``status`` distinguishes optimality from
         iteration exhaustion and from primal/dual infeasibility certificates.
+        If a warm-started iteration stalls, the solver restarts cold on the
+        already-equilibrated problem and ``iterations`` reports the
+        *cumulative* count across both passes.
 
     Raises:
         ValueError: on malformed inputs (see :meth:`QPProblem.build`).
     """
-    problem = QPProblem.build(P, q, A, l, u)
-    cfg = settings or QPSettings()
-    n, m = problem.num_variables, problem.num_constraints
+    from repro.solvers.workspace import QPWorkspace
 
-    # Ruiz equilibration: iterate on the scaled problem, terminate on the
-    # original one (so tolerances keep their user-facing meaning).
-    if cfg.scaling_iterations > 0:
-        work, scaling = _ruiz_equilibrate(problem, cfg.scaling_iterations)
-    else:
-        work, scaling = problem, _Scaling(d=np.ones(n), e=np.ones(m), cost=1.0)
-
-    x = np.zeros(n)
-    z = np.zeros(m)
-    y = np.zeros(m)
-    if warm_start is not None and warm_start.x.size == n and warm_start.y.size == m:
-        x = scaling.scale_x(np.asarray(warm_start.x, dtype=float))
-        y = scaling.scale_y(np.asarray(warm_start.y, dtype=float))
-        z = np.asarray(work.A @ x, dtype=float)
-
-    rho_vec = _rho_vector(work, cfg.rho)
-    lu = _factorize(work, cfg.sigma, rho_vec)
-
-    if m == 0:
-        x = scaling.unscale_x(lu.solve(-work.q))
-        return QPSolution(
-            x=x,
-            y=y,
-            objective=problem.objective(x),
-            status=QPStatus.OPTIMAL,
-            iterations=0,
-            primal_residual=0.0,
-            dual_residual=_inf_norm(problem.P @ x + problem.q),
-        )
-
-    rhs = np.empty(n + m)
-    status = QPStatus.MAX_ITERATIONS
-    r_prim = r_dual = np.inf
-    iteration = 0
-    for iteration in range(1, cfg.max_iterations + 1):
-        x_prev = x
-        y_prev = y
-        rhs[:n] = cfg.sigma * x - work.q
-        rhs[n:] = z - y / rho_vec
-        sol = lu.solve(rhs)
-        x_tilde = sol[:n]
-        nu = sol[n:]
-        z_tilde = z + (nu - y) / rho_vec
-        x = cfg.alpha * x_tilde + (1.0 - cfg.alpha) * x_prev
-        z_relaxed = cfg.alpha * z_tilde + (1.0 - cfg.alpha) * z
-        z_new = project_box(z_relaxed + y / rho_vec, work.l, work.u)
-        y = y + rho_vec * (z_relaxed - z_new)
-        z = z_new
-
-        if iteration % cfg.check_interval != 0:
-            continue
-
-        x_orig = scaling.unscale_x(x)
-        y_orig = scaling.unscale_y(y)
-        z_orig = scaling.unscale_z(z)
-        r_prim, r_dual, prim_scale, dual_scale = _residuals(
-            problem, x_orig, z_orig, y_orig
-        )
-        eps_prim = cfg.eps_abs + cfg.eps_rel * prim_scale
-        eps_dual = cfg.eps_abs + cfg.eps_rel * dual_scale
-        if r_prim <= eps_prim and r_dual <= eps_dual:
-            status = QPStatus.OPTIMAL
-            break
-
-        if _check_primal_infeasible(
-            problem, scaling.unscale_y(y - y_prev), cfg.infeasibility_eps
-        ):
-            status = QPStatus.PRIMAL_INFEASIBLE
-            break
-        if _check_dual_infeasible(
-            problem, scaling.unscale_x(x - x_prev), cfg.infeasibility_eps
-        ):
-            status = QPStatus.DUAL_INFEASIBLE
-            break
-
-        if cfg.adaptive_rho_interval and iteration % cfg.adaptive_rho_interval == 0:
-            # Balance the *scaled* residuals — they drive the iteration.
-            rs_prim, rs_dual, ps, ds = _residuals(work, x, z, y)
-            scaled_prim = rs_prim / max(ps, 1e-12)
-            scaled_dual = rs_dual / max(ds, 1e-12)
-            ratio = np.sqrt(scaled_prim / max(scaled_dual, 1e-12))
-            if ratio > cfg.adaptive_rho_tolerance or ratio < 1.0 / cfg.adaptive_rho_tolerance:
-                rho_vec = np.clip(rho_vec * ratio, _RHO_MIN, _RHO_MAX)
-                lu = _factorize(work, cfg.sigma, rho_vec)
-
-    x = scaling.unscale_x(x)
-    y = scaling.unscale_y(y)
-    z = scaling.unscale_z(z)
-
-    if status in (QPStatus.PRIMAL_INFEASIBLE, QPStatus.DUAL_INFEASIBLE):
-        return QPSolution(
-            x=x,
-            y=y,
-            objective=np.nan,
-            status=status,
-            iterations=iteration,
-            primal_residual=np.inf,
-            dual_residual=np.inf,
-        )
-
-    if status is QPStatus.MAX_ITERATIONS:
-        # A warm start from a *different* problem can trap the iteration
-        # (the adaptive step size tunes itself to the stale iterate and
-        # stalls).  A cold restart is cheap relative to a wasted budget,
-        # and in the receding-horizon loop it is the correct fallback.
-        if warm_start is not None:
-            return solve_qp(P, q, A, l, u, settings=settings, warm_start=None)
-        r_prim, r_dual, _, _ = _residuals(problem, x, z, y)
-
-    solution = QPSolution(
-        x=x,
-        y=y,
-        objective=problem.objective(x),
-        status=status,
-        iterations=iteration,
-        primal_residual=r_prim,
-        dual_residual=r_dual,
-    )
-    if cfg.polish and status is QPStatus.OPTIMAL:
-        from repro.solvers.kkt import polish_solution
-
-        solution = polish_solution(problem, solution)
-    return solution
+    workspace = QPWorkspace(settings)
+    workspace.setup(P, A, q=q, l=l, u=u)
+    return workspace.solve(warm_start=warm_start, reuse_iterates=False)

@@ -1,0 +1,691 @@
+"""Persistent QP workspace with factorization caching (OSQP ``setup/update/solve``).
+
+Receding-horizon MPC and best-response game dynamics solve long sequences
+of QPs that share one ``(P, A)`` structure and differ only in the vectors
+``q``/``l``/``u`` (new forecasts, new quotas, a new initial state on the
+dynamics right-hand side).  The one-shot :func:`repro.solvers.qp.solve_qp`
+pays the full setup price on every call: input validation, Ruiz
+equilibration, and the sparse LU factorization of the quasi-definite KKT
+matrix.  None of that work depends on the vectors.
+
+:class:`QPWorkspace` splits the solve the way OSQP (Stellato et al. 2020)
+does:
+
+* :meth:`QPWorkspace.setup` — validate, equilibrate and factorize once for
+  a given ``(P, A)`` pair;
+* :meth:`QPWorkspace.update` — swap in new ``q``/``l``/``u`` in ``O(n + m)``,
+  re-factorizing only if the equality pattern of the bounds changed (the
+  per-row step sizes depend on which rows are equalities);
+* :meth:`QPWorkspace.solve` — run the ADMM iteration, warm-started from
+  the previous solution's iterates, re-factorizing only on adaptive-rho
+  changes.
+
+The Ruiz scaling is computed once at setup (from ``P``, ``A`` and the
+setup-time ``q``) and reused verbatim for every update, exactly as OSQP
+keeps its scaling fixed across ``update()`` calls.  Termination criteria
+are always evaluated on the *original* (unscaled, current) problem, so a
+workspace-reused solve satisfies the same ``eps_abs``/``eps_rel``
+tolerances as a cold :func:`~repro.solvers.qp.solve_qp` — solutions agree
+within solver tolerance even though the cached preconditioner differs from
+the one a cold solve would compute.
+
+``solve_qp`` itself is now a thin wrapper over a throwaway workspace, so
+the two paths share one ADMM implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+import repro.solvers.qp as _qp
+from repro.solvers.kkt import (
+    ActiveSetSystem,
+    build_active_set_system,
+    guess_active_set,
+    kkt_residuals,
+    polish_solution,
+    solve_active_set_system,
+    update_active_set,
+)
+from repro.solvers.projections import project_box
+from repro.solvers.qp import MatrixLike, QPProblem, QPSettings, QPSolution, QPStatus, VectorLike
+
+__all__ = ["QPWorkspace"]
+
+# Stale-scaling detector: when a warm solve needs more than _RESCALE_FACTOR
+# times the best warm iteration count seen under the current scaling (and
+# more than _RESCALE_FLOOR iterations outright), the cached equilibration no
+# longer fits the drifted problem data and is refreshed before the next
+# solve.  One refresh costs one Ruiz pass + one factorization — far less
+# than the extra ADMM iterations a stale preconditioner keeps charging.
+_RESCALE_FLOOR = 100
+_RESCALE_FACTOR = 3.0
+
+
+class QPWorkspace:
+    """Reusable ADMM solver state for a sequence of same-structure QPs.
+
+    Typical use::
+
+        ws = QPWorkspace()
+        ws.setup(P, A, q=q0, l=l0, u=u0, settings=settings)
+        first = ws.solve()
+        ws.update(q=q1, l=l1, u=u1)     # vectors only; O(n + m)
+        second = ws.solve()             # warm-started, cached factorization
+
+    Attributes:
+        settings: the :class:`~repro.solvers.qp.QPSettings` in effect.
+        num_setups: how many times :meth:`setup` ran (structure rebuilds).
+        num_updates: how many vector-only :meth:`update` calls were served.
+        num_factorizations: total KKT factorizations performed (setup,
+            equality-pattern changes and adaptive-rho steps); the gap
+            between this and the solve count is the cached work.
+    """
+
+    def __init__(self, settings: QPSettings | None = None) -> None:
+        self.settings = settings or QPSettings()
+        self.num_setups = 0
+        self.num_updates = 0
+        self.num_factorizations = 0
+        self._problem: QPProblem | None = None
+        self._work: QPProblem | None = None
+        self._scaling: _qp._Scaling | None = None
+        self._equality: np.ndarray | None = None
+        self._rho_vec: np.ndarray | None = None
+        self._lu: spla.SuperLU | None = None
+        self._x: np.ndarray | None = None
+        self._z: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        # Set by _admm when a verified early polish terminated the pass.
+        self._early_polished: QPSolution | None = None
+        # Factorized active-set KKT system from the last successful early
+        # polish.  Consecutive receding-horizon solves usually share the
+        # optimal active set, so the next solve() first re-solves this
+        # cached system against the fresh q/l/u (two back-substitutions)
+        # and, if the result passes the strict certificate, skips ADMM
+        # entirely.
+        self._polish_system: ActiveSetSystem | None = None
+        # Active-set guesses already tried (and rejected) in the current
+        # solve(), keyed by the packed masks; prevents re-factorizing the
+        # same wrong guess at every residual check.
+        self._failed_masks: set[bytes] = set()
+        # Stale-scaling bookkeeping (see _RESCALE_FACTOR above).
+        self._stale_scaling = False
+        self._best_warm_iterations: int | None = None
+
+    @property
+    def is_setup(self) -> bool:
+        """Whether :meth:`setup` has been called."""
+        return self._problem is not None
+
+    @property
+    def problem(self) -> QPProblem:
+        """The current (original-scale) problem held by the workspace."""
+        if self._problem is None:
+            raise RuntimeError("QPWorkspace.setup() has not been called")
+        return self._problem
+
+    def setup(
+        self,
+        P: MatrixLike,
+        A: MatrixLike,
+        q: VectorLike | None = None,
+        l: VectorLike | None = None,
+        u: VectorLike | None = None,
+        settings: QPSettings | None = None,
+    ) -> None:
+        """Install a problem structure: validate, equilibrate, factorize.
+
+        Args:
+            P: symmetric PSD cost matrix, shape ``(n, n)``.
+            A: constraint matrix, shape ``(m, n)``.
+            q: initial linear cost (default zeros); the Ruiz cost
+                normalization is computed against this vector and kept for
+                every later :meth:`update`.
+            l: initial lower bounds (default ``-inf``).
+            u: initial upper bounds (default ``+inf``).
+            settings: replaces the workspace settings if given.
+
+        Raises:
+            ValueError: on malformed inputs (see
+                :meth:`repro.solvers.qp.QPProblem.build`).
+        """
+        if settings is not None:
+            self.settings = settings
+        cfg = self.settings
+        P_csc = QPProblem.build_matrix(P)
+        n = P_csc.shape[0]
+        A_csc = QPProblem.build_matrix(A)
+        m = A_csc.shape[0]
+        if q is None:
+            q = np.zeros(n)
+        if l is None:
+            l = np.full(m, -np.inf)
+        if u is None:
+            u = np.full(m, np.inf)
+        problem = QPProblem.build(P_csc, q, A_csc, l, u)
+
+        if cfg.scaling_iterations > 0:
+            work, scaling = _qp._ruiz_equilibrate(problem, cfg.scaling_iterations)
+        else:
+            work, scaling = problem, _qp._identity_scaling(
+                problem.num_variables, problem.num_constraints
+            )
+
+        self._problem = problem
+        self._work = work
+        self._scaling = scaling
+        self._equality = problem.l == problem.u
+        self._rho_vec = _qp._rho_vector(work, cfg.rho)
+        self._lu = _qp._factorize(work, cfg.sigma, self._rho_vec)
+        self.num_factorizations += 1
+        self.num_setups += 1
+        self._x = self._z = self._y = None
+        self._stale_scaling = False
+        self._best_warm_iterations = None
+        self._polish_system = None
+
+    def _refresh_scaling(self) -> None:
+        """Re-equilibrate against the *current* problem data.
+
+        Updates between solves only touch vectors, so the Ruiz scaling from
+        setup slowly stops matching the data the solver actually sees;
+        this recomputes it, refreshes the rho-dependent factorization, and
+        migrates the stored warm-start iterates into the new scaled space.
+        """
+        problem = self._problem
+        old = self._scaling
+        assert problem is not None and old is not None
+        cfg = self.settings
+        if cfg.scaling_iterations > 0:
+            work, scaling = _qp._ruiz_equilibrate(problem, cfg.scaling_iterations)
+        else:
+            work, scaling = problem, _qp._identity_scaling(
+                problem.num_variables, problem.num_constraints
+            )
+        if self._x is not None and self._z is not None and self._y is not None:
+            self._x = scaling.scale_x(old.unscale_x(self._x))
+            self._y = scaling.scale_y(old.unscale_y(self._y))
+            self._z = scaling.e * old.unscale_z(self._z)
+        self._work = work
+        self._scaling = scaling
+        self._equality = problem.l == problem.u
+        self._rho_vec = _qp._rho_vector(work, cfg.rho)
+        self._lu = _qp._factorize(work, cfg.sigma, self._rho_vec)
+        self.num_factorizations += 1
+        self._stale_scaling = False
+        self._best_warm_iterations = None
+
+    def update(
+        self,
+        q: VectorLike | None = None,
+        l: VectorLike | None = None,
+        u: VectorLike | None = None,
+    ) -> None:
+        """Replace problem vectors, keeping structure, scaling and factors.
+
+        Args:
+            q: new linear cost, shape ``(n,)``.
+            l: new lower bounds, shape ``(m,)``.
+            u: new upper bounds, shape ``(m,)``.
+
+        Raises:
+            RuntimeError: if :meth:`setup` has not been called.
+            ValueError: on shape mismatches or ``l > u``.
+        """
+        if self._problem is None or self._work is None or self._scaling is None:
+            raise RuntimeError("QPWorkspace.update() before setup()")
+        problem = self._problem
+        n, m = problem.num_variables, problem.num_constraints
+        new_q = problem.q if q is None else np.asarray(q, dtype=float).ravel()
+        new_l = problem.l if l is None else np.asarray(l, dtype=float).ravel()
+        new_u = problem.u if u is None else np.asarray(u, dtype=float).ravel()
+        if new_q.shape != (n,):
+            raise ValueError(f"q must have shape ({n},), got {new_q.shape}")
+        if new_l.shape != (m,) or new_u.shape != (m,):
+            raise ValueError(f"l and u must have shape ({m},)")
+        if np.any(new_l > new_u):
+            raise ValueError("infeasible bounds: some l[i] > u[i]")
+
+        scaling = self._scaling
+        self._problem = replace(problem, q=new_q, l=new_l, u=new_u)
+        self._work = replace(
+            self._work,
+            q=scaling.cost * (scaling.d * new_q),
+            l=scaling.e * new_l,
+            u=scaling.e * new_u,
+        )
+        equality = new_l == new_u
+        assert self._equality is not None
+        if not np.array_equal(equality, self._equality):
+            # The per-row step sizes key on the equality pattern; a pattern
+            # change invalidates the cached KKT factorization.  The cached
+            # polish system folds equality rows into its upper mask, so it
+            # goes stale too.
+            self._equality = equality
+            self._rho_vec = _qp._rho_vector(self._work, self.settings.rho)
+            self._lu = _qp._factorize(self._work, self.settings.sigma, self._rho_vec)
+            self.num_factorizations += 1
+            self._polish_system = None
+        self.num_updates += 1
+
+    def solve(
+        self,
+        warm_start: QPSolution | None = None,
+        reuse_iterates: bool = True,
+    ) -> QPSolution:
+        """Run ADMM on the current problem data.
+
+        Args:
+            warm_start: a previous solution of a same-shaped problem; takes
+                precedence over the workspace's own stored iterates.
+            reuse_iterates: seed from the previous :meth:`solve`'s final
+                (scaled) iterates when no explicit ``warm_start`` is given.
+
+        Returns:
+            A :class:`~repro.solvers.qp.QPSolution`; same contract as
+            :func:`~repro.solvers.qp.solve_qp`, with ``iterations``
+            counting *all* ADMM iterations spent, including any internal
+            cold restart after a stalled warm start.
+
+        Raises:
+            RuntimeError: if :meth:`setup` has not been called.
+        """
+        if (
+            self._problem is None
+            or self._work is None
+            or self._scaling is None
+            or self._rho_vec is None
+            or self._lu is None
+        ):
+            raise RuntimeError("QPWorkspace.solve() before setup()")
+        if self._stale_scaling:
+            self._refresh_scaling()
+        self._failed_masks = set()
+        problem, work, scaling = self._problem, self._work, self._scaling
+        cfg = self.settings
+        n, m = problem.num_variables, problem.num_constraints
+
+        x = np.zeros(n)
+        z = np.zeros(m)
+        y = np.zeros(m)
+        warm_seeded = False
+        if warm_start is not None and warm_start.x.size == n and warm_start.y.size == m:
+            x = scaling.scale_x(np.asarray(warm_start.x, dtype=float))
+            y = scaling.scale_y(np.asarray(warm_start.y, dtype=float))
+            z = np.asarray(work.A @ x, dtype=float)
+            warm_seeded = True
+        elif (
+            reuse_iterates
+            and self._x is not None
+            and self._z is not None
+            and self._y is not None
+        ):
+            x = self._x.copy()
+            z = self._z.copy()
+            y = self._y.copy()
+            warm_seeded = True
+
+        if m == 0:
+            x = scaling.unscale_x(self._lu.solve(-work.q))
+            self._x, self._z, self._y = scaling.scale_x(x), z, y
+            return QPSolution(
+                x=x,
+                y=y,
+                objective=problem.objective(x),
+                status=QPStatus.OPTIMAL,
+                iterations=0,
+                primal_residual=0.0,
+                dual_residual=_qp._inf_norm(problem.P @ x + problem.q),
+            )
+
+        if cfg.early_polish and cfg.polish and self._polish_system is not None:
+            cached = self._try_cached_active_set()
+            if cached is not None:
+                return cached
+
+        x, z, y, status, iterations, r_prim, r_dual = self._admm(x, z, y)
+
+        if warm_seeded and status is QPStatus.OPTIMAL:
+            best = self._best_warm_iterations
+            if best is None or iterations < best:
+                self._best_warm_iterations = iterations
+            elif iterations > max(_RESCALE_FLOOR, _RESCALE_FACTOR * best):
+                self._stale_scaling = True
+
+        if status is QPStatus.MAX_ITERATIONS and warm_seeded:
+            # A warm start from a *different* problem can trap the
+            # iteration (the adaptive step size tunes itself to the stale
+            # iterate and stalls).  Restart cold — reusing the equilibrated
+            # problem and refreshing only the rho-dependent factorization —
+            # and report the *cumulative* iteration count.
+            self._rho_vec = _qp._rho_vector(work, cfg.rho)
+            self._lu = _qp._factorize(work, cfg.sigma, self._rho_vec)
+            self.num_factorizations += 1
+            x, z, y, status, restart_iters, r_prim, r_dual = self._admm(
+                np.zeros(n), np.zeros(m), np.zeros(m)
+            )
+            iterations += restart_iters
+
+        if status in (QPStatus.PRIMAL_INFEASIBLE, QPStatus.DUAL_INFEASIBLE):
+            # Divergence certificates make poor warm starts; drop them.
+            self._x = self._z = self._y = None
+            return QPSolution(
+                x=scaling.unscale_x(x),
+                y=scaling.unscale_y(y),
+                objective=np.nan,
+                status=status,
+                iterations=iterations,
+                primal_residual=np.inf,
+                dual_residual=np.inf,
+            )
+
+        self._x, self._z, self._y = x.copy(), z.copy(), y.copy()
+        if self._early_polished is not None:
+            # The ADMM iterates at the break point (not the polished
+            # solution) stay stored — they are the natural warm start for
+            # the next same-structure solve.
+            return replace(self._early_polished, iterations=iterations)
+        x_orig = scaling.unscale_x(x)
+        y_orig = scaling.unscale_y(y)
+        z_orig = scaling.unscale_z(z)
+        if status is QPStatus.MAX_ITERATIONS:
+            r_prim, r_dual, _, _ = _qp._residuals(problem, x_orig, z_orig, y_orig)
+
+        solution = QPSolution(
+            x=x_orig,
+            y=y_orig,
+            objective=problem.objective(x_orig),
+            status=status,
+            iterations=iterations,
+            primal_residual=r_prim,
+            dual_residual=r_dual,
+        )
+        if cfg.polish and status is QPStatus.OPTIMAL:
+            solution = polish_solution(problem, solution)
+        return solution
+
+    # Crossover attempts per solve: the first re-solves the cached system
+    # verbatim; each further attempt is one primal-dual active-set update
+    # (add violated rows, drop wrong-sign multipliers) plus a fresh
+    # factorization.  Receding-horizon steps flip a few dozen rows, which
+    # this typically identifies within a handful of updates; anything
+    # harder falls back to ADMM, so the bound only caps wasted
+    # factorizations (the ``_failed_masks`` memo breaks cycles early).
+    _MAX_CROSSOVER_ATTEMPTS = 8
+
+    def _try_cached_active_set(self) -> QPSolution | None:
+        """Re-solve from the cached active set, correcting it if it moved.
+
+        If the optimal active set did not change since the last solve —
+        the common case along a receding horizon — the cached system's KKT
+        point passes the strict certificate and *is* the optimum: ADMM is
+        skipped entirely and the solve costs two back-substitutions.  When
+        the set did move, run a few primal-dual active-set updates
+        (:func:`repro.solvers.kkt.update_active_set`), each certified
+        against the strict tolerances before being accepted.  Returns
+        ``None`` if no attempt certifies, in which case the caller falls
+        back to ADMM — seeded from the last trial KKT point, which is far
+        closer to the new optimum than the previous solve's iterates.
+        """
+        problem = self._problem
+        scaling = self._scaling
+        system = self._polish_system
+        assert problem is not None and scaling is not None and system is not None
+        candidate: QPSolution | None = None
+        for _ in range(self._MAX_CROSSOVER_ATTEMPTS):
+            key = system.active_lower.tobytes() + system.active_upper.tobytes()
+            if key in self._failed_masks:
+                break
+            x, y = solve_active_set_system(problem, system)
+            if not np.all(np.isfinite(x)):
+                self._failed_masks.add(key)
+                break
+            residuals = kkt_residuals(problem, x, y)
+            candidate = QPSolution(
+                x=x,
+                y=y,
+                objective=problem.objective(x),
+                status=QPStatus.OPTIMAL,
+                iterations=0,
+                primal_residual=residuals.primal,
+                dual_residual=residuals.dual,
+                polished=True,
+            )
+            if self._certifies_optimal(candidate):
+                self._polish_system = system
+                self._store_iterates(candidate.x, candidate.y)
+                return candidate
+            self._failed_masks.add(key)
+            next_system = build_active_set_system(
+                problem, *update_active_set(problem, x, y)
+            )
+            if next_system is None:
+                break
+            system = next_system
+        if candidate is not None:
+            # Even a rejected candidate is an exact KKT point of a nearby
+            # active set on the current data; seed ADMM from it so the
+            # iteration only has to move the rows whose activity flipped.
+            self._store_iterates(candidate.x, candidate.y)
+        return None
+
+    def _store_iterates(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Store an (unscaled) primal/dual pair as the scaled warm start."""
+        problem = self._problem
+        scaling = self._scaling
+        assert problem is not None and scaling is not None
+        z = np.clip(np.asarray(problem.A @ x, dtype=float), problem.l, problem.u)
+        self._x = scaling.scale_x(x)
+        self._y = scaling.scale_y(y)
+        self._z = scaling.e * z
+
+    def _certifies_optimal(self, solution: QPSolution) -> bool:
+        """Strict-tolerance optimality certificate for a polished solution.
+
+        A convex QP's exact KKT point is globally optimal, so a candidate
+        whose *true* bound violation, stationarity residual and duality gap
+        all sit below the strict thresholds is accepted as optimal
+        regardless of how loose the ADMM iterate that seeded it was.  All
+        checks are on the original (unscaled) problem.
+
+        The third check is the aggregate complementarity *sum*
+
+            ``gap = sum_i slack_i * |y_i|``
+
+        which — given (near-)exact stationarity, which polish delivers —
+        equals the duality gap and therefore directly bounds the objective
+        suboptimality.  A per-row max-norm check is not enough here: a
+        wrong active-set guess can hide a few-times-``eps`` violation in
+        each of thousands of rows, adding up to a visible objective error
+        while every individual row looks converged.
+        """
+        problem = self._problem
+        assert problem is not None
+        cfg = self.settings
+        residuals = kkt_residuals(problem, solution.x, solution.y)
+        ax = np.asarray(problem.A @ solution.x, dtype=float)
+        z_proj = np.clip(ax, problem.l, problem.u)
+        px = np.asarray(problem.P @ solution.x, dtype=float)
+        aty = np.asarray(problem.A.T @ solution.y, dtype=float)
+        prim_scale = max(_qp._inf_norm(ax), _qp._inf_norm(z_proj), 1e-12)
+        dual_scale = max(
+            _qp._inf_norm(px),
+            _qp._inf_norm(problem.q),
+            _qp._inf_norm(aty),
+            1e-12,
+        )
+        eps_prim = cfg.eps_abs + cfg.eps_rel * prim_scale
+        eps_dual = cfg.eps_abs + cfg.eps_rel * dual_scale
+        if residuals.primal > eps_prim or residuals.dual > eps_dual:
+            return False
+
+        y = np.asarray(solution.y, dtype=float)
+        y_pos = np.maximum(y, 0.0)
+        y_neg = np.minimum(y, 0.0)
+        # A multiplier pressing against an infinite bound certifies nothing
+        # (its slack term is unbounded); polish only assigns duals to rows
+        # it treats as active, so this rejects genuinely broken guesses.
+        if bool(np.any(y_pos[np.isinf(problem.u)] > cfg.eps_abs)) or bool(
+            np.any(-y_neg[np.isinf(problem.l)] > cfg.eps_abs)
+        ):
+            return False
+        gap = 0.0
+        upper_mask = np.isfinite(problem.u) & (y_pos > 0.0)
+        if np.any(upper_mask):
+            gap += float(
+                np.sum(
+                    np.abs(problem.u[upper_mask] - ax[upper_mask])
+                    * y_pos[upper_mask]
+                )
+            )
+        lower_mask = np.isfinite(problem.l) & (y_neg < 0.0)
+        if np.any(lower_mask):
+            gap += float(
+                np.sum(
+                    np.abs(ax[lower_mask] - problem.l[lower_mask])
+                    * (-y_neg[lower_mask])
+                )
+            )
+        objective = float(0.5 * solution.x @ px + problem.q @ solution.x)
+        eps_gap = cfg.eps_abs + cfg.eps_rel * abs(objective)
+        return gap <= eps_gap
+
+    def _admm(
+        self, x: np.ndarray, z: np.ndarray, y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, QPStatus, int, float, float]:
+        """One ADMM pass from the given scaled iterates.
+
+        Returns the final scaled iterates, the termination status, the
+        iteration count of this pass and the last original-scale residuals.
+        Mutates the workspace's rho vector / factorization on adaptive-rho
+        steps (that is the cache the next solve reuses).
+        """
+        problem, work, scaling = self._problem, self._work, self._scaling
+        assert problem is not None and work is not None and scaling is not None
+        assert self._rho_vec is not None and self._lu is not None
+        cfg = self.settings
+        n, m = problem.num_variables, problem.num_constraints
+        rho_vec = self._rho_vec
+        lu = self._lu
+
+        rhs = np.empty(n + m)
+        status = QPStatus.MAX_ITERATIONS
+        r_prim = r_dual = np.inf
+        iteration = 0
+        self._early_polished = None
+        # Early-polish attempt gating: an attempt costs one KKT
+        # factorization of the active-set system, so (a) only attempt once
+        # the candidate active set (which rows of z sit on a bound) has
+        # survived one full check interval unchanged — while it churns the
+        # polish guess churns with it and the factorization is wasted —
+        # and (b) never retry a guess that already failed this solve
+        # (``_failed_masks``); the guess only becomes worth retrying after
+        # it changes, which the memo detects exactly.
+        prev_signature: np.ndarray | None = None
+        signature_stable = False
+        for iteration in range(1, cfg.max_iterations + 1):
+            x_prev = x
+            y_prev = y
+            rhs[:n] = cfg.sigma * x - work.q
+            rhs[n:] = z - y / rho_vec
+            sol = lu.solve(rhs)
+            x_tilde = sol[:n]
+            nu = sol[n:]
+            z_tilde = z + (nu - y) / rho_vec
+            x = cfg.alpha * x_tilde + (1.0 - cfg.alpha) * x_prev
+            z_relaxed = cfg.alpha * z_tilde + (1.0 - cfg.alpha) * z
+            z_new = project_box(z_relaxed + y / rho_vec, work.l, work.u)
+            y = y + rho_vec * (z_relaxed - z_new)
+            z = z_new
+
+            if iteration % cfg.check_interval != 0:
+                continue
+
+            x_orig = scaling.unscale_x(x)
+            y_orig = scaling.unscale_y(y)
+            z_orig = scaling.unscale_z(z)
+            r_prim, r_dual, prim_scale, dual_scale = _qp._residuals(
+                problem, x_orig, z_orig, y_orig
+            )
+            eps_prim = cfg.eps_abs + cfg.eps_rel * prim_scale
+            eps_dual = cfg.eps_abs + cfg.eps_rel * dual_scale
+            if r_prim <= eps_prim and r_dual <= eps_dual:
+                status = QPStatus.OPTIMAL
+                break
+
+            if cfg.early_polish and cfg.polish:
+                # Box projection puts active rows *exactly* on their (scaled)
+                # bound, so equality is the right test here.
+                signature = (z <= work.l) | (z >= work.u)
+                signature_stable = prev_signature is not None and bool(
+                    np.array_equal(signature, prev_signature)
+                )
+                prev_signature = signature
+
+            if (
+                cfg.early_polish
+                and cfg.polish
+                and signature_stable
+                and r_prim <= cfg.early_polish_factor * eps_prim
+                and r_dual <= cfg.early_polish_factor * eps_dual
+            ):
+                active_lower, active_upper = guess_active_set(problem, x_orig, y_orig)
+                key = active_lower.tobytes() + active_upper.tobytes()
+                if key not in self._failed_masks:
+                    system = build_active_set_system(problem, active_lower, active_upper)
+                    refined: QPSolution | None = None
+                    if system is not None:
+                        px, py = solve_active_set_system(problem, system)
+                        if np.all(np.isfinite(px)):
+                            res = kkt_residuals(problem, px, py)
+                            refined = QPSolution(
+                                x=px,
+                                y=py,
+                                objective=problem.objective(px),
+                                status=QPStatus.OPTIMAL,
+                                iterations=iteration,
+                                primal_residual=res.primal,
+                                dual_residual=res.dual,
+                                polished=True,
+                            )
+                    if refined is not None and self._certifies_optimal(refined):
+                        self._polish_system = system
+                        self._early_polished = refined
+                        status = QPStatus.OPTIMAL
+                        r_prim = refined.primal_residual
+                        r_dual = refined.dual_residual
+                        break
+                    self._failed_masks.add(key)
+
+            if _qp._check_primal_infeasible(
+                problem, scaling.unscale_y(y - y_prev), cfg.infeasibility_eps
+            ):
+                status = QPStatus.PRIMAL_INFEASIBLE
+                break
+            if _qp._check_dual_infeasible(
+                problem, scaling.unscale_x(x - x_prev), cfg.infeasibility_eps
+            ):
+                status = QPStatus.DUAL_INFEASIBLE
+                break
+
+            if cfg.adaptive_rho_interval and iteration % cfg.adaptive_rho_interval == 0:
+                # Balance the *scaled* residuals — they drive the iteration.
+                rs_prim, rs_dual, ps, ds = _qp._residuals(work, x, z, y)
+                scaled_prim = rs_prim / max(ps, 1e-12)
+                scaled_dual = rs_dual / max(ds, 1e-12)
+                ratio = np.sqrt(scaled_prim / max(scaled_dual, 1e-12))
+                if (
+                    ratio > cfg.adaptive_rho_tolerance
+                    or ratio < 1.0 / cfg.adaptive_rho_tolerance
+                ):
+                    rho_vec = np.clip(rho_vec * ratio, _qp._RHO_MIN, _qp._RHO_MAX)
+                    lu = _qp._factorize(work, cfg.sigma, rho_vec)
+                    self._rho_vec = rho_vec
+                    self._lu = lu
+                    self.num_factorizations += 1
+
+        return x, z, y, status, iteration, r_prim, r_dual

@@ -1,0 +1,84 @@
+"""Tests for the deterministic sweep runner (repro.experiments.runner)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig9_horizon_cost_volatile import run_fig9
+from repro.experiments.runner import derive_seed, resolve_jobs, run_sweep
+
+
+@dataclass(frozen=True)
+class _Spec:
+    index: int
+    base_seed: int
+
+
+def _noisy_square(spec: _Spec) -> float:
+    """Module-level worker: all randomness derived from the spec alone."""
+    rng = np.random.default_rng(derive_seed(spec.base_seed, spec.index))
+    return float(spec.index**2 + rng.standard_normal())
+
+
+class TestResolveJobs:
+    def test_none_and_one_mean_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_positive_taken_literally(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(-1)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, 7) == derive_seed(42, 7)
+
+    def test_distinct_across_indices_and_bases(self):
+        seeds = {derive_seed(42, i) for i in range(100)}
+        assert len(seeds) == 100
+        assert derive_seed(42, 0) != derive_seed(43, 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="index"):
+            derive_seed(42, -1)
+
+
+class TestRunSweep:
+    def test_serial_matches_parallel_bitwise(self):
+        specs = [_Spec(index=i, base_seed=123) for i in range(8)]
+        serial = run_sweep(_noisy_square, specs, jobs=1)
+        parallel = run_sweep(_noisy_square, specs, jobs=2)
+        assert serial == parallel  # exact float equality, not approx
+
+    def test_results_in_spec_order(self):
+        specs = [_Spec(index=i, base_seed=0) for i in range(6)]
+        results = run_sweep(lambda s: s.index, specs, jobs=None)
+        assert results == [s.index for s in specs]
+
+    def test_empty_specs(self):
+        assert run_sweep(_noisy_square, [], jobs=4) == []
+
+    def test_jobs_capped_by_spec_count(self):
+        # More workers than specs must not break anything.
+        specs = [_Spec(index=0, base_seed=1)]
+        assert len(run_sweep(_noisy_square, specs, jobs=8)) == 1
+
+
+class TestFig9Parallel:
+    def test_fig9_bit_identical_serial_vs_parallel(self):
+        kwargs = dict(horizons=(1, 2), num_periods=6, num_seeds=1)
+        serial = run_fig9(jobs=1, **kwargs)
+        parallel = run_fig9(jobs=2, **kwargs)
+        assert set(serial.series) == set(parallel.series)
+        for key in serial.series:
+            np.testing.assert_array_equal(serial.series[key], parallel.series[key])

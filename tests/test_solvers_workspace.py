@@ -1,0 +1,244 @@
+"""Tests for the persistent QP workspace (repro.solvers.workspace)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.dspp import DSPPWorkspace, solve_dspp
+from repro.solvers.qp import QPSettings, QPStatus, solve_qp
+from repro.solvers.workspace import QPWorkspace
+
+
+def _random_qp(rng, n=8, m=12):
+    """A strongly convex random QP (unique optimum) with finite box rows."""
+    M = rng.normal(size=(n, n))
+    P = sp.csc_matrix(M @ M.T + n * np.eye(n))
+    q = rng.normal(size=n)
+    A = sp.csc_matrix(rng.normal(size=(m, n)))
+    center = rng.normal(size=m)
+    width = rng.uniform(0.5, 2.0, size=m)
+    return P, q, A, center - width, center + width
+
+
+def _perturb(rng, q, l, u, scale=0.1):
+    q2 = q + scale * rng.normal(size=q.size)
+    shift = scale * rng.normal(size=l.size)
+    return q2, l + shift, u + shift
+
+
+class TestWorkspaceEquivalence:
+    def test_matches_solve_qp_across_random_updates(self, rng):
+        P, q, A, l, u = _random_qp(rng)
+        ws = QPWorkspace()
+        ws.setup(P, A, q=q, l=l, u=u)
+        for _ in range(5):
+            cold = solve_qp(P, q, A, l, u)
+            warm = ws.solve()
+            assert warm.status is QPStatus.OPTIMAL
+            # Strongly convex: the optimum is unique, so x must agree too.
+            assert warm.objective == pytest.approx(cold.objective, rel=1e-6, abs=1e-8)
+            np.testing.assert_allclose(warm.x, cold.x, rtol=1e-4, atol=1e-5)
+            q, l, u = _perturb(rng, q, l, u)
+            ws.update(q=q, l=l, u=u)
+
+    def test_early_polish_matches_default_tolerances(self, rng):
+        P, q, A, l, u = _random_qp(rng)
+        ws = QPWorkspace(settings=QPSettings(early_polish=True))
+        ws.setup(P, A, q=q, l=l, u=u)
+        for _ in range(4):
+            cold = solve_qp(P, q, A, l, u)
+            warm = ws.solve()
+            assert warm.status is QPStatus.OPTIMAL
+            # The verified-early-polish path certifies against the strict
+            # tolerances, so accuracy must not degrade.
+            assert warm.objective == pytest.approx(cold.objective, rel=1e-6, abs=1e-8)
+            q, l, u = _perturb(rng, q, l, u)
+            ws.update(q=q, l=l, u=u)
+
+    def test_cached_active_set_skips_admm_on_repeat_solve(self, rng):
+        P, q, A, l, u = _random_qp(rng)
+        ws = QPWorkspace(settings=QPSettings(early_polish=True))
+        ws.setup(P, A, q=q, l=l, u=u)
+        first = ws.solve()
+        assert first.status is QPStatus.OPTIMAL
+        # Identical data again: the cached active-set system is certified
+        # optimal without a single ADMM iteration.
+        ws.update(q=q, l=l, u=u)
+        second = ws.solve()
+        assert second.status is QPStatus.OPTIMAL
+        assert second.iterations == 0
+        np.testing.assert_allclose(second.x, first.x, rtol=1e-6, atol=1e-8)
+
+    def test_explicit_warm_start_still_accepted(self, rng):
+        P, q, A, l, u = _random_qp(rng)
+        cold = solve_qp(P, q, A, l, u)
+        ws = QPWorkspace()
+        ws.setup(P, A, q=q, l=l, u=u)
+        warm = ws.solve(warm_start=cold)
+        assert warm.status is QPStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, rel=1e-6, abs=1e-8)
+
+
+class TestFactorizationCaching:
+    def test_updates_do_not_refactorize_same_pattern(self, rng):
+        P, q, A, l, u = _random_qp(rng)
+        # Disable adaptive rho so the only legal factorizations are setup
+        # and equality-pattern changes.
+        ws = QPWorkspace(settings=QPSettings(adaptive_rho_interval=0))
+        ws.setup(P, A, q=q, l=l, u=u)
+        assert ws.num_setups == 1
+        assert ws.num_factorizations == 1
+        for k in range(3):
+            q, l, u = _perturb(rng, q, l, u)
+            ws.update(q=q, l=l, u=u)
+            ws.solve()
+        assert ws.num_setups == 1
+        assert ws.num_updates == 3
+        assert ws.num_factorizations == 1
+
+    def test_equality_pattern_change_refactorizes(self, rng):
+        P, q, A, l, u = _random_qp(rng)
+        ws = QPWorkspace(settings=QPSettings(adaptive_rho_interval=0))
+        ws.setup(P, A, q=q, l=l, u=u)
+        before = ws.num_factorizations
+        u2 = u.copy()
+        u2[0] = l[0]  # row 0 becomes an equality
+        ws.update(u=u2)
+        assert ws.num_factorizations == before + 1
+        solution = ws.solve()
+        assert solution.status is QPStatus.OPTIMAL
+        assert abs(solution.x @ ws.problem.A[0].toarray().ravel() - l[0]) < 1e-4
+
+    def test_max_iterations_reports_cumulative_count(self, rng):
+        P, q, A, l, u = _random_qp(rng)
+        strict = QPSettings(
+            eps_abs=1e-14,
+            eps_rel=1e-14,
+            max_iterations=30,
+            polish=False,
+            adaptive_rho_interval=0,
+        )
+        ws = QPWorkspace(settings=strict)
+        ws.setup(P, A, q=q, l=l, u=u)
+        first = ws.solve()
+        assert first.status is QPStatus.MAX_ITERATIONS
+        q2, l2, u2 = _perturb(rng, q, l, u, scale=1.0)
+        ws.update(q=q2, l=l2, u=u2)
+        # Warm-seeded solve exhausts the budget, then the internal cold
+        # restart runs another full pass; the count must cover both.
+        second = ws.solve()
+        assert second.status is QPStatus.MAX_ITERATIONS
+        assert second.iterations == 2 * strict.max_iterations
+
+
+class TestEdgeCases:
+    def test_unconstrained_problem(self, rng):
+        n = 6
+        M = rng.normal(size=(n, n))
+        P = sp.csc_matrix(M @ M.T + n * np.eye(n))
+        q = rng.normal(size=n)
+        A = sp.csc_matrix((0, n))
+        ws = QPWorkspace()
+        ws.setup(P, A, q=q)
+        solution = ws.solve()
+        assert solution.status is QPStatus.OPTIMAL
+        expected = np.linalg.solve(P.toarray(), -q)
+        # The workspace solves the sigma-regularized KKT system, so allow
+        # the regularization-sized bias.
+        np.testing.assert_allclose(solution.x, expected, rtol=1e-4, atol=1e-5)
+
+    def test_solve_before_setup_raises(self):
+        ws = QPWorkspace()
+        assert not ws.is_setup
+        with pytest.raises(RuntimeError, match="setup"):
+            ws.solve()
+        with pytest.raises(RuntimeError, match="setup"):
+            ws.update(q=np.zeros(3))
+        with pytest.raises(RuntimeError, match="setup"):
+            _ = ws.problem
+
+    def test_update_validates_shapes_and_bounds(self, rng):
+        P, q, A, l, u = _random_qp(rng)
+        ws = QPWorkspace()
+        ws.setup(P, A, q=q, l=l, u=u)
+        with pytest.raises(ValueError, match="q must have shape"):
+            ws.update(q=np.zeros(q.size + 1))
+        with pytest.raises(ValueError, match="l and u"):
+            ws.update(l=np.zeros(l.size + 1))
+        with pytest.raises(ValueError, match="infeasible"):
+            ws.update(l=u + 1.0, u=u)
+
+    def test_infeasible_problem_detected(self, rng):
+        n = 4
+        P = sp.identity(n, format="csc")
+        q = np.zeros(n)
+        # x0 >= 1 and x0 <= -1 simultaneously.
+        A = sp.csc_matrix(np.vstack([np.eye(n)[0], np.eye(n)[0]]))
+        l = np.array([1.0, -np.inf])
+        u = np.array([np.inf, -1.0])
+        ws = QPWorkspace()
+        ws.setup(P, A, q=q, l=l, u=u)
+        solution = ws.solve()
+        assert solution.status is QPStatus.PRIMAL_INFEASIBLE
+
+
+class TestDSPPWorkspace:
+    def test_mpc_sequence_matches_cold_with_capacity_swap(self, small_instance, rng):
+        T = 3
+        num_steps = 5
+        ws = DSPPWorkspace()
+        state = small_instance.initial_state
+        capacities = small_instance.capacities
+        for k in range(num_steps):
+            demand = rng.uniform(5.0, 20.0, size=(2, T))
+            prices = rng.uniform(0.5, 2.0, size=(2, T))
+            if k == 2:  # capacity swap mid-sequence: still a vector update
+                capacities = capacities * np.array([0.5, 2.0])
+            instance = replace(
+                small_instance, initial_state=state, capacities=capacities
+            )
+            cold = solve_dspp(instance, demand, prices)
+            warm = solve_dspp(instance, demand, prices, workspace=ws)
+            # The stacked P is only PSD, so trajectories may differ along
+            # flat directions; the objective is the well-defined quantity.
+            assert warm.objective == pytest.approx(
+                cold.objective, rel=1e-5, abs=1e-6
+            )
+            state = np.maximum(state + cold.first_control, 0.0)
+        assert ws.num_setups == 1
+        assert ws.num_updates == num_steps - 1
+
+    def test_horizon_change_rebuilds_transparently(self, small_instance, rng):
+        ws = DSPPWorkspace()
+        demand3 = rng.uniform(5.0, 20.0, size=(2, 3))
+        prices3 = rng.uniform(0.5, 2.0, size=(2, 3))
+        solve_dspp(small_instance, demand3, prices3, workspace=ws)
+        demand4 = rng.uniform(5.0, 20.0, size=(2, 4))
+        prices4 = rng.uniform(0.5, 2.0, size=(2, 4))
+        warm = solve_dspp(small_instance, demand4, prices4, workspace=ws)
+        cold = solve_dspp(small_instance, demand4, prices4)
+        assert ws.num_setups == 2
+        assert warm.objective == pytest.approx(cold.objective, rel=1e-5, abs=1e-6)
+
+    def test_invalidate_drops_cache(self, small_instance, rng):
+        ws = DSPPWorkspace()
+        demand = rng.uniform(5.0, 20.0, size=(2, 3))
+        prices = rng.uniform(0.5, 2.0, size=(2, 3))
+        solve_dspp(small_instance, demand, prices, workspace=ws)
+        ws.invalidate()
+        solve_dspp(small_instance, demand, prices, workspace=ws)
+        assert ws.num_setups == 1  # fresh inner workspace after invalidate
+
+    def test_caller_settings_honoured_verbatim(self, small_instance, rng):
+        ws = DSPPWorkspace()
+        demand = rng.uniform(5.0, 20.0, size=(2, 3))
+        prices = rng.uniform(0.5, 2.0, size=(2, 3))
+        settings = QPSettings(polish=False)
+        warm = solve_dspp(
+            small_instance, demand, prices, settings=settings, workspace=ws
+        )
+        assert warm.qp.polished is False
