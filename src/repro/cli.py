@@ -12,6 +12,10 @@ Each figure command runs the corresponding harness from
 :mod:`repro.experiments`, prints the table the paper's figure plots, and
 exits nonzero if any qualitative shape check fails (so the CLI doubles as
 a reproduction smoke test in CI).
+
+The ``verify`` subcommand group (``python -m repro verify fuzz|replay|list``)
+drives the differential-oracle/fuzzing subsystem in :mod:`repro.verify`;
+see :mod:`repro.verify.cli`.
 """
 
 from __future__ import annotations
@@ -114,6 +118,10 @@ def build_parser() -> argparse.ArgumentParser:
         "results are identical at any job count",
     )
 
+    from repro.verify.cli import add_verify_parser
+
+    add_verify_parser(sub)
+
     for name, description in _DESCRIPTIONS.items():
         figure_parser = sub.add_parser(name, help=description)
         figure_parser.add_argument("--seed", type=int, default=0)
@@ -143,6 +151,11 @@ def main(argv: list[str] | None = None) -> int:
         for name, description in _DESCRIPTIONS.items():
             print(f"{name:6s} {description}")
         return 0
+
+    if args.command == "verify":
+        from repro.verify.cli import run_verify
+
+        return run_verify(args)
 
     if args.command == "report":
         from repro.report import ReportOptions, write_report

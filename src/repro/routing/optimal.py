@@ -82,9 +82,16 @@ def optimal_assignment(
         raise ValueError("allocation and demand must be nonnegative")
 
     capacity = allocation * coeff  # max demand each pair may carry
-    if np.any(capacity.sum(axis=0) + 1e-9 < demand):
+    shortfall = demand - capacity.sum(axis=0)
+    infeasible = np.nonzero(shortfall > 1e-9)[0]
+    if infeasible.size:
+        detail = ", ".join(
+            f"v{v} (demand {demand[v]:.6g}, servable {capacity[:, v].sum():.6g})"
+            for v in infeasible
+        )
         raise AssignmentInfeasibleError(
-            "allocation violates eq. 12: some location cannot be served"
+            f"allocation violates eq. 12 at location(s) {detail}: "
+            "demand exceeds what the allocation can serve under the SLA"
         )
 
     # Variables sigma_lv, pair-major.
@@ -102,9 +109,19 @@ def optimal_assignment(
         method="highs",
     )
     if result.status == 2:
-        raise AssignmentInfeasibleError("assignment LP infeasible")
+        # The aggregate pre-check passed, so pinpoint the locations whose
+        # demand cannot be met within the per-pair capacity boxes.
+        slack = capacity.sum(axis=0) - demand
+        tightest = np.argsort(slack)[: min(3, V)]
+        detail = ", ".join(f"v{int(v)} (slack {slack[int(v)]:.6g})" for v in tightest)
+        raise AssignmentInfeasibleError(
+            f"assignment LP infeasible (linprog status {result.status}: "
+            f"{result.message.strip()}); tightest locations: {detail}"
+        )
     if not result.success:
-        raise RuntimeError(f"assignment LP failed: {result.message}")
+        raise RuntimeError(
+            f"assignment LP failed (linprog status {result.status}): {result.message}"
+        )
     sigma = result.x.reshape(L, V)
     objective = float(np.nansum(np.where(sigma > 0, latency * sigma, 0.0)))
     return OptimalAssignment(assignment=sigma, total_weighted_latency=objective)

@@ -1,0 +1,112 @@
+"""``python -m repro verify`` — fuzz, replay and inspect the check registry.
+
+Subcommands::
+
+    python -m repro verify fuzz --budget 200 --seed 0 [--tier small]
+                                [--check qp_reference] [--record DIR]
+    python -m repro verify replay [--corpus tests/corpus]
+    python -m repro verify list
+
+``fuzz`` exits nonzero on any oracle discrepancy or crash; with
+``--record`` the shrunk failures are written to the corpus directory so
+``replay`` (and the gating CI step that runs it) pins them forever.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.verify.corpus import load_corpus
+from repro.verify.generators import TIERS
+from repro.verify.runner import CHECKS, FuzzConfig, replay_corpus, run_fuzz
+
+__all__ = ["add_verify_parser", "run_verify"]
+
+_DEFAULT_CORPUS = Path("tests") / "corpus"
+
+
+def add_verify_parser(subparsers: argparse._SubParsersAction) -> None:
+    """Register the ``verify`` subcommand on the top-level CLI parser."""
+    parser = subparsers.add_parser(
+        "verify",
+        help="differential fuzzing against reference oracles",
+        description="Run the repro.verify differential/metamorphic checks.",
+    )
+    verify_sub = parser.add_subparsers(dest="verify_command", required=True)
+
+    fuzz = verify_sub.add_parser(
+        "fuzz", help="run a budgeted randomized campaign over all checks"
+    )
+    fuzz.add_argument("--budget", type=int, default=200, help="number of trials")
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz.add_argument(
+        "--tier",
+        action="append",
+        choices=sorted(TIERS),
+        default=None,
+        help="restrict to a scale tier (repeatable; default: all)",
+    )
+    fuzz.add_argument(
+        "--check",
+        action="append",
+        choices=sorted(CHECKS),
+        default=None,
+        help="restrict to a named check (repeatable; default: all)",
+    )
+    fuzz.add_argument(
+        "--record",
+        metavar="DIR",
+        default=None,
+        help="record shrunk failures as corpus entries under DIR",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip shrinking failures to the smallest reproducing tier",
+    )
+
+    replay = verify_sub.add_parser(
+        "replay", help="re-run every committed regression-corpus entry"
+    )
+    replay.add_argument(
+        "--corpus",
+        default=str(_DEFAULT_CORPUS),
+        help=f"corpus directory (default: {_DEFAULT_CORPUS})",
+    )
+
+    verify_sub.add_parser("list", help="list registered checks and their tiers")
+
+
+def run_verify(args: argparse.Namespace) -> int:
+    """Execute a parsed ``verify`` subcommand; returns the exit code."""
+    if args.verify_command == "list":
+        for name in sorted(CHECKS):
+            spec = CHECKS[name]
+            print(f"{name:32s} tiers: {', '.join(spec.tiers)}")
+        return 0
+
+    if args.verify_command == "fuzz":
+        config = FuzzConfig(
+            budget=args.budget,
+            seed=args.seed,
+            tiers=tuple(args.tier) if args.tier else tuple(sorted(TIERS)),
+            checks=tuple(args.check) if args.check else (),
+            corpus_dir=Path(args.record) if args.record else None,
+            shrink=not args.no_shrink,
+        )
+        report = run_fuzz(config)
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    if args.verify_command == "replay":
+        corpus_dir = Path(args.corpus)
+        entries = load_corpus(corpus_dir)
+        if not entries:
+            print(f"no corpus entries under {corpus_dir} — nothing to replay")
+            return 0
+        report = replay_corpus(corpus_dir)
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    raise AssertionError(f"unhandled verify subcommand {args.verify_command!r}")

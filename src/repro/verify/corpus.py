@@ -1,0 +1,106 @@
+"""The regression corpus: failing/boundary seeds as committed JSON files.
+
+Every fuzzing campaign that finds a failure shrinks it to the smallest
+reproducing tier and records a :class:`CorpusEntry` under
+``tests/corpus/``.  Entries are tiny — a check name, a tier and the seed
+material — because the generators are pure functions of the seed: the
+corpus *is* the problem, reconstructed bit-for-bit on replay.
+
+``python -m repro verify replay`` re-runs every committed entry and fails
+loudly if any regresses; CI runs it as a gating step, so a bug found by
+the nightly fuzzer stays fixed forever once its seed lands here.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = ["CorpusEntry", "entry_filename", "load_corpus", "record_entry"]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One reproducible regression (or boundary) case.
+
+    Attributes:
+        check: registered check name (see ``repro.verify.runner.CHECKS``).
+        tier: scale-tier name the failure reproduces at.
+        seed: seed material for ``np.random.default_rng`` (a list so
+            campaign seeds ``[seed, trial]`` round-trip losslessly).
+        note: one line of context — what the entry caught, or why the
+            boundary it probes is worth pinning.
+        created: ISO date the entry was recorded.
+    """
+
+    check: str
+    tier: str
+    seed: list[int]
+    note: str = ""
+    created: str = ""
+
+    def rng_seed(self) -> list[int]:
+        """The seed material to rebuild this entry's generator."""
+        return list(self.seed)
+
+
+def entry_filename(entry: CorpusEntry) -> str:
+    """Canonical filename: ``<check>-<seed material joined by dashes>.json``."""
+    stem = "-".join(str(part) for part in entry.seed)
+    safe_check = entry.check.replace("/", "_")
+    return f"{safe_check}-{entry.tier}-{stem}.json"
+
+
+def record_entry(entry: CorpusEntry, corpus_dir: Path | str) -> Path:
+    """Write one entry to the corpus directory (created if missing).
+
+    Returns:
+        The path written.  Re-recording an identical entry is idempotent.
+    """
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / entry_filename(entry)
+    path.write_text(json.dumps(asdict(entry), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(corpus_dir: Path | str) -> list[CorpusEntry]:
+    """Load every ``*.json`` entry under a corpus directory, sorted by name.
+
+    Raises:
+        ValueError: on a malformed entry file (unknown keys are rejected so
+            schema drift fails loudly instead of silently dropping data).
+    """
+    corpus_dir = Path(corpus_dir)
+    if not corpus_dir.is_dir():
+        return []
+    entries: list[CorpusEntry] = []
+    allowed = {"check", "tier", "seed", "note", "created"}
+    for path in sorted(corpus_dir.glob("*.json")):
+        try:
+            raw = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise ValueError(f"corpus entry {path} is not valid JSON: {error}") from error
+        if not isinstance(raw, dict) or not set(raw) <= allowed:
+            raise ValueError(
+                f"corpus entry {path} has unexpected keys "
+                f"{sorted(set(raw) - allowed) if isinstance(raw, dict) else type(raw)}"
+            )
+        missing = {"check", "tier", "seed"} - set(raw)
+        if missing:
+            raise ValueError(f"corpus entry {path} is missing keys {sorted(missing)}")
+        if not isinstance(raw["seed"], list) or not all(
+            isinstance(part, int) for part in raw["seed"]
+        ):
+            raise ValueError(f"corpus entry {path}: seed must be a list of ints")
+        entries.append(
+            CorpusEntry(
+                check=str(raw["check"]),
+                tier=str(raw["tier"]),
+                seed=list(raw["seed"]),
+                note=str(raw.get("note", "")),
+                created=str(raw.get("created", "")),
+            )
+        )
+    return entries

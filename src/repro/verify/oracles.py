@@ -1,0 +1,283 @@
+"""Slow-but-trusted reference oracles and tolerance-aware comparison.
+
+Each oracle is an *independent* route to the answer the fast paths
+produce:
+
+* :func:`reference_qp_solution` — solves the same convex QP with
+  ``scipy.optimize.minimize(method="trust-constr")``, sharing no code
+  with the ADMM/active-set engine;
+* :func:`brute_force_placement` — exhaustive enumeration of integer
+  single-period placements on tiny instances, the exact optimum the
+  continuous relaxation must lower-bound and the rounding repair must not
+  beat;
+* :func:`check_mm1_against_sim` — the analytic M/M/1 closed forms of
+  eq. 7 against the event-driven simulator in
+  :mod:`repro.simulation.queue_sim`;
+* :func:`check_qp_kkt` — a solver-free optimality certificate: the KKT
+  residuals of a returned primal/dual pair on the *original* problem.
+
+Comparisons never assert; they return :class:`Discrepancy` records so the
+fuzz runner can aggregate, shrink and archive them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.optimize as sopt
+import scipy.sparse as sp
+
+from repro.core.instance import DSPPInstance
+from repro.simulation.queue_sim import simulate_mm1
+from repro.solvers.kkt import kkt_residuals
+from repro.solvers.qp import QPProblem, QPSolution
+
+__all__ = [
+    "Discrepancy",
+    "brute_force_placement",
+    "check_mm1_against_sim",
+    "check_qp_against_reference",
+    "check_qp_kkt",
+    "reference_qp_solution",
+    "relative_gap",
+]
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One tolerance violation found by an oracle or property check.
+
+    Attributes:
+        check: name of the check that found it.
+        message: human-readable description of the disagreement.
+        magnitude: size of the violation (same scale as the tolerance it
+            broke), for ranking.
+    """
+
+    check: str
+    message: str
+    magnitude: float
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.message} (magnitude {self.magnitude:.3e})"
+
+
+def relative_gap(a: float, b: float) -> float:
+    """``|a - b|`` normalized by ``max(1, |a|, |b|)``."""
+    return abs(a - b) / max(1.0, abs(a), abs(b))
+
+
+def reference_qp_solution(
+    P: sp.spmatrix | np.ndarray,
+    q: np.ndarray,
+    A: sp.spmatrix | np.ndarray,
+    l: np.ndarray,
+    u: np.ndarray,
+    x0: np.ndarray | None = None,
+) -> tuple[np.ndarray, float]:
+    """Solve ``min 1/2 x'Px + q'x s.t. l <= Ax <= u`` via scipy trust-constr.
+
+    Dense, slow and entirely independent of :mod:`repro.solvers` — the
+    point is disagreement detection, not speed.  Intended for the small
+    problems the generators produce (tens of variables).
+
+    Returns:
+        ``(x, objective)`` of the reference solution.
+
+    Raises:
+        RuntimeError: if the reference solver reports failure.
+    """
+    P_dense = np.asarray(P.todense() if sp.issparse(P) else P, dtype=float)
+    A_dense = np.asarray(A.todense() if sp.issparse(A) else A, dtype=float)
+    q = np.asarray(q, dtype=float).ravel()
+    n = q.size
+    start = np.zeros(n) if x0 is None else np.asarray(x0, dtype=float).copy()
+
+    def fun(x: np.ndarray) -> float:
+        return float(0.5 * x @ (P_dense @ x) + q @ x)
+
+    def jac(x: np.ndarray) -> np.ndarray:
+        return P_dense @ x + q
+
+    def hess(x: np.ndarray) -> np.ndarray:
+        return P_dense
+
+    constraints = []
+    if A_dense.shape[0]:
+        constraints.append(sopt.LinearConstraint(A_dense, l, u))
+    result = sopt.minimize(
+        fun,
+        start,
+        jac=jac,
+        hess=hess,
+        method="trust-constr",
+        constraints=constraints,
+        options={"gtol": 1e-10, "xtol": 1e-12, "maxiter": 3000},
+    )
+    if result.status not in (1, 2):  # 1 = gtol, 2 = xtol termination
+        raise RuntimeError(
+            f"trust-constr reference failed: status {result.status} ({result.message})"
+        )
+    return np.asarray(result.x, dtype=float), float(fun(result.x))
+
+
+def check_qp_against_reference(
+    problem: QPProblem,
+    solution: QPSolution,
+    check: str,
+    objective_tol: float = 1e-4,
+    unique_optimum: bool = False,
+    solution_tol: float = 1e-3,
+) -> list[Discrepancy]:
+    """Compare a fast-path QP solution against the trust-constr reference.
+
+    Args:
+        problem: the QP that was solved.
+        solution: the fast path's answer.
+        check: label for any discrepancies.
+        objective_tol: allowed relative objective gap.
+        unique_optimum: also compare primal vectors (only meaningful for
+            strongly convex problems, where the optimum is unique).
+        solution_tol: allowed inf-norm primal gap when ``unique_optimum``.
+    """
+    findings: list[Discrepancy] = []
+    ref_x, ref_obj = reference_qp_solution(
+        problem.P, problem.q, problem.A, problem.l, problem.u, x0=solution.x
+    )
+    gap = relative_gap(solution.objective, ref_obj)
+    # The ADMM objective must not be meaningfully *worse* than the
+    # reference; "better" can only mean the reference (or the comparison
+    # tolerance) is the limiting factor, which the symmetric gap covers.
+    if gap > objective_tol:
+        findings.append(
+            Discrepancy(
+                check,
+                f"objective mismatch: fast {solution.objective:.9g} vs "
+                f"reference {ref_obj:.9g}",
+                gap,
+            )
+        )
+    if unique_optimum:
+        x_gap = float(np.max(np.abs(solution.x - ref_x))) if ref_x.size else 0.0
+        scale = max(1.0, float(np.max(np.abs(ref_x))) if ref_x.size else 1.0)
+        if x_gap / scale > solution_tol:
+            findings.append(
+                Discrepancy(
+                    check,
+                    f"primal solutions differ by {x_gap:.3e} "
+                    "on a strongly convex problem",
+                    x_gap / scale,
+                )
+            )
+    return findings
+
+
+def check_qp_kkt(
+    problem: QPProblem,
+    solution: QPSolution,
+    check: str,
+    tol: float = 1e-4,
+) -> list[Discrepancy]:
+    """Certificate check: KKT residuals of the returned primal/dual pair.
+
+    Solver-free — it needs no second optimizer, just the problem data.
+    The tolerance is looser than the solver's internal ``eps_abs`` because
+    residuals are evaluated on the unscaled problem.
+    """
+    residuals = kkt_residuals(problem, solution.x, solution.y)
+    findings: list[Discrepancy] = []
+    scale = max(
+        1.0,
+        float(np.max(np.abs(solution.x))) if solution.x.size else 1.0,
+        abs(solution.objective),
+    )
+    if residuals.worst > tol * scale:
+        findings.append(
+            Discrepancy(
+                check,
+                f"KKT residuals too large: primal {residuals.primal:.3e}, "
+                f"dual {residuals.dual:.3e}, "
+                f"complementarity {residuals.complementarity:.3e} "
+                f"(scale {scale:.3g})",
+                residuals.worst / scale,
+            )
+        )
+    return findings
+
+
+def brute_force_placement(
+    instance: DSPPInstance,
+    demand: np.ndarray,
+    prices: np.ndarray,
+    max_servers_per_pair: int,
+) -> tuple[np.ndarray, float] | None:
+    """Exact integer optimum of the single-period DSPP by enumeration.
+
+    Minimizes ``p' x + sum_l c_l sum_v (x_lv - x0_lv)^2`` over integer
+    allocations ``x in {0..max_servers_per_pair}^(L*V)`` subject to the
+    demand and capacity constraints.  Exponential — callers must keep
+    ``(max_servers_per_pair + 1) ** (L * V)`` small (the tiny tier).
+
+    Returns:
+        ``(x, objective)`` of the best feasible integer point, or ``None``
+        when no feasible integer point exists within the box.
+    """
+    demand = np.asarray(demand, dtype=float).ravel()
+    prices = np.asarray(prices, dtype=float).ravel()
+    L, V = instance.num_datacenters, instance.num_locations
+    coeff = instance.demand_coefficients
+    x0 = instance.initial_state
+    weights = instance.reconfiguration_weights
+    size = instance.server_size
+
+    best: np.ndarray | None = None
+    best_cost = math.inf
+    for flat in itertools.product(range(max_servers_per_pair + 1), repeat=L * V):
+        x = np.asarray(flat, dtype=float).reshape(L, V)
+        if np.any((coeff * x).sum(axis=0) + 1e-9 < demand):
+            continue
+        if np.any(size * x.sum(axis=1) > instance.capacities + 1e-9):
+            continue
+        cost = float(prices @ x.sum(axis=1) + weights @ ((x - x0) ** 2).sum(axis=1))
+        if cost < best_cost:
+            best_cost = cost
+            best = x
+    if best is None:
+        return None
+    return best, best_cost
+
+
+def check_mm1_against_sim(
+    rng: np.random.Generator,
+    arrival_rate: float,
+    service_rate: float,
+    check: str,
+    num_arrivals: float = 40000.0,
+    mean_tol: float = 0.25,
+) -> list[Discrepancy]:
+    """Analytic M/M/1 sojourn time vs the event-driven simulator.
+
+    The tolerance is statistical: sojourn times are autocorrelated, so the
+    effective sample size is far below ``num_arrivals``; the default
+    bounds hold comfortably for utilizations up to ~0.85 at this horizon
+    while still catching wrong-by-construction formulas (off by a factor,
+    wrong rate difference, waiting-vs-sojourn confusion).
+    """
+    horizon = num_arrivals / arrival_rate
+    result = simulate_mm1(arrival_rate, service_rate, horizon, rng)
+    analytic = 1.0 / (service_rate - arrival_rate)
+    findings: list[Discrepancy] = []
+    gap = abs(result.mean_sojourn - analytic) / analytic
+    if gap > mean_tol:
+        findings.append(
+            Discrepancy(
+                check,
+                f"simulated mean sojourn {result.mean_sojourn:.4g} vs analytic "
+                f"{analytic:.4g} at rho={arrival_rate / service_rate:.2f}",
+                gap,
+            )
+        )
+    return findings

@@ -1,0 +1,627 @@
+"""Metamorphic and differential properties of the solver pipeline.
+
+Every property has the same shape: draw a random problem from an injected
+seeded generator, exercise one (or two) solve paths, and return a list of
+:class:`~repro.verify.oracles.Discrepancy` records — empty when the
+property holds.  The fuzz runner (:mod:`repro.verify.runner`) drives them
+by the thousands; the hypothesis suites drive them example by example.
+
+The registered properties:
+
+====================================  =====================================
+``qp_reference``                      ADMM/crossover vs scipy trust-constr
+``qp_workspace_sequence``             warm workspace resolve ≡ cold solve
+``dspp_reference``                    stacked DSPP QP vs trust-constr +
+                                      trajectory feasibility audit
+``cost_scale_invariance``             scaling prices and reconfiguration
+                                      weights by α scales the objective by α
+``demand_monotonicity``               objective non-decreasing in demand
+``price_monotonicity``                objective non-decreasing in prices
+``horizon1_mpc_equals_myopic``        window-1 MPC ≡ direct one-period solve
+``workspace_resolve_equals_cold``     DSPPWorkspace reuse ≡ fresh solves
+``integer_sandwich``                  continuous ≤ brute-force integer ≤
+                                      rounded-repair cost
+``elastic_infeasible``                hard solve raises, elastic solve pays
+                                      audited slack
+``routing_differential``              transportation LP ≤ proportional
+                                      policy, both feasible
+``mm1_sim``                           analytic M/M/1 delay vs event sim
+``mm1_inversion``                     SLA server-count inversion (eq. 9-11)
+====================================  =====================================
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.control.mpc import MPCConfig, MPCController
+from repro.core.dspp import DSPPInfeasibleError, DSPPWorkspace, solve_dspp
+from repro.core.instance import DSPPInstance
+from repro.core.integer import IntegerRepairError, solve_dspp_integer
+from repro.core.matrices import build_stacked_qp
+from repro.prediction.naive import LastValuePredictor
+from repro.queueing.mm1 import queueing_delay, required_servers
+from repro.routing.optimal import optimal_assignment
+from repro.routing.proportional import proportional_assignment
+from repro.solvers.qp import QPProblem, QPSettings, QPStatus, solve_qp
+from repro.solvers.workspace import QPWorkspace
+from repro.verify.generators import (
+    ScaleTier,
+    random_demand,
+    random_instance,
+    random_prices,
+    random_qp,
+    random_routing_problem,
+)
+from repro.verify.oracles import (
+    Discrepancy,
+    brute_force_placement,
+    check_mm1_against_sim,
+    check_qp_against_reference,
+    check_qp_kkt,
+    relative_gap,
+)
+
+__all__ = [
+    "prop_cost_scale_invariance",
+    "prop_demand_monotonicity",
+    "prop_dspp_reference",
+    "prop_elastic_infeasible",
+    "prop_horizon1_mpc_equals_myopic",
+    "prop_integer_sandwich",
+    "prop_mm1_inversion",
+    "prop_mm1_sim",
+    "prop_price_monotonicity",
+    "prop_qp_reference",
+    "prop_qp_workspace_sequence",
+    "prop_routing_differential",
+    "prop_workspace_resolve_equals_cold",
+]
+
+# Relative slack granted to equalities between two converged solves.  The
+# ADMM terminates at eps_abs/eps_rel = 1e-6 and polishes most solutions to
+# far better, but objectives are O(1e2..1e4) here, so comparisons are
+# normalized by max(1, |a|, |b|) and use this headroom.
+_SOLVER_RTOL = 5e-5
+
+
+def _draw_problem(
+    rng: np.random.Generator, tier: ScaleTier, load: float = 0.6
+) -> tuple[DSPPInstance, np.ndarray, np.ndarray]:
+    instance = random_instance(rng, tier)
+    horizon = int(rng.integers(1, tier.max_horizon + 1))
+    demand = random_demand(rng, instance, horizon, load=load)
+    prices = random_prices(rng, instance, horizon)
+    return instance, demand, prices
+
+
+def prop_qp_reference(rng: np.random.Generator, tier: ScaleTier) -> list[Discrepancy]:
+    """The ADMM core (with and without crossover) vs scipy trust-constr."""
+    P, q, A, l, u = random_qp(rng, tier)
+    problem = QPProblem.build(P, q, A, l, u)
+    findings: list[Discrepancy] = []
+    for label, settings in (
+        ("qp_reference/plain", QPSettings()),
+        ("qp_reference/crossover", QPSettings(early_polish=True)),
+    ):
+        solution = solve_qp(P, q, A, l, u, settings=settings)
+        if solution.status is not QPStatus.OPTIMAL:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"solver returned {solution.status.value} on a feasible "
+                    "strongly convex QP",
+                    math.inf,
+                )
+            )
+            continue
+        findings.extend(
+            check_qp_against_reference(problem, solution, label, unique_optimum=True)
+        )
+        findings.extend(check_qp_kkt(problem, solution, label))
+    return findings
+
+
+def prop_qp_workspace_sequence(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """Warm/crossover workspace solves ≡ fresh cold solves along an update walk."""
+    P, q, A, l, u = random_qp(rng, tier)
+    workspace = QPWorkspace(settings=QPSettings(early_polish=True))
+    workspace.setup(P, A, q=q, l=l, u=u)
+    findings: list[Discrepancy] = []
+    num_updates = int(rng.integers(2, 6))
+    for step in range(num_updates):
+        warm = workspace.solve()
+        cold = solve_qp(P, q, A, l, u)
+        label = f"qp_workspace_sequence/step{step}"
+        if warm.status is not QPStatus.OPTIMAL or cold.status is not QPStatus.OPTIMAL:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"statuses diverge: warm {warm.status.value} vs "
+                    f"cold {cold.status.value}",
+                    math.inf,
+                )
+            )
+            break
+        gap = relative_gap(warm.objective, cold.objective)
+        if gap > _SOLVER_RTOL:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"warm objective {warm.objective:.9g} vs cold "
+                    f"{cold.objective:.9g}",
+                    gap,
+                )
+            )
+        x_gap = float(np.max(np.abs(warm.x - cold.x)))
+        scale = max(1.0, float(np.max(np.abs(cold.x))))
+        if x_gap / scale > 1e-3:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"warm and cold primal solutions differ by {x_gap:.3e} "
+                    "on a strongly convex problem",
+                    x_gap / scale,
+                )
+            )
+        # Feasibility-preserving perturbation: moving the bounds by
+        # ``A @ delta`` translates the feasible set (the witness moves by
+        # ``delta``), so the walk never strays into infeasibility and the
+        # equality pattern survives verbatim.
+        scale_q = float(rng.uniform(0.02, 0.3))
+        q = q + scale_q * rng.normal(size=q.size)
+        shift = A @ (scale_q * rng.normal(size=q.size))
+        l = l + shift
+        u = u + shift
+        workspace.update(q=q, l=l, u=u)
+    return findings
+
+
+def prop_dspp_reference(rng: np.random.Generator, tier: ScaleTier) -> list[Discrepancy]:
+    """Stacked DSPP solve vs trust-constr, plus a trajectory feasibility audit."""
+    instance, demand, prices = _draw_problem(rng, tier, load=float(rng.uniform(0.3, 0.95)))
+    solution = solve_dspp(instance, demand, prices)
+    stacked = build_stacked_qp(instance, demand, prices)
+    problem = QPProblem.build(stacked.P, stacked.q, stacked.A, stacked.l, stacked.u)
+    findings = check_qp_against_reference(
+        problem, solution.qp, "dspp_reference", objective_tol=1e-4
+    )
+
+    # Audited costs must agree with the raw QP objective (the audit recomputes
+    # them from the cleaned trajectory).
+    gap = relative_gap(solution.costs.total, solution.qp.objective)
+    if gap > 1e-4:
+        findings.append(
+            Discrepancy(
+                "dspp_reference/audit",
+                f"cost audit {solution.costs.total:.9g} vs QP objective "
+                f"{solution.qp.objective:.9g}",
+                gap,
+            )
+        )
+
+    # Trajectory feasibility on the original constraint system.
+    states = solution.trajectory.states
+    coeff = instance.demand_coefficients
+    served = np.einsum("lv,tlv->tv", coeff, states)
+    demand_violation = float(np.max(demand.T - served, initial=0.0))
+    used = instance.server_size * states.sum(axis=2)
+    capacity_violation = float(np.max(used - instance.capacities[None, :], initial=0.0))
+    scale = max(1.0, float(demand.max(initial=0.0)))
+    for name, violation in (
+        ("demand", demand_violation),
+        ("capacity", capacity_violation),
+    ):
+        if violation > 1e-4 * scale:
+            findings.append(
+                Discrepancy(
+                    f"dspp_reference/{name}",
+                    f"{name} constraint violated by {violation:.3e}",
+                    violation / scale,
+                )
+            )
+    if float(states.min(initial=0.0)) < 0.0:
+        findings.append(
+            Discrepancy(
+                "dspp_reference/nonneg",
+                f"negative allocation {states.min():.3e} survived cleaning",
+                -float(states.min()),
+            )
+        )
+    return findings
+
+
+def prop_cost_scale_invariance(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """Scaling prices *and* reconfiguration weights by α scales costs by α."""
+    instance, demand, prices = _draw_problem(rng, tier)
+    alpha = float(rng.uniform(0.2, 5.0))
+    base = solve_dspp(instance, demand, prices)
+    scaled_instance = DSPPInstance(
+        datacenters=instance.datacenters,
+        locations=instance.locations,
+        sla_coefficients=instance.sla_coefficients,
+        reconfiguration_weights=alpha * instance.reconfiguration_weights,
+        capacities=instance.capacities,
+        initial_state=instance.initial_state,
+        server_size=instance.server_size,
+    )
+    scaled = solve_dspp(scaled_instance, demand, alpha * prices)
+    gap = relative_gap(scaled.objective, alpha * base.objective)
+    if gap > _SOLVER_RTOL:
+        return [
+            Discrepancy(
+                "cost_scale_invariance",
+                f"objective at α={alpha:.3g} is {scaled.objective:.9g}, "
+                f"expected {alpha * base.objective:.9g}",
+                gap,
+            )
+        ]
+    return []
+
+
+def prop_demand_monotonicity(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """Raising demand (within feasibility) cannot lower the optimal cost."""
+    instance, demand, prices = _draw_problem(rng, tier, load=0.5)
+    beta = float(rng.uniform(1.0, 1.6))
+    low = solve_dspp(instance, demand, prices)
+    high = solve_dspp(instance, beta * demand, prices)
+    slack = _SOLVER_RTOL * max(1.0, abs(low.objective), abs(high.objective))
+    if high.objective < low.objective - slack:
+        return [
+            Discrepancy(
+                "demand_monotonicity",
+                f"objective fell from {low.objective:.9g} to {high.objective:.9g} "
+                f"when demand was scaled by β={beta:.3g}",
+                (low.objective - high.objective) / max(1.0, abs(low.objective)),
+            )
+        ]
+    return []
+
+
+def prop_price_monotonicity(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """Raising any subset of prices cannot lower the optimal cost."""
+    instance, demand, prices = _draw_problem(rng, tier)
+    bump = rng.uniform(0.0, 1.0, size=prices.shape) * (rng.random(size=prices.shape) < 0.5)
+    low = solve_dspp(instance, demand, prices)
+    high = solve_dspp(instance, demand, prices + bump)
+    slack = _SOLVER_RTOL * max(1.0, abs(low.objective), abs(high.objective))
+    if high.objective < low.objective - slack:
+        return [
+            Discrepancy(
+                "price_monotonicity",
+                f"objective fell from {low.objective:.9g} to {high.objective:.9g} "
+                "after a nonnegative price bump",
+                (low.objective - high.objective) / max(1.0, abs(low.objective)),
+            )
+        ]
+    return []
+
+
+def prop_horizon1_mpc_equals_myopic(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """A window-1 MPC step (through the workspace path) ≡ a direct cold solve.
+
+    With a last-value predictor the window-1 forecast *is* the current
+    observation, so each controller step must reproduce the one-period
+    myopic solve from the same state — applied control and objective both.
+    This crosses three layers at once: predictor plumbing, the persistent
+    workspace fast path, and the receding state update.
+    """
+    instance, demand, prices = _draw_problem(rng, tier, load=0.5)
+    num_steps = int(rng.integers(2, 5))
+    demand_trace = random_demand(rng, instance, num_steps, load=0.5)
+    price_trace = random_prices(rng, instance, num_steps)
+    controller = MPCController(
+        instance,
+        LastValuePredictor(instance.num_locations),
+        LastValuePredictor(instance.num_datacenters),
+        MPCConfig(window=1, reuse_workspace=True),
+    )
+    findings: list[Discrepancy] = []
+    for k in range(num_steps):
+        state_before = controller.state
+        step = controller.step(demand_trace[:, k], price_trace[:, k])
+        myopic = solve_dspp(
+            instance.with_initial_state(state_before),
+            demand_trace[:, k : k + 1],
+            price_trace[:, k : k + 1],
+        )
+        gap = relative_gap(step.solution.objective, myopic.objective)
+        if gap > _SOLVER_RTOL:
+            findings.append(
+                Discrepancy(
+                    "horizon1_mpc_equals_myopic",
+                    f"step {k}: MPC objective {step.solution.objective:.9g} vs "
+                    f"myopic {myopic.objective:.9g}",
+                    gap,
+                )
+            )
+        control_gap = float(np.max(np.abs(step.applied_control - myopic.first_control)))
+        scale = max(1.0, float(np.max(np.abs(myopic.first_control))))
+        if control_gap / scale > 1e-3:
+            findings.append(
+                Discrepancy(
+                    "horizon1_mpc_equals_myopic",
+                    f"step {k}: applied controls differ by {control_gap:.3e}",
+                    control_gap / scale,
+                )
+            )
+    return findings
+
+
+def prop_workspace_resolve_equals_cold(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """DSPPWorkspace resolves (forecast/state/capacity updates) ≡ cold solves."""
+    instance, demand, prices = _draw_problem(rng, tier, load=0.5)
+    workspace = DSPPWorkspace()
+    findings: list[Discrepancy] = []
+    num_solves = int(rng.integers(2, 5))
+    for step in range(num_solves):
+        warm = solve_dspp(instance, demand, prices, workspace=workspace)
+        cold = solve_dspp(instance, demand, prices)
+        gap = relative_gap(warm.objective, cold.objective)
+        if gap > _SOLVER_RTOL:
+            findings.append(
+                Discrepancy(
+                    "workspace_resolve_equals_cold",
+                    f"solve {step}: workspace objective {warm.objective:.9g} vs "
+                    f"cold {cold.objective:.9g}",
+                    gap,
+                )
+            )
+        # Mutate only vector-resident data: forecasts, state, capacities.
+        horizon = demand.shape[1]
+        demand = random_demand(rng, instance, horizon, load=0.5)
+        prices = random_prices(rng, instance, horizon)
+        if rng.random() < 0.5:
+            instance = instance.with_capacities(
+                instance.capacities * rng.uniform(0.9, 1.2, size=instance.num_datacenters)
+            )
+        if rng.random() < 0.5:
+            instance = instance.with_initial_state(warm.trajectory.states[0])
+    return findings
+
+
+def _tiny_integer_problem(
+    rng: np.random.Generator,
+) -> tuple[DSPPInstance, np.ndarray, np.ndarray]:
+    """A deliberately tiny single-period instance for exhaustive enumeration.
+
+    Integer initial state and generous capacities keep the brute-force box
+    small and the rounding repair trivially in play.
+    """
+    L = int(rng.integers(1, 3))
+    V = int(rng.integers(1, 3))
+    instance = DSPPInstance(
+        datacenters=tuple(f"dc{i}" for i in range(L)),
+        locations=tuple(f"v{i}" for i in range(V)),
+        sla_coefficients=rng.uniform(0.5, 2.0, size=(L, V)),
+        reconfiguration_weights=rng.uniform(0.2, 2.0, size=L),
+        capacities=np.full(L, 50.0),
+        initial_state=rng.integers(0, 3, size=(L, V)).astype(float),
+        server_size=1.0,
+    )
+    demand = rng.uniform(0.0, 3.0, size=(V, 1))
+    prices = rng.uniform(0.5, 3.0, size=(L, 1))
+    return instance, demand, prices
+
+
+def prop_integer_sandwich(rng: np.random.Generator, tier: ScaleTier) -> list[Discrepancy]:
+    """Continuous relaxation ≤ brute-force integer optimum ≤ repair cost.
+
+    ``tier`` is ignored: enumeration is only affordable at the dedicated
+    tiny scale this property draws itself.
+    """
+    del tier
+    instance, demand, prices = _tiny_integer_problem(rng)
+    relaxed = solve_dspp(instance, demand, prices)
+    # Bound the enumeration box: no optimal integer solution allocates more
+    # than what serves the whole location's demand outright (plus the
+    # initial state it might hold to dodge reconfiguration cost).
+    needed = instance.sla_coefficients * demand[:, 0][None, :]
+    needed = np.where(np.isfinite(needed), needed, 0.0)
+    box = int(np.ceil(max(float(needed.max(initial=0.0)), float(instance.initial_state.max(initial=0.0))))) + 1
+    brute = brute_force_placement(instance, demand[:, 0], prices[:, 0], box)
+    findings: list[Discrepancy] = []
+    if brute is None:
+        return [
+            Discrepancy(
+                "integer_sandwich",
+                "no feasible integer point in the enumeration box although the "
+                "continuous relaxation is feasible and capacities are generous",
+                math.inf,
+            )
+        ]
+    _, brute_cost = brute
+    slack = 1e-6 * max(1.0, abs(brute_cost))
+    if relaxed.objective > brute_cost + slack:
+        findings.append(
+            Discrepancy(
+                "integer_sandwich",
+                f"continuous relaxation {relaxed.objective:.9g} exceeds the exact "
+                f"integer optimum {brute_cost:.9g}",
+                relative_gap(relaxed.objective, brute_cost),
+            )
+        )
+    try:
+        repaired = solve_dspp_integer(instance, demand, prices)
+    except IntegerRepairError:
+        return findings + [
+            Discrepancy(
+                "integer_sandwich",
+                "round_repair failed although a feasible integer point exists",
+                math.inf,
+            )
+        ]
+    if repaired.objective < brute_cost - slack:
+        findings.append(
+            Discrepancy(
+                "integer_sandwich",
+                f"rounded solution cost {repaired.objective:.9g} beats the exact "
+                f"integer optimum {brute_cost:.9g}",
+                relative_gap(repaired.objective, brute_cost),
+            )
+        )
+    return findings
+
+
+def prop_elastic_infeasible(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """Demand beyond ``max_supportable_demand`` must raise; elastic must pay.
+
+    The hard-constrained solve has to produce a
+    :class:`~repro.core.dspp.DSPPInfeasibleError`; the elastic solve of the
+    same data must succeed, report positive slack, and account for it in
+    the objective exactly as ``costs.total + penalty * slack``.
+    """
+    instance, _, prices = _draw_problem(rng, tier)
+    horizon = prices.shape[1]
+    # Strictly above the dedicated-everything bound for one location.
+    demand = random_demand(rng, instance, horizon, load=0.4)
+    hot = int(rng.integers(0, instance.num_locations))
+    demand[hot, :] = instance.max_supportable_demand()[hot] * float(rng.uniform(1.1, 1.5))
+    findings: list[Discrepancy] = []
+    try:
+        solve_dspp(instance, demand, prices)
+        findings.append(
+            Discrepancy(
+                "elastic_infeasible",
+                "hard-constrained solve accepted demand above the provable "
+                "feasibility bound",
+                math.inf,
+            )
+        )
+    except DSPPInfeasibleError:
+        pass
+    penalty = float(rng.uniform(5.0, 50.0))
+    # The slack-augmented QP is the worst-conditioned problem in the fuzz
+    # grid (demand far beyond capacity, large penalty), so give ADMM a
+    # higher iteration budget than the defaults tuned for feasible solves.
+    elastic = solve_dspp(
+        instance,
+        demand,
+        prices,
+        demand_slack_penalty=penalty,
+        settings=QPSettings(early_polish=True, max_iterations=80000),
+    )
+    total_slack = float(elastic.demand_slack.sum())
+    if total_slack <= 0.0:
+        findings.append(
+            Discrepancy(
+                "elastic_infeasible",
+                "elastic solve reported zero slack on an infeasible instance",
+                math.inf,
+            )
+        )
+    expected = elastic.costs.total + penalty * total_slack
+    gap = relative_gap(elastic.objective, expected)
+    if gap > 1e-6:
+        findings.append(
+            Discrepancy(
+                "elastic_infeasible",
+                f"elastic objective {elastic.objective:.9g} does not equal "
+                f"costs + penalty*slack = {expected:.9g}",
+                gap,
+            )
+        )
+    return findings
+
+
+def prop_routing_differential(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """The transportation LP never loses to the proportional policy.
+
+    Both assignments must route the full demand within the per-pair SLA
+    capacities, and the LP's demand-weighted latency must be no worse than
+    the decentralized policy's (it minimizes over a superset).
+    """
+    allocation, demand, coeff, latency = random_routing_problem(rng, tier)
+    proportional = proportional_assignment(allocation, demand, coeff)
+    optimal = optimal_assignment(allocation, demand, coeff, latency)
+    findings: list[Discrepancy] = []
+    capacity = allocation * coeff
+    scale = max(1.0, float(demand.max(initial=0.0)))
+    for name, sigma in (("proportional", proportional), ("optimal", optimal.assignment)):
+        routed_gap = float(np.max(np.abs(sigma.sum(axis=0) - demand)))
+        over_capacity = float(np.max(sigma - capacity, initial=0.0))
+        if routed_gap > 1e-6 * scale:
+            findings.append(
+                Discrepancy(
+                    "routing_differential",
+                    f"{name} assignment mis-routes demand by {routed_gap:.3e}",
+                    routed_gap / scale,
+                )
+            )
+        if over_capacity > 1e-6 * scale:
+            findings.append(
+                Discrepancy(
+                    "routing_differential",
+                    f"{name} assignment exceeds a pair capacity by {over_capacity:.3e}",
+                    over_capacity / scale,
+                )
+            )
+    proportional_latency = float((latency * proportional).sum())
+    slack = 1e-6 * max(1.0, proportional_latency)
+    if optimal.total_weighted_latency > proportional_latency + slack:
+        findings.append(
+            Discrepancy(
+                "routing_differential",
+                f"LP latency {optimal.total_weighted_latency:.9g} exceeds the "
+                f"proportional policy's {proportional_latency:.9g}",
+                relative_gap(optimal.total_weighted_latency, proportional_latency),
+            )
+        )
+    return findings
+
+
+def prop_mm1_sim(rng: np.random.Generator, tier: ScaleTier) -> list[Discrepancy]:
+    """Analytic M/M/1 sojourn times vs the event-driven simulator."""
+    del tier
+    service_rate = float(rng.uniform(0.5, 4.0))
+    rho = float(rng.uniform(0.2, 0.8))
+    return check_mm1_against_sim(rng, rho * service_rate, service_rate, "mm1_sim")
+
+
+def prop_mm1_inversion(rng: np.random.Generator, tier: ScaleTier) -> list[Discrepancy]:
+    """The SLA inversion (eq. 9-11) and delay monotonicity, analytically."""
+    del tier
+    findings: list[Discrepancy] = []
+    mu = float(rng.uniform(0.5, 4.0))
+    sigma = float(rng.uniform(0.1, 50.0))
+    max_delay = float(1.0 / mu * rng.uniform(1.1, 10.0))
+    servers = required_servers(sigma, mu, max_delay)
+    if servers > 0:
+        achieved = queueing_delay(servers * (1.0 + 1e-12), sigma, mu)
+        if achieved > max_delay * (1.0 + 1e-6):
+            findings.append(
+                Discrepancy(
+                    "mm1_inversion",
+                    f"required_servers({sigma:.3g}, {mu:.3g}, {max_delay:.3g}) = "
+                    f"{servers:.6g} misses the bound: delay {achieved:.6g}",
+                    achieved / max_delay - 1.0,
+                )
+            )
+        more = queueing_delay(servers * 2.0, sigma, mu)
+        if more > achieved * (1.0 + 1e-9):
+            findings.append(
+                Discrepancy(
+                    "mm1_inversion",
+                    "queueing delay increased when servers were doubled",
+                    more - achieved,
+                )
+            )
+    return findings

@@ -1,11 +1,42 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite.
+
+Two hypothesis profiles are registered and selected via the
+``REPRO_HYPOTHESIS_PROFILE`` environment variable (see docs/TESTING.md):
+
+* ``ci`` — deterministic (derandomized, fixed example counts, no
+  deadline so shared-runner jitter cannot flake a build);
+* ``dev`` (default) — fewer examples for a fast local edit loop, still
+  no deadline because solver-backed properties have heavy-tailed runtimes.
+
+Per-test ``@settings(...)`` decorators override the profile where a
+property needs more or fewer examples.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.instance import DSPPInstance
+
+settings.register_profile(
+    "ci",
+    max_examples=40,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile(
+    "dev",
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -243,6 +243,17 @@ class TestOptimalAssignment:
                 np.zeros((1, 1)), np.array([1.0]), np.ones((1, 1)), np.ones((1, 1))
             )
 
+    def test_infeasible_error_names_locations_and_amounts(self):
+        # Location 1 is short (demand 5 vs servable 2); location 0 is fine.
+        allocation = np.array([[10.0, 2.0]])
+        demand = np.array([3.0, 5.0])
+        coeff = np.ones((1, 2))
+        with pytest.raises(AssignmentInfeasibleError) as excinfo:
+            optimal_assignment(allocation, demand, coeff, np.ones((1, 2)))
+        message = str(excinfo.value)
+        assert "v1" in message and "v0" not in message
+        assert "demand 5" in message and "servable 2" in message
+
 
 @settings(max_examples=25, deadline=None)
 @given(seed=st.integers(0, 5000), scale=st.floats(5.0, 50.0))

@@ -63,6 +63,34 @@ class TestCapacitySchedule:
         with pytest.raises(IndexError):
             capacity_schedule(np.array([1.0]), 2, [OutageEvent(3, 0, 1)])
 
+    def test_outage_truncated_at_schedule_end(self):
+        # Duration runs past the schedule: every period from start on is hit.
+        schedule = capacity_schedule(
+            np.array([100.0]), 4, [OutageEvent(0, 2, 10, remaining_fraction=0.5)]
+        )
+        assert schedule[:, 0] == pytest.approx([100.0, 100.0, 50.0, 50.0])
+
+    def test_outage_entirely_after_schedule_is_noop(self):
+        schedule = capacity_schedule(
+            np.array([100.0]), 3, [OutageEvent(0, 5, 2, remaining_fraction=0.0)]
+        )
+        assert schedule == pytest.approx(np.full((3, 1), 100.0))
+
+    def test_outage_at_period_zero_and_exact_last_period(self):
+        schedule = capacity_schedule(
+            np.array([100.0]),
+            4,
+            [
+                OutageEvent(0, 0, 1, remaining_fraction=0.0),
+                OutageEvent(0, 3, 1, remaining_fraction=0.25),
+            ],
+        )
+        assert schedule[:, 0] == pytest.approx([0.0, 100.0, 100.0, 25.0])
+
+    def test_zero_periods_gives_empty_schedule(self):
+        schedule = capacity_schedule(np.array([100.0, 50.0]), 0, [OutageEvent(0, 0, 1)])
+        assert schedule.shape == (0, 2)
+
 
 class TestFailureLoop:
     @pytest.fixture
@@ -131,6 +159,43 @@ class TestFailureLoop:
         )
         servers = result.servers_per_datacenter()
         assert servers[3, 0] <= 15.0 + 1e-6  # half of 30
+
+    def test_rejects_bad_demand_shape(self, setup):
+        instance, demand, prices = setup
+        controller = self._controller(instance, demand, prices)
+        with pytest.raises(ValueError, match=r"demand must be \(1, K\)"):
+            run_closed_loop_with_failures(
+                controller, np.vstack([demand, demand]), prices, []
+            )
+
+    def test_rejects_mismatched_prices(self, setup):
+        instance, demand, prices = setup
+        controller = self._controller(instance, demand, prices)
+        with pytest.raises(ValueError, match="prices must be"):
+            run_closed_loop_with_failures(controller, demand, prices[:, :-1], [])
+
+    def test_full_outage_evicts_stranded_servers(self, setup):
+        # Servers standing at a fully failed site must not survive into the
+        # planned state: during the outage the failed DC's row is (near) zero.
+        instance, demand, prices = setup
+        outage = OutageEvent(0, 3, 3, remaining_fraction=0.0)
+        result = run_closed_loop_with_failures(
+            self._controller(instance, demand, prices), demand, prices, [outage]
+        )
+        states = result.trajectory.states
+        assert states[1, 0].sum() > 1.0  # DC 0 carries load before the outage
+        for k in (2, 3, 4):  # planned periods k+1 in the outage window
+            assert states[k, 0].sum() == pytest.approx(0.0, abs=1e-6)
+
+    def test_capacity_recovers_after_outage(self, setup):
+        instance, demand, prices = setup
+        outage = OutageEvent(0, 3, 2, remaining_fraction=0.0)
+        result = run_closed_loop_with_failures(
+            self._controller(instance, demand, prices), demand, prices, [outage]
+        )
+        # After recovery the cheap DC is used again and demand is met.
+        assert result.trajectory.states[-1, 0].sum() > 1.0
+        assert result.unmet_demand[-1].sum() == pytest.approx(0.0, abs=1e-5)
 
 
 class TestScenarioIO:

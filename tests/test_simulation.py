@@ -46,6 +46,29 @@ class TestMonitoring:
         with pytest.raises(ValueError):
             MonitoringModule(0, 1)
 
+    def test_record_copies_inputs(self):
+        monitor = MonitoringModule(2, 1)
+        demand = np.array([1.0, 2.0])
+        monitor.record(demand, [0.5])
+        demand[0] = 99.0  # mutating the caller's array must not leak in
+        assert monitor.latest.demand == pytest.approx([1.0, 2.0])
+
+    def test_periods_count_from_zero(self):
+        monitor = MonitoringModule(1, 1)
+        observations = [monitor.record([float(k)], [1.0]) for k in range(3)]
+        assert [o.period for o in observations] == [0, 1, 2]
+        assert monitor.latest.period == 2
+
+    def test_matrix_inputs_are_flattened(self):
+        monitor = MonitoringModule(2, 2)
+        monitor.record(np.array([[1.0], [2.0]]), np.array([[3.0, 4.0]]))
+        assert monitor.demand_history()[:, 0] == pytest.approx([1.0, 2.0])
+        assert monitor.price_history()[:, 0] == pytest.approx([3.0, 4.0])
+
+    def test_empty_price_history_shape(self):
+        monitor = MonitoringModule(2, 3)
+        assert monitor.price_history().shape == (3, 0)
+
 
 class TestMetrics:
     def test_summary_aggregation(self):

@@ -7,10 +7,13 @@ from dataclasses import replace
 import numpy as np
 import pytest
 import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.dspp import DSPPWorkspace, solve_dspp
 from repro.solvers.qp import QPSettings, QPStatus, solve_qp
 from repro.solvers.workspace import QPWorkspace
+from repro.verify.generators import random_qp
 
 
 def _random_qp(rng, n=8, m=12):
@@ -242,3 +245,56 @@ class TestDSPPWorkspace:
             small_instance, demand, prices, settings=settings, workspace=ws
         )
         assert warm.qp.polished is False
+
+
+class TestWorkspaceProperties:
+    """Hypothesis-driven equivalence: warm/crossover solves vs fresh solve_qp.
+
+    The directed tests above pin a handful of update walks; these
+    properties draw the QP, the walk length and the perturbation scale
+    from hypothesis, using the feasible-by-construction generator from
+    ``repro.verify`` so every step of the walk keeps a nonempty polytope
+    (updates translate the constraint bounds by ``A @ delta``, which moves
+    the hidden witness along with the feasible set).
+    """
+
+    @staticmethod
+    def _walk(seed, num_updates, scale, qp_settings):
+        rng = np.random.default_rng([seed, num_updates])
+        P, q, A, l, u = random_qp(rng, "small")
+        dense_A = A.toarray()
+        ws = QPWorkspace(settings=qp_settings)
+        ws.setup(P, A, q=q, l=l, u=u)
+        for _ in range(num_updates + 1):
+            warm = ws.solve()
+            cold = solve_qp(P, q, A, l, u, settings=qp_settings)
+            assert warm.status is QPStatus.OPTIMAL
+            assert cold.status is QPStatus.OPTIMAL
+            # Strongly convex: unique optimum, so x must agree as well.
+            assert warm.objective == pytest.approx(
+                cold.objective, rel=5e-5, abs=1e-6
+            )
+            np.testing.assert_allclose(warm.x, cold.x, rtol=1e-3, atol=1e-3)
+            q = q + scale * rng.normal(size=q.size)
+            shift = dense_A @ (scale * rng.normal(size=q.size))
+            l = l + shift
+            u = u + shift
+            ws.update(q=q, l=l, u=u)
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        num_updates=st.integers(1, 4),
+        scale=st.floats(0.01, 0.5),
+    )
+    @settings(max_examples=15)
+    def test_warm_matches_cold_on_random_walks(self, seed, num_updates, scale):
+        self._walk(seed, num_updates, scale, QPSettings())
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        num_updates=st.integers(1, 4),
+        scale=st.floats(0.01, 0.5),
+    )
+    @settings(max_examples=15)
+    def test_crossover_matches_cold_on_random_walks(self, seed, num_updates, scale):
+        self._walk(seed, num_updates, scale, QPSettings(early_polish=True))

@@ -1,0 +1,128 @@
+"""Tests for the seeded problem generators (repro.verify.generators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers.qp import QPStatus, solve_qp
+from repro.verify.generators import (
+    TIERS,
+    ScaleTier,
+    random_demand,
+    random_instance,
+    random_prices,
+    random_qp,
+    random_routing_problem,
+)
+
+
+class TestTiers:
+    def test_registry_names_match(self):
+        assert set(TIERS) == {"tiny", "small", "medium"}
+        for name, tier in TIERS.items():
+            assert tier.name == name
+
+    def test_tiers_are_ordered_by_size(self):
+        tiny, small, medium = TIERS["tiny"], TIERS["small"], TIERS["medium"]
+        for field in ("max_datacenters", "max_locations", "max_horizon", "max_qp_variables"):
+            assert getattr(tiny, field) <= getattr(small, field) <= getattr(medium, field)
+
+    def test_string_and_object_tier_agree(self):
+        a = random_instance(np.random.default_rng(7), "small")
+        b = random_instance(np.random.default_rng(7), TIERS["small"])
+        np.testing.assert_array_equal(a.capacities, b.capacities)
+
+
+class TestRandomInstance:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=25)
+    def test_valid_and_within_tier_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        tier = TIERS["medium"]
+        instance = random_instance(rng, tier)
+        assert 1 <= instance.num_datacenters <= tier.max_datacenters
+        assert 1 <= instance.num_locations <= tier.max_locations
+        # Instance validation requires every location servable; re-check
+        # the generator's infinite-SLA knockout preserved that.
+        assert np.isfinite(instance.sla_coefficients).any(axis=0).all()
+
+    def test_same_seed_same_instance(self):
+        a = random_instance(np.random.default_rng([3, 4]), "small")
+        b = random_instance(np.random.default_rng([3, 4]), "small")
+        np.testing.assert_array_equal(a.sla_coefficients, b.sla_coefficients)
+        np.testing.assert_array_equal(a.initial_state, b.initial_state)
+
+
+class TestRandomDemandPrices:
+    @given(seed=st.integers(0, 10**6), load=st.floats(0.1, 0.99))
+    @settings(max_examples=25)
+    def test_demand_within_provable_bound(self, seed, load):
+        rng = np.random.default_rng(seed)
+        instance = random_instance(rng, "small")
+        demand = random_demand(rng, instance, horizon=3, load=load)
+        assert demand.shape == (instance.num_locations, 3)
+        assert np.all(demand >= 0)
+        safe = instance.max_supportable_demand() / instance.num_locations
+        assert np.all(demand <= load * safe[:, None] + 1e-12)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        instance = random_instance(rng, "tiny")
+        with pytest.raises(ValueError, match="horizon"):
+            random_demand(rng, instance, horizon=0)
+        with pytest.raises(ValueError, match="load"):
+            random_demand(rng, instance, horizon=2, load=0.0)
+        with pytest.raises(ValueError, match="horizon"):
+            random_prices(rng, instance, horizon=0)
+
+    def test_prices_shape_and_sign(self):
+        rng = np.random.default_rng(1)
+        instance = random_instance(rng, "small")
+        prices = random_prices(rng, instance, horizon=4)
+        assert prices.shape == (instance.num_datacenters, 4)
+        assert np.all(prices > 0)
+
+
+class TestRandomQP:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=20)
+    def test_feasible_by_construction_and_solvable(self, seed):
+        rng = np.random.default_rng(seed)
+        P, q, A, l, u = random_qp(rng, "tiny")
+        assert np.all(l <= u)
+        dense_P = P.toarray()
+        np.testing.assert_allclose(dense_P, dense_P.T, atol=1e-12)
+        assert np.all(np.linalg.eigvalsh(dense_P) > 0)
+        solution = solve_qp(P, q, A, l, u)
+        assert solution.status is QPStatus.OPTIMAL
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=20)
+    def test_equality_rows_capped_below_dimension(self, seed):
+        # More equality rows than variables would break the trust-constr
+        # reference oracle's null-space factorization.
+        rng = np.random.default_rng(seed)
+        P, q, A, l, u = random_qp(rng, "tiny", with_equalities=True)
+        num_equalities = int(np.sum(l == u))
+        assert num_equalities < q.size
+
+
+class TestRandomRoutingProblem:
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=20)
+    def test_eq12_holds_by_construction(self, seed):
+        rng = np.random.default_rng(seed)
+        allocation, demand, coeff, latency = random_routing_problem(rng, "small")
+        servable = (allocation * coeff).sum(axis=0)
+        assert np.all(servable >= demand - 1e-9)
+        assert np.all(allocation >= 0) and np.all(demand >= 0)
+        assert latency.shape == allocation.shape
+
+
+def test_scale_tier_is_frozen():
+    with pytest.raises(AttributeError):
+        TIERS["tiny"].max_horizon = 99  # type: ignore[misc]
+    assert isinstance(TIERS["tiny"], ScaleTier)

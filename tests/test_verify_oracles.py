@@ -1,0 +1,175 @@
+"""Tests for the reference oracles (repro.verify.oracles)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.instance import DSPPInstance
+from repro.solvers.qp import QPProblem, solve_qp
+from repro.verify.generators import random_qp
+from repro.verify.oracles import (
+    Discrepancy,
+    brute_force_placement,
+    check_mm1_against_sim,
+    check_qp_against_reference,
+    check_qp_kkt,
+    reference_qp_solution,
+    relative_gap,
+)
+
+
+class TestRelativeGap:
+    def test_zero_for_equal_values(self):
+        assert relative_gap(3.0, 3.0) == 0.0
+
+    def test_normalizes_by_magnitude(self):
+        assert relative_gap(1000.0, 1001.0) == pytest.approx(1.0 / 1001.0)
+
+    def test_small_values_use_absolute_scale(self):
+        # Below magnitude 1 the denominator saturates at 1 (absolute gap).
+        assert relative_gap(0.0, 1e-3) == pytest.approx(1e-3)
+
+
+class TestReferenceQPSolution:
+    def test_matches_closed_form_on_inactive_box(self):
+        # min 1/2 x'Px + q'x with a box wide enough to be inactive:
+        # the optimum is the unconstrained x* = -P^{-1} q.
+        P = np.diag([2.0, 4.0])
+        q = np.array([-2.0, -8.0])
+        A = np.eye(2)
+        l = np.array([-10.0, -10.0])
+        u = np.array([10.0, 10.0])
+        x, obj = reference_qp_solution(P, q, A, l, u)
+        np.testing.assert_allclose(x, [1.0, 2.0], atol=1e-6)
+        assert obj == pytest.approx(-9.0, abs=1e-8)
+
+    def test_respects_active_bound(self):
+        # Same QP but cap x1 <= 1: KKT gives x = (1, 1).
+        P = np.diag([2.0, 4.0])
+        q = np.array([-2.0, -8.0])
+        x, obj = reference_qp_solution(
+            P, q, np.eye(2), np.array([-10.0, -10.0]), np.array([10.0, 1.0])
+        )
+        # trust-constr approaches active bounds from the interior, so the
+        # achievable accuracy at the bound is looser than in the interior.
+        np.testing.assert_allclose(x, [1.0, 1.0], atol=1e-4)
+        assert obj == pytest.approx(-7.0, abs=1e-3)
+
+
+class TestCheckQPAgainstReference:
+    def test_accepts_solver_output(self, rng):
+        P, q, A, l, u = random_qp(rng, "small")
+        problem = QPProblem.build(P, q, A, l, u)
+        solution = solve_qp(P, q, A, l, u)
+        findings = check_qp_against_reference(
+            problem, solution, "test", unique_optimum=True
+        )
+        assert findings == []
+
+    def test_flags_wrong_objective(self, rng):
+        P, q, A, l, u = random_qp(rng, "small")
+        problem = QPProblem.build(P, q, A, l, u)
+        solution = solve_qp(P, q, A, l, u)
+        corrupted = replace(solution, objective=solution.objective + 1.0)
+        findings = check_qp_against_reference(problem, corrupted, "test")
+        assert len(findings) == 1
+        assert "objective mismatch" in findings[0].message
+
+    def test_flags_wrong_primal_when_unique(self, rng):
+        P, q, A, l, u = random_qp(rng, "small")
+        problem = QPProblem.build(P, q, A, l, u)
+        solution = solve_qp(P, q, A, l, u)
+        corrupted = replace(solution, x=solution.x + 0.5)
+        findings = check_qp_against_reference(
+            problem, corrupted, "test", unique_optimum=True
+        )
+        assert any("primal" in f.message for f in findings)
+
+
+class TestCheckQPKKT:
+    def test_accepts_solver_output(self, rng):
+        P, q, A, l, u = random_qp(rng, "small")
+        problem = QPProblem.build(P, q, A, l, u)
+        solution = solve_qp(P, q, A, l, u)
+        assert check_qp_kkt(problem, solution, "test") == []
+
+    def test_flags_corrupted_primal(self, rng):
+        P, q, A, l, u = random_qp(rng, "small")
+        problem = QPProblem.build(P, q, A, l, u)
+        solution = solve_qp(P, q, A, l, u)
+        corrupted = replace(solution, x=solution.x + 1.0)
+        findings = check_qp_kkt(problem, corrupted, "test")
+        assert len(findings) == 1
+        assert "KKT residuals" in findings[0].message
+
+
+class TestBruteForcePlacement:
+    @pytest.fixture
+    def one_pair(self):
+        return DSPPInstance(
+            datacenters=("dc0",),
+            locations=("v0",),
+            sla_coefficients=np.array([[0.5]]),  # coeff = 2 demand/server
+            reconfiguration_weights=np.array([1.0]),
+            capacities=np.array([50.0]),
+            initial_state=np.zeros((1, 1)),
+        )
+
+    def test_picks_cheapest_feasible_count(self, one_pair):
+        # Demand 3 at 2 demand/server needs >= 2 servers; cost p*x + x^2
+        # grows in x, so the optimum is exactly 2.
+        result = brute_force_placement(
+            one_pair, np.array([3.0]), np.array([1.0]), max_servers_per_pair=5
+        )
+        assert result is not None
+        x, cost = result
+        np.testing.assert_allclose(x, [[2.0]])
+        assert cost == pytest.approx(1.0 * 2 + 2.0**2)
+
+    def test_reconfiguration_term_uses_initial_state(self, one_pair):
+        # Starting from x0 = 4 at price 2.5: staying costs 10, x=2 costs
+        # 5 + 4 = 9, and x=3 costs 7.5 + 1 = 8.5 — the unique optimum
+        # balances the energy saving against the reconfiguration penalty.
+        instance = replace(one_pair, initial_state=np.array([[4.0]]))
+        result = brute_force_placement(
+            instance, np.array([3.0]), np.array([2.5]), max_servers_per_pair=6
+        )
+        assert result is not None
+        x, cost = result
+        np.testing.assert_allclose(x, [[3.0]])
+        assert cost == pytest.approx(2.5 * 3 + (3.0 - 4.0) ** 2)
+
+    def test_returns_none_when_box_too_small(self, one_pair):
+        # Demand 10 needs 5 servers; a box of 2 admits no feasible point.
+        assert (
+            brute_force_placement(
+                one_pair, np.array([10.0]), np.array([1.0]), max_servers_per_pair=2
+            )
+            is None
+        )
+
+
+class TestCheckMM1AgainstSim:
+    def test_moderate_utilization_within_tolerance(self, rng):
+        findings = check_mm1_against_sim(
+            rng, arrival_rate=4.0, service_rate=10.0, check="test"
+        )
+        assert findings == []
+
+    def test_tiny_tolerance_forces_finding(self, rng):
+        # The simulator's statistical noise exceeds any near-zero tolerance,
+        # proving the comparison is actually exercised.
+        findings = check_mm1_against_sim(
+            rng,
+            arrival_rate=4.0,
+            service_rate=10.0,
+            check="test",
+            num_arrivals=2000.0,
+            mean_tol=1e-9,
+        )
+        assert len(findings) == 1
+        assert isinstance(findings[0], Discrepancy)
+        assert findings[0].magnitude > 1e-9
