@@ -1,6 +1,6 @@
-"""Solver-path benchmark: persistent workspace vs cold solves.
+"""Solver-path benchmark: persistent workspace, KKT backends, cold solves.
 
-Times the MPC hot path three ways at small / paper / large scale:
+Times the MPC hot path at small / paper / large / xlarge scale:
 
 * **cold** — the seed behaviour: every receding-horizon step rebuilds the
   stacked QP, re-equilibrates, re-factorizes the KKT system and solves
@@ -9,18 +9,24 @@ Times the MPC hot path three ways at small / paper / large scale:
 * **workspace** — the persistent :class:`repro.core.dspp.DSPPWorkspace`
   path: one setup, then vector-only updates against the cached Ruiz
   scaling + KKT factorization, ADMM seeded from the stored iterates;
+* **backends** — warm workspace steps under ``kkt_backend="sparse"``
+  (SuperLU) vs ``kkt_backend="banded"`` (the block-banded Schur
+  recursion of :mod:`repro.solvers.banded`), with the worst per-step
+  objective divergence between the two;
 * **sweep** — the deterministic parallel sweep runner on a miniature fig9
   configuration, serial vs two processes, with a bit-identity check.
 
 Writes ``BENCH_solver.json`` at the repo root (override with ``--out``).
-Both paths solve the identical problem sequence (the state advances along
-the cold trajectory), and the script records the worst per-step objective
-divergence so the speedup is only claimed for matching solutions.
+The cold-vs-workspace comparison solves the identical problem sequence
+(the state advances along the cold trajectory) and is skipped at xlarge,
+where a single cold factorization takes tens of seconds; the backend
+comparison runs two full closed-loop MPC sequences from the same data.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py          # full
-    PYTHONPATH=src python benchmarks/run_bench.py --quick  # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py                    # full
+    PYTHONPATH=src python benchmarks/run_bench.py --quick            # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --backend banded   # pin one
 """
 
 from __future__ import annotations
@@ -38,7 +44,7 @@ from repro.core.dspp import DSPPWorkspace, solve_dspp
 from repro.core.instance import DSPPInstance
 from repro.core.matrices import build_stacked_qp
 from repro.experiments.fig9_horizon_cost_volatile import run_fig9
-from repro.solvers.qp import QPProblem
+from repro.solvers.qp import QPProblem, QPSettings
 
 __all__ = ["main"]
 
@@ -48,7 +54,12 @@ SCALES: dict[str, tuple[int, int, int]] = {
     "small": (2, 6, 3),
     "paper": (4, 24, 6),
     "large": (6, 36, 8),
+    "xlarge": (8, 64, 12),
 }
+
+# Scales where the cold (rebuild-everything) path is impractically slow:
+# one sparse factorization at xlarge takes tens of seconds.
+_SKIP_COLD = frozenset({"xlarge"})
 
 
 def _instance(L: int, V: int, seed: int) -> DSPPInstance:
@@ -132,6 +143,59 @@ def bench_mpc(name: str, num_steps: int, seed: int = 0) -> dict[str, object]:
     }
 
 
+def _warm_backend_loop(
+    name: str, num_steps: int, backend: str, seed: int = 0
+) -> tuple[float, np.ndarray]:
+    """One closed-loop MPC sequence through a persistent workspace.
+
+    Returns the mean per-step wall time (step 0, which pays setup and the
+    full first solve, is excluded) and the per-step objectives.
+    """
+    L, V, W = SCALES[name]
+    instance = _instance(L, V, seed)
+    demand, prices = _observations(L, V, num_steps + W, seed + 1)
+    workspace = DSPPWorkspace()
+    settings = QPSettings(early_polish=True, kkt_backend=backend)
+    current = instance
+    times: list[float] = []
+    objectives: list[float] = []
+    for k in range(num_steps):
+        start = time.perf_counter()
+        solution = solve_dspp(
+            current,
+            demand[:, k : k + W],
+            prices[:, k : k + W],
+            settings=settings,
+            workspace=workspace,
+        )
+        if k > 0:
+            times.append(time.perf_counter() - start)
+        objectives.append(solution.objective)
+        current = current.with_initial_state(solution.trajectory.states[0])
+    return float(np.mean(times)), np.asarray(objectives)
+
+
+def bench_backends(name: str, num_steps: int, seed: int = 0) -> dict[str, object]:
+    """Warm-step comparison of the sparse and banded KKT backends.
+
+    Both loops consume the same instance and observation streams; each
+    advances along its own closed-loop trajectory (the trajectories agree
+    to solver tolerance, which the objective divergence column certifies).
+    """
+    sparse_ms, sparse_obj = _warm_backend_loop(name, num_steps, "sparse", seed)
+    banded_ms, banded_obj = _warm_backend_loop(name, num_steps, "banded", seed)
+    worst = float(
+        np.max(np.abs(sparse_obj - banded_obj) / np.maximum(np.abs(sparse_obj), 1e-12))
+    )
+    return {
+        "sparse_warm_step_ms": round(1e3 * sparse_ms, 3),
+        "banded_warm_step_ms": round(1e3 * banded_ms, 3),
+        "banded_speedup": round(sparse_ms / banded_ms, 2),
+        "max_objective_rel_diff": worst,
+        "solutions_match": bool(worst <= 1e-9),
+    }
+
+
 def bench_ruiz(repeats: int, seed: int = 0) -> dict[str, object]:
     """Time Ruiz equilibration at paper scale (the satellite optimisation
     reuses post-scale column norms across iterations)."""
@@ -187,6 +251,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="CI smoke: fewer steps, small+paper only"
     )
+    parser.add_argument(
+        "--backend",
+        choices=("both", "sparse", "banded"),
+        default="both",
+        help="KKT backend(s) for the warm comparison (default: both)",
+    )
     parser.add_argument("--out", default=None, help="output path (default: repo root)")
     args = parser.parse_args(argv)
 
@@ -199,21 +269,43 @@ def main(argv: list[str] | None = None) -> int:
     scales = ["small", "paper"] if args.quick else list(SCALES)
 
     results: dict[str, object] = {
-        "benchmark": "persistent QP workspace vs cold MPC re-solves",
+        "benchmark": "persistent QP workspace + KKT backends vs cold MPC re-solves",
         "quick": bool(args.quick),
+        "backend": args.backend,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "scales": {},
     }
     for name in scales:
-        print(f"== mpc {name} ({num_steps} steps)")
-        entry = bench_mpc(name, num_steps)
+        entry: dict[str, object]
+        if name in _SKIP_COLD:
+            L, V, W = SCALES[name]
+            entry = {"L": L, "V": V, "window": W, "num_steps": num_steps}
+            print(f"== mpc {name} ({num_steps} steps, cold path skipped)")
+        else:
+            print(f"== mpc {name} ({num_steps} steps)")
+            entry = bench_mpc(name, num_steps)
+            print(
+                f"   cold {entry['cold_step_ms']} ms/step, "
+                f"warm {entry['warm_step_ms']} ms/step, "
+                f"speedup {entry['speedup']}x, match={entry['solutions_match']}"
+            )
+        if args.backend == "both":
+            backends = bench_backends(name, num_steps)
+            entry["backends"] = backends
+            print(
+                f"   backends: sparse {backends['sparse_warm_step_ms']} ms/step, "
+                f"banded {backends['banded_warm_step_ms']} ms/step, "
+                f"banded speedup {backends['banded_speedup']}x, "
+                f"match={backends['solutions_match']}"
+            )
+        else:
+            warm_ms, _ = _warm_backend_loop(name, num_steps, args.backend)
+            entry["backends"] = {
+                f"{args.backend}_warm_step_ms": round(1e3 * warm_ms, 3)
+            }
+            print(f"   {args.backend} warm {round(1e3 * warm_ms, 3)} ms/step")
         results["scales"][name] = entry  # type: ignore[index]
-        print(
-            f"   cold {entry['cold_step_ms']} ms/step, "
-            f"warm {entry['warm_step_ms']} ms/step, "
-            f"speedup {entry['speedup']}x, match={entry['solutions_match']}"
-        )
     print("== ruiz equilibration (paper scale)")
     results["ruiz"] = bench_ruiz(repeats=3 if args.quick else 10)
     print(f"   {results['ruiz']['ms_per_equilibration']} ms")  # type: ignore[index]
@@ -228,8 +320,14 @@ def main(argv: list[str] | None = None) -> int:
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out}")
 
-    paper = results["scales"].get("paper")  # type: ignore[union-attr]
-    ok = bool(paper and paper["solutions_match"])
+    scale_entries = results["scales"]  # type: ignore[assignment]
+    paper = scale_entries.get("paper")  # type: ignore[union-attr]
+    ok = bool(paper and paper.get("solutions_match", True))
+    for name, entry in scale_entries.items():  # type: ignore[union-attr]
+        backends = entry.get("backends", {})
+        if "solutions_match" in backends:
+            ok = ok and bool(backends["solutions_match"])
+            print(f"{name} banded-vs-sparse speedup: {backends['banded_speedup']}x")
     if paper:
         print(f"paper-scale warm speedup: {paper['speedup']}x")
     return 0 if ok else 1

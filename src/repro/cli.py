@@ -48,20 +48,36 @@ _DESCRIPTIONS = {
 }
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    """Register the shared ``--jobs`` flag on a sweep-capable subcommand.
+
+    Every figure harness routes its work through the deterministic
+    :func:`repro.experiments.runner.run_sweep`, so the flag carries the
+    same contract everywhere: parallelism changes wall time, never output.
+    """
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (0 = one per CPU); "
+        "results are identical at any job count",
+    )
+
+
 def _run_fig3(args: argparse.Namespace) -> FigureResult:
-    return run_fig3(num_hours=args.hours, seed=args.seed)
+    return run_fig3(num_hours=args.hours, seed=args.seed, jobs=args.jobs)
 
 
 def _run_fig4(args: argparse.Namespace) -> FigureResult:
-    return run_fig4(num_hours=args.hours, seed=args.seed)
+    return run_fig4(num_hours=args.hours, seed=args.seed, jobs=args.jobs)
 
 
 def _run_fig5(args: argparse.Namespace) -> FigureResult:
-    return run_fig5(num_hours=args.hours, seed=args.seed)
+    return run_fig5(num_hours=args.hours, seed=args.seed, jobs=args.jobs)
 
 
 def _run_fig6(args: argparse.Namespace) -> FigureResult:
-    return run_fig6()
+    return run_fig6(jobs=args.jobs)
 
 
 def _run_fig7(args: argparse.Namespace) -> FigureResult:
@@ -69,7 +85,7 @@ def _run_fig7(args: argparse.Namespace) -> FigureResult:
 
 
 def _run_fig8(args: argparse.Namespace) -> FigureResult:
-    return run_fig8(num_players=args.players, seed=args.seed)
+    return run_fig8(num_players=args.players, seed=args.seed, jobs=args.jobs)
 
 
 def _run_fig9(args: argparse.Namespace) -> FigureResult:
@@ -77,7 +93,7 @@ def _run_fig9(args: argparse.Namespace) -> FigureResult:
 
 
 def _run_fig10(args: argparse.Namespace) -> FigureResult:
-    return run_fig10()
+    return run_fig10(jobs=args.jobs)
 
 
 _RUNNERS: dict[str, Callable[[argparse.Namespace], FigureResult]] = {
@@ -110,13 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true", help="full-size sweeps (slower)"
     )
     report_parser.add_argument("--seed", type=int, default=0)
-    report_parser.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        help="worker processes for the sweep figures (0 = one per CPU); "
-        "results are identical at any job count",
-    )
+    _add_jobs_flag(report_parser)
 
     from repro.verify.cli import add_verify_parser
 
@@ -133,13 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
             figure_parser.add_argument("--players", type=int, default=5)
         if name == "fig9":
             figure_parser.add_argument("--seeds", type=int, default=3)
-        if name in ("fig7", "fig9"):
-            figure_parser.add_argument(
-                "--jobs",
-                type=int,
-                default=None,
-                help="worker processes for the sweep (0 = one per CPU)",
-            )
+        _add_jobs_flag(figure_parser)
     return parser
 
 

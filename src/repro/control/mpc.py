@@ -15,7 +15,7 @@ coordinator additionally swaps out the capacity vector between rounds).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -50,6 +50,11 @@ class MPCConfig:
             swaps via :meth:`MPCController.set_capacities` stay on the fast
             path; only a genuine structure change (horizon override, SLA or
             weight change) rebuilds.  See ``docs/PERFORMANCE.md``.
+        kkt_backend: convenience override of
+            :attr:`~repro.solvers.qp.QPSettings.kkt_backend` (``"auto"``,
+            ``"sparse"`` or ``"banded"``).  ``None`` defers to
+            ``qp_settings`` (or the solver default).  Set on top of explicit
+            ``qp_settings``, it replaces just the backend field.
     """
 
     window: int = 3
@@ -57,6 +62,7 @@ class MPCConfig:
     warm_start: bool = True
     slack_penalty: float | None = None
     reuse_workspace: bool = False
+    kkt_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.window < 1:
@@ -65,6 +71,26 @@ class MPCConfig:
             raise ValueError(
                 f"slack_penalty must be positive, got {self.slack_penalty}"
             )
+        if self.kkt_backend is not None and self.kkt_backend not in (
+            "auto",
+            "sparse",
+            "banded",
+        ):
+            raise ValueError(
+                f"kkt_backend must be 'auto', 'sparse' or 'banded', "
+                f"got {self.kkt_backend!r}"
+            )
+
+    def resolved_qp_settings(self) -> QPSettings | None:
+        """``qp_settings`` with any ``kkt_backend`` override applied."""
+        if self.kkt_backend is None:
+            return self.qp_settings
+        base = (
+            self.qp_settings
+            if self.qp_settings is not None
+            else QPSettings(early_polish=True)
+        )
+        return replace(base, kkt_backend=self.kkt_backend)
 
 
 @dataclass(frozen=True)
@@ -192,6 +218,11 @@ class MPCController:
         predicted_demand = self.demand_predictor.predict(window)
         predicted_prices = self.price_predictor.predict(window)
 
+        # Prime the memoized structure key on the base instance (a no-op
+        # after the first step) so every derived per-period copy inherits
+        # it: the receding-horizon loop hashes the SLA/weight arrays once,
+        # not once per period.
+        self.instance.structure_key()
         instance_now = self.instance.with_initial_state(self._state)
         workspace: DSPPWorkspace | None = None
         if self.config.reuse_workspace:
@@ -210,7 +241,7 @@ class MPCController:
             instance_now,
             predicted_demand,
             predicted_prices,
-            settings=self.config.qp_settings,
+            settings=self.config.resolved_qp_settings(),
             warm_start=warm,
             demand_slack_penalty=self.config.slack_penalty,
             workspace=workspace,

@@ -19,7 +19,6 @@ from repro.core.matrices import (
     StackedQPStructure,
     build_qp_structure,
     build_qp_vectors,
-    build_stacked_qp,
     structure_fingerprint,
 )
 from repro.core.state import Trajectory
@@ -126,7 +125,13 @@ class DSPPWorkspace:
             self._qp.update(q=q, l=l, u=u)
         else:
             self._qp.setup(
-                structure.P, structure.A, q=q, l=l, u=u, settings=effective_settings
+                structure.P,
+                structure.A,
+                q=q,
+                l=l,
+                u=u,
+                settings=effective_settings,
+                blocks=structure.blocks,
             )
         qp_solution = self._qp.solve(
             warm_start=warm_start, reuse_iterates=reuse_iterates
@@ -237,8 +242,24 @@ def solve_dspp(
             reuse_iterates=reuse_iterates,
         )
     else:
-        stacked = build_stacked_qp(
-            instance, demand, prices, demand_slack_penalty=demand_slack_penalty
+        elastic = demand_slack_penalty is not None
+        structure = build_qp_structure(
+            instance, np.asarray(demand).shape[1], elastic=elastic
+        )
+        q, l, u = build_qp_vectors(
+            structure, instance, demand, prices, demand_slack_penalty=demand_slack_penalty
+        )
+        stacked = StackedQP(
+            P=structure.P,
+            q=q,
+            A=structure.A,
+            l=l,
+            u=u,
+            indexer=structure.indexer,
+            constant_cost=0.0,
+            demand_row_offset=structure.demand_row_offset,
+            capacity_row_offset=structure.capacity_row_offset,
+            nonneg_row_offset=structure.nonneg_row_offset,
         )
         qp_solution = solve_qp(
             stacked.P,
@@ -248,6 +269,7 @@ def solve_dspp(
             stacked.u,
             settings=settings,
             warm_start=warm_start,
+            blocks=structure.blocks,
         )
     if qp_solution.status is QPStatus.PRIMAL_INFEASIBLE:
         raise DSPPInfeasibleError(

@@ -100,15 +100,47 @@ class DSPPInstance:
         inverse[~np.isfinite(self.sla_coefficients)] = 0.0
         return inverse
 
+    def _compute_structure_key(self) -> tuple[object, ...]:
+        """Hash the structure-relevant fields (see :meth:`structure_key`)."""
+        return (
+            self.num_datacenters,
+            self.num_locations,
+            float(self.server_size),
+            self.reconfiguration_weights.tobytes(),
+            self.sla_coefficients.tobytes(),
+        )
+
+    def structure_key(self) -> tuple[object, ...]:
+        """Hashable identity of the fields baked into the stacked ``(P, A)``.
+
+        Excludes ``initial_state`` and ``capacities`` (they enter the QP
+        bounds only), so :meth:`with_initial_state` and
+        :meth:`with_capacities` propagate the memoized key: a
+        receding-horizon loop hashes the SLA/weight arrays exactly once no
+        matter how many periods it runs.
+        """
+        cached = self.__dict__.get("_structure_key")
+        if cached is None:
+            cached = self._compute_structure_key()
+            object.__setattr__(self, "_structure_key", cached)
+        return cached  # type: ignore[no-any-return]
+
+    def _with_propagated_key(self, derived: "DSPPInstance") -> "DSPPInstance":
+        """Carry the memoized structure key onto a derived copy."""
+        cached = self.__dict__.get("_structure_key")
+        if cached is not None:
+            object.__setattr__(derived, "_structure_key", cached)
+        return derived
+
     def with_initial_state(self, state: np.ndarray) -> "DSPPInstance":
         """A copy whose ``initial_state`` is replaced (used by the MPC loop)."""
         state = np.asarray(state, dtype=float)
-        return replace(self, initial_state=state.copy())
+        return self._with_propagated_key(replace(self, initial_state=state.copy()))
 
     def with_capacities(self, capacities: np.ndarray) -> "DSPPInstance":
         """A copy with new capacities (used by the quota coordinator)."""
         capacities = np.asarray(capacities, dtype=float)
-        return replace(self, capacities=capacities.copy())
+        return self._with_propagated_key(replace(self, capacities=capacities.copy()))
 
     def max_supportable_demand(self) -> np.ndarray:
         """Upper bound on satisfiable demand per location, shape ``(V,)``.

@@ -35,6 +35,7 @@ from repro.core.instance import DSPPInstance
 
 __all__ = [
     "PairIndexer",
+    "QPBlockView",
     "StackedQP",
     "StackedQPStructure",
     "build_qp_structure",
@@ -108,6 +109,127 @@ class PairIndexer:
 
 
 @dataclass(frozen=True)
+class QPBlockView:
+    """Per-time-step block decomposition of the stacked QP structure.
+
+    The stacked KKT system is block-tridiagonal in time: period ``t``'s
+    variable group ``[x_t, u_t (, w_t)]`` couples to period ``t-1`` only
+    through the dynamics rows ``x_t - x_{t-1} - u_t = b``, and every
+    constraint family (dynamics, demand, capacity, nonnegativity, slack)
+    is itself block-diagonal over periods.  This view carries the few
+    coefficient arrays those blocks are built from — not matrix slices —
+    so the banded backend in :mod:`repro.solvers.banded` can assemble its
+    per-step factors directly, without ever re-slicing the assembled CSC
+    matrices.
+
+    Attributes:
+        num_steps: horizon length ``T``.
+        num_datacenters: ``L``.
+        num_locations: ``V``.
+        elastic: whether demand-slack variables ``w_t`` exist.
+        server_size: the capacity-row coefficient ``s``.
+        demand_coeff: demand-row coefficients ``1/a_lv`` (0 for unusable
+            pairs), shape ``(L, V)``.
+        control_hessian: diagonal of ``P`` over each ``u_t`` block
+            (``2 c_l`` pair-major), shape ``(L*V,)``.
+    """
+
+    num_steps: int
+    num_datacenters: int
+    num_locations: int
+    elastic: bool
+    server_size: float
+    demand_coeff: np.ndarray
+    control_hessian: np.ndarray
+
+    @property
+    def pairs_per_step(self) -> int:
+        return self.num_datacenters * self.num_locations
+
+    @property
+    def num_x(self) -> int:
+        """Total number of ``x`` variables (== number of ``u`` variables)."""
+        return self.num_steps * self.pairs_per_step
+
+    @property
+    def num_slack(self) -> int:
+        return self.num_steps * self.num_locations if self.elastic else 0
+
+    @property
+    def num_variables(self) -> int:
+        return 2 * self.num_x + self.num_slack
+
+    @property
+    def step_width(self) -> int:
+        """Variables per period: ``x_t``, ``u_t`` and (elastic) ``w_t``."""
+        return 2 * self.pairs_per_step + (self.num_locations if self.elastic else 0)
+
+    # -- row-family offsets (match the assembled ``A`` exactly) ----------
+    @property
+    def dynamics_row_offset(self) -> int:
+        return 0
+
+    @property
+    def demand_row_offset(self) -> int:
+        return self.num_steps * self.pairs_per_step
+
+    @property
+    def capacity_row_offset(self) -> int:
+        return self.demand_row_offset + self.num_steps * self.num_locations
+
+    @property
+    def nonneg_row_offset(self) -> int:
+        return self.capacity_row_offset + self.num_steps * self.num_datacenters
+
+    @property
+    def slack_row_offset(self) -> int:
+        return self.nonneg_row_offset + self.num_x
+
+    @property
+    def num_constraints(self) -> int:
+        return self.slack_row_offset + self.num_slack
+
+    # -- per-period column/row slices ------------------------------------
+    def x_slice(self, step: int) -> slice:
+        pairs = self.pairs_per_step
+        return slice(step * pairs, (step + 1) * pairs)
+
+    def u_slice(self, step: int) -> slice:
+        offset = self.num_x
+        pairs = self.pairs_per_step
+        return slice(offset + step * pairs, offset + (step + 1) * pairs)
+
+    def slack_slice(self, step: int) -> slice:
+        offset = 2 * self.num_x
+        V = self.num_locations
+        return slice(offset + step * V, offset + (step + 1) * V)
+
+    def dynamics_rows(self, step: int) -> slice:
+        pairs = self.pairs_per_step
+        return slice(step * pairs, (step + 1) * pairs)
+
+    def demand_rows(self, step: int) -> slice:
+        V = self.num_locations
+        offset = self.demand_row_offset
+        return slice(offset + step * V, offset + (step + 1) * V)
+
+    def capacity_rows(self, step: int) -> slice:
+        L = self.num_datacenters
+        offset = self.capacity_row_offset
+        return slice(offset + step * L, offset + (step + 1) * L)
+
+    def nonneg_rows(self, step: int) -> slice:
+        pairs = self.pairs_per_step
+        offset = self.nonneg_row_offset
+        return slice(offset + step * pairs, offset + (step + 1) * pairs)
+
+    def slack_rows(self, step: int) -> slice:
+        V = self.num_locations
+        offset = self.slack_row_offset
+        return slice(offset + step * V, offset + (step + 1) * V)
+
+
+@dataclass(frozen=True)
 class StackedQP:
     """The assembled sparse QP plus the metadata to interpret its solution.
 
@@ -168,6 +290,8 @@ class StackedQPStructure:
         fingerprint: hashable identity of everything baked into ``P``/``A``
             (compare with :func:`structure_fingerprint` to decide whether a
             cached structure is reusable).
+        blocks: the per-time-step :class:`QPBlockView` of the same data,
+            consumed by the block-banded KKT backend.
     """
 
     P: sp.csc_matrix
@@ -177,6 +301,7 @@ class StackedQPStructure:
     capacity_row_offset: int
     nonneg_row_offset: int
     fingerprint: tuple[object, ...]
+    blocks: QPBlockView
 
 
 def structure_fingerprint(
@@ -190,16 +315,13 @@ def structure_fingerprint(
     state are deliberately *excluded* — they enter the bounds vectors only,
     so quota swaps and receding-horizon state advances are vector-only
     updates.
+
+    The instance-side material is memoized on the (frozen) instance via
+    :meth:`DSPPInstance.structure_key`, so a receding-horizon loop that
+    advances the state every period never re-hashes the SLA matrix.
     """
-    return (
-        instance.num_datacenters,
-        instance.num_locations,
-        int(num_steps),
-        bool(elastic),
-        float(instance.server_size),
-        instance.reconfiguration_weights.tobytes(),
-        instance.sla_coefficients.tobytes(),
-    )
+    L, V, size, recon_bytes, sla_bytes = instance.structure_key()
+    return (L, V, int(num_steps), bool(elastic), size, recon_bytes, sla_bytes)
 
 
 def build_qp_structure(
@@ -240,62 +362,69 @@ def build_qp_structure(
 
     coeff = instance.demand_coefficients  # (L, V), zeros for unusable pairs
 
-    rows: list[sp.spmatrix] = []
+    # One COO pass over every constraint family; each family is a closed-form
+    # index pattern, so there are no per-row Python loops.
+    row_parts: list[np.ndarray] = []
+    col_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    t_idx = np.arange(T)
 
     # Dynamics: x_t - x_{t-1} - u_{t-1} = 0  (x_0 constant moves to rhs).
-    eye = sp.identity(n_pairs, format="csc")
-    dyn_blocks = sp.lil_matrix((T * n_pairs, n_vars))
-    for t in range(T):
-        r0 = t * n_pairs
-        dyn_blocks[r0 : r0 + n_pairs, t * n_pairs : (t + 1) * n_pairs] = eye
-        if t > 0:
-            dyn_blocks[r0 : r0 + n_pairs, (t - 1) * n_pairs : t * n_pairs] = -eye
-        dyn_blocks[r0 : r0 + n_pairs, half + t * n_pairs : half + (t + 1) * n_pairs] = -eye
-    rows.append(dyn_blocks.tocsc())
-    dynamics_rows = T * n_pairs
+    x_all = np.arange(half)
+    row_parts += [x_all, np.arange(n_pairs, half), x_all]
+    col_parts += [x_all, np.arange(half - n_pairs), half + x_all]
+    val_parts += [np.ones(half), -np.ones(half - n_pairs), -np.ones(half)]
+    demand_row_offset = half
 
     # Demand: sum_l coeff[l, v] * x_t[l, v] (+ w_t[v] if elastic) >= D_t[v].
-    demand_block = sp.lil_matrix((T * V, n_vars))
-    for t in range(T):
-        for v in range(V):
-            row = t * V + v
-            for l in range(L):
-                c = coeff[l, v]
-                if c > 0.0:
-                    demand_block[row, indexer.x_index(t, l, v)] = c
-            if elastic:
-                demand_block[row, indexer.slack_index(t, v)] = 1.0
-    rows.append(demand_block.tocsc())
-    demand_row_offset = dynamics_rows
-
-    # Capacity: s * sum_v x_t[l, v] <= C_l.
-    capacity_block = sp.lil_matrix((T * L, n_vars))
-    for t in range(T):
-        for l in range(L):
-            row = t * L + l
-            start = indexer.x_index(t, l, 0)
-            capacity_block[row, start : start + V] = instance.server_size
-    rows.append(capacity_block.tocsc())
+    dem_l, dem_v = np.nonzero(coeff > 0.0)
+    row_parts.append(
+        (demand_row_offset + t_idx[:, None] * V + dem_v[None, :]).reshape(-1)
+    )
+    col_parts.append(
+        (t_idx[:, None] * n_pairs + (dem_l * V + dem_v)[None, :]).reshape(-1)
+    )
+    val_parts.append(np.tile(coeff[dem_l, dem_v], T))
+    if elastic:
+        row_parts.append(demand_row_offset + np.arange(T * V))
+        col_parts.append(2 * half + np.arange(n_slack))
+        val_parts.append(np.ones(n_slack))
     capacity_row_offset = demand_row_offset + T * V
 
-    # Nonnegativity of x and of the slack (u is free).
-    nonneg_block = sp.hstack(
-        [
-            sp.identity(half, format="csc"),
-            sp.csc_matrix((half, half + n_slack)),
-        ],
-        format="csc",
-    )
-    rows.append(nonneg_block)
+    # Capacity: s * sum_v x_t[l, v] <= C_l.  Column (t, l, v) row-major is
+    # exactly the flat x index, so the column array is arange(half).
+    row_parts.append(np.repeat(capacity_row_offset + np.arange(T * L), V))
+    col_parts.append(x_all)
+    val_parts.append(np.full(half, float(instance.server_size)))
     nonneg_row_offset = capacity_row_offset + T * L
-    if elastic:
-        slack_block = sp.hstack(
-            [sp.csc_matrix((n_slack, 2 * half)), sp.identity(n_slack, format="csc")],
-            format="csc",
-        )
-        rows.append(slack_block)
 
-    A = sp.vstack(rows, format="csc")
+    # Nonnegativity of x and of the slack (u is free).
+    row_parts.append(nonneg_row_offset + np.arange(half))
+    col_parts.append(x_all)
+    val_parts.append(np.ones(half))
+    if elastic:
+        row_parts.append(nonneg_row_offset + half + np.arange(n_slack))
+        col_parts.append(2 * half + np.arange(n_slack))
+        val_parts.append(np.ones(n_slack))
+
+    num_rows = nonneg_row_offset + half + n_slack
+    A = sp.coo_matrix(
+        (
+            np.concatenate(val_parts),
+            (np.concatenate(row_parts), np.concatenate(col_parts)),
+        ),
+        shape=(num_rows, n_vars),
+    ).tocsc()
+
+    blocks = QPBlockView(
+        num_steps=T,
+        num_datacenters=L,
+        num_locations=V,
+        elastic=elastic,
+        server_size=float(instance.server_size),
+        demand_coeff=coeff,
+        control_hessian=2.0 * recon,
+    )
 
     return StackedQPStructure(
         P=P,
@@ -305,6 +434,7 @@ def build_qp_structure(
         capacity_row_offset=capacity_row_offset,
         nonneg_row_offset=nonneg_row_offset,
         fingerprint=structure_fingerprint(instance, T, elastic),
+        blocks=blocks,
     )
 
 
@@ -366,37 +496,34 @@ def build_qp_vectors(
     n_slack = T * V if indexer.elastic else 0
 
     # Linear cost: p_t^l on every x_t[l, v]; the shortfall penalty on slack.
+    # ``prices.T`` is horizon-major (T, L); one axis-1 repeat writes every
+    # period's pair-major price block at once.
     q = np.zeros(n_vars)
-    for t in range(T):
-        q[t * n_pairs : (t + 1) * n_pairs] = np.repeat(prices[:, t], V)
+    q[:half] = np.repeat(prices.T, V, axis=1).reshape(-1)
     if indexer.elastic:
         q[2 * half :] = demand_slack_penalty
 
-    # Dynamics rhs: x_0 enters the t = 0 block only.
-    dyn_rhs = np.zeros(T * n_pairs)
-    dyn_rhs[:n_pairs] = instance.initial_state.reshape(-1)
+    # Bounds, written family-by-family into preallocated arrays (no
+    # per-step concatenation).  Row offsets match the assembled ``A``.
+    demand_rows = slice(half, half + T * V)
+    capacity_rows = slice(half + T * V, half + T * V + T * L)
+    num_rows = 2 * half + T * V + T * L + n_slack
+    l_vec = np.empty(num_rows)
+    u_vec = np.empty(num_rows)
 
-    demand_lower = demand.T.reshape(-1)  # row t*V + v = demand[v, t]
-    capacity_upper = np.tile(instance.capacities, T)  # row t*L + l = C_l
-
-    l_vec = np.concatenate(
-        [
-            dyn_rhs,
-            demand_lower,
-            np.full(T * L, -np.inf),
-            np.zeros(half),
-            np.zeros(n_slack),
-        ]
-    )
-    u_vec = np.concatenate(
-        [
-            dyn_rhs,
-            np.full(T * V, np.inf),
-            capacity_upper,
-            np.full(half, np.inf),
-            np.full(n_slack, np.inf),
-        ]
-    )
+    # Dynamics rhs (equality): x_0 enters the t = 0 block only.
+    l_vec[:half] = 0.0
+    l_vec[:n_pairs] = instance.initial_state.reshape(-1)
+    u_vec[:half] = l_vec[:half]
+    # Demand lower bounds, horizon-major: row t*V + v = demand[v, t].
+    l_vec[demand_rows] = demand.T.reshape(-1)
+    u_vec[demand_rows] = np.inf
+    # Capacity upper bounds: row t*L + l = C_l.
+    l_vec[capacity_rows] = -np.inf
+    u_vec[capacity_rows] = np.tile(instance.capacities, T)
+    # Nonnegativity of x and (elastic) slack.
+    l_vec[capacity_rows.stop :] = 0.0
+    u_vec[capacity_rows.stop :] = np.inf
     return q, l_vec, u_vec
 
 

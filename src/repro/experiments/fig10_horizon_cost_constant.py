@@ -14,16 +14,59 @@ non-increasing in the window.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.control.loop import run_closed_loop
 from repro.control.mpc import MPCConfig, MPCController
 from repro.core.instance import DSPPInstance
 from repro.experiments.common import FigureResult, is_mostly_decreasing
+from repro.experiments.runner import run_sweep
 from repro.prediction.oracle import OraclePredictor
 from repro.queueing.sla import sla_coefficient
 
 __all__ = ["run_fig10"]
+
+
+@dataclass(frozen=True)
+class _Fig10TaskSpec:
+    """One horizon cell of the fig10 sweep (constant inputs, no RNG)."""
+
+    window: int
+    num_periods: int
+    demand_level: float
+    price_level: float
+    service_rate: float
+    max_latency_ms: float
+    reconfiguration_weight: float
+    slack_penalty: float
+
+
+def _run_fig10_task(spec: _Fig10TaskSpec) -> tuple[float, int]:
+    """Run one horizon; returns (effective cost, periods to cover)."""
+    a = sla_coefficient(20.0, spec.max_latency_ms, spec.service_rate)
+    demand = np.full((1, spec.num_periods), float(spec.demand_level))
+    prices = np.full((1, spec.num_periods), float(spec.price_level))
+    instance = DSPPInstance(
+        datacenters=("dc",),
+        locations=("v",),
+        sla_coefficients=np.array([[a]]),
+        reconfiguration_weights=np.array([float(spec.reconfiguration_weight)]),
+        capacities=np.array([np.inf]),
+        initial_state=np.zeros((1, 1)),
+    )
+    controller = MPCController(
+        instance,
+        OraclePredictor(demand),
+        OraclePredictor(prices),
+        MPCConfig(window=spec.window, slack_penalty=spec.slack_penalty),
+    )
+    result = run_closed_loop(controller, demand, prices)
+    effective = result.total_cost + spec.slack_penalty * result.total_unmet_demand
+    covered = np.nonzero(result.unmet_demand[:, 0] <= 1e-6)[0]
+    cover = int(covered[0]) + 1 if covered.size else spec.num_periods
+    return float(effective), cover
 
 
 def run_fig10(
@@ -35,41 +78,36 @@ def run_fig10(
     max_latency_ms: float = 150.0,
     reconfiguration_weight: float = 60.0,
     slack_penalty: float = 6.0,
+    jobs: int | None = None,
 ) -> FigureResult:
     """Closed-loop horizon sweep under constant demand and price.
+
+    Args:
+        jobs: worker processes for the per-horizon sweep (0 = one per
+            CPU); the sweep is deterministic, so results are bitwise
+            identical at any job count.
 
     Returns:
         x = horizon; series = effective cost (allocation + reconfiguration
         + shortfall penalty) and time-to-cover (periods until the
         allocation first fully covers demand).
     """
-    a = sla_coefficient(20.0, max_latency_ms, service_rate)
-    demand = np.full((1, num_periods), float(demand_level))
-    prices = np.full((1, num_periods), float(price_level))
-
-    effective = []
-    cover_time = []
-    for window in horizons:
-        instance = DSPPInstance(
-            datacenters=("dc",),
-            locations=("v",),
-            sla_coefficients=np.array([[a]]),
-            reconfiguration_weights=np.array([float(reconfiguration_weight)]),
-            capacities=np.array([np.inf]),
-            initial_state=np.zeros((1, 1)),
+    specs = [
+        _Fig10TaskSpec(
+            window=window,
+            num_periods=num_periods,
+            demand_level=demand_level,
+            price_level=price_level,
+            service_rate=service_rate,
+            max_latency_ms=max_latency_ms,
+            reconfiguration_weight=reconfiguration_weight,
+            slack_penalty=slack_penalty,
         )
-        controller = MPCController(
-            instance,
-            OraclePredictor(demand),
-            OraclePredictor(prices),
-            MPCConfig(window=window, slack_penalty=slack_penalty),
-        )
-        result = run_closed_loop(controller, demand, prices)
-        effective.append(
-            result.total_cost + slack_penalty * result.total_unmet_demand
-        )
-        covered = np.nonzero(result.unmet_demand[:, 0] <= 1e-6)[0]
-        cover_time.append(int(covered[0]) + 1 if covered.size else num_periods)
+        for window in horizons
+    ]
+    outputs = run_sweep(_run_fig10_task, specs, jobs=jobs)
+    effective = [out[0] for out in outputs]
+    cover_time = [out[1] for out in outputs]
 
     effective = np.array(effective)
     checks = {

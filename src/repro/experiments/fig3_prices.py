@@ -12,9 +12,12 @@ the structure later figures depend on:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.experiments.common import FigureResult
+from repro.experiments.runner import derive_seed, run_sweep
 from repro.pricing.electricity import ElectricityPriceModel
 from repro.pricing.markets import region_for_datacenter
 
@@ -28,10 +31,29 @@ FIG3_DATACENTERS: tuple[str, ...] = (
 )
 
 
+@dataclass(frozen=True)
+class _Fig3TaskSpec:
+    """One data-center trace of the fig3 sweep; carries its own derived
+    seed so the realized noise is independent of which process draws it."""
+
+    datacenter: str
+    num_hours: int
+    seed: int
+
+
+def _run_fig3_task(spec: _Fig3TaskSpec) -> tuple[np.ndarray, np.ndarray]:
+    """Generate one site's realized and expected price curves."""
+    rng = np.random.default_rng(spec.seed)
+    hours = np.arange(spec.num_hours, dtype=float)
+    model = ElectricityPriceModel(region_for_datacenter(spec.datacenter))
+    return model.generate(spec.num_hours, rng).prices, model.expected_price(hours)
+
+
 def run_fig3(
     num_hours: int = 24,
     seed: int = 0,
     datacenters: tuple[str, ...] = FIG3_DATACENTERS,
+    jobs: int | None = None,
 ) -> FigureResult:
     """Generate the Figure 3 price traces.
 
@@ -39,20 +61,25 @@ def run_fig3(
         num_hours: trace length (paper: 24).
         seed: RNG seed for the AR(1) noise.
         datacenters: data-center city keys to plot.
+        jobs: worker processes for the per-site sweep (0 = one per CPU);
+            each site draws from its own derived seed, so the traces are
+            bitwise identical at any job count.
 
     Returns:
         A :class:`FigureResult`: x = hour of day (UTC), one $/MWh series
         per data center.
     """
-    rng = np.random.default_rng(seed)
     hours = np.arange(num_hours, dtype=float)
+    specs = [
+        _Fig3TaskSpec(datacenter=key, num_hours=num_hours, seed=derive_seed(seed, i))
+        for i, key in enumerate(datacenters)
+    ]
+    outputs = run_sweep(_run_fig3_task, specs, jobs=jobs)
     series: dict[str, np.ndarray] = {}
     expected: dict[str, np.ndarray] = {}
-    for key in datacenters:
-        region = region_for_datacenter(key)
-        model = ElectricityPriceModel(region)
-        series[key] = model.generate(num_hours, rng).prices
-        expected[key] = model.expected_price(hours)
+    for key, (realized, curve) in zip(datacenters, outputs):
+        series[key] = realized
+        expected[key] = curve
 
     # Structural checks run on the models' *expected* curves — a single
     # day's AR(1) noise realization can reorder means, just as one real

@@ -14,18 +14,78 @@ penalty).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.control.loop import run_closed_loop
 from repro.control.mpc import MPCConfig, MPCController
 from repro.core.instance import DSPPInstance
 from repro.experiments.common import FigureResult
+from repro.experiments.runner import run_sweep
 from repro.prediction.naive import LastValuePredictor
 from repro.queueing.sla import sla_coefficient
 from repro.workload.diurnal import OnOffEnvelope
 from repro.workload.poisson import nhpp_counts
 
 __all__ = ["run_fig4"]
+
+
+@dataclass(frozen=True)
+class _Fig4TaskSpec:
+    """The single fig4 closed-loop run; the Poisson noise is drawn from
+    ``default_rng(seed)`` inside the worker, so the result is bitwise
+    identical whether the task runs in-process or in a worker process."""
+
+    num_hours: int
+    peak_rate: float
+    window: int
+    service_rate: float
+    max_latency_s: float
+    network_latency_s: float
+    reconfiguration_weight: float
+    price: float
+    seed: int
+
+
+def _run_fig4_task(
+    spec: _Fig4TaskSpec,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Run the tracking experiment; returns (demand, servers, reactive, a)."""
+    rng = np.random.default_rng(spec.seed)
+    hours = np.arange(spec.num_hours, dtype=float)
+    envelope = OnOffEnvelope(low=0.3, ramp_hours=2.0)
+    mean_rates = spec.peak_rate * envelope.factor(hours, utc_offset_hours=0.0)
+    demand = (nhpp_counts(mean_rates, rng) / 1.0).astype(float)[None, :]  # (1, K)
+    prices = np.full((1, spec.num_hours), float(spec.price))
+
+    a = sla_coefficient(
+        spec.network_latency_s, spec.max_latency_s, spec.service_rate
+    )
+    instance = DSPPInstance(
+        datacenters=("dc",),
+        locations=("v",),
+        sla_coefficients=np.array([[a]]),
+        reconfiguration_weights=np.array([float(spec.reconfiguration_weight)]),
+        capacities=np.array([np.inf]),
+        initial_state=np.array([[demand[0, 0] * a]]),
+    )
+
+    # Persistence forecasting: the paper's framework "can work with any
+    # demand prediction technique"; on a hard on/off step an AR model
+    # extrapolates the jump and overshoots wildly, so the tracking study
+    # uses the robust last-value predictor (Figure 9 studies AR itself).
+    controller = MPCController(
+        instance,
+        LastValuePredictor(1),
+        LastValuePredictor(1),
+        MPCConfig(window=spec.window),
+    )
+    result = run_closed_loop(controller, demand, prices)
+    servers = result.servers_per_datacenter()[:, 0]  # (K-1,)
+
+    # Reactive reference: exactly a * last observed demand each period.
+    return demand[0], servers, a * demand[0, :-1], a
 
 
 def run_fig4(
@@ -38,6 +98,7 @@ def run_fig4(
     reconfiguration_weight: float = 0.3,
     price: float = 1.0,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> FigureResult:
     """Run the single-DC / single-access-network tracking experiment.
 
@@ -51,45 +112,30 @@ def run_fig4(
         reconfiguration_weight: quadratic weight ``c``.
         price: constant per-server price (so only demand moves).
         seed: RNG seed for the Poisson noise.
+        jobs: worker processes for the (single-task) sweep; results are
+            bitwise identical at any job count.
 
     Returns:
         x = hour, series = realized demand rate and allocated servers
         (MPC and reactive-tracker reference).
     """
-    rng = np.random.default_rng(seed)
     hours = np.arange(num_hours, dtype=float)
-    envelope = OnOffEnvelope(low=0.3, ramp_hours=2.0)
-    mean_rates = peak_rate * envelope.factor(hours, utc_offset_hours=0.0)
-    demand = (nhpp_counts(mean_rates, rng) / 1.0).astype(float)[None, :]  # (1, K)
-    prices = np.full((1, num_hours), float(price))
-
-    a = sla_coefficient(network_latency_s, max_latency_s, service_rate)
-    instance = DSPPInstance(
-        datacenters=("dc",),
-        locations=("v",),
-        sla_coefficients=np.array([[a]]),
-        reconfiguration_weights=np.array([float(reconfiguration_weight)]),
-        capacities=np.array([np.inf]),
-        initial_state=np.array([[demand[0, 0] * a]]),
+    spec = _Fig4TaskSpec(
+        num_hours=num_hours,
+        peak_rate=peak_rate,
+        window=window,
+        service_rate=service_rate,
+        max_latency_s=max_latency_s,
+        network_latency_s=network_latency_s,
+        reconfiguration_weight=reconfiguration_weight,
+        price=price,
+        seed=seed,
+    )
+    (demand_row, servers, reactive_servers, a), = run_sweep(
+        _run_fig4_task, [spec], jobs=jobs
     )
 
-    # Persistence forecasting: the paper's framework "can work with any
-    # demand prediction technique"; on a hard on/off step an AR model
-    # extrapolates the jump and overshoots wildly, so the tracking study
-    # uses the robust last-value predictor (Figure 9 studies AR itself).
-    controller = MPCController(
-        instance,
-        LastValuePredictor(1),
-        LastValuePredictor(1),
-        MPCConfig(window=window),
-    )
-    result = run_closed_loop(controller, demand, prices)
-    servers = result.servers_per_datacenter()[:, 0]  # (K-1,)
-
-    # Reactive reference: exactly a * last observed demand each period.
-    reactive_servers = a * demand[0, :-1]
-
-    realized = demand[0, 1:]
+    realized = demand_row[1:]
     correlation = float(np.corrcoef(servers, realized)[0, 1])
     coverage = float(np.mean(servers * (1.0 / a) >= realized * (1.0 - 0.15)))
     mpc_churn = float(np.abs(np.diff(servers)).sum())

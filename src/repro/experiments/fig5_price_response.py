@@ -19,12 +19,15 @@ Houston.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.control.loop import run_closed_loop
 from repro.control.mpc import MPCConfig, MPCController
 from repro.core.instance import DSPPInstance
 from repro.experiments.common import FigureResult
+from repro.experiments.runner import run_sweep
 from repro.prediction.oracle import OraclePredictor
 from repro.pricing.electricity import ElectricityPriceModel
 from repro.pricing.markets import region_for_datacenter
@@ -47,6 +50,59 @@ FIG5_LATENCY_S = np.array(
 )
 
 
+@dataclass(frozen=True)
+class _Fig5TaskSpec:
+    """The single fig5 closed-loop run (fully deterministic: noise-free
+    expected prices, constant demand — no RNG anywhere)."""
+
+    num_hours: int
+    demand_per_location: float
+    window: int
+    service_rate: float
+    max_latency_s: float
+    reconfiguration_weight: float
+
+
+def _run_fig5_task(spec: _Fig5TaskSpec) -> tuple[np.ndarray, np.ndarray, float]:
+    """Run the price-response loop; returns (servers, prices, unmet)."""
+    hours = np.arange(spec.num_hours, dtype=float)
+    L = len(FIG5_DATACENTERS)
+
+    prices = np.empty((L, spec.num_hours))
+    for row, key in enumerate(FIG5_DATACENTERS):
+        region = region_for_datacenter(key)
+        model = ElectricityPriceModel(region)
+        # Noise-free expected prices keep the figure clean, as in the paper
+        # (its price inputs are the Figure 3 traces themselves).
+        prices[row] = model.expected_price(hours) / 40.0  # scale to ~O(1)
+
+    sla = SLAPolicy(
+        max_latency=spec.max_latency_s, service_rate=spec.service_rate
+    )
+    coefficients = sla.coefficient_matrix(FIG5_LATENCY_S)
+
+    demand = np.full((3, spec.num_hours), float(spec.demand_per_location))
+    instance = DSPPInstance(
+        datacenters=FIG5_DATACENTERS,
+        locations=("v_west", "v_south", "v_east"),
+        sla_coefficients=coefficients,
+        reconfiguration_weights=np.full(
+            L, float(spec.reconfiguration_weight)
+        ),
+        capacities=np.full(L, np.inf),
+        initial_state=np.zeros((L, 3)),
+    )
+    controller = MPCController(
+        instance,
+        OraclePredictor(demand),
+        OraclePredictor(prices),
+        MPCConfig(window=spec.window),
+    )
+    result = run_closed_loop(controller, demand, prices)
+    # servers: (K-1, L)
+    return result.servers_per_datacenter(), prices, result.total_unmet_demand
+
+
 def run_fig5(
     num_hours: int = 24,
     demand_per_location: float = 400.0,
@@ -55,44 +111,28 @@ def run_fig5(
     max_latency_s: float = 0.150,
     reconfiguration_weight: float = 0.01,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> FigureResult:
     """Run the price-response experiment over one day.
+
+    Args:
+        jobs: worker processes for the (single-task) sweep; results are
+            bitwise identical at any job count.
 
     Returns:
         x = hour (UTC), series = servers per data center plus each site's
         (scaled) price.
     """
     hours = np.arange(num_hours, dtype=float)
-    L = len(FIG5_DATACENTERS)
-
-    prices = np.empty((L, num_hours))
-    for row, key in enumerate(FIG5_DATACENTERS):
-        region = region_for_datacenter(key)
-        model = ElectricityPriceModel(region)
-        # Noise-free expected prices keep the figure clean, as in the paper
-        # (its price inputs are the Figure 3 traces themselves).
-        prices[row] = model.expected_price(hours) / 40.0  # scale to ~O(1)
-
-    sla = SLAPolicy(max_latency=max_latency_s, service_rate=service_rate)
-    coefficients = sla.coefficient_matrix(FIG5_LATENCY_S)
-
-    demand = np.full((3, num_hours), float(demand_per_location))
-    instance = DSPPInstance(
-        datacenters=FIG5_DATACENTERS,
-        locations=("v_west", "v_south", "v_east"),
-        sla_coefficients=coefficients,
-        reconfiguration_weights=np.full(L, float(reconfiguration_weight)),
-        capacities=np.full(L, np.inf),
-        initial_state=np.zeros((L, 3)),
+    spec = _Fig5TaskSpec(
+        num_hours=num_hours,
+        demand_per_location=demand_per_location,
+        window=window,
+        service_rate=service_rate,
+        max_latency_s=max_latency_s,
+        reconfiguration_weight=reconfiguration_weight,
     )
-    controller = MPCController(
-        instance,
-        OraclePredictor(demand),
-        OraclePredictor(prices),
-        MPCConfig(window=window),
-    )
-    result = run_closed_loop(controller, demand, prices)
-    servers = result.servers_per_datacenter()  # (K-1, L)
+    (servers, prices, total_unmet), = run_sweep(_run_fig5_task, [spec], jobs=jobs)
 
     mv = servers[:, 0]
     premium = prices[0, 1:] - prices[1, 1:]  # Mountain View minus Houston
@@ -107,7 +147,7 @@ def run_fig5(
         "MV servers dip in the Pacific afternoon": afternoon_mean < rest_mean,
         "MV allocation anti-correlates with its price premium": anti_corr < -0.3,
         "MV actually used when its power is cheap": bool(mv.max() > 1.0),
-        "total demand always served": bool(result.total_unmet_demand < 1e-6),
+        "total demand always served": bool(total_unmet < 1e-6),
     }
     series = {
         f"servers_{key}": servers[:, row] for row, key in enumerate(FIG5_DATACENTERS)

@@ -13,12 +13,15 @@ shrink as the horizon grows.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.control.loop import run_closed_loop
 from repro.control.mpc import MPCConfig, MPCController
 from repro.core.instance import DSPPInstance
 from repro.experiments.common import FigureResult, is_mostly_decreasing
+from repro.experiments.runner import run_sweep
 from repro.prediction.oracle import OraclePredictor
 from repro.queueing.sla import sla_coefficient
 from repro.workload.diurnal import DiurnalEnvelope
@@ -26,6 +29,55 @@ from repro.workload.diurnal import DiurnalEnvelope
 __all__ = ["PAPER_HORIZONS", "run_fig6"]
 
 PAPER_HORIZONS: tuple[int, ...] = (1, 10, 20, 30)
+
+
+@dataclass(frozen=True)
+class _Fig6TaskSpec:
+    """One horizon cell of the fig6 sweep (fully deterministic: the
+    diurnal scenario is rebuilt inside the worker, no RNG anywhere)."""
+
+    window: int
+    num_hours: int
+    peak_rate: float
+    service_rate: float
+    max_latency_ms: float
+    network_latency_ms: float
+    reconfiguration_weight: float
+    slack_penalty: float
+    price: float
+
+
+def _run_fig6_task(spec: _Fig6TaskSpec) -> tuple[float, float, float, float]:
+    """Run one horizon; returns (total churn, peak step, rms step, cost)."""
+    hours = np.arange(spec.num_hours, dtype=float)
+    envelope = DiurnalEnvelope(low=0.25)
+    demand = (spec.peak_rate * envelope.factor(hours))[None, :]
+    prices = np.full((1, spec.num_hours), float(spec.price))
+    a = sla_coefficient(
+        spec.network_latency_ms, spec.max_latency_ms, spec.service_rate
+    )
+    instance = DSPPInstance(
+        datacenters=("dc",),
+        locations=("v",),
+        sla_coefficients=np.array([[a]]),
+        reconfiguration_weights=np.array([float(spec.reconfiguration_weight)]),
+        capacities=np.array([np.inf]),
+        initial_state=np.array([[demand[0, 0] * a]]),
+    )
+    controller = MPCController(
+        instance,
+        OraclePredictor(demand),
+        OraclePredictor(prices),
+        MPCConfig(window=spec.window, slack_penalty=spec.slack_penalty),
+    )
+    result = run_closed_loop(controller, demand, prices)
+    controls = result.trajectory.controls[:, 0, 0]
+    return (
+        float(np.abs(controls).sum()),
+        float(np.abs(controls).max()),
+        float(np.sqrt(np.mean(controls**2))),
+        result.total_cost,
+    )
 
 
 def run_fig6(
@@ -38,6 +90,7 @@ def run_fig6(
     reconfiguration_weight: float = 50.0,
     slack_penalty: float = 20.0,
     price: float = 1.0,
+    jobs: int | None = None,
 ) -> FigureResult:
     """Sweep the prediction horizon on the single-DC diurnal scenario.
 
@@ -45,41 +98,34 @@ def run_fig6(
     prediction error (Figure 9 studies the error side); the elastic DSPP
     lets long-horizon controllers pre-ramp smoothly.
 
+    Args:
+        jobs: worker processes for the per-horizon sweep (0 = one per
+            CPU); the sweep is deterministic, so results are bitwise
+            identical at any job count.
+
     Returns:
         x = horizon; series = total and peak reconfiguration magnitude,
         total cost.
     """
-    hours = np.arange(num_hours, dtype=float)
-    envelope = DiurnalEnvelope(low=0.25)
-    demand = (peak_rate * envelope.factor(hours))[None, :]
-    prices = np.full((1, num_hours), float(price))
-    a = sla_coefficient(network_latency_ms, max_latency_ms, service_rate)
-
-    total_churn = []
-    peak_step = []
-    rms_step = []
-    total_cost = []
-    for window in horizons:
-        instance = DSPPInstance(
-            datacenters=("dc",),
-            locations=("v",),
-            sla_coefficients=np.array([[a]]),
-            reconfiguration_weights=np.array([float(reconfiguration_weight)]),
-            capacities=np.array([np.inf]),
-            initial_state=np.array([[demand[0, 0] * a]]),
+    specs = [
+        _Fig6TaskSpec(
+            window=window,
+            num_hours=num_hours,
+            peak_rate=peak_rate,
+            service_rate=service_rate,
+            max_latency_ms=max_latency_ms,
+            network_latency_ms=network_latency_ms,
+            reconfiguration_weight=reconfiguration_weight,
+            slack_penalty=slack_penalty,
+            price=price,
         )
-        controller = MPCController(
-            instance,
-            OraclePredictor(demand),
-            OraclePredictor(prices),
-            MPCConfig(window=window, slack_penalty=slack_penalty),
-        )
-        result = run_closed_loop(controller, demand, prices)
-        controls = result.trajectory.controls[:, 0, 0]
-        total_churn.append(float(np.abs(controls).sum()))
-        peak_step.append(float(np.abs(controls).max()))
-        rms_step.append(float(np.sqrt(np.mean(controls**2))))
-        total_cost.append(result.total_cost)
+        for window in horizons
+    ]
+    outputs = run_sweep(_run_fig6_task, specs, jobs=jobs)
+    total_churn = [out[0] for out in outputs]
+    peak_step = [out[1] for out in outputs]
+    rms_step = [out[2] for out in outputs]
+    total_cost = [out[3] for out in outputs]
 
     total_churn = np.array(total_churn)
     peak_step = np.array(peak_step)

@@ -11,13 +11,71 @@ horizon.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.experiments.common import FigureResult, is_mostly_decreasing
+from repro.experiments.common import FigureResult
+from repro.experiments.runner import run_sweep
 from repro.game.best_response import BestResponseConfig, compute_equilibrium
 from repro.game.players import random_providers
 
 __all__ = ["run_fig8"]
+
+
+@dataclass(frozen=True)
+class _Fig8TaskSpec:
+    """One horizon cell of the fig8 sweep.  Every worker regenerates the
+    latency matrix from ``default_rng(seed)`` and the population from
+    ``default_rng(seed + 1)`` — exactly the draws the serial loop makes —
+    so the outputs are bitwise identical at any job count."""
+
+    horizon: int
+    num_players: int
+    num_datacenters: int
+    num_locations: int
+    bottleneck: float
+    open_capacity: float
+    demand_scale: float
+    epsilon: float
+    seed: int
+
+
+def _run_fig8_task(spec: _Fig8TaskSpec) -> tuple[int, float]:
+    """Run one horizon; returns (iterations, cost per period)."""
+    rng = np.random.default_rng(spec.seed)
+    dc_labels = tuple(f"dc{i}" for i in range(spec.num_datacenters))
+    loc_labels = tuple(f"v{i}" for i in range(spec.num_locations))
+    latency = rng.uniform(
+        10.0, 60.0, size=(spec.num_datacenters, spec.num_locations)
+    )
+    capacity = np.full(spec.num_datacenters, spec.open_capacity)
+    capacity[0] = spec.bottleneck
+    population = random_providers(
+        spec.num_players,
+        dc_labels,
+        loc_labels,
+        latency,
+        spec.horizon,
+        np.random.default_rng(spec.seed + 1),
+        demand_scale=spec.demand_scale,
+    )
+    cheap = []
+    for provider in population:
+        prices = provider.prices.copy()
+        prices[0] *= 0.25
+        cheap.append(
+            type(provider)(
+                name=provider.name,
+                instance=provider.instance,
+                demand=provider.demand,
+                prices=prices,
+            )
+        )
+    result = compute_equilibrium(
+        cheap, capacity, BestResponseConfig(epsilon=spec.epsilon)
+    )
+    return result.iterations, result.total_cost / spec.horizon
 
 
 def run_fig8(
@@ -30,6 +88,7 @@ def run_fig8(
     demand_scale: float = 250.0,
     epsilon: float = 1e-4,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> FigureResult:
     """Sweep the game/prediction horizon at fixed population size.
 
@@ -37,45 +96,31 @@ def run_fig8(
     trajectory of that length, so the only variable is how far ahead the
     sub-problems look.
 
+    Args:
+        jobs: worker processes for the per-horizon sweep (0 = one per
+            CPU); results are bitwise identical at any job count.
+
     Returns:
         x = horizon; series = iterations to converge and final total cost
         normalized per period.
     """
-    rng = np.random.default_rng(seed)
-    dc_labels = tuple(f"dc{i}" for i in range(num_datacenters))
-    loc_labels = tuple(f"v{i}" for i in range(num_locations))
-    latency = rng.uniform(10.0, 60.0, size=(num_datacenters, num_locations))
-    capacity = np.full(num_datacenters, open_capacity)
-    capacity[0] = bottleneck
-    config = BestResponseConfig(epsilon=epsilon)
-
-    iterations = []
-    cost_per_period = []
-    for horizon in horizons:
-        population = random_providers(
-            num_players,
-            dc_labels,
-            loc_labels,
-            latency,
-            horizon,
-            np.random.default_rng(seed + 1),
+    specs = [
+        _Fig8TaskSpec(
+            horizon=horizon,
+            num_players=num_players,
+            num_datacenters=num_datacenters,
+            num_locations=num_locations,
+            bottleneck=bottleneck,
+            open_capacity=open_capacity,
             demand_scale=demand_scale,
+            epsilon=epsilon,
+            seed=seed,
         )
-        cheap = []
-        for provider in population:
-            prices = provider.prices.copy()
-            prices[0] *= 0.25
-            cheap.append(
-                type(provider)(
-                    name=provider.name,
-                    instance=provider.instance,
-                    demand=provider.demand,
-                    prices=prices,
-                )
-            )
-        result = compute_equilibrium(cheap, capacity, config)
-        iterations.append(result.iterations)
-        cost_per_period.append(result.total_cost / horizon)
+        for horizon in horizons
+    ]
+    outputs = run_sweep(_run_fig8_task, specs, jobs=jobs)
+    iterations = [out[0] for out in outputs]
+    cost_per_period = [out[1] for out in outputs]
 
     iterations = np.array(iterations)
     checks = {

@@ -59,6 +59,9 @@ class SimulationEngine:
             the controller's own setting untouched).  Enabling it lets the
             per-period DSPP solves share one cached factorization; the
             shrinking end-of-run horizons trigger transparent rebuilds.
+        kkt_backend: optional override of the controller's
+            ``config.kkt_backend`` for this run (``"auto"``, ``"sparse"``
+            or ``"banded"``; ``None`` leaves the controller untouched).
     """
 
     def __init__(
@@ -66,6 +69,7 @@ class SimulationEngine:
         scenario: Scenario,
         controller: MPCController,
         reuse_workspace: bool | None = None,
+        kkt_backend: str | None = None,
     ) -> None:
         instance = scenario.instance
         if controller.instance.datacenters != instance.datacenters:
@@ -81,6 +85,11 @@ class SimulationEngine:
             controller.config = replace(
                 controller.config, reuse_workspace=reuse_workspace
             )
+        if (
+            kkt_backend is not None
+            and kkt_backend != controller.config.kkt_backend
+        ):
+            controller.config = replace(controller.config, kkt_backend=kkt_backend)
         self.monitoring = MonitoringModule(
             num_locations=instance.num_locations,
             num_datacenters=instance.num_datacenters,

@@ -24,6 +24,24 @@ from dataclasses import dataclass
 
 import numpy as np
 
+def _lindley_waits(arrival_times: np.ndarray, services: np.ndarray) -> np.ndarray:
+    """Vectorized Lindley recursion for a single FIFO server.
+
+    ``W_i = max(0, W_{i-1} + S_{i-1} - gap_i)`` unrolls to the running-
+    minimum form ``W_i = C_i - min_{j <= i} C_j`` with
+    ``C_i = sum_{k <= i} (S_{k-1} - gap_k)`` and ``C_0 = 0``, replacing the
+    per-arrival Python loop with a cumulative sum and a cumulative
+    minimum.  Same inputs, same waits (up to summation rounding).
+    """
+    n = arrival_times.size
+    if n == 0:
+        return np.empty(0)
+    increments = services[:-1] - np.diff(arrival_times)
+    walk = np.empty(n)
+    walk[0] = 0.0
+    np.cumsum(increments, out=walk[1:])
+    return walk - np.minimum.accumulate(walk)
+
 __all__ = [
     "QueueSimResult",
     "simulate_mm1",
@@ -101,17 +119,7 @@ def simulate_mm1(
     arrival_times = arrival_times[arrival_times < horizon]
     services = rng.exponential(1.0 / service_rate, size=arrival_times.size)
 
-    waits = np.empty(arrival_times.size)
-    workload = 0.0
-    previous_arrival = 0.0
-    for index in range(arrival_times.size):
-        gap = arrival_times[index] - previous_arrival
-        workload = max(0.0, workload - gap)
-        waits[index] = workload
-        workload += services[index]
-        previous_arrival = arrival_times[index]
-
-    sojourns = waits + services
+    sojourns = _lindley_waits(arrival_times, services) + services
     cutoff = warmup_fraction * horizon
     keep = arrival_times >= cutoff
     return QueueSimResult(sojourn_times=sojourns[keep])
@@ -158,17 +166,7 @@ def simulate_mg1(
     if np.any(services <= 0):
         raise ValueError("service times must be positive")
 
-    waits = np.empty(arrival_times.size)
-    workload = 0.0
-    previous_arrival = 0.0
-    for index in range(arrival_times.size):
-        gap = arrival_times[index] - previous_arrival
-        workload = max(0.0, workload - gap)
-        waits[index] = workload
-        workload += services[index]
-        previous_arrival = arrival_times[index]
-
-    sojourns = waits + services
+    sojourns = _lindley_waits(arrival_times, services) + services
     keep = arrival_times >= warmup_fraction * horizon
     return QueueSimResult(sojourn_times=sojourns[keep])
 
@@ -250,29 +248,44 @@ def simulate_mmc(
     if horizon <= 0:
         raise ValueError("horizon must be positive")
 
-    free_at = [0.0] * num_servers  # earliest time each server is idle
-    heapq.heapify(free_at)
-    time = 0.0
-    sojourns: list[float] = []
-    arrival_times: list[float] = []
-    queue_backlog: list[float] = []  # arrival times waiting for a server
-
-    # Event-free formulation for FIFO M/M/c: the next arrival takes the
-    # earliest-free server once everyone before it has been assigned.
+    # Batched event generation.  A scalar ``rng.exponential(scale)`` is
+    # exactly ``standard_exponential() * scale``, so drawing one block of
+    # standard exponentials and scaling alternate entries reproduces the
+    # interleaved arrival/service draws of a per-event loop bit for bit —
+    # the samples depend only on the seed, not on the batch size.  Blocks
+    # are redrawn (rarely) until the arrival sequence crosses the horizon.
+    inter_arrivals = np.empty(0)
+    services = np.empty(0)
+    chunk = 2 * (int(arrival_rate * horizon * 1.2) + 10)
     while True:
-        time += rng.exponential(1.0 / arrival_rate)
-        if time >= horizon:
+        block = rng.standard_exponential(chunk)
+        inter_arrivals = np.concatenate(
+            [inter_arrivals, block[0::2] * (1.0 / arrival_rate)]
+        )
+        services = np.concatenate([services, block[1::2] * (1.0 / service_rate)])
+        arrivals = np.cumsum(inter_arrivals)
+        if arrivals[-1] >= horizon:
             break
-        service = rng.exponential(1.0 / service_rate)
-        earliest = heapq.heappop(free_at)
-        start = max(time, earliest)
-        finish = start + service
-        heapq.heappush(free_at, finish)
-        arrival_times.append(time)
-        sojourns.append(finish - time)
-        queue_backlog.append(start - time)
+    arrivals = arrivals[arrivals < horizon]
+    count = arrivals.size
+    services = services[:count]
 
-    arrivals = np.asarray(arrival_times)
-    sojourn_array = np.asarray(sojourns)
+    # FIFO M/M/c assignment: the next arrival takes the earliest-free
+    # server.  The c-way minimum is a sequential recursion (the
+    # Kiefer-Wolfowitz workload vector), so only this part stays a loop —
+    # for c == 1 it reduces to Lindley's recursion, which is vectorized.
+    if num_servers == 1:
+        sojourns = _lindley_waits(arrivals, services) + services
+    else:
+        free_at = [0.0] * num_servers  # earliest time each server is idle
+        heapq.heapify(free_at)
+        sojourns = np.empty(count)
+        for index in range(count):
+            time = arrivals[index]
+            earliest = heapq.heappop(free_at)
+            finish = max(time, earliest) + services[index]
+            heapq.heappush(free_at, finish)
+            sojourns[index] = finish - time
+
     keep = arrivals >= warmup_fraction * horizon
-    return QueueSimResult(sojourn_times=sojourn_array[keep])
+    return QueueSimResult(sojourn_times=sojourns[keep])

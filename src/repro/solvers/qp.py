@@ -23,12 +23,16 @@ from __future__ import annotations
 import enum
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.contracts import check_shapes
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (avoids a package import cycle)
+    from repro.core.matrices import QPBlockView
 
 __all__ = [
     "MatrixLike",
@@ -175,6 +179,16 @@ class QPSettings:
     changes.  Off by default (the one-shot :func:`solve_qp` keeps its
     historical iteration-for-iteration behaviour); the persistent
     :class:`~repro.solvers.workspace.QPWorkspace` hot paths enable it.
+
+    ``kkt_backend`` selects how KKT systems are factorized when the
+    workspace is handed the per-period block structure of a stacked
+    horizon QP (see :class:`repro.core.matrices.QPBlockView`):
+    ``"sparse"`` is the general sparse-LU path, ``"banded"`` forces the
+    block-tridiagonal Riccati-style recursion of
+    :mod:`repro.solvers.banded`, and ``"auto"`` (the default) picks
+    banded when the horizon and per-period block size are large enough
+    for it to win.  Problems without block structure always use the
+    sparse path.
     """
 
     max_iterations: int = 20000
@@ -191,6 +205,7 @@ class QPSettings:
     scaling_iterations: int = 10
     early_polish: bool = False
     early_polish_factor: float = 1e4
+    kkt_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha < 2.0:
@@ -200,6 +215,11 @@ class QPSettings:
         if self.early_polish_factor <= 1.0:
             raise ValueError(
                 f"early_polish_factor must be > 1, got {self.early_polish_factor}"
+            )
+        if self.kkt_backend not in ("auto", "sparse", "banded"):
+            raise ValueError(
+                f"kkt_backend must be 'auto', 'sparse' or 'banded', "
+                f"got {self.kkt_backend!r}"
             )
 
 
@@ -382,6 +402,7 @@ def solve_qp(
     u: VectorLike,
     settings: QPSettings | None = None,
     warm_start: QPSolution | None = None,
+    blocks: "QPBlockView | None" = None,
 ) -> QPSolution:
     """Solve ``min 1/2 x'Px + q'x  s.t.  l <= Ax <= u``.
 
@@ -395,6 +416,9 @@ def solve_qp(
         warm_start: a previous solution of a *same-shaped* problem; its
             primal/dual iterates seed the ADMM iteration (this is what makes
             receding-horizon MPC cheap).
+        blocks: optional :class:`~repro.core.matrices.QPBlockView`
+            describing the horizon block structure of ``(P, A)``; required
+            for (and enabling) the ``"banded"`` KKT backend.
 
     Returns:
         A :class:`QPSolution`.  ``status`` distinguishes optimality from
@@ -409,5 +433,5 @@ def solve_qp(
     from repro.solvers.workspace import QPWorkspace
 
     workspace = QPWorkspace(settings)
-    workspace.setup(P, A, q=q, l=l, u=u)
+    workspace.setup(P, A, q=q, l=l, u=u, blocks=blocks)
     return workspace.solve(warm_start=warm_start, reuse_iterates=False)

@@ -36,11 +36,18 @@ the two paths share one ADMM implementation.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse.linalg as spla
 
 import repro.solvers.qp as _qp
+from repro.solvers.banded import (
+    BandedActiveSetSystem,
+    BandedKKTSolver,
+    build_banded_active_set_system,
+    use_banded_backend,
+)
 from repro.solvers.kkt import (
     ActiveSetSystem,
     build_active_set_system,
@@ -52,6 +59,9 @@ from repro.solvers.kkt import (
 )
 from repro.solvers.projections import project_box
 from repro.solvers.qp import MatrixLike, QPProblem, QPSettings, QPSolution, QPStatus, VectorLike
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (avoids a package import cycle)
+    from repro.core.matrices import QPBlockView
 
 __all__ = ["QPWorkspace"]
 
@@ -95,7 +105,11 @@ class QPWorkspace:
         self._scaling: _qp._Scaling | None = None
         self._equality: np.ndarray | None = None
         self._rho_vec: np.ndarray | None = None
-        self._lu: spla.SuperLU | None = None
+        self._lu: spla.SuperLU | BandedKKTSolver | None = None
+        # Block structure of a stacked horizon QP (when the caller has
+        # one) and the backend decision derived from it + the settings.
+        self._blocks: QPBlockView | None = None
+        self._use_banded = False
         self._x: np.ndarray | None = None
         self._z: np.ndarray | None = None
         self._y: np.ndarray | None = None
@@ -107,7 +121,7 @@ class QPWorkspace:
         # cached system against the fresh q/l/u (two back-substitutions)
         # and, if the result passes the strict certificate, skips ADMM
         # entirely.
-        self._polish_system: ActiveSetSystem | None = None
+        self._polish_system: ActiveSetSystem | BandedActiveSetSystem | None = None
         # Active-set guesses already tried (and rejected) in the current
         # solve(), keyed by the packed masks; prevents re-factorizing the
         # same wrong guess at every residual check.
@@ -136,6 +150,7 @@ class QPWorkspace:
         l: VectorLike | None = None,
         u: VectorLike | None = None,
         settings: QPSettings | None = None,
+        blocks: QPBlockView | None = None,
     ) -> None:
         """Install a problem structure: validate, equilibrate, factorize.
 
@@ -148,10 +163,14 @@ class QPWorkspace:
             l: initial lower bounds (default ``-inf``).
             u: initial upper bounds (default ``+inf``).
             settings: replaces the workspace settings if given.
+            blocks: per-period block structure of a stacked horizon QP;
+                enables the block-banded KKT backend (see
+                ``QPSettings.kkt_backend``).  Must match ``P``/``A``.
 
         Raises:
             ValueError: on malformed inputs (see
-                :meth:`repro.solvers.qp.QPProblem.build`).
+                :meth:`repro.solvers.qp.QPProblem.build`), or when the
+                banded backend is forced without (matching) blocks.
         """
         if settings is not None:
             self.settings = settings
@@ -168,6 +187,26 @@ class QPWorkspace:
             u = np.full(m, np.inf)
         problem = QPProblem.build(P_csc, q, A_csc, l, u)
 
+        if blocks is not None and (
+            blocks.num_variables != n or blocks.num_constraints != m
+        ):
+            raise ValueError(
+                f"block view ({blocks.num_variables}, {blocks.num_constraints}) "
+                f"does not match problem ({n}, {m})"
+            )
+        self._blocks = blocks
+        if cfg.kkt_backend == "banded":
+            if blocks is None:
+                raise ValueError(
+                    "kkt_backend='banded' requires the per-period block "
+                    "structure (pass blocks=structure.blocks)"
+                )
+            self._use_banded = True
+        elif cfg.kkt_backend == "auto":
+            self._use_banded = blocks is not None and use_banded_backend(blocks)
+        else:
+            self._use_banded = False
+
         if cfg.scaling_iterations > 0:
             work, scaling = _qp._ruiz_equilibrate(problem, cfg.scaling_iterations)
         else:
@@ -180,13 +219,71 @@ class QPWorkspace:
         self._scaling = scaling
         self._equality = problem.l == problem.u
         self._rho_vec = _qp._rho_vector(work, cfg.rho)
-        self._lu = _qp._factorize(work, cfg.sigma, self._rho_vec)
-        self.num_factorizations += 1
+        self._factorize_current()
         self.num_setups += 1
         self._x = self._z = self._y = None
         self._stale_scaling = False
         self._best_warm_iterations = None
         self._polish_system = None
+
+    def _factorize_current(self) -> spla.SuperLU | BandedKKTSolver:
+        """(Re)factorize the ADMM KKT system with the selected backend.
+
+        Installs the factorization as ``self._lu`` and returns it.  A
+        numerically failed banded factorization permanently falls back to
+        the sparse backend for this workspace (correctness first; the
+        sparse path accepts anything splu does).
+        """
+        work = self._work
+        scaling = self._scaling
+        rho_vec = self._rho_vec
+        assert work is not None and scaling is not None and rho_vec is not None
+        cfg = self.settings
+        lu: spla.SuperLU | BandedKKTSolver
+        if self._use_banded:
+            assert self._blocks is not None
+            try:
+                lu = BandedKKTSolver(
+                    self._blocks, work, scaling.d, scaling.e, cfg.sigma, rho_vec
+                )
+            except np.linalg.LinAlgError:
+                self._use_banded = False
+                lu = _qp._factorize(work, cfg.sigma, rho_vec)
+        else:
+            lu = _qp._factorize(work, cfg.sigma, rho_vec)
+        self._lu = lu
+        self.num_factorizations += 1
+        return lu
+
+    def _build_active_system(
+        self, active_lower: np.ndarray, active_upper: np.ndarray
+    ) -> ActiveSetSystem | BandedActiveSetSystem | None:
+        """Build an active-set KKT system with the selected backend.
+
+        The banded builder declines masks that break its structural
+        assumptions; those fall through to the sparse builder so the
+        crossover path behaves identically either way.
+        """
+        problem = self._problem
+        assert problem is not None
+        if self._use_banded:
+            assert self._blocks is not None
+            banded = build_banded_active_set_system(
+                self._blocks, active_lower, active_upper
+            )
+            if banded is not None:
+                return banded
+        return build_active_set_system(problem, active_lower, active_upper)
+
+    def _solve_active_system(
+        self, system: ActiveSetSystem | BandedActiveSetSystem
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Solve a cached active-set system against the current data."""
+        problem = self._problem
+        assert problem is not None
+        if isinstance(system, BandedActiveSetSystem):
+            return system.solve(problem)
+        return solve_active_set_system(problem, system)
 
     def _refresh_scaling(self) -> None:
         """Re-equilibrate against the *current* problem data.
@@ -214,8 +311,7 @@ class QPWorkspace:
         self._scaling = scaling
         self._equality = problem.l == problem.u
         self._rho_vec = _qp._rho_vector(work, cfg.rho)
-        self._lu = _qp._factorize(work, cfg.sigma, self._rho_vec)
-        self.num_factorizations += 1
+        self._factorize_current()
         self._stale_scaling = False
         self._best_warm_iterations = None
 
@@ -267,8 +363,7 @@ class QPWorkspace:
             # goes stale too.
             self._equality = equality
             self._rho_vec = _qp._rho_vector(self._work, self.settings.rho)
-            self._lu = _qp._factorize(self._work, self.settings.sigma, self._rho_vec)
-            self.num_factorizations += 1
+            self._factorize_current()
             self._polish_system = None
         self.num_updates += 1
 
@@ -363,8 +458,7 @@ class QPWorkspace:
             # problem and refreshing only the rho-dependent factorization —
             # and report the *cumulative* iteration count.
             self._rho_vec = _qp._rho_vector(work, cfg.rho)
-            self._lu = _qp._factorize(work, cfg.sigma, self._rho_vec)
-            self.num_factorizations += 1
+            self._factorize_current()
             x, z, y, status, restart_iters, r_prim, r_dual = self._admm(
                 np.zeros(n), np.zeros(m), np.zeros(m)
             )
@@ -440,7 +534,7 @@ class QPWorkspace:
             key = system.active_lower.tobytes() + system.active_upper.tobytes()
             if key in self._failed_masks:
                 break
-            x, y = solve_active_set_system(problem, system)
+            x, y = self._solve_active_system(system)
             if not np.all(np.isfinite(x)):
                 self._failed_masks.add(key)
                 break
@@ -460,9 +554,7 @@ class QPWorkspace:
                 self._store_iterates(candidate.x, candidate.y)
                 return candidate
             self._failed_masks.add(key)
-            next_system = build_active_set_system(
-                problem, *update_active_set(problem, x, y)
-            )
+            next_system = self._build_active_system(*update_active_set(problem, x, y))
             if next_system is None:
                 break
             system = next_system
@@ -636,10 +728,10 @@ class QPWorkspace:
                 active_lower, active_upper = guess_active_set(problem, x_orig, y_orig)
                 key = active_lower.tobytes() + active_upper.tobytes()
                 if key not in self._failed_masks:
-                    system = build_active_set_system(problem, active_lower, active_upper)
+                    system = self._build_active_system(active_lower, active_upper)
                     refined: QPSolution | None = None
                     if system is not None:
-                        px, py = solve_active_set_system(problem, system)
+                        px, py = self._solve_active_system(system)
                         if np.all(np.isfinite(px)):
                             res = kkt_residuals(problem, px, py)
                             refined = QPSolution(
@@ -683,9 +775,7 @@ class QPWorkspace:
                     or ratio < 1.0 / cfg.adaptive_rho_tolerance
                 ):
                     rho_vec = np.clip(rho_vec * ratio, _qp._RHO_MIN, _qp._RHO_MAX)
-                    lu = _qp._factorize(work, cfg.sigma, rho_vec)
                     self._rho_vec = rho_vec
-                    self._lu = lu
-                    self.num_factorizations += 1
+                    lu = self._factorize_current()
 
         return x, z, y, status, iteration, r_prim, r_dual

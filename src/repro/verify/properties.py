@@ -11,6 +11,8 @@ The registered properties:
 ====================================  =====================================
 ``qp_reference``                      ADMM/crossover vs scipy trust-constr
 ``qp_workspace_sequence``             warm workspace resolve ≡ cold solve
+``banded_equals_default``             block-banded KKT backend ≡ sparse
+                                      backend along a workspace walk
 ``dspp_reference``                    stacked DSPP QP vs trust-constr +
                                       trajectory feasibility audit
 ``cost_scale_invariance``             scaling prices and reconfiguration
@@ -65,6 +67,7 @@ from repro.verify.oracles import (
 )
 
 __all__ = [
+    "prop_banded_equals_default",
     "prop_cost_scale_invariance",
     "prop_demand_monotonicity",
     "prop_dspp_reference",
@@ -178,6 +181,104 @@ def prop_qp_workspace_sequence(
         l = l + shift
         u = u + shift
         workspace.update(q=q, l=l, u=u)
+    return findings
+
+
+def prop_banded_equals_default(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """The block-banded KKT backend ≡ the sparse backend, solve for solve.
+
+    Both backends factorize the same Ruiz-scaled KKT matrix (the banded
+    one refines its solves to ~1e-12 residual), so along a workspace walk
+    of vector updates the two paths must terminate with the same status
+    and — when both polish to the true optimum — objectives agreeing far
+    below solver tolerance, plus the same pattern of active constraints
+    (read off the dual signs).  Draws stay in the well-conditioned regime
+    the controller actually operates in: moderate loads and moderate slack
+    penalties, where the KKT solve (not ADMM path sensitivity) is the only
+    thing that differs between backends.
+    """
+    instance, demand, prices = _draw_problem(
+        rng, tier, load=float(rng.uniform(0.3, 0.8))
+    )
+    penalty = float(rng.uniform(5.0, 50.0)) if rng.random() < 0.3 else None
+    workspaces = {
+        "sparse": DSPPWorkspace(),
+        "banded": DSPPWorkspace(),
+    }
+    findings: list[Discrepancy] = []
+    num_solves = int(rng.integers(2, 4))
+    for step in range(num_solves):
+        label = f"banded_equals_default/step{step}"
+        solutions = {}
+        for backend, workspace in workspaces.items():
+            solutions[backend] = solve_dspp(
+                instance,
+                demand,
+                prices,
+                settings=QPSettings(early_polish=True, kkt_backend=backend),
+                demand_slack_penalty=penalty,
+                workspace=workspace,
+            )
+        sparse_qp = solutions["sparse"].qp
+        banded_qp = solutions["banded"].qp
+        if sparse_qp.status is not banded_qp.status:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"statuses diverge: sparse {sparse_qp.status.value} vs "
+                    f"banded {banded_qp.status.value}",
+                    math.inf,
+                )
+            )
+            break
+        # Two polished solutions both sit at the exact optimum of the
+        # active-set system, so they must agree to near machine precision;
+        # if either polish was declined, fall back to solver tolerance.
+        tol = 1e-9 if (sparse_qp.polished and banded_qp.polished) else _SOLVER_RTOL
+        gap = relative_gap(
+            solutions["banded"].objective, solutions["sparse"].objective
+        )
+        if gap > tol:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"banded objective {solutions['banded'].objective:.12g} vs "
+                    f"sparse {solutions['sparse'].objective:.12g}",
+                    gap,
+                )
+            )
+        # Active-set agreement: a constraint confidently active (nonzero
+        # dual) under one backend must be active under the other.
+        y_scale = max(
+            1.0,
+            float(np.max(np.abs(sparse_qp.y), initial=0.0)),
+            float(np.max(np.abs(banded_qp.y), initial=0.0)),
+        )
+        thresh = 1e-6 * y_scale
+        sparse_sign = np.sign(sparse_qp.y) * (np.abs(sparse_qp.y) > thresh)
+        banded_sign = np.sign(banded_qp.y) * (np.abs(banded_qp.y) > thresh)
+        confident = np.maximum(np.abs(sparse_qp.y), np.abs(banded_qp.y)) > 10 * thresh
+        mismatched = int(np.sum((sparse_sign != banded_sign) & confident))
+        if mismatched:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"{mismatched} constraints are active under one backend "
+                    "but inactive under the other",
+                    float(mismatched),
+                )
+            )
+        # Vector-only walk: fresh forecasts, occasionally a state advance —
+        # both workspaces see the identical sequence of updates.
+        horizon = demand.shape[1]
+        demand = random_demand(rng, instance, horizon, load=0.5)
+        prices = random_prices(rng, instance, horizon)
+        if rng.random() < 0.4:
+            instance = instance.with_initial_state(
+                solutions["sparse"].trajectory.states[0]
+            )
     return findings
 
 

@@ -247,3 +247,55 @@ class TestClosedLoop:
         result = run_closed_loop(controller, demand, prices)
         assert result.total_unmet_demand > 0
         assert np.all(result.trajectory.states[:, 0, 0] <= 3.0 + 1e-6)
+
+
+class TestStructureFingerprintCaching:
+    def test_reusing_workspace_hashes_structure_once(self, monkeypatch):
+        """A receding-horizon run with ``reuse_workspace=True`` must hash
+        the structure-relevant arrays exactly once: ``with_initial_state``
+        propagates the memoized key, so advancing the state every period
+        never re-invokes ``_compute_structure_key``."""
+        calls = {"n": 0}
+        original = DSPPInstance._compute_structure_key
+
+        def counting(self):
+            calls["n"] += 1
+            return original(self)
+
+        monkeypatch.setattr(DSPPInstance, "_compute_structure_key", counting)
+
+        instance = DSPPInstance(
+            datacenters=("a", "b"),
+            locations=("v0", "v1", "v2"),
+            sla_coefficients=np.array(
+                [[0.1, 0.12, 0.2], [0.15, 0.1, 0.11]]
+            ),
+            reconfiguration_weights=np.array([1.0, 1.5]),
+            capacities=np.array([np.inf, np.inf]),
+            initial_state=np.zeros((2, 3)),
+        )
+        demand = np.full((3, 8), 30.0)
+        prices = np.ones((2, 8))
+        controller = MPCController(
+            instance,
+            OraclePredictor(demand),
+            OraclePredictor(prices),
+            MPCConfig(window=3, reuse_workspace=True),
+        )
+        run_closed_loop(controller, demand, prices)
+        assert calls["n"] == 1
+
+    def test_derived_instances_share_the_memoized_key(self):
+        instance = DSPPInstance(
+            datacenters=("a",),
+            locations=("v",),
+            sla_coefficients=np.array([[0.1]]),
+            reconfiguration_weights=np.array([1.0]),
+            capacities=np.array([np.inf]),
+            initial_state=np.zeros((1, 1)),
+        )
+        key = instance.structure_key()
+        derived = instance.with_initial_state(np.ones((1, 1)))
+        assert derived.structure_key() is key
+        quota = instance.with_capacities(np.array([5.0]))
+        assert quota.structure_key() is key

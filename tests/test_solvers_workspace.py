@@ -11,9 +11,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.dspp import DSPPWorkspace, solve_dspp
+from repro.core.instance import DSPPInstance
+from repro.core.matrices import build_qp_structure, build_qp_vectors
 from repro.solvers.qp import QPSettings, QPStatus, solve_qp
 from repro.solvers.workspace import QPWorkspace
-from repro.verify.generators import random_qp
+from repro.verify.generators import (
+    TIERS,
+    random_demand,
+    random_instance,
+    random_prices,
+    random_qp,
+)
 
 
 def _random_qp(rng, n=8, m=12):
@@ -187,6 +195,100 @@ class TestEdgeCases:
         ws.setup(P, A, q=q, l=l, u=u)
         solution = ws.solve()
         assert solution.status is QPStatus.PRIMAL_INFEASIBLE
+
+
+def _structured_problem(rng, horizon=5, elastic=False):
+    """A stacked-horizon DSPP QP plus its block view, from the fuzz
+    generators (feasible by construction at moderate load)."""
+    tier = TIERS["small"]
+    instance = random_instance(rng, tier)
+    demand = random_demand(rng, instance, horizon, load=0.5)
+    prices = random_prices(rng, instance, horizon)
+    structure = build_qp_structure(instance, horizon, elastic=elastic)
+    penalty = 10.0 if elastic else None
+    q, l, u = build_qp_vectors(
+        structure, instance, demand, prices, demand_slack_penalty=penalty
+    )
+    return instance, structure, q, l, u
+
+
+@pytest.mark.parametrize("backend", ["sparse", "banded", "auto"])
+class TestBlockBackendWorkspace:
+    """QPWorkspace over a stacked-horizon QP, parametrized across KKT
+    backends.  The banded path factors the identical Ruiz-scaled KKT
+    system through the block-tridiagonal recursion, so every backend must
+    reproduce the cold sparse reference solve for solve."""
+
+    def test_matches_cold_across_forecast_updates(self, rng, backend):
+        instance, structure, q, l, u = _structured_problem(rng)
+        ws = QPWorkspace(settings=QPSettings(early_polish=True, kkt_backend=backend))
+        ws.setup(structure.P, structure.A, q=q, l=l, u=u, blocks=structure.blocks)
+        horizon = structure.blocks.num_steps
+        for _ in range(3):
+            warm = ws.solve()
+            cold = solve_qp(
+                structure.P, q, structure.A, l, u,
+                settings=QPSettings(early_polish=True),
+            )
+            assert warm.status is QPStatus.OPTIMAL
+            assert warm.objective == pytest.approx(
+                cold.objective, rel=1e-6, abs=1e-8
+            )
+            demand = random_demand(rng, instance, horizon, load=0.5)
+            prices = random_prices(rng, instance, horizon)
+            q, l, u = build_qp_vectors(structure, instance, demand, prices)
+            ws.update(q=q, l=l, u=u)
+
+    def test_elastic_structure_supported(self, rng, backend):
+        _, structure, q, l, u = _structured_problem(rng, elastic=True)
+        ws = QPWorkspace(settings=QPSettings(early_polish=True, kkt_backend=backend))
+        ws.setup(structure.P, structure.A, q=q, l=l, u=u, blocks=structure.blocks)
+        warm = ws.solve()
+        cold = solve_qp(
+            structure.P, q, structure.A, l, u,
+            settings=QPSettings(early_polish=True),
+        )
+        assert warm.status is QPStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, rel=1e-6, abs=1e-8)
+
+    def test_single_period_horizon(self, rng, backend):
+        _, structure, q, l, u = _structured_problem(rng, horizon=1)
+        ws = QPWorkspace(settings=QPSettings(early_polish=True, kkt_backend=backend))
+        ws.setup(structure.P, structure.A, q=q, l=l, u=u, blocks=structure.blocks)
+        warm = ws.solve()
+        cold = solve_qp(
+            structure.P, q, structure.A, l, u,
+            settings=QPSettings(early_polish=True),
+        )
+        assert warm.status is QPStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, rel=1e-6, abs=1e-8)
+
+
+class TestBandedBackendDispatch:
+    def test_forced_banded_without_blocks_raises(self, rng):
+        P, q, A, l, u = _random_qp(rng)
+        ws = QPWorkspace(settings=QPSettings(kkt_backend="banded"))
+        with pytest.raises(ValueError, match="block"):
+            ws.setup(P, A, q=q, l=l, u=u)
+
+    def test_backends_run_identical_admm_schedules(self, rng):
+        # The KKT solve is the only thing that differs, and both backends
+        # refine it far below ADMM's working precision — so the iteration
+        # counts (and therefore the whole trajectory schedule) coincide.
+        _, structure, q, l, u = _structured_problem(rng)
+        results = {}
+        for backend in ("sparse", "banded"):
+            ws = QPWorkspace(
+                settings=QPSettings(early_polish=True, kkt_backend=backend)
+            )
+            ws.setup(
+                structure.P, structure.A, q=q, l=l, u=u, blocks=structure.blocks
+            )
+            results[backend] = ws.solve()
+        assert results["sparse"].iterations == results["banded"].iterations
+        assert results["banded"].objective == pytest.approx(
+            results["sparse"].objective, rel=1e-9, abs=1e-9
+        )
 
 
 class TestDSPPWorkspace:
