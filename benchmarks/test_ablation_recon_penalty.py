@@ -53,7 +53,7 @@ def _ablation() -> FigureResult:
         series={"l1_total_moves": l1_moves, "quadratic_total_moves": quad_moves},
         checks={
             "L1 has a dead-band (no movement at small spreads)": bool(
-                l1_moves[1] == 0.0
+                l1_moves[1] == 0.0  # reprolint: disable=RL004 — exact by construction
             ),
             "quadratic always migrates a little": bool(np.all(quad_moves[1:] > 0)),
             "both migrate under large spreads": bool(

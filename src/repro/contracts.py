@@ -175,7 +175,9 @@ def _check_value(
             )
 
 
-def check_shapes(*arg_specs: str, ret: str | None = None) -> Callable[[F], F]:
+def check_shapes(
+    *arg_specs: str, ret: str | tuple[str, ...] | None = None
+) -> Callable[[F], F]:
     """Declare shape (and optional dtype-kind) contracts on a function.
 
     Args:
@@ -184,7 +186,10 @@ def check_shapes(*arg_specs: str, ret: str | None = None) -> Callable[[F], F]:
             whole call (including ``ret``).  A trailing ``:float``,
             ``:int`` or ``:bool`` also checks the dtype kind.  Arguments
             passed as ``None`` are skipped (optional-array convention).
-        ret: optional ``"(d1,d2,...)"`` contract for the return value.
+        ret: optional ``"(d1,d2,...)"`` contract for the return value, or
+            a tuple of such specs for a function returning a tuple of
+            arrays (one spec per element, same symbol namespace as the
+            arguments).
 
     Returns:
         A decorator.  When ``REPRO_CONTRACTS`` is not ``1`` at decoration
@@ -199,7 +204,13 @@ def check_shapes(*arg_specs: str, ret: str | None = None) -> Callable[[F], F]:
             fire are bugs, and are rejected even when disabled).
     """
     parsed = [_parse_arg_spec(spec) for spec in arg_specs]
-    parsed_ret = _parse_ret_spec(ret) if ret is not None else None
+    ret_is_tuple = isinstance(ret, tuple)
+    if ret is None:
+        parsed_ret: tuple[tuple[tuple[int | str, ...], str | None], ...] | None = None
+    elif isinstance(ret, str):
+        parsed_ret = (_parse_ret_spec(ret),)
+    else:
+        parsed_ret = tuple(_parse_ret_spec(spec) for spec in ret)
 
     def decorate(func: F) -> F:
         signature = inspect.signature(func)
@@ -228,11 +239,26 @@ def check_shapes(*arg_specs: str, ret: str | None = None) -> Callable[[F], F]:
                 )
             result = func(*args, **kwargs)
             if parsed_ret is not None and result is not None:
-                ret_dims, ret_kind = parsed_ret
-                _check_value(
-                    func.__qualname__, "return value", result, ret_dims, ret_kind,
-                    bindings, bound_by,
-                )
+                if ret_is_tuple:
+                    if not isinstance(result, tuple) or len(result) != len(parsed_ret):
+                        raise ShapeContractError(
+                            f"{func.__qualname__}(): return value expected a "
+                            f"{len(parsed_ret)}-tuple of arrays, got "
+                            f"{type(result).__name__}"
+                        )
+                    for index, ((ret_dims, ret_kind), item) in enumerate(
+                        zip(parsed_ret, result)
+                    ):
+                        _check_value(
+                            func.__qualname__, f"return value [{index}]", item,
+                            ret_dims, ret_kind, bindings, bound_by,
+                        )
+                else:
+                    ret_dims, ret_kind = parsed_ret[0]
+                    _check_value(
+                        func.__qualname__, "return value", result, ret_dims, ret_kind,
+                        bindings, bound_by,
+                    )
             return result
 
         return wrapper  # type: ignore[return-value]

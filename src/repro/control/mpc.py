@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+import repro.sanitize as sanitize
 from repro.contracts import check_shapes
 from repro.core.dspp import DSPPSolution, DSPPWorkspace, solve_dspp
 from repro.core.instance import DSPPInstance
@@ -213,6 +214,11 @@ class MPCController:
         window = horizon if horizon is not None else self.config.window
         if window < 1:
             raise ValueError(f"horizon must be >= 1, got {window}")
+        # A NaN observation would silently poison the predictor history
+        # and every later horizon; fail here, at the period that saw it.
+        sanitize.check_finite(
+            "MPCController.step observations", observed_demand, observed_prices
+        )
         self.demand_predictor.observe(observed_demand)
         self.price_predictor.observe(observed_prices)
         predicted_demand = self.demand_predictor.predict(window)

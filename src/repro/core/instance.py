@@ -95,8 +95,9 @@ class DSPPInstance:
         This is the coefficient of ``x^{lv}`` in the demand constraint
         ``sum_l x^{lv} / a_lv >= D^v`` (eq. 12).
         """
-        with np.errstate(divide="ignore"):
-            inverse = 1.0 / self.sla_coefficients
+        # Validation guarantees a_lv > 0 (inf allowed); 1/inf is an exact
+        # 0.0 with no FP exception, so no errstate suppression is needed.
+        inverse = 1.0 / self.sla_coefficients
         inverse[~np.isfinite(self.sla_coefficients)] = 0.0
         return inverse
 

@@ -438,7 +438,7 @@ def build_qp_structure(
     )
 
 
-@check_shapes("demand:(V,T)", "prices:(L,T)")
+@check_shapes("demand:(V,T)", "prices:(L,T)", ret=("(n,)", "(m,)", "(m,)"))
 def build_qp_vectors(
     structure: StackedQPStructure,
     instance: DSPPInstance,

@@ -1,12 +1,20 @@
 """Development tooling for the DSPP reproduction.
 
-This package hosts `reprolint` (:mod:`repro.devtools.lint`), the
-repo-specific static-analysis pass that machine-checks the invariants the
-numerical code relies on: injected randomness, complete annotations,
-no aliasing mutation in the solver layers, tolerance-based float
-comparisons, frozen problem-data containers and explicit public APIs.
+This package hosts two repo-specific static-analysis passes:
 
-Run it as ``python -m repro.devtools.lint src``.
+- ``reprolint`` (:mod:`repro.devtools.lint`) machine-checks the coding
+  invariants the numerical code relies on: injected randomness, complete
+  annotations, no aliasing mutation in the solver layers, tolerance-based
+  float comparisons, frozen problem-data containers, explicit public
+  APIs, zero-guarded divisions, determinism hygiene, consumed solve
+  results and honest error handling.
+- ``shapeflow`` (:mod:`repro.devtools.shapeflow`) statically verifies
+  the ``@check_shapes`` contracts: it propagates symbolic dimensions
+  through the solver layers and cross-checks every call site of a
+  contracted function without running any code.
+
+Run them as ``python -m repro.devtools.lint src benchmarks`` and
+``python -m repro.devtools.shapeflow src``.
 """
 
 from __future__ import annotations
@@ -17,18 +25,32 @@ from typing import Any
 __all__ = [
     "Diagnostic",
     "LintRule",
+    "ShapeDiagnostic",
+    "analyze_paths",
+    "analyze_source",
     "lint_file",
     "lint_paths",
     "lint_source",
 ]
 
+_HOME_MODULE = {
+    "Diagnostic": "repro.devtools.lint",
+    "LintRule": "repro.devtools.lint",
+    "lint_file": "repro.devtools.lint",
+    "lint_paths": "repro.devtools.lint",
+    "lint_source": "repro.devtools.lint",
+    "ShapeDiagnostic": "repro.devtools.shapeflow",
+    "analyze_paths": "repro.devtools.shapeflow",
+    "analyze_source": "repro.devtools.shapeflow",
+}
 
-# Lazy re-export: importing the package must not pre-import `lint` into
-# sys.modules, or `python -m repro.devtools.lint` trips runpy's
-# found-in-sys.modules RuntimeWarning.
+
+# Lazy re-export: importing the package must not pre-import the tool
+# modules into sys.modules, or `python -m repro.devtools.lint` trips
+# runpy's found-in-sys.modules RuntimeWarning.
 def __getattr__(name: str) -> Any:
-    if name in __all__:
-        return getattr(importlib.import_module("repro.devtools.lint"), name)
+    if name in _HOME_MODULE:
+        return getattr(importlib.import_module(_HOME_MODULE[name]), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -23,6 +23,22 @@ RL005   Dataclasses holding solver/problem data (names ending in
         ``Problem``, ``Instance``, ``Settings``, ``Config``, ``Params``
         or ``Spec``) must be declared ``frozen=True``.
 RL006   Every module must declare ``__all__``.
+RL007   Divisions (and ``np.reciprocal``) inside ``solvers/`` and
+        ``core/`` must guard the denominator — ``np.maximum(x, eps)``,
+        ``np.clip``, an explicit zero branch, or a module-level positive
+        constant.  Unguarded denominators turn a degenerate instance
+        into a silent ``inf``/``nan``.
+RL008   Nondeterminism sources: iterating a ``set``/``frozenset``
+        without ``sorted``, unsorted ``os.listdir``/``os.scandir``, and
+        RNG seeds derived from ``time.*``/``os.getpid``/``uuid``.
+RL009   Discarded solve results: a bare expression statement calling
+        ``solve``/``solve_qp``/``solve_dspp``/``factor``/``factorize``
+        throws away the status the caller must consume.
+RL010   ``except``-and-continue (handler body of only ``pass`` /
+        ``continue``) around numeric kernels in ``solvers/``, ``core/``
+        and ``control/`` hides real failures.
+RL011   ``np.errstate(...="ignore"/"warn")`` / ``np.seterr`` floating-
+        point suppression outside the sanitizer allowlist.
 ======  ==============================================================
 
 Any rule is suppressible on a single line with a trailing
@@ -30,8 +46,12 @@ Any rule is suppressible on a single line with a trailing
 accepted), or for a whole file with ``# reprolint: disable-file=RL001``
 on its own line.
 
-Run as ``python -m repro.devtools.lint src`` — exit code 0 when clean,
-1 when diagnostics were emitted, 2 on usage errors.
+Run as ``python -m repro.devtools.lint`` (defaults to ``src`` and
+``benchmarks``) — exit code 0 when clean, 1 when diagnostics were
+emitted, 2 on usage errors.  ``--format json`` emits a stable schema for
+CI artifacts; ``--rule RL007,RL008`` restricts the reported rules.
+Files named ``test_*.py`` / ``conftest.py`` are exempt from RL002 and
+RL006 (pytest discovers their API; annotations live on fixtures).
 """
 
 from __future__ import annotations
@@ -39,6 +59,7 @@ from __future__ import annotations
 import argparse
 import ast
 import enum
+import json
 import re
 import sys
 from collections.abc import Callable, Iterable, Iterator, Sequence
@@ -53,6 +74,7 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "main",
+    "render_json",
 ]
 
 
@@ -65,6 +87,11 @@ class LintRule(enum.Enum):
     RL004 = "RL004"
     RL005 = "RL005"
     RL006 = "RL006"
+    RL007 = "RL007"
+    RL008 = "RL008"
+    RL009 = "RL009"
+    RL010 = "RL010"
+    RL011 = "RL011"
 
 
 RULES: dict[LintRule, str] = {
@@ -74,6 +101,11 @@ RULES: dict[LintRule, str] = {
     LintRule.RL004: "float literal ==/!= comparison; use np.isclose or a tolerance",
     LintRule.RL005: "solver/problem dataclass must be frozen=True",
     LintRule.RL006: "module does not declare __all__",
+    LintRule.RL007: "division with unguarded denominator in solvers//core/",
+    LintRule.RL008: "nondeterminism source (unsorted set/listdir, time-derived seed)",
+    LintRule.RL009: "discarded solve/factor result; consume the returned status",
+    LintRule.RL010: "except-and-continue swallows numeric kernel failures",
+    LintRule.RL011: "np.errstate/np.seterr suppression outside the allowlist",
 }
 
 
@@ -138,6 +170,50 @@ _RL003_FRESHENING_CALLS = frozenset(
 # RL005: dataclass name suffixes that mark problem/solver data containers.
 _RL005_SUFFIXES = ("Problem", "Instance", "Settings", "Config", "Params", "Spec")
 
+# RL007: packages whose divisions must guard the denominator.
+_RL007_PACKAGES = ("solvers", "core")
+
+# RL007: calls that clamp their result away from zero when one argument is
+# a positive constant (np.maximum(x, eps), np.clip(x, lo, hi), max(x, eps)).
+_RL007_CLAMP_CALLS = frozenset({"maximum", "fmax", "clip", "max", "hypot"})
+
+# RL007: calls whose result is nonzero whenever their (first) argument is.
+_RL007_TRANSPARENT_CALLS = frozenset({"float", "sqrt", "abs", "asarray", "int"})
+
+# RL008: RNG seeding entry points whose arguments must not be wall-clock.
+_RL008_SEED_FUNCS = frozenset({"default_rng", "seed", "SeedSequence"})
+
+# RL008: wall-clock / process-identity sources (matched on dotted suffix).
+_RL008_TIME_SOURCES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "os.getpid",
+        "datetime.now",
+        "datetime.utcnow",
+        "uuid.uuid4",
+    }
+)
+
+# RL009: callables whose return value carries solver status/solution data.
+_RL009_SOLVE_NAMES = frozenset(
+    {"solve", "solve_qp", "solve_dspp", "factor", "factorize"}
+)
+
+# RL010: packages in which a pass-only except handler hides kernel failures.
+_RL010_PACKAGES = ("solvers", "core", "control")
+
+# RL011: files allowed to manipulate numpy FP error state — the sanitizer
+# owns errstate policy for the whole repo.
+_RL011_ALLOWLIST = ("repro/sanitize.py",)
+
+# RL002/RL006 exemption: pytest collects these by naming convention; their
+# public surface is fixtures/tests, not an importable API.
+_PYTEST_FILE_RE = re.compile(r"^(test_.*|conftest)\.py$")
+
 
 def _parse_rule_names(raw: str) -> set[str]:
     names = {part.strip().upper() for part in raw.split(",") if part.strip()}
@@ -190,6 +266,17 @@ class _Checker(ast.NodeVisitor):
         self._rl003_active = any(
             _is_public_path(self.posix, pkg) for pkg in _RL003_PACKAGES
         )
+        self._rl007_active = any(
+            _is_public_path(self.posix, pkg) for pkg in _RL007_PACKAGES
+        )
+        self._rl010_active = any(
+            _is_public_path(self.posix, pkg) for pkg in _RL010_PACKAGES
+        )
+        self._rl011_allowed = self.posix.endswith(_RL011_ALLOWLIST)
+        self._is_pytest_file = bool(_PYTEST_FILE_RE.match(Path(path).name))
+        self._rl008_sorted_ok: set[int] = set()
+        self._positive_consts: set[str] = set()
+        self._class_guarded: list[set[str]] = []
 
     def emit(self, node: ast.AST, rule: LintRule, message: str) -> None:
         self.diagnostics.append(
@@ -202,29 +289,138 @@ class _Checker(ast.NodeVisitor):
             )
         )
 
-    # -- RL001 ---------------------------------------------------------
+    # -- RL001 / RL008 / RL011 ----------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
-        if not self._in_workload:
-            dotted = _dotted_name(node.func)
-            if dotted is not None:
-                parts = dotted.split(".")
-                if len(parts) >= 3 and parts[-3] in ("np", "numpy") and parts[-2] == "random":
-                    attr = parts[-1]
-                    if attr not in _RL001_ALLOWED_ATTRS:
-                        self.emit(
-                            node,
-                            LintRule.RL001,
-                            f"call to global np.random.{attr}(); "
-                            "inject an np.random.Generator instead",
-                        )
-                    elif attr == "default_rng" and not node.args and not node.keywords:
-                        self.emit(
-                            node,
-                            LintRule.RL001,
-                            "np.random.default_rng() without a seed is "
-                            "non-reproducible; pass an explicit seed",
-                        )
+        dotted = _dotted_name(node.func)
+        if not self._in_workload and dotted is not None:
+            parts = dotted.split(".")
+            if len(parts) >= 3 and parts[-3] in ("np", "numpy") and parts[-2] == "random":
+                attr = parts[-1]
+                if attr not in _RL001_ALLOWED_ATTRS:
+                    self.emit(
+                        node,
+                        LintRule.RL001,
+                        f"call to global np.random.{attr}(); "
+                        "inject an np.random.Generator instead",
+                    )
+                elif attr == "default_rng" and not node.args and not node.keywords:
+                    self.emit(
+                        node,
+                        LintRule.RL001,
+                        "np.random.default_rng() without a seed is "
+                        "non-reproducible; pass an explicit seed",
+                    )
+        self._check_rl008_call(node, dotted)
+        self._check_rl011_call(node, dotted)
+        self.generic_visit(node)
+
+    # -- RL008 ---------------------------------------------------------
+
+    def _check_rl008_call(self, node: ast.Call, dotted: str | None) -> None:
+        if dotted == "sorted" or dotted == "list" or (dotted or "").endswith(".sort"):
+            for arg in node.args:
+                if isinstance(arg, ast.Call):
+                    inner = _dotted_name(arg.func)
+                    if inner in ("os.listdir", "os.scandir"):
+                        self._rl008_sorted_ok.add(id(arg))
+        if dotted in ("os.listdir", "os.scandir") and id(node) not in self._rl008_sorted_ok:
+            self.emit(
+                node,
+                LintRule.RL008,
+                f"{dotted}() order is filesystem-dependent; wrap in sorted()",
+            )
+        last = dotted.rsplit(".", 1)[-1] if dotted else None
+        if last in _RL008_SEED_FUNCS:
+            for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Call):
+                        sub_dotted = _dotted_name(sub.func) or ""
+                        suffix = ".".join(sub_dotted.split(".")[-2:])
+                        if suffix in _RL008_TIME_SOURCES:
+                            self.emit(
+                                node,
+                                LintRule.RL008,
+                                f"RNG seed derived from {sub_dotted}(); use an "
+                                "explicit constant or campaign seed",
+                            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_rl008_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_rl008_iter(node.iter)
+        self.generic_visit(node)
+
+    def _check_rl008_iter(self, iterable: ast.expr) -> None:
+        is_set = isinstance(iterable, (ast.Set, ast.SetComp))
+        if isinstance(iterable, ast.Call):
+            name = _dotted_name(iterable.func)
+            is_set = name in ("set", "frozenset")
+        if is_set:
+            self.emit(
+                iterable,
+                LintRule.RL008,
+                "iteration over a set has no deterministic order; wrap in sorted()",
+            )
+
+    # -- RL011 ---------------------------------------------------------
+
+    def _check_rl011_call(self, node: ast.Call, dotted: str | None) -> None:
+        if self._rl011_allowed or dotted is None:
+            return
+        last = dotted.rsplit(".", 1)[-1]
+        if last == "errstate":
+            suppressed = [
+                f"{kw.arg}={kw.value.value!r}"
+                for kw in node.keywords
+                if kw.arg is not None
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value in ("ignore", "warn")
+            ]
+            if suppressed:
+                self.emit(
+                    node,
+                    LintRule.RL011,
+                    f"np.errstate({', '.join(suppressed)}) suppresses FP errors "
+                    "outside the sanitizer allowlist",
+                )
+        elif last == "seterr" and dotted.split(".")[0] in ("np", "numpy"):
+            self.emit(
+                node,
+                LintRule.RL011,
+                "np.seterr mutates global FP error state; only repro.sanitize may",
+            )
+
+    # -- RL009 ---------------------------------------------------------
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            dotted = _dotted_name(value.func)
+            last = dotted.rsplit(".", 1)[-1] if dotted else None
+            if last in _RL009_SOLVE_NAMES:
+                self.emit(
+                    node,
+                    LintRule.RL009,
+                    f"result of {last}() discarded; bind it and consume the "
+                    "status (or assign to _ to discard explicitly)",
+                )
+        self.generic_visit(node)
+
+    # -- RL010 ---------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._rl010_active and all(
+            isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in node.body
+        ):
+            self.emit(
+                node,
+                LintRule.RL010,
+                "except-and-continue around a numeric kernel hides failures; "
+                "handle, log or re-raise",
+            )
         self.generic_visit(node)
 
     # -- RL002 / RL003 -------------------------------------------------
@@ -237,10 +433,12 @@ class _Checker(ast.NodeVisitor):
 
     def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
         is_nested = self._function_depth > 0
-        if not is_nested and self._is_public_function(node):
+        if not is_nested and self._is_public_function(node) and not self._is_pytest_file:
             self._check_annotations(node)
         if self._rl003_active and not node.name.endswith("_inplace"):
             self._check_param_mutation(node)
+        if self._rl007_active:
+            self._check_divisions(node)
         self._function_depth += 1
         self.generic_visit(node)
         self._function_depth -= 1
@@ -349,6 +547,152 @@ class _Checker(ast.NodeVisitor):
                     "copy it first or rename the function to *_inplace",
                 )
 
+    # -- RL007 ---------------------------------------------------------
+
+    @staticmethod
+    def _scope_nodes(node: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+        """All nodes in a function's own scope, not entering nested defs."""
+        stack: list[ast.AST] = list(node.body)
+        while stack:
+            current = stack.pop()
+            yield current
+            if isinstance(
+                current,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(current))
+
+    def _positive_const(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Constant):
+            return isinstance(expr.value, (int, float)) and expr.value > 0
+        dotted = _dotted_name(expr)
+        return dotted is not None and dotted.rsplit(".", 1)[-1] in self._positive_consts
+
+    def _is_clamp_call(self, expr: ast.expr) -> bool:
+        """A call that bounds its result away from zero (np.maximum(x, eps))."""
+        if not isinstance(expr, ast.Call):
+            return False
+        dotted = _dotted_name(expr.func)
+        last = dotted.rsplit(".", 1)[-1] if dotted else None
+        if last in _RL007_CLAMP_CALLS:
+            operands = [*expr.args, *(kw.value for kw in expr.keywords)]
+            return any(self._positive_const(arg) for arg in operands)
+        if last == "arange":
+            return bool(expr.args) and self._positive_const(expr.args[0])
+        return False
+
+    def _rl007_safe(
+        self, expr: ast.expr, tested: set[str], guarded: set[str]
+    ) -> bool:
+        if isinstance(expr, ast.Constant):
+            value = expr.value
+            return isinstance(value, (int, float)) and value != 0
+        if isinstance(expr, ast.UnaryOp):
+            return self._rl007_safe(expr.operand, tested, guarded)
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            dotted = _dotted_name(expr)
+            if dotted is None:
+                return False
+            return (
+                dotted in guarded
+                or dotted in tested
+                or dotted.rsplit(".", 1)[-1] in self._positive_consts
+                or any(dotted in scope for scope in self._class_guarded)
+            )
+        if isinstance(expr, ast.Call):
+            if self._is_clamp_call(expr):
+                return True
+            dotted = _dotted_name(expr.func)
+            last = dotted.rsplit(".", 1)[-1] if dotted else None
+            if last in _RL007_TRANSPARENT_CALLS and expr.args:
+                return self._rl007_safe(expr.args[0], tested, guarded)
+            return False
+        if isinstance(expr, ast.BinOp):
+            left_safe = self._rl007_safe(expr.left, tested, guarded)
+            right_safe = self._rl007_safe(expr.right, tested, guarded)
+            if isinstance(expr.op, (ast.Mult, ast.Div)):
+                return left_safe and right_safe
+            if isinstance(expr.op, ast.Add):
+                # x + eps with a positive constant keeps nonnegative
+                # denominators (norms, counts) away from zero.
+                return (
+                    (left_safe and right_safe)
+                    or self._positive_const(expr.left)
+                    or self._positive_const(expr.right)
+                )
+            if isinstance(expr.op, ast.Pow):
+                return left_safe
+            return False
+        if isinstance(expr, ast.Subscript):
+            return self._rl007_safe(expr.value, tested, guarded)
+        return False
+
+    def _check_divisions(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        tested: set[str] = set()
+        guarded: set[str] = set()
+        for sub in self._scope_nodes(node):
+            test: ast.expr | None = None
+            if isinstance(sub, (ast.If, ast.While, ast.IfExp)):
+                test = sub.test
+            elif isinstance(sub, ast.Assert):
+                test = sub.test
+            elif isinstance(sub, ast.comprehension):
+                for cond in sub.ifs:
+                    for name_node in ast.walk(cond):
+                        dotted = _dotted_name(name_node) if isinstance(
+                            name_node, (ast.Name, ast.Attribute)
+                        ) else None
+                        if dotted:
+                            tested.add(dotted)
+            if test is not None:
+                for name_node in ast.walk(test):
+                    if isinstance(name_node, (ast.Name, ast.Attribute)):
+                        dotted = _dotted_name(name_node)
+                        if dotted:
+                            tested.add(dotted)
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(sub, ast.Assign):
+                targets, value = sub.targets, sub.value
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                targets, value = [sub.target], sub.value
+            if value is not None:
+                source_guarded = self._is_clamp_call(value)
+                if not source_guarded and isinstance(value, (ast.Name, ast.Attribute)):
+                    source_dotted = _dotted_name(value)
+                    source_guarded = source_dotted is not None and any(
+                        source_dotted in scope for scope in self._class_guarded
+                    )
+                if source_guarded:
+                    for target in targets:
+                        dotted = _dotted_name(target)
+                        if dotted:
+                            guarded.add(dotted)
+
+        for sub in self._scope_nodes(node):
+            denominator: ast.expr | None = None
+            if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div):
+                denominator = sub.right
+            elif isinstance(sub, ast.AugAssign) and isinstance(sub.op, ast.Div):
+                denominator = sub.value
+            elif isinstance(sub, ast.Call):
+                dotted = _dotted_name(sub.func)
+                if dotted and dotted.rsplit(".", 1)[-1] == "reciprocal" and sub.args:
+                    denominator = sub.args[0]
+            if denominator is not None and not self._rl007_safe(
+                denominator, tested, guarded
+            ):
+                rendered = ast.unparse(denominator)
+                if len(rendered) > 40:
+                    rendered = rendered[:37] + "..."
+                self.emit(
+                    sub,
+                    LintRule.RL007,
+                    f"denominator '{rendered}' has no zero-guard; clamp with "
+                    "np.maximum(., eps) or branch on the degenerate case",
+                )
+
     # -- RL004 ---------------------------------------------------------
 
     def visit_Compare(self, node: ast.Compare) -> None:
@@ -369,6 +713,34 @@ class _Checker(ast.NodeVisitor):
 
     # -- RL005 ---------------------------------------------------------
 
+    def _collect_class_guards(self, node: ast.ClassDef) -> set[str]:
+        """``self.X`` names validated anywhere in the class body.
+
+        An ``if``/``assert``/``while`` test on an attribute in *any* method
+        (typically ``__init__``/``__post_init__`` validation) counts as a
+        zero-guard for divisions by that attribute class-wide: the invariant
+        is established at construction and holds for the object's lifetime.
+        """
+        guarded: set[str] = set()
+        for sub in ast.walk(node):
+            test: ast.expr | None = None
+            if isinstance(sub, (ast.If, ast.While, ast.IfExp)):
+                test = sub.test
+            elif isinstance(sub, ast.Assert):
+                test = sub.test
+            if test is not None:
+                for name_node in ast.walk(test):
+                    if isinstance(name_node, ast.Attribute):
+                        dotted = _dotted_name(name_node)
+                        if dotted and dotted.startswith("self."):
+                            guarded.add(dotted)
+            if isinstance(sub, ast.Assign) and self._is_clamp_call(sub.value):
+                for target in sub.targets:
+                    dotted = _dotted_name(target)
+                    if dotted and dotted.startswith("self."):
+                        guarded.add(dotted)
+        return guarded
+
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         decorator = self._dataclass_decorator(node)
         if (
@@ -384,7 +756,9 @@ class _Checker(ast.NodeVisitor):
                 "be declared @dataclass(frozen=True)",
             )
         self._class_stack.append(node.name)
+        self._class_guarded.append(self._collect_class_guards(node))
         self.generic_visit(node)
+        self._class_guarded.pop()
         self._class_stack.pop()
 
     @staticmethod
@@ -409,7 +783,18 @@ class _Checker(ast.NodeVisitor):
     # -- RL006 ---------------------------------------------------------
 
     def check_module(self, tree: ast.Module) -> None:
-        if Path(self.path).name == "__main__.py":
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                value = stmt.value
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, (int, float))
+                    and value.value > 0
+                ):
+                    self._positive_consts.add(target.id)
+        if Path(self.path).name == "__main__.py" or self._is_pytest_file:
             has_all = True
         else:
             has_all = any(
@@ -493,17 +878,58 @@ def lint_paths(
     return diagnostics
 
 
+_DEFAULT_PATHS = ("src", "benchmarks")
+
+
+def render_json(paths: Sequence[Path], diagnostics: Sequence[Diagnostic]) -> str:
+    """Stable JSON schema for CI artifacts (version-tagged, sorted keys)."""
+    counts: dict[str, int] = {}
+    for diag in diagnostics:
+        counts[diag.rule.value] = counts.get(diag.rule.value, 0) + 1
+    payload = {
+        "version": 1,
+        "tool": "reprolint",
+        "paths": [str(p) for p in paths],
+        "rules": {rule.value: summary for rule, summary in RULES.items()},
+        "diagnostics": [
+            {
+                "path": diag.path,
+                "line": diag.line,
+                "col": diag.col,
+                "rule": diag.rule.value,
+                "message": diag.message,
+            }
+            for diag in diagnostics
+        ],
+        "counts": dict(sorted(counts.items())),
+        "total": len(diagnostics),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.devtools.lint",
         description="Repo-specific static analysis for the DSPP reproduction.",
     )
-    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {' '.join(_DEFAULT_PATHS)})",
+    )
     parser.add_argument(
         "--select",
+        "--rule",
+        dest="select",
         default=None,
-        help="comma-separated rule subset to report (e.g. RL001,RL004)",
+        help="comma-separated rule subset to report (e.g. RL007,RL008)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is a stable schema for CI artifacts)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
@@ -514,12 +940,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         for rule, summary in RULES.items():
             print(f"{rule.value}  {summary}")
         return 0
-    if not options.paths:
-        parser.print_usage(sys.stderr)
-        print("error: no paths given", file=sys.stderr)
-        return 2
+    if options.paths:
+        paths = [Path(p) for p in options.paths]
+    else:
+        paths = [Path(p) for p in _DEFAULT_PATHS if Path(p).exists()]
+        if not paths:
+            parser.print_usage(sys.stderr)
+            print(
+                f"error: no paths given and none of {', '.join(_DEFAULT_PATHS)} "
+                "exist here",
+                file=sys.stderr,
+            )
+            return 2
 
-    paths = [Path(p) for p in options.paths]
     for path in paths:
         if not path.exists():
             print(f"error: no such path: {path}", file=sys.stderr)
@@ -538,8 +971,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except SyntaxError as exc:
         print(f"error: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}", file=sys.stderr)
         return 2
-    for diag in diagnostics:
-        print(diag.format())
+    if options.format == "json":
+        print(render_json(paths, diagnostics))
+    else:
+        for diag in diagnostics:
+            print(diag.format())
     if diagnostics:
         print(f"reprolint: {len(diagnostics)} diagnostic(s)", file=sys.stderr)
         return 1

@@ -1,0 +1,1057 @@
+"""`shapeflow` — interprocedural static verification of shape contracts.
+
+The runtime layer (:mod:`repro.contracts`) checks ``@check_shapes`` specs
+only when a decorated function actually runs under ``REPRO_CONTRACTS=1``.
+This module is the static half: an AST-level abstract interpreter that
+parses every contract in the repo, propagates *symbolic* dimension
+bindings (``n``, ``m``, ``LV``, ``W`` …) through assignments, ``np.*``
+constructors with known shape semantics (``zeros``, ``concatenate``,
+``@``, ``.T``, slicing) and contracted calls, and cross-checks every call
+site of a contracted function — without importing or executing anything.
+
+Diagnostics:
+
+======  ==============================================================
+Code    Meaning
+======  ==============================================================
+SF001   Contract spec error: unparseable spec string, a spec naming a
+        parameter the function does not have, or two specs for the same
+        parameter.  (The static mirror of the runtime ``ValueError``.)
+SF002   Call-site mismatch: an argument's inferred shape provably
+        violates the callee's contract (wrong rank, a literal dimension
+        conflict, or one callee symbol forced to two different sizes
+        within the call).
+SF003   Contract-vs-contract inconsistency: an SF002-style conflict in
+        which the offending shapes come from the *caller's own*
+        contract — the two declarations cannot both be right.
+SF004   Missing contract: a public ``solvers/`` function or method with
+        array-annotated parameters and no ``@check_shapes`` decorator.
+SF005   Impossible binding in local dataflow: an operation whose
+        operand shapes cannot coexist (matmul inner-dimension conflict,
+        ``concatenate`` over mismatched ranks).
+======  ==============================================================
+
+Suppressions mirror reprolint: a trailing ``# shapeflow: disable=SF004``
+silences one line (comma lists and ``all`` accepted), and a
+``# shapeflow: disable-file=SF002`` line silences a whole file.
+
+Run as ``python -m repro.devtools.shapeflow src`` — exit code 0 when
+clean, 1 when diagnostics were emitted, 2 on usage errors.
+
+Soundness policy: *no false positives by construction*.  Symbolic
+dimensions are compared only when both sides are provably concrete
+(integer literals) or both are canonical contract symbols; everything
+unknown stays unknown.  The price is missed bugs, never noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.contracts import _parse_arg_spec, _parse_ret_spec
+
+__all__ = [
+    "SHAPEFLOW_RULES",
+    "ShapeDiagnostic",
+    "analyze_paths",
+    "analyze_source",
+    "main",
+]
+
+SHAPEFLOW_RULES: dict[str, str] = {
+    "SF001": "contract spec error (unparseable / unknown parameter / duplicate)",
+    "SF002": "call-site shape conflicts with the callee's contract",
+    "SF003": "two contracts are mutually inconsistent",
+    "SF004": "public solver function with array parameters has no contract",
+    "SF005": "impossible shape binding in local dataflow",
+}
+
+_SUPPRESS_RE = re.compile(r"#\s*shapeflow:\s*disable=([A-Za-z0-9,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*shapeflow:\s*disable-file=([A-Za-z0-9,\s]+)")
+
+# SF004 fires only under these path components — the hand-written kernels
+# whose array boundaries the contracts are meant to pin down.
+_SF004_PACKAGES = ("solvers",)
+
+# Annotation substrings that mark a parameter as array-valued.
+_ARRAY_ANNOTATIONS = ("ndarray", "ArrayLike", "VectorLike", "MatrixLike", "spmatrix")
+
+# A dimension is an int literal, a symbol (contract name or normalized
+# local expression text), or None for unknown.
+Dim = int | str | None
+Shape = tuple[Dim, ...]
+
+
+@dataclass(frozen=True)
+class ShapeDiagnostic:
+    """One shapeflow finding, formatted like a compiler diagnostic."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render as the canonical ``path:line:col: SFxxx message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Contract:
+    """Parsed ``@check_shapes`` specs of one function."""
+
+    args: tuple[tuple[str, tuple[int | str, ...]], ...]
+    ret: tuple[tuple[int | str, ...], ...] | None
+    ret_is_tuple: bool
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        syms = {d for _, dims in self.args for d in dims if isinstance(d, str)}
+        if self.ret is not None:
+            syms |= {d for dims in self.ret for d in dims if isinstance(d, str)}
+        return frozenset(syms)
+
+
+@dataclass
+class FunctionInfo:
+    """One function definition in the scanned tree."""
+
+    path: str
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    params: tuple[str, ...]
+    is_method: bool
+    contract: Contract | None = None
+    has_star_args: bool = False
+
+
+@dataclass
+class _TupleShape:
+    """Shape of a tuple-of-arrays value (tuple-return contracts)."""
+
+    elements: list[Shape | None] = field(default_factory=list)
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _parse_rule_names(raw: str) -> set[str]:
+    names = {part.strip().upper() for part in raw.split(",") if part.strip()}
+    if "ALL" in names:
+        return set(SHAPEFLOW_RULES)
+    return names
+
+
+def _collect_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    per_line: dict[int, set[str]] = {}
+    whole_file: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_FILE_RE.search(text)
+        if match:
+            whole_file |= _parse_rule_names(match.group(1))
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match:
+            per_line.setdefault(lineno, set()).update(_parse_rule_names(match.group(1)))
+    return per_line, whole_file
+
+
+def _is_check_shapes_decorator(dec: ast.expr) -> ast.Call | None:
+    if isinstance(dec, ast.Call):
+        dotted = _dotted_name(dec.func)
+        if dotted is not None and dotted.rsplit(".", 1)[-1] == "check_shapes":
+            return dec
+    return None
+
+
+def _annotation_is_array(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    try:
+        text = ast.unparse(annotation)
+    except Exception:  # pragma: no cover - unparse failure on exotic nodes
+        return False
+    return any(marker in text for marker in _ARRAY_ANNOTATIONS)
+
+
+class _Registry:
+    """All function definitions plus name-based call resolution."""
+
+    def __init__(self) -> None:
+        self.functions: list[FunctionInfo] = []
+        self._by_name: dict[str, list[FunctionInfo]] = {}
+        self._by_method: dict[str, list[FunctionInfo]] = {}
+        self._by_qualname: dict[str, FunctionInfo] = {}
+
+    def add(self, info: FunctionInfo) -> None:
+        self.functions.append(info)
+        simple = info.node.name
+        if info.is_method:
+            self._by_method.setdefault(simple, []).append(info)
+        else:
+            self._by_name.setdefault(simple, []).append(info)
+        self._by_qualname[f"{info.path}::{info.qualname}"] = info
+
+    def resolve_call(
+        self, func: ast.expr, enclosing_class: str | None, path: str
+    ) -> FunctionInfo | None:
+        """Resolve a call target to a unique contracted function, or None."""
+        if isinstance(func, ast.Name):
+            candidates = self._by_name.get(func.id, [])
+        elif isinstance(func, ast.Attribute):
+            # ``self.method(...)`` prefers the enclosing class's method.
+            if (
+                enclosing_class is not None
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                own = self._by_qualname.get(f"{path}::{enclosing_class}.{func.attr}")
+                if own is not None:
+                    return own if own.contract is not None else None
+            dotted = _dotted_name(func.value)
+            if dotted is not None and "." not in dotted and dotted[:1].isupper():
+                # ``ClassName.method`` or constructor-style access: try the
+                # qualified method in any file.
+                qualified = [
+                    info
+                    for info in self._by_method.get(func.attr, [])
+                    if info.qualname == f"{dotted}.{func.attr}"
+                ]
+                if len(qualified) == 1:
+                    info = qualified[0]
+                    return info if info.contract is not None else None
+            candidates = self._by_method.get(func.attr, [])
+        else:
+            return None
+        contracted = [info for info in candidates if info.contract is not None]
+        if len(contracted) == 1 and len(candidates) == 1:
+            return contracted[0]
+        return None
+
+
+def _parse_contract(
+    call: ast.Call,
+    info: FunctionInfo,
+    emit: "_Emitter",
+) -> Contract | None:
+    """Parse a ``@check_shapes(...)`` decorator; emit SF001 on bad specs."""
+    args: list[tuple[str, tuple[int | str, ...]]] = []
+    seen: set[str] = set()
+    ok = True
+    for arg in call.args:
+        if not isinstance(arg, ast.Constant) or not isinstance(arg.value, str):
+            return None  # dynamic spec — nothing to check statically
+        try:
+            name, dims, _ = _parse_arg_spec(arg.value)
+        except ValueError as exc:
+            emit(arg, "SF001", str(exc))
+            ok = False
+            continue
+        if name in seen:
+            emit(arg, "SF001", f"duplicate contract spec for parameter {name!r}")
+            ok = False
+            continue
+        seen.add(name)
+        if name not in info.params:
+            emit(
+                arg,
+                "SF001",
+                f"contract names parameter {name!r} but "
+                f"{info.qualname}() has no such parameter",
+            )
+            ok = False
+            continue
+        args.append((name, dims))
+
+    ret: tuple[tuple[int | str, ...], ...] | None = None
+    ret_is_tuple = False
+    for kw in call.keywords:
+        if kw.arg != "ret":
+            continue
+        specs: list[ast.expr]
+        if isinstance(kw.value, ast.Tuple):
+            specs = list(kw.value.elts)
+            ret_is_tuple = True
+        else:
+            specs = [kw.value]
+        parsed: list[tuple[int | str, ...]] = []
+        for spec in specs:
+            if not isinstance(spec, ast.Constant) or not isinstance(spec.value, str):
+                return None
+            try:
+                dims, _ = _parse_ret_spec(spec.value)
+            except ValueError as exc:
+                emit(spec, "SF001", str(exc))
+                ok = False
+                continue
+            parsed.append(dims)
+        ret = tuple(parsed) if parsed else None
+    if not ok and not args:
+        return None
+    return Contract(args=tuple(args), ret=ret, ret_is_tuple=ret_is_tuple)
+
+
+class _Emitter:
+    """Diagnostic sink bound to one file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.diagnostics: list[ShapeDiagnostic] = []
+
+    def __call__(self, node: ast.AST, code: str, message: str) -> None:
+        self.diagnostics.append(
+            ShapeDiagnostic(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=message,
+            )
+        )
+
+
+def _collect_functions(
+    tree: ast.Module, path: str, registry: _Registry, emit: _Emitter
+) -> None:
+    """Registry pass: every def, its params, and its parsed contract."""
+
+    def visit(body: Sequence[ast.stmt], class_name: str | None) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                arg_spec = stmt.args
+                params = tuple(
+                    a.arg
+                    for a in (*arg_spec.posonlyargs, *arg_spec.args, *arg_spec.kwonlyargs)
+                )
+                qualname = f"{class_name}.{stmt.name}" if class_name else stmt.name
+                info = FunctionInfo(
+                    path=path,
+                    qualname=qualname,
+                    node=stmt,
+                    params=params,
+                    is_method=class_name is not None,
+                    has_star_args=arg_spec.vararg is not None
+                    or arg_spec.kwarg is not None,
+                )
+                for dec in stmt.decorator_list:
+                    call = _is_check_shapes_decorator(dec)
+                    if call is not None:
+                        info.contract = _parse_contract(call, info, emit)
+                registry.add(info)
+            elif isinstance(stmt, ast.ClassDef):
+                visit(stmt.body, stmt.name)
+
+    visit(tree.body, None)
+
+
+def _check_missing_contracts(registry: _Registry, emit_for: dict[str, _Emitter]) -> None:
+    for info in registry.functions:
+        posix = Path(info.path).as_posix()
+        if not any(f"/{pkg}/" in posix or posix.startswith(f"{pkg}/") for pkg in _SF004_PACKAGES):
+            continue
+        node = info.node
+        # Private if any path component is underscored; __init__ of a
+        # public class still counts as public API.
+        parts = info.qualname.split(".")
+        if any(part.startswith("_") and part != "__init__" for part in parts):
+            continue
+        if info.contract is not None:
+            continue
+        array_params = [
+            a.arg
+            for a in (*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs)
+            if _annotation_is_array(a.annotation)
+        ]
+        if not array_params:
+            continue
+        emit_for[info.path](
+            node,
+            "SF004",
+            f"public function {info.qualname}() takes array parameters "
+            f"({', '.join(array_params)}) but declares no @check_shapes contract",
+        )
+
+
+# --------------------------------------------------------------------------
+# Intraprocedural abstract interpretation
+# --------------------------------------------------------------------------
+
+_LIKE_CALLS = frozenset(
+    {"zeros_like", "ones_like", "empty_like", "full_like", "asarray",
+     "ascontiguousarray", "asfortranarray", "copy", "astype", "array"}
+)
+_CONSTRUCTOR_CALLS = frozenset({"zeros", "ones", "empty", "full"})
+_ELEMENTWISE_CALLS = frozenset(
+    {"abs", "sqrt", "exp", "log", "sign", "square", "negative", "isfinite",
+     "isnan", "isinf", "nan_to_num", "clip", "maximum", "minimum", "fmax",
+     "fmin", "where"}
+)
+
+_MAX_SYM_LEN = 24
+
+
+class _FlowAnalyzer:
+    """Symbolic shape propagation through one function body."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        registry: _Registry,
+        emit: _Emitter,
+        enclosing_class: str | None,
+    ) -> None:
+        self.info = info
+        self.registry = registry
+        self.emit = emit
+        self.enclosing_class = enclosing_class
+        self.env: dict[str, Shape] = {}
+        self.contract_syms: frozenset[str] = frozenset()
+        if info.contract is not None:
+            self.contract_syms = info.contract.symbols
+            for name, dims in info.contract.args:
+                self.env[name] = tuple(dims)
+
+    # -- helpers -------------------------------------------------------
+
+    def _dim_from_expr(self, expr: ast.expr) -> Dim:
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, int) and not isinstance(expr.value, bool):
+                return expr.value if expr.value >= 0 else None
+            return None
+        try:
+            text = ast.unparse(expr)
+        except Exception:  # pragma: no cover
+            return None
+        text = " ".join(text.split())
+        return text if len(text) <= _MAX_SYM_LEN else None
+
+    def _shape_from_shape_arg(self, expr: ast.expr) -> Shape | None:
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            return tuple(self._dim_from_expr(el) for el in expr.elts)
+        dim = self._dim_from_expr(expr)
+        return (dim,)
+
+    def _from_contract(self, shape: Shape | None) -> bool:
+        return shape is not None and any(
+            isinstance(d, str) and d in self.contract_syms for d in shape
+        )
+
+    def _provably_different(self, a: Dim, b: Dim, canonical: frozenset[str]) -> bool:
+        if isinstance(a, int) and isinstance(b, int):
+            return a != b
+        if isinstance(a, str) and isinstance(b, str):
+            return a != b and a in canonical and b in canonical
+        return False
+
+    # -- statement walk ------------------------------------------------
+
+    def run(self) -> None:
+        self._process_block(self.info.node.body)
+
+    def _process_block(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._process_stmt(stmt)
+
+    def _merge_env(self, snapshots: list[dict[str, Shape]]) -> None:
+        merged: dict[str, Shape] = {}
+        first = snapshots[0]
+        for name, shape in first.items():
+            if all(env.get(name) == shape for env in snapshots[1:]):
+                merged[name] = shape
+        self.env = merged
+
+    def _process_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_shape = self._infer(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, value_shape)
+        elif isinstance(stmt, ast.AnnAssign):
+            shape = self._infer(stmt.value) if stmt.value is not None else None
+            self._bind_target(stmt.target, shape)
+        elif isinstance(stmt, ast.AugAssign):
+            self._infer(stmt.value)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            if isinstance(stmt, ast.Return) and stmt.value is None:
+                return
+            value = stmt.value
+            assert value is not None
+            self._infer(value)
+        elif isinstance(stmt, ast.If):
+            self._infer(stmt.test)
+            before = dict(self.env)
+            self._process_block(stmt.body)
+            after_body = self.env
+            self.env = dict(before)
+            self._process_block(stmt.orelse)
+            self._merge_env([after_body, self.env])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._infer(stmt.iter)
+            before = dict(self.env)
+            self._bind_target(stmt.target, None)
+            self._process_block(stmt.body)
+            self._process_block(stmt.orelse)
+            self._merge_env([before, self.env])
+        elif isinstance(stmt, ast.While):
+            self._infer(stmt.test)
+            before = dict(self.env)
+            self._process_block(stmt.body)
+            self._process_block(stmt.orelse)
+            self._merge_env([before, self.env])
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._infer(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, None)
+            self._process_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            before = dict(self.env)
+            self._process_block(stmt.body)
+            after_body = self.env
+            envs = [before, after_body]
+            for handler in stmt.handlers:
+                self.env = dict(before)
+                self._process_block(handler.body)
+                envs.append(self.env)
+            self._merge_env(envs)
+            self._process_block(stmt.orelse)
+            self._process_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes get their own analyzer
+        elif isinstance(stmt, ast.Assert):
+            self._infer(stmt.test)
+        elif isinstance(stmt, (ast.Delete,)):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+
+    def _bind_target(self, target: ast.expr, shape: Shape | _TupleShape | None) -> None:
+        if isinstance(target, ast.Name):
+            if isinstance(shape, _TupleShape):
+                self.env.pop(target.id, None)
+            elif shape is not None:
+                self.env[target.id] = shape
+            else:
+                self.env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements: list[Shape | None]
+            if isinstance(shape, _TupleShape) and len(shape.elements) == len(
+                target.elts
+            ):
+                elements = shape.elements
+            else:
+                elements = [None] * len(target.elts)
+            for sub, sub_shape in zip(target.elts, elements):
+                self._bind_target(sub, sub_shape)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, None)
+        # attribute/subscript stores don't enter the local environment
+
+    # -- expression inference ------------------------------------------
+
+    def _infer(self, expr: ast.expr) -> Shape | _TupleShape | None:
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id)
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, (int, float, complex)) and not isinstance(
+                expr.value, bool
+            ):
+                return ()
+            return None
+        if isinstance(expr, ast.Attribute):
+            if expr.attr == "T":
+                base = self._infer(expr.value)
+                if isinstance(base, tuple):
+                    return tuple(reversed(base))
+            else:
+                self._infer(expr.value)
+            return None
+        if isinstance(expr, ast.UnaryOp):
+            return self._infer(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            return self._infer_binop(expr)
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                self._infer(value)
+            return None
+        if isinstance(expr, ast.Compare):
+            left = self._infer(expr.left)
+            for comparator in expr.comparators:
+                self._infer(comparator)
+            return left if isinstance(left, tuple) else None
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr)
+        if isinstance(expr, ast.Subscript):
+            return self._infer_subscript(expr)
+        if isinstance(expr, ast.IfExp):
+            self._infer(expr.test)
+            body = self._infer(expr.body)
+            orelse = self._infer(expr.orelse)
+            return body if body == orelse else None
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            shapes = [self._infer(el) for el in expr.elts]
+            if all(s == () for s in shapes) and shapes:
+                return (len(shapes),)
+            return _TupleShape(
+                [s if isinstance(s, tuple) else None for s in shapes]
+            )
+        if isinstance(expr, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)):
+            return None
+        if isinstance(expr, ast.Starred):
+            self._infer(expr.value)
+            return None
+        if isinstance(expr, ast.NamedExpr):
+            shape = self._infer(expr.value)
+            self._bind_target(expr.target, shape)
+            return shape
+        return None
+
+    def _infer_binop(self, expr: ast.BinOp) -> Shape | None:
+        left = self._infer(expr.left)
+        right = self._infer(expr.right)
+        left_shape = left if isinstance(left, tuple) else None
+        right_shape = right if isinstance(right, tuple) else None
+        if isinstance(expr.op, ast.MatMult):
+            return self._infer_matmul(expr, left_shape, right_shape)
+        # elementwise / broadcasting operators
+        if left_shape is None or right_shape is None:
+            return left_shape or right_shape
+        if left_shape == ():
+            return right_shape
+        if right_shape == ():
+            return left_shape
+        if len(left_shape) == len(right_shape):
+            merged: list[Dim] = []
+            for a, b in zip(left_shape, right_shape):
+                if a == 1:
+                    merged.append(b)
+                elif b == 1 or b is None:
+                    merged.append(a)
+                elif a is None:
+                    merged.append(b)
+                else:
+                    if (
+                        isinstance(a, int)
+                        and isinstance(b, int)
+                        and a != b
+                    ):
+                        self.emit(
+                            expr,
+                            "SF005",
+                            f"elementwise operands have incompatible shapes "
+                            f"{left_shape} and {right_shape} in {self.info.qualname}()",
+                        )
+                        return None
+                    merged.append(a)
+            return tuple(merged)
+        return left_shape if len(left_shape) > len(right_shape) else right_shape
+
+    def _infer_matmul(
+        self, expr: ast.BinOp, left: Shape | None, right: Shape | None
+    ) -> Shape | None:
+        if left is None or right is None:
+            return None
+        if len(left) == 2 and len(right) == 2:
+            inner_l, inner_r = left[1], right[0]
+            result: Shape = (left[0], right[1])
+        elif len(left) == 2 and len(right) == 1:
+            inner_l, inner_r = left[1], right[0]
+            result = (left[0],)
+        elif len(left) == 1 and len(right) == 2:
+            inner_l, inner_r = left[0], right[0]
+            result = (right[1],)
+        elif len(left) == 1 and len(right) == 1:
+            inner_l, inner_r = left[0], right[0]
+            result = ()
+        else:
+            return None
+        if isinstance(inner_l, int) and isinstance(inner_r, int) and inner_l != inner_r:
+            self.emit(
+                expr,
+                "SF005",
+                f"matmul inner dimensions conflict: {left} @ {right} "
+                f"in {self.info.qualname}()",
+            )
+            return None
+        return result
+
+    def _infer_subscript(self, expr: ast.Subscript) -> Shape | None:
+        base = self._infer(expr.value)
+        if not isinstance(base, tuple):
+            self._infer_index(expr.slice)
+            return None
+        indices: list[ast.expr]
+        if isinstance(expr.slice, ast.Tuple):
+            indices = list(expr.slice.elts)
+        else:
+            indices = [expr.slice]
+        result: list[Dim] = []
+        axis = 0
+        for index in indices:
+            if isinstance(index, ast.Slice):
+                if axis >= len(base):
+                    return None
+                if index.lower is None and index.upper is None and index.step is None:
+                    result.append(base[axis])
+                else:
+                    result.append(None)
+                axis += 1
+            elif isinstance(index, ast.Constant) and index.value is None:
+                result.append(1)  # np.newaxis
+            elif isinstance(index, ast.Constant) and index.value is Ellipsis:
+                return None
+            else:
+                self._infer_index(index)
+                if axis >= len(base):
+                    return None
+                axis += 1  # integer / fancy index drops the axis
+        result.extend(base[axis:])
+        return tuple(result)
+
+    def _infer_index(self, index: ast.expr) -> None:
+        if isinstance(index, ast.Slice):
+            for part in (index.lower, index.upper, index.step):
+                if part is not None:
+                    self._infer(part)
+        else:
+            self._infer(index)
+
+    def _infer_call(self, expr: ast.Call) -> Shape | _TupleShape | None:
+        for arg in expr.args:
+            if isinstance(arg, ast.Starred):
+                self._infer(arg.value)
+        for kw in expr.keywords:
+            self._infer(kw.value)
+
+        func = expr.func
+        dotted = _dotted_name(func)
+        last = dotted.rsplit(".", 1)[-1] if dotted else None
+
+        # np constructors with known shape semantics
+        if last in _CONSTRUCTOR_CALLS and expr.args:
+            for arg in expr.args[1:]:
+                self._infer(arg)
+            return self._shape_from_shape_arg(expr.args[0])
+        if last == "eye" and expr.args:
+            dim = self._dim_from_expr(expr.args[0])
+            return (dim, dim)
+        if last in _LIKE_CALLS and expr.args:
+            shape = self._infer(expr.args[0])
+            return shape if isinstance(shape, tuple) else None
+        if last == "copy" and isinstance(func, ast.Attribute) and not expr.args:
+            shape = self._infer(func.value)
+            return shape if isinstance(shape, tuple) else None
+        if last in ("ravel", "flatten") and isinstance(func, ast.Attribute):
+            self._infer(func.value)
+            return (None,)
+        if last == "reshape":
+            target_args = expr.args
+            if isinstance(func, ast.Attribute):
+                self._infer(func.value)
+            if len(target_args) == 1:
+                return self._shape_from_shape_arg(target_args[0])
+            if len(target_args) > 1:
+                return tuple(self._dim_from_expr(a) for a in target_args)
+            return None
+        if last == "arange":
+            for arg in expr.args:
+                self._infer(arg)
+            return (None,)
+        if last == "concatenate" and expr.args:
+            return self._infer_concatenate(expr)
+        if last in _ELEMENTWISE_CALLS:
+            shapes = [self._infer(arg) for arg in expr.args]
+            known = [s for s in shapes if isinstance(s, tuple) and s != ()]
+            return known[0] if known else None
+        if isinstance(func, ast.Attribute):
+            self._infer(func.value)
+
+        for arg in expr.args:
+            if not isinstance(arg, ast.Starred):
+                self._infer(arg)
+
+        if expr.args and any(isinstance(a, ast.Starred) for a in expr.args):
+            return None
+        if any(kw.arg is None for kw in expr.keywords):
+            return None
+        callee = self.registry.resolve_call(func, self.enclosing_class, self.info.path)
+        if callee is not None and callee.contract is not None:
+            return self._check_call_site(expr, callee)
+        return None
+
+    def _infer_concatenate(self, expr: ast.Call) -> Shape | None:
+        parts_expr = expr.args[0]
+        if not isinstance(parts_expr, (ast.List, ast.Tuple)):
+            self._infer(parts_expr)
+            return None
+        shapes = [self._infer(el) for el in parts_expr.elts]
+        known = [s for s in shapes if isinstance(s, tuple)]
+        if not known:
+            return None
+        ranks = {len(s) for s in known}
+        if len(ranks) > 1:
+            self.emit(
+                expr,
+                "SF005",
+                f"concatenate over mismatched ranks {sorted(ranks)} "
+                f"in {self.info.qualname}()",
+            )
+            return None
+        if len(known) != len(shapes):
+            return None
+        axis = 0
+        for kw in expr.keywords:
+            if kw.arg == "axis" and isinstance(kw.value, ast.Constant):
+                if isinstance(kw.value.value, int):
+                    axis = kw.value.value
+        if len(expr.args) > 1 and isinstance(expr.args[1], ast.Constant):
+            if isinstance(expr.args[1].value, int):
+                axis = expr.args[1].value
+        rank = ranks.pop()
+        if not -rank <= axis < rank:
+            return None
+        axis %= rank
+        result: list[Dim] = []
+        for index in range(rank):
+            if index == axis:
+                sizes = [s[index] for s in known]
+                if all(isinstance(d, int) for d in sizes):
+                    result.append(sum(d for d in sizes if isinstance(d, int)))
+                else:
+                    result.append(None)
+            else:
+                dims = {s[index] for s in known}
+                dims.discard(None)
+                result.append(dims.pop() if len(dims) == 1 else None)
+        return tuple(result)
+
+    # -- call-site contract checking -----------------------------------
+
+    def _check_call_site(
+        self, expr: ast.Call, callee: FunctionInfo
+    ) -> Shape | _TupleShape | None:
+        contract = callee.contract
+        assert contract is not None
+        params = list(callee.params)
+        if callee.is_method and isinstance(expr.func, ast.Attribute):
+            if params and params[0] in ("self", "cls"):
+                params = params[1:]
+        if len(expr.args) > len(params):
+            return None  # *args forwarding or a resolution mistake: stay silent
+        arg_map: dict[str, ast.expr] = dict(zip(params, expr.args))
+        for kw in expr.keywords:
+            if kw.arg is not None:
+                arg_map[kw.arg] = kw.value
+
+        declared = dict(contract.args)
+        bindings: dict[str, Dim] = {}
+        bound_by: dict[str, str] = {}
+        canonical = self.contract_syms
+        for name, value_expr in arg_map.items():
+            dims = declared.get(name)
+            if dims is None:
+                continue
+            if isinstance(value_expr, ast.Constant) and value_expr.value is None:
+                continue  # optional-array convention: None is skipped at runtime
+            inferred = self._infer(value_expr)
+            if not isinstance(inferred, tuple):
+                continue
+            from_contract = self._from_contract(inferred)
+            code = "SF003" if from_contract else "SF002"
+            if len(inferred) != len(dims):
+                self.emit(
+                    expr,
+                    code,
+                    f"argument '{name}' of {callee.qualname}() declares "
+                    f"{len(dims)}-d shape {dims}, but the call passes a "
+                    f"{len(inferred)}-d value of shape {inferred}",
+                )
+                continue
+            for axis, (dim, actual) in enumerate(zip(dims, inferred)):
+                if actual is None:
+                    continue
+                if isinstance(dim, int):
+                    if isinstance(actual, int) and actual != dim:
+                        self.emit(
+                            expr,
+                            code,
+                            f"argument '{name}' of {callee.qualname}() axis "
+                            f"{axis} must be {dim}, got {actual}",
+                        )
+                    continue
+                previous = bindings.get(dim)
+                if previous is None:
+                    bindings[dim] = actual
+                    bound_by[dim] = name
+                elif self._provably_different(previous, actual, canonical):
+                    conflict_code = (
+                        "SF003"
+                        if (
+                            isinstance(actual, str)
+                            and actual in canonical
+                            and isinstance(previous, str)
+                            and previous in canonical
+                        )
+                        or from_contract
+                        else "SF002"
+                    )
+                    self.emit(
+                        expr,
+                        conflict_code,
+                        f"call to {callee.qualname}() binds symbol '{dim}' to "
+                        f"both {previous!r} (via '{bound_by[dim]}') and "
+                        f"{actual!r} (via '{name}')",
+                    )
+
+        if contract.ret is None:
+            return None
+        resolved: list[Shape | None] = []
+        for dims in contract.ret:
+            shape: list[Dim] = []
+            for dim in dims:
+                if isinstance(dim, int):
+                    shape.append(dim)
+                else:
+                    shape.append(bindings.get(dim))
+            resolved.append(tuple(shape))
+        if contract.ret_is_tuple:
+            return _TupleShape(resolved)
+        return resolved[0]
+
+
+def analyze_source(
+    source: str, path: str = "<string>", registry: _Registry | None = None
+) -> list[ShapeDiagnostic]:
+    """Analyze one module in isolation (single-file registry).
+
+    For whole-tree analysis with cross-module call resolution use
+    :func:`analyze_paths`; this entry point exists for tests and quick
+    one-file checks.
+    """
+    tree = ast.parse(source, filename=path)
+    emit = _Emitter(path)
+    local_registry = registry if registry is not None else _Registry()
+    _collect_functions(tree, path, local_registry, emit)
+    _check_missing_contracts(local_registry, {path: emit})
+    _run_flow(tree, path, local_registry, emit)
+    return _apply_suppressions(source, emit.diagnostics)
+
+
+def _run_flow(
+    tree: ast.Module, path: str, registry: _Registry, emit: _Emitter
+) -> None:
+    def visit(body: Sequence[ast.stmt], class_name: str | None) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{class_name}.{stmt.name}" if class_name else stmt.name
+                info = registry._by_qualname.get(f"{path}::{qualname}")
+                if info is not None:
+                    _FlowAnalyzer(info, registry, emit, class_name).run()
+                visit(stmt.body, class_name)  # nested defs, same class scope
+            elif isinstance(stmt, ast.ClassDef):
+                visit(stmt.body, stmt.name)
+
+    visit(tree.body, None)
+
+
+def _apply_suppressions(
+    source: str, diagnostics: list[ShapeDiagnostic]
+) -> list[ShapeDiagnostic]:
+    per_line, whole_file = _collect_suppressions(source)
+    kept = [
+        diag
+        for diag in diagnostics
+        if diag.code not in whole_file and diag.code not in per_line.get(diag.line, ())
+    ]
+    return sorted(kept, key=lambda d: (d.path, d.line, d.col, d.code))
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def analyze_paths(paths: Sequence[Path]) -> list[ShapeDiagnostic]:
+    """Analyze every ``.py`` file under ``paths`` with a shared registry.
+
+    Two passes: first every file contributes its functions and contracts
+    to one registry (so call sites resolve across modules), then each
+    file's bodies are abstractly interpreted against it.
+    """
+    sources: dict[str, str] = {}
+    trees: dict[str, ast.Module] = {}
+    emitters: dict[str, _Emitter] = {}
+    registry = _Registry()
+    for file_path in _iter_python_files(paths):
+        text = file_path.read_text(encoding="utf-8")
+        name = str(file_path)
+        sources[name] = text
+        trees[name] = ast.parse(text, filename=name)
+        emitters[name] = _Emitter(name)
+        _collect_functions(trees[name], name, registry, emitters[name])
+    _check_missing_contracts(registry, emitters)
+    diagnostics: list[ShapeDiagnostic] = []
+    for name, tree in trees.items():
+        _run_flow(tree, name, registry, emitters[name])
+        diagnostics.extend(_apply_suppressions(sources[name], emitters[name].diagnostics))
+    return sorted(diagnostics, key=lambda d: (d.path, d.line, d.col, d.code))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.shapeflow",
+        description="Static verification of @check_shapes contracts.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to analyze"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the diagnostic table and exit"
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for code, summary in SHAPEFLOW_RULES.items():
+            print(f"{code}  {summary}")
+        return 0
+    paths = [Path(p) for p in options.paths]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+    try:
+        diagnostics = analyze_paths(paths)
+    except SyntaxError as exc:
+        print(
+            f"error: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}",
+            file=sys.stderr,
+        )
+        return 2
+    for diag in diagnostics:
+        print(diag.format())
+    if diagnostics:
+        print(f"shapeflow: {len(diagnostics)} diagnostic(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,313 @@
+"""Runtime numerics sanitizer, gated on ``REPRO_SANITIZE=1``.
+
+The QP stack is numerically defensive by construction — equilibration,
+rho clipping, iterative refinement — but a silent ``nan`` produced deep
+inside a factorization still propagates to a plausible-looking wrong
+answer.  This module is the runtime tripwire:
+
+- :func:`guard` wraps solver hot paths in
+  ``np.errstate(invalid="raise", divide="raise", over="raise")`` so any
+  invalid operation, zero division or overflow inside *numpy ufunc*
+  arithmetic raises at the faulting statement instead of propagating.
+- :func:`check_finite` asserts finiteness of arrays crossing module
+  boundaries (factor/solve inputs and outputs).  BLAS-backed matmul and
+  the sparse kernels do not consult the numpy error state, so boundary
+  checks are the complement of :func:`guard`, not a redundancy.
+- A process-wide :class:`SanitizeReport` accumulates per-solve health
+  counters — refinement iterations, the smallest Cholesky pivot seen,
+  the worst KKT residual — queryable via :func:`report` and printed by
+  ``repro verify fuzz`` campaigns when the sanitizer is active.
+
+Everything is a cheap no-op unless sanitizing is enabled, so production
+call sites keep the instrumentation permanently.  Enable it with the
+``REPRO_SANITIZE=1`` environment variable (checked at import), or
+programmatically with :func:`enable` / :func:`sanitized` in tests.
+Guards never modify values, so enabling the sanitizer cannot change any
+result that does not raise: solver outputs are bitwise identical either
+way.
+
+This file is the one place allowed to manage the numpy error state
+(reprolint RL011 allowlists it).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "SanitizeError",
+    "SanitizeReport",
+    "check_finite",
+    "disable",
+    "enable",
+    "enabled",
+    "format_report",
+    "guard",
+    "record_pivot",
+    "record_refinement",
+    "record_solve",
+    "report",
+    "reset_report",
+    "sanitized",
+    "tolerant",
+]
+
+
+class SanitizeError(FloatingPointError):
+    """A non-finite value crossed a sanitized module boundary.
+
+    Subclasses :class:`FloatingPointError` so a single ``except`` clause
+    catches both boundary violations and the ``np.errstate``-raised
+    faults from inside a :func:`guard` block.
+    """
+
+
+_enabled: bool = os.environ.get("REPRO_SANITIZE", "") == "1"
+
+
+def enabled() -> bool:
+    """Whether the sanitizer is currently active."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn the sanitizer on for this process (tests, notebooks)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn the sanitizer off again."""
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def sanitized() -> Iterator[None]:
+    """Enable the sanitizer for the duration of a ``with`` block."""
+    global _enabled
+    previous = _enabled
+    _enabled = True
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+@contextmanager
+def guard(label: str) -> Iterator[None]:
+    """Run a solver hot path with all floating-point faults raising.
+
+    When disabled this is a bare ``yield``; when enabled, numpy ufunc
+    arithmetic inside the block raises :class:`FloatingPointError` on
+    invalid operations, zero divisions and overflow.  ``label`` names the
+    guarded region in the re-raised message.
+    """
+    if not _enabled:
+        yield
+        return
+    try:
+        with np.errstate(invalid="raise", divide="raise", over="raise"):
+            yield
+    except FloatingPointError as exc:
+        if isinstance(exc, SanitizeError):
+            raise
+        raise SanitizeError(f"{label}: {exc}") from exc
+
+
+@contextmanager
+def tolerant(label: str) -> Iterator[None]:
+    """Restore numpy's default (warn) error state inside a :func:`guard`.
+
+    The active-set polish and crossover paths *deliberately* tolerate
+    non-finite intermediates: a degenerate working set produces them, the
+    caller checks ``isfinite`` and falls back to ADMM.  Raising there
+    would turn a designed recovery path into a failure, so those solves
+    opt out of the surrounding guard.  ``label`` documents the opt-out at
+    the call site; it is unused at runtime.  No-op when disabled.
+    """
+    del label
+    if not _enabled:
+        yield
+        return
+    with np.errstate(invalid="warn", divide="warn", over="warn"):
+        yield
+
+
+def _iter_arrays(obj: Any) -> Iterator[tuple[str, np.ndarray, bool]]:
+    """Yield ``(field, array, allow_inf)`` triples for a boundary value.
+
+    Understands plain arrays, scipy sparse matrices (their ``.data``),
+    QP problem containers (``P``/``q``/``A`` fully finite, ``l``/``u``
+    NaN-free only — infinite bounds are legal one-sided constraints) and
+    QP solution containers; tuples and lists recurse elementwise.
+    """
+    if obj is None:
+        return
+    if isinstance(obj, np.ndarray):
+        yield "", obj, False
+        return
+    data = getattr(obj, "data", None)
+    if data is not None and hasattr(obj, "nnz"):  # scipy sparse
+        yield "data", np.asarray(data), False
+        return
+    if isinstance(obj, (tuple, list)):
+        for index, item in enumerate(obj):
+            for sub_field, array, allow_inf in _iter_arrays(item):
+                yield f"[{index}]{('.' + sub_field) if sub_field else ''}", array, allow_inf
+        return
+    if all(hasattr(obj, name) for name in ("P", "q", "A", "l", "u")):
+        for name in ("P", "q", "A"):
+            for sub_field, array, _ in _iter_arrays(getattr(obj, name)):
+                yield f"{name}{('.' + sub_field) if sub_field else ''}", array, False
+        yield "l", np.asarray(obj.l), True
+        yield "u", np.asarray(obj.u), True
+        return
+    if all(hasattr(obj, name) for name in ("x", "y", "objective")):
+        yield "x", np.asarray(obj.x), False
+        yield "y", np.asarray(obj.y), False
+        yield "objective", np.asarray(obj.objective), False
+        return
+    if isinstance(obj, (int, float)):
+        yield "", np.asarray(obj, dtype=float), False
+
+
+def check_finite(label: str, *objects: Any, allow_inf: bool = False) -> None:
+    """Assert that every array reachable from ``objects`` is finite.
+
+    Bound vectors of problem containers are only checked for NaN (their
+    infinities encode one-sided constraints); passing ``allow_inf=True``
+    extends that NaN-only policy to every plain array given, for
+    call sites handing in raw ``l``/``u`` vectors.  No-op when the
+    sanitizer is disabled.
+
+    Raises:
+        SanitizeError: naming the offending field and fault kind.
+    """
+    if not _enabled:
+        return
+    _REPORT.finite_checks += 1
+    for index, obj in enumerate(objects):
+        prefix = f"arg{index}" if len(objects) > 1 else ""
+        for sub_field, array, inf_ok in _iter_arrays(obj):
+            field_allow_inf = inf_ok or allow_inf
+            if array.dtype.kind not in "fc":
+                continue
+            if field_allow_inf:
+                bad = np.isnan(array)
+                kind = "NaN"
+            else:
+                bad = ~np.isfinite(array)
+                kind = "non-finite"
+            if np.any(bad):
+                where = ".".join(part for part in (prefix, sub_field) if part)
+                count = int(np.count_nonzero(bad))
+                raise SanitizeError(
+                    f"{label}: {count} {kind} value(s) in "
+                    f"{where or 'value'} (shape {array.shape})"
+                )
+
+
+@dataclass
+class SanitizeReport:
+    """Accumulated numerical-health counters for this process.
+
+    Attributes:
+        kkt_solves: banded KKT solves recorded.
+        refinement_steps: total iterative-refinement steps across them.
+        max_refinement_steps: the worst single solve.
+        worst_refinement_residual: largest scaled residual left after
+            refinement.
+        min_pivot: smallest block-Cholesky pivot seen in any
+            factorization (``inf`` until one is recorded).
+        qp_solves: full QP solves recorded.
+        worst_primal_residual: largest final primal residual reported.
+        worst_dual_residual: largest final dual residual reported.
+        finite_checks: boundary finiteness checks performed.
+    """
+
+    kkt_solves: int = 0
+    refinement_steps: int = 0
+    max_refinement_steps: int = 0
+    worst_refinement_residual: float = 0.0
+    min_pivot: float = field(default=math.inf)
+    qp_solves: int = 0
+    worst_primal_residual: float = 0.0
+    worst_dual_residual: float = 0.0
+    finite_checks: int = 0
+
+
+_REPORT = SanitizeReport()
+
+
+def record_refinement(steps: int, residual: float) -> None:
+    """Record one banded KKT solve's refinement effort (no-op if disabled)."""
+    if not _enabled:
+        return
+    _REPORT.kkt_solves += 1
+    _REPORT.refinement_steps += steps
+    _REPORT.max_refinement_steps = max(_REPORT.max_refinement_steps, steps)
+    if math.isfinite(residual):
+        _REPORT.worst_refinement_residual = max(
+            _REPORT.worst_refinement_residual, residual
+        )
+
+
+def record_pivot(pivot: float) -> None:
+    """Record the smallest Cholesky pivot of a factorization."""
+    if not _enabled:
+        return
+    _REPORT.min_pivot = min(_REPORT.min_pivot, pivot)
+
+
+def record_solve(primal_residual: float, dual_residual: float) -> None:
+    """Record a finished QP solve's final residuals."""
+    if not _enabled:
+        return
+    _REPORT.qp_solves += 1
+    if math.isfinite(primal_residual):
+        _REPORT.worst_primal_residual = max(
+            _REPORT.worst_primal_residual, primal_residual
+        )
+    if math.isfinite(dual_residual):
+        _REPORT.worst_dual_residual = max(
+            _REPORT.worst_dual_residual, dual_residual
+        )
+
+
+def report() -> SanitizeReport:
+    """A snapshot copy of the current counters."""
+    return replace(_REPORT)
+
+
+def reset_report() -> None:
+    """Zero the counters (the enabled flag is untouched)."""
+    global _REPORT
+    _REPORT = SanitizeReport()
+
+
+def format_report() -> str:
+    """Render the counters as a short human-readable block."""
+    snap = report()
+    pivot = "n/a" if math.isinf(snap.min_pivot) else f"{snap.min_pivot:.3e}"
+    return "\n".join(
+        [
+            "sanitize report:",
+            f"  qp solves          : {snap.qp_solves}"
+            f" (worst residuals: primal {snap.worst_primal_residual:.3e},"
+            f" dual {snap.worst_dual_residual:.3e})",
+            f"  banded kkt solves  : {snap.kkt_solves}"
+            f" ({snap.refinement_steps} refinement steps,"
+            f" max {snap.max_refinement_steps}/solve,"
+            f" worst residual {snap.worst_refinement_residual:.3e})",
+            f"  min cholesky pivot : {pivot}",
+            f"  finiteness checks  : {snap.finite_checks}",
+        ]
+    )

@@ -64,6 +64,8 @@ import numpy as np
 import scipy.linalg as sla
 from scipy.linalg.blas import dsymv
 
+import repro.sanitize as sanitize
+from repro.contracts import check_shapes
 from repro.solvers.qp import QPProblem
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only (avoids a package import cycle)
@@ -125,6 +127,7 @@ class BandedKKTSolver:
         ValueError: if the view's dimensions do not match the problem.
     """
 
+    @check_shapes("d:(n,)", "e:(m,)", "rho_vec:(m,)")
     def __init__(
         self,
         view: QPBlockView,
@@ -141,6 +144,7 @@ class BandedKKTSolver:
                 f"block view ({n}, {m}) does not match problem "
                 f"({scaled.num_variables}, {scaled.num_constraints})"
             )
+        sanitize.check_finite("BandedKKTSolver factor input", d, e, rho_vec)
         T = view.num_steps
         L = view.num_datacenters
         V = view.num_locations
@@ -208,6 +212,10 @@ class BandedKKTSolver:
         else:
             self._dw = np.zeros((T, 0))
             self._wxv = np.zeros((T, L, 0))
+        # sigma > 0 and rho > 0 make the eliminated diagonals strictly
+        # positive; the recursions below divide by them freely.
+        assert np.all(self._du > 0.0) and np.all(self._dw > 0.0)
+        assert np.all(self._rho_vec > 0.0)
         # Reduced cross-period coupling after the u elimination (diagonal).
         self._ctilde = cxx - self._cross * cux / self._du
 
@@ -220,43 +228,48 @@ class BandedKKTSolver:
         ar_l = np.arange(L)
         minv = np.empty((T, LV, LV))
         s_prev: np.ndarray | None = None
-        for t in range(T):
-            M = np.zeros((LV, LV))
-            M4 = M.reshape(L, V, L, V)
-            g = g_dem[t]
-            M4[:, ar_v, :, ar_v] += np.einsum("v,lv,mv->vlm", r_dem[t], g, g)
-            gc = g_cap[t]
-            M4[ar_l, :, ar_l, :] += np.einsum("l,lv,lw->lvw", r_cap[t], gc, gc)
-            if elastic:
-                wx = self._wxv[t]
-                M4[:, ar_v, :, ar_v] -= np.einsum(
-                    "lv,mv->vlm", wx, wx / self._dw[t][None, :]
+        sanitizing = sanitize.enabled()
+        with sanitize.guard("BandedKKTSolver factorization"):
+            for t in range(T):
+                M = np.zeros((LV, LV))
+                M4 = M.reshape(L, V, L, V)
+                g = g_dem[t]
+                M4[:, ar_v, :, ar_v] += np.einsum("v,lv,mv->vlm", r_dem[t], g, g)
+                gc = g_cap[t]
+                M4[ar_l, :, ar_l, :] += np.einsum("l,lv,lw->lvw", r_cap[t], gc, gc)
+                if elastic:
+                    wx = self._wxv[t]
+                    M4[:, ar_v, :, ar_v] -= np.einsum(
+                        "lv,mv->vlm", wx, wx / self._dw[t][None, :]
+                    )
+                x_diag = (
+                    self._sigma
+                    + r_dyn[t] * a_dyn_x[t] ** 2
+                    + r_non[t] * b_non[t] ** 2
+                    - self._cross[t] ** 2 / self._du[t]
                 )
-            x_diag = (
-                self._sigma
-                + r_dyn[t] * a_dyn_x[t] ** 2
-                + r_non[t] * b_non[t] ** 2
-                - self._cross[t] ** 2 / self._du[t]
-            )
-            if t + 1 < T:
-                x_diag = x_diag + (
-                    r_dyn[t + 1] * a_dyn_xp[t + 1] ** 2
-                    - self._cux[t + 1] ** 2 / self._du[t + 1]
+                if t + 1 < T:
+                    x_diag = x_diag + (
+                        r_dyn[t + 1] * a_dyn_xp[t + 1] ** 2
+                        - self._cux[t + 1] ** 2 / self._du[t + 1]
+                    )
+                M[np.arange(LV), np.arange(LV)] += x_diag
+                if t > 0:
+                    assert s_prev is not None
+                    c = self._ctilde[t]
+                    M -= c[:, None] * s_prev * c[None, :]
+                chol, _ = sla.cho_factor(
+                    M, lower=True, overwrite_a=True, check_finite=False
                 )
-            M[np.arange(LV), np.arange(LV)] += x_diag
-            if t > 0:
-                assert s_prev is not None
-                c = self._ctilde[t]
-                M -= c[:, None] * s_prev * c[None, :]
-            chol, _ = sla.cho_factor(
-                M, lower=True, overwrite_a=True, check_finite=False
-            )
-            inv_l = sla.solve_triangular(
-                chol, np.eye(LV), lower=True, check_finite=False
-            )
-            s_prev = inv_l.T @ inv_l
-            minv[t] = s_prev
+                if sanitizing:
+                    sanitize.record_pivot(float(np.min(np.diagonal(chol))))
+                inv_l = sla.solve_triangular(
+                    chol, np.eye(LV), lower=True, check_finite=False
+                )
+                s_prev = inv_l.T @ inv_l
+                minv[t] = s_prev
         self._minv = minv
+        sanitize.check_finite("BandedKKTSolver factors", minv)
         # Hot-loop constants: the eliminated-variable ratios and the CSR
         # transpose of A are fixed for the factorization's lifetime
         # (building ``A.T`` per solve costs more than the matvec itself
@@ -317,6 +330,7 @@ class BandedKKTSolver:
             ).reshape(-1)
         return out
 
+    @check_shapes("rhs:(k,)", ret="(k,)")
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve the quasi-definite KKT system (SuperLU ``solve`` contract).
 
@@ -327,6 +341,13 @@ class BandedKKTSolver:
         Returns:
             The stacked solution ``[x; nu]``, shape ``(n + m,)``.
         """
+        sanitize.check_finite("BandedKKTSolver.solve rhs", rhs)
+        with sanitize.guard("BandedKKTSolver.solve"):
+            out = self._refine_solve(rhs)
+        sanitize.check_finite("BandedKKTSolver.solve result", out)
+        return out
+
+    def _refine_solve(self, rhs: np.ndarray) -> np.ndarray:
         n = self._view.num_variables
         A = self._scaled.A
         At = self._a_t
@@ -341,6 +362,8 @@ class BandedKKTSolver:
             float(np.max(np.abs(b2), initial=0.0)),
             1.0,
         )
+        steps = 0
+        err = 0.0
         for _ in range(_KKT_REFINE_STEPS):
             r1 = b1 - self._p_sigma * x - At @ nu
             r2 = b2 - ax + nu / r
@@ -350,11 +373,13 @@ class BandedKKTSolver:
             )
             if err <= _KKT_REFINE_TOL * scale:
                 break
+            steps += 1
             dx = self._condensed_solve(r1 + At @ (r * r2))
             adx = A @ dx
             x = x + dx
             ax = ax + adx
             nu = nu + r * (adx - r2)
+        sanitize.record_refinement(steps, err / scale)
         return np.concatenate([x, nu])
 
 
@@ -373,6 +398,7 @@ class BandedActiveSetSystem:
             (equality rows folded in, as in the sparse system).
     """
 
+    @check_shapes("active_lower:(m,)", "active_upper:(m,)")
     def __init__(
         self,
         view: QPBlockView,
@@ -632,6 +658,13 @@ class BandedActiveSetSystem:
         ``q``/``l``/``u`` enter the right-hand side, one refinement pass
         is applied, and the returned ``y`` is zero off the active set.
         """
+        # Degenerate working sets legally produce non-finite iterates here;
+        # the caller isfinite-checks and falls back, so opt out of any
+        # surrounding sanitize guard.
+        with sanitize.tolerant("banded active-set solve"):
+            return self._solve_data(problem)
+
+    def _solve_data(self, problem: QPProblem) -> tuple[np.ndarray, np.ndarray]:
         view = self._view
         T = view.num_steps
         L = view.num_datacenters
@@ -704,6 +737,7 @@ class BandedActiveSetSystem:
         return x_full, y
 
 
+@check_shapes("active_lower:(m,)", "active_upper:(m,)")
 def build_banded_active_set_system(
     view: QPBlockView,
     active_lower: np.ndarray,

@@ -60,6 +60,7 @@ class QuotaCoordinator:
         ValueError: if capacity is not positive or arguments are inconsistent.
     """
 
+    @check_shapes("capacity:(datacenters,)")
     def __init__(
         self,
         capacity: np.ndarray,
@@ -128,8 +129,10 @@ class QuotaCoordinator:
 
     def reset(self) -> None:
         """Return to the symmetric equal-split initial quotas."""
-        self._quotas = np.tile(self.capacity / self.n_providers, (self.n_providers, 1))
+        # n_providers is validated >= 1 in __init__.
+        self._quotas = np.tile(self.capacity / self.n_providers, (self.n_providers, 1))  # reprolint: disable=RL007
 
+    @check_shapes("quotas:(providers,datacenters)")
     def set_quotas(self, quotas: np.ndarray) -> None:
         """Install explicit quotas (e.g. a biased start for equilibrium
         exploration).

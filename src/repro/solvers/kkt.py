@@ -17,6 +17,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+import repro.sanitize as sanitize
 from repro.contracts import check_shapes
 
 __all__ = [
@@ -103,6 +104,7 @@ class ActiveSetSystem:
     a_active: sp.csc_matrix
 
 
+@check_shapes("x:(n,)", "y:(m,)", ret=("(m,)", "(m,)"))
 def guess_active_set(
     problem: QPProblem, x: np.ndarray, y: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -128,6 +130,7 @@ def guess_active_set(
     return active_lower, active_upper
 
 
+@check_shapes("active_lower:(m,)", "active_upper:(m,)")
 def build_active_set_system(
     problem: QPProblem, active_lower: np.ndarray, active_upper: np.ndarray
 ) -> ActiveSetSystem | None:
@@ -174,28 +177,33 @@ def solve_active_set_system(
         ``(x, y)`` with ``y`` expanded to all ``m`` rows (zeros off the
         active set).
     """
-    active = system.active_lower | system.active_upper
-    bounds = np.where(
-        system.active_lower[active], problem.l[active], problem.u[active]
-    )
-    n = problem.num_variables
-    rhs = np.concatenate([-problem.q, bounds])
-    sol = system.lu.solve(rhs)
-    x_trial = sol[:n]
-    nu = sol[n:]
-    residual = np.concatenate(
-        [
-            rhs[:n] - (problem.P @ x_trial + system.a_active.T @ nu),
-            rhs[n:] - system.a_active @ x_trial,
-        ]
-    )
-    sol = sol + system.lu.solve(residual)
-    x = sol[:n]
-    y = np.zeros(problem.num_constraints)
-    y[active] = sol[n:]
+    # Degenerate working sets legally produce non-finite iterates here;
+    # callers isfinite-check and fall back to ADMM, so opt out of any
+    # surrounding sanitize guard.
+    with sanitize.tolerant("active-set solve"):
+        active = system.active_lower | system.active_upper
+        bounds = np.where(
+            system.active_lower[active], problem.l[active], problem.u[active]
+        )
+        n = problem.num_variables
+        rhs = np.concatenate([-problem.q, bounds])
+        sol = system.lu.solve(rhs)
+        x_trial = sol[:n]
+        nu = sol[n:]
+        residual = np.concatenate(
+            [
+                rhs[:n] - (problem.P @ x_trial + system.a_active.T @ nu),
+                rhs[n:] - system.a_active @ x_trial,
+            ]
+        )
+        sol = sol + system.lu.solve(residual)
+        x = sol[:n]
+        y = np.zeros(problem.num_constraints)
+        y[active] = sol[n:]
     return x, y
 
 
+@check_shapes("x:(n,)", "y:(m,)", ret=("(m,)", "(m,)"))
 def update_active_set(
     problem: QPProblem, x: np.ndarray, y: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -238,10 +246,12 @@ def polish_solution(problem: QPProblem, solution: QPSolution) -> QPSolution:
     if system is None:
         return solution
     x_new, y_new = solve_active_set_system(problem, system)
+    if not np.all(np.isfinite(x_new)):
+        return solution
 
     old = kkt_residuals(problem, solution.x, solution.y)
     new = kkt_residuals(problem, x_new, y_new)
-    if not np.all(np.isfinite(x_new)) or new.worst >= old.worst:
+    if new.worst >= old.worst:
         return solution
 
     from repro.solvers.qp import QPSolution

@@ -8,9 +8,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import check_shapes
+
 __all__ = ["project_box", "project_nonnegative", "project_halfspace", "project_simplex"]
 
 
+@check_shapes("z:(m,)", "lower:(m,)", "upper:(m,)", ret="(m,)")
 def project_box(z: np.ndarray, lower: np.ndarray, upper: np.ndarray) -> np.ndarray:
     """Project ``z`` onto the box ``[lower, upper]`` componentwise.
 
@@ -32,11 +35,13 @@ def project_box(z: np.ndarray, lower: np.ndarray, upper: np.ndarray) -> np.ndarr
     return np.minimum(np.maximum(z, lower), upper)
 
 
+@check_shapes("z:(m,)", ret="(m,)")
 def project_nonnegative(z: np.ndarray) -> np.ndarray:
     """Project ``z`` onto the nonnegative orthant."""
     return np.maximum(z, 0.0)
 
 
+@check_shapes("z:(m,)", "a:(m,)", ret="(m,)")
 def project_halfspace(z: np.ndarray, a: np.ndarray, b: float) -> np.ndarray:
     """Project ``z`` onto the halfspace ``{x : a'x <= b}``.
 
@@ -61,6 +66,7 @@ def project_halfspace(z: np.ndarray, a: np.ndarray, b: float) -> np.ndarray:
     return z - (violation / norm_sq) * a
 
 
+@check_shapes("z:(m,)", ret="(m,)")
 def project_simplex(z: np.ndarray, total: float = 1.0) -> np.ndarray:
     """Project ``z`` onto the scaled simplex ``{x >= 0 : sum(x) = total}``.
 
@@ -89,5 +95,6 @@ def project_simplex(z: np.ndarray, total: float = 1.0) -> np.ndarray:
     indices = np.arange(1, z.size + 1)
     feasible = sorted_desc - cumulative / indices > 0
     rho = int(indices[feasible][-1])
-    theta = cumulative[rho - 1] / rho
+    # rho indexes into `indices` which starts at 1, so rho >= 1 always.
+    theta = cumulative[rho - 1] / rho  # reprolint: disable=RL007
     return np.maximum(z - theta, 0.0)

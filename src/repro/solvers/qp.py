@@ -82,12 +82,13 @@ class QPProblem:
     u: np.ndarray
 
     @staticmethod
+    @check_shapes("M:(rows,cols)")
     def build_matrix(M: MatrixLike) -> sp.csc_matrix:
         """Normalize a dense/sparse matrix input to float CSC."""
         return sp.csc_matrix(M, dtype=float)
 
     @staticmethod
-    def build(
+    def build(  # shapeflow: disable=SF004 — validates shapes itself with richer errors
         P: MatrixLike,
         q: VectorLike,
         A: MatrixLike,
@@ -127,6 +128,7 @@ class QPProblem:
     def num_constraints(self) -> int:
         return self.A.shape[0]
 
+    @check_shapes("x:(n,)")
     def objective(self, x: np.ndarray) -> float:
         """Evaluate ``1/2 x'Px + q'x`` at ``x``."""
         return float(0.5 * x @ (self.P @ x) + self.q @ x)
@@ -236,6 +238,11 @@ class _Scaling:
     e: np.ndarray
     cost: float
 
+    def __post_init__(self) -> None:
+        # Equilibration clamps every scaling away from zero; the unscale
+        # maps divide by them, so enforce the invariant at construction.
+        assert np.all(self.d > 0.0) and np.all(self.e > 0.0) and self.cost > 0.0
+
     def unscale_x(self, x_scaled: np.ndarray) -> np.ndarray:
         return self.d * x_scaled
 
@@ -326,6 +333,7 @@ def _factorize(
     problem: QPProblem, sigma: float, rho_vec: np.ndarray
 ) -> spla.SuperLU:
     """Factorize the quasi-definite KKT matrix for the current rho vector."""
+    assert np.all(rho_vec > 0.0)  # clipped to [_RHO_MIN, _RHO_MAX] upstream
     n = problem.num_variables
     m = problem.num_constraints
     upper_left = problem.P + sigma * sp.identity(n, format="csc")

@@ -41,7 +41,9 @@ from typing import TYPE_CHECKING
 import numpy as np
 import scipy.sparse.linalg as spla
 
+import repro.sanitize as sanitize
 import repro.solvers.qp as _qp
+from repro.contracts import check_shapes
 from repro.solvers.banded import (
     BandedActiveSetSystem,
     BandedKKTSolver,
@@ -142,6 +144,7 @@ class QPWorkspace:
             raise RuntimeError("QPWorkspace.setup() has not been called")
         return self._problem
 
+    @check_shapes("P:(n,n)", "A:(m,n)", "q:(n,)", "l:(m,)", "u:(m,)")
     def setup(
         self,
         P: MatrixLike,
@@ -175,6 +178,8 @@ class QPWorkspace:
         if settings is not None:
             self.settings = settings
         cfg = self.settings
+        sanitize.check_finite("QPWorkspace.setup", P, A, q)
+        sanitize.check_finite("QPWorkspace.setup bounds", l, u, allow_inf=True)
         P_csc = QPProblem.build_matrix(P)
         n = P_csc.shape[0]
         A_csc = QPProblem.build_matrix(A)
@@ -315,6 +320,7 @@ class QPWorkspace:
         self._stale_scaling = False
         self._best_warm_iterations = None
 
+    @check_shapes("q:(n,)", "l:(m,)", "u:(m,)")
     def update(
         self,
         q: VectorLike | None = None,
@@ -334,6 +340,8 @@ class QPWorkspace:
         """
         if self._problem is None or self._work is None or self._scaling is None:
             raise RuntimeError("QPWorkspace.update() before setup()")
+        sanitize.check_finite("QPWorkspace.update", q)
+        sanitize.check_finite("QPWorkspace.update bounds", l, u, allow_inf=True)
         problem = self._problem
         n, m = problem.num_variables, problem.num_constraints
         new_q = problem.q if q is None else np.asarray(q, dtype=float).ravel()
@@ -389,6 +397,22 @@ class QPWorkspace:
         Raises:
             RuntimeError: if :meth:`setup` has not been called.
         """
+        if sanitize.enabled() and self._problem is not None:
+            sanitize.check_finite("QPWorkspace.solve problem", self._problem)
+        with sanitize.guard("QPWorkspace.solve"):
+            solution = self._solve_impl(warm_start, reuse_iterates)
+        if solution.status in (QPStatus.OPTIMAL, QPStatus.MAX_ITERATIONS):
+            # Infeasibility certificates legitimately carry NaN objective
+            # and infinite residuals; only converged answers must be finite.
+            sanitize.check_finite("QPWorkspace.solve result", solution)
+        sanitize.record_solve(solution.primal_residual, solution.dual_residual)
+        return solution
+
+    def _solve_impl(
+        self,
+        warm_start: QPSolution | None,
+        reuse_iterates: bool,
+    ) -> QPSolution:
         if (
             self._problem is None
             or self._work is None
@@ -662,6 +686,7 @@ class QPWorkspace:
         cfg = self.settings
         n, m = problem.num_variables, problem.num_constraints
         rho_vec = self._rho_vec
+        assert np.all(rho_vec > 0.0)  # clipped to [_RHO_MIN, _RHO_MAX]
         lu = self._lu
 
         rhs = np.empty(n + m)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
+import repro.sanitize as sanitize
 from repro.verify.corpus import load_corpus
 from repro.verify.generators import TIERS
 from repro.verify.runner import CHECKS, FuzzConfig, replay_corpus, run_fuzz
@@ -97,6 +98,8 @@ def run_verify(args: argparse.Namespace) -> int:
         )
         report = run_fuzz(config)
         print(report.summary())
+        if sanitize.enabled():
+            print(sanitize.format_report())
         return 0 if report.ok else 1
 
     if args.verify_command == "replay":
@@ -107,6 +110,8 @@ def run_verify(args: argparse.Namespace) -> int:
             return 0
         report = replay_corpus(corpus_dir)
         print(report.summary())
+        if sanitize.enabled():
+            print(sanitize.format_report())
         return 0 if report.ok else 1
 
     raise AssertionError(f"unhandled verify subcommand {args.verify_command!r}")

@@ -596,7 +596,7 @@ def prop_elastic_infeasible(
     demand[hot, :] = instance.max_supportable_demand()[hot] * float(rng.uniform(1.1, 1.5))
     findings: list[Discrepancy] = []
     try:
-        solve_dspp(instance, demand, prices)
+        _ = solve_dspp(instance, demand, prices)  # must raise; result unused
         findings.append(
             Discrepancy(
                 "elastic_infeasible",

@@ -1,0 +1,24 @@
+"""Fixture: clamped, branched and constant denominators must pass RL007."""
+
+import numpy as np
+
+__all__ = ["clamped_ratio", "branched_ratio", "halved"]
+
+_EPS = 1e-12
+
+
+def clamped_ratio(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    """A ``np.maximum`` clamp is the canonical zero-guard."""
+    return num / np.maximum(den, _EPS)
+
+
+def branched_ratio(num: float, den: float) -> float:
+    """Branching on the denominator counts as a guard."""
+    if den == 0.0:  # reprolint: disable=RL004
+        return 0.0
+    return num / den
+
+
+def halved(num: np.ndarray) -> np.ndarray:
+    """Positive literal denominators are trivially safe."""
+    return num / 2.0

@@ -1,0 +1,10 @@
+"""Fixture: RL007 must flag an unguarded division in a solver module."""
+
+import numpy as np
+
+__all__ = ["bad_ratio"]
+
+
+def bad_ratio(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    """Divide by a denominator that is never clamped or branched on."""
+    return num / den

@@ -1,0 +1,26 @@
+"""Fixture: RL008 must flag iteration-order and wall-clock nondeterminism."""
+
+import os
+import time
+
+import numpy as np
+
+__all__ = ["iterate_set", "scan_dir", "clock_seeded"]
+
+
+def iterate_set() -> list[int]:
+    """Set iteration order varies across processes."""
+    out: list[int] = []
+    for item in {3, 1, 2}:
+        out.append(item)
+    return out
+
+
+def scan_dir(root: str) -> list[str]:
+    """``os.listdir`` order is filesystem-dependent."""
+    return [name for name in os.listdir(root)]
+
+
+def clock_seeded() -> np.random.Generator:
+    """Wall-clock seeds make every run unreproducible."""
+    return np.random.default_rng(int(time.time()))

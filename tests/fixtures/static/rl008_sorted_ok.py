@@ -1,0 +1,17 @@
+"""Fixture: sorted directory scans and fixed seeds must pass RL008."""
+
+import os
+
+import numpy as np
+
+__all__ = ["scan_dir", "fixed_seeded"]
+
+
+def scan_dir(root: str) -> list[str]:
+    """Sorting restores a deterministic order."""
+    return sorted(os.listdir(root))
+
+
+def fixed_seeded(seed: int) -> np.random.Generator:
+    """An injected integer seed is reproducible."""
+    return np.random.default_rng(seed)

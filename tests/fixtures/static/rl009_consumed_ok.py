@@ -1,0 +1,16 @@
+"""Fixture: bound or explicitly discarded solve results must pass RL009."""
+
+from typing import Any
+
+__all__ = ["bound_result", "explicit_discard"]
+
+
+def bound_result(solver: Any, rhs: Any) -> Any:
+    """The result is bound and returned."""
+    solution = solver.solve(rhs)
+    return solution
+
+
+def explicit_discard(solver: Any, rhs: Any) -> None:
+    """Assigning to ``_`` documents the intentional discard."""
+    _ = solver.solve(rhs)

@@ -1,0 +1,10 @@
+"""Fixture: RL009 must flag a solve whose result is silently dropped."""
+
+from typing import Any
+
+__all__ = ["fire_and_forget"]
+
+
+def fire_and_forget(solver: Any, rhs: Any) -> None:
+    """The status/result of the solve is never consumed."""
+    solver.solve(rhs)

@@ -1,0 +1,12 @@
+"""Fixture: RL011 must flag numpy error-state suppression outside the
+sanitizer module."""
+
+import numpy as np
+
+__all__ = ["silent_divide"]
+
+
+def silent_divide(num: np.ndarray, den: np.ndarray) -> np.ndarray:
+    """Silencing divide warnings hides real faults."""
+    with np.errstate(divide="ignore"):
+        return num / np.where(den == 0.0, 1.0, den)  # reprolint: disable=RL004, RL007

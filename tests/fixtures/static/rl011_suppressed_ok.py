@@ -1,0 +1,11 @@
+"""Fixture: a justified per-line suppression silences RL011."""
+
+import numpy as np
+
+__all__ = ["deliberate"]
+
+
+def deliberate(num: np.ndarray) -> np.ndarray:
+    """A reviewed, documented suppression is allowed."""
+    with np.errstate(over="ignore"):  # reprolint: disable=RL011 — overflow saturates by design
+        return np.exp(num)

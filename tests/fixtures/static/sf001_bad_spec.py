@@ -1,0 +1,19 @@
+"""Fixture: SF001 must flag malformed and impossible contract specs."""
+
+import numpy as np
+
+from repro.contracts import check_shapes
+
+__all__ = ["malformed", "unknown_param"]
+
+
+@check_shapes("v:(n n)")
+def malformed(v: np.ndarray) -> float:
+    """The spec is missing the comma between dimensions."""
+    return float(np.sum(v))
+
+
+@check_shapes("w:(n,)")
+def unknown_param(v: np.ndarray) -> float:
+    """The spec names a parameter the function does not have."""
+    return float(np.sum(v))

@@ -1,0 +1,44 @@
+"""Fixture: SF002 must flag call sites that provably violate a contract."""
+
+import numpy as np
+
+from repro.contracts import check_shapes
+
+__all__ = ["norm", "wrong_rank", "wrong_literal", "pair_cost", "conflicting_sizes"]
+
+
+@check_shapes("v:(n,)", ret="()")
+def norm(v: np.ndarray) -> float:
+    """Contracted 1-d consumer."""
+    return float(np.sqrt(v @ v))
+
+
+def wrong_rank() -> float:
+    """Passes a matrix where the contract demands a vector."""
+    grid = np.zeros((3, 4))
+    return norm(grid)
+
+
+@check_shapes("p:(3,)")
+def three_only(p: np.ndarray) -> float:
+    """Contracted fixed-size consumer."""
+    return float(p[0] + p[1] + p[2])
+
+
+def wrong_literal() -> float:
+    """Passes a 5-vector where exactly 3 entries are required."""
+    point = np.zeros(5)
+    return three_only(point)
+
+
+@check_shapes("a:(k,)", "b:(k,)")
+def pair_cost(a: np.ndarray, b: np.ndarray) -> float:
+    """Both arguments must share one length ``k``."""
+    return float(a @ b)
+
+
+def conflicting_sizes() -> float:
+    """Binds ``k`` to 2 and 6 within a single call."""
+    left = np.zeros(2)
+    right = np.zeros(6)
+    return pair_cost(left, right)

@@ -1,0 +1,20 @@
+"""Fixture: SF003 must flag two contracts that cannot both hold."""
+
+import numpy as np
+
+from repro.contracts import check_shapes
+
+__all__ = ["inner", "outer"]
+
+
+@check_shapes("a:(k,)", "b:(k,)")
+def inner(a: np.ndarray, b: np.ndarray) -> float:
+    """Declares both arguments the same length."""
+    return float(a @ b)
+
+
+@check_shapes("x:(n,)", "y:(m,)")
+def outer(x: np.ndarray, y: np.ndarray) -> float:
+    """Declares independent lengths, then forwards both to ``inner`` —
+    the two contracts disagree about ``k``."""
+    return inner(x, y)

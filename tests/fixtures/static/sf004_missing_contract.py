@@ -1,0 +1,10 @@
+"""Fixture: SF004 must flag a public solver function without a contract."""
+
+import numpy as np
+
+__all__ = ["uncontracted"]
+
+
+def uncontracted(v: np.ndarray, scale: float) -> np.ndarray:
+    """Array in, array out, no @check_shapes anywhere."""
+    return scale * v

@@ -1,0 +1,10 @@
+"""Fixture: a justified shapeflow suppression silences SF004."""
+
+import numpy as np
+
+__all__ = ["exempt"]
+
+
+def exempt(v: np.ndarray) -> np.ndarray:  # shapeflow: disable=SF004 — shape-polymorphic helper
+    """Works on any rank by design, so a shape contract cannot apply."""
+    return np.abs(v)

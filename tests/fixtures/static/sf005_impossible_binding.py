@@ -1,0 +1,19 @@
+"""Fixture: SF005 must flag locally impossible shape combinations."""
+
+import numpy as np
+
+__all__ = ["bad_matmul", "bad_concat"]
+
+
+def bad_matmul() -> np.ndarray:
+    """Inner dimensions 3 and 4 can never agree."""
+    left = np.zeros((2, 3))
+    right = np.zeros((4, 5))
+    return left @ right
+
+
+def bad_concat() -> np.ndarray:
+    """Concatenating a vector with a matrix has no consistent rank."""
+    flat = np.zeros(4)
+    grid = np.zeros((2, 2))
+    return np.concatenate([flat, grid])

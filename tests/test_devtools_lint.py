@@ -8,8 +8,11 @@ RL003's solver-layer filter) can be exercised without touching disk.
 
 from __future__ import annotations
 
+import json
 import textwrap
 from pathlib import Path
+
+import pytest
 
 from repro.devtools.lint import Diagnostic, LintRule, lint_source, main
 
@@ -356,8 +359,17 @@ class TestRunner:
         assert f"{bad}:" in out
 
     def test_cli_usage_errors(self, tmp_path) -> None:
-        assert main([]) == 2
         assert main([str(tmp_path / "missing.py")]) == 2
+
+    def test_cli_no_paths_defaults_to_repo_layout(self, tmp_path, monkeypatch) -> None:
+        # With no paths the CLI lints src/ and benchmarks/ if present, and
+        # is a usage error only when neither exists (e.g. a scratch dir).
+        monkeypatch.chdir(tmp_path)
+        assert main([]) == 2
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "clean.py").write_text('__all__: list[str] = []\n')
+        assert main([]) == 0
 
     def test_cli_unknown_select_rule_is_usage_error(self, tmp_path) -> None:
         # A typo'd --select must not silently disable the whole lint.
@@ -380,3 +392,187 @@ class TestRunner:
         """The repo's own source must lint clean — the CI gate."""
         src = Path(__file__).resolve().parent.parent / "src"
         assert main([str(src)]) == 0
+
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "static"
+SOLVER_PATH = "src/repro/solvers/fixture.py"
+
+
+class TestFixtureCorpus:
+    """Every dataflow rule has an on-disk true positive and a clean twin."""
+
+    @pytest.mark.parametrize(
+        "fixture",
+        sorted(p.name for p in FIXTURES.glob("rl*.py")),
+    )
+    def test_fixture_produces_exactly_its_named_rule(self, fixture: str) -> None:
+        source = (FIXTURES / fixture).read_text()
+        found = {d.rule.value for d in lint_source(source, SOLVER_PATH)}
+        if fixture.endswith("_ok.py"):
+            assert found == set()
+        else:
+            expected = fixture.split("_")[0].upper()
+            assert found == {expected}
+
+    def test_every_dataflow_rule_has_a_true_positive_fixture(self) -> None:
+        covered = {p.name.split("_")[0].upper() for p in FIXTURES.glob("rl*.py")}
+        assert covered >= {"RL007", "RL008", "RL009", "RL010", "RL011"}
+
+
+class TestRL007Division:
+    def test_class_wide_guard_covers_attribute_denominators(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = ["Scaler"]
+
+        class Scaler:
+            def __init__(self, d: np.ndarray) -> None:
+                self.d = d
+                assert np.all(self.d > 0.0)
+
+            def unscale(self, v: np.ndarray) -> np.ndarray:
+                return v / self.d
+        """
+        assert "RL007" not in rules_of(src, SOLVER_PATH)
+
+    def test_unguarded_attribute_is_flagged(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = ["Scaler"]
+
+        class Scaler:
+            def __init__(self, d: np.ndarray) -> None:
+                self.d = d
+
+            def unscale(self, v: np.ndarray) -> np.ndarray:
+                return v / self.d
+        """
+        assert "RL007" in rules_of(src, SOLVER_PATH)
+
+    def test_only_active_in_solver_and_core_packages(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = ["ratio"]
+
+        def ratio(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+            return a / b
+        """
+        assert "RL007" in rules_of(src, "src/repro/core/mod.py")
+        assert "RL007" not in rules_of(src, "src/repro/experiments/mod.py")
+
+    def test_arange_from_one_is_a_positive_denominator(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = ["means"]
+
+        def means(v: np.ndarray) -> np.ndarray:
+            return np.cumsum(v) / np.arange(1, v.size + 1)
+        """
+        assert "RL007" not in rules_of(src, SOLVER_PATH)
+
+
+class TestRL008Nondeterminism:
+    def test_seed_from_pid_is_flagged(self) -> None:
+        src = """
+        import os
+        import numpy as np
+        __all__ = ["rng"]
+
+        def rng() -> np.random.Generator:
+            return np.random.default_rng(os.getpid())
+        """
+        assert "RL008" in rules_of(src)
+
+    def test_sorting_a_set_comprehension_is_not_enough(self) -> None:
+        # Iterating the set literal directly is still order-dependent.
+        src = """
+        __all__ = ["walk"]
+
+        def walk() -> list[int]:
+            return [x for x in {3, 1, 2}]
+        """
+        assert "RL008" in rules_of(src)
+
+
+class TestRL009DiscardedResults:
+    def test_underscore_assignment_is_an_explicit_discard(self) -> None:
+        src = """
+        __all__ = ["fire"]
+
+        def fire(solver) -> None:  # reprolint: disable=RL002
+            _ = solver.factorize()
+        """
+        assert "RL009" not in rules_of(src)
+
+
+class TestRL010SilentExcept:
+    def test_not_active_outside_numeric_packages(self) -> None:
+        src = """
+        __all__ = ["attempt"]
+
+        def attempt(paths: list[str]) -> None:
+            for path in paths:
+                try:
+                    open(path).close()  # reprolint: disable=RL003
+                except OSError:
+                    continue
+        """
+        assert "RL010" in rules_of(src, SOLVER_PATH)
+        assert "RL010" not in rules_of(src, "src/repro/experiments/mod.py")
+
+
+class TestRL011ErrstateSuppression:
+    def test_sanitize_module_is_allowlisted(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = ["quiet"]
+
+        def quiet(v: np.ndarray) -> np.ndarray:
+            with np.errstate(invalid="ignore"):
+                return np.sqrt(v)
+        """
+        assert "RL011" in rules_of(src, SOLVER_PATH)
+        assert "RL011" not in rules_of(src, "src/repro/sanitize.py")
+
+    def test_seterr_is_flagged(self) -> None:
+        src = """
+        import numpy as np
+        __all__ = ["hush"]
+
+        def hush() -> None:
+            np.seterr(all="ignore")
+        """
+        assert "RL011" in rules_of(src)
+
+
+class TestCLIFeatures:
+    def test_json_format_is_machine_readable(self, tmp_path, capsys) -> None:
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a):\n    return a == 1.5\n")
+        assert main(["--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "reprolint"
+        assert payload["total"] == len(payload["diagnostics"]) > 0
+        rules_seen = {d["rule"] for d in payload["diagnostics"]}
+        assert set(payload["counts"]) == rules_seen
+        for diag in payload["diagnostics"]:
+            assert {"path", "line", "col", "rule", "message"} <= set(diag)
+
+    def test_json_clean_run(self, tmp_path, capsys) -> None:
+        good = tmp_path / "good.py"
+        good.write_text('__all__: list[str] = []\n')
+        assert main(["--format", "json", str(good)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"] == 0 and payload["diagnostics"] == []
+
+    def test_rule_flag_restricts_the_run(self, tmp_path, capsys) -> None:
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a):\n    return a == 1.5\n")
+        assert main(["--rule", "RL004", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RL004" in out and "RL002" not in out
+
+    def test_benchmarks_tree_is_clean(self) -> None:
+        """benchmarks/ is part of the default lint surface and must pass."""
+        benchmarks = Path(__file__).resolve().parent.parent / "benchmarks"
+        assert main([str(benchmarks)]) == 0

@@ -1,0 +1,289 @@
+"""Tests for shapeflow (:mod:`repro.devtools.shapeflow`).
+
+Covers the fixture corpus (every diagnostic has a failing snippet and a
+clean/suppressed counterpart), the symbolic shape propagation itself, the
+cross-module registry, and the CLI contract — including the gating fact
+that the repo's own ``src`` tree analyzes clean.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.shapeflow import (
+    SHAPEFLOW_RULES,
+    analyze_paths,
+    analyze_source,
+    main,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "static"
+SOLVER_PATH = "src/repro/solvers/fixture.py"
+
+
+def codes_of(source: str, path: str = SOLVER_PATH) -> set[str]:
+    """Analyze a dedented snippet and return the set of diagnostic codes."""
+    return {d.code for d in analyze_source(textwrap.dedent(source), path)}
+
+
+class TestFixtureCorpus:
+    @pytest.mark.parametrize(
+        "fixture",
+        sorted(p.name for p in FIXTURES.glob("sf*.py")),
+    )
+    def test_fixture_produces_exactly_its_named_diagnostic(self, fixture: str) -> None:
+        source = (FIXTURES / fixture).read_text()
+        codes = {d.code for d in analyze_source(source, SOLVER_PATH)}
+        if fixture.endswith("_ok.py"):
+            assert codes == set()
+        else:
+            expected = fixture.split("_")[0].upper()
+            assert expected in codes
+
+    def test_every_diagnostic_has_a_true_positive_fixture(self) -> None:
+        covered = {p.name.split("_")[0].upper() for p in FIXTURES.glob("sf*.py")}
+        assert covered >= set(SHAPEFLOW_RULES)
+
+
+class TestSpecErrors:
+    def test_duplicate_spec(self) -> None:
+        src = """
+        import numpy as np
+        from repro.contracts import check_shapes
+
+        @check_shapes("v:(n,)", "v:(m,)")
+        def f(v: np.ndarray) -> float:
+            return float(v.sum())
+        """
+        assert "SF001" in codes_of(src)
+
+    def test_valid_contract_is_silent(self) -> None:
+        src = """
+        import numpy as np
+        from repro.contracts import check_shapes
+
+        @check_shapes("v:(n,)", "w:(n,)", ret="(n,)")
+        def f(v: np.ndarray, w: np.ndarray) -> np.ndarray:
+            return v + w
+        """
+        assert codes_of(src) == set()
+
+
+class TestPropagation:
+    def test_constructor_transpose_and_matmul(self) -> None:
+        src = """
+        import numpy as np
+        from repro.contracts import check_shapes
+
+        @check_shapes("g:(4, 7)")
+        def consume(g: np.ndarray) -> float:
+            return float(g.sum())
+
+        def produce() -> float:
+            a = np.zeros((7, 2))
+            b = np.ones((2, 4))
+            c = (a @ b).T          # (4, 7)
+            return consume(c)
+        """
+        assert codes_of(src) == set()
+
+    def test_transpose_flips_a_literal_mismatch_into_a_finding(self) -> None:
+        src = """
+        import numpy as np
+        from repro.contracts import check_shapes
+
+        @check_shapes("g:(4, 7)")
+        def consume(g: np.ndarray) -> float:
+            return float(g.sum())
+
+        def produce() -> float:
+            c = np.zeros((4, 7)).T   # (7, 4): transposed the wrong way
+            return consume(c)
+        """
+        assert "SF002" in codes_of(src)
+
+    def test_slicing_preserves_and_drops_axes(self) -> None:
+        src = """
+        import numpy as np
+        from repro.contracts import check_shapes
+
+        @check_shapes("row:(5,)")
+        def consume(row: np.ndarray) -> float:
+            return float(row.sum())
+
+        def produce() -> float:
+            grid = np.zeros((3, 5))
+            return consume(grid[0, :])
+        """
+        assert codes_of(src) == set()
+
+    def test_branches_keep_only_agreeing_bindings(self) -> None:
+        src = """
+        import numpy as np
+        from repro.contracts import check_shapes
+
+        @check_shapes("v:(3,)")
+        def consume(v: np.ndarray) -> float:
+            return float(v.sum())
+
+        def produce(flag: bool) -> float:
+            if flag:
+                v = np.zeros(4)
+            else:
+                v = np.zeros(5)
+            # v's shape is branch-dependent: no provable violation.
+            return consume(v)
+        """
+        assert codes_of(src) == set()
+
+    def test_tuple_return_contract_distributes_through_unpacking(self) -> None:
+        src = """
+        import numpy as np
+        from repro.contracts import check_shapes
+
+        @check_shapes("v:(n,)", ret=("(n,)", "(2,)"))
+        def split(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            return v, np.zeros(2)
+
+        @check_shapes("pair:(3,)")
+        def consume(pair: np.ndarray) -> float:
+            return float(pair.sum())
+
+        def produce() -> float:
+            main_part, extras = split(np.ones(9))
+            return consume(extras)   # (2,) into a (3,) contract
+        """
+        assert "SF002" in codes_of(src)
+
+    def test_symbolic_dims_never_conflict_with_ints(self) -> None:
+        # Soundness policy: an int vs an unknown local symbol is not provable.
+        src = """
+        import numpy as np
+        from repro.contracts import check_shapes
+
+        @check_shapes("v:(3,)")
+        def consume(v: np.ndarray) -> float:
+            return float(v.sum())
+
+        def produce(n: int) -> float:
+            v = np.zeros(n)
+            return consume(v)
+        """
+        assert codes_of(src) == set()
+
+
+class TestMissingContracts:
+    def test_only_fires_under_solver_packages(self) -> None:
+        src = """
+        import numpy as np
+
+        __all__ = ["helper"]
+
+        def helper(v: np.ndarray) -> np.ndarray:
+            return v * 2.0
+        """
+        assert "SF004" in codes_of(src, "src/repro/solvers/mod.py")
+        assert codes_of(src, "src/repro/experiments/mod.py") == set()
+
+    def test_private_functions_are_exempt(self) -> None:
+        src = """
+        import numpy as np
+
+        def _internal(v: np.ndarray) -> np.ndarray:
+            return v * 2.0
+        """
+        assert codes_of(src) == set()
+
+    def test_scalar_functions_are_exempt(self) -> None:
+        src = """
+        def pure_scalar(a: float, b: float) -> float:
+            return a + b
+        """
+        assert codes_of(src) == set()
+
+
+class TestSuppressions:
+    def test_file_wide_suppression(self) -> None:
+        src = """
+        # shapeflow: disable-file=SF004
+        import numpy as np
+
+        def helper(v: np.ndarray) -> np.ndarray:
+            return v * 2.0
+        """
+        assert codes_of(src) == set()
+
+    def test_line_suppression_is_per_code(self) -> None:
+        src = """
+        import numpy as np
+
+        def bad() -> np.ndarray:  # shapeflow: disable=SF004
+            left = np.zeros((2, 3))
+            right = np.zeros((4, 5))
+            return left @ right
+        """
+        # SF005 sits on a different line and must survive.
+        assert codes_of(src) == {"SF005"}
+
+
+class TestCrossModuleRegistry:
+    def test_call_sites_resolve_across_files(self, tmp_path: Path) -> None:
+        lib = tmp_path / "lib.py"
+        lib.write_text(
+            textwrap.dedent(
+                """
+                import numpy as np
+                from repro.contracts import check_shapes
+
+                @check_shapes("v:(3,)")
+                def contracted(v: np.ndarray) -> float:
+                    return float(v.sum())
+                """
+            )
+        )
+        app = tmp_path / "app.py"
+        app.write_text(
+            textwrap.dedent(
+                """
+                import numpy as np
+                from lib import contracted
+
+                def caller() -> float:
+                    return contracted(np.zeros(7))
+                """
+            )
+        )
+        diagnostics = analyze_paths([tmp_path])
+        assert any(d.code == "SF002" and d.path.endswith("app.py") for d in diagnostics)
+
+
+class TestCLI:
+    def test_repo_src_tree_is_clean(self) -> None:
+        assert main(["src"]) == 0
+
+    def test_exit_one_on_findings(self, tmp_path: Path, capsys) -> None:
+        bad = tmp_path / "solvers" / "mod.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "import numpy as np\n"
+            "def f() -> np.ndarray:\n"
+            "    return np.zeros((2, 3)) @ np.zeros((4, 5))\n"
+        )
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "SF005" in out
+
+    def test_usage_errors(self, tmp_path: Path) -> None:
+        assert main([str(tmp_path / "missing.py")]) == 2
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        assert main([str(broken)]) == 2
+
+    def test_list_rules(self, capsys) -> None:
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in SHAPEFLOW_RULES:
+            assert code in out

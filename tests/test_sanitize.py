@@ -1,0 +1,248 @@
+"""Tests for the runtime numerics sanitizer (:mod:`repro.sanitize`).
+
+The sanitizer must (a) trip on injected faults at both the ufunc level
+(:func:`guard`) and at module boundaries (:func:`check_finite`), (b) be a
+true no-op when disabled, and — most importantly — (c) never change a
+solver result that does not raise: outputs with the sanitizer on must be
+bitwise identical to outputs with it off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+import repro.sanitize as sanitize
+from repro.sanitize import SanitizeError, check_finite, guard, sanitized, tolerant
+from repro.solvers.qp import QPProblem, QPStatus
+from repro.solvers.workspace import QPWorkspace
+
+
+@pytest.fixture(autouse=True)
+def _clean_sanitizer_state():
+    """Restore the module's enabled flag and counters around every test."""
+    was_enabled = sanitize.enabled()
+    sanitize.reset_report()
+    yield
+    if was_enabled:
+        sanitize.enable()
+    else:
+        sanitize.disable()
+    sanitize.reset_report()
+
+
+def _box_qp() -> tuple[np.ndarray, ...]:
+    """A tiny strictly convex box QP with a unique interior-ish optimum."""
+    P = np.array([[4.0, 1.0], [1.0, 2.0]])
+    q = np.array([1.0, 1.0])
+    A = np.eye(2)
+    l = np.array([0.0, 0.0])
+    u = np.array([0.7, 0.7])
+    return P, q, A, l, u
+
+
+class TestGating:
+    def test_sanitized_context_restores_previous_state(self) -> None:
+        sanitize.disable()
+        with sanitized():
+            assert sanitize.enabled()
+        assert not sanitize.enabled()
+
+    def test_enable_disable_roundtrip(self) -> None:
+        sanitize.enable()
+        assert sanitize.enabled()
+        sanitize.disable()
+        assert not sanitize.enabled()
+
+    def test_everything_is_a_noop_when_disabled(self) -> None:
+        sanitize.disable()
+        with guard("off"), np.errstate(invalid="ignore"):
+            np.array(0.0) / np.array(0.0)  # would raise if enabled
+        check_finite("off", np.array([np.nan]))
+        sanitize.record_solve(1.0, 1.0)
+        sanitize.record_refinement(3, 1.0)
+        sanitize.record_pivot(1e-12)
+        snap = sanitize.report()
+        assert snap.qp_solves == 0 and snap.kkt_solves == 0
+        assert snap.finite_checks == 0 and np.isinf(snap.min_pivot)
+
+
+class TestGuard:
+    def test_invalid_operation_raises_with_label(self) -> None:
+        with sanitized():
+            with pytest.raises(SanitizeError, match="bad kernel"):
+                with guard("bad kernel"):
+                    np.array(0.0) / np.array(0.0)
+
+    def test_overflow_raises(self) -> None:
+        with sanitized():
+            with pytest.raises(SanitizeError):
+                with guard("overflow"):
+                    np.array(1e308) * np.array(1e308)
+
+    def test_is_a_floating_point_error(self) -> None:
+        # A single `except FloatingPointError` must catch sanitizer trips.
+        assert issubclass(SanitizeError, FloatingPointError)
+
+    def test_clean_arithmetic_passes_through(self) -> None:
+        with sanitized():
+            with guard("fine"):
+                out = np.ones(4) / np.full(4, 2.0)
+        np.testing.assert_array_equal(out, np.full(4, 0.5))
+
+
+class TestTolerant:
+    def test_opts_out_of_an_enclosing_guard(self) -> None:
+        with sanitized():
+            with guard("outer"):
+                with tolerant("designed fallback"), np.errstate(invalid="ignore"):
+                    value = float(np.array(np.inf) - np.array(np.inf))
+        assert np.isnan(value)
+
+
+class TestCheckFinite:
+    def test_nan_in_plain_array(self) -> None:
+        with sanitized():
+            with pytest.raises(SanitizeError, match="factor input"):
+                check_finite("factor input", np.array([1.0, np.nan]))
+
+    def test_inf_rejected_unless_allowed(self) -> None:
+        bounds = np.array([0.0, np.inf])
+        with sanitized():
+            with pytest.raises(SanitizeError):
+                check_finite("strict", bounds)
+            check_finite("bounds", bounds, allow_inf=True)
+
+    def test_allow_inf_still_rejects_nan(self) -> None:
+        with sanitized():
+            with pytest.raises(SanitizeError):
+                check_finite("bounds", np.array([np.nan, np.inf]), allow_inf=True)
+
+    def test_problem_container_tolerates_infinite_bounds(self) -> None:
+        P, q, A, l, u = _box_qp()
+        problem = QPProblem.build(P, q, A, np.array([0.0, -np.inf]), np.array([np.inf, 0.7]))
+        with sanitized():
+            check_finite("problem", problem)
+
+    def test_problem_container_catches_nan_in_q(self) -> None:
+        P, q, A, l, u = _box_qp()
+        problem = QPProblem.build(P, np.array([np.nan, 1.0]), A, l, u)
+        with sanitized():
+            with pytest.raises(SanitizeError, match="q"):
+                check_finite("problem", problem)
+
+    def test_sparse_matrices_are_inspected(self) -> None:
+        bad = sp.csc_matrix(np.array([[1.0, 0.0], [0.0, np.nan]]))
+        with sanitized():
+            with pytest.raises(SanitizeError):
+                check_finite("sparse", bad)
+
+    def test_integer_arrays_are_skipped(self) -> None:
+        with sanitized():
+            check_finite("ints", np.array([1, 2, 3]))
+
+    def test_none_and_nested_sequences(self) -> None:
+        with sanitized():
+            check_finite("nested", None, [np.ones(2), (np.zeros(3), None)])
+            with pytest.raises(SanitizeError):
+                check_finite("nested", [np.ones(2), (np.array([np.nan]),)])
+
+
+class TestWorkspaceIntegration:
+    def test_nan_injected_via_update_is_caught_at_the_boundary(self) -> None:
+        P, q, A, l, u = _box_qp()
+        ws = QPWorkspace()
+        ws.setup(P, A, q=q, l=l, u=u)
+        with sanitized():
+            with pytest.raises(SanitizeError, match="QPWorkspace.update"):
+                ws.update(q=np.array([np.nan, 1.0]))
+
+    def test_nan_injected_at_setup_is_caught(self) -> None:
+        P, q, A, l, u = _box_qp()
+        ws = QPWorkspace()
+        with sanitized():
+            with pytest.raises(SanitizeError, match="QPWorkspace.setup"):
+                ws.setup(P * np.nan, A, q=q, l=l, u=u)
+
+    def test_infinite_bounds_are_legal_at_setup(self) -> None:
+        P, q, A, l, u = _box_qp()
+        ws = QPWorkspace()
+        with sanitized():
+            ws.setup(P, A, q=q, l=np.array([-np.inf, 0.0]), u=u)
+            solution = ws.solve()
+        assert solution.status is QPStatus.OPTIMAL
+
+    def test_counters_populate_during_a_sanitized_solve(self) -> None:
+        P, q, A, l, u = _box_qp()
+        ws = QPWorkspace()
+        ws.setup(P, A, q=q, l=l, u=u)
+        with sanitized():
+            solution = ws.solve()
+        assert solution.status is QPStatus.OPTIMAL
+        snap = sanitize.report()
+        assert snap.qp_solves == 1
+        assert snap.finite_checks > 0
+        assert np.isfinite(snap.worst_primal_residual)
+        assert snap.worst_primal_residual >= 0.0
+
+    def test_reset_report_zeroes_counters(self) -> None:
+        with sanitized():
+            check_finite("touch", np.ones(1))
+        assert sanitize.report().finite_checks == 1
+        sanitize.reset_report()
+        assert sanitize.report().finite_checks == 0
+
+    def test_report_is_a_snapshot_not_a_live_view(self) -> None:
+        snap = sanitize.report()
+        with sanitized():
+            check_finite("touch", np.ones(1))
+        assert snap.finite_checks == 0
+
+    def test_format_report_mentions_every_counter_block(self) -> None:
+        text = sanitize.format_report()
+        for needle in ("qp solves", "banded kkt solves", "min cholesky pivot", "finiteness checks"):
+            assert needle in text
+
+
+class TestMPCIntegration:
+    def test_nan_observation_is_caught_before_the_predictors(self) -> None:
+        from repro.control.mpc import MPCConfig, MPCController
+        from repro.core.instance import DSPPInstance
+        from repro.prediction.naive import LastValuePredictor
+
+        instance = DSPPInstance(
+            datacenters=("dc",),
+            locations=("v",),
+            sla_coefficients=np.array([[0.1]]),
+            reconfiguration_weights=np.array([1.0]),
+            capacities=np.array([np.inf]),
+            initial_state=np.array([[10.0]]),
+        )
+        controller = MPCController(
+            instance,
+            LastValuePredictor(num_series=1),
+            LastValuePredictor(num_series=1),
+            MPCConfig(window=2),
+        )
+        with sanitized():
+            with pytest.raises(SanitizeError, match="observations"):
+                controller.step(np.array([np.nan]), np.array([1.0]))
+
+
+class TestBitwiseIdentity:
+    def test_sanitizer_never_changes_solver_output(self) -> None:
+        """Guards observe, never modify: on/off runs must agree bitwise."""
+        P, q, A, l, u = _box_qp()
+
+        def run() -> tuple[bytes, bytes, float]:
+            ws = QPWorkspace()
+            ws.setup(P, A, q=q, l=l, u=u)
+            solution = ws.solve()
+            return solution.x.tobytes(), solution.y.tobytes(), solution.objective
+
+        sanitize.disable()
+        plain = run()
+        with sanitized():
+            checked = run()
+        assert plain == checked

@@ -76,7 +76,16 @@ class TestCheckQPAgainstReference:
         corrupted = replace(solution, objective=solution.objective + 1.0)
         findings = check_qp_against_reference(problem, corrupted, "test")
         assert len(findings) == 1
-        assert "objective mismatch" in findings[0].message
+        assert "objective worse than reference" in findings[0].message
+
+    def test_accepts_objective_better_than_loose_reference(self, rng):
+        # A reference that stopped short of the optimum reports a *larger*
+        # objective; the one-sided gap must not blame the fast solver.
+        P, q, A, l, u = random_qp(rng, "small")
+        problem = QPProblem.build(P, q, A, l, u)
+        solution = solve_qp(P, q, A, l, u)
+        better = replace(solution, objective=solution.objective - 1.0)
+        assert check_qp_against_reference(problem, better, "test") == []
 
     def test_flags_wrong_primal_when_unique(self, rng):
         P, q, A, l, u = random_qp(rng, "small")
