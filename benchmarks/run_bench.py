@@ -1,6 +1,7 @@
 """Solver-path benchmark: persistent workspace, KKT backends, cold solves.
 
-Times the MPC hot path at small / paper / large / xlarge scale:
+Times the MPC hot path at small / paper / large / xlarge / continental
+scale:
 
 * **cold** — the seed behaviour: every receding-horizon step rebuilds the
   stacked QP, re-equilibrates, re-factorizes the KKT system and solves
@@ -9,24 +10,32 @@ Times the MPC hot path at small / paper / large / xlarge scale:
 * **workspace** — the persistent :class:`repro.core.dspp.DSPPWorkspace`
   path: one setup, then vector-only updates against the cached Ruiz
   scaling + KKT factorization, ADMM seeded from the stored iterates;
-* **backends** — warm workspace steps under ``kkt_backend="sparse"``
-  (SuperLU) vs ``kkt_backend="banded"`` (the block-banded Schur
-  recursion of :mod:`repro.solvers.banded`), with the worst per-step
-  objective divergence between the two;
+* **backends** — warm workspace steps under the scale's baseline vs
+  candidate ``(kkt_backend, sparsify_columns)`` pair (sparse vs banded at
+  the dense scales, dense-banded vs sparsified-Krylov at xlarge,
+  sparsified-banded vs sparsified-Krylov at continental), with the worst
+  per-step objective divergence between the two;
 * **sweep** — the deterministic parallel sweep runner on a miniature fig9
   configuration, serial vs two processes, with a bit-identity check.
 
+Every scale entry carries the *same* keys; measurements a scale skips
+(the cold path beyond ``large``, where one sparse factorization takes
+tens of seconds) are ``null`` rather than absent, so downstream parsers
+never need per-scale special cases.  A ``scaling_curve`` section lists
+the candidate-backend warm-step time against the problem volume
+``L*V*W`` across every scale benchmarked, continental included.
+
 Writes ``BENCH_solver.json`` at the repo root (override with ``--out``).
 The cold-vs-workspace comparison solves the identical problem sequence
-(the state advances along the cold trajectory) and is skipped at xlarge,
-where a single cold factorization takes tens of seconds; the backend
-comparison runs two full closed-loop MPC sequences from the same data.
+(the state advances along the cold trajectory); the backend comparison
+runs two full closed-loop MPC sequences from the same data.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py                    # full
     PYTHONPATH=src python benchmarks/run_bench.py --quick            # CI smoke
-    PYTHONPATH=src python benchmarks/run_bench.py --backend banded   # pin one
+    PYTHONPATH=src python benchmarks/run_bench.py --backend krylov \\
+        --sparsify on --sla-density 0.5                              # pin one
 """
 
 from __future__ import annotations
@@ -42,32 +51,73 @@ import numpy as np
 import repro.solvers.qp as _qp
 from repro.core.dspp import DSPPWorkspace, solve_dspp
 from repro.core.instance import DSPPInstance
-from repro.core.matrices import build_stacked_qp
+from repro.core.matrices import build_qp_structure, build_qp_vectors, build_stacked_qp
 from repro.experiments.fig9_horizon_cost_volatile import run_fig9
 from repro.solvers.qp import QPProblem, QPSettings
 
 __all__ = ["main"]
 
 # (L, V, W): data centers, locations, MPC window.  "paper" matches the
-# source paper's evaluation scale.
+# source paper's evaluation scale; "continental" is the
+# geo-distributed regime the column sparsifier and the matrix-free
+# Krylov backend exist for.
 SCALES: dict[str, tuple[int, int, int]] = {
     "small": (2, 6, 3),
     "paper": (4, 24, 6),
     "large": (6, 36, 8),
     "xlarge": (8, 64, 12),
+    "continental": (32, 512, 24),
+}
+
+# Fraction of (l, v) pairs with a finite SLA coefficient.  Continental
+# deployments are sparse by construction — most locations can only be
+# served within their SLA by a handful of nearby centers.
+SCALE_DENSITY: dict[str, float] = {
+    "small": 1.0,
+    "paper": 1.0,
+    "large": 1.0,
+    "xlarge": 0.25,
+    "continental": 0.06,
+}
+
+# The baseline and candidate (kkt_backend, sparsify_columns) pairs each
+# scale compares on its warm path.
+SCALE_COMPARISON: dict[str, tuple[tuple[str, str], tuple[str, str]]] = {
+    "small": (("sparse", "off"), ("banded", "off")),
+    "paper": (("sparse", "off"), ("banded", "off")),
+    "large": (("sparse", "off"), ("banded", "off")),
+    # The acceptance comparison: pruning + matrix-free Krylov must beat
+    # the dense direct-banded path once the pair grid is mostly unusable.
+    "xlarge": (("banded", "off"), ("krylov", "on")),
+    # A dense reference is intractable here (a 16384-wide block per
+    # period); the sparsified banded backend is the exact reference.
+    "continental": (("banded", "on"), ("krylov", "on")),
 }
 
 # Scales where the cold (rebuild-everything) path is impractically slow:
 # one sparse factorization at xlarge takes tens of seconds.
-_SKIP_COLD = frozenset({"xlarge"})
+_SKIP_COLD = frozenset({"xlarge", "continental"})
+
+# Continental warm steps are seconds each; fewer suffice for a stable mean.
+_CONTINENTAL_STEPS = 6
 
 
-def _instance(L: int, V: int, seed: int) -> DSPPInstance:
+def _instance(
+    L: int, V: int, seed: int, usable_density: float = 1.0
+) -> DSPPInstance:
     rng = np.random.default_rng(seed)
+    sla = rng.uniform(0.05, 0.2, size=(L, V))
+    if usable_density < 1.0:
+        pruned = rng.random(size=(L, V)) >= usable_density
+        # Instance validation requires every location servable.
+        for v in range(V):
+            if pruned[:, v].all():
+                pruned[int(rng.integers(0, L)), v] = False
+        sla = np.where(pruned, np.inf, sla)
     return DSPPInstance(
         datacenters=tuple(f"d{i}" for i in range(L)),
         locations=tuple(f"v{i}" for i in range(V)),
-        sla_coefficients=rng.uniform(0.05, 0.2, size=(L, V)),
+        sla_coefficients=sla,
         reconfiguration_weights=rng.uniform(0.5, 2.0, size=L),
         capacities=np.full(L, 1e5),
         initial_state=np.zeros((L, V)),
@@ -90,6 +140,28 @@ def _observations(
     return demand, prices
 
 
+def _scale_steps(name: str, num_steps: int) -> int:
+    return min(num_steps, _CONTINENTAL_STEPS) if name == "continental" else num_steps
+
+
+def _null_scale_entry(name: str, num_steps: int) -> dict[str, object]:
+    """The uniform per-scale schema, every measurement nulled out."""
+    L, V, W = SCALES[name]
+    return {
+        "L": L,
+        "V": V,
+        "window": W,
+        "num_steps": _scale_steps(name, num_steps),
+        "usable_density": SCALE_DENSITY[name],
+        "cold_step_ms": None,
+        "warm_step_ms": None,
+        "speedup": None,
+        "max_objective_rel_diff": None,
+        "solutions_match": None,
+        "backends": None,
+    }
+
+
 def bench_mpc(name: str, num_steps: int, seed: int = 0) -> dict[str, object]:
     """Cold vs workspace re-solves over one receding-horizon sequence.
 
@@ -100,7 +172,7 @@ def bench_mpc(name: str, num_steps: int, seed: int = 0) -> dict[str, object]:
     period, warm-started from the previous solution vector.
     """
     L, V, W = SCALES[name]
-    instance = _instance(L, V, seed)
+    instance = _instance(L, V, seed, usable_density=SCALE_DENSITY[name])
     demand, prices = _observations(L, V, num_steps + W, seed + 1)
     workspace = DSPPWorkspace()
     state = instance.initial_state
@@ -131,10 +203,6 @@ def bench_mpc(name: str, num_steps: int, seed: int = 0) -> dict[str, object]:
     warm_ms = 1e3 * float(np.mean(warm_times[1:]))
     worst_objective = float(np.max(objective_rel_diff))
     return {
-        "L": L,
-        "V": V,
-        "window": W,
-        "num_steps": num_steps,
         "cold_step_ms": round(cold_ms, 3),
         "warm_step_ms": round(warm_ms, 3),
         "speedup": round(cold_ms / warm_ms, 2),
@@ -144,7 +212,7 @@ def bench_mpc(name: str, num_steps: int, seed: int = 0) -> dict[str, object]:
 
 
 def _warm_backend_loop(
-    name: str, num_steps: int, backend: str, seed: int = 0
+    name: str, num_steps: int, backend: str, sparsify: str = "auto", seed: int = 0
 ) -> tuple[float, np.ndarray]:
     """One closed-loop MPC sequence through a persistent workspace.
 
@@ -152,10 +220,12 @@ def _warm_backend_loop(
     full first solve, is excluded) and the per-step objectives.
     """
     L, V, W = SCALES[name]
-    instance = _instance(L, V, seed)
+    instance = _instance(L, V, seed, usable_density=SCALE_DENSITY[name])
     demand, prices = _observations(L, V, num_steps + W, seed + 1)
     workspace = DSPPWorkspace()
-    settings = QPSettings(early_polish=True, kkt_backend=backend)
+    settings = QPSettings(
+        early_polish=True, kkt_backend=backend, sparsify_columns=sparsify
+    )
     current = instance
     times: list[float] = []
     objectives: list[float] = []
@@ -176,29 +246,48 @@ def _warm_backend_loop(
 
 
 def bench_backends(name: str, num_steps: int, seed: int = 0) -> dict[str, object]:
-    """Warm-step comparison of the sparse and banded KKT backends.
+    """Warm-step comparison of the scale's baseline vs candidate backend.
 
     Both loops consume the same instance and observation streams; each
     advances along its own closed-loop trajectory (the trajectories agree
     to solver tolerance, which the objective divergence column certifies).
     """
-    sparse_ms, sparse_obj = _warm_backend_loop(name, num_steps, "sparse", seed)
-    banded_ms, banded_obj = _warm_backend_loop(name, num_steps, "banded", seed)
+    (base_backend, base_sparsify), (cand_backend, cand_sparsify) = SCALE_COMPARISON[
+        name
+    ]
+    base_s, base_obj = _warm_backend_loop(
+        name, num_steps, base_backend, base_sparsify, seed
+    )
+    cand_s, cand_obj = _warm_backend_loop(
+        name, num_steps, cand_backend, cand_sparsify, seed
+    )
     worst = float(
-        np.max(np.abs(sparse_obj - banded_obj) / np.maximum(np.abs(sparse_obj), 1e-12))
+        np.max(np.abs(base_obj - cand_obj) / np.maximum(np.abs(base_obj), 1e-12))
     )
     return {
-        "sparse_warm_step_ms": round(1e3 * sparse_ms, 3),
-        "banded_warm_step_ms": round(1e3 * banded_ms, 3),
-        "banded_speedup": round(sparse_ms / banded_ms, 2),
+        "baseline": {
+            "backend": base_backend,
+            "sparsify": base_sparsify,
+            "warm_step_ms": round(1e3 * base_s, 3),
+        },
+        "candidate": {
+            "backend": cand_backend,
+            "sparsify": cand_sparsify,
+            "warm_step_ms": round(1e3 * cand_s, 3),
+        },
+        "speedup": round(base_s / cand_s, 2),
         "max_objective_rel_diff": worst,
         "solutions_match": bool(worst <= 1e-9),
     }
 
 
 def bench_ruiz(repeats: int, seed: int = 0) -> dict[str, object]:
-    """Time Ruiz equilibration at paper scale (the satellite optimisation
-    reuses post-scale column norms across iterations)."""
+    """Time Ruiz equilibration at paper scale, dense vs pruned layout.
+
+    The dense figure tracks the data-array rewrite of the equilibrator;
+    the pruned figure shows the additional win from running it over the
+    sparsified column space (an xlarge-density paper-scale instance).
+    """
     L, V, W = SCALES["paper"]
     instance = _instance(L, V, seed)
     rng = np.random.default_rng(seed + 1)
@@ -211,12 +300,24 @@ def bench_ruiz(repeats: int, seed: int = 0) -> dict[str, object]:
     for _ in range(repeats):
         _qp._ruiz_equilibrate(problem, iterations)
     elapsed = time.perf_counter() - start
+
+    pruned_instance = _instance(L, V, seed + 2, usable_density=0.25)
+    structure = build_qp_structure(pruned_instance, W, elastic=False, sparsify=True)
+    q, l, u = build_qp_vectors(structure, pruned_instance, demand, prices)
+    pruned_problem = QPProblem.build(structure.P, q, structure.A, l, u)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        _qp._ruiz_equilibrate(pruned_problem, iterations)
+    pruned_elapsed = time.perf_counter() - start
     return {
         "n": problem.num_variables,
         "m": problem.num_constraints,
+        "n_pruned": pruned_problem.num_variables,
+        "m_pruned": pruned_problem.num_constraints,
         "repeats": repeats,
         "scaling_iterations": iterations,
         "ms_per_equilibration": round(1e3 * elapsed / repeats, 3),
+        "ms_per_equilibration_pruned": round(1e3 * pruned_elapsed / repeats, 3),
     }
 
 
@@ -253,12 +354,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=("both", "sparse", "banded"),
+        choices=("both", "sparse", "banded", "krylov"),
         default="both",
-        help="KKT backend(s) for the warm comparison (default: both)",
+        help="KKT backend(s) for the warm comparison: 'both' runs each "
+        "scale's baseline-vs-candidate pair (default)",
+    )
+    parser.add_argument(
+        "--sparsify",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="column sparsification for a pinned --backend run",
+    )
+    parser.add_argument(
+        "--sla-density",
+        type=float,
+        default=None,
+        help="override the usable-pair fraction at every scale (0 < d <= 1)",
     )
     parser.add_argument("--out", default=None, help="output path (default: repo root)")
     args = parser.parse_args(argv)
+    if args.sla_density is not None and not 0.0 < args.sla_density <= 1.0:
+        parser.error(f"--sla-density must be in (0, 1], got {args.sla_density}")
+    if args.sla_density is not None:
+        for scale_name in SCALE_DENSITY:
+            SCALE_DENSITY[scale_name] = args.sla_density
 
     out = (
         Path(args.out)
@@ -272,43 +391,76 @@ def main(argv: list[str] | None = None) -> int:
         "benchmark": "persistent QP workspace + KKT backends vs cold MPC re-solves",
         "quick": bool(args.quick),
         "backend": args.backend,
+        "sparsify": args.sparsify,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "scales": {},
+        "scaling_curve": [],
     }
+    curve: list[dict[str, object]] = results["scaling_curve"]  # type: ignore[assignment]
     for name in scales:
-        entry: dict[str, object]
+        L, V, W = SCALES[name]
+        steps = _scale_steps(name, num_steps)
+        entry = _null_scale_entry(name, num_steps)
         if name in _SKIP_COLD:
-            L, V, W = SCALES[name]
-            entry = {"L": L, "V": V, "window": W, "num_steps": num_steps}
-            print(f"== mpc {name} ({num_steps} steps, cold path skipped)")
+            print(f"== mpc {name} ({steps} steps, cold path skipped)")
         else:
-            print(f"== mpc {name} ({num_steps} steps)")
-            entry = bench_mpc(name, num_steps)
+            print(f"== mpc {name} ({steps} steps)")
+            entry.update(bench_mpc(name, steps))
             print(
                 f"   cold {entry['cold_step_ms']} ms/step, "
                 f"warm {entry['warm_step_ms']} ms/step, "
                 f"speedup {entry['speedup']}x, match={entry['solutions_match']}"
             )
         if args.backend == "both":
-            backends = bench_backends(name, num_steps)
+            backends = bench_backends(name, steps)
             entry["backends"] = backends
+            base = backends["baseline"]
+            cand = backends["candidate"]
             print(
-                f"   backends: sparse {backends['sparse_warm_step_ms']} ms/step, "
-                f"banded {backends['banded_warm_step_ms']} ms/step, "
-                f"banded speedup {backends['banded_speedup']}x, "
+                f"   backends: {base['backend']}/{base['sparsify']} "
+                f"{base['warm_step_ms']} ms/step vs "
+                f"{cand['backend']}/{cand['sparsify']} "
+                f"{cand['warm_step_ms']} ms/step, "
+                f"speedup {backends['speedup']}x, "
                 f"match={backends['solutions_match']}"
             )
+            curve_ms = cand["warm_step_ms"]
+            curve_variant = cand
         else:
-            warm_ms, _ = _warm_backend_loop(name, num_steps, args.backend)
-            entry["backends"] = {
-                f"{args.backend}_warm_step_ms": round(1e3 * warm_ms, 3)
+            warm_s, _ = _warm_backend_loop(name, steps, args.backend, args.sparsify)
+            variant = {
+                "backend": args.backend,
+                "sparsify": args.sparsify,
+                "warm_step_ms": round(1e3 * warm_s, 3),
             }
-            print(f"   {args.backend} warm {round(1e3 * warm_ms, 3)} ms/step")
+            entry["backends"] = {
+                "baseline": None,
+                "candidate": variant,
+                "speedup": None,
+                "max_objective_rel_diff": None,
+                "solutions_match": None,
+            }
+            print(f"   {args.backend} warm {variant['warm_step_ms']} ms/step")
+            curve_ms = variant["warm_step_ms"]
+            curve_variant = variant
+        curve.append(
+            {
+                "scale": name,
+                "lvw": L * V * W,
+                "backend": curve_variant["backend"],
+                "sparsify": curve_variant["sparsify"],
+                "usable_density": SCALE_DENSITY[name],
+                "warm_step_ms": curve_ms,
+            }
+        )
         results["scales"][name] = entry  # type: ignore[index]
     print("== ruiz equilibration (paper scale)")
     results["ruiz"] = bench_ruiz(repeats=3 if args.quick else 10)
-    print(f"   {results['ruiz']['ms_per_equilibration']} ms")  # type: ignore[index]
+    print(
+        f"   dense {results['ruiz']['ms_per_equilibration']} ms, "  # type: ignore[index]
+        f"pruned {results['ruiz']['ms_per_equilibration_pruned']} ms"  # type: ignore[index]
+    )
     print("== parallel sweep (fig9 miniature)")
     results["sweep"] = bench_sweep(args.quick)
     print(
@@ -322,13 +474,13 @@ def main(argv: list[str] | None = None) -> int:
 
     scale_entries = results["scales"]  # type: ignore[assignment]
     paper = scale_entries.get("paper")  # type: ignore[union-attr]
-    ok = bool(paper and paper.get("solutions_match", True))
+    ok = bool(paper and paper.get("solutions_match") is not False)
     for name, entry in scale_entries.items():  # type: ignore[union-attr]
-        backends = entry.get("backends", {})
-        if "solutions_match" in backends:
+        backends = entry.get("backends") or {}
+        if backends.get("solutions_match") is not None:
             ok = ok and bool(backends["solutions_match"])
-            print(f"{name} banded-vs-sparse speedup: {backends['banded_speedup']}x")
-    if paper:
+            print(f"{name} backend speedup: {backends['speedup']}x")
+    if paper and paper.get("speedup") is not None:
         print(f"paper-scale warm speedup: {paper['speedup']}x")
     return 0 if ok else 1
 

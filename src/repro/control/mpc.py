@@ -53,7 +53,7 @@ class MPCConfig:
             weight change) rebuilds.  See ``docs/PERFORMANCE.md``.
         kkt_backend: convenience override of
             :attr:`~repro.solvers.qp.QPSettings.kkt_backend` (``"auto"``,
-            ``"sparse"`` or ``"banded"``).  ``None`` defers to
+            ``"sparse"``, ``"banded"`` or ``"krylov"``).  ``None`` defers to
             ``qp_settings`` (or the solver default).  Set on top of explicit
             ``qp_settings``, it replaces just the backend field.
     """
@@ -76,9 +76,10 @@ class MPCConfig:
             "auto",
             "sparse",
             "banded",
+            "krylov",
         ):
             raise ValueError(
-                f"kkt_backend must be 'auto', 'sparse' or 'banded', "
+                f"kkt_backend must be 'auto', 'sparse', 'banded' or 'krylov', "
                 f"got {self.kkt_backend!r}"
             )
 

@@ -19,6 +19,7 @@ from repro.core.matrices import (
     StackedQPStructure,
     build_qp_structure,
     build_qp_vectors,
+    resolve_sparsify,
     structure_fingerprint,
 )
 from repro.core.state import Trajectory
@@ -107,14 +108,21 @@ class DSPPWorkspace:
             settings if settings is not None else QPSettings(early_polish=True)
         )
 
-        fingerprint = structure_fingerprint(instance, T, elastic)
+        # Column sparsification is resolved per solve against the *current*
+        # instance (the exactness precondition involves the initial state);
+        # the resolved flag is part of the fingerprint, so a solve whose
+        # resolution flips never reuses the other layout's structure.
+        sparsify = resolve_sparsify(instance, effective_settings.sparsify_columns)
+        fingerprint = structure_fingerprint(instance, T, elastic, sparsify=sparsify)
         reusable = (
             self._structure is not None
             and self._structure.fingerprint == fingerprint
             and self._settings == effective_settings
         )
         if not reusable:
-            self._structure = build_qp_structure(instance, T, elastic=elastic)
+            self._structure = build_qp_structure(
+                instance, T, elastic=elastic, sparsify=sparsify
+            )
             self._settings = effective_settings
         structure = self._structure
         assert structure is not None
@@ -243,8 +251,11 @@ def solve_dspp(
         )
     else:
         elastic = demand_slack_penalty is not None
+        sparsify = resolve_sparsify(
+            instance, (settings or QPSettings()).sparsify_columns
+        )
         structure = build_qp_structure(
-            instance, np.asarray(demand).shape[1], elastic=elastic
+            instance, np.asarray(demand).shape[1], elastic=elastic, sparsify=sparsify
         )
         q, l, u = build_qp_vectors(
             structure, instance, demand, prices, demand_slack_penalty=demand_slack_penalty

@@ -94,12 +94,44 @@ class DSPPInstance:
 
         This is the coefficient of ``x^{lv}`` in the demand constraint
         ``sum_l x^{lv} / a_lv >= D^v`` (eq. 12).
+
+        Memoized on the (frozen) instance and returned read-only: it is
+        hit once per period by ``build_qp_vectors`` and by every routing /
+        audit layer, so recomputing the inf-guard on each access was pure
+        waste.  Derived copies (:meth:`with_initial_state`,
+        :meth:`with_capacities`) share the cache — the SLA matrix is
+        immutable and identical across them.
         """
-        # Validation guarantees a_lv > 0 (inf allowed); 1/inf is an exact
-        # 0.0 with no FP exception, so no errstate suppression is needed.
-        inverse = 1.0 / self.sla_coefficients
-        inverse[~np.isfinite(self.sla_coefficients)] = 0.0
-        return inverse
+        cached = self.__dict__.get("_demand_coefficients")
+        if cached is None:
+            # Validation guarantees a_lv > 0 (inf allowed); 1/inf is an
+            # exact 0.0 with no FP exception, so no errstate suppression
+            # is needed.
+            inverse = 1.0 / self.sla_coefficients
+            inverse[~np.isfinite(self.sla_coefficients)] = 0.0
+            inverse.setflags(write=False)
+            object.__setattr__(self, "_demand_coefficients", inverse)
+            cached = inverse
+        return cached  # type: ignore[no-any-return]
+
+    @property
+    def usable_pairs(self) -> np.ndarray:
+        """Boolean mask of SLA-feasible pairs, shape ``(L, V)``, read-only.
+
+        ``usable_pairs[l, v]`` is True exactly where ``a_lv`` is finite —
+        equivalently where :attr:`demand_coefficients` is nonzero.  The
+        column sparsification of :func:`repro.core.matrices.build_qp_structure`
+        prunes the variables of unusable pairs; the mask is memoized here
+        (and propagated to derived copies) so structure fingerprinting
+        never re-scans the SLA matrix.
+        """
+        cached = self.__dict__.get("_usable_pairs")
+        if cached is None:
+            mask = np.isfinite(self.sla_coefficients)
+            mask.setflags(write=False)
+            object.__setattr__(self, "_usable_pairs", mask)
+            cached = mask
+        return cached  # type: ignore[no-any-return]
 
     def _compute_structure_key(self) -> tuple[object, ...]:
         """Hash the structure-relevant fields (see :meth:`structure_key`)."""
@@ -127,10 +159,15 @@ class DSPPInstance:
         return cached  # type: ignore[no-any-return]
 
     def _with_propagated_key(self, derived: "DSPPInstance") -> "DSPPInstance":
-        """Carry the memoized structure key onto a derived copy."""
-        cached = self.__dict__.get("_structure_key")
-        if cached is not None:
-            object.__setattr__(derived, "_structure_key", cached)
+        """Carry the memoized structure-derived caches onto a derived copy.
+
+        Safe because the propagating constructors only replace fields the
+        caches do not depend on (state, capacities) — never the SLA matrix.
+        """
+        for key in ("_structure_key", "_demand_coefficients", "_usable_pairs"):
+            cached = self.__dict__.get(key)
+            if cached is not None:
+                object.__setattr__(derived, key, cached)
         return derived
 
     def with_initial_state(self, state: np.ndarray) -> "DSPPInstance":

@@ -41,6 +41,7 @@ __all__ = [
     "build_qp_structure",
     "build_qp_vectors",
     "build_stacked_qp",
+    "resolve_sparsify",
     "structure_fingerprint",
 ]
 
@@ -49,9 +50,16 @@ __all__ = [
 class PairIndexer:
     """Flat indexing of (data center, location) pairs and time blocks.
 
-    Layout: pair ``(l, v)`` sits at flat index ``l * V + v``; time block
-    ``t`` of the ``x`` variables starts at ``t * L * V``; the ``u`` blocks
-    follow all ``x`` blocks.
+    Dense layout: pair ``(l, v)`` sits at flat index ``l * V + v``; time
+    block ``t`` of the ``x`` variables starts at ``t * L * V``; the ``u``
+    blocks follow all ``x`` blocks.
+
+    Sparsified layout (``active_pairs`` set): only the SLA-usable pairs
+    carry variables.  Within a period the active pairs keep their dense
+    pair-major *order*, but their flat positions are compacted to
+    ``0..nnz-1``, so the closed-form per-pair index helpers are
+    unavailable; :meth:`unstack` scatters solutions back to the dense
+    ``(T, L, V)`` layout with exact zeros at pruned pairs.
     """
 
     num_datacenters: int
@@ -59,10 +67,26 @@ class PairIndexer:
     num_steps: int
 
     elastic: bool = False
+    active_pairs: np.ndarray | None = None
 
     @property
     def pairs_per_step(self) -> int:
-        return self.num_datacenters * self.num_locations
+        """Variables per ``x_t`` block: all pairs, or only the active ones."""
+        if self.active_pairs is None:
+            return self.num_datacenters * self.num_locations
+        return int(np.count_nonzero(self.active_pairs))
+
+    @property
+    def active_indices(self) -> np.ndarray:
+        """Dense flat pair indices of the active pairs, ``(pairs_per_step,)``."""
+        cached = self.__dict__.get("_active_indices")
+        if cached is None:
+            if self.active_pairs is None:
+                cached = np.arange(self.num_datacenters * self.num_locations)
+            else:
+                cached = np.nonzero(self.active_pairs)[0]
+            object.__setattr__(self, "_active_indices", cached)
+        return cached  # type: ignore[no-any-return]
 
     @property
     def num_variables(self) -> int:
@@ -71,7 +95,15 @@ class PairIndexer:
             base += self.num_steps * self.num_locations
         return base
 
+    def _require_dense(self) -> None:
+        if self.active_pairs is not None:
+            raise ValueError(
+                "per-pair flat indices are only defined for the dense layout; "
+                "this indexer is column-sparsified (use unstack/active_indices)"
+            )
+
     def pair(self, datacenter: int, location: int) -> int:
+        self._require_dense()
         return datacenter * self.num_locations + location
 
     def x_index(self, step: int, datacenter: int, location: int) -> int:
@@ -94,13 +126,26 @@ class PairIndexer:
         """Split a stacked solution into ``(x, u, w)`` arrays.
 
         ``x`` and ``u`` have shape ``(T, L, V)``; ``w`` (the demand slack)
-        has shape ``(T, V)`` and is all zeros for inelastic layouts.
+        has shape ``(T, V)`` and is all zeros for inelastic layouts.  For
+        a sparsified layout the pruned entries come back as *exact* 0.0 —
+        the unique optimum there (any holding is pure cost) — which keeps
+        closed-loop state advances prunable period after period.
         """
         T = self.num_steps
         L, V = self.num_datacenters, self.num_locations
-        half = T * L * V
-        x = z[:half].reshape(T, L, V).copy()
-        u = z[half : 2 * half].reshape(T, L, V).copy()
+        pairs = self.pairs_per_step
+        half = T * pairs
+        if self.active_pairs is None:
+            x = z[:half].reshape(T, L, V).copy()
+            u = z[half : 2 * half].reshape(T, L, V).copy()
+        else:
+            idx = self.active_indices
+            x = np.zeros((T, L * V))
+            x[:, idx] = z[:half].reshape(T, pairs)
+            x = x.reshape(T, L, V)
+            u = np.zeros((T, L * V))
+            u[:, idx] = z[half : 2 * half].reshape(T, pairs)
+            u = u.reshape(T, L, V)
         if self.elastic:
             w = z[2 * half :].reshape(T, V).copy()
         else:
@@ -129,9 +174,16 @@ class QPBlockView:
         elastic: whether demand-slack variables ``w_t`` exist.
         server_size: the capacity-row coefficient ``s``.
         demand_coeff: demand-row coefficients ``1/a_lv`` (0 for unusable
-            pairs), shape ``(L, V)``.
+            pairs), shape ``(L, V)`` — always dense, regardless of
+            sparsification.
         control_hessian: diagonal of ``P`` over each ``u_t`` block
-            (``2 c_l`` pair-major), shape ``(L*V,)``.
+            (``2 c_l`` over the period's pairs), shape ``(pairs_per_step,)``.
+        active_pairs: flat boolean mask of the pairs carrying variables
+            (``None`` for the dense layout), shape ``(L*V,)``.  The pair
+            coordinate helpers (:attr:`pair_datacenter`,
+            :attr:`pair_location`, :attr:`active_demand_coeff`) are valid
+            for both layouts, which is what lets the banded backend
+            assemble its blocks in reduced coordinates unconditionally.
     """
 
     num_steps: int
@@ -141,10 +193,52 @@ class QPBlockView:
     server_size: float
     demand_coeff: np.ndarray
     control_hessian: np.ndarray
+    active_pairs: np.ndarray | None = None
 
     @property
     def pairs_per_step(self) -> int:
-        return self.num_datacenters * self.num_locations
+        if self.active_pairs is None:
+            return self.num_datacenters * self.num_locations
+        return int(np.count_nonzero(self.active_pairs))
+
+    @property
+    def active_indices(self) -> np.ndarray:
+        """Dense flat pair indices of the active pairs, ``(pairs_per_step,)``."""
+        cached = self.__dict__.get("_active_indices")
+        if cached is None:
+            if self.active_pairs is None:
+                cached = np.arange(self.num_datacenters * self.num_locations)
+            else:
+                cached = np.nonzero(self.active_pairs)[0]
+            object.__setattr__(self, "_active_indices", cached)
+        return cached  # type: ignore[no-any-return]
+
+    @property
+    def pair_datacenter(self) -> np.ndarray:
+        """Data-center coordinate of each active pair, ``(pairs_per_step,)``."""
+        cached = self.__dict__.get("_pair_datacenter")
+        if cached is None:
+            cached = self.active_indices // self.num_locations
+            object.__setattr__(self, "_pair_datacenter", cached)
+        return cached  # type: ignore[no-any-return]
+
+    @property
+    def pair_location(self) -> np.ndarray:
+        """Location coordinate of each active pair, ``(pairs_per_step,)``."""
+        cached = self.__dict__.get("_pair_location")
+        if cached is None:
+            cached = self.active_indices % self.num_locations
+            object.__setattr__(self, "_pair_location", cached)
+        return cached  # type: ignore[no-any-return]
+
+    @property
+    def active_demand_coeff(self) -> np.ndarray:
+        """``demand_coeff`` gathered onto the active pairs, ``(pairs_per_step,)``."""
+        cached = self.__dict__.get("_active_demand_coeff")
+        if cached is None:
+            cached = self.demand_coeff.reshape(-1)[self.active_indices]
+            object.__setattr__(self, "_active_demand_coeff", cached)
+        return cached  # type: ignore[no-any-return]
 
     @property
     def num_x(self) -> int:
@@ -305,7 +399,7 @@ class StackedQPStructure:
 
 
 def structure_fingerprint(
-    instance: DSPPInstance, num_steps: int, elastic: bool
+    instance: DSPPInstance, num_steps: int, elastic: bool, sparsify: bool = False
 ) -> tuple[object, ...]:
     """Hashable identity of the ``(P, A)`` structure a solve would build.
 
@@ -316,16 +410,77 @@ def structure_fingerprint(
     so quota swaps and receding-horizon state advances are vector-only
     updates.
 
+    ``sparsify`` — and, when set, the usable-pair mask itself — is part of
+    the identity, so a sparsified structure can never collide with the
+    dense structure of the same instance in a workspace cache.
+
     The instance-side material is memoized on the (frozen) instance via
     :meth:`DSPPInstance.structure_key`, so a receding-horizon loop that
     advances the state every period never re-hashes the SLA matrix.
     """
     L, V, size, recon_bytes, sla_bytes = instance.structure_key()
-    return (L, V, int(num_steps), bool(elastic), size, recon_bytes, sla_bytes)
+    mask_bytes = instance.usable_pairs.tobytes() if sparsify else None
+    return (
+        L,
+        V,
+        int(num_steps),
+        bool(elastic),
+        size,
+        recon_bytes,
+        sla_bytes,
+        bool(sparsify),
+        mask_bytes,
+    )
+
+
+def resolve_sparsify(instance: DSPPInstance, mode: str) -> bool:
+    """Decide whether column sparsification applies to ``instance``.
+
+    Pruning the variables of SLA-unusable pairs is *exact* only when the
+    initial state is identically zero there: the strictly convex
+    reconfiguration cost then forces ``u = x = 0`` at every pruned pair in
+    the dense optimum, and :meth:`PairIndexer.unstack` writes those exact
+    zeros back, so closed-loop state advances stay prunable forever.
+
+    Args:
+        instance: the problem data of the solve about to run.
+        mode: :attr:`repro.solvers.qp.QPSettings.sparsify_columns` —
+            ``"auto"`` prunes when exact and falls back to dense otherwise;
+            ``"on"`` demands pruning; ``"off"`` never prunes.
+
+    Returns:
+        Whether to build the sparsified structure.
+
+    Raises:
+        ValueError: on an unknown mode; with ``mode="on"`` when the
+            instance has no prunable pair support for an exact reduction
+            (nonzero initial state at an unusable pair).
+    """
+    if mode not in ("auto", "on", "off"):
+        raise ValueError(f"sparsify_columns must be 'auto', 'on' or 'off', got {mode!r}")
+    if mode == "off":
+        return False
+    usable = instance.usable_pairs
+    if bool(usable.all()):
+        # Nothing to prune: the dense layout *is* the reduced layout, so
+        # keep the (bitwise-identical) dense code path even under "on".
+        return False
+    if np.count_nonzero(instance.initial_state[~usable]):
+        if mode == "on":
+            raise ValueError(
+                "sparsify_columns='on' requires a zero initial state at every "
+                "SLA-unusable pair (pruning their columns would otherwise "
+                "change the solution); zero the state or use 'auto'/'off'"
+            )
+        return False
+    return True
 
 
 def build_qp_structure(
-    instance: DSPPInstance, num_steps: int, elastic: bool = False
+    instance: DSPPInstance,
+    num_steps: int,
+    elastic: bool = False,
+    sparsify: bool = False,
 ) -> StackedQPStructure:
     """Assemble the sparse ``P`` and ``A`` for ``num_steps`` future periods.
 
@@ -333,6 +488,12 @@ def build_qp_structure(
         instance: static problem data (state and capacities are unused).
         num_steps: horizon length ``T`` (>= 1).
         elastic: whether demand slack variables are appended.
+        sparsify: prune the columns of SLA-unusable pairs, shrinking every
+            per-period block from ``L*V`` to the number of usable pairs.
+            Callers should gate this through :func:`resolve_sparsify`,
+            which checks the exactness precondition (zero initial state at
+            pruned pairs — enforced again, per solve, by
+            :func:`build_qp_vectors`).
 
     Returns:
         The :class:`StackedQPStructure`.
@@ -345,18 +506,25 @@ def build_qp_structure(
     if T < 1:
         raise ValueError("need at least one future period")
 
+    active = instance.usable_pairs.reshape(-1) if sparsify else None
     indexer = PairIndexer(
-        num_datacenters=L, num_locations=V, num_steps=T, elastic=elastic
+        num_datacenters=L,
+        num_locations=V,
+        num_steps=T,
+        elastic=elastic,
+        active_pairs=active,
     )
     n_pairs = indexer.pairs_per_step
     n_vars = indexer.num_variables
     half = T * n_pairs
     n_slack = T * V if elastic else 0
+    act_idx = indexer.active_indices
 
     # Quadratic cost: u_t' R u_t with R = diag(c_l) per pair -> P_uu = 2R.
     recon = np.repeat(instance.reconfiguration_weights, V)  # (L*V,) pair-major
+    recon_active = recon if active is None else recon[act_idx]
     p_diag = np.concatenate(
-        [np.zeros(half), np.tile(2.0 * recon, T), np.zeros(n_slack)]
+        [np.zeros(half), np.tile(2.0 * recon_active, T), np.zeros(n_slack)]
     )
     P = sp.diags(p_diag, format="csc")
 
@@ -377,23 +545,41 @@ def build_qp_structure(
     demand_row_offset = half
 
     # Demand: sum_l coeff[l, v] * x_t[l, v] (+ w_t[v] if elastic) >= D_t[v].
-    dem_l, dem_v = np.nonzero(coeff > 0.0)
-    row_parts.append(
-        (demand_row_offset + t_idx[:, None] * V + dem_v[None, :]).reshape(-1)
-    )
-    col_parts.append(
-        (t_idx[:, None] * n_pairs + (dem_l * V + dem_v)[None, :]).reshape(-1)
-    )
-    val_parts.append(np.tile(coeff[dem_l, dem_v], T))
+    # The usable pairs (coeff > 0, exact) ARE the active pairs, in the same
+    # pair-major order, so in the sparsified layout the demand columns of
+    # period t are simply the contiguous block t*n_pairs..(t+1)*n_pairs.
+    if active is None:
+        dem_l, dem_v = np.nonzero(coeff > 0.0)
+        row_parts.append(
+            (demand_row_offset + t_idx[:, None] * V + dem_v[None, :]).reshape(-1)
+        )
+        col_parts.append(
+            (t_idx[:, None] * n_pairs + (dem_l * V + dem_v)[None, :]).reshape(-1)
+        )
+        val_parts.append(np.tile(coeff[dem_l, dem_v], T))
+    else:
+        pair_loc = act_idx % V
+        row_parts.append(
+            (demand_row_offset + t_idx[:, None] * V + pair_loc[None, :]).reshape(-1)
+        )
+        col_parts.append(x_all)
+        val_parts.append(np.tile(coeff.reshape(-1)[act_idx], T))
     if elastic:
         row_parts.append(demand_row_offset + np.arange(T * V))
         col_parts.append(2 * half + np.arange(n_slack))
         val_parts.append(np.ones(n_slack))
     capacity_row_offset = demand_row_offset + T * V
 
-    # Capacity: s * sum_v x_t[l, v] <= C_l.  Column (t, l, v) row-major is
-    # exactly the flat x index, so the column array is arange(half).
-    row_parts.append(np.repeat(capacity_row_offset + np.arange(T * L), V))
+    # Capacity: s * sum_v x_t[l, v] <= C_l.  All L rows per period survive
+    # sparsification (a data center whose pairs are all pruned keeps an
+    # empty — vacuous — row, so the row-family offsets never move).
+    if active is None:
+        row_parts.append(np.repeat(capacity_row_offset + np.arange(T * L), V))
+    else:
+        pair_dc = act_idx // V
+        row_parts.append(
+            (capacity_row_offset + t_idx[:, None] * L + pair_dc[None, :]).reshape(-1)
+        )
     col_parts.append(x_all)
     val_parts.append(np.full(half, float(instance.server_size)))
     nonneg_row_offset = capacity_row_offset + T * L
@@ -423,7 +609,8 @@ def build_qp_structure(
         elastic=elastic,
         server_size=float(instance.server_size),
         demand_coeff=coeff,
-        control_hessian=2.0 * recon,
+        control_hessian=2.0 * recon_active,
+        active_pairs=active,
     )
 
     return StackedQPStructure(
@@ -433,7 +620,7 @@ def build_qp_structure(
         demand_row_offset=demand_row_offset,
         capacity_row_offset=capacity_row_offset,
         nonneg_row_offset=nonneg_row_offset,
-        fingerprint=structure_fingerprint(instance, T, elastic),
+        fingerprint=structure_fingerprint(instance, T, elastic, sparsify=sparsify),
         blocks=blocks,
     )
 
@@ -494,12 +681,17 @@ def build_qp_vectors(
     n_vars = indexer.num_variables
     half = T * n_pairs
     n_slack = T * V if indexer.elastic else 0
+    active = indexer.active_pairs
 
     # Linear cost: p_t^l on every x_t[l, v]; the shortfall penalty on slack.
     # ``prices.T`` is horizon-major (T, L); one axis-1 repeat writes every
-    # period's pair-major price block at once.
+    # period's pair-major price block at once (sparsified: a per-pair
+    # data-center gather, same values).
     q = np.zeros(n_vars)
-    q[:half] = np.repeat(prices.T, V, axis=1).reshape(-1)
+    if active is None:
+        q[:half] = np.repeat(prices.T, V, axis=1).reshape(-1)
+    else:
+        q[:half] = prices.T[:, indexer.active_indices // V].reshape(-1)
     if indexer.elastic:
         q[2 * half :] = demand_slack_penalty
 
@@ -513,7 +705,19 @@ def build_qp_vectors(
 
     # Dynamics rhs (equality): x_0 enters the t = 0 block only.
     l_vec[:half] = 0.0
-    l_vec[:n_pairs] = instance.initial_state.reshape(-1)
+    x0_flat = instance.initial_state.reshape(-1)
+    if active is None:
+        l_vec[:n_pairs] = x0_flat
+    else:
+        # Exactness guard, re-checked per solve: pruning is only valid when
+        # the pruned pairs start (and therefore stay) at exactly zero.
+        if np.count_nonzero(x0_flat[~active]):
+            raise ValueError(
+                "sparsified structure with a nonzero initial state at a "
+                "pruned (SLA-unusable) pair; rebuild dense "
+                "(sparsify_columns='off'/'auto') or zero that state"
+            )
+        l_vec[:n_pairs] = x0_flat[indexer.active_indices]
     u_vec[:half] = l_vec[:half]
     # Demand lower bounds, horizon-major: row t*V + v = demand[v, t].
     l_vec[demand_rows] = demand.T.reshape(-1)

@@ -54,6 +54,28 @@ Neither solver ever slices the assembled CSC matrices: all block
 coefficients come from the :class:`~repro.core.matrices.QPBlockView`
 emitted by :func:`~repro.core.matrices.build_qp_structure` (the scaled
 ADMM system additionally uses the cached Ruiz diagonals).
+
+Both solvers work in *pair coordinates*: the per-period block width is
+``view.pairs_per_step``, which under column sparsification (structures
+built with ``sparsify=True``) is the number of SLA-usable pairs rather
+than ``L * V``.  :class:`BandedKKTSolver` assembles its condensed blocks
+directly in the reduced coordinates through precomputed coupling
+patterns (pairs sharing a location / a data center);
+:class:`BandedActiveSetSystem` scatters the reduced problem onto the
+dense grid — pruned pairs pinned at their unique optimal value, zero —
+and gathers the solution back on exit.
+
+:class:`BandedKKTSolver` additionally supports ``mode="krylov"``: the
+per-period Cholesky *factors* are kept (no explicit inverses) and the
+condensed state system is solved matrix-free with preconditioned
+conjugate gradients, the block recursion itself acting as the
+preconditioner.  In float64 the preconditioner is exact, so PCG is a
+one/two-iteration certificate; with ``mixed_precision=True`` the factors
+are float32, PCG performs the float64 correction, and each solve is
+accepted only if its refined KKT residual passes a certificate — on
+failure (or float32 Cholesky breakdown) the solver refactorizes in
+float64 and records the event in
+:attr:`BandedKKTSolver.precision_fallbacks`.
 """
 
 from __future__ import annotations
@@ -62,6 +84,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.linalg as sla
+import scipy.sparse as sp
 from scipy.linalg.blas import dsymv
 
 import repro.sanitize as sanitize
@@ -90,6 +113,18 @@ _MIN_AUTO_PAIRS = 64
 _KKT_REFINE_STEPS = 3
 _KKT_REFINE_TOL = 1e-12
 
+# PCG over the condensed state system (``mode="krylov"``).  With float64
+# factors the recursion preconditioner is exact, so the loop terminates
+# after one iteration; float32 factors need the iteration headroom.
+_PCG_TOL = 1e-13
+_PCG_MAX_ITERS = 50
+
+# Mixed-precision acceptance: a float32-factored solve is kept only when
+# its refined relative KKT residual passes this certificate, otherwise
+# the solver demotes itself to float64 (tests monkeypatch this negative
+# to force the fallback path deterministically).
+_MIXED_CERT_TOL = 1e-9
+
 
 def use_banded_backend(view: QPBlockView) -> bool:
     """The ``kkt_backend="auto"`` dispatch rule.
@@ -105,6 +140,37 @@ def use_banded_backend(view: QPBlockView) -> bool:
     )
 
 
+def _coupling_pattern(
+    group: np.ndarray, num_groups: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """All ordered index pairs ``(i, j)`` with ``group[i] == group[j]``.
+
+    The demand (capacity) rows couple exactly the pairs sharing a
+    location (data center); the returned index lists scatter those
+    rank-one couplings into a dense per-period block.  Within one family
+    the flat indices ``i * n + j`` are unique — two distinct pairs share
+    at most one location and one data center — so fancy-indexed ``+=``
+    accumulates correctly.
+    """
+    order = np.argsort(group, kind="stable")
+    counts = np.bincount(group, minlength=num_groups)
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    start = 0
+    for g in range(num_groups):
+        k = int(counts[g])
+        if k == 0:
+            continue
+        members = order[start : start + k]
+        start += k
+        rows_parts.append(np.repeat(members, k))
+        cols_parts.append(np.tile(members, k))
+    if not rows_parts:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    return np.concatenate(rows_parts), np.concatenate(cols_parts)
+
+
 class BandedKKTSolver:
     """Block-tridiagonal factorization of the scaled ADMM KKT system.
 
@@ -114,7 +180,9 @@ class BandedKKTSolver:
     stacked right-hand side ``[rhs_x; rhs_nu]`` to ``[x; nu]``.
 
     Args:
-        view: per-period block view of the structure.
+        view: per-period block view of the structure (dense or reduced
+            pair layout; the blocks are assembled in whatever coordinates
+            the view carries).
         scaled: the Ruiz-scaled problem (used for its diagonal ``P`` and
             for sparse matvecs in the right-hand-side condensation and
             refinement — never sliced).
@@ -122,9 +190,15 @@ class BandedKKTSolver:
         e: Ruiz row scaling ``E`` diagonal, shape ``(m,)``.
         sigma: ADMM regularization.
         rho_vec: per-constraint step sizes, shape ``(m,)``.
+        mode: ``"banded"`` (explicit block inverses, BLAS-2 sweeps) or
+            ``"krylov"`` (Cholesky factors only, matrix-free PCG).
+        mixed_precision: factorize in float32 (``mode="krylov"`` only);
+            every solve is certified against the full KKT residual and
+            the solver demotes itself to float64 on failure.
 
     Raises:
-        ValueError: if the view's dimensions do not match the problem.
+        ValueError: if the view's dimensions do not match the problem or
+            the mode combination is invalid.
     """
 
     @check_shapes("d:(n,)", "e:(m,)", "rho_vec:(m,)")
@@ -136,7 +210,13 @@ class BandedKKTSolver:
         e: np.ndarray,
         sigma: float,
         rho_vec: np.ndarray,
+        mode: str = "banded",
+        mixed_precision: bool = False,
     ) -> None:
+        if mode not in ("banded", "krylov"):
+            raise ValueError(f"mode must be 'banded' or 'krylov', got {mode!r}")
+        if mixed_precision and mode != "krylov":
+            raise ValueError("mixed_precision requires mode='krylov'")
         n = view.num_variables
         m = view.num_constraints
         if scaled.num_variables != n or scaled.num_constraints != m:
@@ -148,7 +228,7 @@ class BandedKKTSolver:
         T = view.num_steps
         L = view.num_datacenters
         V = view.num_locations
-        LV = view.pairs_per_step
+        LV = view.pairs_per_step  # reduced width under sparsification
         half = view.num_x
         elastic = view.elastic
 
@@ -160,6 +240,14 @@ class BandedKKTSolver:
         self._num_steps = T
         self._lv = LV
         self._elastic = elastic
+        self._mode = mode
+
+        # Pair coordinates: valid for both the dense and reduced layouts.
+        pair_loc = view.pair_location
+        pair_dc = view.pair_datacenter
+        coeff_p = view.active_demand_coeff
+        self._pair_loc = pair_loc
+        self._pair_dc = pair_dc
 
         # Family-major reshapes of the diagonal scalings.
         d_x = d[:half].reshape(T, LV)
@@ -173,15 +261,18 @@ class BandedKKTSolver:
         r_dem = r[view.demand_row_offset : view.capacity_row_offset].reshape(T, V)
         r_cap = r[view.capacity_row_offset : view.nonneg_row_offset].reshape(T, L)
         r_non = r[view.nonneg_row_offset : view.nonneg_row_offset + half].reshape(T, LV)
+        self._r_dem = r_dem
+        self._r_cap = r_cap
 
         # Scaled constraint coefficients, straight from the block view.
-        coeff = view.demand_coeff  # (L, V)
         a_dyn_x = e_dyn * d_x
         a_dyn_u = -e_dyn * d_u
         a_dyn_xp = np.zeros((T, LV))
         a_dyn_xp[1:] = -e_dyn[1:] * d_x[:-1]
-        g_dem = e_dem[:, None, :] * coeff[None, :, :] * d_x.reshape(T, L, V)
-        g_cap = e_cap[:, :, None] * view.server_size * d_x.reshape(T, L, V)
+        g_dem = e_dem[:, pair_loc] * coeff_p[None, :] * d_x  # (T, LV)
+        g_cap = e_cap[:, pair_dc] * view.server_size * d_x  # (T, LV)
+        self._g_dem = g_dem
+        self._g_cap = g_cap
         b_non = e_non * d_x
         p_u = self._p_diag[half : 2 * half].reshape(T, LV)
 
@@ -208,10 +299,10 @@ class BandedKKTSolver:
         self._cux = cux
         if elastic:
             self._dw = self._sigma + r_slk * b_slk**2 + r_dem * g_dem_w**2
-            self._wxv = r_dem[:, None, :] * g_dem * g_dem_w[:, None, :]  # (T, L, V)
+            self._wxv = r_dem[:, pair_loc] * g_dem * g_dem_w[:, pair_loc]  # (T, LV)
         else:
             self._dw = np.zeros((T, 0))
-            self._wxv = np.zeros((T, L, 0))
+            self._wxv = np.zeros((T, LV))
         # sigma > 0 and rho > 0 make the eliminated diagonals strictly
         # positive; the recursions below divide by them freely.
         assert np.all(self._du > 0.0) and np.all(self._dw > 0.0)
@@ -219,57 +310,43 @@ class BandedKKTSolver:
         # Reduced cross-period coupling after the u elimination (diagonal).
         self._ctilde = cxx - self._cross * cux / self._du
 
-        # Sequential block Cholesky with Schur-complement corrections.
-        # The per-period inverses are stored explicitly: the recursion
-        # needs M_t^{-1} for the Schur correction anyway, and the ADMM
-        # hot loop then solves each period with one GEMV instead of a
-        # pair of triangular solves behind scipy call overhead.
-        ar_v = np.arange(V)
-        ar_l = np.arange(L)
-        minv = np.empty((T, LV, LV))
-        s_prev: np.ndarray | None = None
-        sanitizing = sanitize.enabled()
-        with sanitize.guard("BandedKKTSolver factorization"):
-            for t in range(T):
-                M = np.zeros((LV, LV))
-                M4 = M.reshape(L, V, L, V)
-                g = g_dem[t]
-                M4[:, ar_v, :, ar_v] += np.einsum("v,lv,mv->vlm", r_dem[t], g, g)
-                gc = g_cap[t]
-                M4[ar_l, :, ar_l, :] += np.einsum("l,lv,lw->lvw", r_cap[t], gc, gc)
-                if elastic:
-                    wx = self._wxv[t]
-                    M4[:, ar_v, :, ar_v] -= np.einsum(
-                        "lv,mv->vlm", wx, wx / self._dw[t][None, :]
-                    )
-                x_diag = (
-                    self._sigma
-                    + r_dyn[t] * a_dyn_x[t] ** 2
-                    + r_non[t] * b_non[t] ** 2
-                    - self._cross[t] ** 2 / self._du[t]
-                )
-                if t + 1 < T:
-                    x_diag = x_diag + (
-                        r_dyn[t + 1] * a_dyn_xp[t + 1] ** 2
-                        - self._cux[t + 1] ** 2 / self._du[t + 1]
-                    )
-                M[np.arange(LV), np.arange(LV)] += x_diag
-                if t > 0:
-                    assert s_prev is not None
-                    c = self._ctilde[t]
-                    M -= c[:, None] * s_prev * c[None, :]
-                chol, _ = sla.cho_factor(
-                    M, lower=True, overwrite_a=True, check_finite=False
-                )
-                if sanitizing:
-                    sanitize.record_pivot(float(np.min(np.diagonal(chol))))
-                inv_l = sla.solve_triangular(
-                    chol, np.eye(LV), lower=True, check_finite=False
-                )
-                s_prev = inv_l.T @ inv_l
-                minv[t] = s_prev
-        self._minv = minv
-        sanitize.check_finite("BandedKKTSolver factors", minv)
+        # Diagonal of the condensed state blocks; the coupled demand /
+        # capacity / slack contributions are scattered per block.
+        x_diag = (
+            self._sigma
+            + r_dyn * a_dyn_x**2
+            + r_non * b_non**2
+            - self._cross**2 / self._du
+        )
+        x_diag[:-1] += (
+            r_dyn[1:] * a_dyn_xp[1:] ** 2 - self._cux[1:] ** 2 / self._du[1:]
+        )
+        self._x_diag = x_diag
+
+        # Coupling patterns: within one period, two pairs interact iff
+        # they share a location (demand rows, elastic slack) or a data
+        # center (capacity rows).  Precomputed once as flat indices into
+        # an (LV, LV) block.
+        loc_i, loc_j = _coupling_pattern(pair_loc, V)
+        dc_i, dc_j = _coupling_pattern(pair_dc, L)
+        self._loc_i, self._loc_j = loc_i, loc_j
+        self._dc_i, self._dc_j = dc_i, dc_j
+        self._idx_loc = loc_i * LV + loc_j
+        self._idx_dc = dc_i * LV + dc_j
+        self._loc_of = pair_loc[loc_i]
+        self._dc_of = pair_dc[dc_i]
+        # Incidence matrices (group sums) for the matrix-free operator.
+        ones = np.ones(LV)
+        arange = np.arange(LV)
+        self._inc_loc_t = sp.csr_matrix((ones, (pair_loc, arange)), shape=(V, LV))
+        self._inc_dc_t = sp.csr_matrix((ones, (pair_dc, arange)), shape=(L, LV))
+
+        self._mixed_active = bool(mixed_precision)
+        self._factor_dtype: type = np.float32 if self._mixed_active else np.float64
+        self.precision_fallbacks = 0
+        self.pcg_iterations = 0
+        self._factorize_blocks()
+
         # Hot-loop constants: the eliminated-variable ratios and the CSR
         # transpose of A are fixed for the factorization's lifetime
         # (building ``A.T`` per solve costs more than the matvec itself
@@ -278,17 +355,194 @@ class BandedKKTSolver:
         self._cux_du = np.zeros((T, LV))
         self._cux_du[1:] = self._cux[1:] / self._du[1:]
         if elastic:
-            self._wxv_dw = self._wxv / self._dw[:, None, :]
+            self._wxv_dw = self._wxv / self._dw[:, pair_loc]
         else:
             self._wxv_dw = self._wxv
         self._p_sigma = self._p_diag + self._sigma
         self._a_t = scaled.A.T.tocsr()
 
+    def _assemble_block(self, t: int) -> np.ndarray:
+        """Dense condensed state block of period ``t`` (without the
+        Schur correction from the previous period)."""
+        LV = self._lv
+        M = np.zeros((LV, LV))
+        Mf = M.reshape(-1)
+        g = self._g_dem[t]
+        Mf[self._idx_loc] += (
+            self._r_dem[t][self._loc_of] * g[self._loc_i] * g[self._loc_j]
+        )
+        gc = self._g_cap[t]
+        Mf[self._idx_dc] += (
+            self._r_cap[t][self._dc_of] * gc[self._dc_i] * gc[self._dc_j]
+        )
+        if self._elastic:
+            wx = self._wxv[t]
+            Mf[self._idx_loc] -= (
+                wx[self._loc_i] * wx[self._loc_j] / self._dw[t][self._loc_of]
+            )
+        M.flat[:: LV + 1] += self._x_diag[t]
+        return M
+
+    def _factorize_blocks(self) -> None:
+        """(Re)factorize every condensed block.
+
+        A float32 Cholesky breakdown demotes the solver to float64 once
+        and retries; a float64 breakdown propagates (the workspace falls
+        back to the sparse KKT path).
+        """
+        try:
+            self._factorize_blocks_impl()
+        except np.linalg.LinAlgError:
+            if self._factor_dtype is np.float64:
+                raise
+            self.precision_fallbacks += 1
+            self._mixed_active = False
+            self._factor_dtype = np.float64
+            self._factorize_blocks_impl()
+
+    def _factorize_blocks_impl(self) -> None:
+        # Sequential block Cholesky with Schur-complement corrections.
+        # ``banded`` stores the per-period inverses explicitly: the
+        # recursion needs M_t^{-1} for the Schur correction anyway, and
+        # the ADMM hot loop then solves each period with one GEMV
+        # instead of a pair of triangular solves behind scipy call
+        # overhead.  ``krylov`` keeps only the factors (halving setup
+        # cost and memory traffic) and forms the correction through a
+        # triangular solve against the coupling diagonal.
+        T, LV = self._num_steps, self._lv
+        dtype = self._factor_dtype
+        sanitizing = sanitize.enabled()
+        minv = np.empty((T, LV, LV)) if self._mode == "banded" else np.empty((0, 0, 0))
+        factors: list[np.ndarray] = []
+        corr: np.ndarray | None = None
+        with sanitize.guard("BandedKKTSolver factorization"):
+            for t in range(T):
+                M = self._assemble_block(t)
+                if corr is not None:
+                    M -= corr
+                if self._mode == "banded":
+                    chol, _ = sla.cho_factor(
+                        M, lower=True, overwrite_a=True, check_finite=False
+                    )
+                    if sanitizing:
+                        sanitize.record_pivot(float(np.min(np.diagonal(chol))))
+                    inv_l = sla.solve_triangular(
+                        chol, np.eye(LV), lower=True, check_finite=False
+                    )
+                    s_t = inv_l.T @ inv_l
+                    minv[t] = s_t
+                    if t + 1 < T:
+                        c = self._ctilde[t + 1]
+                        corr = c[:, None] * s_t * c[None, :]
+                else:
+                    Mw = M if dtype is np.float64 else M.astype(np.float32)
+                    chol, _ = sla.cho_factor(
+                        Mw, lower=True, overwrite_a=True, check_finite=False
+                    )
+                    diag = np.diagonal(chol)
+                    if not np.all(np.isfinite(diag)):
+                        raise np.linalg.LinAlgError(
+                            "non-finite Cholesky diagonal in reduced precision"
+                        )
+                    if sanitizing:
+                        sanitize.record_pivot(float(np.min(diag)))
+                    factors.append(np.asarray(chol))
+                    if t + 1 < T:
+                        c_diag = np.diag(self._ctilde[t + 1]).astype(
+                            dtype, copy=False
+                        )
+                        y = sla.solve_triangular(
+                            chol, c_diag, lower=True, check_finite=False
+                        )
+                        corr = (y.T @ y).astype(np.float64)
+        self._minv = minv
+        self._factors = factors
+        if self._mode == "banded":
+            sanitize.check_finite("BandedKKTSolver factors", minv)
+        elif not all(np.all(np.isfinite(f)) for f in factors):
+            raise np.linalg.LinAlgError("non-finite Cholesky factor")
+
+    def _recursion_apply(self, f: np.ndarray) -> np.ndarray:
+        """Forward/backward sweep through the stored Cholesky factors.
+
+        Exact solve of the condensed system when the factors are
+        float64; an approximate one (corrected by PCG) when float32.
+        """
+        T = self._num_steps
+        dtype = self._factor_dtype
+        factors = self._factors
+        ctilde = self._ctilde
+        w = np.empty_like(f)
+        for t in range(T):
+            rhs = f[t] if t == 0 else f[t] - ctilde[t] * w[t - 1]
+            w[t] = sla.cho_solve(
+                (factors[t], True), rhs.astype(dtype, copy=False), check_finite=False
+            )
+        x = np.empty_like(f)
+        x[T - 1] = w[T - 1]
+        for t in range(T - 2, -1, -1):
+            back = sla.cho_solve(
+                (factors[t], True),
+                (ctilde[t + 1] * x[t + 1]).astype(dtype, copy=False),
+                check_finite=False,
+            )
+            x[t] = w[t] - back
+        return x
+
+    def _h_apply(self, z: np.ndarray) -> np.ndarray:
+        """Matrix-free float64 product of the condensed state system
+        with a ``(T, LV)`` grid ``z``."""
+        out = self._x_diag * z
+        gz = self._g_dem * z
+        sums = (self._inc_loc_t @ gz.T).T  # (T, V) per-location sums
+        out += self._g_dem * (self._r_dem * sums)[:, self._pair_loc]
+        gcz = self._g_cap * z
+        csums = (self._inc_dc_t @ gcz.T).T  # (T, L) per-center sums
+        out += self._g_cap * (self._r_cap * csums)[:, self._pair_dc]
+        if self._elastic:
+            wz = self._wxv * z
+            wsums = (self._inc_loc_t @ wz.T).T  # (T, V)
+            out -= self._wxv * (wsums / self._dw)[:, self._pair_loc]
+        out[1:] += self._ctilde[1:] * z[:-1]
+        out[:-1] += self._ctilde[1:] * z[1:]
+        return out
+
+    def _pcg(self, rhs: np.ndarray) -> np.ndarray:
+        """Preconditioned CG on the condensed state system (SPD)."""
+        norm_b = float(np.max(np.abs(rhs), initial=0.0))
+        x = np.zeros_like(rhs)
+        if not norm_b > 0.0:
+            return x
+        r = rhs.copy()
+        z = self._recursion_apply(r)
+        p = z.copy()
+        rz = float(np.sum(r * z))
+        for _ in range(_PCG_MAX_ITERS):
+            self.pcg_iterations += 1
+            hp = self._h_apply(p)
+            php = float(np.sum(p * hp))
+            if php <= 0.0:
+                break
+            alpha = rz / php
+            x += alpha * p
+            r -= alpha * hp
+            if float(np.max(np.abs(r), initial=0.0)) <= _PCG_TOL * norm_b:
+                break
+            z = self._recursion_apply(r)
+            rz_new = float(np.sum(r * z))
+            if rz <= 0.0:
+                # M-inner products are positive while r != 0; a non-positive
+                # value means the preconditioner lost SPD (float32 breakdown).
+                break
+            beta = rz_new / rz
+            rz = rz_new
+            p = z + beta * p
+        return x
+
     def _condensed_solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``H z = rhs`` with the stored block factors."""
         view = self._view
         T, LV = self._num_steps, self._lv
-        L = view.num_datacenters
         half = view.num_x
         fx = rhs[:half].reshape(T, LV).copy()
         fu = rhs[half : 2 * half].reshape(T, LV)
@@ -299,24 +553,27 @@ class BandedKKTSolver:
         if self._elastic:
             fw = rhs[2 * half :].reshape(T, -1)
             fw_dw = fw / self._dw
-            fx -= (self._wxv * fw_dw[:, None, :]).reshape(T, LV)
-        # Forward/backward substitution.  The block applies stream the
-        # stored inverses from memory, so they run bandwidth-bound:
-        # ``dsymv`` on the (symmetric) inverse reads half the matrix a
-        # plain GEMV would.  The ``.T`` view is F-contiguous, which BLAS
-        # accepts without a copy.
-        minv = self._minv
-        ctilde = self._ctilde
-        w = np.empty((T, LV))
-        w[0] = dsymv(1.0, minv[0].T, fx[0], lower=1)
-        for t in range(1, T):
-            w[t] = dsymv(1.0, minv[t].T, fx[t] - ctilde[t] * w[t - 1], lower=1)
-        x = np.empty((T, LV))
-        x[T - 1] = w[T - 1]
-        for t in range(T - 2, -1, -1):
-            x[t] = w[t] - dsymv(
-                1.0, minv[t].T, ctilde[t + 1] * x[t + 1], lower=1
-            )
+            fx -= self._wxv * fw_dw[:, self._pair_loc]
+        if self._mode == "krylov":
+            x = self._pcg(fx)
+        else:
+            # Forward/backward substitution.  The block applies stream
+            # the stored inverses from memory, so they run
+            # bandwidth-bound: ``dsymv`` on the (symmetric) inverse
+            # reads half the matrix a plain GEMV would.  The ``.T`` view
+            # is F-contiguous, which BLAS accepts without a copy.
+            minv = self._minv
+            ctilde = self._ctilde
+            w = np.empty((T, LV))
+            w[0] = dsymv(1.0, minv[0].T, fx[0], lower=1)
+            for t in range(1, T):
+                w[t] = dsymv(1.0, minv[t].T, fx[t] - ctilde[t] * w[t - 1], lower=1)
+            x = np.empty((T, LV))
+            x[T - 1] = w[T - 1]
+            for t in range(T - 2, -1, -1):
+                x[t] = w[t] - dsymv(
+                    1.0, minv[t].T, ctilde[t + 1] * x[t + 1], lower=1
+                )
         # Back-substitute the eliminated variables.
         u = fu_du - self._cross_du * x
         u[1:] -= self._cux_du[1:] * x[:-1]
@@ -324,10 +581,8 @@ class BandedKKTSolver:
         out[:half] = x.reshape(-1)
         out[half : 2 * half] = u.reshape(-1)
         if self._elastic:
-            xg = x.reshape(T, L, -1)
-            out[2 * half :] = (
-                fw_dw - np.einsum("tlv,tlv->tv", self._wxv_dw, xg)
-            ).reshape(-1)
+            wsum = (self._inc_loc_t @ (self._wxv_dw * x).T).T  # (T, V)
+            out[2 * half :] = (fw_dw - wsum).reshape(-1)
         return out
 
     @check_shapes("rhs:(k,)", ret="(k,)")
@@ -343,11 +598,21 @@ class BandedKKTSolver:
         """
         sanitize.check_finite("BandedKKTSolver.solve rhs", rhs)
         with sanitize.guard("BandedKKTSolver.solve"):
-            out = self._refine_solve(rhs)
+            out, err, scale = self._refine_solve(rhs)
+            # Mixed-precision certificate: keep the float32-factored
+            # result only if refinement drove the true KKT residual
+            # below tolerance (NaN-safe comparison — a non-finite err
+            # also demotes).
+            if self._mixed_active and not err <= _MIXED_CERT_TOL * scale:
+                self.precision_fallbacks += 1
+                self._mixed_active = False
+                self._factor_dtype = np.float64
+                self._factorize_blocks()
+                out, err, scale = self._refine_solve(rhs)
         sanitize.check_finite("BandedKKTSolver.solve result", out)
         return out
 
-    def _refine_solve(self, rhs: np.ndarray) -> np.ndarray:
+    def _refine_solve(self, rhs: np.ndarray) -> tuple[np.ndarray, float, float]:
         n = self._view.num_variables
         A = self._scaled.A
         At = self._a_t
@@ -380,7 +645,7 @@ class BandedKKTSolver:
             ax = ax + adx
             nu = nu + r * (adx - r2)
         sanitize.record_refinement(steps, err / scale)
-        return np.concatenate([x, nu])
+        return np.concatenate([x, nu]), err, scale
 
 
 class BandedActiveSetSystem:
@@ -413,11 +678,29 @@ class BandedActiveSetSystem:
         V = view.num_locations
         half = view.num_x
         active = active_lower | active_upper
+        # The system's internal math always lives on the dense L*V pair
+        # grid.  Under the reduced (sparsified) layout, pruned pairs
+        # enter as pinned at zero — exactly the value the full
+        # optimality system assigns them — and the reduced layout is
+        # restored by gathering on exit.
+        self._reduced = view.active_pairs is not None
+        self._act_idx = view.active_indices
+        self._grid_pairs = L * V
         self._act_dem = active[view.demand_row_offset : view.capacity_row_offset].reshape(T, V)
         self._act_cap = active[view.capacity_row_offset : view.nonneg_row_offset].reshape(T, L)
-        self._pinned_x = active[
+        pinned_reduced = active[
             view.nonneg_row_offset : view.nonneg_row_offset + half
         ].reshape(T, view.pairs_per_step)
+        if self._reduced:
+            pinned = np.ones((T, self._grid_pairs), dtype=bool)
+            pinned[:, self._act_idx] = pinned_reduced
+            self._pinned_x = pinned
+            ch_grid = np.ones(self._grid_pairs)
+            ch_grid[self._act_idx] = view.control_hessian
+        else:
+            self._pinned_x = pinned_reduced
+            ch_grid = view.control_hessian
+        self._ch_grid = ch_grid
         if view.elastic:
             self._pinned_w = active[view.slack_row_offset :].reshape(T, V)
             # Active demand rows containing a *free* slack fix the row's
@@ -437,6 +720,15 @@ class BandedActiveSetSystem:
         self._cap_eff_inv = np.zeros((0, 0))
         self._sdc = np.zeros((0, 0, 0, 0))
         self._sdd_inv_sdc = np.zeros((0, 0, 0, 0))
+
+    def _scatter(self, arr: np.ndarray) -> np.ndarray:
+        """Scatter a reduced ``(T, pairs_per_step)`` array onto the dense
+        pair grid (zero at pruned slots); identity in the dense layout."""
+        if not self._reduced:
+            return arr
+        grid = np.zeros((self._view.num_steps, self._grid_pairs))
+        grid[:, self._act_idx] = arr
+        return grid
 
     def _factorize(self) -> bool:
         """Batched factorization of the reduced saddle system.
@@ -461,7 +753,7 @@ class BandedActiveSetSystem:
         T = view.num_steps
         L = view.num_datacenters
         V = view.num_locations
-        ch_g = view.control_hessian.reshape(L, V)
+        ch_g = self._ch_grid.reshape(L, V)
         coeff = view.demand_coeff
         s = view.server_size
         F = self._free_x.reshape(T, L, V)
@@ -580,17 +872,18 @@ class BandedActiveSetSystem:
     ) -> tuple[np.ndarray, ...]:
         """Solve ``[[P, A_act'], [A_act, 0]] [z; nu] = [rhs1; b]`` exactly.
 
-        ``b_*`` are family-major bound arrays; entries at inactive rows
-        are ignored.  Returns the family-major primal/dual arrays
+        ``b_*`` are family-major bound arrays *on the dense pair grid*;
+        entries at inactive rows are ignored.  Returns the family-major
+        grid-shaped primal/dual arrays
         ``(x, u, w, nu_dyn, nu_dem, nu_cap, nu_non, nu_slk)``.
         """
         view = self._view
         T = view.num_steps
         L = view.num_datacenters
         V = view.num_locations
-        LV = view.pairs_per_step
-        half = view.num_x
-        ch = view.control_hessian
+        LV = self._grid_pairs
+        half = T * LV
+        ch = self._ch_grid
         coeff = view.demand_coeff
         s = view.server_size
         s1_x = rhs1[:half].reshape(T, LV)
@@ -669,33 +962,45 @@ class BandedActiveSetSystem:
         T = view.num_steps
         L = view.num_datacenters
         V = view.num_locations
-        LV = view.pairs_per_step
-        half = view.num_x
+        LV = self._grid_pairs
+        half = view.num_x  # reduced-layout width of the problem vectors
+        nP = view.pairs_per_step
         coeff = view.demand_coeff
-        ch = view.control_hessian
+        ch = self._ch_grid
         s = view.server_size
         bound = np.where(self.active_lower, problem.l, problem.u)
         bound = np.where(self.active_lower | self.active_upper, bound, 0.0)
-        b_dyn = bound[:half].reshape(T, LV)
+        # Per-pair families are scattered to the grid: a pruned pair's
+        # dynamics rhs and nonneg bound are both exactly zero, matching
+        # its pinned-at-zero treatment.
+        b_dyn = self._scatter(bound[:half].reshape(T, nP))
         b_dem = bound[view.demand_row_offset : view.capacity_row_offset].reshape(T, V)
         b_cap = bound[view.capacity_row_offset : view.nonneg_row_offset].reshape(T, L)
-        b_non = bound[view.nonneg_row_offset : view.nonneg_row_offset + half].reshape(T, LV)
+        b_non = self._scatter(
+            bound[view.nonneg_row_offset : view.nonneg_row_offset + half].reshape(T, nP)
+        )
         b_slk = (
             bound[view.slack_row_offset :].reshape(T, V)
             if view.elastic
             else np.zeros((T, 0))
         )
 
-        parts = self._solve_raw(-problem.q, b_dyn, b_dem, b_cap, b_non, b_slk)
+        q_x = self._scatter(problem.q[:half].reshape(T, nP))
+        q_u = self._scatter(problem.q[half : 2 * half].reshape(T, nP))
+        q_w = (
+            problem.q[2 * half :].reshape(T, V) if view.elastic else np.zeros((T, 0))
+        )
+        rhs1 = np.concatenate(
+            [(-q_x).reshape(-1), (-q_u).reshape(-1), (-q_w).reshape(-1)]
+        )
+        parts = self._solve_raw(rhs1, b_dyn, b_dem, b_cap, b_non, b_slk)
         x, u, w, nu_dyn, nu_dem, nu_cap, nu_non, nu_slk = parts
 
         # One refinement pass against the exact (unregularized) system;
         # every matvec is a closed-form family expression on the view.
-        q_x = problem.q[:half].reshape(T, LV)
-        q_u = problem.q[half : 2 * half].reshape(T, LV)
-        q_w = (
-            problem.q[2 * half :].reshape(T, V) if view.elastic else np.zeros((T, 0))
-        )
+        # At pruned slots every residual below is identically zero (the
+        # bound multiplier absorbs the capacity term), so refinement
+        # preserves the pinned zeros.
         stat_dem = (coeff[None, :, :] * nu_dem[:, None, :]).reshape(T, LV)
         stat_cap = np.repeat(s * nu_cap, V, axis=1)
         r1_x = -q_x - (nu_dyn + stat_dem + stat_cap + nu_non)
@@ -724,6 +1029,10 @@ class BandedActiveSetSystem:
         nu_slk = nu_slk + delta[7]
         u = u + delta[1]
 
+        if self._reduced:
+            idx = self._act_idx
+            x, u = x[:, idx], u[:, idx]
+            nu_dyn, nu_non = nu_dyn[:, idx], nu_non[:, idx]
         x_full = np.concatenate([x.reshape(-1), u.reshape(-1), w.reshape(-1)])
         y = np.concatenate(
             [

@@ -187,10 +187,29 @@ class QPSettings:
     horizon QP (see :class:`repro.core.matrices.QPBlockView`):
     ``"sparse"`` is the general sparse-LU path, ``"banded"`` forces the
     block-tridiagonal Riccati-style recursion of
-    :mod:`repro.solvers.banded`, and ``"auto"`` (the default) picks
-    banded when the horizon and per-period block size are large enough
-    for it to win.  Problems without block structure always use the
-    sparse path.
+    :mod:`repro.solvers.banded`, ``"krylov"`` keeps the same recursion
+    but stores Cholesky factors instead of explicit block inverses and
+    solves the condensed state system by preconditioned conjugate
+    gradients (matrix-free operator, the recursion as preconditioner),
+    and ``"auto"`` (the default) picks banded when the horizon and
+    per-period block size are large enough for it to win.  Problems
+    without block structure always use the sparse path.
+
+    ``sparsify_columns`` controls SLA column pruning of the stacked
+    structure (see :func:`repro.core.matrices.build_qp_structure`):
+    ``"auto"`` (default) prunes the variables of SLA-unusable pairs
+    whenever that is exact — i.e. the initial state is zero at every
+    pruned pair — ``"on"`` demands pruning (raising if it would be
+    inexact) and ``"off"`` keeps the dense layout.  The flag is consumed
+    by the DSPP layer (:mod:`repro.core.dspp`); raw :func:`solve_qp`
+    calls receive whatever layout the caller assembled.
+
+    ``mixed_precision`` (Krylov backend only) factors the per-period
+    blocks in float32 — halving factorization time and factor storage —
+    while PCG iterates against the exact float64 operator.  Every solve
+    is certified by the banded backend's KKT residual check; on a failed
+    certificate the workspace transparently re-factorizes in float64 and
+    re-solves (see :attr:`repro.solvers.banded.BandedKKTSolver.precision_fallbacks`).
     """
 
     max_iterations: int = 20000
@@ -208,6 +227,8 @@ class QPSettings:
     early_polish: bool = False
     early_polish_factor: float = 1e4
     kkt_backend: str = "auto"
+    sparsify_columns: str = "auto"
+    mixed_precision: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha < 2.0:
@@ -218,10 +239,20 @@ class QPSettings:
             raise ValueError(
                 f"early_polish_factor must be > 1, got {self.early_polish_factor}"
             )
-        if self.kkt_backend not in ("auto", "sparse", "banded"):
+        if self.kkt_backend not in ("auto", "sparse", "banded", "krylov"):
             raise ValueError(
-                f"kkt_backend must be 'auto', 'sparse' or 'banded', "
+                f"kkt_backend must be 'auto', 'sparse', 'banded' or 'krylov', "
                 f"got {self.kkt_backend!r}"
+            )
+        if self.sparsify_columns not in ("auto", "on", "off"):
+            raise ValueError(
+                f"sparsify_columns must be 'auto', 'on' or 'off', "
+                f"got {self.sparsify_columns!r}"
+            )
+        if self.mixed_precision and self.kkt_backend != "krylov":
+            raise ValueError(
+                "mixed_precision requires kkt_backend='krylov' (the float32 "
+                "factors are only safe behind the PCG + certificate loop)"
             )
 
 
@@ -259,60 +290,98 @@ class _Scaling:
         return self.cost * y / self.e
 
 
+def _segment_max(data: np.ndarray, indptr: np.ndarray, size: int) -> np.ndarray:
+    """Per-segment max of nonnegative ``data`` grouped by ``indptr``.
+
+    ``data[indptr[i]:indptr[i+1]]`` is segment ``i``; empty segments yield
+    an exact 0.0 (the infinity norm of an empty row/column).  This is the
+    reduceat kernel behind the allocation-free Ruiz iteration.
+    """
+    out = np.zeros(size)
+    if data.size:
+        nonempty = indptr[:-1] < indptr[1:]
+        # reduceat over the *nonempty* starts only: empty segments hold no
+        # data, so consecutive nonempty starts still bracket exactly one
+        # segment's entries each.
+        out[np.nonzero(nonempty)[0]] = np.maximum.reduceat(
+            data, indptr[:-1][nonempty]
+        )
+    return out
+
+
 def _ruiz_equilibrate(problem: QPProblem, iterations: int) -> tuple[QPProblem, _Scaling]:
     """Modified Ruiz equilibration (the OSQP preconditioner).
 
     Iteratively scales variables and constraints toward unit infinity-norm
     rows/columns of the KKT matrix, then normalizes the cost.  Returns the
     scaled problem and the scaling needed to map solutions back.
+
+    The iteration never materializes intermediate scaled matrices: a scaled
+    entry is ``cost * e_r * |a| * d_c`` (resp. ``cost * d_r * |p| * d_c``),
+    so each round computes row/column infinity norms straight from the
+    original data arrays with the accumulated scalings gathered in — one
+    ``reduceat`` pass per norm family instead of three sparse
+    matrix-matrix products.  The scaled ``P``/``A`` are built exactly once,
+    at the end.  Rows or columns with *zero* norm (possible once column
+    sparsification leaves a data center with no usable pairs) keep a unit
+    scaling instead of the ``1/sqrt(clip)`` blow-up.
     """
     n, m = problem.num_variables, problem.num_constraints
     d = np.ones(n)
     e = np.ones(m)
     cost = 1.0
-    P = problem.P.copy()
-    q = problem.q.copy()
-    A = problem.A.copy()
 
-    # The column norms of P are needed twice per iteration: pre-scale (for
-    # delta_d) and post-scale (for the cost normalization).  Because the
-    # cost normalization multiplies P by a *scalar*, the post-scale norms of
-    # one iteration — times gamma — ARE the next iteration's pre-scale
-    # norms, so each iteration computes them once and carries them over.
-    col_norm_p: np.ndarray | None = None
+    p_csc = problem.P.tocsc()
+    p_abs = np.abs(p_csc.data)
+    p_rows = p_csc.indices
+    p_indptr = p_csc.indptr
+    p_cols = np.repeat(np.arange(n), np.diff(p_indptr))
+    a_csc = problem.A.tocsc()
+    a_abs = np.abs(a_csc.data)
+    a_rows = a_csc.indices
+    a_indptr = a_csc.indptr
+    a_cols = np.repeat(np.arange(n), np.diff(a_indptr))
+    a_csr = problem.A.tocsr()
+    ar_abs = np.abs(a_csr.data)
+    ar_cols = a_csr.indices
+    ar_indptr = a_csr.indptr
+
+    q0 = problem.q
     for _ in range(iterations):
-        if col_norm_p is None:
-            col_norm_p = (
-                np.abs(P).max(axis=0).toarray().ravel() if P.nnz else np.zeros(n)
+        # Infinity norms of the currently-scaled KKT columns, computed from
+        # the original data: scaled P column c is cost*d_c*max_r(d_r*|p|),
+        # scaled A column c is d_c*max_r(e_r*|a|).
+        col_p = (cost * d) * _segment_max(p_abs * d[p_rows], p_indptr, n)
+        col_a = d * _segment_max(a_abs * e[a_rows], a_indptr, n)
+        col_norm = np.maximum(col_p, col_a)
+        delta_d = np.where(
+            col_norm > 0.0, 1.0 / np.sqrt(np.clip(col_norm, 1e-8, 1e8)), 1.0
+        )
+        # Row norms are taken from the same start-of-iteration state as the
+        # column norms (both deltas then apply together, OSQP-style), so
+        # the gather below uses the *pre-update* d.
+        if m:
+            row_norm = e * _segment_max(ar_abs * d[ar_cols], ar_indptr, m)
+            delta_e = np.where(
+                row_norm > 0.0, 1.0 / np.sqrt(np.clip(row_norm, 1e-8, 1e8)), 1.0
             )
-        col_norm_a = np.abs(A).max(axis=0).toarray().ravel() if A.nnz else np.zeros(n)
-        col_norm = np.maximum(col_norm_p, col_norm_a)
-        delta_d = 1.0 / np.sqrt(np.clip(col_norm, 1e-8, 1e8))
-        if m:
-            row_norm = np.abs(A).max(axis=1).toarray().ravel()
-            delta_e = 1.0 / np.sqrt(np.clip(row_norm, 1e-8, 1e8))
-        else:
-            delta_e = np.ones(0)
-
-        Dd = sp.diags(delta_d)
-        P = (Dd @ P @ Dd).tocsc()
-        q = delta_d * q
-        if m:
-            Ee = sp.diags(delta_e)
-            A = (Ee @ A @ Dd).tocsc()
+            e *= delta_e
         d *= delta_d
-        e *= delta_e
 
         # Cost normalization keeps the objective's scale near 1.
-        p_col_norms = np.abs(P).max(axis=0).toarray().ravel() if P.nnz else np.zeros(n)
-        gamma = 1.0 / max(float(p_col_norms.mean()) if n else 1.0, _inf_norm(q), 1e-8)
+        p_col_norms = (cost * d) * _segment_max(p_abs * d[p_rows], p_indptr, n)
+        q_norm = cost * _inf_norm(d * q0)
+        gamma = 1.0 / max(float(p_col_norms.mean()) if n else 1.0, q_norm, 1e-8)
         gamma = min(max(gamma, 1e-8), 1e8)
-        P = (P * gamma).tocsc()
-        q = q * gamma
         cost *= gamma
-        col_norm_p = p_col_norms * gamma
 
-    scaled = QPProblem(P=P, q=q, A=A, l=e * problem.l, u=e * problem.u)
+    p_scaled = p_csc.copy()
+    p_scaled.data = cost * (d[p_rows] * p_csc.data * d[p_cols])
+    a_scaled = a_csc.copy()
+    a_scaled.data = e[a_rows] * a_csc.data * d[a_cols]
+    scaled = QPProblem(
+        P=p_scaled, q=cost * (d * q0), A=a_scaled, l=e * problem.l, u=e * problem.u
+    )
     return scaled, _Scaling(d=d, e=e, cost=cost)
 
 

@@ -36,6 +36,7 @@ __all__ = [
     "random_demand",
     "random_instance",
     "random_prices",
+    "random_pruned_instance",
     "random_qp",
     "random_routing_problem",
 ]
@@ -117,6 +118,75 @@ def random_instance(
         reconfiguration_weights=weights,
         capacities=capacities,
         initial_state=initial_state,
+    )
+
+
+def random_pruned_instance(
+    rng: np.random.Generator,
+    tier: ScaleTier | str = "small",
+) -> DSPPInstance:
+    """Draw an instance with a *controlled* SLA-unusable fraction.
+
+    Purpose-built for the column-sparsification differentials: the pruned
+    fraction sweeps the full 0–95% range and deliberately hits both edges
+    of the reduced layout —
+
+    * **all-usable** (~15% of draws, and always when ``L == 1``): the
+      usable-pair mask is full, so ``sparsify_columns="auto"`` resolves to
+      the dense path and the differential degenerates to identity;
+    * **one usable data center per location** (~15%): the maximum pruning
+      an instance can carry while staying servable, leaving exactly ``V``
+      columns per period;
+    * otherwise a uniform pruned fraction drawn from ``[0, 0.95)``, with
+      every location kept servable.
+
+    The initial state is supported on usable pairs only (exact zeros at
+    every pruned pair), which is the precondition for pruning to be exact
+    — :func:`~repro.core.matrices.resolve_sparsify` would otherwise
+    decline (or, under ``"on"``, raise).
+
+    This generator is *additive*: it must never be inlined into
+    :func:`random_instance`, whose draw sequence is pinned by the
+    committed corpus.
+    """
+    tier = TIERS[tier] if isinstance(tier, str) else tier
+    L = int(rng.integers(1, tier.max_datacenters + 1))
+    V = int(rng.integers(1, tier.max_locations + 1))
+    sla = rng.uniform(0.01, 0.1, size=(L, V))
+
+    regime = rng.random()
+    if regime < 0.15 or L == 1:
+        pruned = np.zeros((L, V), dtype=bool)
+    elif regime < 0.3:
+        pruned = np.ones((L, V), dtype=bool)
+        for v in range(V):
+            pruned[int(rng.integers(0, L)), v] = False
+    else:
+        fraction = float(rng.uniform(0.0, 0.95))
+        pruned = rng.random(size=(L, V)) < fraction
+        for v in range(V):
+            if pruned[:, v].all():
+                pruned[int(rng.integers(0, L)), v] = False
+    sla = np.where(pruned, np.inf, sla)
+
+    weights = rng.uniform(0.1, 5.0, size=L)
+    capacities = rng.uniform(50.0, 400.0, size=L)
+    server_size = float(rng.uniform(0.5, 2.0))
+    if rng.random() < 0.5:
+        initial_state = np.zeros((L, V))
+    else:
+        initial_state = rng.uniform(0.0, 1.0, size=(L, V)) * (
+            capacities[:, None] / (server_size * max(V, 1) * 2.0)
+        )
+        initial_state[pruned] = 0.0
+    return DSPPInstance(
+        datacenters=tuple(f"dc{i}" for i in range(L)),
+        locations=tuple(f"v{i}" for i in range(V)),
+        sla_coefficients=sla,
+        reconfiguration_weights=weights,
+        capacities=capacities,
+        initial_state=initial_state,
+        server_size=server_size,
     )
 
 

@@ -13,6 +13,12 @@ The registered properties:
 ``qp_workspace_sequence``             warm workspace resolve ≡ cold solve
 ``banded_equals_default``             block-banded KKT backend ≡ sparse
                                       backend along a workspace walk
+``sparsified_equals_dense``           column-sparsified stacking ≡ dense
+                                      stacking along a workspace walk over
+                                      0–95% pruned instances
+``krylov_equals_banded``              matrix-free Krylov KKT backend (incl.
+                                      mixed precision) ≡ direct banded
+                                      backend along a workspace walk
 ``dspp_reference``                    stacked DSPP QP vs trust-constr +
                                       trajectory feasibility audit
 ``cost_scale_invariance``             scaling prices and reconfiguration
@@ -54,6 +60,7 @@ from repro.verify.generators import (
     random_demand,
     random_instance,
     random_prices,
+    random_pruned_instance,
     random_qp,
     random_routing_problem,
 )
@@ -74,12 +81,14 @@ __all__ = [
     "prop_elastic_infeasible",
     "prop_horizon1_mpc_equals_myopic",
     "prop_integer_sandwich",
+    "prop_krylov_equals_banded",
     "prop_mm1_inversion",
     "prop_mm1_sim",
     "prop_price_monotonicity",
     "prop_qp_reference",
     "prop_qp_workspace_sequence",
     "prop_routing_differential",
+    "prop_sparsified_equals_dense",
     "prop_workspace_resolve_equals_cold",
 ]
 
@@ -278,6 +287,233 @@ def prop_banded_equals_default(
         if rng.random() < 0.4:
             instance = instance.with_initial_state(
                 solutions["sparse"].trajectory.states[0]
+            )
+    return findings
+
+
+def prop_sparsified_equals_dense(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """Column-sparsified stacking ≡ dense stacking, solve for solve.
+
+    The usable-pair mask is exact (``inf`` SLA coefficients force zero
+    columns), so pruning those columns out of the stacked QP must change
+    *nothing observable*: along a workspace walk the two layouts must
+    agree on status, objective (to near machine precision when both
+    polish), the state trajectory, and the capacity-dual activity pattern.
+    The generator sweeps pruned fractions from 0% (where ``"on"``
+    resolves to the dense path) through 95% and the one-usable-center-
+    per-location edge; the walk advances *both* sides from the sparsified
+    run's states, which carry exact zeros at pruned pairs — precisely the
+    invariant that keeps receding-horizon loops prunable.
+    """
+    instance = random_pruned_instance(rng, tier)
+    horizon = int(rng.integers(1, tier.max_horizon + 1))
+    demand = random_demand(rng, instance, horizon, load=float(rng.uniform(0.3, 0.8)))
+    prices = random_prices(rng, instance, horizon)
+    penalty = float(rng.uniform(5.0, 50.0)) if rng.random() < 0.3 else None
+    workspaces = {
+        "off": DSPPWorkspace(),
+        "on": DSPPWorkspace(),
+    }
+    findings: list[Discrepancy] = []
+    num_solves = int(rng.integers(2, 4))
+    for step in range(num_solves):
+        label = f"sparsified_equals_dense/step{step}"
+        solutions = {}
+        for sparsify, workspace in workspaces.items():
+            solutions[sparsify] = solve_dspp(
+                instance,
+                demand,
+                prices,
+                settings=QPSettings(early_polish=True, sparsify_columns=sparsify),
+                demand_slack_penalty=penalty,
+                workspace=workspace,
+            )
+        dense_qp = solutions["off"].qp
+        pruned_qp = solutions["on"].qp
+        if dense_qp.status is not pruned_qp.status:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"statuses diverge: dense {dense_qp.status.value} vs "
+                    f"sparsified {pruned_qp.status.value}",
+                    math.inf,
+                )
+            )
+            break
+        tol = 1e-9 if (dense_qp.polished and pruned_qp.polished) else _SOLVER_RTOL
+        gap = relative_gap(solutions["on"].objective, solutions["off"].objective)
+        if gap > tol:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"sparsified objective {solutions['on'].objective:.12g} vs "
+                    f"dense {solutions['off'].objective:.12g}",
+                    gap,
+                )
+            )
+        # The DSPP objective is strictly convex in the state trajectory
+        # (the reconfiguration quadratic, pulled back through the exactly
+        # invertible state equation), so the optimum is unique and the two
+        # layouts must produce the same states — not just the same value.
+        dense_states = solutions["off"].trajectory.states
+        pruned_states = solutions["on"].trajectory.states
+        x_gap = float(np.max(np.abs(pruned_states - dense_states), initial=0.0))
+        x_scale = max(1.0, float(np.max(np.abs(dense_states), initial=0.0)))
+        if x_gap / x_scale > 1e-3:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"state trajectories differ by {x_gap:.3e} on a strictly "
+                    "convex problem",
+                    x_gap / x_scale,
+                )
+            )
+        # Pruned pairs are pinned, not solved: the scatter-back writes
+        # literal zeros, and anything else would poison later fingerprint
+        # resolutions along a receding-horizon walk.
+        usable = instance.usable_pairs
+        if not usable.all():
+            leaked = int(np.count_nonzero(pruned_states[:, ~usable]))
+            if leaked:
+                findings.append(
+                    Discrepancy(
+                        label,
+                        f"{leaked} pruned-pair state entries are not exact "
+                        "zeros in the sparsified trajectory",
+                        float(leaked),
+                    )
+                )
+        # Capacity-dual activity: the (T, L) multiplier layout is
+        # identical in both stackings (rows are never pruned), so a
+        # capacity confidently binding under one layout must bind under
+        # the other.
+        dense_duals = solutions["off"].capacity_duals
+        pruned_duals = solutions["on"].capacity_duals
+        y_scale = max(
+            1.0,
+            float(np.max(np.abs(dense_duals), initial=0.0)),
+            float(np.max(np.abs(pruned_duals), initial=0.0)),
+        )
+        thresh = 1e-6 * y_scale
+        dense_active = np.abs(dense_duals) > thresh
+        pruned_active = np.abs(pruned_duals) > thresh
+        confident = np.maximum(np.abs(dense_duals), np.abs(pruned_duals)) > 10 * thresh
+        mismatched = int(np.sum((dense_active != pruned_active) & confident))
+        if mismatched:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"{mismatched} capacity constraints are active under one "
+                    "layout but inactive under the other",
+                    float(mismatched),
+                )
+            )
+        # Walk: fresh forecasts, occasionally a state advance.  Both sides
+        # advance from the SPARSIFIED states — their pruned entries are
+        # exact zeros, so sparsification stays resolvable next period.
+        demand = random_demand(rng, instance, horizon, load=0.5)
+        prices = random_prices(rng, instance, horizon)
+        if rng.random() < 0.5:
+            instance = instance.with_initial_state(pruned_states[0])
+    return findings
+
+
+def prop_krylov_equals_banded(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """The matrix-free Krylov KKT backend ≡ the direct banded backend.
+
+    Both backends condense the same reduced-layout KKT system; the Krylov
+    one replaces the explicit block inverses with a PCG solve
+    preconditioned by the block-Cholesky recursion (an *exact* inverse in
+    float64, so PCG converges in one or two iterations).  Along a
+    workspace walk over pruned instances the two must agree on status,
+    objective and constraint activity.  A ~30% fraction of draws turns on
+    ``mixed_precision`` for the Krylov side: the float32 factorization is
+    accepted only under its per-solve KKT-residual certificate, with a
+    certified float64 fallback, so agreement must hold there too.
+    """
+    instance = random_pruned_instance(rng, tier)
+    horizon = int(rng.integers(1, tier.max_horizon + 1))
+    demand = random_demand(rng, instance, horizon, load=float(rng.uniform(0.3, 0.8)))
+    prices = random_prices(rng, instance, horizon)
+    penalty = float(rng.uniform(5.0, 50.0)) if rng.random() < 0.3 else None
+    mixed = bool(rng.random() < 0.3)
+    settings = {
+        "banded": QPSettings(early_polish=True, kkt_backend="banded"),
+        "krylov": QPSettings(
+            early_polish=True, kkt_backend="krylov", mixed_precision=mixed
+        ),
+    }
+    workspaces = {backend: DSPPWorkspace() for backend in settings}
+    findings: list[Discrepancy] = []
+    num_solves = int(rng.integers(2, 4))
+    for step in range(num_solves):
+        label = f"krylov_equals_banded/step{step}"
+        solutions = {}
+        for backend, workspace in workspaces.items():
+            solutions[backend] = solve_dspp(
+                instance,
+                demand,
+                prices,
+                settings=settings[backend],
+                demand_slack_penalty=penalty,
+                workspace=workspace,
+            )
+        banded_qp = solutions["banded"].qp
+        krylov_qp = solutions["krylov"].qp
+        if banded_qp.status is not krylov_qp.status:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"statuses diverge: banded {banded_qp.status.value} vs "
+                    f"krylov {krylov_qp.status.value}",
+                    math.inf,
+                )
+            )
+            break
+        tol = 1e-9 if (banded_qp.polished and krylov_qp.polished) else _SOLVER_RTOL
+        gap = relative_gap(
+            solutions["krylov"].objective, solutions["banded"].objective
+        )
+        if gap > tol:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"krylov objective {solutions['krylov'].objective:.12g} vs "
+                    f"banded {solutions['banded'].objective:.12g}"
+                    + (" (mixed precision)" if mixed else ""),
+                    gap,
+                )
+            )
+        # Both backends solve the identically shaped (possibly reduced)
+        # QP, so the raw dual vectors are directly comparable.
+        y_scale = max(
+            1.0,
+            float(np.max(np.abs(banded_qp.y), initial=0.0)),
+            float(np.max(np.abs(krylov_qp.y), initial=0.0)),
+        )
+        thresh = 1e-6 * y_scale
+        banded_sign = np.sign(banded_qp.y) * (np.abs(banded_qp.y) > thresh)
+        krylov_sign = np.sign(krylov_qp.y) * (np.abs(krylov_qp.y) > thresh)
+        confident = np.maximum(np.abs(banded_qp.y), np.abs(krylov_qp.y)) > 10 * thresh
+        mismatched = int(np.sum((banded_sign != krylov_sign) & confident))
+        if mismatched:
+            findings.append(
+                Discrepancy(
+                    label,
+                    f"{mismatched} constraints are active under one backend "
+                    "but inactive under the other",
+                    float(mismatched),
+                )
+            )
+        demand = random_demand(rng, instance, horizon, load=0.5)
+        prices = random_prices(rng, instance, horizon)
+        if rng.random() < 0.4:
+            instance = instance.with_initial_state(
+                solutions["krylov"].trajectory.states[0]
             )
     return findings
 

@@ -1,0 +1,231 @@
+"""Column sparsification, the Krylov backend and their supporting caches.
+
+Covers the contract surface the differentials cannot see directly:
+memoization identity on :class:`~repro.core.instance.DSPPInstance`,
+fingerprint separation between the dense and reduced layouts, the
+``sparsify_columns="on"`` exactness guard, exact zeros in the unstacked
+trajectory, the mixed-precision fall-back path and the equilibration
+reuse counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.solvers.banded as banded
+from repro.core.dspp import DSPPWorkspace, solve_dspp
+from repro.core.instance import DSPPInstance
+from repro.core.matrices import resolve_sparsify, structure_fingerprint
+from repro.solvers.qp import QPSettings
+
+
+@pytest.fixture
+def pruned_instance() -> DSPPInstance:
+    """3 data centers x 4 locations with 5 of 12 pairs SLA-unusable."""
+    sla = np.array(
+        [
+            [0.02, np.inf, 0.05, np.inf],
+            [np.inf, 0.03, 0.04, 0.02],
+            [0.05, 0.02, np.inf, np.inf],
+        ]
+    )
+    state = np.where(np.isfinite(sla), 1.5, 0.0)
+    return DSPPInstance(
+        datacenters=("dc0", "dc1", "dc2"),
+        locations=("v0", "v1", "v2", "v3"),
+        sla_coefficients=sla,
+        reconfiguration_weights=np.array([1.0, 2.0, 0.5]),
+        capacities=np.array([80.0, 120.0, 60.0]),
+        initial_state=state,
+    )
+
+
+def _forecasts(instance, horizon, rng):
+    demand = rng.uniform(0.5, 1.0, (instance.num_locations, horizon)) * (
+        instance.max_supportable_demand()[:, None] / (2 * instance.num_locations)
+    )
+    prices = rng.uniform(0.5, 2.0, (instance.num_datacenters, horizon))
+    return demand, prices
+
+
+class TestInstanceMemoization:
+    def test_demand_coefficients_identity(self, pruned_instance):
+        first = pruned_instance.demand_coefficients
+        assert pruned_instance.demand_coefficients is first
+        assert not first.flags.writeable
+
+    def test_usable_pairs_identity(self, pruned_instance):
+        first = pruned_instance.usable_pairs
+        assert pruned_instance.usable_pairs is first
+        assert not first.flags.writeable
+        np.testing.assert_array_equal(
+            first, np.isfinite(pruned_instance.sla_coefficients)
+        )
+
+    def test_memos_propagate_through_vector_copies(self, pruned_instance):
+        coeff = pruned_instance.demand_coefficients
+        usable = pruned_instance.usable_pairs
+        moved = pruned_instance.with_capacities(pruned_instance.capacities * 1.1)
+        assert moved.demand_coefficients is coeff
+        assert moved.usable_pairs is usable
+        advanced = moved.with_initial_state(moved.initial_state * 0.5)
+        assert advanced.demand_coefficients is coeff
+        assert advanced.usable_pairs is usable
+
+
+class TestFingerprintAndResolve:
+    def test_fingerprint_separates_layouts(self, pruned_instance):
+        dense = structure_fingerprint(pruned_instance, 3, False, sparsify=False)
+        reduced = structure_fingerprint(pruned_instance, 3, False, sparsify=True)
+        assert dense != reduced
+
+    def test_resolve_modes(self, pruned_instance, small_instance):
+        assert resolve_sparsify(pruned_instance, "auto") is True
+        assert resolve_sparsify(pruned_instance, "on") is True
+        assert resolve_sparsify(pruned_instance, "off") is False
+        # All pairs usable: nothing to prune, even when forced on.
+        assert resolve_sparsify(small_instance, "auto") is False
+        assert resolve_sparsify(small_instance, "on") is False
+
+    def test_on_rejects_nonzero_pruned_state(self, pruned_instance):
+        bad_state = pruned_instance.initial_state.copy()
+        bad_state[~pruned_instance.usable_pairs] = 0.25
+        bad = pruned_instance.with_initial_state(bad_state)
+        with pytest.raises(ValueError, match="sparsify"):
+            resolve_sparsify(bad, "on")
+        # "auto" declines silently instead of raising.
+        assert resolve_sparsify(bad, "auto") is False
+
+    def test_solve_surfaces_the_guard(self, pruned_instance, rng):
+        bad_state = pruned_instance.initial_state.copy()
+        bad_state[~pruned_instance.usable_pairs] = 0.25
+        bad = pruned_instance.with_initial_state(bad_state)
+        demand, prices = _forecasts(bad, 3, rng)
+        with pytest.raises(ValueError, match="sparsify"):
+            solve_dspp(bad, demand, prices, settings=QPSettings(sparsify_columns="on"))
+
+
+class TestSparsifiedSolutions:
+    def test_pruned_pairs_are_exact_zeros(self, pruned_instance, rng):
+        demand, prices = _forecasts(pruned_instance, 4, rng)
+        solution = solve_dspp(
+            pruned_instance,
+            demand,
+            prices,
+            settings=QPSettings(early_polish=True, sparsify_columns="on"),
+        )
+        unusable = ~pruned_instance.usable_pairs
+        assert np.count_nonzero(solution.trajectory.states[:, unusable]) == 0
+        assert np.count_nonzero(solution.trajectory.controls[:, unusable]) == 0
+
+    def test_matches_dense_objective(self, pruned_instance, rng):
+        demand, prices = _forecasts(pruned_instance, 4, rng)
+        dense = solve_dspp(
+            pruned_instance,
+            demand,
+            prices,
+            settings=QPSettings(early_polish=True, sparsify_columns="off"),
+        )
+        reduced = solve_dspp(
+            pruned_instance,
+            demand,
+            prices,
+            settings=QPSettings(early_polish=True, sparsify_columns="on"),
+        )
+        assert reduced.objective == pytest.approx(dense.objective, rel=1e-9, abs=1e-9)
+
+
+class TestMixedPrecision:
+    def test_requires_krylov_backend(self):
+        with pytest.raises(ValueError, match="krylov"):
+            QPSettings(kkt_backend="banded", mixed_precision=True)
+
+    def test_certificate_failure_falls_back_to_float64(
+        self, pruned_instance, rng, monkeypatch
+    ):
+        # An impossible certificate forces the fall-back on the very first
+        # solve; the result must come from the recovered float64 path.
+        monkeypatch.setattr(banded, "_MIXED_CERT_TOL", -1.0)
+        demand, prices = _forecasts(pruned_instance, 3, rng)
+        reference = solve_dspp(
+            pruned_instance,
+            demand,
+            prices,
+            settings=QPSettings(early_polish=True, kkt_backend="banded"),
+        )
+        ws = DSPPWorkspace()
+        mixed = solve_dspp(
+            pruned_instance,
+            demand,
+            prices,
+            settings=QPSettings(
+                early_polish=True,
+                kkt_backend="krylov",
+                sparsify_columns="on",
+                mixed_precision=True,
+            ),
+            workspace=ws,
+        )
+        solver = ws._qp._lu
+        assert isinstance(solver, banded.BandedKKTSolver)
+        assert solver.precision_fallbacks >= 1
+        assert not solver._mixed_active
+        assert mixed.objective == pytest.approx(
+            reference.objective, rel=1e-9, abs=1e-9
+        )
+
+    def test_certificate_pass_keeps_float32_active(self, pruned_instance, rng):
+        demand, prices = _forecasts(pruned_instance, 3, rng)
+        ws = DSPPWorkspace()
+        mixed = solve_dspp(
+            pruned_instance,
+            demand,
+            prices,
+            settings=QPSettings(
+                early_polish=True,
+                kkt_backend="krylov",
+                sparsify_columns="on",
+                mixed_precision=True,
+            ),
+            workspace=ws,
+        )
+        reference = solve_dspp(
+            pruned_instance,
+            demand,
+            prices,
+            settings=QPSettings(early_polish=True, kkt_backend="banded"),
+        )
+        solver = ws._qp._lu
+        assert solver.precision_fallbacks == 0
+        assert solver._mixed_active
+        assert mixed.objective == pytest.approx(
+            reference.objective, rel=1e-8, abs=1e-8
+        )
+
+
+class TestEquilibrationReuse:
+    def test_repeat_setup_with_same_matrices_skips_ruiz(self, pruned_instance, rng):
+        ws = DSPPWorkspace()
+        demand, prices = _forecasts(pruned_instance, 3, rng)
+        solve_dspp(pruned_instance, demand, prices, workspace=ws)
+        assert ws._qp.num_equilibrations == 1
+        # Vector-only updates ride the cached scaling.
+        demand2, prices2 = _forecasts(pruned_instance, 3, rng)
+        solve_dspp(pruned_instance, demand2, prices2, workspace=ws)
+        assert ws._qp.num_equilibrations == 1
+        # A forced structural rebuild with bit-identical (P, A) also reuses
+        # the scaling: only the vectors are rescaled.
+        setups_before = ws._qp.num_setups
+        ws._structure = None
+        solve_dspp(pruned_instance, demand2, prices2, workspace=ws)
+        assert ws._qp.num_setups == setups_before + 1
+        assert ws._qp.num_equilibrations == 1
+
+    def test_different_structure_reequilibrates(self, pruned_instance, rng):
+        ws = DSPPWorkspace()
+        demand, prices = _forecasts(pruned_instance, 3, rng)
+        solve_dspp(pruned_instance, demand, prices, workspace=ws)
+        demand4, prices4 = _forecasts(pruned_instance, 4, rng)
+        solve_dspp(pruned_instance, demand4, prices4, workspace=ws)
+        assert ws._qp.num_equilibrations == 2
