@@ -15,7 +15,10 @@ a reproduction smoke test in CI).
 
 The ``verify`` subcommand group (``python -m repro verify fuzz|replay|list``)
 drives the differential-oracle/fuzzing subsystem in :mod:`repro.verify`;
-see :mod:`repro.verify.cli`.
+see :mod:`repro.verify.cli`.  The ``events`` subcommand replays individual
+requests against the MPC trajectory under hostile arrival scenarios and
+reports measured vs fluid-predicted SLA violation rates; see
+:mod:`repro.events.cli`.
 """
 
 from __future__ import annotations
@@ -132,6 +135,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_verify_parser(sub)
 
+    from repro.events.cli import add_events_parser
+
+    add_events_parser(sub)
+
     for name, description in _DESCRIPTIONS.items():
         figure_parser = sub.add_parser(name, help=description)
         figure_parser.add_argument("--seed", type=int, default=0)
@@ -160,6 +167,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.verify.cli import run_verify
 
         return run_verify(args)
+
+    if args.command == "events":
+        from repro.events.cli import run_events
+
+        return run_events(args)
 
     if args.command == "report":
         from repro.report import ReportOptions, write_report

@@ -629,7 +629,11 @@ class _FlowAnalyzer:
             return self._infer_matmul(expr, left_shape, right_shape)
         # elementwise / broadcasting operators
         if left_shape is None or right_shape is None:
-            return left_shape or right_shape
+            known = left_shape if left_shape is not None else right_shape
+            # A scalar broadcasts to the *unknown* operand's shape, so
+            # claiming the result is scalar would be unsound; only a
+            # known array shape survives the broadcast.
+            return known if known != () else None
         if left_shape == ():
             return right_shape
         if right_shape == ():

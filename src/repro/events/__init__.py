@@ -1,0 +1,72 @@
+"""Request-level discrete-event replay of fluid placement trajectories.
+
+The fluid layer (:mod:`repro.simulation`) plans and scores placements at
+per-period mean-rate granularity; this package replays *individual
+requests* against those placements to measure what the fluid model only
+predicts — per-location latency distributions and SLA violation rates —
+under a library of hostile arrival scenarios (flash crowds, bursty MMPP
+traffic, correlated regional shocks, mid-horizon outages, user traces).
+
+Entry points: :class:`~repro.events.engine.EventEngine` programmatically,
+``python -m repro events`` from the command line, and the
+``fluid_matches_events`` / ``events_deterministic_replay`` checks in
+:mod:`repro.verify`.
+"""
+
+from repro.events.arrivals import (
+    ArrivalProcess,
+    MMPPArrivals,
+    PoissonArrivals,
+    RegionalShockArrivals,
+    TraceArrivals,
+    flash_crowd_process,
+)
+from repro.events.calibration import (
+    CalibrationCell,
+    CalibrationCollector,
+    CalibrationReport,
+)
+from repro.events.collectors import (
+    Collector,
+    EventLogCollector,
+    LatencyCollector,
+    LocationStats,
+    ThroughputCollector,
+)
+from repro.events.engine import EventEngine, ReplayConfig, ReplayResult
+from repro.events.records import (
+    STATUS_DROPPED,
+    STATUS_SERVED,
+    STATUS_STRANDED,
+    EventLog,
+    PeriodBatch,
+    ReplayInfo,
+    logs_equal,
+)
+
+__all__ = [
+    "STATUS_DROPPED",
+    "STATUS_SERVED",
+    "STATUS_STRANDED",
+    "ArrivalProcess",
+    "CalibrationCell",
+    "CalibrationCollector",
+    "CalibrationReport",
+    "Collector",
+    "EventEngine",
+    "EventLog",
+    "EventLogCollector",
+    "LatencyCollector",
+    "LocationStats",
+    "MMPPArrivals",
+    "PeriodBatch",
+    "PoissonArrivals",
+    "RegionalShockArrivals",
+    "ReplayConfig",
+    "ReplayInfo",
+    "ReplayResult",
+    "ThroughputCollector",
+    "TraceArrivals",
+    "flash_crowd_process",
+    "logs_equal",
+]

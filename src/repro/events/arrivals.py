@@ -1,0 +1,380 @@
+"""Hostile arrival-scenario library for the request-level replay engine.
+
+The fluid layer sees only per-period mean rates; what actually hits the
+queues is a point process.  This module supplies the processes the
+differential checks replay against the fluid predictions:
+
+* :class:`PoissonArrivals` — the paper's model: a nonhomogeneous Poisson
+  process, piecewise-constant at the scenario's diurnal rates.  Flash
+  crowds enter here via :func:`flash_crowd_process` (rate-level spikes
+  from :mod:`repro.workload.spikes`).
+* :class:`MMPPArrivals` — a 2-state Markov-modulated Poisson process:
+  bursty traffic whose *mean* matches the advertised rate while its
+  short-term rate swings by ``1 ± burstiness``.
+* :class:`RegionalShockArrivals` — correlated demand shocks: all
+  locations of a region share one lognormal rate multiplier per period
+  (a Cox process), modelling regional news events the per-location
+  forecast cannot see.
+* :class:`TraceArrivals` — replay of a user-supplied request log.
+
+Every process draws from ``np.random.default_rng([seed, tag, period,
+location])`` — randomness is a pure function of the seed material, never
+of call order, so period replays parallelize with bitwise-identical
+results (the ``events_deterministic_replay`` guarantee).
+
+All processes expose the same two methods (see :class:`ArrivalProcess`):
+``arrivals(seed, period, location, duration)`` returns sorted arrival
+offsets in ``[0, duration)`` relative to the period start, and
+``mean_rate(period, location)`` the advertised long-run rate the fluid
+layer should be compared against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.workload.spikes import FlashCrowd, apply_flash_crowds
+
+__all__ = [
+    "ArrivalProcess",
+    "MMPPArrivals",
+    "PoissonArrivals",
+    "RegionalShockArrivals",
+    "TraceArrivals",
+    "flash_crowd_process",
+]
+
+# Seed-material tags: one namespace per randomness purpose, so adding a
+# process never perturbs another process's stream for the same seed.
+_TAG_POISSON = 101
+_TAG_MMPP = 102
+_TAG_SHOCK_LEVEL = 103
+_TAG_SHOCK_ARRIVALS = 104
+
+
+class ArrivalProcess(Protocol):
+    """Structural interface every arrival process satisfies."""
+
+    def arrivals(
+        self, seed: int, period: int, location: int, duration: float
+    ) -> np.ndarray:
+        """Sorted arrival offsets in ``[0, duration)`` for one cell."""
+        ...
+
+    def mean_rate(self, period: int, location: int) -> float:
+        """Advertised long-run arrival rate (requests/second)."""
+        ...
+
+
+def _validate_rates(rates: np.ndarray) -> np.ndarray:
+    rates = np.asarray(rates, dtype=float)
+    if rates.ndim != 2:
+        raise ValueError(f"rates must be (V, K), got shape {rates.shape}")
+    if not np.all(np.isfinite(rates)) or np.any(rates < 0):
+        raise ValueError("rates must be finite and nonnegative")
+    return rates
+
+
+def _check_cell(rates: np.ndarray, period: int, location: int) -> float:
+    V, K = rates.shape
+    if not 0 <= period < K:
+        raise IndexError(f"period {period} outside horizon 0..{K - 1}")
+    if not 0 <= location < V:
+        raise IndexError(f"location {location} outside 0..{V - 1}")
+    return float(rates[location, period])
+
+
+def _poisson_offsets(
+    rng: np.random.Generator, rate: float, duration: float, start: float = 0.0
+) -> np.ndarray:
+    """Homogeneous Poisson arrivals on ``[start, start + duration)``.
+
+    Conditioned on the count, Poisson arrival times are the order
+    statistics of i.i.d. uniforms — one ``poisson`` draw plus one sorted
+    uniform block replaces the exponential-gap loop exactly.
+    """
+    if rate <= 0.0 or duration <= 0.0:
+        return np.empty(0)
+    count = int(rng.poisson(rate * duration))
+    return start + np.sort(rng.random(count)) * duration
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Piecewise-constant-rate Poisson arrivals (the paper's workload).
+
+    Attributes:
+        rates: per-location, per-period mean rates, shape ``(V, K)`` in
+            requests/second — typically ``scenario.demand``.
+    """
+
+    rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rates", _validate_rates(self.rates))
+
+    def arrivals(
+        self, seed: int, period: int, location: int, duration: float
+    ) -> np.ndarray:
+        """Sorted arrival offsets in ``[0, duration)`` for one cell."""
+        rate = _check_cell(self.rates, period, location)
+        rng = np.random.default_rng([seed, _TAG_POISSON, period, location])
+        return _poisson_offsets(rng, rate, duration)
+
+    def mean_rate(self, period: int, location: int) -> float:
+        """Advertised rate: the scenario's fluid rate itself."""
+        return _check_cell(self.rates, period, location)
+
+
+def flash_crowd_process(
+    rates: np.ndarray, events: list[FlashCrowd]
+) -> PoissonArrivals:
+    """Poisson arrivals with flash-crowd spikes applied to the rates.
+
+    Wraps :func:`repro.workload.spikes.apply_flash_crowds`: the spike
+    raises the *rate* (ramp up, geometric decay), and the requests are
+    then Poisson at the spiked rate — the standard flash-crowd model.
+    """
+    return PoissonArrivals(rates=apply_flash_crowds(rates, events))
+
+
+@dataclass(frozen=True)
+class MMPPArrivals:
+    """2-state Markov-modulated Poisson arrivals (bursty traffic).
+
+    The modulating chain alternates between a high state at rate
+    ``rate * (1 + burstiness)`` and a low state at ``rate *
+    (1 - burstiness)`` with exponential dwell times of mean
+    ``duration / switches_per_period``.  The chain restarts in its
+    stationary distribution (each state with probability 1/2) at every
+    period boundary, so periods stay independent — the property that
+    makes per-period parallel replay exact — and the long-run mean rate
+    equals the advertised ``rates`` entry.
+
+    Attributes:
+        rates: advertised mean rates, shape ``(V, K)``.
+        burstiness: rate swing in ``[0, 1)``; 0 degenerates to Poisson.
+        switches_per_period: mean number of state switches per period.
+    """
+
+    rates: np.ndarray
+    burstiness: float = 0.8
+    switches_per_period: float = 4.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rates", _validate_rates(self.rates))
+        if not 0.0 <= self.burstiness < 1.0:
+            raise ValueError(f"burstiness must be in [0, 1), got {self.burstiness}")
+        if self.switches_per_period <= 0.0:
+            raise ValueError("switches_per_period must be positive")
+
+    def arrivals(
+        self, seed: int, period: int, location: int, duration: float
+    ) -> np.ndarray:
+        """Sorted arrival offsets in ``[0, duration)`` for one cell."""
+        rate = _check_cell(self.rates, period, location)
+        rng = np.random.default_rng([seed, _TAG_MMPP, period, location])
+        if rate <= 0.0 or duration <= 0.0:
+            return np.empty(0)
+        dwell_mean = duration / self.switches_per_period
+        state = int(rng.random() < 0.5)  # stationary restart
+        pieces: list[np.ndarray] = []
+        t = 0.0
+        while t < duration:
+            dwell = float(rng.exponential(dwell_mean))
+            end = min(t + dwell, duration)
+            swing = self.burstiness if state == 1 else -self.burstiness
+            pieces.append(_poisson_offsets(rng, rate * (1.0 + swing), end - t, start=t))
+            state = 1 - state
+            t += dwell
+        return np.concatenate(pieces) if pieces else np.empty(0)
+
+    def mean_rate(self, period: int, location: int) -> float:
+        """Advertised rate (the ±burstiness swings average out)."""
+        return _check_cell(self.rates, period, location)
+
+
+@dataclass(frozen=True)
+class RegionalShockArrivals:
+    """Poisson arrivals under correlated regional demand shocks.
+
+    With probability ``shock_probability`` per ``(region, period)``, all
+    locations of that region share one lognormal rate multiplier
+    ``exp(sigma * Z - sigma^2 / 2)`` (mean 1, so the advertised rate is
+    preserved in expectation); otherwise the multiplier is 1.  The
+    multiplier is drawn from seed material ``[seed, tag, period,
+    region]`` — co-regional locations *must* agree on it, which is what
+    makes the shock correlated rather than independent noise.
+
+    Attributes:
+        rates: advertised mean rates, shape ``(V, K)``.
+        regions: region id per location, length ``V``.
+        sigma: lognormal shock volatility (> 0).
+        shock_probability: per-(region, period) shock chance in [0, 1].
+    """
+
+    rates: np.ndarray
+    regions: tuple[int, ...]
+    sigma: float = 0.6
+    shock_probability: float = 0.25
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rates", _validate_rates(self.rates))
+        if len(self.regions) != self.rates.shape[0]:
+            raise ValueError(
+                f"regions has {len(self.regions)} entries for "
+                f"{self.rates.shape[0]} locations"
+            )
+        if any(region < 0 for region in self.regions):
+            raise ValueError("region ids must be nonnegative")
+        if self.sigma <= 0.0:
+            raise ValueError(f"sigma must be positive, got {self.sigma}")
+        if not 0.0 <= self.shock_probability <= 1.0:
+            raise ValueError("shock_probability must be in [0, 1]")
+
+    def multiplier(self, seed: int, period: int, region: int) -> float:
+        """The shared rate multiplier of one ``(region, period)`` cell."""
+        rng = np.random.default_rng([seed, _TAG_SHOCK_LEVEL, period, region])
+        hit = bool(rng.random() < self.shock_probability)
+        z = float(rng.standard_normal())  # drawn either way: stable stream
+        if not hit:
+            return 1.0
+        return math.exp(self.sigma * z - 0.5 * self.sigma**2)
+
+    def arrivals(
+        self, seed: int, period: int, location: int, duration: float
+    ) -> np.ndarray:
+        """Sorted arrival offsets in ``[0, duration)`` for one cell."""
+        rate = _check_cell(self.rates, period, location)
+        scale = self.multiplier(seed, period, self.regions[location])
+        rng = np.random.default_rng([seed, _TAG_SHOCK_ARRIVALS, period, location])
+        return _poisson_offsets(rng, rate * scale, duration)
+
+    def mean_rate(self, period: int, location: int) -> float:
+        """Advertised rate (the shock multiplier has mean 1)."""
+        return _check_cell(self.rates, period, location)
+
+
+@dataclass(frozen=True)
+class TraceArrivals:
+    """Replay of a user-supplied request log.
+
+    The trace timeline starts at 0 with the first *replayed* period
+    (period 1 of the scenario), so requests with absolute timestamps in
+    ``[(p - 1) * period_duration, p * period_duration)`` belong to
+    period ``p``.  Deterministic: the same log always replays the same
+    way — the only process here with no randomness at all.
+
+    Attributes:
+        times: absolute request timestamps, sorted ascending, covering
+            ``[0, (num_periods - 1) * period_duration)``.
+        locations: originating location per request, same length.
+        num_periods: scenario horizon ``K`` (periods ``1..K-1`` replay).
+        num_locations: ``V``.
+        period_duration: seconds per control period.
+    """
+
+    times: np.ndarray
+    locations: np.ndarray
+    num_periods: int
+    num_locations: int
+    period_duration: float
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=float)
+        locations = np.asarray(self.locations, dtype=np.int64)
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "locations", locations)
+        if times.shape != locations.shape or times.ndim != 1:
+            raise ValueError("times and locations must be equal-length 1-d arrays")
+        if times.size and (not np.all(np.isfinite(times)) or times[0] < 0):
+            raise ValueError("timestamps must be finite and nonnegative")
+        if np.any(np.diff(times) < 0):
+            raise ValueError("timestamps must be sorted ascending")
+        if self.num_periods < 2:
+            raise ValueError("need at least 2 periods (one replayed span)")
+        if self.period_duration <= 0.0:
+            raise ValueError("period_duration must be positive")
+        span = (self.num_periods - 1) * self.period_duration
+        if times.size and times[-1] >= span:
+            raise ValueError(
+                f"trace extends to t={times[-1]:.6g} beyond the replayed "
+                f"span [0, {span:.6g})"
+            )
+        if times.size and (locations.min() < 0 or locations.max() >= self.num_locations):
+            raise ValueError("trace names a location outside 0..V-1")
+
+    @staticmethod
+    def from_request_log(
+        times: np.ndarray,
+        locations: np.ndarray,
+        num_periods: int,
+        num_locations: int | None = None,
+        period_duration: float | None = None,
+    ) -> TraceArrivals:
+        """Build a trace process from raw (unsorted) log arrays.
+
+        Args:
+            times: request timestamps (any order; re-sorted stably).
+            locations: location index per request.
+            num_periods: scenario horizon ``K``; the log is split over
+                the ``K - 1`` replayed periods.
+            num_locations: ``V`` (default: ``max(locations) + 1``).
+            period_duration: seconds per period (default: the smallest
+                uniform split that contains the whole log).
+        """
+        times = np.asarray(times, dtype=float)
+        locations = np.asarray(locations, dtype=np.int64)
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        locations = locations[order]
+        if num_locations is None:
+            num_locations = int(locations.max()) + 1 if locations.size else 1
+        if period_duration is None:
+            if not times.size or times[-1] <= 0.0:
+                raise ValueError("cannot infer period_duration from an empty trace")
+            period_duration = float(times[-1]) * (1.0 + 1e-9) / (num_periods - 1)
+        return TraceArrivals(
+            times=times,
+            locations=locations,
+            num_periods=num_periods,
+            num_locations=num_locations,
+            period_duration=period_duration,
+        )
+
+    def rate_matrix(self) -> np.ndarray:
+        """Empirical per-period rates, shape ``(V, K)`` — the fluid view.
+
+        Column 0 (the never-replayed initial period) copies column 1 so
+        the controller warm-starts against a representative load.
+        """
+        V, K = self.num_locations, self.num_periods
+        rates = np.zeros((V, K))
+        if self.times.size:
+            period = np.minimum(
+                (self.times / self.period_duration).astype(np.int64) + 1, K - 1
+            )
+            np.add.at(rates, (self.locations, period), 1.0 / self.period_duration)
+        rates[:, 0] = rates[:, 1]
+        return rates
+
+    def arrivals(
+        self, seed: int, period: int, location: int, duration: float
+    ) -> np.ndarray:
+        """Trace requests of one cell, as offsets into the period."""
+        if not 1 <= period < self.num_periods:
+            raise IndexError(f"period {period} outside 1..{self.num_periods - 1}")
+        if not 0 <= location < self.num_locations:
+            raise IndexError(f"location {location} outside 0..{self.num_locations - 1}")
+        start = (period - 1) * self.period_duration
+        lo, hi = np.searchsorted(self.times, [start, start + self.period_duration])
+        mask = self.locations[lo:hi] == location
+        return self.times[lo:hi][mask] - start
+
+    def mean_rate(self, period: int, location: int) -> float:
+        """Empirical rate of the cell's trace bin."""
+        return float(self.rate_matrix()[location, period])

@@ -1,0 +1,290 @@
+"""Fluid-vs-measured calibration: the engine as an oracle for eq. 9–11.
+
+The paper's SLA constraint rests on a stationary M/M/1 model per
+``(l, v)`` pair: sojourn ``T ~ Exp(mu - lambda)`` at per-server load
+``lambda``, so the mean delay is ``1 / (mu - lambda)`` and — since the
+network part ``d_lv`` is deterministic — the end-to-end violation
+probability is ``P[d_lv + T > d-bar] = exp(-(mu - lambda) * (d-bar -
+d_lv))``.  :class:`CalibrationCollector` measures both quantities from
+the replayed requests *at the measured load* (the prediction uses the
+empirical per-server arrival rate of the same cell, so the comparison is
+load-matched) and :class:`CalibrationReport` lays them side by side —
+the data behind the ``fluid_matches_events`` differential check and the
+``python -m repro events`` CLI table.
+
+Memory stays ``O(periods * L * V)``: only sufficient statistics per cell
+are kept, so million-request replays cost megabytes here.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.events.collectors import Collector
+from repro.events.records import STATUS_DROPPED, STATUS_SERVED, PeriodBatch, ReplayInfo
+
+__all__ = ["CalibrationCell", "CalibrationCollector", "CalibrationReport"]
+
+
+@dataclass(frozen=True)
+class CalibrationCell:
+    """Measured vs predicted statistics of one ``(period, l, v)`` cell.
+
+    Attributes:
+        period: replayed period index.
+        datacenter: ``l``.
+        location: ``v``.
+        servers: integer servers the pair ran.
+        routed: requests routed to the pair (served + stranded).
+        measured: served post-warmup requests (the statistics basis).
+        arrival_rate: empirical per-server arrival rate
+            ``routed / (duration * servers)``.
+        utilization: ``arrival_rate / mu``.
+        mean_sojourn: measured mean wait + service (NaN when empty).
+        predicted_sojourn: M/M/1 mean ``1 / (mu - arrival_rate)`` at the
+            measured load (inf when the cell is overloaded).
+        violations: measured requests whose end-to-end latency exceeded
+            the bound.
+        violation_rate: ``violations / measured`` (NaN when empty).
+        predicted_violation_rate: ``exp(-(mu - lambda)(d-bar - d_lv))``,
+            clipped to 1 when the latency budget or stability fails.
+        network_latency: the pair's fixed delay ``d_lv`` (seconds).
+    """
+
+    period: int
+    datacenter: int
+    location: int
+    servers: int
+    routed: int
+    measured: int
+    arrival_rate: float
+    utilization: float
+    mean_sojourn: float
+    predicted_sojourn: float
+    violations: int
+    violation_rate: float
+    predicted_violation_rate: float
+    network_latency: float
+
+
+def _predict(
+    service_rate: float, arrival_rate: float, latency_budget: float
+) -> tuple[float, float]:
+    """M/M/1 mean sojourn and end-to-end violation probability."""
+    slack = service_rate - arrival_rate
+    if slack <= 0.0:
+        return float("inf"), 1.0
+    if latency_budget <= 0.0:
+        return 1.0 / slack, 1.0
+    return 1.0 / slack, math.exp(-slack * latency_budget)
+
+
+class CalibrationCollector(Collector):
+    """Accumulates per-cell measured-vs-predicted sufficient statistics."""
+
+    def __init__(self) -> None:
+        self._info: ReplayInfo | None = None
+        self._cells: list[CalibrationCell] = []
+        self._location_drops: np.ndarray | None = None
+        self._location_arrivals: np.ndarray | None = None
+
+    def on_start(self, info: ReplayInfo) -> None:
+        self._info = info
+        self._cells = []
+        self._location_drops = np.zeros(info.num_locations, dtype=np.int64)
+        self._location_arrivals = np.zeros(info.num_locations, dtype=np.int64)
+
+    def on_period(self, batch: PeriodBatch) -> None:
+        info = self._info
+        if info is None or self._location_drops is None or self._location_arrivals is None:
+            raise RuntimeError("on_period before on_start")
+        V = info.num_locations
+        self._location_arrivals += np.bincount(batch.location, minlength=V)
+        dropped = batch.status == STATUS_DROPPED
+        self._location_drops += np.bincount(batch.location[dropped], minlength=V)
+
+        routed = batch.datacenter >= 0
+        if not np.any(routed):
+            return
+        pair = batch.datacenter[routed] * V + batch.location[routed]
+        routed_counts = np.bincount(pair, minlength=info.num_datacenters * V)
+
+        cutoff = batch.start_time + info.warmup_fraction * batch.duration
+        measured_mask = (batch.status == STATUS_SERVED) & (batch.arrival >= cutoff)
+        pair_measured = batch.datacenter[measured_mask] * V + batch.location[measured_mask]
+        size = info.num_datacenters * V
+        measured_counts = np.bincount(pair_measured, minlength=size)
+        sojourn_sums = np.bincount(
+            pair_measured, weights=batch.sojourn[measured_mask], minlength=size
+        )
+        over = batch.latency[measured_mask] > info.max_latency
+        violation_counts = np.bincount(pair_measured[over], minlength=size)
+
+        for flat in np.flatnonzero(routed_counts):
+            l, v = divmod(int(flat), V)
+            servers = int(batch.server_counts[l, v])
+            if servers < 1:
+                continue
+            routed_lv = int(routed_counts[flat])
+            arrival_rate = routed_lv / (batch.duration * servers)
+            measured_lv = int(measured_counts[flat])
+            mean_sojourn = (
+                sojourn_sums[flat] / measured_lv if measured_lv else float("nan")
+            )
+            budget = info.max_latency - float(info.network_latency[l, v])
+            predicted_sojourn, predicted_rate = _predict(
+                info.service_rate, arrival_rate, budget
+            )
+            violations = int(violation_counts[flat])
+            self._cells.append(
+                CalibrationCell(
+                    period=batch.period,
+                    datacenter=l,
+                    location=v,
+                    servers=servers,
+                    routed=routed_lv,
+                    measured=measured_lv,
+                    arrival_rate=arrival_rate,
+                    utilization=arrival_rate / info.service_rate,
+                    mean_sojourn=float(mean_sojourn),
+                    predicted_sojourn=predicted_sojourn,
+                    violations=violations,
+                    violation_rate=(
+                        violations / measured_lv if measured_lv else float("nan")
+                    ),
+                    predicted_violation_rate=predicted_rate,
+                    network_latency=float(info.network_latency[l, v]),
+                )
+            )
+
+    @property
+    def cells(self) -> tuple[CalibrationCell, ...]:
+        return tuple(self._cells)
+
+    def report(self) -> CalibrationReport:
+        """Aggregate the accumulated cells into the per-location report."""
+        if (
+            self._info is None
+            or self._location_drops is None
+            or self._location_arrivals is None
+        ):
+            raise RuntimeError("collector never started")
+        return CalibrationReport(
+            cells=tuple(self._cells),
+            locations=self._info.locations,
+            datacenters=self._info.datacenters,
+            location_arrivals=self._location_arrivals.copy(),
+            location_drops=self._location_drops.copy(),
+            max_latency=self._info.max_latency,
+        )
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Measured vs fluid-predicted SLA outcomes, per location.
+
+    Attributes:
+        cells: every per-(period, l, v) calibration cell.
+        locations: access-location labels.
+        datacenters: data-center labels.
+        location_arrivals: total arrivals per location.
+        location_drops: admission rejections per location.
+        max_latency: the SLA bound (seconds).
+    """
+
+    cells: tuple[CalibrationCell, ...]
+    locations: tuple[str, ...]
+    datacenters: tuple[str, ...]
+    location_arrivals: np.ndarray
+    location_drops: np.ndarray
+    max_latency: float
+
+    def location_rows(self) -> list[dict[str, float]]:
+        """Measurement-weighted per-location aggregates.
+
+        Means and violation rates are weighted by each cell's measured
+        count, so heavy cells dominate exactly as they do in reality.
+        """
+        V = len(self.locations)
+        measured = np.zeros(V)
+        latency_meas = np.zeros(V)
+        latency_pred = np.zeros(V)
+        viol_meas = np.zeros(V)
+        viol_pred = np.zeros(V)
+        for cell in self.cells:
+            if cell.measured == 0 or not math.isfinite(cell.predicted_sojourn):
+                continue
+            v = cell.location
+            weight = float(cell.measured)
+            measured[v] += weight
+            latency_meas[v] += weight * (cell.network_latency + cell.mean_sojourn)
+            latency_pred[v] += weight * (cell.network_latency + cell.predicted_sojourn)
+            viol_meas[v] += weight * cell.violation_rate
+            viol_pred[v] += weight * cell.predicted_violation_rate
+        rows: list[dict[str, float]] = []
+        for v in range(V):
+            weight = measured[v]
+            rows.append(
+                {
+                    "location": v,
+                    "arrivals": float(self.location_arrivals[v]),
+                    "dropped": float(self.location_drops[v]),
+                    "measured": weight,
+                    "mean_latency": latency_meas[v] / weight if weight else float("nan"),
+                    "predicted_latency": (
+                        latency_pred[v] / weight if weight else float("nan")
+                    ),
+                    "violation_rate": viol_meas[v] / weight if weight else float("nan"),
+                    "predicted_violation_rate": (
+                        viol_pred[v] / weight if weight else float("nan")
+                    ),
+                }
+            )
+        return rows
+
+    def format_table(self) -> str:
+        """Human-readable measured-vs-predicted table (one row per location)."""
+        header = (
+            f"{'location':<18} {'arrivals':>9} {'dropped':>8} "
+            f"{'lat meas':>9} {'lat pred':>9} {'viol meas':>10} {'viol pred':>10}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.location_rows():
+            v = int(row["location"])
+            label = self.locations[v] if v < len(self.locations) else str(v)
+            lines.append(
+                f"{label:<18} {int(row['arrivals']):>9d} {int(row['dropped']):>8d} "
+                f"{row['mean_latency']:>9.4f} {row['predicted_latency']:>9.4f} "
+                f"{row['violation_rate']:>10.4f} {row['predicted_violation_rate']:>10.4f}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """JSON document: per-location rows plus every raw cell.
+
+        Non-finite statistics (empty cells, overloaded predictions) are
+        emitted as ``null`` so the document stays strict JSON.
+        """
+
+        def clean(mapping: dict[str, float]) -> dict[str, float | None]:
+            return {
+                key: (
+                    value
+                    if not isinstance(value, float) or math.isfinite(value)
+                    else None
+                )
+                for key, value in mapping.items()
+            }
+
+        payload = {
+            "max_latency": self.max_latency,
+            "locations": list(self.locations),
+            "datacenters": list(self.datacenters),
+            "per_location": [clean(row) for row in self.location_rows()],
+            "cells": [clean(asdict(cell)) for cell in self.cells],
+        }
+        return json.dumps(payload, indent=2)

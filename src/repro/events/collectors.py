@@ -1,0 +1,197 @@
+"""Pluggable measurement collectors for the replay engine.
+
+The engine/collector split follows the Icarus simulator's design: the
+event loop produces the raw dynamics; *what is measured* lives in small
+independent collectors attached to the run.  Each collector sees
+``on_start(info)`` once, then ``on_period(batch)`` for every period in
+order, then ``on_finish()``.  Collectors never influence the dynamics —
+the ``events_deterministic_replay`` check replays with different
+collector sets and requires bitwise-identical logs.
+
+Provided collectors:
+
+* :class:`LatencyCollector` — per-location mean latency and SLA
+  violation rates over post-warmup served requests.
+* :class:`ThroughputCollector` — per-period arrival/served/dropped/
+  stranded counts.
+* :class:`EventLogCollector` — retains every batch and exposes the flat
+  :class:`~repro.events.records.EventLog` (the determinism oracle).
+
+The fluid-vs-measured calibration collector lives in
+:mod:`repro.events.calibration`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.events.records import (
+    STATUS_DROPPED,
+    STATUS_SERVED,
+    STATUS_STRANDED,
+    EventLog,
+    PeriodBatch,
+    ReplayInfo,
+)
+
+__all__ = [
+    "Collector",
+    "EventLogCollector",
+    "LatencyCollector",
+    "LocationStats",
+    "ThroughputCollector",
+]
+
+
+class Collector(abc.ABC):
+    """Base class of replay measurement plugins."""
+
+    def on_start(self, info: ReplayInfo) -> None:
+        """Called once before the first period; ``info`` is static."""
+
+    @abc.abstractmethod
+    def on_period(self, batch: PeriodBatch) -> None:
+        """Called once per replayed period, in period order."""
+
+    def on_finish(self) -> None:
+        """Called once after the last period."""
+
+
+@dataclass(frozen=True)
+class LocationStats:
+    """Aggregate per-location outcome of one replay.
+
+    Attributes:
+        arrivals: total requests originating at each location.
+        served: completed requests (all periods, including warmup).
+        dropped: admission rejections.
+        stranded: in-flight requests lost to outages.
+        measured: post-warmup served requests (the statistics basis).
+        violations: post-warmup served requests over the latency bound.
+        mean_latency: mean end-to-end latency over measured requests
+            (NaN where nothing was measured).
+        violation_rate: ``violations / measured`` (NaN where empty).
+    """
+
+    arrivals: np.ndarray
+    served: np.ndarray
+    dropped: np.ndarray
+    stranded: np.ndarray
+    measured: np.ndarray
+    violations: np.ndarray
+    mean_latency: np.ndarray
+    violation_rate: np.ndarray
+
+
+class LatencyCollector(Collector):
+    """Per-location latency and SLA-violation statistics.
+
+    Statistics are computed over *served, post-warmup* requests: each
+    period's queues start empty (the placement just switched), so the
+    first ``warmup_fraction`` of every period is discarded as transient,
+    mirroring :func:`repro.simulation.queue_sim.simulate_mm1`.
+    """
+
+    def __init__(self) -> None:
+        self._info: ReplayInfo | None = None
+
+    def on_start(self, info: ReplayInfo) -> None:
+        V = info.num_locations
+        self._info = info
+        self._arrivals = np.zeros(V, dtype=np.int64)
+        self._served = np.zeros(V, dtype=np.int64)
+        self._dropped = np.zeros(V, dtype=np.int64)
+        self._stranded = np.zeros(V, dtype=np.int64)
+        self._measured = np.zeros(V, dtype=np.int64)
+        self._violations = np.zeros(V, dtype=np.int64)
+        self._latency_sum = np.zeros(V)
+
+    def on_period(self, batch: PeriodBatch) -> None:
+        if self._info is None:
+            raise RuntimeError("on_period before on_start")
+        V = self._info.num_locations
+        counts = np.bincount(batch.location, minlength=V)
+        self._arrivals += counts
+        for status, sink in (
+            (STATUS_SERVED, self._served),
+            (STATUS_DROPPED, self._dropped),
+            (STATUS_STRANDED, self._stranded),
+        ):
+            mask = batch.status == status
+            sink += np.bincount(batch.location[mask], minlength=V)
+        cutoff = batch.start_time + self._info.warmup_fraction * batch.duration
+        keep = (batch.status == STATUS_SERVED) & (batch.arrival >= cutoff)
+        loc = batch.location[keep]
+        self._measured += np.bincount(loc, minlength=V)
+        self._latency_sum += np.bincount(loc, weights=batch.latency[keep], minlength=V)
+        over = batch.latency[keep] > self._info.max_latency
+        self._violations += np.bincount(loc[over], minlength=V)
+
+    def location_stats(self) -> LocationStats:
+        """The accumulated per-location aggregates."""
+        if self._info is None:
+            raise RuntimeError("collector never started")
+        with_data = self._measured > 0
+        mean_latency = np.full(self._info.num_locations, np.nan)
+        violation_rate = np.full(self._info.num_locations, np.nan)
+        mean_latency[with_data] = (
+            self._latency_sum[with_data] / self._measured[with_data]
+        )
+        violation_rate[with_data] = (
+            self._violations[with_data] / self._measured[with_data]
+        )
+        return LocationStats(
+            arrivals=self._arrivals.copy(),
+            served=self._served.copy(),
+            dropped=self._dropped.copy(),
+            stranded=self._stranded.copy(),
+            measured=self._measured.copy(),
+            violations=self._violations.copy(),
+            mean_latency=mean_latency,
+            violation_rate=violation_rate,
+        )
+
+
+class ThroughputCollector(Collector):
+    """Per-period request accounting (arrivals/served/dropped/stranded)."""
+
+    def __init__(self) -> None:
+        self._periods: list[int] = []
+        self._rows: list[tuple[int, int, int, int]] = []
+
+    def on_period(self, batch: PeriodBatch) -> None:
+        self._periods.append(batch.period)
+        self._rows.append(
+            (batch.num_requests, batch.num_served, batch.num_dropped, batch.num_stranded)
+        )
+
+    def per_period(self) -> np.ndarray:
+        """Counts array, shape ``(periods, 4)``: arrivals/served/dropped/stranded."""
+        if not self._rows:
+            return np.empty((0, 4), dtype=np.int64)
+        return np.asarray(self._rows, dtype=np.int64)
+
+    @property
+    def periods(self) -> tuple[int, ...]:
+        return tuple(self._periods)
+
+
+class EventLogCollector(Collector):
+    """Retains every batch; exposes the flat request-level log."""
+
+    def __init__(self) -> None:
+        self._batches: list[PeriodBatch] = []
+
+    def on_period(self, batch: PeriodBatch) -> None:
+        self._batches.append(batch)
+
+    @property
+    def batches(self) -> tuple[PeriodBatch, ...]:
+        return tuple(self._batches)
+
+    def log(self) -> EventLog:
+        """The concatenated event log (period order)."""
+        return EventLog.from_batches(self._batches)

@@ -1,0 +1,226 @@
+"""Shared record types of the request-level replay engine.
+
+The engine (:mod:`repro.events.engine`) produces one :class:`PeriodBatch`
+per control period — column-oriented numpy arrays rather than per-request
+Python objects, so a million requests cost megabytes, not gigabytes.
+Collectors consume batches in period order; :class:`EventLog` is the
+concatenation of every batch into one flat, bitwise-comparable log (the
+object the ``events_deterministic_replay`` check diffs across ``--jobs``
+settings).
+
+Request statuses:
+
+========  =====================================================
+Status    Meaning
+========  =====================================================
+SERVED    completed service; has a wait, sojourn and latency.
+DROPPED   rejected at admission (fluid capacity shortfall);
+          never entered a queue.
+STRANDED  admitted and queued, but its data center (partially)
+          failed before completion — the request is accounted
+          for, yet produced no latency sample.
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "STATUS_DROPPED",
+    "STATUS_SERVED",
+    "STATUS_STRANDED",
+    "EventLog",
+    "PeriodBatch",
+    "ReplayInfo",
+    "logs_equal",
+]
+
+STATUS_SERVED = 0
+STATUS_DROPPED = 1
+STATUS_STRANDED = 2
+
+# Array fields of a batch, in canonical (log) order.
+_ARRAY_FIELDS = (
+    "arrival",
+    "location",
+    "datacenter",
+    "server",
+    "service",
+    "wait",
+    "sojourn",
+    "latency",
+    "status",
+)
+
+
+@dataclass(frozen=True)
+class ReplayInfo:
+    """Static facts of one replay, handed to collectors at ``on_start``.
+
+    Attributes:
+        num_periods: scenario horizon ``K`` (periods ``1..K-1`` replay).
+        period_duration: simulated seconds per control period.
+        num_datacenters: ``L``.
+        num_locations: ``V``.
+        service_rate: per-server ``mu`` (requests/second).
+        max_latency: the SLA latency bound ``d-bar`` (seconds).
+        network_latency: fixed network delays, shape ``(L, V)``, seconds.
+        warmup_fraction: fraction of each period excluded from statistics.
+        datacenters: data-center labels, length ``L``.
+        locations: access-location labels, length ``V``.
+        seed: the replay's root seed.
+    """
+
+    num_periods: int
+    period_duration: float
+    num_datacenters: int
+    num_locations: int
+    service_rate: float
+    max_latency: float
+    network_latency: np.ndarray
+    warmup_fraction: float
+    datacenters: tuple[str, ...]
+    locations: tuple[str, ...]
+    seed: int
+
+
+@dataclass(frozen=True)
+class PeriodBatch:
+    """Every request of one control period, column-oriented.
+
+    Requests are ordered by absolute arrival time (ties broken by
+    location index), so the ordering is a pure function of the data —
+    independent of worker count or location iteration order.
+
+    Attributes:
+        period: the demand column this batch replays (``1..K-1``).
+        start_time: absolute simulated time the period starts at.
+        duration: period length in simulated seconds.
+        server_counts: integer servers stood up per ``(l, v)`` pair.
+        arrival: absolute arrival times, shape ``(n,)``.
+        location: originating access location per request.
+        datacenter: serving data center (``-1`` for dropped requests).
+        server: per-pair server index (``-1`` for dropped requests).
+        service: exponential service demands (NaN for dropped).
+        wait: FIFO queueing delay (NaN for dropped).
+        sojourn: ``wait + service`` (NaN for dropped).
+        latency: end-to-end ``network + sojourn`` (NaN unless served).
+        status: one of ``STATUS_SERVED/DROPPED/STRANDED`` per request.
+    """
+
+    period: int
+    start_time: float
+    duration: float
+    server_counts: np.ndarray
+    arrival: np.ndarray
+    location: np.ndarray
+    datacenter: np.ndarray
+    server: np.ndarray
+    service: np.ndarray
+    wait: np.ndarray
+    sojourn: np.ndarray
+    latency: np.ndarray
+    status: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.arrival.size
+        for name in _ARRAY_FIELDS:
+            field = getattr(self, name)
+            if field.shape != (n,):
+                raise ValueError(
+                    f"batch field {name!r} has shape {field.shape}, expected ({n},)"
+                )
+
+    @property
+    def num_requests(self) -> int:
+        return int(self.arrival.size)
+
+    @property
+    def num_served(self) -> int:
+        return int(np.count_nonzero(self.status == STATUS_SERVED))
+
+    @property
+    def num_dropped(self) -> int:
+        return int(np.count_nonzero(self.status == STATUS_DROPPED))
+
+    @property
+    def num_stranded(self) -> int:
+        return int(np.count_nonzero(self.status == STATUS_STRANDED))
+
+
+@dataclass(frozen=True)
+class EventLog:
+    """All batches of a replay flattened into one request-level log.
+
+    Attributes:
+        period: per-request period index.
+        arrival/location/datacenter/server/service/wait/sojourn/latency/
+            status: as in :class:`PeriodBatch`, concatenated in period
+            order.
+    """
+
+    period: np.ndarray
+    arrival: np.ndarray
+    location: np.ndarray
+    datacenter: np.ndarray
+    server: np.ndarray
+    service: np.ndarray
+    wait: np.ndarray
+    sojourn: np.ndarray
+    latency: np.ndarray
+    status: np.ndarray
+
+    @staticmethod
+    def from_batches(batches: list[PeriodBatch]) -> EventLog:
+        """Concatenate period batches (in the given order) into one log."""
+        if not batches:
+            empty_f = np.empty(0)
+            empty_i = np.empty(0, dtype=np.int64)
+            return EventLog(
+                period=empty_i.copy(),
+                arrival=empty_f.copy(),
+                location=empty_i.copy(),
+                datacenter=empty_i.copy(),
+                server=empty_i.copy(),
+                service=empty_f.copy(),
+                wait=empty_f.copy(),
+                sojourn=empty_f.copy(),
+                latency=empty_f.copy(),
+                status=empty_i.copy(),
+            )
+        period = np.concatenate(
+            [np.full(batch.num_requests, batch.period, dtype=np.int64) for batch in batches]
+        )
+        columns = {
+            name: np.concatenate([getattr(batch, name) for batch in batches])
+            for name in _ARRAY_FIELDS
+        }
+        return EventLog(period=period, **columns)
+
+    @property
+    def num_requests(self) -> int:
+        return int(self.arrival.size)
+
+
+def logs_equal(first: EventLog, second: EventLog) -> bool:
+    """Exact (bitwise-level) equality of two event logs.
+
+    Float columns are compared with ``equal_nan=True`` — NaN markers must
+    sit at identical positions; every finite value must match exactly.
+    This is the oracle behind ``events_deterministic_replay``: any
+    jobs-count or collector-set dependence shows up as a diff here.
+    """
+    for name in ("period", *_ARRAY_FIELDS):
+        a = getattr(first, name)
+        b = getattr(second, name)
+        if a.shape != b.shape:
+            return False
+        if np.issubdtype(a.dtype, np.floating):
+            if not np.array_equal(a, b, equal_nan=True):
+                return False
+        elif not np.array_equal(a, b):
+            return False
+    return True

@@ -25,10 +25,13 @@ from repro.simulation.failures import (
     run_closed_loop_with_failures,
 )
 from repro.simulation.queue_sim import (
+    EmpiricalSLAResult,
     QueueSimResult,
+    effective_sample_size,
     simulate_mm1,
     simulate_mmc,
     simulate_split_servers,
+    sojourn_mean_ci,
     validate_sla_empirically,
 )
 
@@ -45,7 +48,10 @@ __all__ = [
     "OutageEvent",
     "capacity_schedule",
     "run_closed_loop_with_failures",
+    "EmpiricalSLAResult",
     "QueueSimResult",
+    "effective_sample_size",
+    "sojourn_mean_ci",
     "simulate_mm1",
     "simulate_mmc",
     "simulate_split_servers",

@@ -35,6 +35,12 @@ The registered properties:
                                       policy, both feasible
 ``mm1_sim``                           analytic M/M/1 delay vs event sim
 ``mm1_inversion``                     SLA server-count inversion (eq. 9-11)
+``fluid_matches_events``              request-level replay vs the fluid
+                                      M/M/1 mean-delay and violation-rate
+                                      predictions at matched load
+``events_deterministic_replay``       same seed => bitwise-identical event
+                                      log and metrics at any jobs count or
+                                      collector set
 ====================================  =====================================
 """
 
@@ -46,13 +52,29 @@ import numpy as np
 
 from repro.control.mpc import MPCConfig, MPCController
 from repro.core.dspp import DSPPInfeasibleError, DSPPWorkspace, solve_dspp
+from repro.events.arrivals import MMPPArrivals, PoissonArrivals, RegionalShockArrivals
+from repro.events.calibration import CalibrationCollector
+from repro.events.collectors import (
+    Collector,
+    EventLogCollector,
+    LatencyCollector,
+    LocationStats,
+    ThroughputCollector,
+)
+from repro.events.engine import EventEngine
+from repro.events.engine import ReplayConfig as EventReplayConfig
+from repro.events.records import EventLog, logs_equal
 from repro.core.instance import DSPPInstance
 from repro.core.integer import IntegerRepairError, solve_dspp_integer
 from repro.core.matrices import build_stacked_qp
 from repro.prediction.naive import LastValuePredictor
+from repro.prediction.oracle import OraclePredictor
 from repro.queueing.mm1 import queueing_delay, required_servers
 from repro.routing.optimal import optimal_assignment
 from repro.routing.proportional import proportional_assignment
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.queue_sim import effective_sample_size
+from repro.simulation.scenario import Scenario, build_small_scenario
 from repro.solvers.qp import QPProblem, QPSettings, QPStatus, solve_qp
 from repro.solvers.workspace import QPWorkspace
 from repro.verify.generators import (
@@ -79,6 +101,8 @@ __all__ = [
     "prop_demand_monotonicity",
     "prop_dspp_reference",
     "prop_elastic_infeasible",
+    "prop_events_deterministic_replay",
+    "prop_fluid_matches_events",
     "prop_horizon1_mpc_equals_myopic",
     "prop_integer_sandwich",
     "prop_krylov_equals_banded",
@@ -961,4 +985,236 @@ def prop_mm1_inversion(rng: np.random.Generator, tier: ScaleTier) -> list[Discre
                     more - achieved,
                 )
             )
+    return findings
+
+
+def _small_event_setup(
+    rng: np.random.Generator, tier: ScaleTier
+) -> tuple[Scenario, int]:
+    """A tier-capped small scenario plus a derived replay seed."""
+    num_datacenters = int(rng.integers(2, max(2, min(tier.max_datacenters, 3)) + 1))
+    num_locations = int(rng.integers(2, max(2, min(tier.max_locations, 3)) + 1))
+    scenario = build_small_scenario(
+        num_periods=4,
+        num_datacenters=num_datacenters,
+        num_locations=num_locations,
+        seed=int(rng.integers(2**31)),
+    )
+    return scenario, int(rng.integers(2**31))
+
+
+def prop_fluid_matches_events(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """Request-level replay vs the fluid M/M/1 predictions, load-matched.
+
+    An MPC trajectory is computed for a small scenario, then replayed at
+    request granularity by :class:`repro.events.engine.EventEngine`; per
+    ``(period, l, v)`` cell the measured mean sojourn and SLA violation
+    rate must match the M/M/1 closed forms evaluated *at the measured
+    per-server arrival rate* (so the comparison is load-matched and
+    tests the queueing model, not the forecast).
+
+    Tolerance derivation (see also
+    :func:`repro.simulation.queue_sim.effective_sample_size`): for a
+    stable M/M/1 queue at utilization ``rho`` the sojourn time is
+    ``Exp(mu - lambda)`` with mean and standard deviation both
+    ``m = 1/(mu - lambda)``.  Consecutive sojourns are positively
+    correlated through shared busy periods, so the sample mean's
+    standard error uses the discounted count ``n_eff = n (1 - rho)^2``
+    rather than ``n``.  The mean-delay gate is
+
+        ``|measured - m| <= z * m / sqrt(n_eff) + 0.08 * m``,  ``z = 6``
+
+    a six-standard-error interval (head-room for the ~10^5 cells a
+    6-seed x 200-trial campaign examines: a false alarm needs a
+    six-sigma excursion) plus an 8% relative floor absorbing the
+    residual cold-start bias that per-period warmup truncation leaves.
+    The violation-rate gate applies the binomial standard error at the
+    predicted rate ``p = exp(-(mu - lambda)(dbar - d_lv))`` with the
+    same ``n_eff`` discount (indicator samples inherit the sojourn
+    autocorrelation):
+
+        ``|rate - p| <= z * sqrt(p (1 - p) / n_eff) + 0.05``.
+
+    Cells with fewer than 400 measured requests, ``n_eff < 25``, or
+    ``rho > 0.9`` are skipped — below that there is no stable estimate
+    to compare against.
+    """
+    scenario, replay_seed = _small_event_setup(rng, tier)
+    controller = MPCController(
+        scenario.instance,
+        OraclePredictor(scenario.demand),
+        OraclePredictor(scenario.prices),
+        MPCConfig(window=2, slack_penalty=200.0),
+    )
+    trajectory = SimulationEngine(scenario, controller).run()
+    calibration = CalibrationCollector()
+    config = EventReplayConfig(
+        seed=replay_seed, total_requests=24_000.0, warmup_fraction=0.2
+    )
+    EventEngine(
+        scenario, trajectory.states, config=config, collectors=(calibration,)
+    ).run()
+
+    z = 6.0
+    findings: list[Discrepancy] = []
+    for cell in calibration.cells:
+        if cell.measured < 400 or cell.utilization > 0.9:
+            continue
+        if not math.isfinite(cell.predicted_sojourn):
+            continue
+        n_eff = effective_sample_size(cell.measured, cell.utilization)
+        if n_eff < 25.0:
+            continue
+        m = cell.predicted_sojourn
+        mean_tol = z * m / math.sqrt(n_eff) + 0.08 * m
+        mean_gap = abs(cell.mean_sojourn - m)
+        if mean_gap > mean_tol:
+            findings.append(
+                Discrepancy(
+                    "fluid_matches_events",
+                    f"cell (p={cell.period}, l={cell.datacenter}, "
+                    f"v={cell.location}): measured mean sojourn "
+                    f"{cell.mean_sojourn:.6g} vs M/M/1 prediction {m:.6g} "
+                    f"at rho={cell.utilization:.3f}, n={cell.measured} "
+                    f"(tolerance {mean_tol:.3g})",
+                    mean_gap / mean_tol,
+                )
+            )
+        p = cell.predicted_violation_rate
+        rate_tol = z * math.sqrt(max(p * (1.0 - p), 0.0) / n_eff) + 0.05
+        rate_gap = abs(cell.violation_rate - p)
+        if rate_gap > rate_tol:
+            findings.append(
+                Discrepancy(
+                    "fluid_matches_events",
+                    f"cell (p={cell.period}, l={cell.datacenter}, "
+                    f"v={cell.location}): measured violation rate "
+                    f"{cell.violation_rate:.4f} vs predicted {p:.4f} "
+                    f"at rho={cell.utilization:.3f}, n={cell.measured} "
+                    f"(tolerance {rate_tol:.3g})",
+                    rate_gap / rate_tol,
+                )
+            )
+    return findings
+
+
+def prop_events_deterministic_replay(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """Same seed => bitwise-identical replay, any jobs count or collectors.
+
+    Replays a static trajectory three times — serial with the full
+    collector set, parallel (``jobs=2``) with only the log collector,
+    and serial again — over a randomly drawn arrival process.  The event
+    logs must be exactly equal (NaN markers included) and every derived
+    metric must be exactly reproduced: randomness may depend on the seed
+    material only, never on worker count, collector set, or call order.
+    """
+    scenario, replay_seed = _small_event_setup(rng, tier)
+    instance = scenario.instance
+    V = instance.num_locations
+    K = scenario.num_periods
+    per_pair = np.tile(
+        0.6 * instance.capacities[:, None] / (instance.server_size * V), (1, V)
+    )
+    states = np.tile(per_pair, (K - 1, 1, 1))
+
+    kind = int(rng.integers(3))
+    process: PoissonArrivals | MMPPArrivals | RegionalShockArrivals
+    if kind == 0:
+        process = PoissonArrivals(rates=scenario.demand)
+    elif kind == 1:
+        process = MMPPArrivals(
+            rates=scenario.demand, burstiness=float(rng.uniform(0.3, 0.9))
+        )
+    else:
+        process = RegionalShockArrivals(
+            rates=scenario.demand,
+            regions=tuple(v % 2 for v in range(V)),
+            sigma=float(rng.uniform(0.3, 0.8)),
+            shock_probability=0.5,
+        )
+    config = EventReplayConfig(
+        seed=replay_seed, total_requests=4_000.0, warmup_fraction=0.1
+    )
+
+    def replay(
+        jobs: int, with_metrics: bool
+    ) -> tuple[np.ndarray, EventLog, LocationStats | None, np.ndarray | None]:
+        log = EventLogCollector()
+        latency = LatencyCollector() if with_metrics else None
+        throughput = ThroughputCollector() if with_metrics else None
+        collectors: list[Collector] = [log]
+        if latency is not None and throughput is not None:
+            collectors += [latency, throughput]
+        result = EventEngine(
+            scenario, states, config=config, process=process, collectors=collectors
+        ).run(jobs=jobs)
+        stats = latency.location_stats() if latency is not None else None
+        rows = throughput.per_period() if throughput is not None else None
+        return result.status_counts, log.log(), stats, rows
+
+    counts_a, log_a, stats_a, rows_a = replay(jobs=1, with_metrics=True)
+    counts_b, log_b, _, _ = replay(jobs=2, with_metrics=False)
+    counts_c, log_c, stats_c, rows_c = replay(jobs=1, with_metrics=True)
+
+    findings: list[Discrepancy] = []
+    if not logs_equal(log_a, log_b):
+        findings.append(
+            Discrepancy(
+                "events_deterministic_replay",
+                "event log differs between jobs=1 (full collectors) and "
+                "jobs=2 (log-only)",
+                1.0,
+            )
+        )
+    if not logs_equal(log_a, log_c):
+        findings.append(
+            Discrepancy(
+                "events_deterministic_replay",
+                "event log differs between two identical serial replays",
+                1.0,
+            )
+        )
+    if not (
+        np.array_equal(counts_a, counts_b) and np.array_equal(counts_a, counts_c)
+    ):
+        findings.append(
+            Discrepancy(
+                "events_deterministic_replay",
+                "status counts differ across replays of the same seed",
+                1.0,
+            )
+        )
+    if stats_a is not None and stats_c is not None:
+        for name in (
+            "arrivals",
+            "served",
+            "dropped",
+            "stranded",
+            "measured",
+            "violations",
+            "mean_latency",
+            "violation_rate",
+        ):
+            first = getattr(stats_a, name)
+            second = getattr(stats_c, name)
+            if not np.array_equal(first, second, equal_nan=bool(first.dtype.kind == "f")):
+                findings.append(
+                    Discrepancy(
+                        "events_deterministic_replay",
+                        f"LatencyCollector field {name!r} not exactly reproduced",
+                        1.0,
+                    )
+                )
+    if rows_a is not None and rows_c is not None and not np.array_equal(rows_a, rows_c):
+        findings.append(
+            Discrepancy(
+                "events_deterministic_replay",
+                "ThroughputCollector rows not exactly reproduced",
+                1.0,
+            )
+        )
     return findings

@@ -84,6 +84,14 @@ CHECKS: dict[str, CheckSpec] = {
         CheckSpec("routing_differential", props.prop_routing_differential),
         CheckSpec("mm1_sim", props.prop_mm1_sim, ("tiny",)),
         CheckSpec("mm1_inversion", props.prop_mm1_inversion, ("tiny",)),
+        # Request-level replays: an MPC solve plus tens of thousands of
+        # simulated requests per trial — capped below the medium tier.
+        CheckSpec("fluid_matches_events", props.prop_fluid_matches_events, ("tiny", "small")),
+        CheckSpec(
+            "events_deterministic_replay",
+            props.prop_events_deterministic_replay,
+            ("tiny", "small"),
+        ),
     )
 }
 

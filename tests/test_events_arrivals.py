@@ -1,0 +1,254 @@
+"""Hostile arrival-scenario library (repro.events.arrivals).
+
+Structural guarantees run under hypothesis (sorted, in-range,
+seed-reproducible streams for every process kind); the statistical
+guarantees — advertised aggregate rates, regional shock correlation —
+use fixed seeds with tolerances sized from the known count variances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.arrivals import (
+    MMPPArrivals,
+    PoissonArrivals,
+    RegionalShockArrivals,
+    TraceArrivals,
+    flash_crowd_process,
+)
+from repro.workload.spikes import FlashCrowd, apply_flash_crowds
+
+_RATES = np.array([[30.0, 50.0, 20.0, 40.0], [10.0, 0.0, 60.0, 25.0]])
+
+
+def _make_process(kind: str, rates: np.ndarray):
+    if kind == "poisson":
+        return PoissonArrivals(rates=rates)
+    if kind == "mmpp":
+        return MMPPArrivals(rates=rates, burstiness=0.7, switches_per_period=3.0)
+    return RegionalShockArrivals(
+        rates=rates, regions=tuple(0 for _ in range(rates.shape[0])), sigma=0.8
+    )
+
+
+@pytest.mark.parametrize("kind", ["poisson", "mmpp", "shock"])
+@given(
+    seed=st.integers(0, 10**9),
+    period=st.integers(0, 3),
+    location=st.integers(0, 1),
+    duration=st.floats(0.1, 5.0),
+)
+@settings(max_examples=25)
+def test_streams_sorted_in_range_and_reproducible(kind, seed, period, location, duration):
+    process = _make_process(kind, _RATES)
+    first = process.arrivals(seed, period, location, duration)
+    again = process.arrivals(seed, period, location, duration)
+
+    assert np.array_equal(first, again)  # pure function of the seed material
+    assert np.all(np.diff(first) >= 0.0)
+    if first.size:
+        assert first[0] >= 0.0
+        assert first[-1] < duration
+    if _RATES[location, period] == 0.0:
+        assert first.size == 0
+
+
+@pytest.mark.parametrize("kind", ["poisson", "mmpp", "shock"])
+def test_streams_depend_on_every_seed_component(kind):
+    process = _make_process(kind, _RATES)
+    base = process.arrivals(7, 1, 0, 2.0)
+    assert not np.array_equal(base, process.arrivals(8, 1, 0, 2.0))
+    assert not np.array_equal(base, process.arrivals(7, 2, 0, 2.0))
+    assert not np.array_equal(base, process.arrivals(7, 1, 1, 2.0))
+
+
+@pytest.mark.parametrize("kind", ["poisson", "mmpp", "shock"])
+def test_advertised_aggregate_rate(kind):
+    # Mean count over 300 independent seeds must match rate * duration.
+    # Tolerances are ~4 standard errors of the mean: Poisson counts have
+    # variance 50; the MMPP/shock rate modulation inflates it to O(800),
+    # so their standard error is ~1.7 requests.
+    rate, duration, seeds = 50.0, 1.0, 300
+    rates = np.full((1, 2), rate)
+    process = _make_process(kind, rates)
+    counts = [process.arrivals(seed, 1, 0, duration).size for seed in range(seeds)]
+    tolerance = 2.0 if kind == "poisson" else 7.0
+    assert abs(np.mean(counts) - rate * duration) < tolerance
+    assert process.mean_rate(1, 0) == rate
+
+
+def test_mmpp_is_actually_burstier_than_poisson():
+    rates = np.full((1, 2), 50.0)
+    poisson = PoissonArrivals(rates=rates)
+    mmpp = MMPPArrivals(rates=rates, burstiness=0.9, switches_per_period=2.0)
+    p_counts = [poisson.arrivals(seed, 1, 0, 1.0).size for seed in range(300)]
+    m_counts = [mmpp.arrivals(seed, 1, 0, 1.0).size for seed in range(300)]
+    assert np.var(m_counts) > 3.0 * np.var(p_counts)
+
+
+class TestRegionalShocks:
+    def test_multiplier_shared_within_region_and_mean_one(self):
+        process = RegionalShockArrivals(
+            rates=np.full((4, 3), 20.0),
+            regions=(0, 0, 1, 1),
+            sigma=0.6,
+            shock_probability=1.0,
+        )
+        # The multiplier is a pure function of (seed, period, region):
+        # co-regional locations *must* agree on it.
+        assert process.multiplier(3, 1, 0) == process.multiplier(3, 1, 0)
+        samples = [process.multiplier(seed, 1, 0) for seed in range(2000)]
+        assert abs(np.mean(samples) - 1.0) < 0.05  # lognormal mean-1 drift
+
+    def test_counts_correlated_within_region_not_across(self):
+        # shock_probability 1 and sigma 1 make the shared multiplier
+        # dominate the count variance: corr(co-regional) ~ 1 while
+        # corr(cross-region) is O(1/sqrt(periods)).
+        K = 201
+        process = RegionalShockArrivals(
+            rates=np.full((3, K), 200.0),
+            regions=(0, 0, 1),
+            sigma=1.0,
+            shock_probability=1.0,
+        )
+        counts = np.array(
+            [
+                [process.arrivals(0, period, v, 1.0).size for period in range(1, K)]
+                for v in range(3)
+            ],
+            dtype=float,
+        )
+        same_region = np.corrcoef(counts[0], counts[1])[0, 1]
+        cross_region = np.corrcoef(counts[0], counts[2])[0, 1]
+        assert same_region > 0.8
+        assert abs(cross_region) < 0.3
+
+    def test_validation(self):
+        rates = np.full((2, 3), 5.0)
+        with pytest.raises(ValueError, match="regions"):
+            RegionalShockArrivals(rates=rates, regions=(0,))
+        with pytest.raises(ValueError, match="sigma"):
+            RegionalShockArrivals(rates=rates, regions=(0, 0), sigma=0.0)
+        with pytest.raises(ValueError, match="shock_probability"):
+            RegionalShockArrivals(rates=rates, regions=(0, 0), shock_probability=1.5)
+        with pytest.raises(ValueError, match="nonnegative"):
+            RegionalShockArrivals(rates=rates, regions=(0, -1))
+
+
+def test_flash_crowd_process_spikes_the_rates():
+    rates = np.full((2, 6), 10.0)
+    crowd = FlashCrowd(
+        location_index=1, start_period=2, peak_multiplier=3.0, ramp_periods=1
+    )
+    process = flash_crowd_process(rates, [crowd])
+    assert isinstance(process, PoissonArrivals)
+    np.testing.assert_array_equal(process.rates, apply_flash_crowds(rates, [crowd]))
+    assert process.mean_rate(3, 1) == pytest.approx(3.0 * rates[1, 3])
+    assert process.mean_rate(3, 0) == rates[0, 3]
+
+
+def test_rate_validation_and_cell_bounds():
+    with pytest.raises(ValueError, match="finite and nonnegative"):
+        PoissonArrivals(rates=np.array([[1.0, -2.0]]))
+    with pytest.raises(ValueError, match="must be"):
+        PoissonArrivals(rates=np.ones(3))
+    process = PoissonArrivals(rates=_RATES)
+    with pytest.raises(IndexError):
+        process.arrivals(0, 99, 0, 1.0)
+    with pytest.raises(IndexError):
+        process.mean_rate(0, 99)
+    with pytest.raises(ValueError, match="burstiness"):
+        MMPPArrivals(rates=_RATES, burstiness=1.0)
+    with pytest.raises(ValueError, match="switches_per_period"):
+        MMPPArrivals(rates=_RATES, switches_per_period=0.0)
+
+
+class TestTraceArrivals:
+    def _random_log(self, n=500, K=5, V=3, duration=2.0, seed=4):
+        rng = np.random.default_rng(seed)
+        span = (K - 1) * duration
+        times = rng.uniform(0.0, span, size=n)
+        locations = rng.integers(0, V, size=n)
+        return times, locations, K, V, duration
+
+    def test_round_trip_no_lost_no_duplicated_requests(self):
+        times, locations, K, V, duration = self._random_log()
+        trace = TraceArrivals.from_request_log(
+            times, locations, num_periods=K, num_locations=V, period_duration=duration
+        )
+        rebuilt_times = []
+        total = 0
+        for period in range(1, K):
+            start = (period - 1) * duration
+            for v in range(V):
+                offsets = trace.arrivals(0, period, v, duration)
+                total += offsets.size
+                rebuilt_times.append(start + offsets)
+                # every offset stays inside its period bin
+                assert np.all((offsets >= 0.0) & (offsets < duration))
+        assert total == times.size  # conservation: every request exactly once
+        np.testing.assert_allclose(
+            np.sort(np.concatenate(rebuilt_times)), np.sort(times), atol=1e-9
+        )
+
+    def test_rate_matrix_matches_bin_counts(self):
+        times, locations, K, V, duration = self._random_log()
+        trace = TraceArrivals.from_request_log(
+            times, locations, num_periods=K, num_locations=V, period_duration=duration
+        )
+        rates = trace.rate_matrix()
+        assert rates.shape == (V, K)
+        np.testing.assert_array_equal(rates[:, 0], rates[:, 1])
+        for period in range(1, K):
+            for v in range(V):
+                count = trace.arrivals(0, period, v, duration).size
+                assert rates[v, period] == pytest.approx(count / duration)
+                assert trace.mean_rate(period, v) == pytest.approx(count / duration)
+
+    def test_from_request_log_sorts_and_infers(self):
+        times = np.array([3.0, 1.0, 2.0, 0.5])
+        locations = np.array([1, 0, 1, 0])
+        trace = TraceArrivals.from_request_log(times, locations, num_periods=3)
+        assert np.all(np.diff(trace.times) >= 0)
+        assert trace.num_locations == 2
+        # inferred duration barely contains the last request
+        assert trace.times[-1] < (trace.num_periods - 1) * trace.period_duration
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sorted"):
+            TraceArrivals(
+                times=np.array([2.0, 1.0]),
+                locations=np.array([0, 0]),
+                num_periods=3,
+                num_locations=1,
+                period_duration=2.0,
+            )
+        with pytest.raises(ValueError, match="beyond the replayed"):
+            TraceArrivals(
+                times=np.array([1.0, 99.0]),
+                locations=np.array([0, 0]),
+                num_periods=3,
+                num_locations=1,
+                period_duration=2.0,
+            )
+        with pytest.raises(ValueError, match="location"):
+            TraceArrivals(
+                times=np.array([1.0]),
+                locations=np.array([5]),
+                num_periods=3,
+                num_locations=2,
+                period_duration=2.0,
+            )
+        with pytest.raises(ValueError, match="empty trace"):
+            TraceArrivals.from_request_log(
+                np.empty(0), np.empty(0, dtype=np.int64), num_periods=3
+            )
+        trace = TraceArrivals.from_request_log(
+            np.array([0.5, 1.5]), np.array([0, 0]), num_periods=3, period_duration=2.0
+        )
+        with pytest.raises(IndexError):
+            trace.arrivals(0, 0, 0, 2.0)  # period 0 never replays

@@ -1,0 +1,216 @@
+"""Calibration collector, report, and the ``events`` CLI.
+
+The collector is checked against the theory it implements: on a
+controlled single-queue replay the measured mean sojourn and violation
+rate must match the load-matched M/M/1 predictions within the sampling
+error of the run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.events.calibration import (
+    CalibrationCell,
+    CalibrationCollector,
+    CalibrationReport,
+)
+from repro.events.engine import EventEngine, ReplayConfig
+from repro.simulation.scenario import build_small_scenario
+
+
+def _calibrated_run(rate=10.0, period_duration=400.0, seed=5):
+    scenario = build_small_scenario(
+        num_periods=3, num_datacenters=1, num_locations=1, seed=0
+    )
+    scenario = dataclasses.replace(scenario, demand=np.full((1, 3), rate))
+    states = np.full((2, 1, 1), 0.95)  # one server, capacity above rate
+    collector = CalibrationCollector()
+    engine = EventEngine(
+        scenario,
+        states,
+        config=ReplayConfig(seed=seed, period_duration=period_duration),
+        collectors=(collector,),
+    )
+    engine.run(jobs=1)
+    return scenario, collector
+
+
+class TestCalibrationCollector:
+    def test_cells_match_mm1_theory_at_measured_load(self):
+        scenario, collector = _calibrated_run()
+        cells = collector.cells
+        assert len(cells) == 2  # one (l, v) pair per replayed period
+        mu = scenario.sla.service_rate
+        for cell in cells:
+            assert cell.servers == 1
+            assert cell.measured > 2000
+            # prediction is load-matched: recompute it from the cell
+            slack = mu - cell.arrival_rate
+            assert cell.predicted_sojourn == pytest.approx(1.0 / slack)
+            budget = scenario.sla.max_latency - cell.network_latency
+            assert cell.predicted_violation_rate == pytest.approx(
+                np.exp(-slack * budget)
+            )
+            # measured vs predicted: within a few standard errors at
+            # n_eff = n (1 - rho)^2 effective samples.
+            assert cell.mean_sojourn == pytest.approx(cell.predicted_sojourn, rel=0.1)
+            assert cell.violation_rate == pytest.approx(
+                cell.predicted_violation_rate, abs=0.05
+            )
+            assert cell.utilization == pytest.approx(cell.arrival_rate / mu)
+
+    def test_report_aggregates_and_serializes(self):
+        _, collector = _calibrated_run()
+        report = collector.report()
+        rows = report.location_rows()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["measured"] > 0
+        assert row["mean_latency"] == pytest.approx(row["predicted_latency"], rel=0.1)
+        assert 0.0 <= row["violation_rate"] <= 1.0
+
+        table = report.format_table()
+        assert "v0" in table
+        assert "viol meas" in table
+
+        payload = json.loads(report.to_json())
+        assert payload["locations"] == ["v0"]
+        assert len(payload["cells"]) == 2
+        assert payload["per_location"][0]["violation_rate"] == pytest.approx(
+            row["violation_rate"]
+        )
+
+    def test_requires_start(self):
+        collector = CalibrationCollector()
+        with pytest.raises(RuntimeError, match="never started"):
+            collector.report()
+
+    def test_non_finite_statistics_serialize_as_null(self):
+        overloaded = CalibrationCell(
+            period=1,
+            datacenter=0,
+            location=0,
+            servers=1,
+            routed=10,
+            measured=0,
+            arrival_rate=30.0,
+            utilization=1.2,
+            mean_sojourn=float("nan"),
+            predicted_sojourn=float("inf"),
+            violations=0,
+            violation_rate=float("nan"),
+            predicted_violation_rate=1.0,
+            network_latency=0.02,
+        )
+        report = CalibrationReport(
+            cells=(overloaded,),
+            locations=("v0",),
+            datacenters=("dc0",),
+            location_arrivals=np.array([10]),
+            location_drops=np.array([0]),
+            max_latency=0.15,
+        )
+        payload = json.loads(report.to_json())  # must be strict JSON
+        cell = payload["cells"][0]
+        assert cell["mean_sojourn"] is None
+        assert cell["predicted_sojourn"] is None
+        assert cell["predicted_violation_rate"] == 1.0
+        # an overload-only location aggregates to empty (null) rows
+        assert payload["per_location"][0]["mean_latency"] is None
+
+
+class TestEventsCLI:
+    def _run(self, argv, capsys):
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def test_diurnal_small_scale(self, capsys, tmp_path):
+        out_path = tmp_path / "calibration.json"
+        code, out = self._run(
+            [
+                "events",
+                "--scenario",
+                "diurnal",
+                "--scale",
+                "small",
+                "--periods",
+                "4",
+                "--requests",
+                "2000",
+                "--seed",
+                "1",
+                "--out",
+                str(out_path),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "requests=" in out
+        assert "viol pred" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["per_location"]
+
+    def test_outage_small_scale(self, capsys):
+        code, out = self._run(
+            [
+                "events",
+                "--scenario",
+                "outage",
+                "--scale",
+                "small",
+                "--periods",
+                "6",
+                "--requests",
+                "2000",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "stranded=" in out
+
+    def test_trace_replay(self, capsys, tmp_path):
+        rng = np.random.default_rng(0)
+        trace_path = tmp_path / "trace.npz"
+        np.savez(
+            trace_path,
+            times=np.sort(rng.uniform(0.0, 30.0, size=1500)),
+            locations=rng.integers(0, 4, size=1500),
+        )
+        code, out = self._run(
+            [
+                "events",
+                "--scenario",
+                "trace",
+                "--scale",
+                "small",
+                "--periods",
+                "4",
+                "--trace",
+                str(trace_path),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "requests=1500" in out
+
+    def test_trace_requires_path(self):
+        with pytest.raises(SystemExit, match="requires --trace"):
+            main(["events", "--scenario", "trace", "--scale", "small"])
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["events", "--scenario", "nonsense"])
+
+
+def test_event_checks_registered_with_capped_tiers():
+    from repro.verify.runner import CHECKS
+
+    for name in ("fluid_matches_events", "events_deterministic_replay"):
+        assert name in CHECKS
+        assert CHECKS[name].tiers == ("tiny", "small")

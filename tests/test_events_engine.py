@@ -1,0 +1,365 @@
+"""Request-level replay engine (repro.events.engine).
+
+The load-bearing guarantees:
+
+* on a single-queue workload the event loop's sojourn times match the
+  scalar Lindley recursion *exactly* (atol 1e-12) — the engine is the
+  vectorized kernel, not an approximation of it;
+* replays are bitwise identical at any ``jobs`` count and under any
+  collector set;
+* a mid-horizon outage strands in-flight requests without losing or
+  duplicating any request (conservation asserted against the arrival
+  process directly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.arrivals import PoissonArrivals, TraceArrivals
+from repro.events.collectors import (
+    EventLogCollector,
+    LatencyCollector,
+    ThroughputCollector,
+)
+from repro.events.engine import _TAG_SERVICE, EventEngine, ReplayConfig
+from repro.events.records import (
+    STATUS_DROPPED,
+    STATUS_SERVED,
+    STATUS_STRANDED,
+    EventLog,
+    logs_equal,
+)
+from repro.simulation.failures import OutageEvent
+from repro.simulation.scenario import build_small_scenario
+
+
+def _scalar_lindley_sojourns(arrival_times, services):
+    """Reference per-arrival Lindley recursion (the pre-vectorization loop)."""
+    sojourns = np.empty(arrival_times.size)
+    workload = 0.0
+    for i in range(arrival_times.size):
+        if i > 0:
+            gap = arrival_times[i] - arrival_times[i - 1]
+            workload = max(0.0, workload + services[i - 1] - gap)
+        sojourns[i] = workload + services[i]
+    return sojourns
+
+
+def _single_queue_setup(rate, num_periods=3, scenario_seed=0):
+    """One DC, one location, one server, everything admitted."""
+    scenario = build_small_scenario(
+        num_periods=num_periods, num_datacenters=1, num_locations=1, seed=scenario_seed
+    )
+    scenario = dataclasses.replace(
+        scenario, demand=np.full((1, num_periods), float(rate))
+    )
+    coeff = float(scenario.instance.demand_coefficients[0, 0])
+    alloc = 0.95  # fractional => ceil gives exactly one server
+    assert alloc * coeff > rate, "setup must admit every request"
+    states = np.full((num_periods - 1, 1, 1), alloc)
+    return scenario, states
+
+
+class TestSingleQueueExactness:
+    def test_sojourns_match_scalar_lindley_exactly(self):
+        scenario, states = _single_queue_setup(rate=10.0, num_periods=4)
+        log_collector = EventLogCollector()
+        config = ReplayConfig(seed=17, period_duration=100.0)
+        engine = EventEngine(
+            scenario, states, config=config, collectors=(log_collector,)
+        )
+        result = engine.run(jobs=1)
+        assert result.total_dropped == 0
+        assert result.total_stranded == 0
+        assert result.total_requests > 1000
+
+        mu = scenario.sla.service_rate
+        process = PoissonArrivals(scenario.demand)
+        for batch in log_collector.batches:
+            offsets = process.arrivals(17, batch.period, 0, engine.period_duration)
+            services = (
+                np.random.default_rng(
+                    [17, _TAG_SERVICE, batch.period, 0]
+                ).standard_exponential(offsets.size)
+                / mu
+            )
+            expected = _scalar_lindley_sojourns(offsets, services)
+            np.testing.assert_allclose(batch.sojourn, expected, rtol=0, atol=1e-12)
+            np.testing.assert_allclose(batch.service, services, rtol=0, atol=1e-12)
+            np.testing.assert_allclose(
+                batch.wait, expected - services, rtol=0, atol=1e-12
+            )
+            network = float(scenario.latency.latency_ms[0, 0]) * 1e-3
+            np.testing.assert_allclose(
+                batch.latency, network + expected, rtol=0, atol=1e-12
+            )
+
+    @given(seed=st.integers(0, 10**6), rate=st.floats(2.0, 12.0))
+    @settings(max_examples=10)
+    def test_exactness_property(self, seed, rate):
+        scenario, states = _single_queue_setup(rate=rate)
+        log_collector = EventLogCollector()
+        engine = EventEngine(
+            scenario,
+            states,
+            config=ReplayConfig(seed=seed, period_duration=20.0),
+            collectors=(log_collector,),
+        )
+        engine.run(jobs=1)
+        mu = scenario.sla.service_rate
+        process = PoissonArrivals(scenario.demand)
+        for batch in log_collector.batches:
+            offsets = process.arrivals(seed, batch.period, 0, 20.0)
+            services = (
+                np.random.default_rng(
+                    [seed, _TAG_SERVICE, batch.period, 0]
+                ).standard_exponential(offsets.size)
+                / mu
+            )
+            expected = _scalar_lindley_sojourns(offsets, services)
+            np.testing.assert_allclose(batch.sojourn, expected, rtol=0, atol=1e-12)
+
+
+def _small_replay(seed=2, jobs=1, collectors=None, outages=()):
+    scenario = build_small_scenario(
+        num_periods=5, num_datacenters=2, num_locations=3, seed=9
+    )
+    coeff = scenario.instance.demand_coefficients
+    # 0.6x demand capacity per DC: 1.2x total, so drops stay possible
+    # per pair while the system as a whole is adequately provisioned.
+    alloc = 0.6 * scenario.demand.mean() / coeff
+    states = np.tile(alloc[None], (scenario.num_periods - 1, 1, 1))
+    log_collector = EventLogCollector()
+    engine = EventEngine(
+        scenario,
+        states,
+        config=ReplayConfig(seed=seed, total_requests=4000.0),
+        outages=list(outages),
+        collectors=(log_collector, *(collectors or ())),
+    )
+    result = engine.run(jobs=jobs)
+    return engine, result, log_collector
+
+
+class TestDeterminism:
+    def test_bitwise_identical_across_jobs_and_collector_sets(self):
+        _, result_a, log_a = _small_replay(
+            jobs=1, collectors=(LatencyCollector(), ThroughputCollector())
+        )
+        _, result_b, log_b = _small_replay(jobs=2, collectors=())
+        assert logs_equal(log_a.log(), log_b.log())
+        np.testing.assert_array_equal(result_a.status_counts, result_b.status_counts)
+
+    def test_different_seeds_differ(self):
+        _, _, log_a = _small_replay(seed=2)
+        _, _, log_b = _small_replay(seed=3)
+        assert not logs_equal(log_a.log(), log_b.log())
+
+    def test_logs_equal_detects_shape_and_value_diffs(self):
+        _, _, log_collector = _small_replay()
+        log = log_collector.log()
+        assert logs_equal(log, log)
+        truncated = EventLog(
+            **{
+                name: getattr(log, name)[:-1]
+                for name in (
+                    "period",
+                    "arrival",
+                    "location",
+                    "datacenter",
+                    "server",
+                    "service",
+                    "wait",
+                    "sojourn",
+                    "latency",
+                    "status",
+                )
+            }
+        )
+        assert not logs_equal(log, truncated)
+        perturbed = dataclasses.replace(log, arrival=log.arrival + 1e-9)
+        assert not logs_equal(log, perturbed)
+
+
+class TestOutageStranding:
+    """Adversarial coverage: a mid-horizon full outage of dc0.
+
+    Timeline (period_duration 0.5): periods 1..3 healthy, the outage
+    blacks out periods 4-5 (absolute time [1.5, 2.5)), period 6 recovers.
+    """
+
+    def _run(self):
+        K = 8
+        scenario = build_small_scenario(
+            num_periods=K, num_datacenters=2, num_locations=2, seed=3
+        )
+        scenario = dataclasses.replace(scenario, demand=np.full((2, K), 40.0))
+        coeff = scenario.instance.demand_coefficients
+        # Single busy server per pair: utilization ~0.6-0.7, so a solid
+        # share of requests is still in flight when the period ends.
+        alloc = np.minimum(0.999, 40.0 / coeff)
+        states = np.tile(alloc[None], (K - 1, 1, 1))
+        outage = OutageEvent(
+            datacenter_index=0, start_period=4, duration=2, remaining_fraction=0.0
+        )
+        log_collector = EventLogCollector()
+        config = ReplayConfig(seed=11, period_duration=0.5, warmup_fraction=0.0)
+        engine = EventEngine(
+            scenario,
+            states,
+            config=config,
+            outages=[outage],
+            collectors=(log_collector,),
+        )
+        result = engine.run(jobs=1)
+        return engine, result, log_collector.log(), outage
+
+    def test_conservation_no_lost_no_duplicated(self):
+        engine, result, log, _ = self._run()
+        process = engine.process
+        duration = engine.period_duration
+        # Every request the arrival process generates appears in the log
+        # exactly once, with exactly one terminal status.
+        for period in range(1, engine.scenario.num_periods):
+            for v in range(engine.scenario.instance.num_locations):
+                expected = process.arrivals(11, period, v, duration).size
+                got = int(np.sum((log.period == period) & (log.location == v)))
+                assert got == expected, (period, v)
+        statuses = [STATUS_SERVED, STATUS_DROPPED, STATUS_STRANDED]
+        assert sum(int(np.sum(log.status == s)) for s in statuses) == log.num_requests
+        assert result.total_requests == log.num_requests
+        assert (
+            result.total_served + result.total_dropped + result.total_stranded
+            == result.total_requests
+        )
+
+    def test_stranded_requests_are_in_flight_at_the_failed_site(self):
+        engine, result, log, outage = self._run()
+        duration = engine.period_duration
+        stranded = log.status == STATUS_STRANDED
+        assert result.total_stranded > 0  # the outage actually bites
+        # Only the failed data center strands requests...
+        assert np.all(log.datacenter[stranded] == outage.datacenter_index)
+        # ...and only requests whose completion lands inside the outage.
+        onset = (outage.start_period - 1) * duration
+        completions = log.arrival[stranded] + log.sojourn[stranded]
+        assert np.all(completions >= onset)
+        # Stranded requests are accounted for but yield no latency sample.
+        assert np.all(np.isnan(log.latency[stranded]))
+        assert np.all(np.isfinite(log.sojourn[stranded]))
+
+    def test_no_routing_to_a_dead_datacenter(self):
+        _, _, log, outage = self._run()
+        blackout = (log.period >= outage.start_period) & (
+            log.period < outage.start_period + outage.duration
+        )
+        assert np.any(blackout)
+        assert np.all(log.datacenter[blackout] != outage.datacenter_index)
+
+    def test_served_and_dropped_invariants(self):
+        _, _, log, _ = self._run()
+        served = log.status == STATUS_SERVED
+        dropped = log.status == STATUS_DROPPED
+        assert np.all(np.isfinite(log.latency[served]))
+        assert np.all(log.datacenter[served] >= 0)
+        assert np.all(log.datacenter[dropped] == -1)
+        assert np.all(log.server[dropped] == -1)
+        assert np.all(np.isnan(log.latency[dropped]))
+
+
+class TestEngineValidation:
+    def test_states_shape_and_sign_checked(self):
+        scenario = build_small_scenario(num_periods=3)
+        with pytest.raises(ValueError, match="states must be"):
+            EventEngine(scenario, np.zeros((9, 9, 9)))
+        K = scenario.num_periods
+        L = scenario.instance.num_datacenters
+        V = scenario.instance.num_locations
+        bad = np.full((K - 1, L, V), -1.0)
+        with pytest.raises(ValueError, match="finite and nonnegative"):
+            EventEngine(scenario, bad)
+
+    def test_zero_capacity_drops_everything(self):
+        scenario, _ = _single_queue_setup(rate=10.0)
+        states = np.full((scenario.num_periods - 1, 1, 1), 1e-12)  # below dust
+        engine = EventEngine(
+            scenario, states, config=ReplayConfig(seed=1, period_duration=10.0)
+        )
+        result = engine.run(jobs=1)
+        assert result.total_requests > 0
+        assert result.total_dropped == result.total_requests
+        assert result.total_served == 0
+
+    def test_replay_config_validation(self):
+        with pytest.raises(ValueError, match="total_requests"):
+            ReplayConfig(total_requests=0.0)
+        with pytest.raises(ValueError, match="period_duration"):
+            ReplayConfig(period_duration=-1.0)
+        with pytest.raises(ValueError, match="warmup_fraction"):
+            ReplayConfig(warmup_fraction=1.0)
+        with pytest.raises(ValueError, match="min_allocation"):
+            ReplayConfig(min_allocation=0.0)
+
+    def test_trace_duration_conflict_rejected(self):
+        scenario, states = _single_queue_setup(rate=10.0, num_periods=3)
+        trace = TraceArrivals.from_request_log(
+            np.array([0.5, 1.5, 2.5]),
+            np.array([0, 0, 0]),
+            num_periods=3,
+            num_locations=1,
+            period_duration=2.0,
+        )
+        with pytest.raises(ValueError, match="conflicts"):
+            EventEngine(
+                scenario,
+                states,
+                config=ReplayConfig(period_duration=7.0),
+                process=trace,
+            )
+        engine = EventEngine(scenario, states, process=trace)
+        assert engine.period_duration == 2.0
+
+    def test_zero_rate_duration_unresolvable(self):
+        scenario, states = _single_queue_setup(rate=10.0)
+        dead = PoissonArrivals(np.zeros_like(scenario.demand))
+        with pytest.raises(ValueError, match="zero total rate"):
+            EventEngine(scenario, states, process=dead)
+
+
+class TestCollectors:
+    def test_latency_collector_requires_start(self):
+        collector = LatencyCollector()
+        with pytest.raises(RuntimeError, match="never started"):
+            collector.location_stats()
+
+    def test_throughput_rows_sum_to_totals(self):
+        throughput = ThroughputCollector()
+        _, result, _ = _small_replay(collectors=(throughput,))
+        rows = throughput.per_period()
+        assert rows.shape == (4, 4)
+        assert throughput.periods == (1, 2, 3, 4)
+        assert int(rows[:, 0].sum()) == result.total_requests
+        np.testing.assert_array_equal(rows[:, 0], rows[:, 1:].sum(axis=1))
+
+    def test_latency_stats_partition_arrivals(self):
+        latency = LatencyCollector()
+        _, result, _ = _small_replay(collectors=(latency,))
+        stats = latency.location_stats()
+        np.testing.assert_array_equal(
+            stats.arrivals, stats.served + stats.dropped + stats.stranded
+        )
+        assert int(stats.arrivals.sum()) == result.total_requests
+        with_data = stats.measured > 0
+        assert np.all(stats.measured <= stats.served)
+        assert np.all(stats.violations[with_data] <= stats.measured[with_data])
+        assert np.all(
+            (stats.violation_rate[with_data] >= 0.0)
+            & (stats.violation_rate[with_data] <= 1.0)
+        )
+        assert np.all(stats.mean_latency[with_data] > 0.0)

@@ -12,10 +12,13 @@ import pytest
 from repro.queueing.mm1 import MM1Queue
 from repro.queueing.sla import sla_coefficient
 from repro.simulation.queue_sim import (
+    EmpiricalSLAResult,
+    effective_sample_size,
     simulate_mg1,
     simulate_mm1,
     simulate_mmc,
     simulate_split_servers,
+    sojourn_mean_ci,
     validate_sla_empirically,
 )
 
@@ -228,3 +231,64 @@ class TestEmpiricalSLAValidation:
         )
         assert not holds
         assert measured > bound
+
+
+class TestEmpiricalSLAInterval:
+    """The confidence-interval surface added to validate_sla_empirically."""
+
+    def test_returns_result_with_interval(self, rng):
+        network, bound, mu = 0.02, 0.150, 25.0
+        a = sla_coefficient(network, bound, mu)
+        result = validate_sla_empirically(
+            network, bound, mu, demand=200.0, sla_coefficient=a, rng=rng
+        )
+        assert isinstance(result, EmpiricalSLAResult)
+        assert result.ci_low <= result.measured_latency <= result.ci_high
+        assert result.num_samples > 0
+        assert 0.0 < result.effective_samples < result.num_samples
+        assert 0.0 < result.utilization < 1.0
+
+    def test_tuple_unpacking_stays_backward_compatible(self, rng):
+        network, bound, mu = 0.02, 0.150, 25.0
+        a = sla_coefficient(network, bound, mu)
+        holds, measured = validate_sla_empirically(
+            network, bound, mu, demand=200.0, sla_coefficient=a, rng=rng
+        )
+        assert isinstance(holds, bool)
+        assert isinstance(measured, float)
+
+    def test_interval_covers_analytic_latency(self, rng):
+        # A long, well-provisioned run: the z=4 autocorrelation-aware CI
+        # should cover the analytic mean end-to-end latency.
+        network, mu, demand = 0.02, 25.0, 200.0
+        a = sla_coefficient(network, 0.150, mu)
+        result = validate_sla_empirically(
+            network, 0.150, mu, demand=demand, sla_coefficient=a,
+            rng=rng, horizon=4000.0,
+        )
+        servers = math.ceil(a * demand)
+        analytic = network + 1.0 / (mu - demand / servers)
+        assert result.ci_low <= analytic <= result.ci_high
+
+    def test_effective_sample_size_discount(self):
+        assert effective_sample_size(1000, 0.0) == pytest.approx(1000.0)
+        assert effective_sample_size(1000, 0.5) == pytest.approx(250.0)
+        assert effective_sample_size(1000, 1.0) == 0.0
+        assert effective_sample_size(1000, 1.5) == 0.0
+        with pytest.raises(ValueError):
+            effective_sample_size(-1, 0.5)
+        with pytest.raises(ValueError):
+            effective_sample_size(10, -0.1)
+
+    def test_sojourn_mean_ci_widens_with_utilization(self, rng):
+        samples = rng.exponential(1.0, size=5000)
+        low_light, high_light = sojourn_mean_ci(samples, utilization=0.2)
+        low_heavy, high_heavy = sojourn_mean_ci(samples, utilization=0.9)
+        assert (high_heavy - low_heavy) > (high_light - low_light)
+        # Degenerate cases.
+        assert sojourn_mean_ci(np.empty(0), 0.5) == (
+            pytest.approx(float("nan"), nan_ok=True),
+            pytest.approx(float("nan"), nan_ok=True),
+        )
+        low, high = sojourn_mean_ci(samples, utilization=1.0)
+        assert low == float("-inf") and high == float("inf")
