@@ -67,6 +67,24 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_game_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    """Register ``--game-jobs`` on the game-driven subcommands.
+
+    This shards the per-round best-response solves *inside* each game
+    across a persistent :class:`repro.experiments.pool.ProviderPool`
+    (provider-affine warm workspaces), orthogonally to ``--jobs`` which
+    parallelizes the outer sweep.  Results are bitwise identical at any
+    value.
+    """
+    parser.add_argument(
+        "--game-jobs",
+        type=int,
+        default=None,
+        help="worker processes sharding each game's per-round solves "
+        "(0 = one per CPU); results are bitwise identical at any value",
+    )
+
+
 def _run_fig3(args: argparse.Namespace) -> FigureResult:
     return run_fig3(num_hours=args.hours, seed=args.seed, jobs=args.jobs)
 
@@ -84,11 +102,21 @@ def _run_fig6(args: argparse.Namespace) -> FigureResult:
 
 
 def _run_fig7(args: argparse.Namespace) -> FigureResult:
-    return run_fig7(max_players=args.max_players, seed=args.seed, jobs=args.jobs)
+    return run_fig7(
+        max_players=args.max_players,
+        seed=args.seed,
+        jobs=args.jobs,
+        game_jobs=getattr(args, "game_jobs", None),
+    )
 
 
 def _run_fig8(args: argparse.Namespace) -> FigureResult:
-    return run_fig8(num_players=args.players, seed=args.seed, jobs=args.jobs)
+    return run_fig8(
+        num_players=args.players,
+        seed=args.seed,
+        jobs=args.jobs,
+        game_jobs=getattr(args, "game_jobs", None),
+    )
 
 
 def _run_fig9(args: argparse.Namespace) -> FigureResult:
@@ -130,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("--seed", type=int, default=0)
     _add_jobs_flag(report_parser)
+    _add_game_jobs_flag(report_parser)
 
     from repro.verify.cli import add_verify_parser
 
@@ -151,6 +180,8 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "fig9":
             figure_parser.add_argument("--seeds", type=int, default=3)
         _add_jobs_flag(figure_parser)
+        if name in ("fig7", "fig8"):
+            _add_game_jobs_flag(figure_parser)
     return parser
 
 
@@ -178,7 +209,12 @@ def main(argv: list[str] | None = None) -> int:
 
         passed = write_report(
             args.out,
-            ReportOptions(quick=not args.full, seed=args.seed, jobs=args.jobs),
+            ReportOptions(
+                quick=not args.full,
+                seed=args.seed,
+                jobs=args.jobs,
+                game_jobs=args.game_jobs,
+            ),
         )
         print(f"report written to {args.out}")
         return 0 if passed else 1

@@ -18,10 +18,22 @@ plots; EXPERIMENTS.md records paper-vs-measured for each.
   under constant inputs.
 
 :mod:`repro.experiments.runner` provides the deterministic serial/parallel
-sweep executor the heavier harnesses (fig7, fig9) are built on.
+sweep executor the heavier harnesses (fig7, fig9) are built on, and
+:mod:`repro.experiments.pool` the persistent provider-sharded process pool
+the best-response game fans its rounds through.
 """
 
 from repro.experiments.common import FigureResult, format_figure
+from repro.experiments.pool import PoolSettings, ProviderPool, RoundResult
 from repro.experiments.runner import derive_seed, resolve_jobs, run_sweep
 
-__all__ = ["FigureResult", "format_figure", "derive_seed", "resolve_jobs", "run_sweep"]
+__all__ = [
+    "FigureResult",
+    "PoolSettings",
+    "ProviderPool",
+    "RoundResult",
+    "derive_seed",
+    "format_figure",
+    "resolve_jobs",
+    "run_sweep",
+]

@@ -49,6 +49,7 @@ class _Fig7TaskSpec:
     providers: tuple[ServiceProvider, ...]
     capacity: tuple[float, ...]
     epsilon: float
+    game_jobs: int | None = None
 
 
 def _run_fig7_task(spec: _Fig7TaskSpec) -> int:
@@ -56,7 +57,8 @@ def _run_fig7_task(spec: _Fig7TaskSpec) -> int:
     result = compute_equilibrium(
         list(spec.providers),
         np.asarray(spec.capacity, dtype=float),
-        BestResponseConfig(epsilon=spec.epsilon, reuse_workspaces=True),
+        BestResponseConfig(epsilon=spec.epsilon),
+        jobs=spec.game_jobs,
     )
     return result.iterations
 
@@ -72,6 +74,7 @@ def run_fig7(
     epsilon: float = 1e-4,
     seed: int = 0,
     jobs: int | None = None,
+    game_jobs: int | None = None,
 ) -> FigureResult:
     """Sweep the player count for each bottleneck capacity.
 
@@ -83,6 +86,10 @@ def run_fig7(
         jobs: worker processes for the (bottleneck, players) sweep
             (``None``/1: serial, 0: one per CPU); results are identical
             for every value — see :mod:`repro.experiments.runner`.
+        game_jobs: worker processes sharding each game's per-round solves
+            (see :mod:`repro.experiments.pool`); bitwise identical at any
+            value, and forced inline inside sweep workers when ``jobs``
+            already parallelizes the outer sweep.
 
     Returns:
         x = number of players; one iteration-count series per bottleneck.
@@ -130,6 +137,7 @@ def run_fig7(
                     providers=tuple(cheap_pool[: int(n)]),
                     capacity=tuple(float(c) for c in capacity),
                     epsilon=epsilon,
+                    game_jobs=game_jobs,
                 )
             )
     counts = run_sweep(_run_fig7_task, specs, jobs=jobs)

@@ -39,6 +39,7 @@ class _Fig8TaskSpec:
     demand_scale: float
     epsilon: float
     seed: int
+    game_jobs: int | None = None
 
 
 def _run_fig8_task(spec: _Fig8TaskSpec) -> tuple[int, float]:
@@ -73,7 +74,10 @@ def _run_fig8_task(spec: _Fig8TaskSpec) -> tuple[int, float]:
             )
         )
     result = compute_equilibrium(
-        cheap, capacity, BestResponseConfig(epsilon=spec.epsilon)
+        cheap,
+        capacity,
+        BestResponseConfig(epsilon=spec.epsilon),
+        jobs=spec.game_jobs,
     )
     return result.iterations, result.total_cost / spec.horizon
 
@@ -89,6 +93,7 @@ def run_fig8(
     epsilon: float = 1e-4,
     seed: int = 0,
     jobs: int | None = None,
+    game_jobs: int | None = None,
 ) -> FigureResult:
     """Sweep the game/prediction horizon at fixed population size.
 
@@ -99,6 +104,10 @@ def run_fig8(
     Args:
         jobs: worker processes for the per-horizon sweep (0 = one per
             CPU); results are bitwise identical at any job count.
+        game_jobs: worker processes sharding each game's per-round solves
+            (see :mod:`repro.experiments.pool`); bitwise identical at any
+            value, and forced inline inside sweep workers when ``jobs``
+            already parallelizes the outer sweep.
 
     Returns:
         x = horizon; series = iterations to converge and final total cost
@@ -115,6 +124,7 @@ def run_fig8(
             demand_scale=demand_scale,
             epsilon=epsilon,
             seed=seed,
+            game_jobs=game_jobs,
         )
         for horizon in horizons
     ]

@@ -15,6 +15,14 @@ Each iteration:
 The fixed point is a W-MPC Nash equilibrium: no SP can lower its cost by
 deviating within the capacity left by the others (verified separately in
 :mod:`repro.game.equilibrium`).
+
+The per-provider solves inside a round are independent, so each round
+fans out through a :class:`~repro.experiments.pool.ProviderPool` — a
+persistent, provider-affine worker pool whose warm workspaces survive
+the whole coordination run.  Pass ``jobs`` to shard across processes;
+results are bitwise identical at any job count (the
+``sharded_equilibrium_equals_serial`` check in :mod:`repro.verify`
+enforces this).
 """
 
 from __future__ import annotations
@@ -23,7 +31,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.dspp import DSPPSolution, DSPPWorkspace, solve_dspp
+from repro.core.dspp import DSPPSolution
+from repro.experiments.pool import PoolSettings, ProviderPool, RoundResult
 from repro.game.players import ServiceProvider
 from repro.solvers.dual import QuotaCoordinator
 from repro.solvers.qp import QPSettings
@@ -47,8 +56,9 @@ class BestResponseConfig:
             :class:`~repro.core.dspp.DSPPWorkspace` per provider for the
             whole coordination run.  Quota updates only move the capacity
             bounds, so every round after the first is a vector-only
-            ``update()`` against the cached factorization.  See
-            ``docs/PERFORMANCE.md``.
+            ``update()`` against the cached factorization.  Default on —
+            the cold path (``False``) exists for differential testing.
+            See ``docs/PERFORMANCE.md``.
     """
 
     epsilon: float = 0.05
@@ -56,7 +66,7 @@ class BestResponseConfig:
     max_iterations: int = 200
     slack_penalty: float = 1e3
     qp_settings: QPSettings | None = None
-    reuse_workspaces: bool = False
+    reuse_workspaces: bool = True
 
     def __post_init__(self) -> None:
         if self.epsilon <= 0:
@@ -65,6 +75,14 @@ class BestResponseConfig:
             raise ValueError("max_iterations must be >= 1")
         if self.slack_penalty <= 0:
             raise ValueError("slack_penalty must be positive")
+
+    def pool_settings(self) -> PoolSettings:
+        """The per-worker solver configuration this config induces."""
+        return PoolSettings(
+            qp_settings=self.qp_settings,
+            slack_penalty=self.slack_penalty,
+            reuse_workspaces=self.reuse_workspaces,
+        )
 
 
 @dataclass
@@ -95,32 +113,15 @@ class BestResponseResult:
     total_shortfall: float = 0.0
 
 
-def _best_response_round(
-    providers: list[ServiceProvider],
-    quotas: np.ndarray,
-    config: BestResponseConfig,
-    workspaces: list[DSPPWorkspace] | None = None,
-) -> tuple[list[DSPPSolution], np.ndarray, np.ndarray]:
-    """Solve every SP's sub-problem; return solutions, costs, duals."""
-    solutions: list[DSPPSolution] = []
-    costs = np.empty(len(providers))
-    duals = np.empty((len(providers), providers[0].instance.num_datacenters))
-    for index, provider in enumerate(providers):
-        instance = provider.instance.with_capacities(quotas[index])
-        solution = solve_dspp(
-            instance,
-            provider.demand,
-            provider.prices,
-            settings=config.qp_settings,
-            demand_slack_penalty=config.slack_penalty,
-            workspace=workspaces[index] if workspaces is not None else None,
-        )
-        solutions.append(solution)
-        costs[index] = solution.objective
-        # Aggregate each capacity constraint's shadow price over the horizon:
-        # the coordinator redistributes per-DC totals, not per-period ones.
-        duals[index] = solution.capacity_duals.sum(axis=0)
-    return solutions, costs, duals
+def _validate_population(providers: list[ServiceProvider]) -> None:
+    if not providers:
+        raise ValueError("need at least one provider")
+    horizons = {p.horizon for p in providers}
+    if len(horizons) != 1:
+        raise ValueError(f"providers disagree on horizon: {sorted(horizons)}")
+    dc_sets = {p.instance.datacenters for p in providers}
+    if len(dc_sets) != 1:
+        raise ValueError("providers must share the same data centers")
 
 
 def compute_equilibrium(
@@ -128,6 +129,8 @@ def compute_equilibrium(
     capacity: np.ndarray,
     config: BestResponseConfig | None = None,
     initial_quotas: np.ndarray | None = None,
+    jobs: int | None = None,
+    pool: ProviderPool | None = None,
 ) -> BestResponseResult:
     """Run Algorithm 2 to a (near-)equilibrium.
 
@@ -141,6 +144,16 @@ def compute_equilibrium(
             with per-DC columns summing to ``capacity`` (default: equal
             split).  Biased starts are how
             :mod:`repro.game.anarchy` explores the equilibrium set.
+        jobs: worker processes to shard the per-round solves across
+            (``None``/``1``: inline, no subprocess; ``0``: one per CPU).
+            Results are bitwise identical at any job count.
+        pool: an already-open :class:`~repro.experiments.pool.ProviderPool`
+            over these providers to run the rounds on.  The caller keeps
+            ownership (the pool is left open), ``jobs`` is ignored, and
+            the pool's own :class:`~repro.experiments.pool.PoolSettings`
+            win over the solver fields of ``config`` — this is how
+            :func:`~repro.game.mpc_game.run_mpc_game` keeps one pool warm
+            across every period of the horizon.
 
     Returns:
         The :class:`BestResponseResult`.
@@ -148,14 +161,7 @@ def compute_equilibrium(
     Raises:
         ValueError: on inconsistent providers or a non-positive capacity.
     """
-    if not providers:
-        raise ValueError("need at least one provider")
-    horizons = {p.horizon for p in providers}
-    if len(horizons) != 1:
-        raise ValueError(f"providers disagree on horizon: {sorted(horizons)}")
-    dc_sets = {p.instance.datacenters for p in providers}
-    if len(dc_sets) != 1:
-        raise ValueError("providers must share the same data centers")
+    _validate_population(providers)
     capacity = np.asarray(capacity, dtype=float)
 
     cfg = config or BestResponseConfig()
@@ -166,41 +172,43 @@ def compute_equilibrium(
         coordinator.set_quotas(np.asarray(initial_quotas, dtype=float))
     quotas = coordinator.quotas.copy()
 
-    # One persistent workspace per SP: quota updates between rounds touch
-    # only the capacity bounds, so each provider's factorization survives
-    # the entire coordination run.
-    workspaces = (
-        [DSPPWorkspace() for _ in providers] if cfg.reuse_workspaces else None
-    )
-
-    previous_total = np.inf
-    cost_history: list[float] = []
-    converged = False
-    solutions: list[DSPPSolution] = []
-    costs = np.zeros(len(providers))
-    iteration = 0
-    for iteration in range(1, cfg.max_iterations + 1):
-        solutions, costs, duals = _best_response_round(
-            providers, quotas, cfg, workspaces
+    owns_pool = pool is None
+    if pool is None:
+        pool = ProviderPool(providers, jobs=jobs, settings=cfg.pool_settings())
+    elif pool.num_providers != len(providers):
+        raise ValueError(
+            f"pool holds {pool.num_providers} providers, got {len(providers)}"
         )
-        total = float(costs.sum())
-        cost_history.append(total)
-        if np.isfinite(previous_total) and abs(total - previous_total) <= cfg.epsilon * abs(
-            previous_total
-        ):
-            converged = True
-            break
-        previous_total = total
-        quotas = coordinator.update(duals).quotas
+    try:
+        previous_total = np.inf
+        cost_history: list[float] = []
+        converged = False
+        round_result: RoundResult | None = None
+        iteration = 0
+        for iteration in range(1, cfg.max_iterations + 1):
+            round_result = pool.run_round(quotas)
+            total = float(round_result.costs.sum())
+            cost_history.append(total)
+            if np.isfinite(previous_total) and abs(
+                total - previous_total
+            ) <= cfg.epsilon * abs(previous_total):
+                converged = True
+                break
+            previous_total = total
+            quotas = coordinator.update(round_result.duals).quotas
+        assert round_result is not None
+        solutions = pool.solutions()
+    finally:
+        if owns_pool:
+            pool.close()
 
-    shortfall = float(sum(s.demand_slack.sum() for s in solutions))
     return BestResponseResult(
         converged=converged,
         iterations=iteration,
-        provider_costs=costs.copy(),
-        total_cost=float(costs.sum()),
+        provider_costs=round_result.costs.copy(),
+        total_cost=float(round_result.costs.sum()),
         solutions=solutions,
         quotas=quotas.copy(),
         cost_history=cost_history,
-        total_shortfall=shortfall,
+        total_shortfall=float(round_result.shortfalls.sum()),
     )

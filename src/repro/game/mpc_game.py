@@ -11,6 +11,14 @@ The static :func:`repro.game.best_response.compute_equilibrium` solves
 one full horizon to its fixed point; this loop is the deployable version —
 quotas renegotiated every period with only ``coordination_rounds`` of
 message exchange, states carried forward, prediction windows sliding.
+
+The whole horizon runs on a single persistent
+:class:`~repro.experiments.pool.ProviderPool`: provider instances ship
+to their (fixed) worker shards once, and only states, forecast windows
+and quota rows cross the process boundary afterwards — so each
+provider's warm workspace survives both the rounds within a period and
+the period-to-period window slide.  Results are bitwise identical at
+any ``jobs`` count.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ from typing import Callable
 import numpy as np
 
 from repro.control.horizon import effective_horizon, forecast_window
-from repro.core.dspp import solve_dspp
+from repro.experiments.pool import PoolSettings, ProviderPool
 from repro.game.players import ServiceProvider
 from repro.prediction.base import Predictor
 from repro.solvers.dual import QuotaCoordinator
@@ -61,6 +69,15 @@ class MPCGameConfig:
             from realized observations (the deployable configuration);
             when ``None``, windows are read from the providers' own
             future trajectories (oracle — isolates the game dynamics).
+        reuse_workspaces: keep one warm
+            :class:`~repro.core.dspp.DSPPWorkspace` per provider for the
+            whole horizon.  Between rounds only the quota bounds move and
+            between periods only the state/window vectors move, so almost
+            every solve after a provider's first is a vector-only
+            ``update()`` against its cached factorization (the structure
+            rebuilds only when the window shrinks near the end of the
+            horizon).  Default on — the cold path (``False``) exists for
+            differential testing.  See ``docs/PERFORMANCE.md``.
     """
 
     window: int | tuple[int, ...] = 3
@@ -69,6 +86,7 @@ class MPCGameConfig:
     slack_penalty: float = 1e3
     qp_settings: QPSettings | None = None
     predictor_factory: PredictorFactory | None = None
+    reuse_workspaces: bool = True
 
     def __post_init__(self) -> None:
         windows = (
@@ -96,6 +114,14 @@ class MPCGameConfig:
                 f"{len(windows)} windows configured for {num_providers} providers"
             )
         return windows[provider_index]
+
+    def pool_settings(self) -> PoolSettings:
+        """The per-worker solver configuration this config induces."""
+        return PoolSettings(
+            qp_settings=self.qp_settings,
+            slack_penalty=self.slack_penalty,
+            reuse_workspaces=self.reuse_workspaces,
+        )
 
 
 @dataclass(frozen=True)
@@ -143,6 +169,7 @@ def run_mpc_game(
     providers: list[ServiceProvider],
     capacity: np.ndarray,
     config: MPCGameConfig | None = None,
+    jobs: int | None = None,
 ) -> MPCGameResult:
     """Run the W-MPC game over the providers' demand/price trajectories.
 
@@ -154,6 +181,10 @@ def run_mpc_game(
         providers: the SPs (shared data centers, shared horizon ``K``).
         capacity: physical per-DC capacity, shape ``(L,)``.
         config: loop parameters.
+        jobs: worker processes to shard each round's solves across
+            (``None``/``1``: inline; ``0``: one per CPU).  One pool is
+            held for the whole horizon; results are bitwise identical at
+            any job count.
 
     Returns:
         The :class:`MPCGameResult`.
@@ -190,72 +221,74 @@ def run_mpc_game(
         ]
 
     num_steps = K - 1
-    for k in range(num_steps):
-        # Feed this period's observation to every predicting SP once.
-        for i, provider in enumerate(providers):
-            if predictors[i] is not None:
-                demand_predictor, price_predictor = predictors[i]
-                demand_predictor.observe(provider.demand[:, k])
-                price_predictor.observe(provider.prices[:, k])
+    with ProviderPool(providers, jobs=jobs, settings=cfg.pool_settings()) as pool:
+        for k in range(num_steps):
+            # Feed this period's observation to every predicting SP once.
+            for i, provider in enumerate(providers):
+                if predictors[i] is not None:
+                    demand_predictor, price_predictor = predictors[i]
+                    demand_predictor.observe(provider.demand[:, k])
+                    price_predictor.observe(provider.prices[:, k])
 
-        solutions = [None] * N
-        quotas = coordinator.quotas.copy()
-        for _ in range(cfg.coordination_rounds):
-            duals = np.empty((N, L))
+            # Forecast every SP's window once per period: ``predict`` is
+            # pure, so the rounds within a period all see the same window.
+            demand_windows: list[np.ndarray] = []
+            price_windows: list[np.ndarray] = []
             for i, provider in enumerate(providers):
                 window = effective_horizon(cfg.window_for(i, N), k, num_steps)
                 if predictors[i] is not None:
                     demand_predictor, price_predictor = predictors[i]
-                    demand_window = demand_predictor.predict(window)
-                    price_window = price_predictor.predict(window)
+                    demand_windows.append(demand_predictor.predict(window))
+                    price_windows.append(price_predictor.predict(window))
                 else:
-                    demand_window = forecast_window(provider.demand, k + 1, window)
-                    price_window = forecast_window(provider.prices, k + 1, window)
-                instance = provider.instance.with_capacities(
-                    quotas[i]
-                ).with_initial_state(states[i])
-                solution = solve_dspp(
-                    instance,
-                    demand_window,
-                    price_window,
-                    settings=cfg.qp_settings,
-                    demand_slack_penalty=cfg.slack_penalty,
+                    demand_windows.append(
+                        forecast_window(provider.demand, k + 1, window)
+                    )
+                    price_windows.append(
+                        forecast_window(provider.prices, k + 1, window)
+                    )
+            pool.set_problems(
+                states=states, demands=demand_windows, prices=price_windows
+            )
+
+            quotas = coordinator.quotas.copy()
+            for _ in range(cfg.coordination_rounds):
+                round_result = pool.run_round(quotas)
+                quotas = coordinator.update(round_result.duals).quotas
+
+            # Everyone commits the first move of their final-round plan.
+            controls = pool.first_controls()
+            new_states = np.empty((N, L, V))
+            for i, provider in enumerate(providers):
+                control = controls[i]
+                new_state = np.maximum(states[i] + control, 0.0)
+                realized_price = provider.prices[:, k + 1]
+                holding = float(new_state.sum(axis=1) @ realized_price)
+                recon = float(
+                    provider.instance.reconfiguration_weights
+                    @ (control**2).sum(axis=1)
                 )
-                solutions[i] = solution
-                duals[i] = solution.capacity_duals.sum(axis=0)
-            quotas = coordinator.update(duals).quotas
+                realized_costs[i] += holding + recon
+                coeff = provider.instance.demand_coefficients
+                served = (coeff * new_state).sum(axis=0)
+                shortfall += float(
+                    np.maximum(provider.demand[:, k + 1] - served, 0.0).sum()
+                )
+                states[i] = new_state
+                new_states[i] = new_state
 
-        # Everyone commits the first move of their final-round plan.
-        new_states = np.empty((N, L, V))
-        for i, provider in enumerate(providers):
-            control = solutions[i].first_control
-            new_state = np.maximum(states[i] + control, 0.0)
-            realized_price = provider.prices[:, k + 1]
-            holding = float(new_state.sum(axis=1) @ realized_price)
-            recon = float(
-                provider.instance.reconfiguration_weights @ (control**2).sum(axis=1)
+            used = np.zeros(L)
+            for i, provider in enumerate(providers):
+                used += provider.instance.server_size * new_states[i].sum(axis=1)
+            worst_violation = max(worst_violation, float(np.max(used - capacity)))
+            records.append(
+                MPCGamePeriod(
+                    period=k,
+                    quotas=quotas.copy(),
+                    states=new_states,
+                    capacity_used=used,
+                )
             )
-            realized_costs[i] += holding + recon
-            coeff = provider.instance.demand_coefficients
-            served = (coeff * new_state).sum(axis=0)
-            shortfall += float(
-                np.maximum(provider.demand[:, k + 1] - served, 0.0).sum()
-            )
-            states[i] = new_state
-            new_states[i] = new_state
-
-        used = np.zeros(L)
-        for i, provider in enumerate(providers):
-            used += provider.instance.server_size * new_states[i].sum(axis=1)
-        worst_violation = max(worst_violation, float(np.max(used - capacity)))
-        records.append(
-            MPCGamePeriod(
-                period=k,
-                quotas=quotas.copy(),
-                states=new_states,
-                capacity_used=used,
-            )
-        )
 
     return MPCGameResult(
         provider_costs=realized_costs,

@@ -38,26 +38,37 @@ class ReportOptions:
         seed: base RNG seed forwarded to the harnesses.
         jobs: worker processes for the sweep figures (``None``/1: serial,
             0: one per CPU); the report is identical at any job count.
+        game_jobs: worker processes sharding the per-round solves inside
+            each best-response game (fig7/fig8; see
+            :mod:`repro.experiments.pool`); bitwise identical at any value.
     """
 
     quick: bool = True
     seed: int = 0
     jobs: int | None = None
+    game_jobs: int | None = None
 
 
 def _figure_runs(options: ReportOptions) -> list[Callable[[], FigureResult]]:
     quick = options.quick
     seed = options.seed
     jobs = options.jobs
+    game_jobs = options.game_jobs
     return [
         lambda: run_fig3(seed=seed),
         lambda: run_fig4(seed=seed),
         lambda: run_fig5(seed=seed),
         lambda: run_fig6(),
-        lambda: run_fig7(max_players=5 if quick else 10, seed=seed, jobs=jobs),
+        lambda: run_fig7(
+            max_players=5 if quick else 10,
+            seed=seed,
+            jobs=jobs,
+            game_jobs=game_jobs,
+        ),
         lambda: run_fig8(
             horizons=(1, 2, 4, 6, 8) if quick else (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
             seed=seed,
+            game_jobs=game_jobs,
         ),
         lambda: run_fig9(num_seeds=1 if quick else 3, seed=seed, jobs=jobs),
         lambda: run_fig10(),

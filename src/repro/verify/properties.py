@@ -41,6 +41,9 @@ The registered properties:
 ``events_deterministic_replay``       same seed => bitwise-identical event
                                       log and metrics at any jobs count or
                                       collector set
+``sharded_equilibrium_equals_serial`` Algorithm 2 through the provider-
+                                      sharded process pool (jobs 2, 4) ≡
+                                      serial inline run, bitwise
 ====================================  =====================================
 """
 
@@ -67,6 +70,12 @@ from repro.events.records import EventLog, logs_equal
 from repro.core.instance import DSPPInstance
 from repro.core.integer import IntegerRepairError, solve_dspp_integer
 from repro.core.matrices import build_stacked_qp
+from repro.game.best_response import (
+    BestResponseConfig,
+    BestResponseResult,
+    compute_equilibrium,
+)
+from repro.game.players import random_providers
 from repro.prediction.naive import LastValuePredictor
 from repro.prediction.oracle import OraclePredictor
 from repro.queueing.mm1 import queueing_delay, required_servers
@@ -112,6 +121,7 @@ __all__ = [
     "prop_qp_reference",
     "prop_qp_workspace_sequence",
     "prop_routing_differential",
+    "prop_sharded_equilibrium_equals_serial",
     "prop_sparsified_equals_dense",
     "prop_workspace_resolve_equals_cold",
 ]
@@ -545,7 +555,14 @@ def prop_krylov_equals_banded(
 def prop_dspp_reference(rng: np.random.Generator, tier: ScaleTier) -> list[Discrepancy]:
     """Stacked DSPP solve vs trust-constr, plus a trajectory feasibility audit."""
     instance, demand, prices = _draw_problem(rng, tier, load=float(rng.uniform(0.3, 0.95)))
-    solution = solve_dspp(instance, demand, prices)
+    # Sparsification is pinned off so the solved QP has the same variable
+    # layout as the un-pruned stacked reference built below (the default
+    # "auto" mode prunes columns on low-density draws, and the reference
+    # warm start x0 would then mismatch P).  Pruned-vs-dense equivalence
+    # has its own gate: sparsified_equals_dense.
+    solution = solve_dspp(
+        instance, demand, prices, settings=QPSettings(sparsify_columns="off")
+    )
     stacked = build_stacked_qp(instance, demand, prices)
     problem = QPProblem.build(stacked.P, stacked.q, stacked.A, stacked.l, stacked.u)
     findings = check_qp_against_reference(
@@ -752,6 +769,124 @@ def prop_workspace_resolve_equals_cold(
             )
         if rng.random() < 0.5:
             instance = instance.with_initial_state(warm.trajectory.states[0])
+    return findings
+
+
+def _equilibrium_mismatches(
+    label: str, serial: "BestResponseResult", sharded: "BestResponseResult"
+) -> list[Discrepancy]:
+    """Bitwise comparison of two Algorithm 2 outcomes."""
+    findings: list[Discrepancy] = []
+
+    def report(what: str, magnitude: float) -> None:
+        findings.append(
+            Discrepancy(
+                "sharded_equilibrium_equals_serial",
+                f"{label}: {what} differs from the serial run",
+                magnitude,
+            )
+        )
+
+    if sharded.iterations != serial.iterations:
+        report("iteration count", abs(sharded.iterations - serial.iterations))
+    if sharded.converged != serial.converged:
+        report("convergence flag", 1.0)
+    if sharded.cost_history != serial.cost_history:
+        report(
+            "cost history",
+            float(
+                max(
+                    abs(a - b)
+                    for a, b in zip(sharded.cost_history, serial.cost_history)
+                )
+                if len(sharded.cost_history) == len(serial.cost_history)
+                else math.inf
+            ),
+        )
+    for what, a, b in (
+        ("provider costs", sharded.provider_costs, serial.provider_costs),
+        ("quotas", sharded.quotas, serial.quotas),
+    ):
+        if not np.array_equal(a, b):
+            report(what, float(np.max(np.abs(a - b))))
+    if sharded.total_cost != serial.total_cost:
+        report("total cost", abs(sharded.total_cost - serial.total_cost))
+    if sharded.total_shortfall != serial.total_shortfall:
+        report(
+            "total shortfall",
+            abs(sharded.total_shortfall - serial.total_shortfall),
+        )
+    for i, (warm, cold) in enumerate(zip(sharded.solutions, serial.solutions)):
+        for what, a, b in (
+            (f"solution {i} states", warm.trajectory.states, cold.trajectory.states),
+            (f"solution {i} duals", warm.capacity_duals, cold.capacity_duals),
+            (f"solution {i} slack", warm.demand_slack, cold.demand_slack),
+        ):
+            if not np.array_equal(a, b):
+                report(what, float(np.max(np.abs(a - b))))
+    return findings
+
+
+def prop_sharded_equilibrium_equals_serial(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """Algorithm 2 through the sharded pool ≡ the serial inline run, bitwise.
+
+    Each provider is solved by exactly one shard against a dedicated
+    workspace, and the coordinator reduces the dual reports in fixed
+    provider order — so quotas, costs, iteration counts and full
+    solutions must be *bitwise* identical at any jobs count, not merely
+    within solver tolerance.
+
+    Heavily over-subscribed draws can make the elastic QP itself fail to
+    converge; that is solver hardness (covered by the solver checks), not
+    a sharding property, so a serial-side ``RuntimeError`` vacuously
+    passes the trial.  Determinism still cuts both ways: if the serial
+    run succeeds, a sharded run raising is itself a discrepancy.
+    """
+    L = int(rng.integers(1, tier.max_datacenters + 1))
+    V = int(rng.integers(1, tier.max_locations + 1))
+    horizon = int(rng.integers(2, tier.max_horizon + 1))
+    num_providers = int(rng.integers(2, 5))
+    latency = rng.uniform(10.0, 60.0, size=(L, V))
+    providers = random_providers(
+        num_providers,
+        tuple(f"dc{i}" for i in range(L)),
+        tuple(f"v{i}" for i in range(V)),
+        latency,
+        horizon,
+        rng,
+        demand_scale=float(rng.uniform(20.0, 80.0)),
+    )
+    # Between scarce (quota negotiation bites) and comfortable capacity.
+    peak = sum(float(p.servers_demanded().max()) for p in providers)
+    capacity = np.full(L, float(rng.uniform(0.4, 1.6)) * max(peak, 1.0) / L)
+    config = BestResponseConfig(
+        epsilon=1e-3,
+        max_iterations=8,
+        reuse_workspaces=bool(rng.random() < 0.75),
+    )
+    try:
+        serial = compute_equilibrium(providers, capacity, config, jobs=1)
+    except RuntimeError:
+        return []
+    findings: list[Discrepancy] = []
+    for jobs in (2, 4):
+        try:
+            sharded = compute_equilibrium(providers, capacity, config, jobs=jobs)
+        except RuntimeError as exc:
+            findings.append(
+                Discrepancy(
+                    "sharded_equilibrium_equals_serial",
+                    f"jobs={jobs} raised {exc!r} where the serial run "
+                    "converged — shards must replay the identical solve",
+                    float("inf"),
+                )
+            )
+            continue
+        findings.extend(
+            _equilibrium_mismatches(f"jobs={jobs}", serial, sharded)
+        )
     return findings
 
 

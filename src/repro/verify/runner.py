@@ -92,6 +92,13 @@ CHECKS: dict[str, CheckSpec] = {
             props.prop_events_deterministic_replay,
             ("tiny", "small"),
         ),
+        # Three full equilibrium runs per trial (serial + jobs 2 and 4,
+        # spawning real worker processes) — capped below the medium tier.
+        CheckSpec(
+            "sharded_equilibrium_equals_serial",
+            props.prop_sharded_equilibrium_equals_serial,
+            ("tiny", "small"),
+        ),
     )
 }
 
