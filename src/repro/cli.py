@@ -18,7 +18,9 @@ drives the differential-oracle/fuzzing subsystem in :mod:`repro.verify`;
 see :mod:`repro.verify.cli`.  The ``events`` subcommand replays individual
 requests against the MPC trajectory under hostile arrival scenarios and
 reports measured vs fluid-predicted SLA violation rates; see
-:mod:`repro.events.cli`.
+:mod:`repro.events.cli`.  The ``serve`` subcommand runs the resident,
+checkpointed, fault-tolerant placement service; see
+:mod:`repro.service.cli` and ``docs/OPERATIONS.md``.
 """
 
 from __future__ import annotations
@@ -168,6 +170,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_events_parser(sub)
 
+    from repro.service.cli import add_serve_parser
+
+    add_serve_parser(sub)
+
     for name, description in _DESCRIPTIONS.items():
         figure_parser = sub.add_parser(name, help=description)
         figure_parser.add_argument("--seed", type=int, default=0)
@@ -203,6 +209,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.events.cli import run_events
 
         return run_events(args)
+
+    if args.command == "serve":
+        from repro.service.cli import run_serve
+
+        return run_serve(args)
 
     if args.command == "report":
         from repro.report import ReportOptions, write_report

@@ -26,7 +26,22 @@ from repro.core.instance import DSPPInstance
 from repro.prediction.base import Predictor
 from repro.solvers.qp import QPSettings, QPSolution
 
-__all__ = ["MPCConfig", "MPCStep", "MPCController"]
+__all__ = [
+    "MPCConfig",
+    "MPCStep",
+    "MPCController",
+    "NonFiniteObservationError",
+]
+
+
+class NonFiniteObservationError(ValueError):
+    """A telemetry sample contained NaN/inf and could not be repaired.
+
+    Raised by :meth:`MPCController.observe` in ``imputation="strict"``
+    mode on any non-finite entry, and in ``imputation="carry_forward"``
+    mode when there is no finite history to impute from (the very first
+    observation arrived broken).
+    """
 
 
 @dataclass(frozen=True)
@@ -56,6 +71,14 @@ class MPCConfig:
             ``"sparse"``, ``"banded"`` or ``"krylov"``).  ``None`` defers to
             ``qp_settings`` (or the solver default).  Set on top of explicit
             ``qp_settings``, it replaces just the backend field.
+        imputation: what to do with non-finite telemetry.  ``"strict"``
+            (default) raises :class:`NonFiniteObservationError` at the
+            period that saw the bad sample; ``"carry_forward"`` replaces
+            each NaN/inf entry with the last finite value observed for
+            that series and flags the repair on the resulting
+            :class:`MPCStep` (``imputed_demand``/``imputed_prices``), so a
+            single broken sample degrades one forecast instead of killing
+            the loop.
     """
 
     window: int = 3
@@ -64,6 +87,7 @@ class MPCConfig:
     slack_penalty: float | None = None
     reuse_workspace: bool = False
     kkt_backend: str | None = None
+    imputation: str = "strict"
 
     def __post_init__(self) -> None:
         if self.window < 1:
@@ -81,6 +105,11 @@ class MPCConfig:
             raise ValueError(
                 f"kkt_backend must be 'auto', 'sparse', 'banded' or 'krylov', "
                 f"got {self.kkt_backend!r}"
+            )
+        if self.imputation not in ("strict", "carry_forward"):
+            raise ValueError(
+                f"imputation must be 'strict' or 'carry_forward', "
+                f"got {self.imputation!r}"
             )
 
     def resolved_qp_settings(self) -> QPSettings | None:
@@ -106,7 +135,14 @@ class MPCStep:
         predicted_demand: the demand forecast used, shape ``(V, W)``.
         predicted_prices: the price forecast used, shape ``(L, W)``.
         solution: the full horizon solution (plans beyond the first move
-            are informational only).
+            are informational only), or ``None`` for a held period (see
+            :meth:`MPCController.hold`).
+        held: ``True`` when no solve happened this period and the previous
+            allocation was carried unchanged.
+        imputed_demand: boolean mask over the ``V`` demand series whose
+            observation was repaired by carry-forward imputation this
+            period (``None``: nothing was imputed).
+        imputed_prices: the same mask over the ``L`` price series.
     """
 
     period: int
@@ -114,7 +150,10 @@ class MPCStep:
     new_state: np.ndarray
     predicted_demand: np.ndarray
     predicted_prices: np.ndarray
-    solution: DSPPSolution
+    solution: DSPPSolution | None
+    held: bool = False
+    imputed_demand: np.ndarray | None = None
+    imputed_prices: np.ndarray | None = None
 
 
 class MPCController:
@@ -158,6 +197,13 @@ class MPCController:
         # Created lazily on the first step so ``config`` may still be
         # swapped (e.g. by the simulation engine) after construction.
         self._workspace: DSPPWorkspace | None = None
+        # Last finite value seen per series (the carry-forward source) and
+        # the imputation masks of the most recent observe(), consumed by
+        # the next plan()/hold().
+        self._last_finite_demand: np.ndarray | None = None
+        self._last_finite_prices: np.ndarray | None = None
+        self._imputed_demand: np.ndarray | None = None
+        self._imputed_prices: np.ndarray | None = None
 
     @property
     def state(self) -> np.ndarray:
@@ -182,6 +228,10 @@ class MPCController:
         )
         self._period = 0
         self._last_qp = None
+        self._last_finite_demand = None
+        self._last_finite_prices = None
+        self._imputed_demand = None
+        self._imputed_prices = None
         if self._workspace is not None:
             # The structure fingerprint would survive a reset unchanged, but
             # the stored ADMM iterates belong to the abandoned run.
@@ -190,13 +240,213 @@ class MPCController:
         self.price_predictor.reset()
 
     @check_shapes("observed_demand:(V,)", "observed_prices:(L,)")
+    def observe(
+        self,
+        observed_demand: np.ndarray,
+        observed_prices: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Feed one period's telemetry to the predictors (Algorithm 1 step 1).
+
+        Splitting observation from planning lets a supervisor retry the
+        *solve* (see :mod:`repro.service`) without double-feeding the
+        predictor histories.
+
+        Args:
+            observed_demand: demand vector realized in the period just
+                beginning, length ``V`` (the monitoring module's report).
+            observed_prices: current per-server prices, length ``L``.
+
+        Returns:
+            The ``(demand, prices)`` actually recorded — identical to the
+            inputs unless carry-forward imputation repaired entries.
+
+        Raises:
+            NonFiniteObservationError: on non-finite entries in ``strict``
+                mode, or in ``carry_forward`` mode with no finite history.
+        """
+        demand = np.asarray(observed_demand, dtype=float).ravel()
+        prices = np.asarray(observed_prices, dtype=float).ravel()
+        demand_mask = ~np.isfinite(demand)
+        prices_mask = ~np.isfinite(prices)
+        self._imputed_demand = None
+        self._imputed_prices = None
+        if bool(demand_mask.any()) or bool(prices_mask.any()):
+            # A NaN observation would silently poison the predictor
+            # history and every later horizon; repair it (flagged) or fail
+            # here, at the period that saw it.
+            if self.config.imputation == "strict":
+                # With the sanitizer armed this raises its located
+                # SanitizeError; otherwise fall through to the typed raise.
+                sanitize.check_finite(
+                    "MPCController.step observations", demand, prices
+                )
+                raise NonFiniteObservationError(
+                    f"non-finite observation at period {self._period}: "
+                    f"{int(demand_mask.sum())} demand and "
+                    f"{int(prices_mask.sum())} price entries"
+                )
+            if self._last_finite_demand is None or self._last_finite_prices is None:
+                raise NonFiniteObservationError(
+                    f"non-finite observation at period {self._period} with "
+                    "no finite history to carry forward"
+                )
+            demand = np.where(demand_mask, self._last_finite_demand, demand)
+            prices = np.where(prices_mask, self._last_finite_prices, prices)
+            self._imputed_demand = demand_mask if demand_mask.any() else None
+            self._imputed_prices = prices_mask if prices_mask.any() else None
+        sanitize.check_finite("MPCController.step observations", demand, prices)
+        self._last_finite_demand = demand.copy()
+        self._last_finite_prices = prices.copy()
+        self.demand_predictor.observe(demand)
+        self.price_predictor.observe(prices)
+        return demand, prices
+
+    def _consume_imputation_flags(
+        self,
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        flags = (self._imputed_demand, self._imputed_prices)
+        self._imputed_demand = None
+        self._imputed_prices = None
+        return flags
+
+    def plan(
+        self,
+        horizon: int | None = None,
+        *,
+        settings: QPSettings | None = None,
+        cold: bool = False,
+        use_workspace: bool = True,
+    ) -> MPCStep:
+        """Forecast, solve the horizon DSPP and apply ``u_{k|k}``.
+
+        Args:
+            horizon: override of the window length for this step (used to
+                clamp near the end of a finite run).
+            settings: per-call override of the solver settings (e.g. the
+                degradation ladder's ``kkt_backend="sparse"`` rung); the
+                persistent workspace transparently rebuilds on a settings
+                change.
+            cold: drop the persistent workspace's cached factorization and
+                the stored warm start before solving (a from-scratch
+                re-factorization of the same problem).
+            use_workspace: ``False`` bypasses the persistent workspace and
+                warm start entirely for this call (a one-shot solve that
+                shares no cached state).
+
+        Returns:
+            The :class:`MPCStep`; the controller's internal state advances
+            to ``x_{k+1}``.
+
+        Raises:
+            DSPPInfeasibleError: if the forecast demand cannot be served.
+        """
+        window = horizon if horizon is not None else self.config.window
+        if window < 1:
+            raise ValueError(f"horizon must be >= 1, got {window}")
+        predicted_demand = self.demand_predictor.predict(window)
+        predicted_prices = self.price_predictor.predict(window)
+
+        if cold:
+            if self._workspace is not None:
+                self._workspace.invalidate()
+            self._last_qp = None
+
+        # Prime the memoized structure key on the base instance (a no-op
+        # after the first step) so every derived per-period copy inherits
+        # it: the receding-horizon loop hashes the SLA/weight arrays once,
+        # not once per period.
+        self.instance.structure_key()
+        instance_now = self.instance.with_initial_state(self._state)
+        workspace: DSPPWorkspace | None = None
+        if self.config.reuse_workspace and use_workspace:
+            if self._workspace is None:
+                self._workspace = DSPPWorkspace()
+            workspace = self._workspace
+        # With a persistent workspace the previous solve's (scaled) iterates
+        # are already stored inside it, which warm-starts strictly better
+        # than re-seeding from the unscaled solution vector.
+        warm = (
+            self._last_qp
+            if self.config.warm_start and workspace is None and use_workspace
+            else None
+        )
+        solution = solve_dspp(
+            instance_now,
+            predicted_demand,
+            predicted_prices,
+            settings=(
+                settings if settings is not None else self.config.resolved_qp_settings()
+            ),
+            warm_start=warm,
+            demand_slack_penalty=self.config.slack_penalty,
+            workspace=workspace,
+            reuse_iterates=self.config.warm_start,
+        )
+        if use_workspace:
+            self._last_qp = solution.qp
+
+        control = solution.first_control
+        self._state = np.maximum(self._state + control, 0.0)
+        imputed_demand, imputed_prices = self._consume_imputation_flags()
+        step = MPCStep(
+            period=self._period,
+            applied_control=control,
+            new_state=self._state.copy(),
+            predicted_demand=predicted_demand,
+            predicted_prices=predicted_prices,
+            solution=solution,
+            imputed_demand=imputed_demand,
+            imputed_prices=imputed_prices,
+        )
+        self._period += 1
+        return step
+
+    def hold(self, horizon: int | None = None) -> MPCStep:
+        """Advance one period without solving: keep the last allocation.
+
+        The degradation ladder's terminal rung (see
+        ``docs/OPERATIONS.md``): when every solve attempt failed, the
+        previous placement is carried unchanged (``u_{k|k} = 0``) and the
+        period still completes.  The unserved-demand slack this implies is
+        the caller's to account (the service records it in the
+        :class:`~repro.service.DegradationLog`).
+
+        Args:
+            horizon: window length used for the bookkeeping forecast
+                (default: the configured window).
+
+        Returns:
+            An :class:`MPCStep` with ``held=True``, ``solution=None`` and
+            a zero applied control.
+        """
+        window = horizon if horizon is not None else self.config.window
+        if window < 1:
+            raise ValueError(f"horizon must be >= 1, got {window}")
+        predicted_demand = self.demand_predictor.predict(window)
+        predicted_prices = self.price_predictor.predict(window)
+        imputed_demand, imputed_prices = self._consume_imputation_flags()
+        step = MPCStep(
+            period=self._period,
+            applied_control=np.zeros_like(self._state),
+            new_state=self._state.copy(),
+            predicted_demand=predicted_demand,
+            predicted_prices=predicted_prices,
+            solution=None,
+            held=True,
+            imputed_demand=imputed_demand,
+            imputed_prices=imputed_prices,
+        )
+        self._period += 1
+        return step
+
+    @check_shapes("observed_demand:(V,)", "observed_prices:(L,)")
     def step(
         self,
         observed_demand: np.ndarray,
         observed_prices: np.ndarray,
         horizon: int | None = None,
     ) -> MPCStep:
-        """Run one iteration of Algorithm 1.
+        """Run one iteration of Algorithm 1 (observe, then plan).
 
         Args:
             observed_demand: demand vector realized in the period just
@@ -210,61 +460,8 @@ class MPCController:
             to ``x_{k+1}``.
 
         Raises:
+            NonFiniteObservationError: on unrepairable non-finite telemetry.
             DSPPInfeasibleError: if the forecast demand cannot be served.
         """
-        window = horizon if horizon is not None else self.config.window
-        if window < 1:
-            raise ValueError(f"horizon must be >= 1, got {window}")
-        # A NaN observation would silently poison the predictor history
-        # and every later horizon; fail here, at the period that saw it.
-        sanitize.check_finite(
-            "MPCController.step observations", observed_demand, observed_prices
-        )
-        self.demand_predictor.observe(observed_demand)
-        self.price_predictor.observe(observed_prices)
-        predicted_demand = self.demand_predictor.predict(window)
-        predicted_prices = self.price_predictor.predict(window)
-
-        # Prime the memoized structure key on the base instance (a no-op
-        # after the first step) so every derived per-period copy inherits
-        # it: the receding-horizon loop hashes the SLA/weight arrays once,
-        # not once per period.
-        self.instance.structure_key()
-        instance_now = self.instance.with_initial_state(self._state)
-        workspace: DSPPWorkspace | None = None
-        if self.config.reuse_workspace:
-            if self._workspace is None:
-                self._workspace = DSPPWorkspace()
-            workspace = self._workspace
-        # With a persistent workspace the previous solve's (scaled) iterates
-        # are already stored inside it, which warm-starts strictly better
-        # than re-seeding from the unscaled solution vector.
-        warm = (
-            self._last_qp
-            if self.config.warm_start and workspace is None
-            else None
-        )
-        solution = solve_dspp(
-            instance_now,
-            predicted_demand,
-            predicted_prices,
-            settings=self.config.resolved_qp_settings(),
-            warm_start=warm,
-            demand_slack_penalty=self.config.slack_penalty,
-            workspace=workspace,
-            reuse_iterates=self.config.warm_start,
-        )
-        self._last_qp = solution.qp
-
-        control = solution.first_control
-        self._state = np.maximum(self._state + control, 0.0)
-        step = MPCStep(
-            period=self._period,
-            applied_control=control,
-            new_state=self._state.copy(),
-            predicted_demand=predicted_demand,
-            predicted_prices=predicted_prices,
-            solution=solution,
-        )
-        self._period += 1
-        return step
+        self.observe(observed_demand, observed_prices)
+        return self.plan(horizon)

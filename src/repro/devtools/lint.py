@@ -39,6 +39,11 @@ RL010   ``except``-and-continue (handler body of only ``pass`` /
         and ``control/`` hides real failures.
 RL011   ``np.errstate(...="ignore"/"warn")`` / ``np.seterr`` floating-
         point suppression outside the sanitizer allowlist.
+RL012   Broad exception handlers (bare ``except``, ``except Exception``
+        / ``BaseException``) in ``service/`` supervision code must
+        re-raise or record the failure to the degradation log — a
+        swallowed error in the fault-tolerance layer is an invisible
+        outage.  Designed fallback sites suppress per line.
 ======  ==============================================================
 
 Any rule is suppressible on a single line with a trailing
@@ -92,6 +97,7 @@ class LintRule(enum.Enum):
     RL009 = "RL009"
     RL010 = "RL010"
     RL011 = "RL011"
+    RL012 = "RL012"
 
 
 RULES: dict[LintRule, str] = {
@@ -106,6 +112,7 @@ RULES: dict[LintRule, str] = {
     LintRule.RL009: "discarded solve/factor result; consume the returned status",
     LintRule.RL010: "except-and-continue swallows numeric kernel failures",
     LintRule.RL011: "np.errstate/np.seterr suppression outside the allowlist",
+    LintRule.RL012: "broad except in service/ supervision swallows the failure",
 }
 
 
@@ -210,6 +217,12 @@ _RL010_PACKAGES = ("solvers", "core", "control")
 # owns errstate policy for the whole repo.
 _RL011_ALLOWLIST = ("repro/sanitize.py",)
 
+# RL012: packages whose broad exception handlers must re-raise or record
+# the failure (the fault-tolerance layer must never hide an error).
+_RL012_PACKAGES = ("service",)
+_RL012_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+_RL012_RECORD_NAMES = frozenset({"record", "record_event"})
+
 # RL002/RL006 exemption: pytest collects these by naming convention; their
 # public surface is fixtures/tests, not an importable API.
 _PYTEST_FILE_RE = re.compile(r"^(test_.*|conftest)\.py$")
@@ -249,6 +262,23 @@ def _dotted_name(node: ast.expr) -> str | None:
     return None
 
 
+def _is_broad_handler(node: ast.ExceptHandler) -> bool:
+    """Whether an except clause catches Exception/BaseException (or is bare)."""
+
+    def broad(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in _RL012_BROAD_NAMES
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in _RL012_BROAD_NAMES
+        return False
+
+    if node.type is None:
+        return True
+    if isinstance(node.type, ast.Tuple):
+        return any(broad(element) for element in node.type.elts)
+    return broad(node.type)
+
+
 def _is_public_path(posix_path: str, part: str) -> bool:
     return f"/{part}/" in posix_path or posix_path.startswith(f"{part}/")
 
@@ -273,6 +303,9 @@ class _Checker(ast.NodeVisitor):
             _is_public_path(self.posix, pkg) for pkg in _RL010_PACKAGES
         )
         self._rl011_allowed = self.posix.endswith(_RL011_ALLOWLIST)
+        self._rl012_active = any(
+            _is_public_path(self.posix, pkg) for pkg in _RL012_PACKAGES
+        )
         self._is_pytest_file = bool(_PYTEST_FILE_RE.match(Path(path).name))
         self._rl008_sorted_ok: set[int] = set()
         self._positive_consts: set[str] = set()
@@ -421,6 +454,25 @@ class _Checker(ast.NodeVisitor):
                 "except-and-continue around a numeric kernel hides failures; "
                 "handle, log or re-raise",
             )
+        if self._rl012_active and _is_broad_handler(node):
+            body_nodes = [
+                sub for stmt in node.body for sub in ast.walk(stmt)
+            ]
+            reraises = any(isinstance(sub, ast.Raise) for sub in body_nodes)
+            records = any(
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _RL012_RECORD_NAMES
+                for sub in body_nodes
+            )
+            if not (reraises or records):
+                self.emit(
+                    node,
+                    LintRule.RL012,
+                    "broad except in supervision code must re-raise or record "
+                    "to the degradation log (suppress designed fallbacks per "
+                    "line)",
+                )
         self.generic_visit(node)
 
     # -- RL002 / RL003 -------------------------------------------------

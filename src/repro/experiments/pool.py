@@ -43,11 +43,25 @@ pool created inside a daemonic worker process (e.g. a
 :func:`~repro.experiments.runner.run_sweep` task) silently falls back
 to inline execution, since daemonic processes may not spawn children —
 the results are identical either way.
+
+Fault tolerance: the coordinator never blocks forever on a worker.
+Every receive runs under ``PoolSettings.recv_timeout``; a worker that
+dies (or stops responding) mid-command is detected, killed, and —
+within the ``max_respawns`` budget, after a bounded exponential
+backoff — respawned with its provider shard and retained per-period
+problem data re-shipped, and the in-flight command re-sent, so an
+equilibrium round completes *through* a worker crash.  A respawned
+worker starts with cold workspaces: its solves remain correct (the
+equilibrium checks still hold to solver tolerance) but are not
+guaranteed bitwise-identical to the uninterrupted run.  Once the budget
+is exhausted the coordinator raises :class:`DeadWorkerError`, naming
+the worker and the provider shard it owned.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -63,7 +77,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (game -> pool)
 
     from repro.game.players import ServiceProvider
 
-__all__ = ["PoolSettings", "ProviderPool", "RoundResult", "shard_indices"]
+__all__ = [
+    "DeadWorkerError",
+    "PoolSettings",
+    "ProviderPool",
+    "RoundResult",
+    "shard_indices",
+]
+
+
+class DeadWorkerError(RuntimeError):
+    """A pool worker died (or stopped responding) and could not be replaced.
+
+    Attributes:
+        rank: the worker's shard rank.
+        pid: the dead process's pid (``None`` if it never started).
+        shard: the provider indices the worker owned.
+    """
+
+    def __init__(self, rank: int, pid: int | None, shard: Sequence[int], reason: str) -> None:
+        self.rank = rank
+        self.pid = pid
+        self.shard = tuple(shard)
+        super().__init__(
+            f"pool worker rank={rank} pid={pid} owning providers "
+            f"{list(self.shard)} {reason}"
+        )
 
 
 @dataclass(frozen=True)
@@ -79,15 +118,33 @@ class PoolSettings:
             :class:`~repro.core.dspp.DSPPWorkspace` per owned provider
             for the lifetime of the pool (``False``: cold solves, the
             pre-workspace behaviour).
+        recv_timeout: seconds the coordinator waits for a worker's reply
+            before declaring it dead (heartbeat window; generous — a
+            healthy round is milliseconds).
+        max_respawns: total worker respawns the pool will perform over
+            its lifetime before raising :class:`DeadWorkerError`
+            (0: never respawn, fail fast on the first crash).
+        respawn_backoff: base of the bounded exponential backoff slept
+            before the ``n``-th respawn (``min(backoff * 2**n, 2.0)``
+            seconds).
     """
 
     qp_settings: QPSettings | None = None
     slack_penalty: float = 1e3
     reuse_workspaces: bool = True
+    recv_timeout: float = 60.0
+    max_respawns: int = 1
+    respawn_backoff: float = 0.05
 
     def __post_init__(self) -> None:
         if self.slack_penalty <= 0:
             raise ValueError("slack_penalty must be positive")
+        if self.recv_timeout <= 0:
+            raise ValueError("recv_timeout must be positive")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        if self.respawn_backoff < 0:
+            raise ValueError("respawn_backoff must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -280,21 +337,32 @@ class ProviderPool:
         self._num_datacenters = self._providers[0].instance.num_datacenters
         self._shard: _Shard | None = None
         self._workers: list[tuple["BaseProcess", "Connection"]] = []
+        self._shard_map: list[list[int]] = []
+        # Retained per-provider problem updates, re-shipped on respawn so
+        # a replacement worker solves the same period as its predecessor.
+        self._problem_updates: dict[
+            int, tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]
+        ] = {}
+        self._respawns_used = 0
         if self._num_jobs <= 1:
             self._shard = _Shard(list(enumerate(self._providers)), self._settings)
             return
-        context = multiprocessing.get_context()
-        for rank_indices in shard_indices(len(self._providers), self._num_jobs):
-            owned = [(i, self._providers[i]) for i in rank_indices]
-            parent_conn, child_conn = context.Pipe()
-            process = context.Process(
-                target=_pool_worker,
-                args=(child_conn, owned, self._settings),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._workers.append((process, parent_conn))
+        self._context = multiprocessing.get_context()
+        self._shard_map = shard_indices(len(self._providers), self._num_jobs)
+        for rank in range(self._num_jobs):
+            self._workers.append(self._spawn_worker(rank))
+
+    def _spawn_worker(self, rank: int) -> tuple["BaseProcess", "Connection"]:
+        owned = [(i, self._providers[i]) for i in self._shard_map[rank]]
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_pool_worker,
+            args=(child_conn, owned, self._settings),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
 
     @property
     def num_providers(self) -> int:
@@ -318,23 +386,104 @@ class ProviderPool:
 
         The full broadcast happens before the first blocking receive —
         this is the coordinator barrier that lets the round run in
-        parallel across shards.
+        parallel across shards.  A worker that dies (or times out) at
+        either side of the exchange is respawned within the pool's
+        budget and the command is replayed on the replacement; see
+        :meth:`_receive`.
         """
-        for (_, conn), payload in zip(self._workers, payloads):
-            conn.send((command, payload))
-        replies: list[object] = []
-        for process, conn in self._workers:
+        for rank, payload in enumerate(payloads):
             try:
-                tag, payload = conn.recv()
-            except EOFError:
-                raise RuntimeError(
-                    f"pool worker pid={process.pid} died mid-command"
-                ) from None
+                self._workers[rank][1].send((command, payload))
+            except (BrokenPipeError, OSError):
+                # Dead before we could even send: the receive path
+                # detects this (EOF/closed pipe), respawns, and replays.
+                pass
+        return [
+            self._receive(rank, command, payload)
+            for rank, payload in enumerate(payloads)
+        ]
+
+    def _receive(self, rank: int, command: str, payload: object) -> object:
+        """Collect worker ``rank``'s reply, surviving crashes.
+
+        On EOF, a closed pipe, or ``recv_timeout`` elapsing without a
+        reply, the worker is declared dead.  Within ``max_respawns`` the
+        pool backs off, spawns a replacement for the same shard,
+        re-ships the retained problem data and replays the in-flight
+        command; past the budget it raises :class:`DeadWorkerError`.
+        """
+        while True:
+            process, conn = self._workers[rank]
+            reason: str | None = None
+            try:
+                if conn.poll(self._settings.recv_timeout):
+                    tag, reply = conn.recv()
+                else:
+                    reason = (
+                        "sent no reply within "
+                        f"{self._settings.recv_timeout}s (presumed hung)"
+                    )
+            except (EOFError, ConnectionResetError, OSError):
+                reason = "died mid-command"
+            if reason is None:
+                if tag == "error":
+                    assert isinstance(reply, BaseException)
+                    raise reply
+                return reply
+            self._replace_worker(rank, command, payload, reason)
+
+    def _replace_worker(
+        self, rank: int, command: str, payload: object, reason: str
+    ) -> None:
+        """Kill + respawn worker ``rank`` and replay the in-flight command.
+
+        Raises:
+            DeadWorkerError: the respawn budget is exhausted.
+        """
+        process, conn = self._workers[rank]
+        pid = process.pid
+        if process.is_alive():  # hung, not dead: reap it before replacing
+            process.terminate()
+        process.join(timeout=1.0)
+        conn.close()
+        if self._respawns_used >= self._settings.max_respawns:
+            raise DeadWorkerError(rank, pid, self._shard_map[rank], reason)
+        backoff = min(
+            self._settings.respawn_backoff * 2**self._respawns_used, 2.0
+        )
+        self._respawns_used += 1
+        if backoff > 0:
+            time.sleep(backoff)
+        self._workers[rank] = self._spawn_worker(rank)
+        _, new_conn = self._workers[rank]
+        retained = {
+            i: self._problem_updates[i]
+            for i in self._shard_map[rank]
+            if i in self._problem_updates
+        }
+        if retained:
+            new_conn.send(("problems", retained))
+            new_process = self._workers[rank][0]
+            try:
+                if not new_conn.poll(self._settings.recv_timeout):
+                    raise DeadWorkerError(
+                        rank,
+                        new_process.pid,
+                        self._shard_map[rank],
+                        "replacement worker unresponsive during problem re-ship",
+                    )
+                tag, reply = new_conn.recv()
+            except (EOFError, ConnectionResetError, OSError) as error:
+                raise DeadWorkerError(
+                    rank,
+                    new_process.pid,
+                    self._shard_map[rank],
+                    "replacement worker died during problem re-ship",
+                ) from error
             if tag == "error":
-                assert isinstance(payload, BaseException)
-                raise payload
-            replies.append(payload)
-        return replies
+                assert isinstance(reply, BaseException)
+                raise reply
+        new_conn.send((command, payload))
 
     def set_problems(
         self,
@@ -364,6 +513,7 @@ class ProviderPool:
             )
             for i in range(N)
         }
+        self._problem_updates.update(updates)
         if self._shard is not None:
             self._shard.set_problems(updates)
             return
@@ -462,6 +612,31 @@ class ProviderPool:
         for index, control in gathered:
             controls[index] = control
         return controls
+
+    def kill_worker(self, rank: int) -> int:
+        """Hard-kill one worker process (chaos/testing hook).
+
+        Simulates an external SIGKILL of the shard process; the next
+        command notices the death and runs the respawn path.
+
+        Returns:
+            The pid of the process killed.
+
+        Raises:
+            RuntimeError: inline mode (no worker processes), closed pool
+                or out-of-range rank.
+        """
+        self._require_open()
+        if not self._workers:
+            raise RuntimeError("pool runs inline; there is no worker to kill")
+        if not 0 <= rank < len(self._workers):
+            raise RuntimeError(f"no worker with rank {rank}")
+        process, _ = self._workers[rank]
+        pid = process.pid
+        assert pid is not None
+        process.kill()
+        process.join(timeout=5.0)
+        return pid
 
     def close(self) -> None:
         """Shut the workers down; idempotent."""

@@ -1,0 +1,204 @@
+"""Versioned, checksummed, atomically-written controller checkpoints.
+
+File format (all integers little-endian)::
+
+    offset  size  field
+    0       8     magic  b"DSPPCKPT"
+    8       4     format version (uint32)
+    12      8     payload length in bytes (uint64)
+    20      32    SHA-256 digest of the payload
+    52      ...   payload: ``pickle`` (protocol 4) of the snapshot object
+
+Writes are crash-safe: the blob goes to a temporary file in the same
+directory, is flushed and ``fsync``-ed, and then atomically renamed onto
+``ckpt-<period:08d>.bin`` (the directory is fsync-ed too, so the rename
+itself survives power loss).  A reader therefore either sees the complete
+previous generation or the complete new one, never a torn file.
+
+Generations: one file per checkpointed period, newest ``keep`` retained.
+:func:`load_latest` walks generations newest-first and *explicitly* falls
+back past corrupted or truncated files (checksum mismatch), reporting the
+files it skipped — a checkpoint is never silently loaded as garbage.
+
+The payload pickle is deliberately canonical (per-solve scratch state is
+stripped at pickling time, see ``QPWorkspace.__getstate__``), so
+snapshot → restore → snapshot round-trips byte-identically; the
+``service_crash_recovery`` check in :mod:`repro.verify` builds on this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointNotFoundError",
+    "CheckpointVersionError",
+    "checkpoint_path",
+    "list_checkpoints",
+    "load_checkpoint",
+    "load_latest",
+    "write_checkpoint",
+]
+
+CHECKPOINT_MAGIC = b"DSPPCKPT"
+CHECKPOINT_VERSION = 1
+
+_HEADER = struct.Struct("<8sIQ32s")
+# Pinned protocol: the snapshot bytes must be stable for the
+# byte-identical round-trip guarantee, independent of the interpreter's
+# current default protocol.
+_PICKLE_PROTOCOL = 4
+
+
+class CheckpointError(RuntimeError):
+    """Base class of every checkpoint load/store failure."""
+
+
+class CheckpointNotFoundError(CheckpointError):
+    """No (readable) checkpoint generation exists in the directory."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file is truncated or fails its checksum."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """A checkpoint was written by an incompatible format version."""
+
+
+def checkpoint_path(directory: Path | str, period: int) -> Path:
+    """Canonical generation filename for a period boundary."""
+    if period < 0:
+        raise ValueError(f"period must be >= 0, got {period}")
+    return Path(directory) / f"ckpt-{period:08d}.bin"
+
+
+def list_checkpoints(directory: Path | str) -> list[Path]:
+    """All generation files, oldest first (empty if none/missing dir)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("ckpt-????????.bin"))
+
+
+def write_checkpoint(
+    directory: Path | str,
+    period: int,
+    snapshot: Any,
+    keep: int = 3,
+) -> Path:
+    """Atomically write one generation and prune old ones.
+
+    Args:
+        directory: checkpoint directory (created if missing).
+        period: period index the snapshot was taken at (names the file).
+        snapshot: any picklable object (the service's state dict).
+        keep: number of newest generations to retain (>= 1).
+
+    Returns:
+        The path of the generation written.
+    """
+    if keep < 1:
+        raise ValueError(f"keep must be >= 1, got {keep}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = pickle.dumps(snapshot, protocol=_PICKLE_PROTOCOL)
+    header = _HEADER.pack(
+        CHECKPOINT_MAGIC,
+        CHECKPOINT_VERSION,
+        len(payload),
+        hashlib.sha256(payload).digest(),
+    )
+    final = checkpoint_path(directory, period)
+    tmp = directory / f".{final.name}.tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(header)
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, final)
+    _fsync_directory(directory)
+    for stale in list_checkpoints(directory)[:-keep]:
+        stale.unlink(missing_ok=True)
+    return final
+
+
+def _fsync_directory(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def load_checkpoint(path: Path | str) -> Any:
+    """Load and verify one generation file.
+
+    Raises:
+        CheckpointNotFoundError: the file does not exist.
+        CheckpointError: the file is not a checkpoint (bad magic).
+        CheckpointVersionError: the format version is not ours.
+        CheckpointCorruptError: truncated payload or checksum mismatch.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError as error:
+        raise CheckpointNotFoundError(f"no checkpoint at {path}") from error
+    if len(raw) < _HEADER.size:
+        raise CheckpointCorruptError(
+            f"{path}: {len(raw)} bytes is shorter than the {_HEADER.size}-byte header"
+        )
+    magic, version, length, digest = _HEADER.unpack_from(raw)
+    if magic != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path}: bad magic {magic!r}; not a checkpoint file")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointVersionError(
+            f"{path}: format version {version}, this build reads "
+            f"{CHECKPOINT_VERSION}"
+        )
+    payload = raw[_HEADER.size :]
+    if len(payload) != length:
+        raise CheckpointCorruptError(
+            f"{path}: payload is {len(payload)} bytes, header promises {length}"
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise CheckpointCorruptError(f"{path}: payload checksum mismatch")
+    return pickle.loads(payload)
+
+
+def load_latest(directory: Path | str) -> tuple[Any, Path, list[Path]]:
+    """Load the newest verifiable generation, falling back past corruption.
+
+    Returns:
+        ``(snapshot, path, skipped)`` where ``skipped`` lists the newer
+        generations that failed verification and were passed over (for the
+        caller to surface — fallback is loud, never silent).
+
+    Raises:
+        CheckpointNotFoundError: no generation could be loaded.
+        CheckpointVersionError: the newest readable generation has an
+            incompatible version (an operator problem, not bit rot — no
+            fallback).
+    """
+    skipped: list[Path] = []
+    for path in reversed(list_checkpoints(directory)):
+        try:
+            return load_checkpoint(path), path, skipped
+        except CheckpointVersionError:
+            raise
+        except CheckpointError:
+            skipped.append(path)
+    raise CheckpointNotFoundError(
+        f"no loadable checkpoint generation under {directory}"
+        + (f" (skipped corrupt: {[p.name for p in skipped]})" if skipped else "")
+    )

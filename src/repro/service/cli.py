@@ -1,0 +1,193 @@
+"""``python -m repro serve`` — run the resident placement service.
+
+Examples::
+
+    # a checkpointed run over the small scenario
+    python -m repro serve --checkpoint-dir /tmp/ckpt
+
+    # resume after a crash (kill -9 safe: the trajectory is bitwise
+    # identical to the uninterrupted run)
+    python -m repro serve --checkpoint-dir /tmp/ckpt --resume
+
+    # deterministic chaos run, exporting the degradation log
+    python -m repro serve --checkpoint-dir /tmp/ckpt --fault-seed 7 \\
+        --degradation-log /tmp/degradation.json
+
+The result JSON carries SHA-256 digests of the state/control
+trajectories, so two runs can be compared for bitwise equality without
+shipping the arrays.  See ``docs/OPERATIONS.md`` for the full
+operational story.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.service.faults import make_fault_plan
+from repro.service.ladder import LadderConfig
+from repro.service.service import PlacementService, ServiceConfig, ServiceResult
+
+__all__ = ["add_serve_parser", "run_serve"]
+
+
+def add_serve_parser(sub: "argparse._SubParsersAction[argparse.ArgumentParser]") -> None:
+    """Register the ``serve`` subcommand on the main CLI."""
+    parser = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant resident placement service",
+        description="Run the checkpointed, degradation-ladder-supervised "
+        "placement control loop over a scenario.",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=("small", "paper"),
+        default="small",
+        help="scenario family (default: small)",
+    )
+    parser.add_argument("--periods", type=int, default=8, help="horizon K")
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    parser.add_argument("--window", type=int, default=3, help="MPC window W")
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="directory for checkpoint generations (omit: no checkpoints)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore from the newest loadable generation in "
+        "--checkpoint-dir instead of starting fresh",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=1,
+        help="periods between generations (default: 1)",
+    )
+    parser.add_argument(
+        "--keep-checkpoints",
+        type=int,
+        default=3,
+        help="generations retained on disk (default: 3)",
+    )
+    parser.add_argument(
+        "--imputation",
+        choices=("strict", "carry_forward"),
+        default="carry_forward",
+        help="non-finite telemetry policy (default: carry_forward)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="inject a deterministic fault plan drawn from this seed",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.35,
+        help="per-period fault probability of the plan (default: 0.35)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock seconds per period before the ladder jumps to "
+        "hold (default: no clock — fully deterministic)",
+    )
+    parser.add_argument(
+        "--throttle",
+        type=float,
+        default=0.0,
+        help="sleep this many seconds after each period (pacing)",
+    )
+    parser.add_argument(
+        "--degradation-log",
+        type=Path,
+        default=None,
+        help="write the degradation log as JSON to this path",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the result summary as JSON to this path (default: stdout)",
+    )
+
+
+def _digest(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest()
+
+
+def _result_json(result: ServiceResult, resumed: bool) -> dict[str, object]:
+    summary = result.summary
+    return {
+        "resumed": resumed,
+        "periods": int(result.states.shape[0]),
+        "states_sha256": _digest(result.states),
+        "controls_sha256": _digest(result.controls),
+        "terminal_rungs": list(result.terminal_rungs),
+        "degradation_events": len(result.log),
+        "total_cost": summary.total_cost,
+        "allocation_cost": summary.total_allocation_cost,
+        "reconfiguration_cost": summary.total_reconfiguration_cost,
+        "unserved_demand": summary.total_unserved_demand,
+        "sla_violation_periods": summary.sla_violation_periods,
+    }
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Execute the ``serve`` subcommand; returns the exit code."""
+    if args.resume:
+        if args.checkpoint_dir is None:
+            print("--resume requires --checkpoint-dir")
+            return 2
+        service = PlacementService.restore(args.checkpoint_dir)
+        resumed = True
+    else:
+        from repro.simulation.scenario import (
+            build_paper_scenario,
+            build_small_scenario,
+        )
+
+        build = (
+            build_paper_scenario if args.scenario == "paper" else build_small_scenario
+        )
+        scenario = build(num_periods=args.periods, seed=args.seed)
+        config = ServiceConfig(
+            window=args.window,
+            imputation=args.imputation,
+            ladder=LadderConfig(deadline_s=args.deadline),
+            checkpoint_interval=args.checkpoint_interval,
+            keep_checkpoints=args.keep_checkpoints,
+            throttle_s=args.throttle,
+        )
+        fault_plan = (
+            make_fault_plan(args.fault_seed, scenario.num_periods, rate=args.fault_rate)
+            if args.fault_seed is not None
+            else None
+        )
+        service = PlacementService(
+            scenario,
+            config,
+            checkpoint_dir=args.checkpoint_dir,
+            fault_plan=fault_plan,
+        )
+        resumed = False
+
+    result = service.run()
+    assert result is not None  # run(until=None) always completes
+    if args.degradation_log is not None:
+        result.log.to_json(args.degradation_log)
+    payload = json.dumps(_result_json(result, resumed), indent=2)
+    if args.out is not None:
+        args.out.write_text(payload + "\n")
+    else:
+        print(payload)
+    return 0

@@ -1,0 +1,490 @@
+"""The resident placement service: a supervised, restartable control loop.
+
+:class:`PlacementService` runs the same four-component loop as
+:class:`repro.simulation.engine.SimulationEngine` (monitoring →
+controller → router → metrics) but wraps every period in three
+robustness layers:
+
+1. **Checkpoint/restore** — at configurable period boundaries the full
+   controller state (workspace caches, predictor histories, router
+   allocation, metrics, fault-injector RNG, degradation log) is written
+   through :mod:`repro.service.checkpoint`.  ``kill -9`` at any point
+   followed by :meth:`PlacementService.restore` resumes a trajectory
+   *bitwise identical* to the uninterrupted run — the
+   ``service_crash_recovery`` check in :mod:`repro.verify` fuzzes exactly
+   this property.
+2. **Degradation ladder** — a misbehaving solve descends
+   warm → cold → sparse → hold (see :mod:`repro.service.ladder`), each
+   transition recorded in the :class:`~repro.service.ladder.DegradationLog`.
+3. **Deterministic fault injection** — an optional
+   :class:`~repro.service.faults.FaultPlan` perturbs telemetry, squeezes
+   deadlines and corrupts checkpoint generations, reproducibly.
+
+``python -m repro serve`` drives this class from the command line; see
+``docs/OPERATIONS.md`` for the operational story.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.control.horizon import effective_horizon
+from repro.control.mpc import MPCConfig, MPCController, MPCStep
+from repro.core.dspp import DSPPInfeasibleError
+from repro.prediction.ar import ARPredictor
+from repro.prediction.naive import LastValuePredictor
+from repro.routing.router import RequestRouter, RoutingDecision
+from repro.service.checkpoint import load_latest, write_checkpoint
+from repro.service.faults import FaultInjector, FaultPlan
+from repro.service.ladder import LADDER_RUNGS, DegradationLog, LadderConfig
+from repro.simulation.metrics import MetricsCollector, RunSummary
+from repro.simulation.monitoring import MonitoringModule
+from repro.simulation.scenario import Scenario
+from repro.solvers.qp import QPSettings, QPStatus
+
+__all__ = ["PlacementService", "ServiceConfig", "ServiceResult"]
+
+# Exceptions a solve attempt may legitimately die with; anything else is a
+# programming error and propagates (the ladder is a numerics supervisor,
+# not a bug shield).
+_SOLVE_FAILURES = (
+    DSPPInfeasibleError,
+    FloatingPointError,  # includes repro.sanitize.SanitizeError
+    np.linalg.LinAlgError,
+    RuntimeError,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of a resident service run.
+
+    Attributes:
+        window: MPC prediction horizon ``W``.
+        predictor: forecaster family, ``"last_value"`` or ``"ar"``.
+        imputation: telemetry repair policy forwarded to
+            :class:`~repro.control.mpc.MPCConfig` (the service defaults to
+            ``"carry_forward"`` — one bad sample must not kill the loop).
+        slack_penalty: per-unit demand-shortfall penalty of the elastic
+            horizon solves (keeps degraded periods feasible).
+        qp_settings: solver settings for the per-period solves.
+        kkt_backend: optional KKT backend override for the warm/cold rungs.
+        ladder: retry budgets and the per-period deadline.
+        checkpoint_interval: write a generation every this many periods.
+        keep_checkpoints: generations retained on disk.
+        throttle_s: sleep this long after each period (operational pacing;
+            also what makes mid-run SIGKILL tests deterministic).
+    """
+
+    window: int = 3
+    predictor: str = "last_value"
+    imputation: str = "carry_forward"
+    slack_penalty: float = 1e3
+    qp_settings: QPSettings | None = None
+    kkt_backend: str | None = None
+    ladder: LadderConfig = LadderConfig()
+    checkpoint_interval: int = 1
+    keep_checkpoints: int = 3
+    throttle_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.predictor not in ("last_value", "ar"):
+            raise ValueError(
+                f"predictor must be 'last_value' or 'ar', got {self.predictor!r}"
+            )
+        if self.checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1, got {self.checkpoint_interval}"
+            )
+        if self.keep_checkpoints < 1:
+            raise ValueError(
+                f"keep_checkpoints must be >= 1, got {self.keep_checkpoints}"
+            )
+        if self.throttle_s < 0:
+            raise ValueError(f"throttle_s must be >= 0, got {self.throttle_s}")
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """Everything a completed service run produced.
+
+    Attributes:
+        summary: aggregated metrics (same schema as the batch engine).
+        states: realized allocations, shape ``(K-1, L, V)``.
+        controls: applied moves, shape ``(K-1, L, V)``.
+        routing: per-period routing decisions.
+        monitoring: the filled monitoring module.
+        terminal_rungs: the ladder rung each period terminated at
+            (``"warm"`` everywhere on a fault-free run).
+        log: the structured degradation log.
+    """
+
+    summary: RunSummary
+    states: np.ndarray
+    controls: np.ndarray
+    routing: tuple[RoutingDecision, ...]
+    monitoring: MonitoringModule
+    terminal_rungs: tuple[str, ...]
+    log: DegradationLog
+
+
+def _build_predictor(kind: str, num_series: int) -> LastValuePredictor | ARPredictor:
+    if kind == "ar":
+        return ARPredictor(num_series)
+    return LastValuePredictor(num_series)
+
+
+class PlacementService:
+    """Resident, checkpointed, fault-tolerant placement control loop.
+
+    Args:
+        scenario: the setting to run (pickled into every checkpoint, so a
+            restore is fully self-contained).
+        config: service configuration.
+        checkpoint_dir: where generations are written (``None``: the run
+            is not checkpointed).
+        fault_plan: optional deterministic chaos schedule.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: ServiceConfig | None = None,
+        checkpoint_dir: Path | str | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
+        self.scenario = scenario
+        self.config = config or ServiceConfig()
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        instance = scenario.instance
+        self.controller = MPCController(
+            instance,
+            _build_predictor(self.config.predictor, instance.num_locations),
+            _build_predictor(self.config.predictor, instance.num_datacenters),
+            MPCConfig(
+                window=self.config.window,
+                qp_settings=self.config.qp_settings,
+                warm_start=True,
+                slack_penalty=self.config.slack_penalty,
+                reuse_workspace=True,
+                kkt_backend=self.config.kkt_backend,
+                imputation=self.config.imputation,
+            ),
+        )
+        self.monitoring = MonitoringModule(
+            num_locations=instance.num_locations,
+            num_datacenters=instance.num_datacenters,
+        )
+        # The SLA policy works in seconds; the topology layer reports ms.
+        self.router = RequestRouter(
+            network_latency=scenario.latency.latency_ms * 1e-3,
+            demand_coefficients=instance.demand_coefficients,
+            service_rate=scenario.sla.service_rate,
+            max_latency=scenario.sla.max_latency,
+        )
+        self.metrics = MetricsCollector()
+        self.log = DegradationLog()
+        self.injector = FaultInjector(fault_plan) if fault_plan is not None else None
+        self._period = 0
+        self._states: list[np.ndarray] = []
+        self._controls: list[np.ndarray] = []
+        self._decisions: list[RoutingDecision] = []
+        self._terminal_rungs: list[str] = []
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+
+    @property
+    def period(self) -> int:
+        """Zero-based index of the next period to run."""
+        return self._period
+
+    @property
+    def num_steps(self) -> int:
+        """Controllable periods in the scenario (``K - 1``)."""
+        return self.scenario.num_periods - 1
+
+    def _snapshot(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "config": self.config,
+            "controller": self.controller,
+            "monitoring": self.monitoring,
+            "router": self.router,
+            "metrics": self.metrics,
+            "injector": self.injector,
+            "period": self._period,
+            "states": list(self._states),
+            "controls": list(self._controls),
+            "decisions": list(self._decisions),
+            "terminal_rungs": list(self._terminal_rungs),
+            "log_events": self.log.events,
+        }
+
+    def checkpoint(self) -> Path:
+        """Write one generation now; returns the file written.
+
+        Raises:
+            RuntimeError: if the service has no checkpoint directory.
+        """
+        if self.checkpoint_dir is None:
+            raise RuntimeError("service was created without a checkpoint_dir")
+        path = write_checkpoint(
+            self.checkpoint_dir,
+            self._period,
+            self._snapshot(),
+            keep=self.config.keep_checkpoints,
+        )
+        # Fault injection: damage the generation just written (the
+        # injector state saved *inside* it predates the damage, so a
+        # restored run re-corrupts identically).
+        if self.injector is not None and self.injector.corrupts_checkpoint(
+            self._period - 1
+        ):
+            detail = self.injector.corrupt_file(path)
+            self.log.record(
+                self._period - 1,
+                "service",
+                "checkpoint_corrupted",
+                f"{path.name}: {detail}",
+            )
+        return path
+
+    @classmethod
+    def restore(cls, checkpoint_dir: Path | str) -> "PlacementService":
+        """Rebuild a service from the newest loadable generation.
+
+        Corrupt newer generations are skipped loudly (recorded in the
+        restored service's degradation log).
+
+        Raises:
+            CheckpointNotFoundError: nothing loadable in the directory.
+            CheckpointVersionError: incompatible checkpoint format.
+        """
+        snapshot, path, skipped = load_latest(checkpoint_dir)
+        service = cls.__new__(cls)
+        service.scenario = snapshot["scenario"]
+        service.config = snapshot["config"]
+        service.checkpoint_dir = Path(checkpoint_dir)
+        service.controller = snapshot["controller"]
+        service.monitoring = snapshot["monitoring"]
+        service.router = snapshot["router"]
+        service.metrics = snapshot["metrics"]
+        service.injector = snapshot["injector"]
+        service._period = snapshot["period"]
+        service._states = list(snapshot["states"])
+        service._controls = list(snapshot["controls"])
+        service._decisions = list(snapshot["decisions"])
+        service._terminal_rungs = list(snapshot["terminal_rungs"])
+        service.log = DegradationLog(snapshot["log_events"])
+        for corrupt in skipped:
+            service.log.record(
+                service._period,
+                "service",
+                "checkpoint_fallback",
+                f"skipped corrupt generation {corrupt.name}",
+            )
+        service.log.record(
+            service._period,
+            "service",
+            "restored",
+            f"resumed at period {service._period} from {path.name}",
+        )
+        return service
+
+    # ------------------------------------------------------------------
+    # the control loop
+
+    def run(self, until: int | None = None) -> ServiceResult | None:
+        """Run periods until the scenario ends (or ``until`` is reached).
+
+        Args:
+            until: stop after this period index has completed (used by
+                crash-recovery tests to abandon a run mid-horizon);
+                ``None`` runs to the end.
+
+        Returns:
+            The :class:`ServiceResult` when the scenario completed,
+            ``None`` when stopped early by ``until``.
+        """
+        target = self.num_steps if until is None else min(until, self.num_steps)
+        while self._period < target:
+            k = self._period
+            self._run_period(k)
+            boundary = self._period
+            if self.checkpoint_dir is not None and (
+                boundary % self.config.checkpoint_interval == 0
+                or boundary == self.num_steps
+            ):
+                self.checkpoint()
+            if self.config.throttle_s > 0:
+                time.sleep(self.config.throttle_s)
+        if self._period >= self.num_steps:
+            return self.result()
+        return None
+
+    def result(self) -> ServiceResult:
+        """Assemble the result of the periods completed so far."""
+        instance = self.scenario.instance
+        L, V = instance.num_datacenters, instance.num_locations
+        states = (
+            np.stack(self._states)
+            if self._states
+            else np.empty((0, L, V))
+        )
+        controls = (
+            np.stack(self._controls)
+            if self._controls
+            else np.empty((0, L, V))
+        )
+        return ServiceResult(
+            summary=self.metrics.summary(),
+            states=states,
+            controls=controls,
+            routing=tuple(self._decisions),
+            monitoring=self.monitoring,
+            terminal_rungs=tuple(self._terminal_rungs),
+            log=self.log,
+        )
+
+    def _run_period(self, k: int) -> None:
+        scenario = self.scenario
+        true_demand = scenario.demand[:, k]
+        true_prices = scenario.prices[:, k]
+        seen_demand, seen_prices = true_demand, true_prices
+        if self.injector is not None:
+            seen_demand, seen_prices, kinds = self.injector.perturb_observation(
+                k, true_demand, true_prices
+            )
+            for kind in kinds:
+                self.log.record(k, "service", "fault", kind)
+        observation = self.monitoring.record(seen_demand, seen_prices)
+        try:
+            self.controller.observe(observation.demand, observation.prices)
+        except Exception as error:
+            # Strict-mode telemetry rejection (or carry-forward with no
+            # history) is a terminal service failure — record it before
+            # propagating so the operator sees *why* the loop stopped.
+            self.log.record(
+                k, "service", "error", f"{type(error).__name__}: {error}"
+            )
+            raise
+        horizon = effective_horizon(self.config.window, k, self.num_steps)
+        step = self._ladder_solve(k, horizon)
+        if step.imputed_demand is not None or step.imputed_prices is not None:
+            repaired = int(
+                (0 if step.imputed_demand is None else step.imputed_demand.sum())
+                + (0 if step.imputed_prices is None else step.imputed_prices.sum())
+            )
+            self.log.record(
+                k, "service", "imputed", f"carried forward {repaired} entries"
+            )
+
+        self._states.append(step.new_state)
+        self._controls.append(step.applied_control)
+
+        self.router.update_allocation(step.new_state)
+        decision = self.router.route(scenario.demand[:, k + 1])
+        self._decisions.append(decision)
+        self.metrics.record_period(
+            allocation=step.new_state,
+            control=step.applied_control,
+            prices=scenario.prices[:, k + 1],
+            recon_weights=scenario.instance.reconfiguration_weights,
+            assignment=decision.assignment,
+            latency=decision.latency,
+            unserved=float(decision.unserved.sum()),
+            sla_violated=not decision.all_sla_satisfied,
+        )
+        self._period = k + 1
+
+    def _sparse_settings(self) -> QPSettings:
+        base = self.config.qp_settings
+        if base is None:
+            base = QPSettings(early_polish=True)
+        return replace(base, kkt_backend="sparse")
+
+    def _ladder_solve(self, k: int, horizon: int) -> MPCStep:
+        """Descend the degradation ladder until a rung terminates."""
+        cfg = self.config.ladder
+        squeeze = 0 if self.injector is None else self.injector.squeeze_depth(k)
+        start = time.monotonic() if cfg.deadline_s is not None else 0.0
+        degraded = False
+        for rung_index, rung in enumerate(LADDER_RUNGS):
+            if rung_index < squeeze:
+                self.log.record(
+                    k, rung, "timeout", "deadline squeeze (fault injection)"
+                )
+                degraded = True
+                continue
+            if (
+                cfg.deadline_s is not None
+                and rung != "hold"
+                and time.monotonic() - start > cfg.deadline_s
+            ):
+                self.log.record(
+                    k, rung, "timeout", f"period deadline {cfg.deadline_s}s exceeded"
+                )
+                degraded = True
+                continue
+            if rung == "hold":
+                step = self.controller.hold(horizon)
+                slack = self._hold_slack(step)
+                self.log.record(
+                    k,
+                    "hold",
+                    "held",
+                    f"placement held; unserved-demand slack {slack:.6g}",
+                )
+                self._terminal_rungs.append("hold")
+                return step
+            for attempt in range(1, cfg.attempts_per_rung + 1):
+                try:
+                    if rung == "warm":
+                        step = self.controller.plan(horizon)
+                    elif rung == "cold":
+                        step = self.controller.plan(horizon, cold=True)
+                    else:
+                        step = self.controller.plan(
+                            horizon,
+                            settings=self._sparse_settings(),
+                            use_workspace=False,
+                        )
+                except _SOLVE_FAILURES as error:
+                    self.log.record(
+                        k,
+                        rung,
+                        "error",
+                        f"{type(error).__name__}: {error}",
+                        attempt,
+                    )
+                    degraded = True
+                    continue
+                assert step.solution is not None
+                status = step.solution.qp.status
+                if status is QPStatus.OPTIMAL:
+                    if degraded or rung != "warm":
+                        self.log.record(
+                            k, rung, "accepted", f"recovered at rung {rung!r}", attempt
+                        )
+                    self._terminal_rungs.append(rung)
+                    return step
+                self.log.record(
+                    k, rung, "status", f"solver status {status.name}", attempt
+                )
+                degraded = True
+        raise AssertionError("unreachable: the hold rung always terminates")
+
+    def _hold_slack(self, step: MPCStep) -> float:
+        """Unserved demand implied by holding the previous placement."""
+        coeff = self.scenario.instance.demand_coefficients
+        served = np.einsum("lv,lv->v", step.new_state, coeff)
+        shortfall = np.maximum(step.predicted_demand[:, 0] - served, 0.0)
+        return float(shortfall.sum())

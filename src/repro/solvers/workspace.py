@@ -148,6 +148,51 @@ class QPWorkspace:
         self._stale_scaling = False
         self._best_warm_iterations: int | None = None
 
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle support for checkpoint/restore (see ``repro.service``).
+
+        The ``SuperLU`` factorization is not picklable, and the scratch
+        fields (``_failed_masks``, ``_early_polished``) are per-solve
+        state whose serialized bytes would depend on hash randomization.
+        The snapshot therefore keeps only *logical* state: the cached
+        factorization is dropped (it is a deterministic function of
+        ``_work``/``_scaling``/``_rho_vec`` and is rebuilt on restore) and
+        the cached polish system is reduced to its active-set masks.  Two
+        snapshots of the same logical state are byte-identical.
+        """
+        state = dict(self.__dict__)
+        state["_lu"] = None
+        system = state["_polish_system"]
+        state["_polish_system"] = None
+        state["_polish_masks"] = (
+            None
+            if system is None
+            else (system.active_lower.copy(), system.active_upper.copy())
+        )
+        state["_failed_masks"] = set()
+        state["_early_polished"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        """Rebuild the dropped factorizations from the restored state.
+
+        Both rebuilds are bit-deterministic on the same machine: the KKT
+        factorization depends only on the stored scaled problem, sigma and
+        rho vector, and the active-set system depends only on ``P``/``A``
+        plus the stored masks.  The factorization counters are restored to
+        their checkpointed values — rehydration recomputes cached work, it
+        does not perform new work — so snapshot → restore → snapshot
+        round-trips byte-identically.
+        """
+        masks = state.pop("_polish_masks", None)
+        self.__dict__.update(state)
+        if self._problem is not None:
+            counters = (self.num_factorizations, self.num_equilibrations)
+            self._factorize_current()
+            self.num_factorizations, self.num_equilibrations = counters
+            if masks is not None:
+                self._polish_system = self._build_active_system(*masks)
+
     @property
     def is_setup(self) -> bool:
         """Whether :meth:`setup` has been called."""

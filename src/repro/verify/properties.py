@@ -44,12 +44,19 @@ The registered properties:
 ``sharded_equilibrium_equals_serial`` Algorithm 2 through the provider-
                                       sharded process pool (jobs 2, 4) ≡
                                       serial inline run, bitwise
+``service_crash_recovery``            resident service killed mid-horizon
+                                      and restored from its checkpoint ≡
+                                      uninterrupted run, bitwise; the
+                                      degradation ladder terminates every
+                                      period
 ====================================  =====================================
 """
 
 from __future__ import annotations
 
 import math
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -81,6 +88,12 @@ from repro.prediction.oracle import OraclePredictor
 from repro.queueing.mm1 import queueing_delay, required_servers
 from repro.routing.optimal import optimal_assignment
 from repro.routing.proportional import proportional_assignment
+from repro.service import (
+    LADDER_RUNGS,
+    PlacementService,
+    ServiceConfig,
+    make_fault_plan,
+)
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.queue_sim import effective_sample_size
 from repro.simulation.scenario import Scenario, build_small_scenario
@@ -121,6 +134,7 @@ __all__ = [
     "prop_qp_reference",
     "prop_qp_workspace_sequence",
     "prop_routing_differential",
+    "prop_service_crash_recovery",
     "prop_sharded_equilibrium_equals_serial",
     "prop_sparsified_equals_dense",
     "prop_workspace_resolve_equals_cold",
@@ -1352,4 +1366,107 @@ def prop_events_deterministic_replay(
                 1.0,
             )
         )
+    return findings
+
+
+def prop_service_crash_recovery(
+    rng: np.random.Generator, tier: ScaleTier
+) -> list[Discrepancy]:
+    """Kill-and-restore the resident service ≡ the uninterrupted run, bitwise.
+
+    Runs the checkpointed :class:`~repro.service.PlacementService` twice
+    over the same scenario and (optionally) the same deterministic fault
+    plan: once uninterrupted, once abandoned mid-horizon and rebuilt via
+    :meth:`~repro.service.PlacementService.restore` from its checkpoint
+    directory — exactly what a ``kill -9`` plus restart does.  The two
+    trajectories (states *and* controls) must be bitwise identical, the
+    per-period terminal ladder rungs must agree, and every period —
+    faulted or not — must terminate at a known rung (the ladder never
+    wedges: rung 3 performs no solve).
+    """
+    num_periods = int(rng.integers(4, 6 if tier.max_horizon <= 6 else 9))
+    scenario = build_small_scenario(
+        num_periods=num_periods,
+        num_datacenters=min(2, tier.max_datacenters),
+        num_locations=min(3, tier.max_locations),
+        seed=int(rng.integers(0, 2**31)),
+    )
+    config = ServiceConfig(
+        window=int(rng.integers(1, min(3, tier.max_horizon) + 1)),
+        # Retain every generation so corruption faults can never exhaust
+        # the fallback chain within a trial.
+        keep_checkpoints=num_periods + 1,
+    )
+    fault_plan = (
+        make_fault_plan(int(rng.integers(0, 2**31)), num_periods)
+        if rng.random() < 0.5
+        else None
+    )
+    crash_at = int(rng.integers(1, num_periods - 1))
+
+    findings: list[Discrepancy] = []
+    with tempfile.TemporaryDirectory() as root:
+        clean_dir = Path(root) / "clean"
+        crash_dir = Path(root) / "crash"
+        clean = PlacementService(
+            scenario, config, checkpoint_dir=clean_dir, fault_plan=fault_plan
+        ).run()
+        assert clean is not None
+        interrupted = PlacementService(
+            scenario, config, checkpoint_dir=crash_dir, fault_plan=fault_plan
+        )
+        assert interrupted.run(until=crash_at) is None
+        del interrupted  # the "crashed" process: its memory is gone
+        resumed = PlacementService.restore(crash_dir).run()
+        assert resumed is not None
+
+    if not np.array_equal(clean.states, resumed.states):
+        findings.append(
+            Discrepancy(
+                "service_crash_recovery",
+                f"states after restore at period {crash_at} are not bitwise "
+                "identical to the uninterrupted run",
+                float(np.max(np.abs(clean.states - resumed.states), initial=0.0)),
+            )
+        )
+    if not np.array_equal(clean.controls, resumed.controls):
+        findings.append(
+            Discrepancy(
+                "service_crash_recovery",
+                f"controls after restore at period {crash_at} are not bitwise "
+                "identical to the uninterrupted run",
+                float(
+                    np.max(np.abs(clean.controls - resumed.controls), initial=0.0)
+                ),
+            )
+        )
+    if clean.terminal_rungs != resumed.terminal_rungs:
+        findings.append(
+            Discrepancy(
+                "service_crash_recovery",
+                f"terminal ladder rungs diverged: clean={clean.terminal_rungs} "
+                f"resumed={resumed.terminal_rungs}",
+                1.0,
+            )
+        )
+    for label, result in (("clean", clean), ("resumed", resumed)):
+        if len(result.terminal_rungs) != num_periods - 1:
+            findings.append(
+                Discrepancy(
+                    "service_crash_recovery",
+                    f"{label} run terminated {len(result.terminal_rungs)} of "
+                    f"{num_periods - 1} periods — the ladder must terminate "
+                    "every period",
+                    1.0,
+                )
+            )
+        for rung in result.terminal_rungs:
+            if rung not in LADDER_RUNGS:
+                findings.append(
+                    Discrepancy(
+                        "service_crash_recovery",
+                        f"{label} run reports unknown terminal rung {rung!r}",
+                        1.0,
+                    )
+                )
     return findings

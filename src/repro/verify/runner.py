@@ -99,6 +99,13 @@ CHECKS: dict[str, CheckSpec] = {
             props.prop_sharded_equilibrium_equals_serial,
             ("tiny", "small"),
         ),
+        # Two full checkpointed service runs (dozens of MPC solves plus a
+        # pickle/restore round-trip) per trial — capped below medium.
+        CheckSpec(
+            "service_crash_recovery",
+            props.prop_service_crash_recovery,
+            ("tiny", "small"),
+        ),
     )
 }
 

@@ -1,0 +1,15 @@
+"""Fixture: broad handlers that record to the degradation log pass RL012."""
+
+__all__ = ["supervise"]
+
+
+def supervise(steps: list[object], log: object) -> int:
+    """Every failure lands in the degradation log before the loop moves on."""
+    completed = 0
+    for period, step in enumerate(steps):
+        try:
+            step()  # type: ignore[operator]
+            completed += 1
+        except Exception as exc:
+            log.record(period, "service", "error", repr(exc))  # type: ignore[attr-defined]
+    return completed

@@ -1,0 +1,15 @@
+"""Fixture: RL012 must flag broad handlers that swallow supervision errors."""
+
+__all__ = ["supervise"]
+
+
+def supervise(steps: list[object]) -> int:
+    """A failed step disappears — the outage is invisible."""
+    completed = 0
+    for step in steps:
+        try:
+            step()  # type: ignore[operator]
+            completed += 1
+        except Exception:
+            completed += 0
+    return completed

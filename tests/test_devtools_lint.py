@@ -396,6 +396,7 @@ class TestRunner:
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures" / "static"
 SOLVER_PATH = "src/repro/solvers/fixture.py"
+SERVICE_PATH = "src/repro/service/fixture.py"
 
 
 class TestFixtureCorpus:
@@ -407,7 +408,10 @@ class TestFixtureCorpus:
     )
     def test_fixture_produces_exactly_its_named_rule(self, fixture: str) -> None:
         source = (FIXTURES / fixture).read_text()
-        found = {d.rule.value for d in lint_source(source, SOLVER_PATH)}
+        # RL012 is scoped to service/ supervision code; everything else
+        # exercises the numeric-package scopes.
+        lint_path = SERVICE_PATH if fixture.startswith("rl012") else SOLVER_PATH
+        found = {d.rule.value for d in lint_source(source, lint_path)}
         if fixture.endswith("_ok.py"):
             assert found == set()
         else:
@@ -416,7 +420,7 @@ class TestFixtureCorpus:
 
     def test_every_dataflow_rule_has_a_true_positive_fixture(self) -> None:
         covered = {p.name.split("_")[0].upper() for p in FIXTURES.glob("rl*.py")}
-        assert covered >= {"RL007", "RL008", "RL009", "RL010", "RL011"}
+        assert covered >= {"RL007", "RL008", "RL009", "RL010", "RL011", "RL012"}
 
 
 class TestRL007Division:
@@ -576,3 +580,90 @@ class TestCLIFeatures:
         """benchmarks/ is part of the default lint surface and must pass."""
         benchmarks = Path(__file__).resolve().parent.parent / "benchmarks"
         assert main([str(benchmarks)]) == 0
+
+
+class TestRL012BroadExceptInService:
+    def test_swallowing_broad_except_flagged_in_service(self) -> None:
+        src = """
+        __all__ = ["loop"]
+
+        def loop(steps: list[object]) -> None:
+            for step in steps:
+                try:
+                    step()  # type: ignore[operator]
+                except Exception:
+                    pass
+        """
+        assert "RL012" in rules_of(src, "src/repro/service/service.py")
+
+    def test_bare_except_and_tuple_forms_flagged(self) -> None:
+        src = """
+        __all__ = ["a", "b"]
+
+        def a(step: object) -> None:
+            try:
+                step()  # type: ignore[operator]
+            except:  # noqa: E722
+                return
+
+        def b(step: object) -> None:
+            try:
+                step()  # type: ignore[operator]
+            except (ValueError, Exception):
+                return
+        """
+        found = rules_of(src, "src/repro/service/service.py")
+        assert "RL012" in found
+
+    def test_reraise_and_record_both_pass(self) -> None:
+        src = """
+        __all__ = ["reraises", "records"]
+
+        def reraises(step: object) -> None:
+            try:
+                step()  # type: ignore[operator]
+            except Exception as exc:
+                raise RuntimeError("supervised failure") from exc
+
+        def records(step: object, log: object) -> None:
+            try:
+                step()  # type: ignore[operator]
+            except Exception as exc:
+                log.record(0, "service", "error", repr(exc))  # type: ignore[attr-defined]
+        """
+        assert "RL012" not in rules_of(src, "src/repro/service/service.py")
+
+    def test_narrow_handlers_and_other_packages_exempt(self) -> None:
+        src = """
+        __all__ = ["narrow"]
+
+        def narrow(step: object) -> None:
+            try:
+                step()  # type: ignore[operator]
+            except ValueError:
+                return
+        """
+        assert "RL012" not in rules_of(src, "src/repro/service/service.py")
+        broad = """
+        __all__ = ["loop"]
+
+        def loop(step: object) -> None:
+            try:
+                step()  # type: ignore[operator]
+            except Exception:
+                return
+        """
+        assert "RL012" not in rules_of(broad, "src/repro/experiments/pool.py")
+
+    def test_per_line_suppression_for_designed_fallbacks(self) -> None:
+        src = """
+        __all__ = ["fallback"]
+
+        def fallback(step: object) -> int:
+            try:
+                step()  # type: ignore[operator]
+                return 1
+            except Exception:  # reprolint: disable=RL012
+                return 0
+        """
+        assert "RL012" not in rules_of(src, "src/repro/service/service.py")

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.dspp import solve_dspp
 from repro.experiments.pool import (
+    DeadWorkerError,
     PoolSettings,
     ProviderPool,
     shard_indices,
@@ -214,3 +215,68 @@ class TestCallerOwnedPool:
         with ProviderPool(providers[:2], settings=config.pool_settings()) as pool:
             with pytest.raises(ValueError, match="pool holds"):
                 compute_equilibrium(providers, capacity, config, pool=pool)
+
+
+class TestWorkerCrashRecovery:
+    def test_dead_worker_error_names_worker_and_shard(self):
+        """With no respawn budget a killed child fails fast and loudly."""
+        providers, capacity = _population(num_providers=4)
+        quotas = np.tile(capacity / 4, (4, 1))
+        settings = PoolSettings(max_respawns=0, recv_timeout=30.0)
+        with ProviderPool(providers, jobs=2, settings=settings) as pool:
+            pool.run_round(quotas)
+            pid = pool.kill_worker(1)
+            with pytest.raises(DeadWorkerError) as excinfo:
+                pool.run_round(quotas)
+        error = excinfo.value
+        assert error.rank == 1
+        assert error.pid == pid
+        assert error.shard == (1, 3)
+        assert "rank=1" in str(error) and "[1, 3]" in str(error)
+
+    def test_round_completes_through_worker_crash(self):
+        """A killed child is respawned with its shard and the round's
+        reports stay correct (cold workspaces: tolerance, not bitwise)."""
+        providers, capacity = _population(num_providers=4)
+        quotas = np.tile(capacity / 4, (4, 1))
+        settings = PoolSettings(max_respawns=2, respawn_backoff=0.0)
+        with ProviderPool(providers, jobs=2, settings=settings) as pool:
+            before = pool.run_round(quotas)
+            pool.kill_worker(0)
+            after = pool.run_round(quotas)
+            np.testing.assert_allclose(after.costs, before.costs, rtol=1e-5)
+            np.testing.assert_allclose(
+                after.duals, before.duals, rtol=1e-4, atol=1e-6
+            )
+
+    def test_respawned_worker_keeps_per_period_problem_data(self):
+        """set_problems payloads shipped before the crash must be re-shipped
+        to the replacement, or it would silently solve the wrong period."""
+        providers, capacity = _population(num_providers=2, horizon=4)
+        quotas = np.tile(capacity / 2, (2, 1))
+        demands = [p.demand * 0.5 for p in providers]
+        settings = PoolSettings(max_respawns=1, respawn_backoff=0.0)
+        with ProviderPool(providers, jobs=2, settings=settings) as pool:
+            pool.set_problems(demands=demands)
+            before = pool.run_round(quotas)
+            pool.kill_worker(0)
+            after = pool.run_round(quotas)
+            np.testing.assert_allclose(after.costs, before.costs, rtol=1e-5)
+
+    def test_kill_worker_rejected_inline_and_out_of_range(self):
+        providers, _ = _population(num_providers=2)
+        pool = ProviderPool(providers, jobs=1)
+        with pytest.raises(RuntimeError, match="inline"):
+            pool.kill_worker(0)
+        pool.close()
+        with ProviderPool(providers, jobs=2) as pool:
+            with pytest.raises(RuntimeError, match="rank"):
+                pool.kill_worker(5)
+
+    def test_crash_settings_validation(self):
+        with pytest.raises(ValueError, match="recv_timeout"):
+            PoolSettings(recv_timeout=0.0)
+        with pytest.raises(ValueError, match="max_respawns"):
+            PoolSettings(max_respawns=-1)
+        with pytest.raises(ValueError, match="respawn_backoff"):
+            PoolSettings(respawn_backoff=-0.5)
